@@ -1,0 +1,55 @@
+//! Criterion benches: the related-work baseline samplers — packet-level
+//! trigger × pattern samplers, trajectory sampling, sample-and-hold, and
+//! the adaptive rate-controlled sampler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sst_core::adaptive::{AdaptiveConfig, AdaptiveRandomSampler};
+use sst_core::Sampler;
+use sst_nettrace::pktsampling::{PacketSampler, SelectionPattern, Trigger};
+use sst_nettrace::{SampleAndHold, TraceSynthesizer, TrajectorySampler};
+use sst_traffic::SyntheticTraceSpec;
+
+fn bench_packet_samplers(c: &mut Criterion) {
+    let trace = TraceSynthesizer::bell_labs_like().duration(120.0).synthesize(1);
+    let mut g = c.benchmark_group("packet_samplers");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("event_systematic", |b| {
+        let s = PacketSampler::new(Trigger::EventDriven { every: 100 }, SelectionPattern::Systematic);
+        b.iter(|| s.sample(&trace, 3).len());
+    });
+    g.bench_function("event_random", |b| {
+        let s = PacketSampler::new(Trigger::EventDriven { every: 100 }, SelectionPattern::Random);
+        b.iter(|| s.sample(&trace, 3).len());
+    });
+    g.bench_function("time_stratified", |b| {
+        let s = PacketSampler::new(Trigger::TimeDriven { every: 1.0 }, SelectionPattern::Stratified);
+        b.iter(|| s.sample(&trace, 3).len());
+    });
+    g.bench_function("trajectory_1pct", |b| {
+        let s = TrajectorySampler::new(0.01, 42);
+        b.iter(|| s.sample(&trace).len());
+    });
+    g.bench_function("sample_and_hold", |b| {
+        let s = SampleAndHold::new(1e-5);
+        b.iter(|| s.run(&trace, 3).table_len());
+    });
+    g.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let trace = SyntheticTraceSpec::new().length(1 << 18).seed(2).build();
+    let mut g = c.benchmark_group("adaptive_sampler");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("adaptive_default", |b| {
+        let s = AdaptiveRandomSampler::new(AdaptiveConfig::default()).expect("valid");
+        b.iter(|| s.sample(trace.values(), 3).len());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_packet_samplers, bench_adaptive
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benches: the discrete-event simulator substrate — event
+//! queue throughput, per-source emission cost, and full scenario runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sst_dess::{
+    BottleneckLink, EventQueue, LinkSpec, OnOffScenario, OnOffSource, TrafficSource,
+};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dess_event_queue");
+    for n in [1usize << 12, 1 << 16] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                // Interleaved schedule/pop with pseudo-random times, the
+                // pattern a source-merge loop produces.
+                let mut t = 0.0f64;
+                for i in 0..n {
+                    t += ((i * 2654435761) % 1000) as f64 * 1e-6;
+                    q.schedule(t, i).expect("monotone");
+                    if i % 2 == 1 {
+                        q.pop();
+                    }
+                }
+                while q.pop().is_some() {}
+                q.now()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sources(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dess_sources");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("onoff_emissions", |b| {
+        b.iter(|| {
+            let mut src = OnOffSource::ns2(1.4, 0.5, 0.5, 1000.0, 500, 7);
+            let mut last = 0.0;
+            for _ in 0..n {
+                last = src.next_packet().expect("unbounded").time;
+            }
+            last
+        });
+    });
+    g.finish();
+}
+
+fn bench_link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dess_link");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("droptail_offer", |b| {
+        b.iter(|| {
+            let mut link = BottleneckLink::new(1e8, 64);
+            let mut t = 0.0;
+            for i in 0..n {
+                t += ((i % 37) as f64) * 1e-6;
+                link.offer(t, 40 + (i % 1460) as u32);
+            }
+            link.forwarded()
+        });
+    });
+    g.finish();
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dess_scenario");
+    g.sample_size(10);
+    g.bench_function("onoff_16src_60s", |b| {
+        let sc = OnOffScenario::new().sources(16).duration(60.0);
+        b.iter(|| sc.run(3).offered.mean());
+    });
+    g.bench_function("onoff_bottleneck_16src_60s", |b| {
+        let sc = OnOffScenario::new()
+            .sources(16)
+            .duration(60.0)
+            .bottleneck(LinkSpec { capacity_bps: 4e6, queue_limit: 64 });
+        b.iter(|| sc.run(3).loss_rate);
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_sources, bench_link, bench_scenario
+}
+criterion_main!(benches);

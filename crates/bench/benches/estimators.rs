@@ -1,0 +1,71 @@
+//! Criterion benches: Hurst estimators and the SNC checker.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sst_core::snc::{snc_check, GapDistribution};
+use sst_hurst::{
+    AbsoluteMomentEstimator, AcfFitEstimator, HiguchiEstimator, LocalWhittleEstimator,
+    PeriodogramEstimator, ResidualVarianceEstimator, RsEstimator, VarianceTimeEstimator,
+    WaveletEstimator,
+};
+use sst_traffic::FgnGenerator;
+
+fn bench_estimators(c: &mut Criterion) {
+    let n = 1usize << 16;
+    let vals = FgnGenerator::new(0.8).expect("valid").generate_values(n, 5);
+    let mut g = c.benchmark_group("hurst_estimators");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("wavelet_abry_veitch", |b| {
+        let e = WaveletEstimator::default();
+        b.iter(|| e.estimate(&vals).expect("ok"));
+    });
+    g.bench_function("rescaled_range", |b| {
+        let e = RsEstimator::default();
+        b.iter(|| e.estimate(&vals).expect("ok"));
+    });
+    g.bench_function("variance_time", |b| {
+        let e = VarianceTimeEstimator::default();
+        b.iter(|| e.estimate(&vals).expect("ok"));
+    });
+    g.bench_function("periodogram", |b| {
+        let e = PeriodogramEstimator::default();
+        b.iter(|| e.estimate(&vals).expect("ok"));
+    });
+    g.bench_function("local_whittle", |b| {
+        let e = LocalWhittleEstimator::default();
+        b.iter(|| e.estimate(&vals).expect("ok"));
+    });
+    g.bench_function("acf_fit", |b| {
+        let e = AcfFitEstimator::default();
+        b.iter(|| e.estimate(&vals).expect("ok"));
+    });
+    g.bench_function("higuchi", |b| {
+        let e = HiguchiEstimator::default();
+        b.iter(|| e.estimate(&vals).expect("ok"));
+    });
+    g.bench_function("absolute_moment", |b| {
+        let e = AbsoluteMomentEstimator::default();
+        b.iter(|| e.estimate(&vals).expect("ok"));
+    });
+    g.bench_function("residual_variance", |b| {
+        let e = ResidualVarianceEstimator::default();
+        b.iter(|| e.estimate(&vals).expect("ok"));
+    });
+    g.finish();
+
+    let mut g2 = c.benchmark_group("snc_checker");
+    let taus: Vec<usize> = vec![8, 16, 32, 64, 128, 256];
+    g2.bench_function("stratified_c10", |b| {
+        b.iter(|| snc_check(&GapDistribution::Stratified { interval: 10 }, 0.4, &taus));
+    });
+    g2.bench_function("geometric_r0.1", |b| {
+        b.iter(|| snc_check(&GapDistribution::SimpleRandom { rate: 0.1 }, 0.4, &taus));
+    });
+    g2.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estimators
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benches: end-to-end figure pipelines at quick scale — one
+//! per table/figure of the paper, so `cargo bench` regenerates every
+//! result (timings) while `repro` prints the series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sst_bench::figures::{run_one, ALL};
+use sst_bench::{Ctx, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = Ctx::new(Scale::Tiny, 20050607);
+    let mut g = c.benchmark_group("figures_tiny");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for id in ALL {
+        g.bench_function(*id, |b| {
+            b.iter(|| run_one(id, &ctx).expect("known id"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure reproduction driver.
+//!
+//! Usage:
+//! ```text
+//! repro [--paper] [--seed N] all | figNN [figNN ...] | list
+//! ```
+
+use sst_bench::figures::{run_one, ALL};
+use sst_bench::{Ctx, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut seed = 20050607u64;
+    let mut targets: Vec<String> = Vec::new();
+    let mut iter = args.into_iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => scale = Scale::Paper,
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "list" => {
+                for id in ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => targets.extend(ALL.iter().map(|s| s.to_string())),
+            other if ALL.contains(&other) => targets.push(other.to_string()),
+            other => die(&format!("unknown argument '{other}' (try 'list')")),
+        }
+    }
+    if targets.is_empty() {
+        die("usage: repro [--paper] [--seed N] all | list | figNN [figNN ...]");
+    }
+    targets.dedup();
+    let ctx = Ctx::new(scale, seed);
+    eprintln!(
+        "# scale={scale:?} seed={seed} synth_len={} real_duration={}s instances={}",
+        ctx.synth_len(),
+        ctx.real_duration(),
+        ctx.instances()
+    );
+    for id in &targets {
+        let start = std::time::Instant::now();
+        match run_one(id, &ctx) {
+            Some(report) => {
+                println!("{report}");
+                eprintln!("# {id} done in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            None => eprintln!("# unknown figure id '{id}' (try 'list')"),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,153 @@
+//! Shared experiment context: workload construction and rate grids at
+//! two scales (quick for CI/tests, paper for full reproduction runs).
+
+use sst_nettrace::TraceSynthesizer;
+use sst_stats::TimeSeries;
+use sst_traffic::SyntheticTraceSpec;
+
+/// Workload scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Miniature traces for Criterion timing loops (sub-second figures).
+    Tiny,
+    /// Small traces, few instances — seconds per figure (CI/tests).
+    Quick,
+    /// Paper-sized traces (2^21-point synthetic, 40-minute real) and
+    /// instance counts — the full reproduction.
+    Paper,
+}
+
+/// Experiment context shared by all figure modules.
+#[derive(Clone, Copy, Debug)]
+pub struct Ctx {
+    /// The workload scale.
+    pub scale: Scale,
+    /// Base seed for everything (figures derive their own streams).
+    pub seed: u64,
+}
+
+impl Ctx {
+    /// Creates a context.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Ctx { scale, seed }
+    }
+
+    /// Synthetic trace length.
+    pub fn synth_len(&self) -> usize {
+        match self.scale {
+            Scale::Tiny => 1 << 14,
+            Scale::Quick => 1 << 17,
+            Scale::Paper => 1 << 21,
+        }
+    }
+
+    /// "Real" (Bell-Labs-like) trace duration, seconds.
+    pub fn real_duration(&self) -> f64 {
+        match self.scale {
+            Scale::Tiny => 60.0,
+            Scale::Quick => 240.0,
+            Scale::Paper => 2400.0,
+        }
+    }
+
+    /// Sampling instances per experiment point.
+    pub fn instances(&self) -> usize {
+        match self.scale {
+            Scale::Tiny => 5,
+            Scale::Quick => 9,
+            Scale::Paper => 21,
+        }
+    }
+
+    /// The paper's synthetic workload (H = 0.8, Pareto marginal) with a
+    /// chosen marginal shape (the paper sweeps α ∈ [1.2, 1.6]).
+    pub fn synthetic_trace(&self, alpha: f64, seed_offset: u64) -> TimeSeries {
+        SyntheticTraceSpec::new()
+            .length(self.synth_len())
+            .hurst(0.8)
+            .pareto_marginal(alpha, 5.68)
+            .seed(self.seed.wrapping_add(seed_offset))
+            .build()
+    }
+
+    /// The Bell-Labs-like packet trace binned at 10 ms into a bytes/s
+    /// rate process (H ≈ 0.62, mean ≈ 1.21e4 B/s). The 10 ms granularity
+    /// matches the paper's measured exceedance structure: active flows
+    /// fill consecutive bins, so 1-burst periods span flow durations
+    /// (heavy-tailed) instead of flickering with per-packet gaps.
+    pub fn real_series(&self, seed_offset: u64) -> TimeSeries {
+        TraceSynthesizer::bell_labs_like()
+            .duration(self.real_duration())
+            .synthesize(self.seed.wrapping_add(seed_offset))
+            .to_rate_series(1e-2)
+    }
+
+    /// Log-spaced sampling rates keeping at least `min_samples` expected
+    /// samples on a trace of `n` points.
+    pub fn rates(&self, n: usize, lo: f64, hi: f64, points: usize, min_samples: usize) -> Vec<f64> {
+        sst_sigproc::numeric::logspace(lo, hi, points)
+            .into_iter()
+            .filter(|r| r * n as f64 >= min_samples as f64)
+            .collect()
+    }
+
+    /// The paper's synthetic-figure rate grid (1e-5…1e-1, clipped to the
+    /// trace length).
+    pub fn synth_rates(&self) -> Vec<f64> {
+        self.rates(self.synth_len(), 1e-5, 1e-1, 9, 10)
+    }
+
+    /// The paper's real-trace rate grid (1e-5…1e-3, clipped — the
+    /// low-rate end only survives at paper scale where the trace is
+    /// long enough to yield samples).
+    pub fn real_rates(&self) -> Vec<f64> {
+        let n = (self.real_duration() / 1e-2) as usize;
+        self.rates(n, 1e-5, 1e-2, 7, 10)
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx::new(Scale::Quick, 20050607)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ() {
+        let q = Ctx::new(Scale::Quick, 1);
+        let p = Ctx::new(Scale::Paper, 1);
+        assert!(q.synth_len() < p.synth_len());
+        assert!(q.real_duration() < p.real_duration());
+        assert!(q.instances() < p.instances());
+    }
+
+    #[test]
+    fn rate_grids_keep_minimum_samples() {
+        let c = Ctx::default();
+        for r in c.synth_rates() {
+            assert!(r * c.synth_len() as f64 >= 10.0);
+        }
+        assert!(!c.synth_rates().is_empty());
+        assert!(!c.real_rates().is_empty());
+    }
+
+    #[test]
+    fn synthetic_trace_is_reproducible() {
+        let c = Ctx::default();
+        assert_eq!(c.synthetic_trace(1.5, 0), c.synthetic_trace(1.5, 0));
+        assert_ne!(c.synthetic_trace(1.5, 0), c.synthetic_trace(1.5, 1));
+    }
+
+    #[test]
+    fn real_series_has_expected_granularity() {
+        let c = Ctx::default();
+        let ts = c.real_series(0);
+        assert_eq!(ts.dt(), 1e-2);
+        assert_eq!(ts.len(), 24_000);
+        assert!(ts.mean() > 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared machinery for the BSS evaluation figures: run systematic,
+//! simple random, and a BSS variant across a rate grid, reporting median
+//! sampled means (and BSS overhead).
+
+use crate::report::Table;
+use sst_core::bss::{BssSampler, OnlineTuning, ThresholdPolicy};
+use sst_core::{
+    run_bss_experiment, run_experiment, ExperimentResult, SimpleRandomSampler, SystematicSampler,
+};
+use sst_stats::TimeSeries;
+
+/// Builds the online BSS sampler used by the evaluation figures:
+/// ε = 1 (the paper's choice) with `L` derived from the Eq.-35 η
+/// estimate, exactly the paper's online scheme. The alternative
+/// per-trace calibrations (`calibrate_c_eta`, `tune_l_on_prefix`) are
+/// compared against this default in the ablation experiment.
+pub fn online_bss(trace: &TimeSeries, interval: usize, alpha: f64) -> BssSampler {
+    let _ = trace; // the default scheme needs no trace-specific state
+    BssSampler::new(
+        interval,
+        ThresholdPolicy::Online(OnlineTuning { epsilon: 1.0, alpha, ..OnlineTuning::default() }),
+    )
+    .expect("valid BSS configuration")
+}
+
+/// One rate-point of a sampler comparison.
+#[derive(Clone, Debug)]
+pub struct RatePoint {
+    /// Sampling rate.
+    pub rate: f64,
+    /// Systematic result.
+    pub systematic: ExperimentResult,
+    /// BSS ("proposed") result.
+    pub bss: ExperimentResult,
+    /// Simple-random result.
+    pub simple: ExperimentResult,
+}
+
+/// Runs the three-way comparison across `rates`; `make_bss` builds the
+/// BSS sampler for a given interval (so figures can vary (L, ε) with
+/// the rate).
+pub fn compare<F>(
+    trace: &TimeSeries,
+    rates: &[f64],
+    instances: usize,
+    seed: u64,
+    make_bss: F,
+) -> Vec<RatePoint>
+where
+    F: Fn(usize) -> BssSampler + Sync,
+{
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = rates
+            .iter()
+            .map(|&rate| {
+                let vals = trace.values();
+                let make_bss = &make_bss;
+                s.spawn(move |_| {
+                    let c = (1.0 / rate).round().max(1.0) as usize;
+                    let systematic = run_experiment(
+                        vals,
+                        &SystematicSampler::new(c),
+                        instances.min(c.max(1)),
+                        seed,
+                    );
+                    let bss = run_bss_experiment(vals, &make_bss(c), instances.min(c.max(1)), seed);
+                    let simple =
+                        run_experiment(vals, &SimpleRandomSampler::new(rate), instances, seed);
+                    RatePoint { rate, systematic, bss, simple }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    })
+    .expect("scope")
+}
+
+/// Formats the comparison as the paper's mean-vs-rate panel.
+pub fn mean_table(title: &str, points: &[RatePoint], true_mean: f64) -> Table {
+    let mut t = Table::new(
+        title,
+        &["rate", "systematic", "proposed(BSS)", "simple_random", "real_mean"],
+    );
+    for p in points {
+        t.push_nums(&[
+            p.rate,
+            p.systematic.median_mean(),
+            p.bss.median_mean(),
+            p.simple.median_mean(),
+            true_mean,
+        ]);
+    }
+    t
+}
+
+/// Formats the BSS overhead panel (Figs. 18b/19b).
+pub fn overhead_table(title: &str, points: &[RatePoint]) -> Table {
+    let mut t = Table::new(title, &["rate", "overhead(L'/N)"]);
+    for p in points {
+        t.push_nums(&[p.rate, p.bss.mean_overhead()]);
+    }
+    t
+}
+
+/// Mean absolute relative error of a column across rate points.
+pub fn mean_rel_err<F: Fn(&RatePoint) -> f64>(points: &[RatePoint], truth: f64, get: F) -> f64 {
+    points.iter().map(|p| (get(p) - truth).abs() / truth).sum::<f64>() / points.len() as f64
+}

@@ -1,0 +1,177 @@
+//! Extension experiment "adaptive" — pits the Choi-Park-Zhang adaptive
+//! random sampler (rate adaptation, unbiased) against plain systematic
+//! and online BSS (selection bias) on the paper's synthetic workload.
+//!
+//! The point the paper's §VII "lesson learned" makes in prose becomes
+//! measurable here: on heavy-tailed traffic an *unbiased* scheme can
+//! spend extra samples chasing variance and still underestimate the
+//! mean, while BSS closes the gap by construction.
+
+use crate::ctx::Ctx;
+use crate::report::{fmt_num, FigureReport, Table};
+use sst_core::adaptive::{AdaptiveConfig, AdaptiveRandomSampler};
+use sst_core::bss::{calibrate_c_eta, BssSampler, OnlineTuning, ThresholdPolicy};
+use sst_core::{Sampler, SystematicSampler};
+
+struct Row {
+    rate: f64,
+    sys_mean: f64,
+    adapt_mean: f64,
+    adapt_spend: f64,
+    bss_mean: f64,
+    bss_spend: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+fn eval_rate(trace: &[f64], rate: f64, instances: usize, seed: u64, alpha: f64) -> Row {
+    let n = trace.len() as f64;
+    let c = (1.0 / rate).round().max(1.0) as usize;
+    let sys = SystematicSampler::new(c);
+    let adapt = AdaptiveRandomSampler::new(AdaptiveConfig {
+        block_len: (8.0 / rate).round().max(64.0) as usize, // ≈ 8 samples per block
+        initial_rate: rate,
+        min_rate: (rate / 10.0).max(1e-7),
+        max_rate: (rate * 10.0).min(1.0),
+        ..AdaptiveConfig::default()
+    })
+    .expect("valid adaptive config");
+    // A fair BSS deployment calibrates the Eq.-35 constant on a learning
+    // prefix (the ablation experiment's finding: the c_eta = 1 default
+    // overestimates η on milder traces and overshoots).
+    let prefix = &trace[..trace.len() / 10];
+    let c_eta = calibrate_c_eta(prefix, c, alpha, 5);
+    let bss = BssSampler::new(
+        c,
+        ThresholdPolicy::Online(OnlineTuning { epsilon: 1.0, alpha, c_eta, ..Default::default() }),
+    )
+    .expect("valid BSS config");
+
+    // Median across instances, matching the paper figures' robust
+    // summary (single heavy-tailed instances are wild either way).
+    let mut sys_means = Vec::with_capacity(instances);
+    let mut adapt_means = Vec::with_capacity(instances);
+    let mut bss_means = Vec::with_capacity(instances);
+    let mut adapt_spend = 0.0;
+    let mut bss_spend = 0.0;
+    for i in 0..instances as u64 {
+        let s = seed.wrapping_add(i);
+        sys_means.push(sys.sample(trace, s).mean());
+        let a = adapt.sample(trace, s);
+        adapt_spend += a.len() as f64 / n;
+        adapt_means.push(a.mean());
+        let b = bss.sample_detailed(trace, s);
+        bss_spend += (b.samples.len() as f64) / n;
+        bss_means.push(b.mean());
+    }
+    let k = instances as f64;
+    Row {
+        rate,
+        sys_mean: median(sys_means),
+        adapt_mean: median(adapt_means),
+        adapt_spend: adapt_spend / k,
+        bss_mean: median(bss_means),
+        bss_spend: bss_spend / k,
+    }
+}
+
+/// Runs the reproduction.
+pub fn run(ctx: &Ctx) -> FigureReport {
+    let alpha = 1.3;
+    let trace = ctx.synthetic_trace(alpha, 0xADA);
+    let truth = trace.mean();
+    let rates = ctx.rates(trace.len(), 1e-4, 1e-2, 5, 20);
+
+    let mut table = Table::new(
+        "adaptive (Choi) vs systematic vs BSS — sampled mean and spend",
+        &["rate", "systematic", "adaptive", "adaptive_spend", "BSS", "BSS_spend", "real_mean"],
+    );
+    let mut rows = Vec::new();
+    for &r in &rates {
+        let row = eval_rate(trace.values(), r, ctx.instances(), ctx.seed + 0xA, alpha);
+        table.push_nums(&[
+            row.rate,
+            row.sys_mean,
+            row.adapt_mean,
+            row.adapt_spend,
+            row.bss_mean,
+            row.bss_spend,
+            truth,
+        ]);
+        rows.push(row);
+    }
+
+    let err = |f: &dyn Fn(&Row) -> f64| {
+        rows.iter().map(|r| (f(r) - truth).abs() / truth).sum::<f64>() / rows.len() as f64
+    };
+    let sys_err = err(&|r| r.sys_mean);
+    let adapt_err = err(&|r| r.adapt_mean);
+    let bss_err = err(&|r| r.bss_mean);
+    let adapt_bias = rows.iter().map(|r| (r.adapt_mean - truth) / truth).sum::<f64>()
+        / rows.len() as f64;
+    let adapt_spend_ratio =
+        rows.iter().map(|r| r.adapt_spend / r.rate).sum::<f64>() / rows.len() as f64;
+    let bss_spend_ratio =
+        rows.iter().map(|r| r.bss_spend / r.rate).sum::<f64>() / rows.len() as f64;
+
+    FigureReport {
+        id: "adaptive",
+        headline: "rate adaptation alone cannot fix heavy-tailed mean bias".into(),
+        tables: vec![table],
+        notes: vec![
+            format!(
+                "mean |rel err|: systematic {} / adaptive {} / BSS (prefix-calibrated) {}",
+                fmt_num(sys_err),
+                fmt_num(adapt_err),
+                fmt_num(bss_err)
+            ),
+            format!(
+                "adaptive spends {}x its nominal budget chasing variance and its \
+                 signed bias stays at {} (unbiasedness cannot beat the stable-law \
+                 convergence rate); BSS spends {}x — where systematic's deficit is \
+                 large (Figs. 18/20) the biased samples close it, on mild traces \
+                 calibration keeps BSS from overshooting",
+                fmt_num(adapt_spend_ratio),
+                fmt_num(adapt_bias),
+                fmt_num(bss_spend_ratio)
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nums_in(s: &str) -> Vec<f64> {
+        s.split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .filter_map(|t| t.parse().ok())
+            .collect()
+    }
+
+    #[test]
+    fn bss_at_least_matches_adaptive_accuracy() {
+        let rep = run(&Ctx::default());
+        let nums = nums_in(&rep.notes[0]);
+        let (_sys, adapt, bss) = (nums[0], nums[1], nums[2]);
+        assert!(
+            bss <= adapt + 0.02,
+            "BSS err {bss} should not exceed adaptive err {adapt} by more than noise"
+        );
+        assert!(!rep.tables[0].rows.is_empty());
+    }
+
+    #[test]
+    fn adaptive_overspends_relative_to_bss() {
+        let rep = run(&Ctx::default());
+        let nums = nums_in(&rep.notes[1]);
+        let (adapt_spend, _bias, bss_spend) = (nums[0], nums[1], nums[2]);
+        assert!(
+            adapt_spend > 2.0 * bss_spend,
+            "adaptive spend {adapt_spend}x should dwarf BSS spend {bss_spend}x"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Extension experiment "dess" — validates the ns-2 substitute end to
+//! end: (a) the Taqqu-Willinger-Sherman law `H = (3 − α)/2` on the
+//! discrete-event on/off aggregate, and (b) the paper's headline mean
+//! experiment (Fig. 18 shape) replayed on simulator-generated traffic.
+//!
+//! Panel (b) deliberately probes the *boundary* of BSS's applicability:
+//! an aggregate of equal-rate on/off sources has a **bounded** marginal
+//! (at most all sources on at once), so plain systematic sampling is
+//! already nearly unbiased there and BSS's deliberate upward bias costs
+//! accuracy. The paper's gains require a heavy-tailed *marginal* — LRD
+//! alone (which this workload has) is not enough. The copula generator
+//! used by the main figures pins both; this experiment documents why
+//! that matters.
+
+use crate::ctx::Ctx;
+use crate::figures::common::{mean_table, online_bss};
+use crate::report::{fmt_num, FigureReport, Table};
+use sst_dess::OnOffScenario;
+use sst_hurst::LocalWhittleEstimator;
+
+/// Runs the reproduction.
+pub fn run(ctx: &Ctx) -> FigureReport {
+    let (duration, sources, pps) = match ctx.scale {
+        crate::ctx::Scale::Tiny => (120.0, 12, 100.0),
+        crate::ctx::Scale::Quick => (400.0, 24, 200.0),
+        crate::ctx::Scale::Paper => (1600.0, 48, 400.0),
+    };
+
+    // Panel (a): H = (3 − α)/2 across the self-similar regime.
+    let mut law = Table::new(
+        "DESS on/off aggregate: H law (Taqqu-Willinger-Sherman)",
+        &["alpha", "expected_H", "whittle_H"],
+    );
+    let mut worst_gap = 0.0f64;
+    for &alpha in &[1.2, 1.4, 1.6, 1.8] {
+        let sc = OnOffScenario::new()
+            .sources(sources)
+            .alpha(alpha)
+            .periods(0.4, 0.4)
+            .emission(pps, 200)
+            .bin_width(0.05)
+            .duration(duration);
+        let out = sc.run(ctx.seed.wrapping_add((alpha * 100.0) as u64));
+        let h = LocalWhittleEstimator::default()
+            .estimate(out.offered.values())
+            .map_or(f64::NAN, |e| e.hurst);
+        worst_gap = worst_gap.max((h - sc.expected_hurst()).abs());
+        law.push_nums(&[alpha, sc.expected_hurst(), h]);
+    }
+
+    // Panel (b): the Fig. 18 sampler comparison on simulator traffic.
+    let sc = OnOffScenario::new()
+        .sources(sources)
+        .hurst(0.8)
+        .periods(0.4, 0.4)
+        .emission(pps, 200)
+        .bin_width(0.05)
+        .duration(duration);
+    let trace = sc.run(ctx.seed.wrapping_add(0xDE55)).offered;
+    let truth = trace.mean();
+    let rates = ctx.rates(trace.len(), 1e-4, 1e-1, 6, 10);
+    let points = crate::figures::common::compare(
+        &trace,
+        &rates,
+        ctx.instances(),
+        ctx.seed.wrapping_add(0xDE55),
+        |c| online_bss(&trace, c, 1.4),
+    );
+    let cmp = mean_table("sampler comparison on DESS traffic (Fig. 18 shape)", &points, truth);
+    let bss_err = crate::figures::common::mean_rel_err(&points, truth, |p| p.bss.median_mean());
+    let sys_err =
+        crate::figures::common::mean_rel_err(&points, truth, |p| p.systematic.median_mean());
+
+    FigureReport {
+        id: "dess",
+        headline: "ns-2-substitute validation: H law holds; BSS needs heavy-tailed marginals"
+            .into(),
+        tables: vec![law, cmp],
+        notes: vec![
+            format!("worst H-law gap across the alpha sweep = {}", fmt_num(worst_gap)),
+            format!(
+                "mean |rel err|: BSS {} vs systematic {} — on this *bounded-marginal* \
+                 aggregate systematic is already nearly unbiased and BSS's upward bias \
+                 overshoots; the paper's gains require a heavy-tailed marginal, not \
+                 just LRD",
+                fmt_num(bss_err),
+                fmt_num(sys_err)
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_law_within_band_and_tables_filled() {
+        let rep = run(&Ctx::default());
+        // The α sweep note reports the worst gap; on/off convergence is
+        // slow so accept a wide band, but it must stay in LRD territory.
+        let worst: f64 = rep.notes[0]
+            .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .filter_map(|s| s.parse().ok())
+            .last()
+            .unwrap();
+        assert!(worst < 0.25, "worst H gap {worst}");
+        assert_eq!(rep.tables[0].rows.len(), 4);
+        assert!(!rep.tables[1].rows.is_empty());
+        // Ĥ must decrease as α increases (the law's ordering), even if
+        // absolute convergence is slow at quick scale.
+        let hs: Vec<f64> = rep.tables[0]
+            .rows
+            .iter()
+            .map(|r| r[2].parse::<f64>().unwrap())
+            .collect();
+        assert!(
+            hs.windows(2).all(|w| w[1] <= w[0] + 0.02),
+            "Ĥ should fall with α: {hs:?}"
+        );
+    }
+
+    #[test]
+    fn systematic_nearly_unbiased_on_bounded_marginal() {
+        let rep = run(&Ctx::default());
+        let nums: Vec<f64> = rep.notes[1]
+            .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        let sys_err = nums[1];
+        assert!(
+            sys_err < 0.05,
+            "systematic should be nearly unbiased on a bounded marginal, err {sys_err}"
+        );
+    }
+}

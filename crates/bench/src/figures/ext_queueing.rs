@@ -1,0 +1,119 @@
+//! Extension experiment "queueing" — the operational payoff of the
+//! Hurst parameter the paper's §I motivates ("crucial for queuing
+//! analysis"): buffer requirements explode with H, and the Norros
+//! formula (parameterized by measured `(mean, σ, Ĥ)`) predicts the
+//! Lindley-simulated requirement to within its asymptotic slack.
+//!
+//! The sampling connection: the `(mean, σ, Ĥ)` triple is exactly what a
+//! monitor estimates from *sampled* traffic, so H-preservation under
+//! sampling (T1) is what makes sampled-data dimensioning trustworthy.
+
+use crate::ctx::Ctx;
+use crate::report::{fmt_num, FigureReport, Table};
+use sst_hurst::LocalWhittleEstimator;
+use sst_queue::{measured_buffer, required_buffer};
+use sst_stats::TimeSeries;
+use sst_traffic::FgnGenerator;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> FigureReport {
+    let n = match ctx.scale {
+        crate::ctx::Scale::Tiny => 1 << 13,
+        crate::ctx::Scale::Quick => 1 << 16,
+        crate::ctx::Scale::Paper => 1 << 19,
+    };
+    let (mean, sigma) = (100.0, 10.0);
+    let service = 105.0;
+    let loss = 1e-2;
+
+    let mut table = Table::new(
+        "buffer for P(loss) <= 1e-2 at 95% load vs Hurst parameter",
+        &["H", "whittle_H", "measured_buffer", "norros_buffer(H)", "norros_buffer(Hhat)"],
+    );
+    // The Norros inverse is a *logarithmic* asymptote, so agreement is
+    // judged on ln(buffer); and the inversion exponent 1/(2−2H) blows up
+    // near H = 1, so the quantitative check covers H ≤ 0.8 while the
+    // H = 0.9 row demonstrates the sensitivity.
+    let mut log_ratios = Vec::new();
+    let mut h9_amplification = f64::NAN;
+    for (i, &h) in [0.6, 0.7, 0.8, 0.9].iter().enumerate() {
+        let vals: Vec<f64> = FgnGenerator::new(h)
+            .expect("valid H")
+            .generate_values(n, ctx.seed.wrapping_add(i as u64))
+            .into_iter()
+            .map(|x| mean + sigma * x)
+            .collect();
+        let trace = TimeSeries::from_values(1.0, vals);
+        let h_hat = LocalWhittleEstimator::default()
+            .estimate(trace.values())
+            .map_or(f64::NAN, |e| e.hurst)
+            .clamp(0.5, 0.99);
+        let measured = measured_buffer(&trace, service, loss).unwrap_or(f64::NAN);
+        let pred_true = required_buffer(h, mean, sigma, service, loss);
+        let pred_hat = required_buffer(h_hat, mean, sigma, service, loss);
+        if h <= 0.85 && measured.is_finite() && measured > 1.0 {
+            log_ratios.push(pred_hat.ln() / measured.ln());
+        }
+        if h > 0.85 {
+            h9_amplification = pred_hat / pred_true;
+        }
+        table.push_nums(&[h, h_hat, measured, pred_true, pred_hat]);
+    }
+
+    // Growth factor of the measured requirement across the H sweep.
+    let first: f64 = table.rows.first().map_or(1.0, |r| r[2].parse().unwrap_or(1.0));
+    let last: f64 = table.rows.last().map_or(1.0, |r| r[2].parse().unwrap_or(1.0));
+    let growth = last / first.max(1e-9);
+    let worst_log_ratio = log_ratios
+        .iter()
+        .map(|r| if *r < 1.0 { 1.0 / r } else { *r })
+        .fold(0.0f64, f64::max);
+
+    FigureReport {
+        id: "queueing",
+        headline: "buffer requirements explode with H; Norros(Ĥ) predicts them".into(),
+        tables: vec![table],
+        notes: vec![
+            format!("measured buffer grows {}x from H=0.6 to H=0.9", fmt_num(growth)),
+            format!(
+                "worst ln(Norros(Hhat))/ln(measured) factor for H <= 0.8 = {} \
+                 (log-asymptote: within 2x on the log scale is on-spec)",
+                fmt_num(worst_log_ratio)
+            ),
+            format!(
+                "at H=0.9 an Hhat error of a few hundredths multiplies the predicted \
+                 buffer {}x — the 1/(2−2H) inversion exponent is why sampled traffic \
+                 must preserve H (T1) for dimensioning to be trustworthy",
+                fmt_num(h9_amplification)
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_with_h_and_prediction_is_in_range() {
+        let rep = run(&Ctx::default());
+        let rows = &rep.tables[0].rows;
+        assert_eq!(rows.len(), 4);
+        // Measured buffers strictly increase with H.
+        let measured: Vec<f64> = rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(
+            measured.windows(2).all(|w| w[1] > w[0]),
+            "buffers should grow with H: {measured:?}"
+        );
+        // The worst log-scale Norros disagreement stays within 2x for
+        // H <= 0.8 (the note reports "... = X (log-asymptote ... 2x ...)";
+        // the measured factor is the number right after the '=').
+        let worst: f64 = rep.notes[1]
+            .split('=')
+            .nth(1)
+            .and_then(|tail| tail.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(worst < 2.0, "Norros log-scale disagreement factor {worst}");
+    }
+}

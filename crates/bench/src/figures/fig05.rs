@@ -1,0 +1,103 @@
+//! Figure 5 — average variance E(V) of the three techniques vs sampling
+//! rate, on synthetic and real traffic. Expected ordering (Theorem 2):
+//! systematic ≤ stratified ≤ simple random.
+
+use crate::ctx::Ctx;
+use crate::report::{FigureReport, Table};
+use sst_core::{
+    run_experiment, SimpleRandomSampler, StratifiedSampler, SystematicSampler,
+};
+use sst_stats::TimeSeries;
+
+fn panel(title: &str, trace: &TimeSeries, rates: &[f64], instances: usize, seed: u64) -> Table {
+    let mut t = Table::new(title, &["rate", "systematic", "stratified", "simple_random"]);
+    let rows: Vec<Vec<f64>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = rates
+            .iter()
+            .map(|&r| {
+                let vals = trace.values();
+                s.spawn(move |_| {
+                    let c = (1.0 / r).round().max(1.0) as usize;
+                    let sys =
+                        run_experiment(vals, &SystematicSampler::new(c), instances.min(c), seed);
+                    let strat = run_experiment(vals, &StratifiedSampler::new(c), instances, seed);
+                    let ran = run_experiment(vals, &SimpleRandomSampler::new(r), instances, seed);
+                    vec![
+                        r,
+                        sys.average_variance(),
+                        strat.average_variance(),
+                        ran.average_variance(),
+                    ]
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    })
+    .expect("scope");
+    for row in rows {
+        t.push_nums(&row);
+    }
+    t
+}
+
+/// Runs the reproduction.
+pub fn run(ctx: &Ctx) -> FigureReport {
+    let synth = ctx.synthetic_trace(1.5, 5);
+    let real = ctx.real_series(5);
+    let a = panel(
+        "Fig. 5(a): E(V) vs rate, synthetic (H=0.8)",
+        &synth,
+        &ctx.synth_rates(),
+        ctx.instances(),
+        ctx.seed,
+    );
+    let b = panel(
+        "Fig. 5(b): E(V) vs rate, real-like (H≈0.62)",
+        &real,
+        &ctx.real_rates(),
+        ctx.instances(),
+        ctx.seed,
+    );
+
+    // How often does the Theorem-2 ordering hold row-wise?
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for t in [&a, &b] {
+        for row in &t.rows {
+            let sys: f64 = row[1].parse().unwrap();
+            let ran: f64 = row[3].parse().unwrap();
+            total += 1;
+            if sys <= ran * 1.05 {
+                wins += 1;
+            }
+        }
+    }
+    FigureReport {
+        id: "fig05",
+        headline: "systematic sampling gives the smallest average variance".into(),
+        tables: vec![a, b],
+        notes: vec![format!(
+            "systematic ≤ simple-random (5% slack) in {wins}/{total} rate points \
+             (heavy-tailed E(V) is noisy at single-realization scale; the ensemble \
+             ordering is verified in sst-core's variance_ordering test)"
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_orders_mostly() {
+        let rep = run(&Ctx::default());
+        assert_eq!(rep.tables.len(), 2);
+        assert!(!rep.tables[0].rows.is_empty());
+        // E(V) should broadly decrease with rate for every sampler.
+        for t in &rep.tables {
+            let first: f64 = t.rows.first().unwrap()[3].parse().unwrap();
+            let last: f64 = t.rows.last().unwrap()[3].parse().unwrap();
+            assert!(last <= first, "{}: E(V) should fall with rate", t.title);
+        }
+    }
+}

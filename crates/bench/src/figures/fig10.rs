@@ -1,0 +1,66 @@
+//! Figure 10 — the bias-parameter surface ξ(L, ε) with the ξ = 1 plane.
+//! Corrected Eq. (30); the paper's literal variant is tabulated alongside.
+
+use crate::ctx::Ctx;
+use crate::report::{FigureReport, Table};
+use sst_core::theory::{bias_parameter, bias_parameter_paper};
+
+/// Runs the reproduction.
+pub fn run(_ctx: &Ctx) -> FigureReport {
+    let alpha = 1.5;
+    let ls = [1.0, 2.0, 5.0, 10.0, 20.0];
+    let mut cols: Vec<String> = vec!["epsilon".into()];
+    cols.extend(ls.iter().map(|l| format!("xi(L={l})")));
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Fig. 10: ξ(L, ε), corrected Eq. (30), α=1.5", &col_refs);
+    let eps_grid = [0.334, 0.4, 0.5, 0.75, 1.0, 1.5, 2.0, 2.55, 3.0, 5.0];
+    for &eps in &eps_grid {
+        let mut row = vec![eps];
+        for &l in &ls {
+            row.push(bias_parameter(l, eps, alpha));
+        }
+        t.push_nums(&row);
+    }
+    let mut t2 = Table::new("paper's literal Eq. (30) for comparison", &col_refs);
+    for &eps in &eps_grid {
+        let mut row = vec![eps];
+        for &l in &ls {
+            row.push(bias_parameter_paper(l, eps, alpha));
+        }
+        t2.push_nums(&row);
+    }
+    FigureReport {
+        id: "fig10",
+        headline: "ξ = 1 exactly at ε₁ = (α−1)/α for every L; bump above 1 beyond it".into(),
+        tables: vec![t, t2],
+        notes: vec![
+            "ε₁ = 1/3 at α = 1.5 — matching the paper's Fig. 10 observation".into(),
+            "the literal Eq. (30) is dimensionally inconsistent (see DESIGN.md erratum)".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xi_one_at_eps1_for_all_l() {
+        let rep = run(&Ctx::default());
+        let first = &rep.tables[0].rows[0]; // ε ≈ ε₁ = 1/3
+        for cell in &first[1..] {
+            let xi: f64 = cell.parse().unwrap();
+            assert!((xi - 1.0).abs() < 0.02, "xi={xi}");
+        }
+    }
+
+    #[test]
+    fn xi_increases_with_l_beyond_eps1() {
+        let rep = run(&Ctx::default());
+        let mid = &rep.tables[0].rows[4]; // ε = 1.0
+        let vals: Vec<f64> = mid[1..].iter().map(|c| c.parse().unwrap()).collect();
+        for w in vals.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Figures 12 — "unbiased" BSS on synthetic traces: (L, ε) pairs chosen
+//! on the ξ = 1 contour behave like systematic sampling at small rates
+//! and gain only a little at larger ones (the paper's motivation for
+//! *biased* BSS).
+
+use crate::ctx::Ctx;
+use crate::figures::common::{compare, mean_table};
+use crate::report::{fmt_num, FigureReport};
+use sst_core::bss::{BssSampler, ThresholdPolicy};
+
+/// Runs the reproduction.
+pub fn run(ctx: &Ctx) -> FigureReport {
+    let trace = ctx.synthetic_trace(1.5, 12);
+    let truth = trace.mean();
+    let mut tables = Vec::new();
+    let mut notes = Vec::new();
+    // The paper's two parameter settings for the unbiased contour.
+    for (l, eps, label) in [(10usize, 2.55, "(a) L=10, ε=2.55"), (8, 2.28, "(b) L=8, ε=2.28")] {
+        let points = compare(&trace, &ctx.synth_rates(), ctx.instances(), ctx.seed + 12, |c| {
+            BssSampler::new(c, ThresholdPolicy::RelativeToMean { epsilon: eps, mean: truth })
+                .expect("valid")
+                .with_l(l)
+        });
+        tables.push(mean_table(&format!("Fig. 12{label}: sampled mean, synthetic"), &points, truth));
+        // At the lowest rate BSS ≈ systematic (few qualified samples).
+        let lowest = &points[0];
+        notes.push(format!(
+            "{label}: at r={} BSS − systematic = {} (≈ 0 expected: threshold too high \
+             for qualified samples at low rates)",
+            fmt_num(lowest.rate),
+            fmt_num(lowest.bss.median_mean() - lowest.systematic.median_mean()),
+        ));
+    }
+    FigureReport {
+        id: "fig12",
+        headline: "unbiased-contour BSS barely improves on systematic (synthetic)".into(),
+        tables,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbiased_bss_tracks_systematic_at_low_rate() {
+        let rep = run(&Ctx::default());
+        for t in &rep.tables {
+            let row = &t.rows[0]; // lowest rate
+            let sys: f64 = row[1].parse().unwrap();
+            let bss: f64 = row[2].parse().unwrap();
+            let truth: f64 = row[4].parse().unwrap();
+            // At quick scale a single high-threshold trigger moves the
+            // 13-sample median visibly; the systematic/BSS gap stays
+            // bounded and BSS never drops below systematic.
+            assert!(bss >= sys - 0.05 * truth, "sys={sys} bss={bss}");
+            assert!((bss - sys).abs() / truth < 0.6, "sys={sys} bss={bss}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 15 — the qualified-sample cost L′/N over (L, ε): the overhead
+//! budget that rules out small ε and large L.
+
+use crate::ctx::Ctx;
+use crate::report::{FigureReport, Table};
+use sst_core::theory::qualified_cost;
+
+/// Runs the reproduction.
+pub fn run(_ctx: &Ctx) -> FigureReport {
+    let alpha = 1.5;
+    let ls = [1.0, 2.0, 5.0, 10.0];
+    let mut cols: Vec<String> = vec!["epsilon".into()];
+    cols.extend(ls.iter().map(|l| format!("cost(L={l})")));
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Fig. 15: L'/N = L·s^(−2α) over (L, ε), α=1.5", &col_refs);
+    for eps in [0.35, 0.4, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0] {
+        let mut row = vec![eps];
+        for &l in &ls {
+            row.push(qualified_cost(l, eps, alpha));
+        }
+        t.push_nums(&row);
+    }
+    FigureReport {
+        id: "fig15",
+        headline: "cost explodes for ε < 0.5 and scales linearly with L".into(),
+        tables: vec![t],
+        notes: vec!["matches the paper's guidance: avoid small ε and large L".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_monotonicity() {
+        let rep = run(&Ctx::default());
+        let rows = &rep.tables[0].rows;
+        // Decreasing in ε (down the column), increasing in L (across).
+        for w in rows.windows(2) {
+            let hi: f64 = w[0][2].parse().unwrap();
+            let lo: f64 = w[1][2].parse().unwrap();
+            assert!(lo <= hi);
+        }
+        for row in rows {
+            let vals: Vec<f64> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
+            for w in vals.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 18 — headline evaluation on synthetic traces (α = 1.3, mean
+//! 5.68): sampled mean of systematic / simple random / BSS, and the BSS
+//! overhead (paper: ≈ 0.2).
+
+use crate::ctx::Ctx;
+use crate::figures::common::{compare, mean_table, overhead_table, RatePoint};
+use crate::report::{fmt_num, FigureReport};
+
+pub(crate) fn eval_points(ctx: &Ctx, alpha: f64) -> (Vec<RatePoint>, f64) {
+    let trace = ctx.synthetic_trace(alpha, 18);
+    let truth = trace.mean();
+    let points = compare(&trace, &ctx.synth_rates(), ctx.instances(), ctx.seed + 18, |c| {
+        crate::figures::common::online_bss(&trace, c, alpha)
+    });
+    (points, truth)
+}
+
+/// Runs the reproduction.
+pub fn run(ctx: &Ctx) -> FigureReport {
+    let (points, truth) = eval_points(ctx, 1.3);
+    let a = mean_table("Fig. 18(a): sampled mean, synthetic α=1.3", &points, truth);
+    let b = overhead_table("Fig. 18(b): BSS sampling overhead", &points);
+    let avg_overhead = points.iter().map(|p| p.bss.mean_overhead()).sum::<f64>()
+        / points.len() as f64;
+    let one_minus_eta_bss = 1.0
+        - points.iter().map(|p| p.bss.eta()).sum::<f64>() / points.len() as f64;
+    let one_minus_eta_sys = 1.0
+        - points.iter().map(|p| p.systematic.eta()).sum::<f64>() / points.len() as f64;
+    let one_minus_eta_ran = 1.0
+        - points.iter().map(|p| p.simple.eta()).sum::<f64>() / points.len() as f64;
+    FigureReport {
+        id: "fig18",
+        headline: "BSS recovers the mean at a fraction of the oversampling cost".into(),
+        tables: vec![a, b],
+        notes: vec![
+            format!("mean overhead = {} (paper: ≈ 0.2)", fmt_num(avg_overhead)),
+            format!(
+                "average 1−η: BSS {} vs systematic {} vs simple {} (paper: 0.922 / 0.66 / 0.81)",
+                fmt_num(one_minus_eta_bss),
+                fmt_num(one_minus_eta_sys),
+                fmt_num(one_minus_eta_ran)
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bss_closest_to_real_mean_and_overhead_bounded() {
+        let rep = run(&Ctx::default());
+        // Accuracy ordering on the aggregate note.
+        let nums: Vec<f64> = rep.notes[1]
+            .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        let (bss, sys) = (nums[0], nums[1]);
+        assert!(bss >= sys, "1−η: BSS {bss} should be ≥ systematic {sys}");
+        // Overhead stays well below 1 extra sample per normal sample.
+        for row in &rep.tables[1].rows {
+            let o: f64 = row[1].parse().unwrap();
+            assert!(o < 1.0, "overhead {o}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 19 — headline evaluation on the real-like traces: sampled mean
+//! and BSS overhead (paper: overhead ≈ 0.3).
+
+use crate::ctx::Ctx;
+use crate::figures::common::{compare, mean_table, overhead_table};
+use crate::report::{fmt_num, FigureReport};
+
+/// Runs the reproduction.
+pub fn run(ctx: &Ctx) -> FigureReport {
+    let alpha = 1.71;
+    let trace = ctx.real_series(19);
+    let truth = trace.mean();
+    let points = compare(&trace, &ctx.real_rates(), ctx.instances(), ctx.seed + 19, |c| {
+        crate::figures::common::online_bss(&trace, c, alpha)
+    });
+    let a = mean_table("Fig. 19(a): sampled mean, real-like (mean 1.21e4 B/s)", &points, truth);
+    let b = overhead_table("Fig. 19(b): BSS sampling overhead", &points);
+    let avg_overhead =
+        points.iter().map(|p| p.bss.mean_overhead()).sum::<f64>() / points.len() as f64;
+    FigureReport {
+        id: "fig19",
+        headline: "BSS on real-like traffic: better means, bounded overhead".into(),
+        tables: vec![a, b],
+        notes: vec![format!("mean overhead = {} (paper: ≈ 0.3)", fmt_num(avg_overhead))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bss_mean_at_least_systematic_and_overhead_bounded() {
+        let rep = run(&Ctx::default());
+        for row in &rep.tables[0].rows {
+            let sys: f64 = row[1].parse().unwrap();
+            let bss: f64 = row[2].parse().unwrap();
+            let truth: f64 = row[4].parse().unwrap();
+            // BSS must not *under*-perform systematic by more than noise.
+            assert!(bss >= sys - 0.2 * truth, "sys={sys} bss={bss}");
+        }
+        for row in &rep.tables[1].rows {
+            let o: f64 = row[1].parse().unwrap();
+            assert!(o < 1.5, "overhead {o}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 20 — the efficiency metric e = (1−η)/log10(N_t): BSS buys
+//! more accuracy per decade of samples (paper: averages 0.37 vs 0.26 vs
+//! 0.30, i.e. +42% over systematic and +23% over simple random).
+
+use crate::ctx::Ctx;
+use crate::figures::fig18::eval_points;
+use crate::report::{fmt_num, FigureReport, Table};
+
+/// Runs the reproduction.
+pub fn run(ctx: &Ctx) -> FigureReport {
+    let (points, _truth) = eval_points(ctx, 1.3);
+    let mut t = Table::new(
+        "Fig. 20: efficiency e vs rate, synthetic",
+        &["rate", "systematic", "proposed(BSS)", "simple_random"],
+    );
+    let (mut es, mut eb, mut er) = (0.0, 0.0, 0.0);
+    for p in &points {
+        let sys = p.systematic.efficiency();
+        let bss = p.bss.efficiency();
+        let ran = p.simple.efficiency();
+        es += sys;
+        eb += bss;
+        er += ran;
+        t.push_nums(&[p.rate, sys, bss, ran]);
+    }
+    let n = points.len() as f64;
+    let (es, eb, er) = (es / n, eb / n, er / n);
+    FigureReport {
+        id: "fig20",
+        headline: "BSS achieves the highest sampling efficiency".into(),
+        tables: vec![t],
+        notes: vec![
+            format!(
+                "average e: BSS {} vs systematic {} vs simple {} (paper: 0.37 / 0.26 / 0.30)",
+                fmt_num(eb),
+                fmt_num(es),
+                fmt_num(er)
+            ),
+            format!(
+                "BSS gain: {}% over systematic, {}% over simple random (paper: 42% / 23%)",
+                fmt_num(100.0 * (eb / es - 1.0)),
+                fmt_num(100.0 * (eb / er - 1.0))
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bss_efficiency_wins_on_average() {
+        let rep = run(&Ctx::default());
+        let nums: Vec<f64> = rep.notes[0]
+            .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        let (bss, sys, ran) = (nums[0], nums[1], nums[2]);
+        assert!(bss >= sys, "BSS {bss} vs systematic {sys}");
+        assert!(bss >= ran * 0.95, "BSS {bss} vs simple {ran}");
+    }
+}

@@ -1,0 +1,76 @@
+//! One module per figure of the paper's evaluation; each exposes
+//! `run(&Ctx) -> FigureReport`.
+
+pub mod ablation;
+pub mod common;
+pub mod ext_adaptive;
+pub mod ext_claffy;
+pub mod ext_dess;
+pub mod ext_hurst;
+pub mod ext_queueing;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+
+use crate::ctx::Ctx;
+use crate::report::FigureReport;
+
+/// All figure ids in paper order.
+pub const ALL: &[&str] = &[
+    "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+    "fig20", "fig21", "fig22", "ablation", "claffy", "dess", "adaptive", "hurstbench",
+    "queueing",
+];
+
+/// Runs one figure by id.
+pub fn run_one(id: &str, ctx: &Ctx) -> Option<FigureReport> {
+    Some(match id {
+        "fig02" => fig02::run(ctx),
+        "fig03" => fig03::run(ctx),
+        "fig04" => fig04::run(ctx),
+        "fig05" => fig05::run(ctx),
+        "fig06" => fig06::run(ctx),
+        "fig07" => fig07::run(ctx),
+        "fig08" => fig08::run(ctx),
+        "fig09" => fig09::run(ctx),
+        "fig10" => fig10::run(ctx),
+        "fig11" => fig11::run(ctx),
+        "fig12" => fig12::run(ctx),
+        "fig13" => fig13::run(ctx),
+        "fig14" => fig14::run(ctx),
+        "fig15" => fig15::run(ctx),
+        "fig16" => fig16::run(ctx),
+        "fig17" => fig17::run(ctx),
+        "fig18" => fig18::run(ctx),
+        "fig19" => fig19::run(ctx),
+        "fig20" => fig20::run(ctx),
+        "fig21" => fig21::run(ctx),
+        "fig22" => fig22::run(ctx),
+        "ablation" => ablation::run(ctx),
+        "claffy" => ext_claffy::run(ctx),
+        "dess" => ext_dess::run(ctx),
+        "adaptive" => ext_adaptive::run(ctx),
+        "hurstbench" => ext_hurst::run(ctx),
+        "queueing" => ext_queueing::run(ctx),
+        _ => return None,
+    })
+}

@@ -1,0 +1,21 @@
+//! # sst-bench — reproduction harness
+//!
+//! One module per figure of He & Hou (ICDCS 2005) plus the shared
+//! experiment context and plain-text table reports. The `repro` binary
+//! drives them:
+//!
+//! ```text
+//! cargo run -p sst-bench --release --bin repro -- all           # quick scale
+//! cargo run -p sst-bench --release --bin repro -- --paper all   # full scale
+//! cargo run -p sst-bench --release --bin repro -- fig18 fig20
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod figures;
+pub mod report;
+
+pub use ctx::{Ctx, Scale};
+pub use report::{FigureReport, Table};

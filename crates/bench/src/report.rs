@@ -1,0 +1,153 @@
+//! Plain-text table reports — the harness's equivalent of the paper's
+//! plots: each figure module returns one or more [`Table`]s whose rows
+//! are the series a plot would show.
+
+use std::fmt;
+
+/// One printable table (one panel of a figure).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Panel title, e.g. "Fig. 5(a) synthetic".
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of pre-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of numbers formatted with engineering precision.
+    pub fn push_nums(&mut self, cells: &[f64]) {
+        self.push_row(cells.iter().map(|v| fmt_num(*v)).collect());
+    }
+}
+
+/// Formats a number compactly: scientific for very large/small magnitudes,
+/// fixed otherwise.
+pub fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if !v.is_finite() {
+        format!("{v}")
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "── {} ──", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        for row in &self.rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete figure reproduction: tables plus free-text conclusions
+/// (paper-vs-measured notes for EXPERIMENTS.md).
+#[derive(Clone, Debug, Default)]
+pub struct FigureReport {
+    /// Figure identifier, e.g. "fig05".
+    pub id: &'static str,
+    /// What the figure shows.
+    pub headline: String,
+    /// The panels.
+    pub tables: Vec<Table>,
+    /// Measured take-aways (compared against the paper's claims).
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== {} — {} ====", self.id, self.headline)?;
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_aligned() {
+        let mut t = Table::new("demo", &["rate", "value"]);
+        t.push_nums(&[1e-5, 0.123456]);
+        t.push_nums(&[0.1, 123456.0]);
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("1.000e-5"));
+        assert!(s.contains("1.235e5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(0.5), "0.5000");
+        assert_eq!(fmt_num(1e-9), "1.000e-9");
+        assert!(fmt_num(f64::INFINITY).contains("inf"));
+    }
+
+    #[test]
+    fn report_displays_everything() {
+        let mut t = Table::new("panel", &["x"]);
+        t.push_nums(&[1.0]);
+        let r = FigureReport {
+            id: "fig99",
+            headline: "test".into(),
+            tables: vec![t],
+            notes: vec!["a note".into()],
+        };
+        let s = r.to_string();
+        assert!(s.contains("fig99") && s.contains("panel") && s.contains("a note"));
+    }
+}

@@ -1,0 +1,377 @@
+//! Adaptive random sampling (Choi, Park & Zhang, SIGMETRICS 2002) — the
+//! related-work baseline that *adjusts the sampling rate* instead of
+//! biasing the selection (§I: "adjusting the sampling density upon
+//! detection of traffic changes in order to meet certain constraints on
+//! the estimation accuracy").
+//!
+//! The trace is processed in blocks. Within block `k` the sampler draws
+//! Bernoulli samples at rate `r_k`; at the block boundary it re-solves
+//! the sample-size formula
+//!
+//! ```text
+//! n_k = ( z_{1−δ/2} · S / (ε · X̄) )²
+//! ```
+//!
+//! from the previous block's sampled mean `X̄` and standard deviation
+//! `S`, so that the per-block mean estimate stays within relative error
+//! `ε` with confidence `1 − δ` *if the block were i.i.d.* On LRD traffic
+//! that premise fails in exactly the way the paper analyzes, which makes
+//! this sampler the natural foil for BSS: it spends extra samples where
+//! the variance is high but remains unbiased, so it still underestimates
+//! heavy-tailed means (see the `adaptive` ablation experiment).
+
+use crate::sampler::{Sampler, Samples};
+use rand::Rng;
+use sst_stats::rng::{derive_seed, rng_from_seed};
+
+/// Configuration for [`AdaptiveRandomSampler`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Block length in trace points over which the rate is held fixed.
+    pub block_len: usize,
+    /// Target relative error ε of the per-block mean estimate.
+    pub rel_error: f64,
+    /// Normal quantile `z_{1−δ/2}` for the confidence level (1.96 ≈ 95%).
+    pub z: f64,
+    /// Initial sampling rate used for the first block.
+    pub initial_rate: f64,
+    /// Rate floor (the sampler never goes fully blind).
+    pub min_rate: f64,
+    /// Rate ceiling (resource cap; 1.0 = may inspect everything).
+    pub max_rate: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            block_len: 1 << 12,
+            rel_error: 0.1,
+            z: 1.96,
+            initial_rate: 0.01,
+            min_rate: 1e-5,
+            max_rate: 1.0,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    fn validate(&self) -> Result<(), InvalidAdaptiveConfig> {
+        let bad = |what: &'static str| Err(InvalidAdaptiveConfig { what });
+        if self.block_len == 0 {
+            return bad("block length must be >= 1");
+        }
+        if !(self.rel_error > 0.0 && self.rel_error.is_finite()) {
+            return bad("relative error must be positive");
+        }
+        if !(self.z > 0.0 && self.z.is_finite()) {
+            return bad("confidence quantile must be positive");
+        }
+        for (r, name) in [
+            (self.initial_rate, "initial rate"),
+            (self.min_rate, "minimum rate"),
+            (self.max_rate, "maximum rate"),
+        ] {
+            if !(r > 0.0 && r <= 1.0) {
+                return Err(InvalidAdaptiveConfig { what: match name {
+                    "initial rate" => "initial rate must be in (0,1]",
+                    "minimum rate" => "minimum rate must be in (0,1]",
+                    _ => "maximum rate must be in (0,1]",
+                } });
+            }
+        }
+        if self.min_rate > self.max_rate {
+            return bad("minimum rate must not exceed maximum rate");
+        }
+        Ok(())
+    }
+}
+
+/// Error for invalid [`AdaptiveConfig`] values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidAdaptiveConfig {
+    what: &'static str,
+}
+
+impl std::fmt::Display for InvalidAdaptiveConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.what)
+    }
+}
+
+impl std::error::Error for InvalidAdaptiveConfig {}
+
+/// The Choi-Park-Zhang adaptive random sampler.
+///
+/// # Examples
+///
+/// ```
+/// use sst_core::adaptive::{AdaptiveConfig, AdaptiveRandomSampler};
+/// use sst_core::Sampler;
+///
+/// let sampler = AdaptiveRandomSampler::new(AdaptiveConfig::default()).expect("valid");
+/// let trace: Vec<f64> = (0..20_000).map(|i| 1.0 + (i % 7) as f64).collect();
+/// let out = sampler.sample(&trace, 3);
+/// assert!(!out.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveRandomSampler {
+    config: AdaptiveConfig,
+}
+
+impl AdaptiveRandomSampler {
+    /// Creates the sampler.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidAdaptiveConfig`] when a field is out of range (zero
+    /// block, non-positive ε or z, rates outside (0,1], min > max).
+    pub fn new(config: AdaptiveConfig) -> Result<Self, InvalidAdaptiveConfig> {
+        config.validate()?;
+        Ok(AdaptiveRandomSampler { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Samples and also reports the per-block rate trajectory.
+    pub fn sample_detailed(&self, values: &[f64], seed: u64) -> AdaptiveOutcome {
+        let cfg = &self.config;
+        let mut rng = rng_from_seed(derive_seed(seed, 0xADA7));
+        let mut indices = Vec::new();
+        let mut sampled = Vec::new();
+        let mut rates = Vec::new();
+        let mut rate = cfg.initial_rate.clamp(cfg.min_rate, cfg.max_rate);
+
+        let mut start = 0usize;
+        while start < values.len() {
+            let end = (start + cfg.block_len).min(values.len());
+            rates.push(rate);
+            // Bernoulli pass over the block at the current rate.
+            let block_first = sampled.len();
+            for (i, &v) in values[start..end].iter().enumerate() {
+                if rng.gen::<f64>() < rate {
+                    indices.push(start + i);
+                    sampled.push(v);
+                }
+            }
+            // Re-solve the sample-size formula. Prefer this block's
+            // sample; with too few points fall back to everything
+            // collected so far (resetting to the initial rate instead
+            // would oscillate: tiny rate → starved block → reset → …).
+            let block = &sampled[block_first..];
+            let basis: &[f64] = if block.len() >= 8 { block } else { &sampled };
+            if basis.len() >= 2 {
+                let n = basis.len() as f64;
+                let mean = basis.iter().sum::<f64>() / n;
+                let var = basis.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+                if mean.abs() > 0.0 && var > 0.0 {
+                    let needed = (cfg.z * var.sqrt() / (cfg.rel_error * mean)).powi(2);
+                    // Keep at least a handful of samples per block so the
+                    // next re-estimate has data to work with.
+                    let floor = 8.0 / cfg.block_len as f64;
+                    rate = (needed / cfg.block_len as f64)
+                        .max(floor)
+                        .clamp(cfg.min_rate, cfg.max_rate);
+                }
+                // Zero variance: the data looks deterministic; keep the
+                // current rate (no evidence to move either way).
+            }
+            start = end;
+        }
+
+        AdaptiveOutcome { samples: Samples::new(indices, sampled), block_rates: rates }
+    }
+}
+
+impl Sampler for AdaptiveRandomSampler {
+    fn name(&self) -> &'static str {
+        "adaptive-random"
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        self.config.initial_rate
+    }
+
+    fn sample(&self, values: &[f64], seed: u64) -> Samples {
+        self.sample_detailed(values, seed).samples
+    }
+}
+
+/// Sampling output plus the rate trajectory across blocks.
+#[derive(Clone, Debug)]
+pub struct AdaptiveOutcome {
+    /// The selected indices and values.
+    pub samples: Samples,
+    /// The rate used in each block, in block order.
+    pub block_rates: Vec<f64>,
+}
+
+impl AdaptiveOutcome {
+    /// Mean sampling rate actually used, weighted equally per block.
+    pub fn mean_rate(&self) -> f64 {
+        if self.block_rates.is_empty() {
+            0.0
+        } else {
+            self.block_rates.iter().sum::<f64>() / self.block_rates.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(block: usize) -> AdaptiveConfig {
+        AdaptiveConfig { block_len: block, ..AdaptiveConfig::default() }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = AdaptiveRandomSampler::new(config(512)).unwrap();
+        let vals: Vec<f64> = (0..10_000).map(|i| (i % 13) as f64 + 1.0).collect();
+        assert_eq!(s.sample(&vals, 5), s.sample(&vals, 5));
+        assert_ne!(s.sample(&vals, 5), s.sample(&vals, 6));
+    }
+
+    #[test]
+    fn rate_rises_in_high_variance_regions() {
+        // First half calm (CV ≈ 0), second half violent. The block rates
+        // in the second half must exceed those in the first.
+        let mut vals = vec![10.0; 1 << 15];
+        for (i, v) in vals.iter_mut().enumerate().skip(1 << 14) {
+            *v = if i % 50 == 0 { 1000.0 } else { 1.0 };
+        }
+        let s = AdaptiveRandomSampler::new(AdaptiveConfig {
+            block_len: 1 << 11,
+            initial_rate: 0.05,
+            ..AdaptiveConfig::default()
+        })
+        .unwrap();
+        let out = s.sample_detailed(&vals, 7);
+        let half = out.block_rates.len() / 2;
+        let calm: f64 = out.block_rates[1..half].iter().sum::<f64>() / (half - 1) as f64;
+        // Skip the first turbulent block: its rate was set by the last calm block.
+        let wild: f64 =
+            out.block_rates[half + 1..].iter().sum::<f64>() / (half - 1) as f64;
+        assert!(
+            wild > 5.0 * calm,
+            "rate should surge with variance: calm {calm:.4} wild {wild:.4}"
+        );
+    }
+
+    #[test]
+    fn rates_respect_bounds() {
+        let cfg = AdaptiveConfig {
+            block_len: 256,
+            min_rate: 0.01,
+            max_rate: 0.2,
+            initial_rate: 0.05,
+            ..AdaptiveConfig::default()
+        };
+        let s = AdaptiveRandomSampler::new(cfg).unwrap();
+        let vals: Vec<f64> = (0..50_000)
+            .map(|i| if i % 97 == 0 { 1e6 } else { 1e-3 })
+            .collect();
+        let out = s.sample_detailed(&vals, 3);
+        for &r in &out.block_rates {
+            assert!((0.01..=0.2).contains(&r), "rate {r} escaped bounds");
+        }
+    }
+
+    #[test]
+    fn constant_trace_keeps_rate_stable() {
+        let s = AdaptiveRandomSampler::new(config(1024)).unwrap();
+        let out = s.sample_detailed(&vec![5.0; 1 << 14], 1);
+        for &r in &out.block_rates {
+            assert!((r - 0.01).abs() < 1e-12, "rate drifted to {r} on constant input");
+        }
+    }
+
+    #[test]
+    fn calm_traffic_needs_fewer_samples_than_fixed_rate_for_same_error() {
+        // On low-CV traffic the formula shrinks the rate below the
+        // initial one: adaptive achieves the target cheaply.
+        let vals: Vec<f64> = (0..1 << 15).map(|i| 100.0 + ((i % 10) as f64)).collect();
+        let s = AdaptiveRandomSampler::new(AdaptiveConfig {
+            block_len: 1 << 11,
+            initial_rate: 0.5,
+            ..AdaptiveConfig::default()
+        })
+        .unwrap();
+        let out = s.sample_detailed(&vals, 2);
+        assert!(
+            out.mean_rate() < 0.1,
+            "CV≈0.03 traffic should need a tiny rate, got {}",
+            out.mean_rate()
+        );
+        // And the mean is still accurate.
+        let truth = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((out.samples.mean() - truth).abs() / truth < 0.02);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_benign() {
+        let s = AdaptiveRandomSampler::new(config(64)).unwrap();
+        assert!(s.sample(&[], 0).is_empty());
+        let one = s.sample(&[42.0], 0);
+        assert!(one.len() <= 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(AdaptiveRandomSampler::new(AdaptiveConfig {
+            block_len: 0,
+            ..AdaptiveConfig::default()
+        })
+        .is_err());
+        assert!(AdaptiveRandomSampler::new(AdaptiveConfig {
+            rel_error: 0.0,
+            ..AdaptiveConfig::default()
+        })
+        .is_err());
+        assert!(AdaptiveRandomSampler::new(AdaptiveConfig {
+            min_rate: 0.5,
+            max_rate: 0.1,
+            ..AdaptiveConfig::default()
+        })
+        .is_err());
+        assert!(AdaptiveRandomSampler::new(AdaptiveConfig {
+            initial_rate: 0.0,
+            ..AdaptiveConfig::default()
+        })
+        .is_err());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn samples_are_valid_subsets(
+                seed in 0u64..50,
+                block in 32usize..512,
+                n in 100usize..4000,
+            ) {
+                let vals: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 + 0.5).collect();
+                let s = AdaptiveRandomSampler::new(AdaptiveConfig {
+                    block_len: block,
+                    ..AdaptiveConfig::default()
+                }).unwrap();
+                let out = s.sample_detailed(&vals, seed);
+                // Indices strictly increasing and in range, values match.
+                let idx = out.samples.indices();
+                for w in idx.windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+                for (k, &i) in idx.iter().enumerate() {
+                    prop_assert!(i < n);
+                    prop_assert_eq!(out.samples.values()[k], vals[i]);
+                }
+                prop_assert_eq!(out.block_rates.len(), n.div_ceil(block));
+            }
+        }
+    }
+}

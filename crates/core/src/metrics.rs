@@ -1,0 +1,99 @@
+//! The paper's evaluation metrics (§I definition of E(V); §VI metrics).
+
+/// Relative mean underestimate `η = 1 − X_s/X_r` (Eq. 21), clamped at 0
+/// from below so an overshooting estimator reports η = 0 rather than a
+/// negative "underestimate". Use [`eta_signed`] when the sign matters.
+///
+/// # Panics
+///
+/// Panics if `true_mean <= 0`.
+pub fn eta(true_mean: f64, sampled_mean: f64) -> f64 {
+    assert!(true_mean > 0.0, "true mean must be positive");
+    (1.0 - sampled_mean / true_mean).max(0.0)
+}
+
+/// Signed version of [`eta`] (negative when the estimator overshoots).
+///
+/// # Panics
+///
+/// Panics if `true_mean <= 0`.
+pub fn eta_signed(true_mean: f64, sampled_mean: f64) -> f64 {
+    assert!(true_mean > 0.0, "true mean must be positive");
+    1.0 - sampled_mean / true_mean
+}
+
+/// The §VI efficiency metric `e = (1 − η) / log₁₀(N_t)` where `N_t` is
+/// the total number of samples taken (normal + qualified): accuracy per
+/// decade of sampling effort.
+///
+/// # Panics
+///
+/// Panics unless `n_total >= 2` (the log must be positive).
+pub fn efficiency(eta: f64, n_total: usize) -> f64 {
+    assert!(n_total >= 2, "need at least 2 samples for the efficiency metric");
+    (1.0 - eta) / (n_total as f64).log10()
+}
+
+/// The average variance of sampling results, `E(V) = E[(X̂ᵢ − X̄)²]`:
+/// the mean squared deviation of per-instance sampled means from the
+/// true mean — the fidelity index of §IV (Fig. 5's y-axis, "variance of
+/// the sample mean").
+///
+/// Returns `0.0` for an empty instance list.
+pub fn average_variance(instance_means: &[f64], true_mean: f64) -> f64 {
+    if instance_means.is_empty() {
+        return 0.0;
+    }
+    instance_means
+        .iter()
+        .map(|&m| (m - true_mean) * (m - true_mean))
+        .sum::<f64>()
+        / instance_means.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_basics() {
+        assert_eq!(eta(10.0, 10.0), 0.0);
+        assert!((eta(10.0, 6.6667) - 0.33333).abs() < 1e-4);
+        // Overshoot clamps to zero (but the signed variant keeps it).
+        assert_eq!(eta(10.0, 12.0), 0.0);
+        assert!((eta_signed(10.0, 12.0) + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_matches_paper_example() {
+        // §VI: 1−η = 0.922 with overhead ≈ 0.2 at moderate rates gives
+        // e ≈ 0.37 when log10(N_t) ≈ 2.5.
+        let e = efficiency(1.0 - 0.922, 316); // log10 ≈ 2.5
+        assert!((e - 0.922 / 2.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_sample_count_at_fixed_eta() {
+        assert!(efficiency(0.1, 100) > efficiency(0.1, 10_000));
+    }
+
+    #[test]
+    fn average_variance_zero_for_perfect_instances() {
+        assert_eq!(average_variance(&[5.0, 5.0, 5.0], 5.0), 0.0);
+        assert_eq!(average_variance(&[], 5.0), 0.0);
+    }
+
+    #[test]
+    fn average_variance_counts_bias_and_spread() {
+        // Instances all off by 1: E(V) = 1 (pure bias).
+        assert!((average_variance(&[4.0, 4.0], 5.0) - 1.0).abs() < 1e-12);
+        // Symmetric spread ±1: E(V) = 1 as well.
+        assert!((average_variance(&[4.0, 6.0], 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "true mean must be positive")]
+    fn eta_rejects_nonpositive_mean() {
+        eta(0.0, 1.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! The three classical sampling techniques of §II-B.
+//!
+//! * **Systematic** — every C-th element from a (seed-derived) starting
+//!   offset; deterministic selection pattern.
+//! * **Stratified random** — one uniformly random element per bucket of
+//!   length C.
+//! * **Simple random** — each element kept independently with
+//!   probability r (the Bernoulli form whose inter-sample gaps are the
+//!   geometric `H(i) = (1−r)^{i−1} r` of Eq. (13)).
+//!
+//! All samplers are deterministic functions of `(input, seed)`; the seed
+//! selects the *sampling instance* (different systematic offsets,
+//! different random draws), which is exactly the paper's notion of an
+//! instance when measuring the average variance `E(V)`.
+
+use rand::Rng;
+use sst_stats::rng::{derive_seed, rng_from_seed};
+
+/// The output of one sampling instance: the selected positions and the
+/// values found there, in increasing index order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Samples {
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates a sample set from parallel vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or indices are not strictly
+    /// increasing.
+    pub fn new(indices: Vec<usize>, values: Vec<f64>) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
+        Samples { indices, values }
+    }
+
+    /// The selected positions in the original process.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The sampled values (the "sampled process" `g(t)`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sampled mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+}
+
+/// A sampling technique: a deterministic function of the input process
+/// and an instance seed.
+pub trait Sampler {
+    /// Short human-readable name ("systematic", …).
+    fn name(&self) -> &'static str;
+
+    /// The nominal sampling rate r = E[#samples]/n.
+    fn nominal_rate(&self) -> f64;
+
+    /// Draws one sampling instance from `values`.
+    fn sample(&self, values: &[f64], seed: u64) -> Samples;
+}
+
+/// Static systematic sampling with interval `C`: indices
+/// `offset, offset+C, offset+2C, …` where `offset = seed mod C` — each
+/// seed selects one of the C possible instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystematicSampler {
+    interval: usize,
+}
+
+impl SystematicSampler {
+    /// Creates a sampler with interval `C ≥ 1` (rate `1/C`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn new(interval: usize) -> Self {
+        assert!(interval >= 1, "sampling interval must be >= 1");
+        SystematicSampler { interval }
+    }
+
+    /// Sampler whose rate is closest to `rate` (interval = round(1/r)).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate <= 1`.
+    pub fn from_rate(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+        SystematicSampler::new((1.0 / rate).round().max(1.0) as usize)
+    }
+
+    /// The sampling interval C.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+}
+
+impl Sampler for SystematicSampler {
+    fn name(&self) -> &'static str {
+        "systematic"
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        1.0 / self.interval as f64
+    }
+
+    fn sample(&self, values: &[f64], seed: u64) -> Samples {
+        let offset = (seed % self.interval as u64) as usize;
+        let mut indices = Vec::new();
+        let mut sampled = Vec::new();
+        let mut t = offset;
+        while t < values.len() {
+            indices.push(t);
+            sampled.push(values[t]);
+            t += self.interval;
+        }
+        Samples { indices, values: sampled }
+    }
+}
+
+/// Stratified random sampling: one uniform draw per bucket of length `C`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StratifiedSampler {
+    interval: usize,
+}
+
+impl StratifiedSampler {
+    /// Creates a sampler with bucket length `C ≥ 1` (rate `1/C`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn new(interval: usize) -> Self {
+        assert!(interval >= 1, "bucket length must be >= 1");
+        StratifiedSampler { interval }
+    }
+
+    /// Sampler whose rate is closest to `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate <= 1`.
+    pub fn from_rate(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+        StratifiedSampler::new((1.0 / rate).round().max(1.0) as usize)
+    }
+
+    /// The bucket length C.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+}
+
+impl Sampler for StratifiedSampler {
+    fn name(&self) -> &'static str {
+        "stratified"
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        1.0 / self.interval as f64
+    }
+
+    fn sample(&self, values: &[f64], seed: u64) -> Samples {
+        let mut rng = rng_from_seed(derive_seed(seed, 0x5742));
+        let mut indices = Vec::new();
+        let mut sampled = Vec::new();
+        let mut start = 0usize;
+        while start < values.len() {
+            let end = (start + self.interval).min(values.len());
+            let idx = start + rng.gen_range(0..end - start);
+            indices.push(idx);
+            sampled.push(values[idx]);
+            start = end;
+        }
+        Samples { indices, values: sampled }
+    }
+}
+
+/// Simple random sampling: each element selected independently with
+/// probability `rate` (Bernoulli thinning; gaps are geometric, Eq. (13)).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimpleRandomSampler {
+    rate: f64,
+}
+
+impl SimpleRandomSampler {
+    /// Creates a sampler with selection probability `rate ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for rates outside `(0, 1]`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+        SimpleRandomSampler { rate }
+    }
+}
+
+impl Sampler for SimpleRandomSampler {
+    fn name(&self) -> &'static str {
+        "simple-random"
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn sample(&self, values: &[f64], seed: u64) -> Samples {
+        let mut rng = rng_from_seed(derive_seed(seed, 0x51D0));
+        // Skip-ahead via geometric gaps: O(expected samples) instead of
+        // one RNG call per element.
+        let mut indices = Vec::new();
+        let mut sampled = Vec::new();
+        if self.rate >= 1.0 {
+            return Samples {
+                indices: (0..values.len()).collect(),
+                values: values.to_vec(),
+            };
+        }
+        let ln_q = (1.0 - self.rate).ln();
+        let mut t: usize = 0;
+        loop {
+            // Geometric(r) gap >= 1: ceil(ln U / ln(1-r)).
+            let u: f64 = loop {
+                let u = rng.gen::<f64>();
+                if u > 0.0 {
+                    break u;
+                }
+            };
+            let gap = (u.ln() / ln_q).ceil().max(1.0) as usize;
+            t = match t.checked_add(gap) {
+                Some(v) => v,
+                None => break,
+            };
+            if t > values.len() {
+                break;
+            }
+            indices.push(t - 1);
+            sampled.push(values[t - 1]);
+        }
+        Samples { indices, values: sampled }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn systematic_takes_every_cth() {
+        let s = SystematicSampler::new(4);
+        let out = s.sample(&ramp(16), 0);
+        assert_eq!(out.indices(), &[0, 4, 8, 12]);
+        assert_eq!(out.values(), &[0.0, 4.0, 8.0, 12.0]);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn systematic_seed_sets_offset() {
+        let s = SystematicSampler::new(4);
+        let out = s.sample(&ramp(16), 2);
+        assert_eq!(out.indices(), &[2, 6, 10, 14]);
+        // Offsets wrap modulo C: seed 6 == seed 2.
+        assert_eq!(s.sample(&ramp(16), 6), out);
+    }
+
+    #[test]
+    fn systematic_from_rate_rounds() {
+        assert_eq!(SystematicSampler::from_rate(0.25).interval(), 4);
+        assert_eq!(SystematicSampler::from_rate(1.0).interval(), 1);
+        assert_eq!(SystematicSampler::from_rate(1e-3).interval(), 1000);
+    }
+
+    #[test]
+    fn stratified_one_per_bucket() {
+        let s = StratifiedSampler::new(5);
+        let out = s.sample(&ramp(23), 7);
+        // ⌈23/5⌉ buckets, one sample each.
+        assert_eq!(out.len(), 5);
+        for (b, &idx) in out.indices().iter().enumerate() {
+            let lo = b * 5;
+            let hi = ((b + 1) * 5).min(23);
+            assert!(idx >= lo && idx < hi, "bucket {b} index {idx}");
+        }
+    }
+
+    #[test]
+    fn stratified_instances_differ() {
+        let s = StratifiedSampler::new(8);
+        let vals = ramp(512);
+        assert_ne!(s.sample(&vals, 1), s.sample(&vals, 2));
+        assert_eq!(s.sample(&vals, 1), s.sample(&vals, 1));
+    }
+
+    #[test]
+    fn simple_random_rate_is_respected() {
+        let s = SimpleRandomSampler::new(0.1);
+        let vals = ramp(200_000);
+        let out = s.sample(&vals, 3);
+        let got = out.len() as f64 / vals.len() as f64;
+        assert!((got - 0.1).abs() < 0.005, "rate={got}");
+        // Strictly increasing indices, values match positions.
+        for (i, &idx) in out.indices().iter().enumerate() {
+            assert_eq!(out.values()[i], vals[idx]);
+        }
+    }
+
+    #[test]
+    fn simple_random_full_rate_takes_all() {
+        let s = SimpleRandomSampler::new(1.0);
+        let out = s.sample(&ramp(10), 0);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn simple_random_gaps_are_geometric() {
+        let s = SimpleRandomSampler::new(0.2);
+        let out = s.sample(&ramp(500_000), 11);
+        let gaps: Vec<f64> = out.indices().windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean_gap - 5.0).abs() < 0.1, "mean gap {mean_gap}");
+        // P(gap = 1) should be ≈ r.
+        let p1 = gaps.iter().filter(|&&g| g == 1.0).count() as f64 / gaps.len() as f64;
+        assert!((p1 - 0.2).abs() < 0.01, "P(gap=1)={p1}");
+    }
+
+    #[test]
+    fn all_samplers_handle_empty_and_tiny_input() {
+        let samplers: Vec<Box<dyn Sampler>> = vec![
+            Box::new(SystematicSampler::new(4)),
+            Box::new(StratifiedSampler::new(4)),
+            Box::new(SimpleRandomSampler::new(0.5)),
+        ];
+        for s in &samplers {
+            let empty = s.sample(&[], 1);
+            assert!(empty.is_empty(), "{} on empty", s.name());
+            assert_eq!(empty.mean(), 0.0);
+            let one = s.sample(&[42.0], 0);
+            assert!(one.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn sampled_mean_of_constant_process_is_exact() {
+        let vals = vec![3.5; 10_000];
+        let samplers: Vec<Box<dyn Sampler>> = vec![
+            Box::new(SystematicSampler::new(10)),
+            Box::new(StratifiedSampler::new(10)),
+            Box::new(SimpleRandomSampler::new(0.1)),
+        ];
+        for s in &samplers {
+            let out = s.sample(&vals, 9);
+            assert!(!out.is_empty());
+            assert!((out.mean() - 3.5).abs() < 1e-12, "{}", s.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn samples_reject_unsorted_indices() {
+        Samples::new(vec![3, 1], vec![0.0, 0.0]);
+    }
+}

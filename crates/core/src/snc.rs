@@ -1,0 +1,354 @@
+//! Theorem 1 — the sufficient and necessary condition (SNC) for a
+//! sampling technique to preserve second-order statistics — and its
+//! FFT-based numerical checker (steps S1-S3 of §III-D), plus the direct
+//! Eq. (11) evaluation for simple random sampling (Fig. 2).
+//!
+//! A sampling method is modeled by the distribution `H` of its i.i.d.
+//! inter-sample gaps `Tᵢ`; the sampled-process autocorrelation is
+//! `R_g(τ) = Σ_u R_f(u)·k(u, τ)` where `k(·, τ)` is the τ-fold
+//! convolution of `H`. The technique preserves the Hurst parameter iff
+//! `R_g(τ) ~ R_f(τ)`.
+
+use sst_sigproc::complex::Complex;
+use sst_sigproc::fft::{fft_pow2_in_place, ifft_pow2_in_place, next_pow2};
+use sst_sigproc::regress::power_law_fit;
+use sst_stats::dist::neg_binomial_ln_pmf;
+use sst_stats::PowerLawAcf;
+
+/// Inter-sample-gap distribution of a sampling technique.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GapDistribution {
+    /// Systematic sampling: `P(T = C) = 1` (Dirac at the interval).
+    Systematic {
+        /// Sampling interval C.
+        interval: usize,
+    },
+    /// Stratified random sampling: `T = C + U₂ − U₁` with independent
+    /// uniforms on `{0..C−1}` — the discrete triangular pmf of Eq. (12).
+    Stratified {
+        /// Bucket length C.
+        interval: usize,
+    },
+    /// Simple random (Bernoulli) sampling: geometric gaps, Eq. (13).
+    SimpleRandom {
+        /// Selection probability r.
+        rate: f64,
+    },
+}
+
+impl GapDistribution {
+    /// The pmf over gaps `0..len` (index = gap length in time units).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero intervals, rates outside `(0,1)`, or `len` too
+    /// small to hold the support of a degenerate/triangular gap.
+    pub fn pmf(&self, len: usize) -> Vec<f64> {
+        match *self {
+            GapDistribution::Systematic { interval } => {
+                assert!(interval >= 1, "interval must be >= 1");
+                assert!(len > interval, "pmf length must exceed the interval");
+                let mut p = vec![0.0; len];
+                p[interval] = 1.0;
+                p
+            }
+            GapDistribution::Stratified { interval } => {
+                assert!(interval >= 1, "interval must be >= 1");
+                assert!(len > 2 * interval, "pmf length must exceed 2C");
+                let c = interval as f64;
+                let mut p = vec![0.0; len];
+                // P(T = C + d) = (C − |d|)/C² for |d| < C.
+                for d in -(interval as i64 - 1)..=(interval as i64 - 1) {
+                    let idx = (interval as i64 + d) as usize;
+                    p[idx] = (c - d.unsigned_abs() as f64) / (c * c);
+                }
+                p
+            }
+            GapDistribution::SimpleRandom { rate } => {
+                assert!(rate > 0.0 && rate < 1.0, "rate must be in (0,1)");
+                let mut p = vec![0.0; len];
+                for (i, slot) in p.iter_mut().enumerate().skip(1) {
+                    *slot = (1.0 - rate).powi(i as i32 - 1) * rate;
+                }
+                p
+            }
+        }
+    }
+
+    /// Mean gap (the reciprocal of the effective sampling rate).
+    pub fn mean_gap(&self) -> f64 {
+        match *self {
+            GapDistribution::Systematic { interval } => interval as f64,
+            GapDistribution::Stratified { interval } => interval as f64,
+            GapDistribution::SimpleRandom { rate } => 1.0 / rate,
+        }
+    }
+
+    /// A pmf length that captures all but `tail_mass` of the gap
+    /// distribution — truncating earlier would make the τ-fold
+    /// convolution lose `≈ τ·tail_mass` of its mass and corrupt the
+    /// fitted exponent.
+    pub fn support_len(&self, tail_mass: f64) -> usize {
+        assert!(tail_mass > 0.0 && tail_mass < 1.0);
+        match *self {
+            GapDistribution::Systematic { interval } => interval + 2,
+            GapDistribution::Stratified { interval } => 2 * interval + 2,
+            GapDistribution::SimpleRandom { rate } => {
+                // (1−r)^k < tail_mass  ⇒  k > ln(tail_mass)/ln(1−r).
+                (tail_mass.ln() / (1.0 - rate).ln()).ceil() as usize + 2
+            }
+        }
+    }
+}
+
+/// Result of the numerical SNC check.
+#[derive(Clone, Debug)]
+pub struct SncReport {
+    /// The decay exponent of the original process.
+    pub beta_true: f64,
+    /// The exponent fitted to the sampled-process autocorrelation.
+    pub beta_estimated: f64,
+    /// R² of the log-log fit.
+    pub r_squared: f64,
+    /// The `(τ, R_g(τ))` series used for the fit.
+    pub series: Vec<(f64, f64)>,
+}
+
+impl SncReport {
+    /// Whether the sampled process preserves the exponent to within
+    /// `tol` — the numerical verdict on Eq. (15).
+    pub fn preserves_hurst(&self, tol: f64) -> bool {
+        (self.beta_estimated - self.beta_true).abs() <= tol
+    }
+}
+
+/// Numerical SNC checker: computes `R_g(τ) = Σ_u R_f(u)·k(u, τ)` with
+/// `k(·, τ) = IFFT(FFT(H)^τ)` (steps S1-S3), then fits
+/// `log R_g ~ −β̂·log τ` over `taus`.
+///
+/// `taus` are sampled-process lags; the u-grid automatically covers
+/// `max(taus)·mean_gap·4` so the τ-fold convolution mass is captured.
+///
+/// # Panics
+///
+/// Panics if `taus` has fewer than 3 entries or is not increasing.
+pub fn snc_check(gap: &GapDistribution, beta: f64, taus: &[usize]) -> SncReport {
+    assert!(taus.len() >= 3, "need at least 3 lags to fit");
+    assert!(taus.windows(2).all(|w| w[0] < w[1]), "lags must be increasing");
+    let max_tau = *taus.last().expect("non-empty");
+    let acf = PowerLawAcf::new(beta);
+    // u-grid: τ-fold convolution of mean-μ gaps concentrates near τ·μ;
+    // 4× headroom plus the pmf support keeps truncation negligible.
+    let mean_gap = gap.mean_gap();
+    let pmf_len = gap.support_len(1e-12);
+    let u_len = ((max_tau as f64 * mean_gap * 4.0) as usize)
+        .max(1024)
+        .max(pmf_len + 1);
+    let m = next_pow2(u_len);
+    let pmf = gap.pmf(pmf_len);
+    let mut spectrum = vec![Complex::ZERO; m];
+    for (dst, &src) in spectrum.iter_mut().zip(&pmf) {
+        *dst = Complex::from_real(src);
+    }
+    fft_pow2_in_place(&mut spectrum);
+
+    let rf: Vec<f64> = acf.table(m);
+    let mut series = Vec::with_capacity(taus.len());
+    for &tau in taus {
+        // K(ω, τ) = H(ω)^τ  (S2), then k(·, τ) by inverse FFT (S3).
+        let mut k_spec: Vec<Complex> =
+            spectrum.iter().map(|&h| h.powi(tau as u32)).collect();
+        ifft_pow2_in_place(&mut k_spec);
+        let rg: f64 = k_spec
+            .iter()
+            .zip(&rf)
+            .map(|(k, &r)| k.re.max(0.0) * r)
+            .sum();
+        series.push((tau as f64, rg));
+    }
+    let xs: Vec<f64> = series.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = series.iter().map(|p| p.1).collect();
+    let (slope, _, fit) = power_law_fit(&xs, &ys);
+    SncReport { beta_true: beta, beta_estimated: -slope, r_squared: fit.r_squared, series }
+}
+
+/// Direct evaluation of Eq. (11): the sampled-process autocorrelation of
+/// simple random sampling at rate `rho`,
+/// `R_g(τ) = Σ_i R_f(τ+i)·NB(i; τ, ρ)`, computed in log space (the
+/// binomial coefficients overflow `f64` well below the paper's lags).
+///
+/// `terms` bounds the i-summation; the negative-binomial mass beyond
+/// `≈ 4τ(1−ρ)/ρ + 64` is negligible, and the default chooser in
+/// [`simple_random_beta_scan`] uses that.
+pub fn simple_random_rg(tau: usize, rho: f64, beta: f64, terms: usize) -> f64 {
+    assert!(tau >= 1, "tau must be >= 1");
+    assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1)");
+    let acf = PowerLawAcf::new(beta);
+    let mut acc = 0.0;
+    for i in 0..terms as u64 {
+        let lp = neg_binomial_ln_pmf(tau as u64, i, rho);
+        if lp < -745.0 {
+            // exp underflows; once past the mode the tail only shrinks.
+            if (i as f64) > tau as f64 * (1.0 - rho) / rho {
+                break;
+            }
+            continue;
+        }
+        acc += lp.exp() * acf.at(tau as f64 + i as f64);
+    }
+    acc
+}
+
+/// Fig. 2b: sweeps β, evaluating Eq. (11) over `taus` and fitting the
+/// log-log slope; returns `(β, β̂)` pairs.
+pub fn simple_random_beta_scan(betas: &[f64], rho: f64, taus: &[usize]) -> Vec<(f64, f64)> {
+    betas
+        .iter()
+        .map(|&beta| {
+            let series: Vec<(f64, f64)> = taus
+                .iter()
+                .map(|&tau| {
+                    let terms = (4.0 * tau as f64 * (1.0 - rho) / rho) as usize + 64;
+                    (tau as f64, simple_random_rg(tau, rho, beta, terms))
+                })
+                .collect();
+            let xs: Vec<f64> = series.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = series.iter().map(|p| p.1).collect();
+            let (slope, _, _) = power_law_fit(&xs, &ys);
+            (beta, -slope)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_taus(lo: usize, hi: usize, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = sst_sigproc::numeric::logspace(lo as f64, hi as f64, n)
+            .into_iter()
+            .map(|x| x.round() as usize)
+            .collect();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn pmfs_are_normalized() {
+        let gaps = [
+            GapDistribution::Systematic { interval: 10 },
+            GapDistribution::Stratified { interval: 10 },
+            GapDistribution::SimpleRandom { rate: 0.1 },
+        ];
+        for g in gaps {
+            let p = g.pmf(2048);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-6, "{g:?}: {total}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn stratified_pmf_is_triangular() {
+        let p = GapDistribution::Stratified { interval: 4 }.pmf(16);
+        // Peak at C=4, symmetric, zero at 0 and 8.
+        assert!(p[4] > p[3] && p[4] > p[5]);
+        assert!((p[3] - p[5]).abs() < 1e-15);
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[8], 0.0);
+        // Mean gap = C.
+        let mean: f64 = p.iter().enumerate().map(|(i, &x)| i as f64 * x).sum();
+        assert!((mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_pmf_mean_is_reciprocal_rate() {
+        let p = GapDistribution::SimpleRandom { rate: 0.25 }.pmf(4096);
+        let mean: f64 = p.iter().enumerate().map(|(i, &x)| i as f64 * x).sum();
+        assert!((mean - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn systematic_preserves_beta_exactly() {
+        // k(u, τ) = δ(u − τC): R_g(τ) = R_f(τC) = C^{-β}·τ^{-β}.
+        let taus = log_taus(8, 256, 10);
+        for beta in [0.2, 0.5, 0.8] {
+            let rep = snc_check(&GapDistribution::Systematic { interval: 10 }, beta, &taus);
+            assert!(
+                rep.preserves_hurst(0.02),
+                "beta={beta} est={}",
+                rep.beta_estimated
+            );
+            assert!(rep.r_squared > 0.999);
+        }
+    }
+
+    #[test]
+    fn stratified_preserves_beta() {
+        // Fig. 3a.
+        let taus = log_taus(8, 256, 10);
+        for beta in [0.1, 0.4, 0.8] {
+            let rep = snc_check(&GapDistribution::Stratified { interval: 10 }, beta, &taus);
+            assert!(
+                rep.preserves_hurst(0.05),
+                "beta={beta} est={}",
+                rep.beta_estimated
+            );
+        }
+    }
+
+    #[test]
+    fn simple_random_preserves_beta_via_snc() {
+        // Fig. 3b.
+        let taus = log_taus(8, 256, 10);
+        for beta in [0.1, 0.4, 0.8] {
+            let rep = snc_check(&GapDistribution::SimpleRandom { rate: 0.1 }, beta, &taus);
+            assert!(
+                rep.preserves_hurst(0.05),
+                "beta={beta} est={}",
+                rep.beta_estimated
+            );
+        }
+    }
+
+    #[test]
+    fn eq11_preserves_beta() {
+        // Fig. 2b: β̂ tracks β with a small truncation gap.
+        let taus = log_taus(91, 512, 8); // the paper fits τ ∈ [2^6.5, 2^9]
+        let scan = simple_random_beta_scan(&[0.1, 0.3, 0.5, 0.8], 0.5, &taus);
+        for (beta, est) in scan {
+            assert!((est - beta).abs() < 0.06, "beta={beta} est={est}");
+        }
+    }
+
+    #[test]
+    fn eq11_fig2a_slope_near_point08_for_beta_point1() {
+        // Fig. 2a: at β = 0.1 the paper fits slope −0.08 (truncation gap).
+        let taus = log_taus(91, 512, 10);
+        let scan = simple_random_beta_scan(&[0.1], 0.5, &taus);
+        let est = scan[0].1;
+        assert!(est > 0.06 && est < 0.12, "est={est}");
+    }
+
+    #[test]
+    fn report_verdict_thresholds() {
+        let rep = SncReport {
+            beta_true: 0.5,
+            beta_estimated: 0.53,
+            r_squared: 0.99,
+            series: vec![],
+        };
+        assert!(rep.preserves_hurst(0.05));
+        assert!(!rep.preserves_hurst(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "lags must be increasing")]
+    fn unsorted_taus_rejected() {
+        snc_check(
+            &GapDistribution::Systematic { interval: 2 },
+            0.5,
+            &[8, 4, 16],
+        );
+    }
+}

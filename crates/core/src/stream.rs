@@ -1,0 +1,565 @@
+//! Streaming (push-based) counterparts of the offline samplers — the
+//! form a router or monitoring tap actually deploys, where points arrive
+//! one at a time and each must be kept or dropped immediately.
+//!
+//! Every streaming sampler is drop-in equivalent to its offline sibling:
+//! feeding the same trace point-by-point reproduces exactly the samples
+//! `Sampler::sample` would select with the same seed (stratified random
+//! may differ on the final *partial* bucket — the offline version knows
+//! where the trace ends, a stream does not; see
+//! [`StreamingStratified`]).
+//!
+//! ```
+//! use sst_core::stream::{StreamDecision, StreamSampler, StreamingSystematic};
+//!
+//! let mut s = StreamingSystematic::new(3, 0).unwrap();
+//! let kept: Vec<bool> = (0..7)
+//!     .map(|i| s.offer(i as f64).is_kept())
+//!     .collect();
+//! assert_eq!(kept, [true, false, false, true, false, false, true]);
+//! ```
+
+use crate::bss::{OnlineTuning, ThresholdPolicy};
+use rand::Rng;
+use sst_stats::rng::{derive_seed, rng_from_seed};
+use sst_stats::RunningStats;
+
+/// What a streaming sampler did with one offered point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamDecision {
+    /// Not selected; not inspected.
+    Skip,
+    /// Selected by the base (normal) schedule.
+    KeepNormal,
+    /// Inspected as a BSS extra but below the threshold — cost without a
+    /// kept sample.
+    InspectOnly,
+    /// Inspected as a BSS extra and kept (a qualified sample).
+    KeepQualified,
+}
+
+impl StreamDecision {
+    /// `true` when the point enters the sample set.
+    pub fn is_kept(self) -> bool {
+        matches!(self, StreamDecision::KeepNormal | StreamDecision::KeepQualified)
+    }
+
+    /// `true` when the point had to be looked at (kept or probed).
+    pub fn is_inspected(self) -> bool {
+        self != StreamDecision::Skip
+    }
+}
+
+/// A push-based sampler: one decision per offered point.
+pub trait StreamSampler {
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Offers the next point of the stream (points arrive in order).
+    fn offer(&mut self, value: f64) -> StreamDecision;
+
+    /// Points offered so far.
+    fn position(&self) -> usize;
+}
+
+/// Streaming systematic sampling: keep positions `offset + k·C`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamingSystematic {
+    interval: usize,
+    offset: usize,
+    pos: usize,
+}
+
+impl StreamingSystematic {
+    /// Creates the sampler; `seed` selects the phase, matching
+    /// [`crate::SystematicSampler`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when `interval == 0`.
+    pub fn new(interval: usize, seed: u64) -> Result<Self, crate::bss::BssConfigError> {
+        crate::bss::BssSampler::new(interval, ThresholdPolicy::FixedAbsolute(1.0))?;
+        Ok(StreamingSystematic {
+            interval,
+            offset: (seed % interval as u64) as usize,
+            pos: 0,
+        })
+    }
+}
+
+impl StreamSampler for StreamingSystematic {
+    fn name(&self) -> &'static str {
+        "streaming-systematic"
+    }
+
+    fn offer(&mut self, _value: f64) -> StreamDecision {
+        let keep = self.pos % self.interval == self.offset;
+        self.pos += 1;
+        if keep {
+            StreamDecision::KeepNormal
+        } else {
+            StreamDecision::Skip
+        }
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Streaming stratified random sampling: at each bucket boundary, draw
+/// the bucket's single sample position in advance.
+///
+/// Matches [`crate::StratifiedSampler`] exactly on every *full* bucket;
+/// on a final partial bucket the offline version redraws within the
+/// shortened range while the stream (not knowing the end) may place its
+/// target past the end and keep nothing.
+#[derive(Clone, Debug)]
+pub struct StreamingStratified {
+    interval: usize,
+    pos: usize,
+    target: usize,
+    rng: rand::rngs::StdRng,
+}
+
+impl StreamingStratified {
+    /// Creates the sampler with the same seed derivation as the offline
+    /// sibling.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when `interval == 0`.
+    pub fn new(interval: usize, seed: u64) -> Result<Self, crate::bss::BssConfigError> {
+        crate::bss::BssSampler::new(interval, ThresholdPolicy::FixedAbsolute(1.0))?;
+        let mut rng = rng_from_seed(derive_seed(seed, 0x5742));
+        let target = rng.gen_range(0..interval);
+        Ok(StreamingStratified { interval, pos: 0, target, rng })
+    }
+}
+
+impl StreamSampler for StreamingStratified {
+    fn name(&self) -> &'static str {
+        "streaming-stratified"
+    }
+
+    fn offer(&mut self, _value: f64) -> StreamDecision {
+        let in_bucket = self.pos % self.interval;
+        let keep = in_bucket == self.target;
+        self.pos += 1;
+        if self.pos % self.interval == 0 {
+            // Entering a new bucket: draw its target.
+            self.target = self.rng.gen_range(0..self.interval);
+        }
+        if keep {
+            StreamDecision::KeepNormal
+        } else {
+            StreamDecision::Skip
+        }
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Streaming simple random sampling via geometric skip-ahead — O(1) RNG
+/// work per *kept* sample, not per offered point.
+#[derive(Clone, Debug)]
+pub struct StreamingSimpleRandom {
+    ln_q: f64,
+    pos: usize,
+    /// Position (0-based) of the next point to keep.
+    next_keep: usize,
+    take_all: bool,
+    rng: rand::rngs::StdRng,
+}
+
+impl StreamingSimpleRandom {
+    /// Creates the sampler; reproduces [`crate::SimpleRandomSampler`]
+    /// exactly for the same `(rate, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` for rates outside `(0, 1]`.
+    pub fn new(rate: f64, seed: u64) -> Result<Self, crate::bss::BssConfigError> {
+        if !(rate > 0.0 && rate <= 1.0) {
+            return Err(crate::bss::BssConfigError::new("rate must be in (0,1]"));
+        }
+        let mut s = StreamingSimpleRandom {
+            ln_q: (1.0 - rate).ln(),
+            pos: 0,
+            next_keep: 0,
+            take_all: rate >= 1.0,
+            rng: rng_from_seed(derive_seed(seed, 0x51D0)),
+        };
+        if !s.take_all {
+            s.next_keep = s.draw_gap() - 1;
+        }
+        Ok(s)
+    }
+
+    /// Geometric(r) gap ≥ 1, identical arithmetic to the offline sampler.
+    fn draw_gap(&mut self) -> usize {
+        let u: f64 = loop {
+            let u = self.rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        (u.ln() / self.ln_q).ceil().max(1.0) as usize
+    }
+}
+
+impl StreamSampler for StreamingSimpleRandom {
+    fn name(&self) -> &'static str {
+        "streaming-simple-random"
+    }
+
+    fn offer(&mut self, _value: f64) -> StreamDecision {
+        let keep = self.take_all || self.pos == self.next_keep;
+        if keep && !self.take_all {
+            let gap = self.draw_gap();
+            self.next_keep += gap;
+        }
+        self.pos += 1;
+        if keep {
+            StreamDecision::KeepNormal
+        } else {
+            StreamDecision::Skip
+        }
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Streaming Biased Systematic Sampling: the deployable form of the
+/// paper's sampler. When a normal sample exceeds the (possibly online-
+/// tuned) threshold, the positions of the `L` extras inside the current
+/// interval are scheduled and inspected as the stream reaches them.
+///
+/// Equivalent to [`crate::bss::BssSampler::sample_detailed`] given the
+/// same `(interval, policy, L, seed)`.
+#[derive(Clone, Debug)]
+pub struct StreamingBss {
+    interval: usize,
+    offset: usize,
+    l: usize,
+    pos: usize,
+    threshold: f64,
+    frozen_threshold: f64,
+    online: Option<OnlineTuning>,
+    running: RunningStats,
+    /// Scheduled extra positions for the current interval (ascending;
+    /// consumed front to back).
+    pending: std::collections::VecDeque<usize>,
+    normal_count: usize,
+    qualified_count: usize,
+    extras_inspected: usize,
+}
+
+impl StreamingBss {
+    /// Creates the sampler. `l` is the extras budget per triggered
+    /// interval (the offline sampler's `with_l`).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`crate::bss::BssSampler::new`].
+    pub fn new(
+        interval: usize,
+        policy: ThresholdPolicy,
+        l: usize,
+        seed: u64,
+    ) -> Result<Self, crate::bss::BssConfigError> {
+        crate::bss::BssSampler::new(interval, policy)?;
+        let (threshold, online) = match policy {
+            ThresholdPolicy::FixedAbsolute(a) => (a, None),
+            ThresholdPolicy::RelativeToMean { epsilon, mean } => (epsilon * mean, None),
+            ThresholdPolicy::Online(t) => (f64::INFINITY, Some(t)),
+        };
+        Ok(StreamingBss {
+            interval,
+            offset: (seed % interval as u64) as usize,
+            l,
+            pos: 0,
+            threshold,
+            frozen_threshold: threshold,
+            online,
+            running: RunningStats::new(),
+            pending: std::collections::VecDeque::new(),
+            normal_count: 0,
+            qualified_count: 0,
+            extras_inspected: 0,
+        })
+    }
+
+    /// Normal (systematic) samples kept so far.
+    pub fn normal_count(&self) -> usize {
+        self.normal_count
+    }
+
+    /// Qualified extras kept so far.
+    pub fn qualified_count(&self) -> usize {
+        self.qualified_count
+    }
+
+    /// Extras inspected (kept or not) so far.
+    pub fn extras_inspected(&self) -> usize {
+        self.extras_inspected
+    }
+
+    /// The paper's overhead metric so far (`L′/N`).
+    pub fn overhead(&self) -> f64 {
+        if self.normal_count == 0 {
+            0.0
+        } else {
+            self.qualified_count as f64 / self.normal_count as f64
+        }
+    }
+}
+
+impl StreamSampler for StreamingBss {
+    fn name(&self) -> &'static str {
+        "streaming-bss"
+    }
+
+    fn offer(&mut self, value: f64) -> StreamDecision {
+        let pos = self.pos;
+        self.pos += 1;
+
+        // Scheduled extra?
+        if self.pending.front() == Some(&pos) {
+            self.pending.pop_front();
+            self.extras_inspected += 1;
+            if value > self.frozen_threshold {
+                self.qualified_count += 1;
+                self.running.push(value);
+                return StreamDecision::KeepQualified;
+            }
+            return StreamDecision::InspectOnly;
+        }
+
+        if pos % self.interval != self.offset {
+            return StreamDecision::Skip;
+        }
+
+        // Normal systematic sample. Arrival of the next normal sample
+        // cancels any extras left over from the previous interval (they
+        // were beyond the stream end in the offline formulation).
+        self.pending.clear();
+        self.normal_count += 1;
+        self.running.push(value);
+        if let Some(t) = self.online {
+            self.threshold = if self.running.count() as usize >= t.n_pre {
+                t.epsilon * self.running.mean()
+            } else {
+                f64::INFINITY
+            };
+        }
+        // Freeze the threshold for this interval's extras, mirroring the
+        // offline sampler ("based on the same threshold").
+        self.frozen_threshold = self.threshold;
+
+        if value > self.frozen_threshold && self.l > 0 {
+            let mut prev = pos;
+            for k in 1..=self.l {
+                let p = pos + k * self.interval / (self.l + 1);
+                if p <= prev || p >= pos + self.interval {
+                    continue;
+                }
+                prev = p;
+                self.pending.push_back(p);
+            }
+        }
+        StreamDecision::KeepNormal
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bss::BssSampler;
+    use crate::sampler::{Sampler, SimpleRandomSampler, StratifiedSampler, SystematicSampler};
+
+    /// Runs a stream sampler over a slice, returning kept (index, value).
+    fn collect(s: &mut dyn StreamSampler, vals: &[f64]) -> (Vec<usize>, Vec<f64>) {
+        let mut idx = Vec::new();
+        let mut kept = Vec::new();
+        for (i, &v) in vals.iter().enumerate() {
+            if s.offer(v).is_kept() {
+                idx.push(i);
+                kept.push(v);
+            }
+        }
+        (idx, kept)
+    }
+
+    fn bursty(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| if (i / 37) % 11 == 0 { 120.0 + (i % 7) as f64 } else { 1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn systematic_stream_matches_offline() {
+        let vals = bursty(1013);
+        for seed in [0u64, 3, 17] {
+            let offline = SystematicSampler::new(8).sample(&vals, seed);
+            let mut s = StreamingSystematic::new(8, seed).unwrap();
+            let (idx, kept) = collect(&mut s, &vals);
+            assert_eq!(idx, offline.indices());
+            assert_eq!(kept, offline.values());
+        }
+    }
+
+    #[test]
+    fn stratified_stream_matches_offline_on_full_buckets() {
+        let vals = bursty(1000); // 125 full buckets of 8
+        for seed in [1u64, 9, 42] {
+            let offline = StratifiedSampler::new(8).sample(&vals, seed);
+            let mut s = StreamingStratified::new(8, seed).unwrap();
+            let (idx, kept) = collect(&mut s, &vals);
+            assert_eq!(idx, offline.indices());
+            assert_eq!(kept, offline.values());
+        }
+    }
+
+    #[test]
+    fn simple_random_stream_matches_offline() {
+        let vals = bursty(20_000);
+        for seed in [2u64, 5, 100] {
+            let offline = SimpleRandomSampler::new(0.05).sample(&vals, seed);
+            let mut s = StreamingSimpleRandom::new(0.05, seed).unwrap();
+            let (idx, kept) = collect(&mut s, &vals);
+            assert_eq!(idx, offline.indices());
+            assert_eq!(kept, offline.values());
+        }
+    }
+
+    #[test]
+    fn bss_stream_matches_offline_fixed_threshold() {
+        let vals = bursty(5000);
+        for seed in [0u64, 7, 77] {
+            let offline = BssSampler::new(50, ThresholdPolicy::FixedAbsolute(50.0))
+                .unwrap()
+                .with_l(6)
+                .sample_detailed(&vals, seed);
+            let mut s =
+                StreamingBss::new(50, ThresholdPolicy::FixedAbsolute(50.0), 6, seed).unwrap();
+            let (idx, kept) = collect(&mut s, &vals);
+            assert_eq!(idx, offline.samples.indices(), "seed {seed}");
+            assert_eq!(kept, offline.samples.values());
+            assert_eq!(s.normal_count(), offline.normal_count);
+            assert_eq!(s.qualified_count(), offline.qualified_count);
+            assert_eq!(s.extras_inspected(), offline.extras_inspected);
+        }
+    }
+
+    #[test]
+    fn bss_stream_matches_offline_online_policy() {
+        let vals = bursty(20_000);
+        let tuning = OnlineTuning { epsilon: 1.0, n_pre: 16, ..OnlineTuning::default() };
+        let offline = BssSampler::new(100, ThresholdPolicy::Online(tuning))
+            .unwrap()
+            .with_l(8)
+            .sample_detailed(&vals, 5);
+        let mut s = StreamingBss::new(100, ThresholdPolicy::Online(tuning), 8, 5).unwrap();
+        let (idx, kept) = collect(&mut s, &vals);
+        assert_eq!(idx, offline.samples.indices());
+        assert_eq!(kept, offline.samples.values());
+        assert!((s.overhead() - offline.overhead()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decisions_classify_correctly() {
+        // C = 10, threshold 50, L = 1 → extra at pos + 5.
+        let mut s = StreamingBss::new(10, ThresholdPolicy::FixedAbsolute(50.0), 1, 0).unwrap();
+        let mut decisions = Vec::new();
+        let vals = [100.0, 0.0, 0.0, 0.0, 0.0, 100.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0];
+        for &v in &vals {
+            decisions.push(s.offer(v));
+        }
+        use StreamDecision::*;
+        assert_eq!(decisions[0], KeepNormal);
+        assert_eq!(decisions[5], KeepQualified, "extra at offset 5 above threshold");
+        assert_eq!(decisions[10], KeepNormal, "next interval's normal sample");
+        assert_eq!(decisions[1], Skip);
+        assert!(!decisions[11].is_inspected());
+    }
+
+    #[test]
+    fn inspect_only_counts_cost_without_keeping() {
+        // Normal sample triggers, but the extra lands on a small value.
+        let mut s = StreamingBss::new(4, ThresholdPolicy::FixedAbsolute(50.0), 1, 0).unwrap();
+        let decisions: Vec<StreamDecision> =
+            [100.0, 0.0, 1.0, 0.0].iter().map(|&v| s.offer(v)).collect();
+        assert_eq!(decisions[2], StreamDecision::InspectOnly);
+        assert_eq!(s.extras_inspected(), 1);
+        assert_eq!(s.qualified_count(), 0);
+    }
+
+    #[test]
+    fn position_tracks_offered_points() {
+        let mut s = StreamingSystematic::new(5, 0).unwrap();
+        for i in 0..13 {
+            assert_eq!(s.position(), i);
+            s.offer(0.0);
+        }
+        assert_eq!(s.position(), 13);
+    }
+
+    #[test]
+    fn invalid_configs_error() {
+        assert!(StreamingSystematic::new(0, 0).is_err());
+        assert!(StreamingStratified::new(0, 0).is_err());
+        assert!(StreamingSimpleRandom::new(0.0, 0).is_err());
+        assert!(StreamingSimpleRandom::new(1.5, 0).is_err());
+        assert!(StreamingBss::new(0, ThresholdPolicy::FixedAbsolute(1.0), 5, 0).is_err());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn all_streams_match_offline(
+                seed in 0u64..1000,
+                interval in 1usize..32,
+                n in 0usize..600,
+            ) {
+                let vals = bursty(n.max(1) * interval); // full buckets
+                // Systematic.
+                let off = SystematicSampler::new(interval).sample(&vals, seed);
+                let mut s = StreamingSystematic::new(interval, seed).unwrap();
+                let (idx, _) = collect(&mut s, &vals);
+                prop_assert_eq!(idx, off.indices());
+                // Stratified (full buckets only, by construction).
+                let off = StratifiedSampler::new(interval).sample(&vals, seed);
+                let mut s = StreamingStratified::new(interval, seed).unwrap();
+                let (idx, _) = collect(&mut s, &vals);
+                prop_assert_eq!(idx, off.indices());
+                // BSS with fixed threshold.
+                let off = BssSampler::new(interval, ThresholdPolicy::FixedAbsolute(50.0))
+                    .unwrap()
+                    .with_l(4)
+                    .sample_detailed(&vals, seed);
+                let mut s = StreamingBss::new(
+                    interval,
+                    ThresholdPolicy::FixedAbsolute(50.0),
+                    4,
+                    seed,
+                ).unwrap();
+                let (idx, _) = collect(&mut s, &vals);
+                prop_assert_eq!(idx, off.samples.indices());
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The discrete-event core: a time-ordered event queue with a
+//! monotonically advancing simulation clock.
+//!
+//! Events scheduled for the same instant are delivered in FIFO order
+//! (insertion order), which is what makes component pipelines such as
+//! source → link → monitor deterministic: a packet's arrival at a link is
+//! always processed before an event scheduled later at the same time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an event is scheduled before the current clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleInPastError {
+    /// The requested event time.
+    pub at: f64,
+    /// The simulation clock when the schedule was attempted.
+    pub now: f64,
+}
+
+impl fmt::Display for ScheduleInPastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event time {} is before the simulation clock {}", self.at, self.now)
+    }
+}
+
+impl Error for ScheduleInPastError {}
+
+/// One pending event: delivery time plus a FIFO tiebreak sequence.
+#[derive(Clone, Debug)]
+struct Entry<E> {
+    at: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the
+        // earliest event (lowest time, then lowest sequence) on top.
+        // Times are validated finite on insertion, so total order holds.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue with simulation clock.
+///
+/// # Examples
+///
+/// ```
+/// use sst_dess::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "late").unwrap();
+/// q.schedule(1.0, "early").unwrap();
+/// q.schedule(1.0, "early-second").unwrap();
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.pop(), Some((1.0, "early-second")));
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// assert_eq!(q.now(), 2.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+    }
+
+    /// The simulation clock: the delivery time of the last popped event
+    /// (0 before any pop).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Delivery time of the next event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Schedules `event` for absolute time `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleInPastError`] if `at` precedes the current clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is NaN or infinite — a non-finite event time would
+    /// poison the heap ordering.
+    pub fn schedule(&mut self, at: f64, event: E) -> Result<(), ScheduleInPastError> {
+        assert!(at.is_finite(), "event time must be finite, got {at}");
+        if at < self.now {
+            return Err(ScheduleInPastError { at, now: self.now });
+        }
+        self.heap.push(Entry { at, seq: self.seq, event });
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Schedules `event` at `now() + delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0 && delay.is_finite(), "delay must be non-negative finite");
+        self.schedule(self.now + delay, event)
+            .expect("now + non-negative delay is never in the past");
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// delivery time. Ties are broken in insertion order.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Pops the next event only if it is due at or before `horizon`;
+    /// otherwise leaves the queue untouched (the clock does not advance).
+    pub fn pop_until(&mut self, horizon: f64) -> Option<(f64, E)> {
+        if self.peek_time()? <= horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5.0, 1.0, 3.0, 2.0, 4.0] {
+            q.schedule(t, t as u32).unwrap();
+        }
+        let mut out = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            assert_eq!(t as u32, e);
+            out.push(t);
+        }
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(7.0, i).unwrap();
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_and_rejects_past() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, ()).unwrap();
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 10.0);
+        let err = q.schedule(9.0, ()).unwrap_err();
+        assert_eq!(err, ScheduleInPastError { at: 9.0, now: 10.0 });
+        // Same-time scheduling is allowed (zero-delay follow-ups).
+        q.schedule(10.0, ()).unwrap();
+        assert_eq!(q.pop(), Some((10.0, ())));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, 1u8).unwrap();
+        q.pop();
+        q.schedule_in(2.5, 2u8);
+        assert_eq!(q.pop(), Some((7.5, 2u8)));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "a").unwrap();
+        q.schedule(2.0, "b").unwrap();
+        assert_eq!(q.pop_until(1.5), Some((1.0, "a")));
+        assert_eq!(q.pop_until(1.5), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), 1.0, "clock must not advance past unharvested events");
+        assert_eq!(q.pop_until(2.0), Some((2.0, "b")));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(3.0, ()).unwrap();
+        assert_eq!(q.peek_time(), Some(3.0));
+        assert_eq!(q.now(), 0.0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_rejected() {
+        EventQueue::new().schedule(f64::NAN, ()).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be non-negative")]
+    fn negative_delay_rejected() {
+        EventQueue::<()>::new().schedule_in(-1.0, ());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn pop_sequence_is_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(t, i).unwrap();
+                }
+                let mut prev = f64::NEG_INFINITY;
+                let mut count = 0;
+                while let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= prev, "out of order: {t} after {prev}");
+                    prev = t;
+                    count += 1;
+                }
+                prop_assert_eq!(count, times.len());
+            }
+
+            #[test]
+            fn equal_time_ties_preserve_insertion(n in 1usize..64) {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.schedule(1.0, i).unwrap();
+                }
+                let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+                prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+}

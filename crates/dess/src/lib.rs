@@ -1,0 +1,47 @@
+//! # sst-dess — discrete-event network simulation substrate
+//!
+//! The paper generates its synthetic workload "in ns-2 … using the
+//! on-off model, where the on/off periods have heavy-tailed
+//! distributions" (§IV). This crate is the ns-2 substitute: a small,
+//! deterministic discrete-event simulator with exactly the pieces that
+//! experiment needs —
+//!
+//! * [`EventQueue`] — a time-ordered event core with FIFO tie-breaking;
+//! * [`TrafficSource`]s — [`CbrSource`], [`PoissonSource`], and the
+//!   heavy-tailed [`OnOffSource`] whose superposition is self-similar
+//!   with `H = (3 − α)/2`;
+//! * [`BottleneckLink`] — a store-and-forward link with a drop-tail
+//!   queue (ns-2's `DropTail` over a point-to-point link);
+//! * [`RateMonitor`] — the measurement tap that bins packets into the
+//!   rate process `f(t)` the paper samples;
+//! * [`OnOffScenario`] — the assembled experiment, one builder call away.
+//!
+//! Everything is seeded and deterministic: the same `(scenario, seed)`
+//! pair reproduces the same trace bit-for-bit, which is what makes the
+//! figure harness reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use sst_dess::OnOffScenario;
+//!
+//! // A miniature version of the paper's ns-2 workload: H = 0.8.
+//! let out = OnOffScenario::new()
+//!     .sources(8)
+//!     .hurst(0.8)
+//!     .duration(30.0)
+//!     .run(42);
+//! assert!(out.offered.mean() > 0.0);
+//! ```
+
+pub mod engine;
+pub mod link;
+pub mod monitor;
+pub mod scenario;
+pub mod source;
+
+pub use engine::{EventQueue, ScheduleInPastError};
+pub use link::{BottleneckLink, LinkVerdict};
+pub use monitor::RateMonitor;
+pub use scenario::{LinkSpec, OnOffScenario, ScenarioOutput};
+pub use source::{CbrSource, Emission, OnOffSource, PoissonSource, TrafficSource};

@@ -1,0 +1,285 @@
+//! A store-and-forward bottleneck link with a finite drop-tail queue —
+//! the minimal router model between traffic sources and a measurement
+//! point.
+//!
+//! Semantics: a packet arriving at time `t` is dropped if the queue
+//! (including the packet in service) already holds `queue_limit` packets;
+//! otherwise it departs at `max(t, previous departure) + size·8/capacity`.
+//! This is the standard single-server FIFO fluid-free packet model, and
+//! is exactly what ns-2's `DropTail` queue over a point-to-point link
+//! computes.
+
+use std::collections::VecDeque;
+
+/// Outcome of offering one packet to the link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkVerdict {
+    /// Packet accepted; it will depart at the contained time.
+    Forwarded {
+        /// Departure (transmission-complete) time in seconds.
+        departs_at: f64,
+    },
+    /// Packet dropped because the queue was full on arrival.
+    Dropped,
+}
+
+/// A fixed-capacity link with a drop-tail FIFO queue.
+///
+/// # Examples
+///
+/// ```
+/// use sst_dess::{BottleneckLink, LinkVerdict};
+///
+/// // 8000 bit/s link: a 1000-byte packet takes exactly 1 s to serialize.
+/// let mut link = BottleneckLink::new(8_000.0, 4);
+/// match link.offer(0.0, 1000) {
+///     LinkVerdict::Forwarded { departs_at } => assert_eq!(departs_at, 1.0),
+///     LinkVerdict::Dropped => unreachable!(),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct BottleneckLink {
+    capacity_bps: f64,
+    queue_limit: usize,
+    /// Departure times of packets still "in the system" (in service or
+    /// queued), oldest first.
+    in_flight: VecDeque<f64>,
+    last_departure: f64,
+    forwarded: u64,
+    dropped: u64,
+    busy_until: f64,
+    busy_time: f64,
+}
+
+impl BottleneckLink {
+    /// Creates a link with `capacity_bps` bits/second and a queue that
+    /// holds at most `queue_limit` packets (including the one in
+    /// service).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the capacity is positive and `queue_limit >= 1`.
+    pub fn new(capacity_bps: f64, queue_limit: usize) -> Self {
+        assert!(capacity_bps > 0.0 && capacity_bps.is_finite(), "capacity must be positive");
+        assert!(queue_limit >= 1, "queue must hold at least one packet");
+        BottleneckLink {
+            capacity_bps,
+            queue_limit,
+            in_flight: VecDeque::new(),
+            last_departure: 0.0,
+            forwarded: 0,
+            dropped: 0,
+            busy_until: 0.0,
+            busy_time: 0.0,
+        }
+    }
+
+    /// Link capacity in bits/second.
+    pub fn capacity_bps(&self) -> f64 {
+        self.capacity_bps
+    }
+
+    /// Maximum number of packets held (service + queue).
+    pub fn queue_limit(&self) -> usize {
+        self.queue_limit
+    }
+
+    /// Offers a packet of `size` bytes arriving at time `at`.
+    ///
+    /// Arrival times must be non-decreasing across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not finite, goes backwards, or `size == 0`.
+    pub fn offer(&mut self, at: f64, size: u32) -> LinkVerdict {
+        assert!(at.is_finite(), "arrival time must be finite");
+        assert!(size > 0, "packet size must be positive");
+        // Release every packet that has already departed by `at`.
+        while let Some(&d) = self.in_flight.front() {
+            if d <= at {
+                self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.in_flight.len() >= self.queue_limit {
+            self.dropped += 1;
+            return LinkVerdict::Dropped;
+        }
+        let tx = size as f64 * 8.0 / self.capacity_bps;
+        let start = self.last_departure.max(at);
+        let departs_at = start + tx;
+        self.last_departure = departs_at;
+        self.in_flight.push_back(departs_at);
+        self.forwarded += 1;
+        self.busy_time += tx;
+        self.busy_until = departs_at;
+        LinkVerdict::Forwarded { departs_at }
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drop ratio `dropped / offered` (0 when nothing was offered).
+    pub fn loss_rate(&self) -> f64 {
+        let offered = self.forwarded + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+
+    /// Number of packets currently in the system (service + queue),
+    /// as of the last offered arrival.
+    pub fn backlog(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Utilization over `[0, horizon]`: total transmission time divided
+    /// by the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `horizon > 0`.
+    pub fn utilization(&self, horizon: f64) -> f64 {
+        assert!(horizon > 0.0, "horizon must be positive");
+        (self.busy_time / horizon).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn departure(v: LinkVerdict) -> f64 {
+        match v {
+            LinkVerdict::Forwarded { departs_at } => departs_at,
+            LinkVerdict::Dropped => panic!("expected forwarded"),
+        }
+    }
+
+    #[test]
+    fn serialization_delay_is_size_over_capacity() {
+        let mut link = BottleneckLink::new(1e6, 100);
+        let d = departure(link.offer(0.0, 1250)); // 10_000 bits @ 1 Mbps
+        assert!((d - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_up() {
+        let mut link = BottleneckLink::new(8e3, 100); // 1000 B = 1 s
+        let d1 = departure(link.offer(0.0, 1000));
+        let d2 = departure(link.offer(0.0, 1000));
+        let d3 = departure(link.offer(0.0, 1000));
+        assert_eq!((d1, d2, d3), (1.0, 2.0, 3.0));
+        assert_eq!(link.backlog(), 3);
+    }
+
+    #[test]
+    fn idle_link_restarts_service_at_arrival() {
+        let mut link = BottleneckLink::new(8e3, 100);
+        let d1 = departure(link.offer(0.0, 1000));
+        assert_eq!(d1, 1.0);
+        // Arrives long after the first departed: service starts at 5.
+        let d2 = departure(link.offer(5.0, 1000));
+        assert_eq!(d2, 6.0);
+    }
+
+    #[test]
+    fn droptail_drops_when_full() {
+        let mut link = BottleneckLink::new(8e3, 2);
+        assert!(matches!(link.offer(0.0, 1000), LinkVerdict::Forwarded { .. }));
+        assert!(matches!(link.offer(0.0, 1000), LinkVerdict::Forwarded { .. }));
+        assert_eq!(link.offer(0.0, 1000), LinkVerdict::Dropped);
+        assert_eq!(link.forwarded(), 2);
+        assert_eq!(link.dropped(), 1);
+        assert!((link.loss_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_frees_as_time_passes() {
+        let mut link = BottleneckLink::new(8e3, 2);
+        link.offer(0.0, 1000); // departs 1.0
+        link.offer(0.0, 1000); // departs 2.0
+        assert_eq!(link.offer(0.5, 1000), LinkVerdict::Dropped);
+        // By 1.5 the first packet left; room again.
+        let d = departure(link.offer(1.5, 1000));
+        assert_eq!(d, 3.0, "service resumes behind the in-flight packet");
+    }
+
+    #[test]
+    fn departures_are_fifo_and_spaced_by_transmission_time() {
+        let mut link = BottleneckLink::new(1e6, 1000);
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let d = departure(link.offer(i as f64 * 1e-4, 500));
+            let tx = 500.0 * 8.0 / 1e6;
+            assert!(d >= prev + tx - 1e-12, "dep {d} too close to {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut link = BottleneckLink::new(8e3, 10);
+        link.offer(0.0, 1000); // 1 s of service
+        link.offer(4.0, 1000); // 1 s of service
+        assert!((link.utilization(10.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_rate_zero_when_idle() {
+        let link = BottleneckLink::new(1e6, 4);
+        assert_eq!(link.loss_rate(), 0.0);
+        assert_eq!(link.forwarded(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue must hold at least one packet")]
+    fn zero_queue_rejected() {
+        BottleneckLink::new(1e6, 0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn conservation_and_fifo(
+                gaps in proptest::collection::vec(0.0f64..0.01, 1..300),
+                sizes in proptest::collection::vec(40u32..1500, 300),
+            ) {
+                let mut link = BottleneckLink::new(1e6, 16);
+                let mut t = 0.0;
+                let mut last_dep = 0.0;
+                let mut fwd = 0u64;
+                let mut drop = 0u64;
+                for (g, &s) in gaps.iter().zip(&sizes) {
+                    t += g;
+                    match link.offer(t, s) {
+                        LinkVerdict::Forwarded { departs_at } => {
+                            prop_assert!(departs_at > t, "departure before arrival");
+                            prop_assert!(departs_at >= last_dep, "FIFO violated");
+                            last_dep = departs_at;
+                            fwd += 1;
+                        }
+                        LinkVerdict::Dropped => drop += 1,
+                    }
+                }
+                prop_assert_eq!(fwd, link.forwarded());
+                prop_assert_eq!(drop, link.dropped());
+                prop_assert_eq!((fwd + drop) as usize, gaps.len());
+                prop_assert!(link.backlog() <= link.queue_limit());
+            }
+        }
+    }
+}

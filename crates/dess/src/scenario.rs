@@ -1,0 +1,412 @@
+//! Ready-made simulation scenarios: the ns-2 experiment the paper runs
+//! ("generate in ns-2 self-similar traffic with Hurst parameter 0.80
+//! using the on-off model") as a one-call builder.
+
+use crate::engine::EventQueue;
+use crate::link::{BottleneckLink, LinkVerdict};
+use crate::monitor::RateMonitor;
+use crate::source::{OnOffSource, TrafficSource};
+use sst_nettrace::{FlowKey, Packet, PacketTrace, Protocol};
+use sst_stats::rng::derive_seed;
+use sst_stats::TimeSeries;
+
+/// Bottleneck-link parameters for a scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Link capacity in bits/second.
+    pub capacity_bps: f64,
+    /// Drop-tail queue limit in packets.
+    pub queue_limit: usize,
+}
+
+/// Builder for an aggregated on/off-source simulation.
+///
+/// Defaults reproduce the paper's §IV setup in miniature: Pareto on/off
+/// sources with shape `α = 1.4` (so `H = (3 − α)/2 = 0.8`), no
+/// bottleneck, 10 ms measurement bins.
+///
+/// # Examples
+///
+/// ```
+/// use sst_dess::OnOffScenario;
+///
+/// let out = OnOffScenario::new()
+///     .sources(4)
+///     .duration(20.0)
+///     .run(7);
+/// assert_eq!(out.offered.len(), 2000); // 20 s at 10 ms bins
+/// ```
+#[derive(Clone, Debug)]
+pub struct OnOffScenario {
+    n_sources: usize,
+    alpha: f64,
+    mean_on: f64,
+    mean_off: f64,
+    pps_on: f64,
+    pkt_size: u32,
+    dt: f64,
+    duration: f64,
+    link: Option<LinkSpec>,
+    capture_packets: bool,
+}
+
+impl Default for OnOffScenario {
+    fn default() -> Self {
+        OnOffScenario::new()
+    }
+}
+
+impl OnOffScenario {
+    /// Creates the default scenario (16 sources, α = 1.4, 1 s mean
+    /// periods, 100 pkt/s of 1000 B while ON, 10 ms bins, 60 s horizon,
+    /// no bottleneck).
+    pub fn new() -> Self {
+        OnOffScenario {
+            n_sources: 16,
+            alpha: 1.4,
+            mean_on: 1.0,
+            mean_off: 1.0,
+            pps_on: 100.0,
+            pkt_size: 1000,
+            dt: 0.01,
+            duration: 60.0,
+            link: None,
+            capture_packets: false,
+        }
+    }
+
+    /// Number of on/off sources to superpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sources(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one source");
+        self.n_sources = n;
+        self
+    }
+
+    /// Pareto shape `α ∈ (1, 2)` of the on/off period lengths. The
+    /// aggregate converges to `H = (3 − α)/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 < alpha < 2`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 1.0 && alpha < 2.0, "alpha must lie in (1,2), got {alpha}");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Target Hurst parameter; sets `α = 3 − 2H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.5 < hurst < 1`.
+    pub fn hurst(self, hurst: f64) -> Self {
+        assert!(hurst > 0.5 && hurst < 1.0, "H must lie in (0.5,1), got {hurst}");
+        self.alpha(3.0 - 2.0 * hurst)
+    }
+
+    /// Mean ON and OFF period lengths in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are positive.
+    pub fn periods(mut self, mean_on: f64, mean_off: f64) -> Self {
+        assert!(mean_on > 0.0 && mean_off > 0.0, "period means must be positive");
+        self.mean_on = mean_on;
+        self.mean_off = mean_off;
+        self
+    }
+
+    /// Per-source emission rate while ON (packets/second) and packet
+    /// size (bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pps > 0` and `size > 0`.
+    pub fn emission(mut self, pps: f64, size: u32) -> Self {
+        assert!(pps > 0.0, "packet rate must be positive");
+        assert!(size > 0, "packet size must be positive");
+        self.pps_on = pps;
+        self.pkt_size = size;
+        self
+    }
+
+    /// Measurement bin width in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dt > 0`.
+    pub fn bin_width(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0, "bin width must be positive");
+        self.dt = dt;
+        self
+    }
+
+    /// Simulation horizon in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `duration > 0`.
+    pub fn duration(mut self, duration: f64) -> Self {
+        assert!(duration > 0.0, "duration must be positive");
+        self.duration = duration;
+        self
+    }
+
+    /// Routes the aggregate through a bottleneck link before the
+    /// delivered-traffic tap.
+    pub fn bottleneck(mut self, spec: LinkSpec) -> Self {
+        self.link = Some(spec);
+        self
+    }
+
+    /// Also returns the packet-level trace (costs memory proportional to
+    /// the packet count).
+    pub fn capture(mut self, capture: bool) -> Self {
+        self.capture_packets = capture;
+        self
+    }
+
+    /// The Hurst parameter the Taqqu-Willinger-Sherman limit predicts
+    /// for this configuration: `H = (3 − α)/2`.
+    pub fn expected_hurst(&self) -> f64 {
+        (3.0 - self.alpha) / 2.0
+    }
+
+    /// Long-run offered load in bytes/second (analytic).
+    pub fn offered_load(&self) -> f64 {
+        let duty = self.mean_on / (self.mean_on + self.mean_off);
+        self.n_sources as f64 * duty * self.pps_on * self.pkt_size as f64
+    }
+
+    /// Runs the simulation. All randomness derives from `seed`.
+    pub fn run(&self, seed: u64) -> ScenarioOutput {
+        let mut sources: Vec<OnOffSource> = (0..self.n_sources)
+            .map(|i| {
+                OnOffSource::ns2(
+                    self.alpha,
+                    self.mean_on,
+                    self.mean_off,
+                    self.pps_on,
+                    self.pkt_size,
+                    derive_seed(seed, i as u64),
+                )
+            })
+            .collect();
+
+        // Event = source index; the queue merges the per-source streams
+        // into one time-ordered arrival process.
+        let mut queue = EventQueue::new();
+        for (i, src) in sources.iter_mut().enumerate() {
+            if let Some(e) = src.next_packet() {
+                queue
+                    .schedule(e.time, (i, e.size))
+                    .expect("first emissions are never in the past");
+            }
+        }
+
+        let mut offered_mon = RateMonitor::new(self.dt, self.duration);
+        let mut delivered_mon =
+            self.link.map(|_| RateMonitor::new(self.dt, self.duration));
+        let mut link = self.link.map(|s| BottleneckLink::new(s.capacity_bps, s.queue_limit));
+        let mut packets = Vec::new();
+
+        while let Some((t, (i, size))) = queue.pop_until(self.duration) {
+            offered_mon.record(t, size);
+            match link.as_mut() {
+                Some(l) => {
+                    if let LinkVerdict::Forwarded { departs_at } = l.offer(t, size) {
+                        if let Some(mon) = delivered_mon.as_mut() {
+                            mon.record(departs_at, size);
+                        }
+                        if self.capture_packets {
+                            packets.push(Packet::new(departs_at, size, i as u32));
+                        }
+                    }
+                }
+                None => {
+                    if self.capture_packets {
+                        packets.push(Packet::new(t, size, i as u32));
+                    }
+                }
+            }
+            // Refill from the source that fired.
+            if let Some(e) = sources[i].next_packet() {
+                if e.time <= self.duration {
+                    queue.schedule(e.time, (i, e.size)).expect("emissions are monotone");
+                }
+            }
+        }
+
+        let trace = if self.capture_packets {
+            // Departure reordering across the link cannot happen (FIFO),
+            // but be defensive: PacketTrace requires sorted timestamps.
+            packets.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+            let max_t = packets.last().map_or(0.0, |p| p.time);
+            let flows: Vec<FlowKey> = (0..self.n_sources)
+                .map(|i| FlowKey {
+                    src: i as u32,
+                    dst: u32::MAX,
+                    src_port: 1024,
+                    dst_port: 9,
+                    proto: Protocol::Udp,
+                })
+                .collect();
+            Some(PacketTrace::new(flows, packets, self.duration.max(max_t)))
+        } else {
+            None
+        };
+
+        ScenarioOutput {
+            offered: offered_mon.into_series(),
+            delivered: delivered_mon.map(RateMonitor::into_series),
+            loss_rate: link.as_ref().map_or(0.0, BottleneckLink::loss_rate),
+            utilization: link.as_ref().map(|l| l.utilization(self.duration)),
+            trace,
+        }
+    }
+}
+
+/// Everything a scenario run measures.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutput {
+    /// Offered (pre-bottleneck) rate process, bytes/second per bin.
+    pub offered: TimeSeries,
+    /// Delivered (post-bottleneck) rate process; `None` without a link.
+    pub delivered: Option<TimeSeries>,
+    /// Fraction of packets dropped at the bottleneck (0 without a link).
+    pub loss_rate: f64,
+    /// Link utilization over the horizon; `None` without a link.
+    pub utilization: Option<f64>,
+    /// Packet-level trace, when capture was requested.
+    pub trace: Option<PacketTrace>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sc = OnOffScenario::new().sources(4).duration(10.0);
+        let a = sc.run(5);
+        let b = sc.run(5);
+        assert_eq!(a.offered.values(), b.offered.values());
+        let c = sc.run(6);
+        assert_ne!(a.offered.values(), c.offered.values());
+    }
+
+    #[test]
+    fn offered_mean_tracks_analytic_load() {
+        let sc = OnOffScenario::new()
+            .sources(32)
+            .alpha(1.6) // milder tail converges faster
+            .periods(0.2, 0.2)
+            .emission(200.0, 500)
+            .duration(120.0);
+        let out = sc.run(11);
+        let expect = sc.offered_load();
+        let got = out.offered.mean();
+        assert!(
+            (got / expect - 1.0).abs() < 0.2,
+            "offered mean {got:.0} vs analytic {expect:.0}"
+        );
+    }
+
+    #[test]
+    fn no_link_means_no_loss_and_no_delivered_series() {
+        let out = OnOffScenario::new().sources(2).duration(5.0).run(1);
+        assert_eq!(out.loss_rate, 0.0);
+        assert!(out.delivered.is_none());
+        assert!(out.utilization.is_none());
+    }
+
+    #[test]
+    fn tight_bottleneck_drops_and_shapes_traffic() {
+        let sc = OnOffScenario::new()
+            .sources(16)
+            .periods(0.5, 0.5)
+            .emission(100.0, 1000)
+            .duration(60.0)
+            // Offered ≈ 16·0.5·100·1000·8 = 6.4 Mbps; give 2 Mbps.
+            .bottleneck(LinkSpec { capacity_bps: 2e6, queue_limit: 32 });
+        let out = sc.run(3);
+        assert!(out.loss_rate > 0.2, "loss {:.3}", out.loss_rate);
+        let delivered = out.delivered.expect("link produces delivered series");
+        // Delivered rate can never exceed capacity for long: its mean is
+        // below capacity in bytes/s.
+        assert!(delivered.mean() <= 2e6 / 8.0 + 1.0);
+        assert!(delivered.mean() < out.offered.mean());
+        assert!(out.utilization.unwrap() > 0.9, "saturated link should be busy");
+    }
+
+    #[test]
+    fn generous_bottleneck_is_lossless() {
+        let sc = OnOffScenario::new()
+            .sources(4)
+            .emission(50.0, 500)
+            .duration(30.0)
+            .bottleneck(LinkSpec { capacity_bps: 1e9, queue_limit: 1000 });
+        let out = sc.run(9);
+        assert_eq!(out.loss_rate, 0.0);
+        let delivered = out.delivered.unwrap();
+        // Byte conservation between taps (departures near the horizon
+        // may slip out of the window; allow a sliver).
+        let off: f64 = out.offered.values().iter().sum();
+        let del: f64 = delivered.values().iter().sum();
+        assert!((off - del).abs() / off < 0.01, "offered {off} delivered {del}");
+    }
+
+    #[test]
+    fn capture_produces_consistent_trace() {
+        let sc = OnOffScenario::new().sources(3).duration(10.0).capture(true);
+        let out = sc.run(2);
+        let trace = out.trace.expect("capture was requested");
+        assert_eq!(trace.flows().len(), 3);
+        assert!(!trace.is_empty());
+        // Binning the trace at the monitor's dt reproduces the offered
+        // series (no link: tap and trace see identical packets).
+        let rebinned = trace.to_rate_series(0.01);
+        let n = out.offered.len().min(rebinned.len());
+        for i in 0..n {
+            assert!(
+                (out.offered.values()[i] - rebinned.values()[i]).abs() < 1e-6,
+                "bin {i} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_hurst_mapping() {
+        assert!((OnOffScenario::new().alpha(1.4).expected_hurst() - 0.8).abs() < 1e-12);
+        assert!((OnOffScenario::new().hurst(0.9).expected_hurst() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_is_long_range_dependent() {
+        // The headline property: superposed heavy-tailed on/off sources
+        // produce an LRD aggregate with H ≈ (3 − α)/2. Estimate on a
+        // moderate run and accept a generous band (slow convergence is
+        // the whole point of the paper).
+        use sst_hurst::LocalWhittleEstimator;
+        let sc = OnOffScenario::new()
+            .sources(24)
+            .hurst(0.8)
+            .periods(0.4, 0.4)
+            .emission(250.0, 200)
+            .bin_width(0.05)
+            .duration(820.0); // 16384 bins
+        let out = sc.run(13);
+        let est = LocalWhittleEstimator::default()
+            .estimate(out.offered.values())
+            .expect("long enough");
+        assert!(
+            est.hurst > 0.65 && est.hurst < 0.98,
+            "H estimate {:.3} out of LRD band (expect ≈ 0.8)",
+            est.hurst
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! Packet sources: constant bit rate, Poisson, and the ns-2 style
+//! heavy-tailed on/off source whose superposition is self-similar.
+//!
+//! A source is a pull-based generator of timestamped packet emissions.
+//! Each source owns its RNG (seeded at construction), so a scenario with
+//! many sources is reproducible from a single root seed regardless of the
+//! order in which the event loop interleaves them.
+
+use rand::Rng;
+use sst_stats::dist::{Distribution, Exponential, Pareto};
+use sst_stats::rng::{derive_seed, rng_from_seed};
+
+/// One packet emission: absolute time and wire size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Emission {
+    /// Emission time in seconds from simulation start.
+    pub time: f64,
+    /// Packet size in bytes.
+    pub size: u32,
+}
+
+/// A pull-based packet generator with non-decreasing emission times.
+///
+/// Returning `None` means the source is exhausted (finite sources only;
+/// the built-in sources are unbounded and never return `None`).
+pub trait TrafficSource {
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The next emission, with `time` never decreasing across calls.
+    fn next_packet(&mut self) -> Option<Emission>;
+
+    /// Long-run offered load in bytes/second (analytic, not measured).
+    fn offered_load(&self) -> f64;
+}
+
+/// Constant-bit-rate source: packets of fixed size at fixed spacing.
+///
+/// # Examples
+///
+/// ```
+/// use sst_dess::{CbrSource, TrafficSource};
+/// let mut src = CbrSource::new(100.0, 1000, 0.0);
+/// let first = src.next_packet().unwrap();
+/// let second = src.next_packet().unwrap();
+/// assert_eq!(first.time, 0.0);
+/// assert!((second.time - 0.01).abs() < 1e-12); // 100 pkt/s
+/// assert_eq!(src.offered_load(), 100_000.0);   // bytes/s
+/// ```
+#[derive(Clone, Debug)]
+pub struct CbrSource {
+    pps: f64,
+    size: u32,
+    next_time: f64,
+}
+
+impl CbrSource {
+    /// Creates a CBR source emitting `pps` packets/second of `size` bytes
+    /// starting at `start` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pps > 0`, `size > 0`, and `start >= 0`.
+    pub fn new(pps: f64, size: u32, start: f64) -> Self {
+        assert!(pps > 0.0 && pps.is_finite(), "packet rate must be positive");
+        assert!(size > 0, "packet size must be positive");
+        assert!(start >= 0.0 && start.is_finite(), "start time must be non-negative");
+        CbrSource { pps, size, next_time: start }
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn name(&self) -> &'static str {
+        "cbr"
+    }
+
+    fn next_packet(&mut self) -> Option<Emission> {
+        let e = Emission { time: self.next_time, size: self.size };
+        self.next_time += 1.0 / self.pps;
+        Some(e)
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.pps * self.size as f64
+    }
+}
+
+/// Poisson source: exponential inter-packet gaps — the classical
+/// short-range-dependent null model the self-similarity literature
+/// rejects for real traffic.
+#[derive(Debug)]
+pub struct PoissonSource {
+    gap: Exponential,
+    size: u32,
+    clock: f64,
+    rng: rand::rngs::StdRng,
+}
+
+impl PoissonSource {
+    /// Creates a Poisson source with mean rate `pps` packets/second of
+    /// `size`-byte packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pps > 0` and `size > 0`.
+    pub fn new(pps: f64, size: u32, seed: u64) -> Self {
+        assert!(pps > 0.0 && pps.is_finite(), "packet rate must be positive");
+        assert!(size > 0, "packet size must be positive");
+        PoissonSource {
+            gap: Exponential::new(pps),
+            size,
+            clock: 0.0,
+            rng: rng_from_seed(derive_seed(seed, 0x7015)),
+        }
+    }
+}
+
+impl TrafficSource for PoissonSource {
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+
+    fn next_packet(&mut self) -> Option<Emission> {
+        self.clock += self.gap.sample(&mut self.rng);
+        Some(Emission { time: self.clock, size: self.size })
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.gap.mean().recip() * self.size as f64
+    }
+}
+
+/// Heavy-tailed on/off source — the ns-2 construction behind the paper's
+/// synthetic traces (§IV: "self-similar traffic … using the on-off
+/// model, where the on/off periods have heavy-tailed distributions").
+///
+/// During an ON period the source emits fixed-size packets at constant
+/// spacing; during OFF it is silent. Period lengths are Pareto with shape
+/// `α ∈ (1, 2)`; by Taqqu-Willinger-Sherman, aggregating many such
+/// sources yields fractional Gaussian noise with `H = (3 − α)/2`.
+#[derive(Debug)]
+pub struct OnOffSource {
+    on: Pareto,
+    off: Pareto,
+    pps_on: f64,
+    size: u32,
+    /// Time at which the current ON period ends.
+    on_until: f64,
+    /// Next emission instant within the current ON period.
+    next_emit: f64,
+    rng: rand::rngs::StdRng,
+}
+
+impl OnOffSource {
+    /// Creates an on/off source.
+    ///
+    /// * `on`, `off` — Pareto period-length distributions (seconds);
+    /// * `pps_on` — emission rate while ON, packets/second;
+    /// * `size` — packet size in bytes;
+    /// * `seed` — per-source RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pps_on > 0` and `size > 0`.
+    pub fn new(on: Pareto, off: Pareto, pps_on: f64, size: u32, seed: u64) -> Self {
+        assert!(pps_on > 0.0 && pps_on.is_finite(), "ON packet rate must be positive");
+        assert!(size > 0, "packet size must be positive");
+        let mut rng = rng_from_seed(derive_seed(seed, 0x0420));
+        // Start in a random phase: with probability duty-cycle begin ON,
+        // else begin with a residual OFF period. This removes the "all
+        // sources synchronized at t=0" startup transient.
+        let duty = on.mean() / (on.mean() + off.mean());
+        let start_on = rng.gen::<f64>() < duty;
+        let (on_until, next_emit) = if start_on {
+            let len = on.sample(&mut rng);
+            (len, 0.0)
+        } else {
+            let gap = off.sample(&mut rng);
+            (gap, gap) // placeholder: ON begins at `gap`, fixed below
+        };
+        let mut src = OnOffSource { on, off, pps_on, size, on_until, next_emit, rng };
+        if !start_on {
+            // Begin the first ON period after the initial OFF gap.
+            let start = src.next_emit;
+            let len = src.on.sample(&mut src.rng);
+            src.on_until = start + len;
+            src.next_emit = start;
+        }
+        src
+    }
+
+    /// ns-2's canonical parameterization: equal ON/OFF Pareto shapes `α`
+    /// with mean period lengths `mean_on`/`mean_off` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 < alpha < 2` and the means are positive.
+    pub fn ns2(
+        alpha: f64,
+        mean_on: f64,
+        mean_off: f64,
+        pps_on: f64,
+        size: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(alpha > 1.0 && alpha < 2.0, "shape must lie in (1,2), got {alpha}");
+        assert!(mean_on > 0.0 && mean_off > 0.0, "period means must be positive");
+        OnOffSource::new(
+            Pareto::with_mean(alpha, mean_on),
+            Pareto::with_mean(alpha, mean_off),
+            pps_on,
+            size,
+            seed,
+        )
+    }
+
+    /// Fraction of time spent ON (analytic).
+    pub fn duty_cycle(&self) -> f64 {
+        self.on.mean() / (self.on.mean() + self.off.mean())
+    }
+}
+
+impl TrafficSource for OnOffSource {
+    fn name(&self) -> &'static str {
+        "onoff-pareto"
+    }
+
+    fn next_packet(&mut self) -> Option<Emission> {
+        // Advance over OFF gaps until an emission instant falls inside
+        // the current ON period.
+        while self.next_emit >= self.on_until {
+            let off_gap = self.off.sample(&mut self.rng);
+            let on_start = self.on_until + off_gap;
+            let on_len = self.on.sample(&mut self.rng);
+            self.next_emit = on_start;
+            self.on_until = on_start + on_len;
+        }
+        let e = Emission { time: self.next_emit, size: self.size };
+        self.next_emit += 1.0 / self.pps_on;
+        Some(e)
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.duty_cycle() * self.pps_on * self.size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_until(src: &mut dyn TrafficSource, horizon: f64) -> Vec<Emission> {
+        let mut out = Vec::new();
+        loop {
+            match src.next_packet() {
+                Some(e) if e.time <= horizon => out.push(e),
+                _ => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cbr_is_exact() {
+        let mut src = CbrSource::new(10.0, 500, 0.0);
+        let pkts = drain_until(&mut src, 1.0);
+        // t = 0, 0.1, …, 1.0 inclusive.
+        assert_eq!(pkts.len(), 11);
+        assert!(pkts.windows(2).all(|w| (w[1].time - w[0].time - 0.1).abs() < 1e-9));
+        assert!(pkts.iter().all(|p| p.size == 500));
+    }
+
+    #[test]
+    fn cbr_start_offset() {
+        let mut src = CbrSource::new(1.0, 100, 5.0);
+        assert_eq!(src.next_packet().unwrap().time, 5.0);
+    }
+
+    #[test]
+    fn poisson_mean_rate_converges() {
+        let mut src = PoissonSource::new(200.0, 100, 42);
+        let pkts = drain_until(&mut src, 100.0);
+        let rate = pkts.len() as f64 / 100.0;
+        assert!((rate - 200.0).abs() < 10.0, "rate {rate}");
+        assert!((src.offered_load() - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_gaps_are_memoryless() {
+        // Coefficient of variation of exponential gaps is 1.
+        let mut src = PoissonSource::new(50.0, 100, 7);
+        let pkts = drain_until(&mut src, 2000.0);
+        let gaps: Vec<f64> = pkts.windows(2).map(|w| w[1].time - w[0].time).collect();
+        let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let v = gaps.iter().map(|g| (g - m).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = v.sqrt() / m;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn onoff_times_non_decreasing() {
+        let mut src = OnOffSource::ns2(1.4, 0.5, 0.5, 100.0, 1000, 3);
+        let mut prev = 0.0;
+        for _ in 0..50_000 {
+            let e = src.next_packet().unwrap();
+            assert!(e.time >= prev, "time went backwards: {} < {prev}", e.time);
+            prev = e.time;
+        }
+    }
+
+    #[test]
+    fn onoff_duty_cycle_matches_emission_fraction() {
+        let mut src = OnOffSource::ns2(1.5, 1.0, 3.0, 1000.0, 100, 11);
+        assert!((src.duty_cycle() - 0.25).abs() < 1e-12);
+        let horizon = 3000.0;
+        let pkts = drain_until(&mut src, horizon);
+        // Expected packets ≈ duty · pps · horizon. Heavy-tailed periods
+        // converge slowly; allow a generous band.
+        let expect = 0.25 * 1000.0 * horizon;
+        let got = pkts.len() as f64;
+        assert!(
+            (got / expect - 1.0).abs() < 0.35,
+            "got {got} expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn onoff_emits_in_bursts() {
+        // Within an ON period gaps are 1/pps; across OFF periods they are
+        // much larger. Check the gap distribution is bimodal: most gaps
+        // equal the ON spacing, some far exceed it.
+        let mut src = OnOffSource::ns2(1.3, 0.2, 0.8, 500.0, 100, 5);
+        let pkts: Vec<Emission> = (0..20_000).map(|_| src.next_packet().unwrap()).collect();
+        let spacing = 1.0 / 500.0;
+        let gaps: Vec<f64> = pkts.windows(2).map(|w| w[1].time - w[0].time).collect();
+        let on_gaps = gaps.iter().filter(|&&g| (g - spacing).abs() < 1e-9).count();
+        let off_gaps = gaps.iter().filter(|&&g| g > 10.0 * spacing).count();
+        assert!(on_gaps > gaps.len() / 2, "mostly intra-burst gaps, got {on_gaps}");
+        assert!(off_gaps > 0, "some inter-burst gaps");
+    }
+
+    #[test]
+    fn onoff_offered_load() {
+        let src = OnOffSource::ns2(1.5, 1.0, 1.0, 100.0, 1000, 1);
+        assert!((src.offered_load() - 50_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn onoff_seeds_give_distinct_streams() {
+        let mut a = OnOffSource::ns2(1.4, 0.5, 0.5, 100.0, 100, 1);
+        let mut b = OnOffSource::ns2(1.4, 0.5, 0.5, 100.0, 100, 2);
+        let ta: Vec<f64> = (0..100).map(|_| a.next_packet().unwrap().time).collect();
+        let tb: Vec<f64> = (0..100).map(|_| b.next_packet().unwrap().time).collect();
+        assert_ne!(ta, tb);
+        // Same seed reproduces exactly.
+        let mut a2 = OnOffSource::ns2(1.4, 0.5, 0.5, 100.0, 100, 1);
+        let ta2: Vec<f64> = (0..100).map(|_| a2.next_packet().unwrap().time).collect();
+        assert_eq!(ta, ta2);
+    }
+
+    #[test]
+    fn on_period_lengths_are_heavy_tailed() {
+        // Reconstruct ON-burst lengths from emission gaps and check the
+        // tail is heavier than exponential: max/mean ratio far above
+        // what an exponential with the same mean would produce.
+        let mut src = OnOffSource::ns2(1.2, 0.5, 0.5, 1000.0, 100, 23);
+        let pkts: Vec<Emission> = (0..200_000).map(|_| src.next_packet().unwrap()).collect();
+        let spacing = 1.0 / 1000.0;
+        let mut bursts = Vec::new();
+        let mut burst_start = pkts[0].time;
+        for w in pkts.windows(2) {
+            if w[1].time - w[0].time > 5.0 * spacing {
+                bursts.push(w[0].time - burst_start + spacing);
+                burst_start = w[1].time;
+            }
+        }
+        assert!(bursts.len() > 100, "need bursts, got {}", bursts.len());
+        let mean = bursts.iter().sum::<f64>() / bursts.len() as f64;
+        let max = bursts.iter().cloned().fold(0.0, f64::max);
+        // Exponential max/mean ~ ln(n) ≈ 7-9 here; Pareto(1.2) shoots
+        // far past that.
+        assert!(max / mean > 20.0, "max/mean = {}", max / mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must lie in (1,2)")]
+    fn onoff_rejects_light_tail_shape() {
+        OnOffSource::ns2(2.5, 1.0, 1.0, 100.0, 100, 0);
+    }
+}

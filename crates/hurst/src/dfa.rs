@@ -1,0 +1,171 @@
+//! Detrended fluctuation analysis (DFA-1).
+//!
+//! The most widely used robust Hurst estimator outside networking:
+//! integrate the centered series, split into boxes of length `n`, remove
+//! a per-box linear trend, and measure the RMS residual `F(n)`; then
+//! `F(n) ∝ n^H` for fGn-like input. DFA tolerates slow trends and mild
+//! non-stationarity that bias the variance-time and R/S methods, which
+//! makes it a good cross-check on measured traces.
+
+use crate::report::{EstimateError, HurstEstimate, Method};
+use sst_sigproc::numeric::logspace;
+use sst_sigproc::regress::ols;
+
+/// DFA-1 estimator (linear detrending).
+#[derive(Clone, Copy, Debug)]
+pub struct DfaEstimator {
+    /// Smallest box size (≥ 4 so the linear fit has residual df).
+    pub min_box: usize,
+    /// Number of box sizes on the log grid.
+    pub n_scales: usize,
+}
+
+impl Default for DfaEstimator {
+    fn default() -> Self {
+        DfaEstimator { min_box: 8, n_scales: 14 }
+    }
+}
+
+impl DfaEstimator {
+    /// Estimates H from `values`.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::TooShort`] below `16·min_box` points;
+    /// [`EstimateError::Degenerate`] for constant input.
+    pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
+        let need = self.min_box * 16;
+        if values.len() < need {
+            return Err(EstimateError::TooShort { got: values.len(), need });
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        // Profile (integrated, centered series).
+        let mut acc = 0.0;
+        let profile: Vec<f64> = values
+            .iter()
+            .map(|&x| {
+                acc += x - mean;
+                acc
+            })
+            .collect();
+        if profile.iter().all(|&p| p.abs() < 1e-12) {
+            return Err(EstimateError::Degenerate);
+        }
+
+        let max_box = values.len() / 4;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut last = 0usize;
+        for g in logspace(self.min_box as f64, max_box as f64, self.n_scales) {
+            let n = g.round() as usize;
+            if n <= last || n < 4 {
+                continue;
+            }
+            last = n;
+            if let Some(f) = fluctuation(&profile, n) {
+                if f > 0.0 {
+                    xs.push((n as f64).log10());
+                    ys.push(f.log10());
+                }
+            }
+        }
+        if xs.len() < 4 {
+            return Err(EstimateError::Degenerate);
+        }
+        let fit = ols(&xs, &ys);
+        Ok(HurstEstimate {
+            hurst: fit.slope,
+            stderr: fit.slope_stderr,
+            method: Method::Dfa,
+            n_points: xs.len(),
+            r_squared: fit.r_squared,
+        })
+    }
+}
+
+/// RMS of linearly detrended profile residuals over complete boxes of
+/// size `n`; `None` when no complete box exists.
+fn fluctuation(profile: &[f64], n: usize) -> Option<f64> {
+    let boxes = profile.len() / n;
+    if boxes == 0 {
+        return None;
+    }
+    let mut total = 0.0;
+    for b in 0..boxes {
+        let seg = &profile[b * n..(b + 1) * n];
+        // Least-squares line on (0..n) vs seg, residual sum of squares.
+        let m = n as f64;
+        let sx = (m - 1.0) * m / 2.0;
+        let sxx = (m - 1.0) * m * (2.0 * m - 1.0) / 6.0;
+        let sy: f64 = seg.iter().sum();
+        let sxy: f64 = seg.iter().enumerate().map(|(i, &y)| i as f64 * y).sum();
+        let denom = m * sxx - sx * sx;
+        let slope = (m * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / m;
+        for (i, &y) in seg.iter().enumerate() {
+            let r = y - (slope * i as f64 + intercept);
+            total += r * r;
+        }
+    }
+    Some((total / (boxes * n) as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_traffic::FgnGenerator;
+
+    #[test]
+    fn recovers_hurst_on_fgn() {
+        for &h in &[0.6, 0.75, 0.9] {
+            let vals = FgnGenerator::new(h).unwrap().generate_values(1 << 15, 17);
+            let est = DfaEstimator::default().estimate(&vals).unwrap();
+            assert!((est.hurst - h).abs() < 0.08, "H={h} est={}", est.hurst);
+        }
+    }
+
+    #[test]
+    fn white_noise_is_half() {
+        let vals = FgnGenerator::new(0.5).unwrap().generate_values(1 << 14, 2);
+        let est = DfaEstimator::default().estimate(&vals).unwrap();
+        assert!((est.hurst - 0.5).abs() < 0.07, "est={}", est.hurst);
+    }
+
+    #[test]
+    fn robust_to_linear_trend() {
+        // DFA-1 removes linear trends; variance-time does not.
+        let h = 0.7;
+        let vals: Vec<f64> = FgnGenerator::new(h)
+            .unwrap()
+            .generate_values(1 << 15, 9)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| x + i as f64 * 1e-4)
+            .collect();
+        let dfa = DfaEstimator::default().estimate(&vals).unwrap();
+        assert!((dfa.hurst - h).abs() < 0.1, "dfa={}", dfa.hurst);
+        let vt = crate::classic::VarianceTimeEstimator::default().estimate(&vals).unwrap();
+        assert!(
+            (vt.hurst - h).abs() > (dfa.hurst - h).abs(),
+            "trend should hurt variance-time ({}) more than DFA ({})",
+            vt.hurst,
+            dfa.hurst
+        );
+    }
+
+    #[test]
+    fn short_input_errors() {
+        assert!(matches!(
+            DfaEstimator::default().estimate(&[1.0; 50]),
+            Err(EstimateError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_input_degenerate() {
+        assert!(matches!(
+            DfaEstimator::default().estimate(&vec![2.0; 4096]),
+            Err(EstimateError::Degenerate)
+        ));
+    }
+}

@@ -1,0 +1,181 @@
+//! Common result and error types for the Hurst estimators.
+
+use std::fmt;
+
+/// Which estimation method produced a [`HurstEstimate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Abry-Veitch wavelet log-scale diagram (the paper's §VI tool).
+    Wavelet,
+    /// Rescaled-range (R/S) analysis.
+    RescaledRange,
+    /// Aggregated-variance (variance-time plot).
+    VarianceTime,
+    /// Low-frequency periodogram regression.
+    Periodogram,
+    /// Local Whittle (semi-parametric MLE).
+    LocalWhittle,
+    /// Log-log fit of the sample autocorrelation tail.
+    AcfFit,
+    /// Detrended fluctuation analysis (DFA-1).
+    Dfa,
+    /// Higuchi curve-length (fractal-dimension) method.
+    Higuchi,
+    /// Absolute first-moment scaling of the aggregated series.
+    AbsoluteMoment,
+    /// Peng's variance-of-residuals (block-detrended partial sums).
+    ResidualVariance,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Method::Wavelet => "wavelet (Abry-Veitch)",
+            Method::RescaledRange => "R/S",
+            Method::VarianceTime => "variance-time",
+            Method::Periodogram => "periodogram",
+            Method::LocalWhittle => "local Whittle",
+            Method::AcfFit => "ACF fit",
+            Method::Dfa => "DFA",
+            Method::Higuchi => "Higuchi",
+            Method::AbsoluteMoment => "absolute moments",
+            Method::ResidualVariance => "variance of residuals (Peng)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A Hurst-parameter estimate with its provenance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HurstEstimate {
+    /// The estimate Ĥ.
+    pub hurst: f64,
+    /// Standard error of Ĥ propagated from the underlying fit
+    /// (`NaN` when the method provides none).
+    pub stderr: f64,
+    /// The method that produced it.
+    pub method: Method,
+    /// Number of points (scales, frequencies, block sizes) in the fit.
+    pub n_points: usize,
+    /// R² of the underlying regression (`NaN` for likelihood methods).
+    pub r_squared: f64,
+}
+
+impl HurstEstimate {
+    /// The correlation-decay exponent `β = 2 − 2H` implied by Ĥ.
+    pub fn beta(&self) -> f64 {
+        2.0 - 2.0 * self.hurst
+    }
+
+    /// 95% confidence interval `Ĥ ± 1.96·stderr` (degenerate when stderr
+    /// is `NaN`).
+    pub fn ci95(&self) -> (f64, f64) {
+        (self.hurst - 1.96 * self.stderr, self.hurst + 1.96 * self.stderr)
+    }
+
+    /// Whether the estimate indicates long-range dependence (Ĥ
+    /// significantly above 1/2 given the standard error; falls back to
+    /// `Ĥ > 0.55` when no stderr is available).
+    pub fn is_lrd(&self) -> bool {
+        if self.stderr.is_finite() && self.stderr > 0.0 {
+            self.hurst - 1.96 * self.stderr > 0.5
+        } else {
+            self.hurst > 0.55
+        }
+    }
+}
+
+impl fmt::Display for HurstEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H = {:.4} ({})", self.hurst, self.method)
+    }
+}
+
+/// Why an estimator could not produce an estimate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The input series is too short for the method's minimum scales.
+    TooShort {
+        /// Points supplied.
+        got: usize,
+        /// Points the method needs.
+        need: usize,
+    },
+    /// The input is degenerate (constant or zero-variance).
+    Degenerate,
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::TooShort { got, need } => {
+                write!(f, "series too short: got {got} points, need at least {need}")
+            }
+            EstimateError::Degenerate => f.write_str("series is degenerate (zero variance)"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_conversion() {
+        let e = HurstEstimate {
+            hurst: 0.8,
+            stderr: 0.01,
+            method: Method::Wavelet,
+            n_points: 8,
+            r_squared: 0.99,
+        };
+        assert!((e.beta() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_and_lrd_flag() {
+        let strong = HurstEstimate {
+            hurst: 0.8,
+            stderr: 0.02,
+            method: Method::RescaledRange,
+            n_points: 10,
+            r_squared: 0.95,
+        };
+        assert!(strong.is_lrd());
+        let (lo, hi) = strong.ci95();
+        assert!(lo < 0.8 && hi > 0.8);
+
+        let weak = HurstEstimate {
+            hurst: 0.52,
+            stderr: 0.05,
+            method: Method::Periodogram,
+            n_points: 10,
+            r_squared: 0.5,
+        };
+        assert!(!weak.is_lrd());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = HurstEstimate {
+            hurst: 0.62,
+            stderr: f64::NAN,
+            method: Method::LocalWhittle,
+            n_points: 100,
+            r_squared: f64::NAN,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0.62"));
+        assert!(s.contains("Whittle"));
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = EstimateError::TooShort { got: 3, need: 64 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("64"));
+        assert!(EstimateError::Degenerate.to_string().contains("degenerate"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Frequency-domain Hurst estimators: periodogram regression and the
+//! local Whittle (semi-parametric Gaussian likelihood) estimator.
+
+use crate::report::{EstimateError, HurstEstimate, Method};
+use sst_sigproc::fft::periodogram;
+use sst_sigproc::numeric::golden_section_min;
+use sst_sigproc::regress::ols;
+
+/// Periodogram estimator: for an LRD process `I(λ) ~ c·λ^{1−2H}` as
+/// `λ → 0`, so an OLS fit of `log I` on `log λ` over the lowest
+/// frequencies has slope `1 − 2H`.
+#[derive(Clone, Copy, Debug)]
+pub struct PeriodogramEstimator {
+    /// Fraction of the lowest Fourier frequencies used (default 10%).
+    pub low_fraction: f64,
+}
+
+impl Default for PeriodogramEstimator {
+    fn default() -> Self {
+        PeriodogramEstimator { low_fraction: 0.10 }
+    }
+}
+
+impl PeriodogramEstimator {
+    /// Estimates H from `values`.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::TooShort`] with fewer than 128 points;
+    /// [`EstimateError::Degenerate`] when the spectrum is empty/zero.
+    pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
+        if values.len() < 128 {
+            return Err(EstimateError::TooShort { got: values.len(), need: 128 });
+        }
+        let (freqs, dens) = periodogram(values);
+        let m = ((freqs.len() as f64) * self.low_fraction).floor() as usize;
+        if m < 8 {
+            return Err(EstimateError::TooShort { got: values.len(), need: 128 });
+        }
+        let mut xs = Vec::with_capacity(m);
+        let mut ys = Vec::with_capacity(m);
+        for j in 0..m {
+            if dens[j] > 0.0 {
+                xs.push(freqs[j].log10());
+                ys.push(dens[j].log10());
+            }
+        }
+        if xs.len() < 8 {
+            return Err(EstimateError::Degenerate);
+        }
+        let fit = ols(&xs, &ys);
+        // slope = 1 − 2H.
+        Ok(HurstEstimate {
+            hurst: (1.0 - fit.slope) / 2.0,
+            stderr: fit.slope_stderr / 2.0,
+            method: Method::Periodogram,
+            n_points: xs.len(),
+            r_squared: fit.r_squared,
+        })
+    }
+}
+
+/// Local Whittle estimator (Robinson 1995): minimizes
+/// `R(H) = ln( (1/m) Σ_j λ_j^{2H−1} I(λ_j) ) − (2H−1)·(1/m) Σ_j ln λ_j`
+/// over `H`, using the lowest `m` Fourier frequencies.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalWhittleEstimator {
+    /// Bandwidth exponent: `m = n^bandwidth` frequencies (default 0.65).
+    pub bandwidth: f64,
+}
+
+impl Default for LocalWhittleEstimator {
+    fn default() -> Self {
+        LocalWhittleEstimator { bandwidth: 0.65 }
+    }
+}
+
+impl LocalWhittleEstimator {
+    /// Estimates H from `values`.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::TooShort`] with fewer than 256 points;
+    /// [`EstimateError::Degenerate`] for zero spectra.
+    pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
+        let n = values.len();
+        if n < 256 {
+            return Err(EstimateError::TooShort { got: n, need: 256 });
+        }
+        let (freqs, dens) = periodogram(values);
+        let m = ((n as f64).powf(self.bandwidth) as usize).clamp(16, freqs.len());
+        let lam = &freqs[..m];
+        let per = &dens[..m];
+        if per.iter().all(|&p| p <= 0.0) {
+            return Err(EstimateError::Degenerate);
+        }
+        let mean_log_lam = lam.iter().map(|l| l.ln()).sum::<f64>() / m as f64;
+        let objective = |h: f64| {
+            let g: f64 = lam
+                .iter()
+                .zip(per)
+                .map(|(&l, &p)| l.powf(2.0 * h - 1.0) * p)
+                .sum::<f64>()
+                / m as f64;
+            g.max(1e-300).ln() - (2.0 * h - 1.0) * mean_log_lam
+        };
+        let (h, _) = golden_section_min(objective, 0.01, 0.999, 1e-6);
+        // Asymptotic stderr of local Whittle is 1/(2√m).
+        Ok(HurstEstimate {
+            hurst: h,
+            stderr: 0.5 / (m as f64).sqrt(),
+            method: Method::LocalWhittle,
+            n_points: m,
+            r_squared: f64::NAN,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_traffic::FgnGenerator;
+
+    #[test]
+    fn periodogram_recovers_hurst() {
+        for &h in &[0.6, 0.75, 0.9] {
+            let vals = FgnGenerator::new(h).unwrap().generate_values(1 << 16, 13);
+            let est = PeriodogramEstimator::default().estimate(&vals).unwrap();
+            assert!((est.hurst - h).abs() < 0.1, "H={h} est={}", est.hurst);
+        }
+    }
+
+    #[test]
+    fn local_whittle_recovers_hurst() {
+        for &h in &[0.6, 0.8, 0.9] {
+            let vals = FgnGenerator::new(h).unwrap().generate_values(1 << 16, 29);
+            let est = LocalWhittleEstimator::default().estimate(&vals).unwrap();
+            assert!((est.hurst - h).abs() < 0.06, "H={h} est={}", est.hurst);
+        }
+    }
+
+    #[test]
+    fn white_noise_near_half() {
+        let vals = FgnGenerator::new(0.5).unwrap().generate_values(1 << 15, 7);
+        let p = PeriodogramEstimator::default().estimate(&vals).unwrap();
+        let w = LocalWhittleEstimator::default().estimate(&vals).unwrap();
+        assert!((p.hurst - 0.5).abs() < 0.1, "p={}", p.hurst);
+        assert!((w.hurst - 0.5).abs() < 0.06, "w={}", w.hurst);
+    }
+
+    #[test]
+    fn short_input_errors() {
+        assert!(matches!(
+            PeriodogramEstimator::default().estimate(&[0.0; 16]),
+            Err(EstimateError::TooShort { .. })
+        ));
+        assert!(matches!(
+            LocalWhittleEstimator::default().estimate(&[0.0; 16]),
+            Err(EstimateError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn whittle_stderr_shrinks_with_length() {
+        let short = FgnGenerator::new(0.7).unwrap().generate_values(1 << 10, 1);
+        let long = FgnGenerator::new(0.7).unwrap().generate_values(1 << 16, 1);
+        let es = LocalWhittleEstimator::default().estimate(&short).unwrap();
+        let el = LocalWhittleEstimator::default().estimate(&long).unwrap();
+        assert!(el.stderr < es.stderr);
+    }
+
+    #[test]
+    fn mean_shift_does_not_change_estimate() {
+        // The periodogram excludes the zero frequency, so a constant
+        // offset is invisible.
+        let vals = FgnGenerator::new(0.8).unwrap().generate_values(1 << 14, 3);
+        let shifted: Vec<f64> = vals.iter().map(|x| x + 100.0).collect();
+        let a = PeriodogramEstimator::default().estimate(&vals).unwrap();
+        let b = PeriodogramEstimator::default().estimate(&shifted).unwrap();
+        assert!((a.hurst - b.hurst).abs() < 1e-9);
+    }
+}

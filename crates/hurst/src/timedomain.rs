@@ -1,0 +1,408 @@
+//! Additional time-domain Hurst estimators: Higuchi's curve-length
+//! method, the absolute-moments method, and Peng's variance-of-residuals
+//! method (Taqqu & Teverovsky's survey battery).
+//!
+//! These diversify the estimator portfolio beyond the paper's wavelet
+//! tool: Higuchi is robust at short lengths, absolute moments uses first
+//! moments (finite even when the variance barely exists), and Peng's
+//! residual method detrends each block, making it robust to slow mean
+//! drift — the failure mode that inflates R/S and variance-time
+//! estimates on real traces.
+
+use crate::report::{EstimateError, HurstEstimate, Method};
+use sst_sigproc::regress::ols;
+
+/// Log-spaced unique integers in `[lo, hi]`, ~`per_decade` per decade.
+fn log_grid(lo: usize, hi: usize, per_decade: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if lo > hi {
+        return out;
+    }
+    let lg_lo = (lo as f64).log10();
+    let lg_hi = (hi as f64).log10();
+    let steps = ((lg_hi - lg_lo) * per_decade as f64).ceil().max(1.0) as usize;
+    for s in 0..=steps {
+        let v = 10f64.powf(lg_lo + (lg_hi - lg_lo) * s as f64 / steps as f64).round() as usize;
+        let v = v.clamp(lo, hi);
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Higuchi's method: the length of the partial-sum "curve" observed at
+/// stride `k` scales as `L(k) ~ k^{−D}` with fractal dimension
+/// `D = 2 − H`.
+///
+/// # Examples
+///
+/// ```
+/// use sst_hurst::timedomain::HiguchiEstimator;
+/// use sst_traffic::FgnGenerator;
+///
+/// let vals = FgnGenerator::new(0.8).unwrap().generate_values(1 << 14, 3);
+/// let est = HiguchiEstimator::default().estimate(&vals).unwrap();
+/// assert!((est.hurst - 0.8).abs() < 0.15);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct HiguchiEstimator {
+    /// Largest stride as a fraction of the series length (default 0.1).
+    pub max_stride_fraction: f64,
+}
+
+impl Default for HiguchiEstimator {
+    fn default() -> Self {
+        HiguchiEstimator { max_stride_fraction: 0.1 }
+    }
+}
+
+impl HiguchiEstimator {
+    /// Estimates H from `values` (an increment process, e.g. fGn-like
+    /// traffic rates; the partial sum is formed internally).
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::TooShort`] below 128 points;
+    /// [`EstimateError::Degenerate`] for constant input.
+    pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
+        let n = values.len();
+        if n < 128 {
+            return Err(EstimateError::TooShort { got: n, need: 128 });
+        }
+        // Constant input makes the partial sum a perfect ramp, which
+        // would read as H = 1; call it out as degenerate instead.
+        let first = values[0];
+        if values.iter().all(|&v| v == first) {
+            return Err(EstimateError::Degenerate);
+        }
+        // Partial-sum path Y of the *centered* increments (the "curve"
+        // whose length is measured). Without centering, any nonzero mean
+        // adds a linear ramp that dominates the curve length and drags
+        // the estimate toward H = 1 — fatal for traffic rates, which are
+        // strictly positive.
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let mut y = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &v in values {
+            acc += v - mean;
+            y.push(acc);
+        }
+        let k_max = ((n as f64) * self.max_stride_fraction).floor().max(4.0) as usize;
+        let ks = log_grid(1, k_max, 12);
+        let mut xs = Vec::with_capacity(ks.len());
+        let mut ls = Vec::with_capacity(ks.len());
+        for &k in &ks {
+            // Average normalized curve length over the k phase-shifted
+            // sub-curves.
+            let mut total = 0.0;
+            let mut used = 0usize;
+            for m in 0..k {
+                let steps = (n - 1 - m) / k;
+                if steps == 0 {
+                    continue;
+                }
+                let mut length = 0.0;
+                for i in 1..=steps {
+                    length += (y[m + i * k] - y[m + (i - 1) * k]).abs();
+                }
+                // Higuchi's normalization: (n−1)/(steps·k) corrects for
+                // the sub-curve seeing only `steps` of the n−1 gaps.
+                total += length * (n - 1) as f64 / (steps as f64 * k as f64 * k as f64);
+                used += 1;
+            }
+            if used == 0 || total <= 0.0 {
+                continue;
+            }
+            xs.push((k as f64).log10());
+            ls.push((total / used as f64).log10());
+        }
+        if xs.len() < 4 {
+            return Err(EstimateError::Degenerate);
+        }
+        let fit = ols(&xs, &ls);
+        if !fit.slope.is_finite() {
+            return Err(EstimateError::Degenerate);
+        }
+        // slope = −D = H − 2.
+        Ok(HurstEstimate {
+            hurst: fit.slope + 2.0,
+            stderr: fit.slope_stderr,
+            method: Method::Higuchi,
+            n_points: xs.len(),
+            r_squared: fit.r_squared,
+        })
+    }
+}
+
+/// Absolute-moments method: for the aggregated series `X^(m)`, the first
+/// absolute central moment scales as `AM(m) ~ m^{H−1}`.
+#[derive(Clone, Copy, Debug)]
+pub struct AbsoluteMomentEstimator {
+    /// Largest aggregation level as a fraction of the length (default
+    /// 0.1, so at least ~10 blocks enter the largest level).
+    pub max_level_fraction: f64,
+}
+
+impl Default for AbsoluteMomentEstimator {
+    fn default() -> Self {
+        AbsoluteMomentEstimator { max_level_fraction: 0.1 }
+    }
+}
+
+impl AbsoluteMomentEstimator {
+    /// Estimates H from `values`.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::TooShort`] below 256 points;
+    /// [`EstimateError::Degenerate`] for constant input.
+    pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
+        let n = values.len();
+        if n < 256 {
+            return Err(EstimateError::TooShort { got: n, need: 256 });
+        }
+        let grand_mean = values.iter().sum::<f64>() / n as f64;
+        let m_max = ((n as f64) * self.max_level_fraction).floor().max(4.0) as usize;
+        let ms = log_grid(1, m_max, 10);
+        let mut xs = Vec::with_capacity(ms.len());
+        let mut ys = Vec::with_capacity(ms.len());
+        for &m in &ms {
+            let blocks = n / m;
+            if blocks < 4 {
+                continue;
+            }
+            let mut am = 0.0;
+            for b in 0..blocks {
+                let mean_b = values[b * m..(b + 1) * m].iter().sum::<f64>() / m as f64;
+                am += (mean_b - grand_mean).abs();
+            }
+            am /= blocks as f64;
+            if am > 0.0 {
+                xs.push((m as f64).log10());
+                ys.push(am.log10());
+            }
+        }
+        if xs.len() < 4 {
+            return Err(EstimateError::Degenerate);
+        }
+        let fit = ols(&xs, &ys);
+        if !fit.slope.is_finite() {
+            return Err(EstimateError::Degenerate);
+        }
+        // slope = H − 1.
+        Ok(HurstEstimate {
+            hurst: fit.slope + 1.0,
+            stderr: fit.slope_stderr,
+            method: Method::AbsoluteMoment,
+            n_points: xs.len(),
+            r_squared: fit.r_squared,
+        })
+    }
+}
+
+/// Peng's variance-of-residuals method: within blocks of size `m`, fit a
+/// line to the partial sums and average the residual variance; it scales
+/// as `m^{2H}`.
+#[derive(Clone, Copy, Debug)]
+pub struct ResidualVarianceEstimator {
+    /// Smallest block size (default 8; below that the line fit eats the
+    /// signal).
+    pub min_block: usize,
+    /// Largest block as a fraction of the length (default 0.1).
+    pub max_block_fraction: f64,
+}
+
+impl Default for ResidualVarianceEstimator {
+    fn default() -> Self {
+        ResidualVarianceEstimator { min_block: 8, max_block_fraction: 0.1 }
+    }
+}
+
+impl ResidualVarianceEstimator {
+    /// Estimates H from `values`.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::TooShort`] below 256 points;
+    /// [`EstimateError::Degenerate`] for constant input.
+    pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
+        let n = values.len();
+        if n < 256 {
+            return Err(EstimateError::TooShort { got: n, need: 256 });
+        }
+        let m_max = ((n as f64) * self.max_block_fraction).floor() as usize;
+        if m_max <= self.min_block {
+            return Err(EstimateError::TooShort { got: n, need: self.min_block * 10 });
+        }
+        let ms = log_grid(self.min_block, m_max, 10);
+        let mut xs = Vec::with_capacity(ms.len());
+        let mut ys = Vec::with_capacity(ms.len());
+        for &m in &ms {
+            let blocks = n / m;
+            if blocks < 2 {
+                continue;
+            }
+            let mut total = 0.0;
+            for b in 0..blocks {
+                // Partial sums within the block.
+                let mut y = Vec::with_capacity(m);
+                let mut acc = 0.0;
+                for &v in &values[b * m..(b + 1) * m] {
+                    acc += v;
+                    y.push(acc);
+                }
+                // OLS line over (1..m, y); residual variance.
+                let ts: Vec<f64> = (0..m).map(|i| i as f64).collect();
+                let fit = ols(&ts, &y);
+                let mut resid = 0.0;
+                for (i, &yi) in y.iter().enumerate() {
+                    let e = yi - (fit.intercept + fit.slope * i as f64);
+                    resid += e * e;
+                }
+                total += resid / m as f64;
+            }
+            let v = total / blocks as f64;
+            if v > 0.0 {
+                xs.push((m as f64).log10());
+                ys.push(v.log10());
+            }
+        }
+        if xs.len() < 4 {
+            return Err(EstimateError::Degenerate);
+        }
+        let fit = ols(&xs, &ys);
+        if !fit.slope.is_finite() {
+            return Err(EstimateError::Degenerate);
+        }
+        // slope = 2H.
+        Ok(HurstEstimate {
+            hurst: fit.slope / 2.0,
+            stderr: fit.slope_stderr / 2.0,
+            method: Method::ResidualVariance,
+            n_points: xs.len(),
+            r_squared: fit.r_squared,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_traffic::FgnGenerator;
+
+    fn fgn(h: f64, n: usize, seed: u64) -> Vec<f64> {
+        FgnGenerator::new(h).unwrap().generate_values(n, seed)
+    }
+
+    #[test]
+    fn higuchi_recovers_hurst() {
+        for &h in &[0.6, 0.75, 0.9] {
+            let est = HiguchiEstimator::default().estimate(&fgn(h, 1 << 15, 5)).unwrap();
+            assert!((est.hurst - h).abs() < 0.12, "H={h} est={}", est.hurst);
+            assert!(est.r_squared > 0.95, "poor fit at H={h}: R²={}", est.r_squared);
+        }
+    }
+
+    #[test]
+    fn absolute_moment_recovers_hurst() {
+        for &h in &[0.6, 0.8, 0.9] {
+            let est =
+                AbsoluteMomentEstimator::default().estimate(&fgn(h, 1 << 16, 9)).unwrap();
+            assert!((est.hurst - h).abs() < 0.12, "H={h} est={}", est.hurst);
+        }
+    }
+
+    #[test]
+    fn residual_variance_recovers_hurst() {
+        for &h in &[0.6, 0.8, 0.9] {
+            let est =
+                ResidualVarianceEstimator::default().estimate(&fgn(h, 1 << 16, 13)).unwrap();
+            assert!((est.hurst - h).abs() < 0.12, "H={h} est={}", est.hurst);
+        }
+    }
+
+    #[test]
+    fn white_noise_reads_near_half() {
+        let vals = fgn(0.5, 1 << 15, 21);
+        for (name, est) in [
+            ("higuchi", HiguchiEstimator::default().estimate(&vals).unwrap().hurst),
+            ("absmom", AbsoluteMomentEstimator::default().estimate(&vals).unwrap().hurst),
+            ("residual", ResidualVarianceEstimator::default().estimate(&vals).unwrap().hurst),
+        ] {
+            assert!((est - 0.5).abs() < 0.1, "{name}: {est}");
+        }
+    }
+
+    #[test]
+    fn higuchi_is_offset_invariant() {
+        // Traffic rates are strictly positive; a large mean must not
+        // drag the estimate toward 1.
+        let base = fgn(0.75, 1 << 14, 17);
+        let shifted: Vec<f64> = base.iter().map(|&v| v + 1e4).collect();
+        let a = HiguchiEstimator::default().estimate(&base).unwrap().hurst;
+        let b = HiguchiEstimator::default().estimate(&shifted).unwrap().hurst;
+        assert!((a - b).abs() < 1e-9, "offset changed Higuchi: {a} vs {b}");
+    }
+
+    #[test]
+    fn peng_is_robust_to_linear_trend() {
+        // Add a drift that wrecks variance-time but not Peng's
+        // block-detrended statistic.
+        let h = 0.75;
+        let base = fgn(h, 1 << 15, 31);
+        let drift: Vec<f64> =
+            base.iter().enumerate().map(|(i, &v)| v + 1e-4 * i as f64).collect();
+        let clean = ResidualVarianceEstimator::default().estimate(&base).unwrap().hurst;
+        let drifted = ResidualVarianceEstimator::default().estimate(&drift).unwrap().hurst;
+        assert!(
+            (drifted - clean).abs() < 0.1,
+            "Peng drifted from {clean:.3} to {drifted:.3} under trend"
+        );
+    }
+
+    #[test]
+    fn short_inputs_error() {
+        assert!(matches!(
+            HiguchiEstimator::default().estimate(&[1.0; 64]),
+            Err(EstimateError::TooShort { .. })
+        ));
+        assert!(matches!(
+            AbsoluteMomentEstimator::default().estimate(&[1.0; 64]),
+            Err(EstimateError::TooShort { .. })
+        ));
+        assert!(matches!(
+            ResidualVarianceEstimator::default().estimate(&[1.0; 64]),
+            Err(EstimateError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_input_is_degenerate() {
+        let vals = vec![3.0; 1024];
+        assert!(matches!(
+            AbsoluteMomentEstimator::default().estimate(&vals),
+            Err(EstimateError::Degenerate)
+        ));
+        assert!(matches!(
+            ResidualVarianceEstimator::default().estimate(&vals),
+            Err(EstimateError::Degenerate)
+        ));
+        // Higuchi on constant input: all curve lengths are zero.
+        assert!(matches!(
+            HiguchiEstimator::default().estimate(&vals),
+            Err(EstimateError::Degenerate)
+        ));
+    }
+
+    #[test]
+    fn log_grid_is_sorted_unique_and_bounded() {
+        let g = log_grid(1, 1000, 10);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*g.first().unwrap(), 1);
+        assert_eq!(*g.last().unwrap(), 1000);
+        let g2 = log_grid(5, 5, 10);
+        assert_eq!(g2, vec![5]);
+        assert!(log_grid(10, 5, 10).is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Abry-Veitch wavelet estimator of the Hurst parameter.
+//!
+//! The paper (§VI) measures the Hurst parameter of its traces with "a
+//! wavelet based tool provided by Abry et al. \[22\]" — the log-scale
+//! diagram. For an LRD process the average detail energy per octave obeys
+//! `log2 μ_j ≈ (2H − 1)·j + c`, so a weighted linear regression of
+//! `log2 μ_j` on the octave index `j` estimates `H`. Octaves are weighted
+//! by the inverse variance of `log2 μ_j` (≈ `ζ(2, n_j/2)/ln²2`), which is
+//! what makes the estimator close to efficient.
+
+use crate::report::{EstimateError, HurstEstimate, Method};
+use sst_sigproc::regress::weighted_ols;
+use sst_sigproc::special::hurwitz_zeta_2;
+use sst_sigproc::wavelet::{dwt, Wavelet};
+
+/// Configurable Abry-Veitch estimator.
+///
+/// # Examples
+///
+/// ```
+/// use sst_hurst::WaveletEstimator;
+/// use sst_traffic::FgnGenerator;
+///
+/// let trace = FgnGenerator::new(0.8).unwrap().generate_values(1 << 14, 7);
+/// let est = WaveletEstimator::default().estimate(&trace).unwrap();
+/// assert!((est.hurst - 0.8).abs() < 0.1);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct WaveletEstimator {
+    wavelet: Wavelet,
+    /// First octave included in the fit (skips fine scales where
+    /// short-range structure dominates).
+    j1: usize,
+    /// Last octave (inclusive); `None` = deepest octave with ≥ 8
+    /// coefficients.
+    j2: Option<usize>,
+}
+
+impl Default for WaveletEstimator {
+    fn default() -> Self {
+        WaveletEstimator { wavelet: Wavelet::Db3, j1: 3, j2: None }
+    }
+}
+
+impl WaveletEstimator {
+    /// Creates an estimator with an explicit octave range `[j1, j2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j1 == 0` or `j2 < j1 + 1` (need at least 2 octaves).
+    pub fn with_octaves(wavelet: Wavelet, j1: usize, j2: usize) -> Self {
+        assert!(j1 >= 1, "octaves are 1-based");
+        assert!(j2 > j1, "need at least two octaves to fit a slope");
+        WaveletEstimator { wavelet, j1, j2: Some(j2) }
+    }
+
+    /// Sets the wavelet family (builder-style).
+    pub fn wavelet(mut self, w: Wavelet) -> Self {
+        self.wavelet = w;
+        self
+    }
+
+    /// Sets the first fitted octave (builder-style).
+    pub fn min_octave(mut self, j1: usize) -> Self {
+        assert!(j1 >= 1, "octaves are 1-based");
+        self.j1 = j1;
+        self
+    }
+
+    /// Estimates H from `values`.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::TooShort`] if fewer than 2 fit octaves are
+    /// available; [`EstimateError::Degenerate`] for constant input.
+    pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
+        let need = 1 << (self.j1 + 4);
+        if values.len() < need.max(64) {
+            return Err(EstimateError::TooShort { got: values.len(), need: need.max(64) });
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>()
+            / values.len() as f64;
+        if var <= f64::EPSILON * mean.abs().max(1.0) {
+            return Err(EstimateError::Degenerate);
+        }
+        let max_levels = self.j2.unwrap_or(usize::MAX).min(30);
+        let pyr = dwt(values, self.wavelet, max_levels);
+        let mut octs = Vec::new();
+        let mut logs = Vec::new();
+        let mut weights = Vec::new();
+        let deepest = self.j2.unwrap_or(pyr.levels()).min(pyr.levels());
+        for j in self.j1..=deepest {
+            let n_j = pyr.octave_len(j);
+            if n_j < 8 {
+                break;
+            }
+            let mu = match pyr.octave_energy(j) {
+                Some(m) if m > 0.0 => m,
+                _ => return Err(EstimateError::Degenerate),
+            };
+            octs.push(j as f64);
+            logs.push(mu.log2());
+            // var(log2 μ_j) ≈ ζ(2, n_j/2) / ln²2 (Veitch & Abry 1999).
+            let var = hurwitz_zeta_2(n_j as f64 / 2.0) / (std::f64::consts::LN_2.powi(2));
+            weights.push(1.0 / var);
+        }
+        if octs.len() < 2 {
+            return Err(EstimateError::TooShort { got: values.len(), need: need.max(64) });
+        }
+        let fit = weighted_ols(&octs, &logs, &weights);
+        // slope = 2H − 1.
+        let hurst = (fit.slope + 1.0) / 2.0;
+        Ok(HurstEstimate {
+            hurst,
+            stderr: fit.slope_stderr / 2.0,
+            method: Method::Wavelet,
+            n_points: octs.len(),
+            r_squared: fit.r_squared,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_traffic::FgnGenerator;
+
+    #[test]
+    fn recovers_hurst_across_range() {
+        for &h in &[0.6, 0.7, 0.8, 0.9] {
+            let vals = FgnGenerator::new(h).unwrap().generate_values(1 << 16, 42);
+            let est = WaveletEstimator::default().estimate(&vals).unwrap();
+            assert!((est.hurst - h).abs() < 0.06, "H={h} est={}", est.hurst);
+            assert!(est.is_lrd());
+        }
+    }
+
+    #[test]
+    fn white_noise_is_half() {
+        let vals = FgnGenerator::new(0.5).unwrap().generate_values(1 << 15, 3);
+        let est = WaveletEstimator::default().estimate(&vals).unwrap();
+        assert!((est.hurst - 0.5).abs() < 0.08, "est={}", est.hurst);
+        assert!(!est.is_lrd());
+    }
+
+    #[test]
+    fn explicit_octave_range() {
+        let vals = FgnGenerator::new(0.75).unwrap().generate_values(1 << 15, 9);
+        let est = WaveletEstimator::with_octaves(Wavelet::Db2, 2, 9)
+            .estimate(&vals)
+            .unwrap();
+        assert!((est.hurst - 0.75).abs() < 0.08, "est={}", est.hurst);
+        assert!(est.n_points <= 8);
+    }
+
+    #[test]
+    fn too_short_input_errors() {
+        let vals = vec![1.0, 2.0, 3.0];
+        assert!(matches!(
+            WaveletEstimator::default().estimate(&vals),
+            Err(EstimateError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_input_is_degenerate() {
+        let vals = vec![5.0; 1 << 12];
+        assert_eq!(
+            WaveletEstimator::default().estimate(&vals),
+            Err(EstimateError::Degenerate)
+        );
+    }
+
+    #[test]
+    fn different_wavelets_agree() {
+        let vals = FgnGenerator::new(0.8).unwrap().generate_values(1 << 16, 17);
+        let a = WaveletEstimator::default().wavelet(Wavelet::Db2).estimate(&vals).unwrap();
+        let b = WaveletEstimator::default().wavelet(Wavelet::Db6).estimate(&vals).unwrap();
+        assert!((a.hurst - b.hurst).abs() < 0.05, "{} vs {}", a.hurst, b.hurst);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two octaves")]
+    fn invalid_octave_range_panics() {
+        WaveletEstimator::with_octaves(Wavelet::Haar, 3, 3);
+    }
+}

@@ -1,0 +1,211 @@
+//! Compact binary codec for packet traces.
+//!
+//! Multi-million-packet traces are the norm here (the paper's Bell Labs
+//! capture), so the wire format is a fixed-layout little-endian encoding
+//! (16 bytes/packet) rather than a self-describing one. A serde model is
+//! also derived on the types for interoperability; this codec is the
+//! fast path.
+
+use crate::packet::{FlowKey, Packet, Protocol};
+use crate::trace::PacketTrace;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic bytes + version prefix of the format.
+const MAGIC: &[u8; 6] = b"SSTRC1";
+
+/// Decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not begin with the expected magic/version.
+    BadMagic,
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// A field held an invalid value (protocol tag, flow index, order).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => f.write_str("not a packet-trace buffer (bad magic)"),
+            CodecError::Truncated => f.write_str("buffer truncated"),
+            CodecError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes a trace into a freshly allocated buffer.
+pub fn encode(trace: &PacketTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        MAGIC.len() + 8 + 8 + 13 * trace.flows().len() + 8 + 20 * trace.len(),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_f64_le(trace.duration());
+    buf.put_u64_le(trace.flows().len() as u64);
+    for f in trace.flows() {
+        buf.put_u32_le(f.src);
+        buf.put_u32_le(f.dst);
+        buf.put_u16_le(f.src_port);
+        buf.put_u16_le(f.dst_port);
+        buf.put_u8(match f.proto {
+            Protocol::Tcp => 0,
+            Protocol::Udp => 1,
+        });
+    }
+    buf.put_u64_le(trace.len() as u64);
+    for p in trace.packets() {
+        buf.put_f64_le(p.time);
+        buf.put_u32_le(p.size);
+        buf.put_u32_le(p.flow);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace from a buffer produced by [`encode`].
+///
+/// # Errors
+///
+/// Any structural problem yields a [`CodecError`]; the function never
+/// panics on untrusted input.
+pub fn decode(mut buf: &[u8]) -> Result<PacketTrace, CodecError> {
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    buf.advance(MAGIC.len());
+    if buf.remaining() < 16 {
+        return Err(CodecError::Truncated);
+    }
+    let duration = buf.get_f64_le();
+    if !(duration.is_finite() && duration >= 0.0) {
+        return Err(CodecError::Corrupt("duration"));
+    }
+    let n_flows = buf.get_u64_le() as usize;
+    if buf.remaining() < n_flows.saturating_mul(13) {
+        return Err(CodecError::Truncated);
+    }
+    let mut flows = Vec::with_capacity(n_flows);
+    for _ in 0..n_flows {
+        let src = buf.get_u32_le();
+        let dst = buf.get_u32_le();
+        let src_port = buf.get_u16_le();
+        let dst_port = buf.get_u16_le();
+        let proto = match buf.get_u8() {
+            0 => Protocol::Tcp,
+            1 => Protocol::Udp,
+            _ => return Err(CodecError::Corrupt("protocol tag")),
+        };
+        flows.push(FlowKey { src, dst, src_port, dst_port, proto });
+    }
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let n_packets = buf.get_u64_le() as usize;
+    if buf.remaining() < n_packets.saturating_mul(16) {
+        return Err(CodecError::Truncated);
+    }
+    let mut packets = Vec::with_capacity(n_packets);
+    let mut prev = 0.0f64;
+    for _ in 0..n_packets {
+        let time = buf.get_f64_le();
+        let size = buf.get_u32_le();
+        let flow = buf.get_u32_le();
+        if !(time.is_finite() && time >= prev && time <= duration) {
+            return Err(CodecError::Corrupt("packet time"));
+        }
+        if size == 0 {
+            return Err(CodecError::Corrupt("packet size"));
+        }
+        if flow as usize >= flows.len() {
+            return Err(CodecError::Corrupt("flow index"));
+        }
+        prev = time;
+        packets.push(Packet { time, size, flow });
+    }
+    Ok(PacketTrace::new(flows, packets, duration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::TraceSynthesizer;
+
+    #[test]
+    fn round_trip_synthesized_trace() {
+        let t = TraceSynthesizer::bell_labs_like().duration(30.0).synthesize(7);
+        let encoded = encode(&t);
+        let back = decode(&encoded).expect("decode");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn round_trip_empty_trace() {
+        let t = PacketTrace::new(vec![], vec![], 5.0);
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"NOTATRACE"), Err(CodecError::BadMagic));
+        assert_eq!(decode(b""), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_boundary() {
+        let t = TraceSynthesizer::bell_labs_like().duration(10.0).synthesize(1);
+        let encoded = encode(&t);
+        for cut in [MAGIC.len(), MAGIC.len() + 4, encoded.len() / 2, encoded.len() - 1] {
+            let r = decode(&encoded[..cut]);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_protocol_rejected() {
+        let t = PacketTrace::new(
+            vec![FlowKey {
+                src: 1,
+                dst: 2,
+                src_port: 1,
+                dst_port: 2,
+                proto: Protocol::Tcp,
+            }],
+            vec![Packet::new(0.5, 100, 0)],
+            1.0,
+        );
+        let mut raw = encode(&t).to_vec();
+        // Protocol byte is the last byte of the single 13-byte flow record.
+        let proto_off = MAGIC.len() + 8 + 8 + 12;
+        raw[proto_off] = 9;
+        assert_eq!(decode(&raw), Err(CodecError::Corrupt("protocol tag")));
+    }
+
+    #[test]
+    fn corrupt_flow_index_rejected() {
+        let t = PacketTrace::new(
+            vec![FlowKey {
+                src: 1,
+                dst: 2,
+                src_port: 1,
+                dst_port: 2,
+                proto: Protocol::Udp,
+            }],
+            vec![Packet::new(0.5, 100, 0)],
+            1.0,
+        );
+        let mut raw = encode(&t).to_vec();
+        let flow_off = raw.len() - 4;
+        raw[flow_off] = 7;
+        assert_eq!(decode(&raw), Err(CodecError::Corrupt("flow index")));
+    }
+
+    #[test]
+    fn size_is_compact() {
+        let t = TraceSynthesizer::bell_labs_like().duration(30.0).synthesize(2);
+        let encoded = encode(&t);
+        let per_packet = encoded.len() as f64 / t.len().max(1) as f64;
+        assert!(per_packet < 40.0, "bytes/packet = {per_packet}");
+    }
+}

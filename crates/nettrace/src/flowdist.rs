@@ -1,0 +1,369 @@
+//! Flow-length distribution inversion from sampled packet streams —
+//! Duffield, Lund & Thorup ("Estimating Flow Distributions from Sampled
+//! Flow Statistics", SIGCOMM 2003), the last related-work thread in the
+//! paper's §I.
+//!
+//! Under independent packet sampling with probability `p`, a flow with
+//! `j` packets appears in the sampled stream as a binomially thinned
+//! flow with `k ~ B(j, p)` packets, and is *invisible* when `k = 0`.
+//! Given the observed frequencies `g_k` (# flows seen with `k` sampled
+//! packets, `k ≥ 1`), the expectation-maximization estimator recovers
+//! the original flow-length frequencies `λ_j`:
+//!
+//! ```text
+//! E-step:  P(j | k) = λ_j·B(k; j, p) / Σ_{j'} λ_{j'}·B(k; j', p)
+//! M-step:  λ_j ← Σ_{k≥1} g_k·P(j | k)  +  λ_j·B(0; j, p)
+//! ```
+//!
+//! (observed flows are attributed to original lengths by responsibility;
+//! invisible flows are carried at their current expected mass).
+
+use sst_sigproc::special::ln_choose;
+use std::collections::BTreeMap;
+
+/// Log of the binomial pmf `B(k; j, p)`.
+fn ln_binom_pmf(k: usize, j: usize, p: f64) -> f64 {
+    if k > j {
+        return f64::NEG_INFINITY;
+    }
+    ln_choose(j as f64, k as f64) + (k as f64) * p.ln() + ((j - k) as f64) * (1.0 - p).ln_1p_safe()
+}
+
+trait Ln1pSafe {
+    /// `ln(self)` computed as `ln1p(self − 1)` for accuracy near 1, with
+    /// `p = 1` handled (`ln 0 = −∞` only multiplied by zero upstream).
+    fn ln_1p_safe(self) -> f64;
+}
+
+impl Ln1pSafe for f64 {
+    fn ln_1p_safe(self) -> f64 {
+        if self <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            (self - 1.0).ln_1p()
+        }
+    }
+}
+
+/// Configuration for the EM inversion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EmConfig {
+    /// Largest original flow length considered (support cutoff `J`).
+    pub max_length: usize,
+    /// EM iterations.
+    pub iterations: usize,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig { max_length: 1 << 12, iterations: 60 }
+    }
+}
+
+/// The estimated original flow-length distribution.
+#[derive(Clone, Debug)]
+pub struct FlowDistEstimate {
+    /// Expected number of original flows of each length `j ≥ 1`
+    /// (index 0 ↔ length 1).
+    lambdas: Vec<f64>,
+    sampling_prob: f64,
+}
+
+impl FlowDistEstimate {
+    /// Expected flow counts per length, `λ_j` for `j = 1…J`.
+    pub fn lambdas(&self) -> &[f64] {
+        &self.lambdas
+    }
+
+    /// Estimated total number of original flows (including the ones the
+    /// sample never saw).
+    pub fn total_flows(&self) -> f64 {
+        self.lambdas.iter().sum()
+    }
+
+    /// Estimated mean original flow length in packets.
+    pub fn mean_length(&self) -> f64 {
+        let total = self.total_flows();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.lambdas
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (i + 1) as f64 * l)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Estimated fraction of flows with length `> j`.
+    pub fn ccdf(&self, j: usize) -> f64 {
+        let total = self.total_flows();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.lambdas.iter().skip(j).sum::<f64>() / total
+    }
+
+    /// The packet-sampling probability the estimate was computed for.
+    pub fn sampling_prob(&self) -> f64 {
+        self.sampling_prob
+    }
+}
+
+/// Runs the EM inversion.
+///
+/// `observed` maps sampled-flow length `k ≥ 1` to the number of flows
+/// observed with exactly `k` sampled packets; `p` is the packet-sampling
+/// probability.
+///
+/// # Panics
+///
+/// Panics unless `0 < p <= 1`, `config.max_length >= 1`, and every
+/// observed length is `>= 1`.
+pub fn invert_flow_distribution(
+    observed: &BTreeMap<usize, u64>,
+    p: f64,
+    config: EmConfig,
+) -> FlowDistEstimate {
+    assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1], got {p}");
+    assert!(config.max_length >= 1, "support must be non-empty");
+    assert!(
+        observed.keys().all(|&k| k >= 1),
+        "observed sampled lengths must be >= 1 (zero-packet flows are unobservable)"
+    );
+
+    // p = 1: nothing was thinned; the observation *is* the answer.
+    if p >= 1.0 {
+        let mut lambdas = vec![0.0; config.max_length];
+        for (&k, &g) in observed {
+            if k <= config.max_length {
+                lambdas[k - 1] = g as f64;
+            }
+        }
+        return FlowDistEstimate { lambdas, sampling_prob: p };
+    }
+
+    let j_max = config.max_length;
+    // Initialize λ uniformly over a plausible support: lengths up to
+    // max(observed k)/p (longer flows are exponentially unlikely to be
+    // invisible anyway).
+    let k_max = observed.keys().copied().max().unwrap_or(1);
+    let support = ((k_max as f64 / p).ceil() as usize * 2).clamp(k_max, j_max);
+    let total_obs: f64 = observed.values().map(|&g| g as f64).sum();
+    let mut lambdas = vec![0.0f64; j_max];
+    for l in lambdas.iter_mut().take(support) {
+        *l = total_obs / support as f64;
+    }
+
+    // Precompute B(0; j, p) = (1−p)^j.
+    let miss: Vec<f64> = (1..=j_max).map(|j| (1.0 - p).powi(j as i32)).collect();
+
+    for _ in 0..config.iterations {
+        let mut next = vec![0.0f64; j_max];
+        // Invisible mass stays put.
+        for j in 0..j_max {
+            next[j] += lambdas[j] * miss[j];
+        }
+        // Observed mass redistributed by responsibility.
+        for (&k, &g) in observed {
+            // Support of j for this k: j >= k; weights die off fast past
+            // k/p, so truncate at a few fold for speed.
+            let j_hi = (((k as f64 / p) * 4.0).ceil() as usize).clamp(k, j_max);
+            let mut weights = Vec::with_capacity(j_hi - k + 1);
+            let mut z = 0.0f64;
+            for j in k..=j_hi {
+                let w = lambdas[j - 1] * ln_binom_pmf(k, j, p).exp();
+                weights.push(w);
+                z += w;
+            }
+            if z <= 0.0 {
+                // No support yet (e.g. λ zero there): attribute to j = k.
+                next[k - 1] += g as f64;
+                continue;
+            }
+            for (j, w) in (k..=j_hi).zip(weights) {
+                next[j - 1] += g as f64 * w / z;
+            }
+        }
+        lambdas = next;
+    }
+
+    FlowDistEstimate { lambdas, sampling_prob: p }
+}
+
+/// Builds the observed `g_k` histogram from a sampled packet stream:
+/// counts per flow id of the packets that survived sampling.
+pub fn observed_flow_lengths<I: IntoIterator<Item = u32>>(
+    sampled_flow_ids: I,
+) -> BTreeMap<usize, u64> {
+    let mut per_flow: BTreeMap<u32, usize> = BTreeMap::new();
+    for f in sampled_flow_ids {
+        *per_flow.entry(f).or_insert(0) += 1;
+    }
+    let mut g = BTreeMap::new();
+    for (_, k) in per_flow {
+        *g.entry(k).or_insert(0) += 1;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use sst_stats::rng::rng_from_seed;
+
+    /// Synthesizes flows with geometric lengths, samples packets with
+    /// probability `p`, and returns (g_k, true mean length, true #flows).
+    fn thinned_geometric(
+        n_flows: usize,
+        mean_len: f64,
+        p: f64,
+        seed: u64,
+    ) -> (BTreeMap<usize, u64>, f64, usize) {
+        let mut rng = rng_from_seed(seed);
+        let q = 1.0 - 1.0 / mean_len;
+        let mut g = BTreeMap::new();
+        let mut total_len = 0usize;
+        for _ in 0..n_flows {
+            // Geometric length >= 1.
+            let mut j = 1usize;
+            while rng.gen::<f64>() < q {
+                j += 1;
+            }
+            total_len += j;
+            let mut k = 0usize;
+            for _ in 0..j {
+                if rng.gen::<f64>() < p {
+                    k += 1;
+                }
+            }
+            if k > 0 {
+                *g.entry(k).or_insert(0) += 1;
+            }
+        }
+        (g, total_len as f64 / n_flows as f64, n_flows)
+    }
+
+    #[test]
+    fn identity_at_full_sampling() {
+        let mut obs = BTreeMap::new();
+        obs.insert(1usize, 10u64);
+        obs.insert(5, 3);
+        let est = invert_flow_distribution(&obs, 1.0, EmConfig::default());
+        assert_eq!(est.lambdas()[0], 10.0);
+        assert_eq!(est.lambdas()[4], 3.0);
+        assert_eq!(est.total_flows(), 13.0);
+    }
+
+    #[test]
+    fn recovers_total_flow_count_under_thinning() {
+        let (g, _, n) = thinned_geometric(20_000, 20.0, 0.1, 7);
+        let est = invert_flow_distribution(&g, 0.1, EmConfig::default());
+        let ratio = est.total_flows() / n as f64;
+        assert!(
+            (ratio - 1.0).abs() < 0.15,
+            "estimated {} flows, truth {n} (ratio {ratio:.3})",
+            est.total_flows()
+        );
+    }
+
+    #[test]
+    fn recovers_mean_flow_length_under_thinning() {
+        let (g, true_mean, _) = thinned_geometric(20_000, 20.0, 0.1, 13);
+        let est = invert_flow_distribution(&g, 0.1, EmConfig::default());
+        let ratio = est.mean_length() / true_mean;
+        assert!(
+            (ratio - 1.0).abs() < 0.15,
+            "estimated mean {:.2}, truth {true_mean:.2}",
+            est.mean_length()
+        );
+    }
+
+    #[test]
+    fn naive_scaling_is_much_worse_for_short_flows() {
+        // The estimator the EM replaces: count observed flows. It misses
+        // all invisible flows, so its flow count is biased low — badly
+        // when flows are short. (At p = 0.1 and mean length 4, ~70% of
+        // flows are invisible.)
+        let (g, _, n) = thinned_geometric(20_000, 4.0, 0.1, 3);
+        let cfg = EmConfig { iterations: 200, ..EmConfig::default() };
+        let est = invert_flow_distribution(&g, 0.1, cfg);
+        let naive_count: f64 = g.values().map(|&v| v as f64).sum();
+        let em_err = (est.total_flows() / n as f64 - 1.0).abs();
+        let naive_err = (naive_count / n as f64 - 1.0).abs();
+        assert!(
+            em_err < naive_err / 2.0,
+            "EM err {em_err:.3} should crush naive err {naive_err:.3}"
+        );
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_normalized() {
+        let (g, _, _) = thinned_geometric(5_000, 10.0, 0.2, 1);
+        let est = invert_flow_distribution(&g, 0.2, EmConfig::default());
+        assert!((est.ccdf(0) - 1.0).abs() < 1e-9, "ccdf(0) = {}", est.ccdf(0));
+        let mut prev = 1.0;
+        for j in 1..100 {
+            let c = est.ccdf(j);
+            assert!(c <= prev + 1e-12, "ccdf not monotone at {j}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn observed_histogram_builder() {
+        let g = observed_flow_lengths([1u32, 1, 2, 3, 3, 3]);
+        assert_eq!(g[&1], 1); // flow 2
+        assert_eq!(g[&2], 1); // flow 1
+        assert_eq!(g[&3], 1); // flow 3
+    }
+
+    #[test]
+    fn empty_observation_is_benign() {
+        let est = invert_flow_distribution(&BTreeMap::new(), 0.5, EmConfig::default());
+        assert_eq!(est.total_flows(), 0.0);
+        assert_eq!(est.mean_length(), 0.0);
+        assert_eq!(est.ccdf(3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling probability")]
+    fn invalid_probability_rejected() {
+        invert_flow_distribution(&BTreeMap::new(), 0.0, EmConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn zero_length_observation_rejected() {
+        let mut g = BTreeMap::new();
+        g.insert(0usize, 5u64);
+        invert_flow_distribution(&g, 0.5, EmConfig::default());
+    }
+
+    #[test]
+    fn end_to_end_with_packet_sampling() {
+        use crate::flowstats::sample_packets;
+        use crate::synth::TraceSynthesizer;
+        // Sample a synthesized trace and invert: the estimated total
+        // flow count must land nearer the truth than the naive count of
+        // observed flows.
+        let trace = TraceSynthesizer::bell_labs_like().duration(120.0).synthesize(5);
+        let p = 0.2;
+        let sampled = sample_packets(&trace, p, 3);
+        let mut g: BTreeMap<usize, u64> = BTreeMap::new();
+        for (_, k) in sampled.flow_counts() {
+            *g.entry(k as usize).or_insert(0) += 1;
+        }
+        let est = invert_flow_distribution(&g, p, EmConfig::default());
+        let truth = crate::heavyhitter::exact_flow_bytes(&trace).len() as f64;
+        let naive: f64 = g.values().map(|&v| v as f64).sum();
+        let em_err = (est.total_flows() - truth).abs();
+        let naive_err = (naive - truth).abs();
+        assert!(
+            em_err <= naive_err,
+            "EM {:.1} vs naive {naive:.1}, truth {truth}",
+            est.total_flows()
+        );
+    }
+}

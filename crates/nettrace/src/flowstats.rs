@@ -1,0 +1,230 @@
+//! Flow statistics from sampled packet streams.
+//!
+//! The paper's related work (§I: Duffield, Lund & Thorup) estimates flow
+//! properties from *sampled* packet streams rather than binned series.
+//! This module provides that packet-level path: Bernoulli packet
+//! sampling over a [`crate::PacketTrace`], inversion of per-flow packet
+//! counts (`count/r` is unbiased), and detection-probability math for
+//! flows of a given length — the quantities a NetFlow-style monitor
+//! actually reports.
+
+use crate::packet::Packet;
+use crate::trace::PacketTrace;
+use rand::Rng;
+use sst_stats::rng::{derive_seed, rng_from_seed};
+use std::collections::BTreeMap;
+
+/// A packet-sampled view of a trace: the subset of packets an
+/// independent-per-packet (Bernoulli) sampler at rate `r` would export.
+#[derive(Clone, Debug)]
+pub struct SampledPackets {
+    rate: f64,
+    packets: Vec<Packet>,
+}
+
+/// Bernoulli-samples the packets of `trace` at rate `rate`.
+///
+/// # Panics
+///
+/// Panics unless `0 < rate <= 1`.
+pub fn sample_packets(trace: &PacketTrace, rate: f64, seed: u64) -> SampledPackets {
+    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+    let mut rng = rng_from_seed(derive_seed(seed, 0xF10));
+    let packets = trace
+        .packets()
+        .iter()
+        .filter(|_| rng.gen::<f64>() < rate)
+        .copied()
+        .collect();
+    SampledPackets { rate, packets }
+}
+
+impl SampledPackets {
+    /// The sampling rate used.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Number of exported packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// `true` when nothing was exported.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Unbiased estimate of the trace's total packet count
+    /// (`exported / r`).
+    pub fn estimated_total_packets(&self) -> f64 {
+        self.packets.len() as f64 / self.rate
+    }
+
+    /// Unbiased estimate of the total byte volume (`Σ size / r`).
+    pub fn estimated_total_bytes(&self) -> f64 {
+        self.packets.iter().map(|p| p.size as f64).sum::<f64>() / self.rate
+    }
+
+    /// Per-flow exported packet counts (flow table index → count).
+    pub fn flow_counts(&self) -> BTreeMap<u32, u64> {
+        let mut counts = BTreeMap::new();
+        for p in &self.packets {
+            *counts.entry(p.flow).or_insert(0u64) += 1;
+        }
+        counts
+    }
+
+    /// Unbiased per-flow packet-count estimates (`count/r`) for flows
+    /// with at least one exported packet. Flows missed entirely are
+    /// absent — see [`detection_probability`] for how likely that is.
+    pub fn estimated_flow_lengths(&self) -> BTreeMap<u32, f64> {
+        self.flow_counts()
+            .into_iter()
+            .map(|(flow, c)| (flow, c as f64 / self.rate))
+            .collect()
+    }
+
+    /// Estimated mean flow length corrected for missed flows: the naive
+    /// per-detected-flow mean is biased up (short flows vanish), so the
+    /// number of *flows* is also inverted through the length-dependent
+    /// detection probability using the detected-length histogram.
+    ///
+    /// Returns `None` when no packets were exported.
+    pub fn estimated_mean_flow_length(&self) -> Option<f64> {
+        let counts = self.flow_counts();
+        if counts.is_empty() {
+            return None;
+        }
+        let total_pkts = self.estimated_total_packets();
+        // For each detected flow, its true length estimate is c/r and the
+        // detection probability of a flow of that length is
+        // 1 − (1−r)^(c/r); 1/p_detect is the Horvitz-Thompson weight for
+        // the flow-count denominator.
+        let mut est_flows = 0.0;
+        for &c in counts.values() {
+            let len_est = c as f64 / self.rate;
+            let p_detect = 1.0 - (1.0 - self.rate).powf(len_est);
+            if p_detect > 1e-12 {
+                est_flows += 1.0 / p_detect;
+            }
+        }
+        (est_flows > 0.0).then(|| total_pkts / est_flows)
+    }
+}
+
+/// Probability that a flow of `length` packets is detected at all under
+/// Bernoulli sampling at `rate`: `1 − (1−r)^length`.
+///
+/// # Panics
+///
+/// Panics unless `0 < rate <= 1`.
+pub fn detection_probability(length: u64, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1]");
+    1.0 - (1.0 - rate).powi(length.min(i32::MAX as u64) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::TraceSynthesizer;
+
+    fn test_trace() -> PacketTrace {
+        TraceSynthesizer::bell_labs_like().duration(300.0).synthesize(5)
+    }
+
+    #[test]
+    fn sampling_rate_is_respected() {
+        let trace = test_trace();
+        let s = sample_packets(&trace, 0.1, 1);
+        let got = s.len() as f64 / trace.len() as f64;
+        assert!((got - 0.1).abs() < 0.02, "rate={got}");
+    }
+
+    #[test]
+    fn totals_are_unbiased() {
+        let trace = test_trace();
+        // Average the inversion over several sampling seeds.
+        let (mut pkts, mut bytes) = (0.0, 0.0);
+        let reps = 16;
+        for seed in 0..reps {
+            let s = sample_packets(&trace, 0.05, seed);
+            pkts += s.estimated_total_packets();
+            bytes += s.estimated_total_bytes();
+        }
+        pkts /= reps as f64;
+        bytes /= reps as f64;
+        assert!(
+            (pkts - trace.len() as f64).abs() / (trace.len() as f64) < 0.1,
+            "pkts={pkts} true={}",
+            trace.len()
+        );
+        assert!(
+            (bytes - trace.total_bytes() as f64).abs() / (trace.total_bytes() as f64) < 0.1,
+            "bytes={bytes} true={}",
+            trace.total_bytes()
+        );
+    }
+
+    #[test]
+    fn full_rate_is_identity() {
+        let trace = test_trace();
+        let s = sample_packets(&trace, 1.0, 3);
+        assert_eq!(s.len(), trace.len());
+        assert_eq!(s.estimated_total_packets(), trace.len() as f64);
+        let per_flow = s.flow_counts();
+        assert_eq!(per_flow.values().sum::<u64>() as usize, trace.len());
+    }
+
+    #[test]
+    fn detection_probability_limits() {
+        assert!((detection_probability(1, 0.01) - 0.01).abs() < 1e-12);
+        assert!(detection_probability(1000, 0.01) > 0.99995);
+        assert_eq!(detection_probability(5, 1.0), 1.0);
+        assert!(detection_probability(0, 0.5) == 0.0);
+    }
+
+    #[test]
+    fn mean_flow_length_correction_reduces_bias() {
+        let trace = test_trace();
+        // True mean packets per flow.
+        let mut per_flow: BTreeMap<u32, u64> = BTreeMap::new();
+        for p in trace.packets() {
+            *per_flow.entry(p.flow).or_insert(0) += 1;
+        }
+        let true_mean =
+            trace.len() as f64 / per_flow.len() as f64;
+
+        let rate = 0.05;
+        let (mut corrected_err, mut naive_err) = (0.0, 0.0);
+        let reps = 8;
+        for seed in 10..10 + reps {
+            let s = sample_packets(&trace, rate, seed);
+            let corrected = s.estimated_mean_flow_length().expect("packets exported");
+            // Naive: average c/r over detected flows only.
+            let lens = s.estimated_flow_lengths();
+            let naive = lens.values().sum::<f64>() / lens.len() as f64;
+            corrected_err += (corrected - true_mean).abs();
+            naive_err += (naive - true_mean).abs();
+        }
+        assert!(
+            corrected_err < naive_err,
+            "HT correction should beat naive: {corrected_err:.1} vs {naive_err:.1} (truth {true_mean:.1})"
+        );
+    }
+
+    #[test]
+    fn empty_export_handled() {
+        let trace = PacketTrace::new(vec![], vec![], 1.0);
+        let s = sample_packets(&trace, 0.5, 0);
+        assert!(s.is_empty());
+        assert!(s.estimated_mean_flow_length().is_none());
+        assert_eq!(s.estimated_total_bytes(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn zero_rate_rejected() {
+        sample_packets(&test_trace(), 0.0, 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Sample-and-hold (Estan & Varghese, IMW 2001) — size-dependent
+//! sampling for large-flow identification, one of the related-work
+//! baselines the paper positions against (§I: "a random sampling
+//! algorithm to identify large flows, in which the sampling probability
+//! is determined according to the inspected packet size").
+//!
+//! Each byte of an unmonitored flow triggers entry creation with
+//! probability `p`; once a flow has an entry, *every* subsequent byte is
+//! counted exactly. Large flows are caught almost surely while the flow
+//! table stays small — precisely the bias-toward-big-values idea that
+//! BSS applies to time series.
+
+use crate::trace::PacketTrace;
+use rand::Rng;
+use sst_stats::rng::{derive_seed, rng_from_seed};
+use std::collections::BTreeMap;
+
+/// The sample-and-hold monitor configuration.
+///
+/// # Examples
+///
+/// ```
+/// use sst_nettrace::heavyhitter::SampleAndHold;
+/// use sst_nettrace::TraceSynthesizer;
+///
+/// let trace = TraceSynthesizer::bell_labs_like().duration(5.0).synthesize(1);
+/// let report = SampleAndHold::new(1e-4).run(&trace, 7);
+/// assert!(report.table_len() <= trace.flows().len());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleAndHold {
+    byte_prob: f64,
+}
+
+impl SampleAndHold {
+    /// Creates a monitor that starts tracking a flow with probability
+    /// `byte_prob` per byte. Estan-Varghese's guidance: to catch flows
+    /// above a fraction `f` of link capacity with oversampling factor
+    /// `O`, set `byte_prob = O / (f · total_bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < byte_prob <= 1`.
+    pub fn new(byte_prob: f64) -> Self {
+        assert!(
+            byte_prob > 0.0 && byte_prob <= 1.0,
+            "per-byte probability must be in (0,1], got {byte_prob}"
+        );
+        SampleAndHold { byte_prob }
+    }
+
+    /// The per-byte table-entry creation probability.
+    pub fn byte_prob(&self) -> f64 {
+        self.byte_prob
+    }
+
+    /// Sizes the monitor to catch flows above `threshold_bytes` with
+    /// oversampling factor `oversampling` (≈ probability of missing
+    /// such a flow is `e^{-oversampling}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive.
+    pub fn for_threshold(threshold_bytes: f64, oversampling: f64) -> Self {
+        assert!(threshold_bytes > 0.0, "threshold must be positive");
+        assert!(oversampling > 0.0, "oversampling must be positive");
+        SampleAndHold::new((oversampling / threshold_bytes).min(1.0))
+    }
+
+    /// Runs the monitor over a trace.
+    pub fn run(&self, trace: &PacketTrace, seed: u64) -> SampleAndHoldReport {
+        let mut rng = rng_from_seed(derive_seed(seed, 0xE57A));
+        let mut table: BTreeMap<u32, u64> = BTreeMap::new();
+        for p in trace.packets() {
+            if let Some(bytes) = table.get_mut(&p.flow) {
+                *bytes += p.size as u64;
+                continue;
+            }
+            // P(entry created by this packet) = 1 − (1−p)^size.
+            let p_pkt = 1.0 - (1.0 - self.byte_prob).powi(p.size as i32);
+            if rng.gen::<f64>() < p_pkt {
+                table.insert(p.flow, p.size as u64);
+            }
+        }
+        SampleAndHoldReport { table, byte_prob: self.byte_prob }
+    }
+}
+
+/// The flow table after a sample-and-hold pass.
+#[derive(Clone, Debug)]
+pub struct SampleAndHoldReport {
+    table: BTreeMap<u32, u64>,
+    byte_prob: f64,
+}
+
+impl SampleAndHoldReport {
+    /// Bytes counted per monitored flow (undercounts by the bytes seen
+    /// before the entry was created).
+    pub fn counted_bytes(&self) -> &BTreeMap<u32, u64> {
+        &self.table
+    }
+
+    /// Number of flows that acquired a table entry.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Bias-corrected usage estimate per flow: sample-and-hold misses
+    /// on average `1/p` bytes before the entry exists, so add it back.
+    pub fn corrected_bytes(&self) -> BTreeMap<u32, f64> {
+        self.table
+            .iter()
+            .map(|(&f, &b)| (f, b as f64 + 1.0 / self.byte_prob))
+            .collect()
+    }
+
+    /// Flows whose counted bytes reach `threshold`, descending by count —
+    /// the reported heavy hitters.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> =
+            self.table.iter().filter(|&(_, &b)| b >= threshold).map(|(&f, &b)| (f, b)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Exact per-flow byte totals — the ground truth the monitor is judged
+/// against.
+pub fn exact_flow_bytes(trace: &PacketTrace) -> BTreeMap<u32, u64> {
+    let mut out = BTreeMap::new();
+    for p in trace.packets() {
+        *out.entry(p.flow).or_insert(0) += p.size as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, Packet, Protocol};
+    use crate::synth::TraceSynthesizer;
+
+    fn flow(src: u32) -> FlowKey {
+        FlowKey { src, dst: 0, src_port: 1, dst_port: 2, proto: Protocol::Tcp }
+    }
+
+    /// One elephant flow (1 MB) among 999 mice (1 kB each).
+    fn elephant_trace() -> PacketTrace {
+        let mut flows = vec![flow(0)];
+        let mut packets = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..1000 {
+            packets.push(Packet::new(t, 1000, 0));
+            t += 0.001;
+        }
+        for m in 1..1000u32 {
+            flows.push(flow(m));
+            packets.push(Packet::new(t, 1000, m));
+            t += 0.001;
+        }
+        PacketTrace::new(flows, packets, t)
+    }
+
+    #[test]
+    fn elephant_is_caught_mice_are_mostly_not() {
+        let trace = elephant_trace();
+        // p chosen so the elephant (1 MB) is near-certain, a mouse
+        // (1 kB) has ~1% chance: p = 1e-5 per byte.
+        let report = SampleAndHold::new(1e-5).run(&trace, 3);
+        let hh = report.heavy_hitters(100_000);
+        assert_eq!(hh.len(), 1, "exactly the elephant: {hh:?}");
+        assert_eq!(hh[0].0, 0);
+        assert!(report.table_len() < 100, "table stayed small: {}", report.table_len());
+    }
+
+    #[test]
+    fn miss_probability_matches_oversampling() {
+        // With for_threshold(T, O), a flow of exactly T bytes is missed
+        // with probability ≈ e^-O. Use O = 3 → ≈ 5%.
+        let trace = elephant_trace();
+        let sh = SampleAndHold::for_threshold(1_000_000.0, 3.0);
+        let mut missed = 0;
+        let runs = 200;
+        for seed in 0..runs {
+            if !SampleAndHold::run(&sh, &trace, seed).counted_bytes().contains_key(&0) {
+                missed += 1;
+            }
+        }
+        let miss_rate = missed as f64 / runs as f64;
+        assert!(miss_rate < 0.12, "miss rate {miss_rate} (expect ≈ e^-3 ≈ 0.05)");
+    }
+
+    #[test]
+    fn counted_bytes_never_exceed_exact() {
+        let trace = TraceSynthesizer::bell_labs_like().duration(5.0).synthesize(4);
+        let exact = exact_flow_bytes(&trace);
+        let report = SampleAndHold::new(1e-4).run(&trace, 9);
+        for (f, &counted) in report.counted_bytes() {
+            assert!(counted <= exact[f], "flow {f}: counted {counted} > exact {}", exact[f]);
+        }
+    }
+
+    #[test]
+    fn correction_reduces_bias_on_average() {
+        let trace = elephant_trace();
+        let exact = exact_flow_bytes(&trace)[&0] as f64;
+        let mut raw_err = 0.0;
+        let mut corr_err = 0.0;
+        let mut n = 0;
+        for seed in 0..50 {
+            let report = SampleAndHold::new(1e-5).run(&trace, seed);
+            if let Some(&b) = report.counted_bytes().get(&0) {
+                raw_err += exact - b as f64; // always >= 0
+                corr_err += (exact - report.corrected_bytes()[&0]).abs();
+                n += 1;
+            }
+        }
+        assert!(n > 40, "elephant almost always caught");
+        assert!(
+            corr_err < raw_err,
+            "correction should shrink the bias: raw {raw_err:.0} corrected {corr_err:.0}"
+        );
+    }
+
+    #[test]
+    fn full_probability_counts_everything_exactly() {
+        let trace = elephant_trace();
+        let report = SampleAndHold::new(1.0).run(&trace, 0);
+        assert_eq!(report.counted_bytes(), &exact_flow_bytes(&trace));
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let trace = PacketTrace::new(vec![], vec![], 1.0);
+        let report = SampleAndHold::new(0.01).run(&trace, 0);
+        assert_eq!(report.table_len(), 0);
+        assert!(report.heavy_hitters(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "per-byte probability")]
+    fn invalid_probability_rejected() {
+        SampleAndHold::new(0.0);
+    }
+}

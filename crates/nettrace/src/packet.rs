@@ -1,0 +1,114 @@
+//! Packet and flow-key records — the tcpdump-level substrate.
+//!
+//! The paper's real workload is a Bell Labs tcpdump trace with "detailed
+//! packet level information for hundreds of pairs of end hosts". These
+//! types model exactly what the paper uses from such a trace: timestamps,
+//! sizes, and origin-destination (OD) identity.
+
+use serde::{Deserialize, Serialize};
+
+/// Transport protocol of a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Protocol {
+    /// TCP segment.
+    Tcp,
+    /// UDP datagram.
+    Udp,
+}
+
+/// An origin-destination flow key (the paper's "OD-flow").
+///
+/// Hosts are abstract numeric identifiers: the trace synthesizer assigns
+/// them, and real-trace ingestion would map IPs onto them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source host id.
+    pub src: u32,
+    /// Destination host id.
+    pub dst: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl FlowKey {
+    /// The unordered OD pair `(min(src,dst), max(src,dst))` — the paper's
+    /// host-pair granularity.
+    pub fn od_pair(&self) -> (u32, u32) {
+        if self.src <= self.dst {
+            (self.src, self.dst)
+        } else {
+            (self.dst, self.src)
+        }
+    }
+}
+
+/// One captured packet.
+///
+/// `flow` indexes into the owning trace's flow table (a u32 keeps the
+/// per-packet record at 16 bytes; multi-million-packet traces stay cheap).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Capture timestamp in seconds from trace start.
+    pub time: f64,
+    /// Wire size in bytes (IP length).
+    pub size: u32,
+    /// Index into the trace's flow table.
+    pub flow: u32,
+}
+
+impl Packet {
+    /// Creates a packet record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative/NaN or `size == 0`.
+    pub fn new(time: f64, size: u32, flow: u32) -> Self {
+        assert!(time >= 0.0 && time.is_finite(), "timestamp must be non-negative finite");
+        assert!(size > 0, "packet size must be positive");
+        Packet { time, size, flow }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn od_pair_is_unordered() {
+        let a = FlowKey { src: 5, dst: 9, src_port: 80, dst_port: 4000, proto: Protocol::Tcp };
+        let b = FlowKey { src: 9, dst: 5, src_port: 4000, dst_port: 80, proto: Protocol::Tcp };
+        assert_eq!(a.od_pair(), b.od_pair());
+        assert_eq!(a.od_pair(), (5, 9));
+    }
+
+    #[test]
+    fn packet_construction_validates() {
+        let p = Packet::new(1.5, 1500, 0);
+        assert_eq!(p.size, 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn zero_size_rejected() {
+        Packet::new(0.0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp")]
+    fn negative_time_rejected() {
+        Packet::new(-0.1, 100, 0);
+    }
+
+    #[test]
+    fn flow_key_is_hashable_and_ordered() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(FlowKey { src: 1, dst: 2, src_port: 1, dst_port: 2, proto: Protocol::Udp });
+        set.insert(FlowKey { src: 1, dst: 2, src_port: 1, dst_port: 2, proto: Protocol::Udp });
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,391 @@
+//! Flow-level trace synthesis — the Bell-Labs-trace substitute.
+//!
+//! The paper's real traces (Bell Labs, March 8 2000, ~40 minutes,
+//! hundreds of host pairs) are no longer retrievable, so we synthesize a
+//! packet trace calibrated to every property the paper reports about
+//! them:
+//!
+//! * aggregate Hurst parameter ≈ **0.62**,
+//! * marginal (binned-rate) tail index ≈ **1.71** (Fig. 8b),
+//! * mean rate ≈ **1.21 × 10⁴ bytes/s** for the measured subset (Fig. 6b),
+//! * hundreds of OD pairs, TCP/UDP mix, realistic packet sizes.
+//!
+//! The construction is flow-level (an M/G/∞ body): sessions arrive
+//! Poisson, each transfers a Pareto-distributed byte volume at a bounded
+//! random rate, so session *durations* are heavy-tailed with the same
+//! shape `α_d`, and the aggregate rate process is LRD with
+//! `H = (3 − α_d)/2` (Taqqu's limit). Choosing `α_d = 3 − 2·0.62 = 1.76`
+//! pins the Hurst parameter; the burst concurrency then produces a
+//! binned-rate tail that measures ≈ 1.7 like the paper's.
+
+use crate::packet::{FlowKey, Packet, Protocol};
+use crate::trace::PacketTrace;
+use rand::Rng;
+use sst_stats::dist::{poisson, BoundedPareto, Distribution, Pareto};
+use sst_stats::rng::rng_from_seed;
+
+/// Canonical packet sizes (bytes) and their probabilities — the classic
+/// trimodal Internet mix (ACK / default-MTU / Ethernet-MTU).
+const PACKET_SIZE_MIX: [(u32, f64); 3] = [(40, 0.5), (576, 0.25), (1500, 0.25)];
+
+/// Configuration for the flow-level synthesizer.
+///
+/// # Examples
+///
+/// ```
+/// use sst_nettrace::TraceSynthesizer;
+/// let trace = TraceSynthesizer::bell_labs_like().duration(60.0).synthesize(7);
+/// assert!(trace.len() > 0);
+/// assert!(trace.duration() >= 60.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceSynthesizer {
+    duration: f64,
+    target_hurst: f64,
+    mean_rate: f64,
+    mean_flow_bytes: f64,
+    n_hosts: u32,
+    min_flow_rate: f64,
+    max_flow_rate: f64,
+}
+
+impl TraceSynthesizer {
+    /// The Bell-Labs-calibrated preset: 40 minutes, H ≈ 0.62, mean rate
+    /// 1.21e4 B/s, ~200 hosts. (Use [`TraceSynthesizer::duration`] and
+    /// [`TraceSynthesizer::mean_rate`] to scale runs down for tests.)
+    pub fn bell_labs_like() -> Self {
+        TraceSynthesizer {
+            duration: 2400.0,
+            target_hurst: 0.62,
+            mean_rate: 1.21e4,
+            mean_flow_bytes: 3.0e4,
+            n_hosts: 200,
+            min_flow_rate: 5.0e4,
+            max_flow_rate: 2.0e7,
+        }
+    }
+
+    /// Sets the trace duration in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless positive.
+    pub fn duration(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "duration must be positive");
+        self.duration = secs;
+        self
+    }
+
+    /// Sets the target aggregate Hurst parameter (must be in `(1/2, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside `(1/2, 1)`.
+    pub fn target_hurst(mut self, h: f64) -> Self {
+        assert!(h > 0.5 && h < 1.0, "Hurst must be in (1/2,1)");
+        self.target_hurst = h;
+        self
+    }
+
+    /// Sets the target mean rate in bytes/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless positive.
+    pub fn mean_rate(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0, "mean rate must be positive");
+        self.mean_rate = rate;
+        self
+    }
+
+    /// Sets the number of distinct hosts (OD endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2.
+    pub fn hosts(mut self, n: u32) -> Self {
+        assert!(n >= 2, "need at least two hosts");
+        self.n_hosts = n;
+        self
+    }
+
+    /// The flow-duration tail shape implied by the target Hurst:
+    /// `α_d = 3 − 2H`.
+    pub fn duration_shape(&self) -> f64 {
+        3.0 - 2.0 * self.target_hurst
+    }
+
+    /// Synthesizes the packet trace deterministically from `seed`.
+    pub fn synthesize(&self, seed: u64) -> PacketTrace {
+        let mut rng = rng_from_seed(seed);
+        let alpha_d = self.duration_shape();
+        let size_dist = Pareto::with_mean(alpha_d, self.mean_flow_bytes);
+        // λ flows/s so that λ·E[S] = mean_rate.
+        let lambda = self.mean_rate / self.mean_flow_bytes;
+        let trains = TrainModel::new(self.min_flow_rate, self.max_flow_rate);
+
+        // Zipf-ish popularity over hosts: host i chosen ∝ 1/(i+1).
+        let weights: Vec<f64> = (0..self.n_hosts).map(|i| 1.0 / (i + 1) as f64).collect();
+        let total_w: f64 = weights.iter().sum();
+
+        let mut flows: Vec<FlowKey> = Vec::new();
+        let mut packets: Vec<Packet> = Vec::new();
+        // Warm-up before t=0 so long flows already in progress at the
+        // trace start contribute (stationarity).
+        let warmup = (5.0 * self.mean_flow_bytes / self.min_flow_rate).max(30.0);
+        let dt_arrivals = 0.1; // arrival bookkeeping granularity, seconds
+        let mut t = -warmup;
+        while t < self.duration {
+            let n_new = poisson(&mut rng, lambda * dt_arrivals);
+            for _ in 0..n_new {
+                let start = t + rng.gen::<f64>() * dt_arrivals;
+                let bytes = size_dist.sample(&mut rng);
+                let key = self.random_flow_key(&mut rng, &weights, total_w);
+                let flow_id = flows.len() as u32;
+                flows.push(key);
+                trains.emit_flow(&mut rng, &mut packets, flow_id, start, bytes, self.duration);
+            }
+            t += dt_arrivals;
+        }
+        packets.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        // Drop flows that produced no packets inside [0, duration] to keep
+        // the table tight: rebuild the index mapping.
+        let mut used = vec![false; flows.len()];
+        for p in &packets {
+            used[p.flow as usize] = true;
+        }
+        let mut remap = vec![u32::MAX; flows.len()];
+        let mut kept: Vec<FlowKey> = Vec::new();
+        for (i, flag) in used.iter().enumerate() {
+            if *flag {
+                remap[i] = kept.len() as u32;
+                kept.push(flows[i]);
+            }
+        }
+        let packets: Vec<Packet> = packets
+            .into_iter()
+            .map(|p| Packet { time: p.time, size: p.size, flow: remap[p.flow as usize] })
+            .collect();
+        PacketTrace::new(kept, packets, self.duration)
+    }
+
+    fn random_flow_key(
+        &self,
+        rng: &mut impl Rng,
+        weights: &[f64],
+        total_w: f64,
+    ) -> FlowKey {
+        fn pick(rng: &mut impl Rng, weights: &[f64], total_w: f64) -> u32 {
+            let mut x = rng.gen::<f64>() * total_w;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return i as u32;
+                }
+                x -= w;
+            }
+            (weights.len() - 1) as u32
+        }
+        let src = pick(rng, weights, total_w);
+        let mut dst = pick(rng, weights, total_w);
+        if dst == src {
+            dst = (src + 1) % self.n_hosts;
+        }
+        let proto = if rng.gen::<f64>() < 0.9 { Protocol::Tcp } else { Protocol::Udp };
+        FlowKey {
+            src,
+            dst,
+            src_port: rng.gen_range(1024..65535),
+            dst_port: *[80u16, 443, 8080, 25, 53].get(rng.gen_range(0..5)).expect("in range"),
+            proto,
+        }
+    }
+}
+
+/// Train-structured within-flow transmission.
+///
+/// A flow transfers its bytes as a sequence of packet *trains*: each
+/// train has an instantaneous rate drawn from a bounded Pareto(1.71)
+/// and a heavy-tailed duration, with short idle gaps in between. Two
+/// calibration facts follow (both matching the paper's measurements of
+/// the Bell Labs trace):
+///
+/// * the **time-weighted** distribution of the instantaneous rate — which
+///   is what binning observes — inherits the train-rate tail (α ≈ 1.71,
+///   Fig. 8b), because train durations are independent of train rates
+///   (contrast: constant-rate flows weight fast flows by 1/rate and
+///   lighten the observed tail by a full power);
+/// * exceedance 1-bursts track train/flow durations and stay
+///   heavy-tailed (Fig. 7b).
+#[derive(Clone, Copy, Debug)]
+struct TrainModel {
+    rate_dist: BoundedPareto,
+    duration_dist: Pareto,
+    mean_gap: f64,
+}
+
+impl TrainModel {
+    fn new(min_rate: f64, max_rate: f64) -> Self {
+        TrainModel {
+            rate_dist: BoundedPareto::new(1.71, min_rate, max_rate),
+            // Train length: Pareto(1.5), mean 100 ms.
+            duration_dist: Pareto::with_mean(1.5, 0.1),
+            mean_gap: 0.15,
+        }
+    }
+
+    /// Expected bytes delivered by one train, `E[R]·E[T]`.
+    fn mean_train_volume(&self) -> f64 {
+        self.rate_dist.mean() * self.duration_dist.mean()
+    }
+
+    /// Emits the packets of one flow from `start`; only packets landing
+    /// in `[0, horizon]` are recorded.
+    ///
+    /// The flow's size sets its *train count* (`⌈bytes / E[R·T]⌉`), and
+    /// every train then ships its full `R·T` volume. Capping a train at
+    /// the flow's residual bytes would make fast trains brief (active
+    /// time ∝ 1/R) and lighten the observed rate tail by one power — the
+    /// train-count formulation keeps rate and active-time independent,
+    /// which is what pins the binned marginal tail at the train-rate α.
+    fn emit_flow(
+        &self,
+        rng: &mut impl Rng,
+        packets: &mut Vec<Packet>,
+        flow_id: u32,
+        start: f64,
+        bytes: f64,
+        horizon: f64,
+    ) {
+        let n_trains = ((bytes / self.mean_train_volume()).round() as usize).max(1);
+        let mut t = start;
+        for _ in 0..n_trains {
+            if t > horizon {
+                return;
+            }
+            let rate = self.rate_dist.sample(rng);
+            let train_len = self.duration_dist.sample(rng).min(10.0);
+            let volume = rate * train_len;
+            let mut shipped = 0.0f64;
+            while shipped < volume {
+                let size = draw_packet_size(rng);
+                let effective = size.min((volume - shipped).ceil() as u32).max(40);
+                if t >= 0.0 {
+                    if t > horizon {
+                        return;
+                    }
+                    packets.push(Packet { time: t, size: effective, flow: flow_id });
+                } else if t > horizon {
+                    return;
+                }
+                shipped += effective as f64;
+                t += effective as f64 / rate;
+            }
+            // Idle gap between trains (exponential, mean 150 ms).
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            t += (-u.ln()) * self.mean_gap;
+        }
+    }
+}
+
+fn draw_packet_size(rng: &mut impl Rng) -> u32 {
+    let x: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (size, p) in PACKET_SIZE_MIX {
+        acc += p;
+        if x < acc {
+            return size;
+        }
+    }
+    1500
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_trace(seed: u64) -> PacketTrace {
+        TraceSynthesizer::bell_labs_like().duration(120.0).synthesize(seed)
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(quick_trace(3), quick_trace(3));
+        assert_ne!(quick_trace(3), quick_trace(4));
+    }
+
+    #[test]
+    fn mean_rate_close_to_target() {
+        let t = TraceSynthesizer::bell_labs_like().duration(600.0).synthesize(11);
+        let target = 1.21e4;
+        // Heavy-tailed flow sizes: slow convergence; accept a wide band.
+        assert!(
+            (t.mean_rate() - target).abs() / target < 0.5,
+            "rate={} target={target}",
+            t.mean_rate()
+        );
+    }
+
+    #[test]
+    fn packets_sorted_and_in_horizon() {
+        let t = quick_trace(5);
+        let mut prev = 0.0;
+        for p in t.packets() {
+            assert!(p.time >= prev);
+            assert!(p.time <= t.duration());
+            assert!(p.size >= 40 && p.size <= 1500);
+            prev = p.time;
+        }
+    }
+
+    #[test]
+    fn many_od_pairs() {
+        let t = TraceSynthesizer::bell_labs_like().duration(300.0).synthesize(9);
+        assert!(t.od_pair_count() > 50, "pairs={}", t.od_pair_count());
+    }
+
+    #[test]
+    fn duration_shape_matches_target_hurst() {
+        let s = TraceSynthesizer::bell_labs_like();
+        assert!((s.duration_shape() - 1.76).abs() < 1e-12);
+        let s2 = s.clone().target_hurst(0.8);
+        assert!((s2.duration_shape() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binned_series_is_lrd() {
+        // Consensus Hurst of the 10 ms-binned rate should be in the LRD
+        // band around the 0.62 target.
+        let t = TraceSynthesizer::bell_labs_like().duration(1200.0).synthesize(21);
+        let ts = t.to_rate_series(0.01);
+        let h = sst_hurst_probe::consensus(ts.values());
+        assert!(h > 0.52 && h < 0.8, "H={h}");
+    }
+
+    // Minimal local probe to avoid a dev-dependency cycle with sst-hurst:
+    // aggregated-variance estimate, which is all this smoke test needs.
+    mod sst_hurst_probe {
+        pub fn consensus(values: &[f64]) -> f64 {
+            let n = values.len();
+            let var = |xs: &[f64]| {
+                let m = xs.iter().sum::<f64>() / xs.len() as f64;
+                xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+            };
+            let agg = |m: usize| {
+                let blocks = n / m;
+                let means: Vec<f64> = (0..blocks)
+                    .map(|b| values[b * m..(b + 1) * m].iter().sum::<f64>() / m as f64)
+                    .collect();
+                var(&means)
+            };
+            let (m1, m2) = (16usize, 1024usize);
+            let (v1, v2) = (agg(m1), agg(m2));
+            1.0 + ((v2 / v1).ln() / ((m2 as f64 / m1 as f64).ln())) / 2.0
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn invalid_duration_panics() {
+        TraceSynthesizer::bell_labs_like().duration(0.0);
+    }
+}

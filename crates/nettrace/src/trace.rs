@@ -1,0 +1,230 @@
+//! The packet-trace container and its reductions to time series.
+
+use crate::packet::{FlowKey, Packet};
+use serde::{Deserialize, Serialize};
+use sst_stats::TimeSeries;
+use std::collections::BTreeMap;
+
+/// A captured (or synthesized) packet trace with its flow table.
+///
+/// Packets are kept sorted by timestamp; flows are deduplicated into a
+/// table and packets reference them by index.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PacketTrace {
+    flows: Vec<FlowKey>,
+    packets: Vec<Packet>,
+    duration: f64,
+}
+
+impl PacketTrace {
+    /// Creates a trace from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any packet references a missing flow, timestamps exceed
+    /// `duration`, or packets are not sorted by time.
+    pub fn new(flows: Vec<FlowKey>, packets: Vec<Packet>, duration: f64) -> Self {
+        assert!(duration >= 0.0 && duration.is_finite(), "invalid duration");
+        let mut prev = 0.0f64;
+        for p in &packets {
+            assert!((p.flow as usize) < flows.len(), "packet references unknown flow {}", p.flow);
+            assert!(p.time <= duration, "packet at {} beyond duration {duration}", p.time);
+            assert!(p.time >= prev, "packets must be sorted by time");
+            prev = p.time;
+        }
+        PacketTrace { flows, packets, duration }
+    }
+
+    /// The flow table.
+    pub fn flows(&self) -> &[FlowKey] {
+        &self.flows
+    }
+
+    /// The packets, sorted by time.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// `true` when the trace holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total bytes across all packets.
+    pub fn total_bytes(&self) -> u64 {
+        self.packets.iter().map(|p| p.size as u64).sum()
+    }
+
+    /// Mean rate in bytes/second over the full duration.
+    pub fn mean_rate(&self) -> f64 {
+        if self.duration <= 0.0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.duration
+        }
+    }
+
+    /// Bins the trace into a rate process: `f(t)` = bytes in bin `t`
+    /// divided by `dt`, i.e. instantaneous rate in bytes/second at
+    /// granularity `dt` — exactly the measured process the paper samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn to_rate_series(&self, dt: f64) -> TimeSeries {
+        self.to_rate_series_filtered(dt, |_| true)
+    }
+
+    /// [`PacketTrace::to_rate_series`] restricted to packets whose flow
+    /// satisfies `keep` — the "one or several OD-flows" measurement the
+    /// paper motivates (§I).
+    pub fn to_rate_series_filtered<F>(&self, dt: f64, keep: F) -> TimeSeries
+    where
+        F: Fn(&FlowKey) -> bool,
+    {
+        assert!(dt > 0.0 && dt.is_finite(), "bin width must be positive");
+        let n = (self.duration / dt).ceil().max(1.0) as usize;
+        let mut bins = vec![0.0f64; n];
+        for p in &self.packets {
+            if !keep(&self.flows[p.flow as usize]) {
+                continue;
+            }
+            let idx = ((p.time / dt) as usize).min(n - 1);
+            bins[idx] += p.size as f64;
+        }
+        for b in bins.iter_mut() {
+            *b /= dt;
+        }
+        TimeSeries::from_values(dt, bins)
+    }
+
+    /// Rate series for a single OD pair (unordered host pair).
+    pub fn od_rate_series(&self, pair: (u32, u32), dt: f64) -> TimeSeries {
+        let pair = if pair.0 <= pair.1 { pair } else { (pair.1, pair.0) };
+        self.to_rate_series_filtered(dt, |k| k.od_pair() == pair)
+    }
+
+    /// Byte volume per OD pair, descending — the "which pairs matter"
+    /// view used by the accounting example.
+    pub fn od_volumes(&self) -> Vec<((u32, u32), u64)> {
+        let mut by_pair: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for p in &self.packets {
+            let pair = self.flows[p.flow as usize].od_pair();
+            *by_pair.entry(pair).or_insert(0) += p.size as u64;
+        }
+        let mut out: Vec<_> = by_pair.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of distinct OD pairs.
+    pub fn od_pair_count(&self) -> usize {
+        let mut pairs: Vec<(u32, u32)> =
+            self.packets.iter().map(|p| self.flows[p.flow as usize].od_pair()).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Protocol;
+
+    fn key(src: u32, dst: u32) -> FlowKey {
+        FlowKey { src, dst, src_port: 1000, dst_port: 80, proto: Protocol::Tcp }
+    }
+
+    fn tiny_trace() -> PacketTrace {
+        let flows = vec![key(1, 2), key(3, 4)];
+        let packets = vec![
+            Packet::new(0.1, 100, 0),
+            Packet::new(0.6, 200, 1),
+            Packet::new(1.2, 300, 0),
+            Packet::new(1.9, 400, 1),
+        ];
+        PacketTrace::new(flows, packets, 2.0)
+    }
+
+    #[test]
+    fn totals_and_rate() {
+        let t = tiny_trace();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_bytes(), 1000);
+        assert!((t.mean_rate() - 500.0).abs() < 1e-12);
+        assert_eq!(t.od_pair_count(), 2);
+    }
+
+    #[test]
+    fn binning_into_rate_series() {
+        let t = tiny_trace();
+        let ts = t.to_rate_series(1.0);
+        assert_eq!(ts.len(), 2);
+        assert!((ts.values()[0] - 300.0).abs() < 1e-12);
+        assert!((ts.values()[1] - 700.0).abs() < 1e-12);
+        // Mean of the rate series equals the trace mean rate.
+        assert!((ts.mean() - t.mean_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn od_filter_selects_one_pair() {
+        let t = tiny_trace();
+        let ts = t.od_rate_series((2, 1), 1.0);
+        assert!((ts.values()[0] - 100.0).abs() < 1e-12);
+        assert!((ts.values()[1] - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn od_volumes_sorted_desc() {
+        let t = tiny_trace();
+        let v = t.od_volumes();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], ((3, 4), 600));
+        assert_eq!(v[1], ((1, 2), 400));
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let t = PacketTrace::new(vec![], vec![], 1.0);
+        assert!(t.is_empty());
+        assert_eq!(t.mean_rate(), 0.0);
+        let ts = t.to_rate_series(0.1);
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_packets_rejected() {
+        PacketTrace::new(
+            vec![key(1, 2)],
+            vec![Packet::new(1.0, 10, 0), Packet::new(0.5, 10, 0)],
+            2.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn dangling_flow_rejected() {
+        PacketTrace::new(vec![], vec![Packet::new(0.0, 10, 0)], 1.0);
+    }
+
+    #[test]
+    fn last_bin_boundary_packet_is_kept() {
+        let t = PacketTrace::new(vec![key(1, 2)], vec![Packet::new(2.0, 100, 0)], 2.0);
+        let ts = t.to_rate_series(1.0);
+        assert_eq!(ts.len(), 2);
+        assert!((ts.values()[1] - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! Trajectory sampling (Duffield & Grossglauser, SIGCOMM 2000) — the
+//! hash-based consistent packet selection the paper's §I reviews.
+//!
+//! Every router applies the same hash function to invariant packet
+//! content and selects the packet iff the hash falls under a threshold.
+//! Because the decision depends only on the packet (not the router, the
+//! time, or an RNG), a selected packet is selected *everywhere*, so the
+//! collected samples trace each packet's trajectory through the network.
+//!
+//! Our [`crate::Packet`] records carry no payload, so the "invariant content"
+//! is modeled as (flow key, size, per-flow sequence number): constant
+//! along a path, distinct across packets of a flow.
+
+use crate::packet::FlowKey;
+use crate::trace::PacketTrace;
+
+/// A permutation-quality 64-bit mixer (splitmix64 finalizer). Public so
+/// tests and downstream tools can reproduce selection decisions.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The invariant identity of one packet as seen by every router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PacketId {
+    /// The packet's flow key.
+    pub flow: FlowKey,
+    /// Wire size in bytes.
+    pub size: u32,
+    /// Sequence number of this packet within its flow.
+    pub seq_in_flow: u64,
+}
+
+impl PacketId {
+    fn digest(&self, salt: u64) -> u64 {
+        let f = &self.flow;
+        let mut h = mix64(salt ^ 0x7261_6A65_6374_6F72); // "rajector"
+        h = mix64(h ^ ((f.src as u64) << 32 | f.dst as u64));
+        h = mix64(h ^ ((f.src_port as u64) << 32 | (f.dst_port as u64) << 16 | f.proto as u64));
+        h = mix64(h ^ ((self.size as u64) << 32 | (self.seq_in_flow & 0xFFFF_FFFF)));
+        h
+    }
+}
+
+/// Hash-based consistent packet selector.
+///
+/// # Examples
+///
+/// ```
+/// use sst_nettrace::trajectory::TrajectorySampler;
+/// use sst_nettrace::TraceSynthesizer;
+///
+/// let trace = TraceSynthesizer::bell_labs_like().duration(2.0).synthesize(3);
+/// let sampler = TrajectorySampler::new(0.01, 42);
+/// let picked = sampler.sample(&trace);
+/// // Two independent observation points agree exactly:
+/// assert_eq!(picked, sampler.sample(&trace));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrajectorySampler {
+    threshold: u64,
+    fraction: f64,
+    salt: u64,
+}
+
+impl TrajectorySampler {
+    /// Creates a sampler selecting ≈ `fraction` of distinct packets.
+    /// `salt` is the network-wide hash configuration (all routers must
+    /// share it).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn new(fraction: f64, salt: u64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "sampling fraction must be in (0,1], got {fraction}"
+        );
+        let threshold = if fraction >= 1.0 {
+            u64::MAX
+        } else {
+            (fraction * u64::MAX as f64) as u64
+        };
+        TrajectorySampler { threshold, fraction, salt }
+    }
+
+    /// The configured sampling fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// The selection decision for one packet — identical at every
+    /// observation point.
+    pub fn selects(&self, id: &PacketId) -> bool {
+        id.digest(self.salt) <= self.threshold
+    }
+
+    /// Applies the selector to a whole trace, returning selected packet
+    /// indices. Per-flow sequence numbers are reconstructed from arrival
+    /// order, as a router's flow table would.
+    pub fn sample(&self, trace: &PacketTrace) -> Vec<usize> {
+        let mut seq = vec![0u64; trace.flows().len()];
+        let mut out = Vec::new();
+        for (i, p) in trace.packets().iter().enumerate() {
+            let flow_idx = p.flow as usize;
+            let id = PacketId {
+                flow: trace.flows()[flow_idx],
+                size: p.size,
+                seq_in_flow: seq[flow_idx],
+            };
+            seq[flow_idx] += 1;
+            if self.selects(&id) {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, Protocol};
+    use crate::synth::TraceSynthesizer;
+
+    fn flow(src: u32) -> FlowKey {
+        FlowKey { src, dst: 99, src_port: 1, dst_port: 2, proto: Protocol::Tcp }
+    }
+
+    #[test]
+    fn selection_fraction_close_to_nominal() {
+        // Large deterministic population: 50k distinct packet ids. The
+        // binomial standard deviation is ~0.001, so a 0.01 band is 10σ —
+        // a failure here means the hash is genuinely biased.
+        let flows = vec![flow(1), flow(2), flow(3)];
+        let packets = (0..50_000)
+            .map(|i| Packet::new(i as f64 * 1e-4, 40 + (i % 1460) as u32, (i % 3) as u32))
+            .collect();
+        let trace = PacketTrace::new(flows, packets, 5.0);
+        let s = TrajectorySampler::new(0.05, 7);
+        let picked = s.sample(&trace);
+        let got = picked.len() as f64 / trace.len() as f64;
+        assert!((got - 0.05).abs() < 0.01, "fraction {got}");
+    }
+
+    #[test]
+    fn consistent_across_observation_points() {
+        // The same packets observed at a second "router" (same trace,
+        // shifted timestamps) are selected identically: the decision
+        // ignores time and position.
+        let flows = vec![flow(1), flow(2)];
+        let mk = |shift: f64| {
+            let packets = (0..2000)
+                .map(|i| Packet::new(shift + i as f64 * 0.001, 40 + (i % 1460) as u32, (i % 2) as u32))
+                .collect();
+            PacketTrace::new(flows.clone(), packets, shift + 2.0)
+        };
+        let s = TrajectorySampler::new(0.1, 99);
+        let at_ingress = s.sample(&mk(0.0));
+        let at_egress = s.sample(&mk(5.0));
+        assert_eq!(at_ingress, at_egress);
+        assert!(!at_ingress.is_empty());
+    }
+
+    #[test]
+    fn different_salts_give_independent_samples() {
+        let trace = TraceSynthesizer::bell_labs_like().duration(5.0).synthesize(8);
+        let a = TrajectorySampler::new(0.1, 1).sample(&trace);
+        let b = TrajectorySampler::new(0.1, 2).sample(&trace);
+        assert_ne!(a, b);
+        // Overlap should be near 10% of either (independent 10% picks).
+        let bs: std::collections::HashSet<_> = b.iter().collect();
+        let overlap = a.iter().filter(|i| bs.contains(i)).count() as f64;
+        let frac = overlap / a.len() as f64;
+        assert!(frac < 0.25, "salted samples too correlated: {frac}");
+    }
+
+    #[test]
+    fn full_fraction_selects_everything() {
+        let trace = TraceSynthesizer::bell_labs_like().duration(1.0).synthesize(2);
+        let s = TrajectorySampler::new(1.0, 0);
+        assert_eq!(s.sample(&trace).len(), trace.len());
+    }
+
+    #[test]
+    fn repeated_identical_flows_disambiguated_by_sequence() {
+        // 100 byte-identical packets of one flow: without the sequence
+        // number they would all hash alike (all-or-nothing); with it the
+        // selection is a fair per-packet coin.
+        let flows = vec![flow(1)];
+        let packets = (0..1000).map(|i| Packet::new(i as f64, 100, 0)).collect();
+        let trace = PacketTrace::new(flows, packets, 1000.0);
+        let picked = TrajectorySampler::new(0.2, 5).sample(&trace);
+        let frac = picked.len() as f64 / 1000.0;
+        assert!((frac - 0.2).abs() < 0.06, "fraction {frac}");
+    }
+
+    #[test]
+    fn mix64_is_a_sane_mixer() {
+        // No fixed point at 0 and decent avalanche on one-bit flips.
+        assert_ne!(mix64(0), 0);
+        let a = mix64(0x1234);
+        let b = mix64(0x1235);
+        assert!((a ^ b).count_ones() > 16, "weak avalanche: {:#x}", a ^ b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling fraction")]
+    fn zero_fraction_rejected() {
+        TrajectorySampler::new(0.0, 1);
+    }
+}

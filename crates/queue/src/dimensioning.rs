@@ -1,0 +1,182 @@
+//! Capacity and buffer dimensioning for LRD traffic — the inverse
+//! problems of the Norros overflow formula. This is what the Hurst
+//! parameter is *for* operationally (the paper's §I: H "is crucial for
+//! queuing analysis"): given measured `(mean, σ, H)` and a loss target,
+//! how much capacity or buffer does the link need?
+//!
+//! All formulas invert Norros' fractional-Brownian-storage approximation
+//! `P(Q > b) ≈ exp(−(c−m)^{2H} b^{2−2H} / (2 κ(H)² σ²))`,
+//! `κ(H) = H^H (1−H)^{1−H}`.
+
+use crate::fifo::FluidQueue;
+use sst_stats::TimeSeries;
+
+fn kappa(h: f64) -> f64 {
+    h.powf(h) * (1.0 - h).powf(1.0 - h)
+}
+
+fn check_params(h: f64, mean_rate: f64, sigma: f64) {
+    assert!((0.5..1.0).contains(&h), "H must lie in [0.5, 1), got {h}");
+    assert!(mean_rate > 0.0 && mean_rate.is_finite(), "mean rate must be positive");
+    assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+}
+
+/// The buffer `b` needed so that `P(Q > b) <= loss` at service rate
+/// `service`, per the Norros approximation.
+///
+/// # Panics
+///
+/// Panics unless `0.5 <= H < 1`, `mean_rate`, `sigma` positive,
+/// `service > mean_rate`, and `0 < loss < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use sst_queue::dimensioning::required_buffer;
+///
+/// let b_mild = required_buffer(0.6, 100.0, 10.0, 120.0, 1e-6);
+/// let b_lrd = required_buffer(0.9, 100.0, 10.0, 120.0, 1e-6);
+/// assert!(b_lrd > 10.0 * b_mild, "LRD needs far more buffer");
+/// ```
+pub fn required_buffer(h: f64, mean_rate: f64, sigma: f64, service: f64, loss: f64) -> f64 {
+    check_params(h, mean_rate, sigma);
+    assert!(service > mean_rate, "queue must be stable (service > mean rate)");
+    assert!(loss > 0.0 && loss < 1.0, "loss target must lie in (0,1)");
+    // exp(−(c−m)^{2H} b^{2−2H} / (2κ²σ²)) = loss
+    // ⇒ b = [ −ln(loss) · 2κ²σ² / (c−m)^{2H} ]^{1/(2−2H)}
+    let k = kappa(h);
+    let num = -loss.ln() * 2.0 * k * k * sigma * sigma;
+    let den = (service - mean_rate).powf(2.0 * h);
+    (num / den).powf(1.0 / (2.0 - 2.0 * h))
+}
+
+/// The service rate (capacity) needed so that `P(Q > buffer) <= loss` —
+/// Norros' *effective bandwidth* of the fBm source.
+///
+/// # Panics
+///
+/// Panics unless `0.5 <= H < 1`, `mean_rate`, `sigma`, `buffer` positive,
+/// and `0 < loss < 1`.
+pub fn effective_bandwidth(h: f64, mean_rate: f64, sigma: f64, buffer: f64, loss: f64) -> f64 {
+    check_params(h, mean_rate, sigma);
+    assert!(buffer > 0.0 && buffer.is_finite(), "buffer must be positive");
+    assert!(loss > 0.0 && loss < 1.0, "loss target must lie in (0,1)");
+    // Solve (c−m)^{2H} = −ln(loss)·2κ²σ² / b^{2−2H} for c.
+    let k = kappa(h);
+    let rhs = -loss.ln() * 2.0 * k * k * sigma * sigma / buffer.powf(2.0 - 2.0 * h);
+    mean_rate + rhs.powf(1.0 / (2.0 * h))
+}
+
+/// Empirical counterpart of [`required_buffer`]: drives a [`FluidQueue`]
+/// with the trace and reads off the occupancy quantile. `None` when the
+/// loss target is stricter than the trace can resolve.
+///
+/// # Panics
+///
+/// Propagates the [`FluidQueue`] validation panics (`service` positive,
+/// loss target in `(0,1)`).
+pub fn measured_buffer(trace: &TimeSeries, service: f64, loss: f64) -> Option<f64> {
+    FluidQueue::new(service).drive(trace).buffer_for_loss(loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_traffic::FgnGenerator;
+
+    #[test]
+    fn buffer_grows_with_hurst() {
+        let mut prev = 0.0;
+        for &h in &[0.55, 0.65, 0.75, 0.85, 0.95] {
+            let b = required_buffer(h, 100.0, 10.0, 110.0, 1e-6);
+            assert!(b > prev, "H={h}: buffer {b} should exceed {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn buffer_shrinks_with_headroom_and_looser_loss() {
+        let tight = required_buffer(0.8, 100.0, 10.0, 105.0, 1e-6);
+        let roomy = required_buffer(0.8, 100.0, 10.0, 150.0, 1e-6);
+        assert!(roomy < tight);
+        let strict = required_buffer(0.8, 100.0, 10.0, 110.0, 1e-9);
+        let lax = required_buffer(0.8, 100.0, 10.0, 110.0, 1e-2);
+        assert!(lax < strict);
+    }
+
+    #[test]
+    fn effective_bandwidth_inverts_required_buffer() {
+        // Round-trip: the capacity that makes buffer b meet the target
+        // must, plugged back in, require buffer ≈ b.
+        let (h, m, s, loss) = (0.8, 100.0, 15.0, 1e-4);
+        for &b in &[10.0, 100.0, 1000.0] {
+            let c = effective_bandwidth(h, m, s, b, loss);
+            assert!(c > m);
+            let b_back = required_buffer(h, m, s, c, loss);
+            assert!(
+                (b_back / b - 1.0).abs() < 1e-9,
+                "round trip: {b} -> c={c} -> {b_back}"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_bandwidth_exceeds_mean_and_decreases_with_buffer() {
+        let c_small = effective_bandwidth(0.85, 100.0, 10.0, 10.0, 1e-6);
+        let c_large = effective_bandwidth(0.85, 100.0, 10.0, 10_000.0, 1e-6);
+        assert!(c_small > c_large);
+        assert!(c_large > 100.0);
+    }
+
+    #[test]
+    fn norros_prediction_tracks_measured_buffer_on_fgn() {
+        // Order-of-magnitude agreement between the formula and a real
+        // Lindley run on fGn input (Norros is an asymptotic bound, not
+        // an equality — a factor of a few is expected).
+        let h = 0.8;
+        let (mean, sigma) = (100.0, 10.0);
+        let vals: Vec<f64> = FgnGenerator::new(h)
+            .unwrap()
+            .generate_values(1 << 17, 9)
+            .into_iter()
+            .map(|x| mean + sigma * x)
+            .collect();
+        let trace = TimeSeries::from_values(1.0, vals);
+        let service = 105.0;
+        let loss = 1e-2;
+        let predicted = required_buffer(h, mean, sigma, service, loss);
+        let measured = measured_buffer(&trace, service, loss).expect("resolvable");
+        let ratio = predicted / measured.max(1e-9);
+        assert!(
+            (0.1..10.0).contains(&ratio),
+            "predicted {predicted:.1} vs measured {measured:.1}"
+        );
+    }
+
+    #[test]
+    fn measured_buffer_unresolvable_when_target_too_strict() {
+        // A short constant trace never exceeds zero occupancy at
+        // undersaturation; any positive loss target is met with b = 0.
+        let trace = TimeSeries::from_values(1.0, vec![1.0; 100]);
+        let b = measured_buffer(&trace, 2.0, 0.01).expect("resolvable");
+        assert_eq!(b, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "H must lie in")]
+    fn invalid_h_rejected() {
+        required_buffer(1.0, 100.0, 10.0, 110.0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "stable")]
+    fn unstable_queue_rejected() {
+        required_buffer(0.8, 100.0, 10.0, 90.0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss target")]
+    fn invalid_loss_rejected() {
+        effective_bandwidth(0.8, 100.0, 10.0, 10.0, 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Discrete-time fluid FIFO queue driven by a traffic trace.
+//!
+//! The Lindley recursion `Q(t+1) = max(0, Q(t) + A(t) − C·dt)` turns an
+//! arrival-rate process into a buffer-occupancy process. For
+//! long-range-dependent input the occupancy tail decays like a Weibull
+//! (`log P(Q > b) ∝ −b^{2−2H}`) rather than exponentially — the reason
+//! the paper calls the Hurst parameter "crucial for queueing analysis".
+
+use sst_stats::{Ecdf, TimeSeries};
+
+/// A fixed-rate fluid FIFO queue.
+///
+/// # Examples
+///
+/// ```
+/// use sst_queue::FluidQueue;
+/// use sst_stats::TimeSeries;
+///
+/// let arrivals = TimeSeries::from_values(1.0, vec![2.0, 0.0, 3.0, 0.0]);
+/// let q = FluidQueue::new(1.5).drive(&arrivals);
+/// assert_eq!(q.occupancy().values(), &[0.5, 0.0, 1.5, 0.0]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FluidQueue {
+    service_rate: f64,
+}
+
+impl FluidQueue {
+    /// Creates a queue draining at `service_rate` (same units as the
+    /// arrival process values, per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is positive and finite.
+    pub fn new(service_rate: f64) -> Self {
+        assert!(
+            service_rate > 0.0 && service_rate.is_finite(),
+            "service rate must be positive"
+        );
+        FluidQueue { service_rate }
+    }
+
+    /// Queue sized for utilization `rho = mean(arrivals)/service_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rho < 1` and the trace has positive mean.
+    pub fn for_utilization(arrivals: &TimeSeries, rho: f64) -> Self {
+        assert!(rho > 0.0 && rho < 1.0, "utilization must be in (0,1)");
+        let mean = arrivals.mean();
+        assert!(mean > 0.0, "arrival process must have positive mean");
+        FluidQueue::new(mean / rho)
+    }
+
+    /// The configured service rate.
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// Runs the Lindley recursion over the arrival-rate trace and
+    /// returns the occupancy sample path (in value·seconds, e.g. bytes
+    /// if arrivals are bytes/s).
+    pub fn drive(&self, arrivals: &TimeSeries) -> QueuePath {
+        let dt = arrivals.dt();
+        let mut q = 0.0f64;
+        let mut path = Vec::with_capacity(arrivals.len());
+        for &rate in arrivals.values() {
+            q = (q + (rate - self.service_rate) * dt).max(0.0);
+            path.push(q);
+        }
+        QueuePath {
+            occupancy: TimeSeries::from_values(dt, path),
+            service_rate: self.service_rate,
+            offered_mean: arrivals.mean(),
+        }
+    }
+}
+
+/// The buffer-occupancy sample path plus its summary statistics.
+#[derive(Clone, Debug)]
+pub struct QueuePath {
+    occupancy: TimeSeries,
+    service_rate: f64,
+    offered_mean: f64,
+}
+
+impl QueuePath {
+    /// The occupancy process Q(t).
+    pub fn occupancy(&self) -> &TimeSeries {
+        &self.occupancy
+    }
+
+    /// The service rate of the queue that produced this path.
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// Offered load / service rate.
+    pub fn utilization(&self) -> f64 {
+        self.offered_mean / self.service_rate
+    }
+
+    /// Fraction of time the buffer level exceeds `b`.
+    pub fn overflow_probability(&self, b: f64) -> f64 {
+        if self.occupancy.is_empty() {
+            return 0.0;
+        }
+        let over = self.occupancy.values().iter().filter(|&&q| q > b).count();
+        over as f64 / self.occupancy.len() as f64
+    }
+
+    /// `(buffer, P(Q > buffer))` on a log-spaced buffer grid — the
+    /// overflow curve whose shape distinguishes SRD from LRD input.
+    pub fn overflow_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        let positive: Vec<f64> =
+            self.occupancy.values().iter().copied().filter(|&q| q > 0.0).collect();
+        if positive.is_empty() {
+            return Vec::new();
+        }
+        let e = Ecdf::new(&positive);
+        let busy = positive.len() as f64 / self.occupancy.len() as f64;
+        e.ccdf_curve_log(points)
+            .into_iter()
+            .map(|(b, p)| (b, p * busy))
+            .collect()
+    }
+
+    /// The buffer size needed so that `P(Q > b) <= target` (empirical
+    /// quantile of the occupancy); `None` if even the largest observed
+    /// occupancy is exceeded more often than `target`.
+    pub fn buffer_for_loss(&self, target: f64) -> Option<f64> {
+        assert!(target > 0.0 && target < 1.0, "loss target must be in (0,1)");
+        let n = self.occupancy.len();
+        if n == 0 {
+            return Some(0.0);
+        }
+        let mut sorted = self.occupancy.values().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite occupancy"));
+        let idx = ((1.0 - target) * n as f64).ceil() as usize;
+        if idx >= n {
+            return None;
+        }
+        Some(sorted[idx])
+    }
+
+    /// Mean occupancy.
+    pub fn mean_occupancy(&self) -> f64 {
+        self.occupancy.mean()
+    }
+}
+
+/// Norros' fractional-Brownian-storage overflow approximation:
+/// `P(Q > b) ≈ exp(−(c−m)^{2H} b^{2−2H} / (2 κ(H)² σ² ))` with
+/// `κ(H) = H^H (1−H)^{1−H}`. Used as the analytic reference curve next
+/// to the measured overflow curve.
+///
+/// # Panics
+///
+/// Panics unless `0.5 <= h < 1`, `service > mean_rate`, `sigma > 0`.
+pub fn norros_overflow(b: f64, h: f64, mean_rate: f64, sigma: f64, service: f64) -> f64 {
+    assert!((0.5..1.0).contains(&h), "H must be in [0.5, 1)");
+    assert!(service > mean_rate, "queue must be stable (service > mean rate)");
+    assert!(sigma > 0.0, "sigma must be positive");
+    if b <= 0.0 {
+        return 1.0;
+    }
+    let kappa = h.powf(h) * (1.0 - h).powf(1.0 - h);
+    let num = (service - mean_rate).powf(2.0 * h) * b.powf(2.0 - 2.0 * h);
+    (-num / (2.0 * kappa * kappa * sigma * sigma)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_trace(rate: f64, n: usize) -> TimeSeries {
+        TimeSeries::from_values(1.0, vec![rate; n])
+    }
+
+    #[test]
+    fn underloaded_queue_stays_empty() {
+        let q = FluidQueue::new(2.0).drive(&constant_trace(1.0, 100));
+        assert_eq!(q.mean_occupancy(), 0.0);
+        assert_eq!(q.overflow_probability(0.0), 0.0);
+        assert!((q.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overloaded_queue_grows_linearly() {
+        let q = FluidQueue::new(1.0).drive(&constant_trace(2.0, 10));
+        let vals = q.occupancy().values();
+        for (i, &v) in vals.iter().enumerate() {
+            assert!((v - (i + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lindley_recursion_example() {
+        let arr = TimeSeries::from_values(1.0, vec![3.0, 0.0, 0.0, 5.0]);
+        let q = FluidQueue::new(1.0).drive(&arr);
+        assert_eq!(q.occupancy().values(), &[2.0, 1.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn utilization_constructor() {
+        let arr = constant_trace(4.0, 50);
+        let q = FluidQueue::for_utilization(&arr, 0.8);
+        assert!((q.service_rate() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_probability_counts_exceedances() {
+        let arr = TimeSeries::from_values(1.0, vec![2.0, 2.0, 0.0, 0.0]);
+        let q = FluidQueue::new(1.0).drive(&arr);
+        // occupancy: 1, 2, 1, 0
+        assert!((q.overflow_probability(0.5) - 0.75).abs() < 1e-12);
+        assert!((q.overflow_probability(1.5) - 0.25).abs() < 1e-12);
+        assert_eq!(q.overflow_probability(10.0), 0.0);
+    }
+
+    #[test]
+    fn buffer_for_loss_is_monotone_in_target() {
+        let arr = TimeSeries::from_values(
+            1.0,
+            (0..1000).map(|i| if i % 10 == 0 { 5.0 } else { 0.5 }).collect(),
+        );
+        let q = FluidQueue::new(1.0).drive(&arr);
+        let strict = q.buffer_for_loss(0.001).unwrap_or(f64::INFINITY);
+        let loose = q.buffer_for_loss(0.2).unwrap();
+        assert!(strict >= loose);
+    }
+
+    #[test]
+    fn norros_curve_properties() {
+        // Decays in b, and a higher H makes large buffers exceed more.
+        let p1 = norros_overflow(10.0, 0.6, 1.0, 1.0, 2.0);
+        let p2 = norros_overflow(100.0, 0.6, 1.0, 1.0, 2.0);
+        assert!(p2 < p1);
+        let lrd = norros_overflow(100.0, 0.9, 1.0, 1.0, 2.0);
+        assert!(lrd > p2, "LRD tail {lrd} should dominate SRD {p2}");
+        assert_eq!(norros_overflow(0.0, 0.7, 1.0, 1.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn lrd_input_needs_bigger_buffers_than_white() {
+        use sst_traffic::FgnGenerator;
+        let n = 1 << 16;
+        let scale = |ts: Vec<f64>| {
+            TimeSeries::from_values(1.0, ts.into_iter().map(|x| 10.0 + 2.0 * x).collect())
+        };
+        let lrd = scale(FgnGenerator::new(0.85).unwrap().generate_values(n, 4));
+        let white = scale(FgnGenerator::new(0.5).unwrap().generate_values(n, 4));
+        let q_lrd = FluidQueue::for_utilization(&lrd, 0.8).drive(&lrd);
+        let q_white = FluidQueue::for_utilization(&white, 0.8).drive(&white);
+        let b_lrd = q_lrd.buffer_for_loss(0.01).unwrap_or(f64::INFINITY);
+        let b_white = q_white.buffer_for_loss(0.01).unwrap_or(f64::INFINITY);
+        assert!(
+            b_lrd > 2.0 * b_white,
+            "LRD buffer {b_lrd} should dwarf white-noise buffer {b_white}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "service rate must be positive")]
+    fn invalid_rate_rejected() {
+        FluidQueue::new(0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! # sst-queue — queueing substrate
+//!
+//! The downstream consumer the paper motivates: §I argues the Hurst
+//! parameter "is crucial for queueing analysis", so this crate closes
+//! the loop — a fluid FIFO queue driven by [`sst_stats::TimeSeries`]
+//! traces, overflow statistics, and the Norros fractional-Brownian
+//! dimensioning approximation. The `capacity_planning` example and the
+//! queueing ablation bench feed sampled/estimated H into these tools.
+//!
+//! ## Example
+//!
+//! ```
+//! use sst_queue::FluidQueue;
+//! use sst_stats::TimeSeries;
+//!
+//! let arrivals = TimeSeries::from_values(0.001, vec![1200.0; 1000]);
+//! let path = FluidQueue::new(1500.0).drive(&arrivals);
+//! assert_eq!(path.mean_occupancy(), 0.0); // under-loaded: empty buffer
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimensioning;
+pub mod fifo;
+
+pub use dimensioning::{effective_bandwidth, measured_buffer, required_buffer};
+pub use fifo::{norros_overflow, FluidQueue, QueuePath};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use sst_stats::TimeSeries;
+
+    proptest! {
+        #[test]
+        fn occupancy_is_nonnegative_and_bounded(
+            rates in proptest::collection::vec(0.0f64..10.0, 1..200),
+            service in 0.5f64..10.0,
+        ) {
+            let arr = TimeSeries::from_values(1.0, rates.clone());
+            let q = FluidQueue::new(service).drive(&arr);
+            let total_in: f64 = rates.iter().sum();
+            for &v in q.occupancy().values() {
+                prop_assert!(v >= 0.0);
+                prop_assert!(v <= total_in + 1e-9);
+            }
+        }
+
+        #[test]
+        fn higher_service_never_increases_occupancy(
+            rates in proptest::collection::vec(0.0f64..10.0, 1..100),
+            service in 1.0f64..5.0,
+        ) {
+            let arr = TimeSeries::from_values(1.0, rates);
+            let slow = FluidQueue::new(service).drive(&arr);
+            let fast = FluidQueue::new(service * 2.0).drive(&arr);
+            for (s, f) in slow.occupancy().values().iter().zip(fast.occupancy().values()) {
+                prop_assert!(*f <= s + 1e-9);
+            }
+        }
+
+        #[test]
+        fn overflow_curve_is_decreasing(
+            rates in proptest::collection::vec(0.0f64..10.0, 16..200),
+        ) {
+            let arr = TimeSeries::from_values(1.0, rates);
+            let q = FluidQueue::new(1.0).drive(&arr);
+            let curve = q.overflow_curve(20);
+            for w in curve.windows(2) {
+                prop_assert!(w[1].1 <= w[0].1 + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Convolution and autocorrelation.
+//!
+//! The SNC checker needs the τ-fold self-convolution of a probability mass
+//! function (computed in the frequency domain), and the Hurst estimators
+//! need sample autocovariance/autocorrelation sequences for long series
+//! (computed with the FFT in O(n log n)).
+
+use crate::complex::Complex;
+use crate::fft::{fft_pow2_in_place, ifft_pow2_in_place, next_pow2, rfft};
+
+/// Direct (time-domain) linear convolution; O(n·m). Used as the reference
+/// implementation and for short inputs.
+pub fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// FFT-based linear convolution; O((n+m) log(n+m)).
+pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let m = next_pow2(out_len);
+    let mut fa = vec![Complex::ZERO; m];
+    let mut fb = vec![Complex::ZERO; m];
+    for (dst, &src) in fa.iter_mut().zip(a) {
+        *dst = Complex::from_real(src);
+    }
+    for (dst, &src) in fb.iter_mut().zip(b) {
+        *dst = Complex::from_real(src);
+    }
+    fft_pow2_in_place(&mut fa);
+    fft_pow2_in_place(&mut fb);
+    for k in 0..m {
+        fa[k] *= fb[k];
+    }
+    ifft_pow2_in_place(&mut fa);
+    fa.truncate(out_len);
+    fa.into_iter().map(|z| z.re).collect()
+}
+
+/// Linear convolution, choosing direct vs FFT by size.
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.len().saturating_mul(b.len()) <= 4096 {
+        convolve_direct(a, b)
+    } else {
+        convolve_fft(a, b)
+    }
+}
+
+/// The k-fold self-convolution of a probability mass function supported on
+/// `0..pmf.len()`, truncated to `max_len` entries.
+///
+/// This is the distribution of the sum of `k` i.i.d. draws — exactly the
+/// `k(u, τ)` of Theorem 1 in the paper (τ-th order convolution of the
+/// inter-sample-gap distribution `H`).
+///
+/// Computed in the frequency domain as `IFFT(FFT(pmf)^k)` on a grid large
+/// enough to hold the untruncated support (`k · (len-1) + 1`), then clipped,
+/// so no circular aliasing can contaminate the kept prefix.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `pmf` is empty.
+pub fn self_convolve_pmf(pmf: &[f64], k: usize, max_len: usize) -> Vec<f64> {
+    assert!(k >= 1, "convolution order must be >= 1");
+    assert!(!pmf.is_empty(), "pmf must be non-empty");
+    let full = (pmf.len() - 1)
+        .saturating_mul(k)
+        .saturating_add(1)
+        .min(max_len.saturating_mul(2).max(pmf.len()));
+    let m = next_pow2(full.max(max_len));
+    let mut fa = vec![Complex::ZERO; m];
+    for (dst, &src) in fa.iter_mut().zip(pmf) {
+        *dst = Complex::from_real(src);
+    }
+    fft_pow2_in_place(&mut fa);
+    for z in fa.iter_mut() {
+        *z = z.powi(k as u32);
+    }
+    ifft_pow2_in_place(&mut fa);
+    let mut out: Vec<f64> = fa.into_iter().take(max_len).map(|z| z.re.max(0.0)).collect();
+    // Clean up tiny negative round-off and renormalize the kept mass when
+    // it should sum to ~1 (truncation may legitimately cut real mass; only
+    // rescale overshoot).
+    let total: f64 = out.iter().sum();
+    if total > 1.0 {
+        for v in out.iter_mut() {
+            *v /= total;
+        }
+    }
+    out
+}
+
+/// Biased sample autocovariance `γ̂(k) = (1/n) Σ_{t} (x_t - x̄)(x_{t+k} - x̄)`
+/// for `k = 0..max_lag`, computed with the FFT.
+pub fn autocovariance(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_lag = max_lag.min(n - 1);
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = signal.iter().map(|&x| x - mean).collect();
+    // Zero-pad to >= 2n to avoid circular wrap-around.
+    let m = next_pow2(2 * n);
+    let mut buf = vec![Complex::ZERO; m];
+    for (dst, &src) in buf.iter_mut().zip(&centered) {
+        *dst = Complex::from_real(src);
+    }
+    fft_pow2_in_place(&mut buf);
+    for z in buf.iter_mut() {
+        *z = Complex::from_real(z.norm_sqr());
+    }
+    ifft_pow2_in_place(&mut buf);
+    (0..=max_lag).map(|k| buf[k].re / n as f64).collect()
+}
+
+/// Sample autocorrelation `ρ̂(k) = γ̂(k)/γ̂(0)` for `k = 0..max_lag`.
+///
+/// Returns all-zero (after lag 0) for constant signals, whose autocovariance
+/// is identically zero.
+pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    let acov = autocovariance(signal, max_lag);
+    if acov.is_empty() {
+        return acov;
+    }
+    let var = acov[0];
+    if var <= 0.0 {
+        let mut out = vec![0.0; acov.len()];
+        out[0] = 1.0;
+        return out;
+    }
+    acov.into_iter().map(|g| g / var).collect()
+}
+
+/// Direct O(n·k) autocovariance, the reference implementation for tests.
+pub fn autocovariance_direct(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_lag = max_lag.min(n - 1);
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    (0..=max_lag)
+        .map(|k| {
+            let mut acc = 0.0;
+            for t in 0..n - k {
+                acc += (signal[t] - mean) * (signal[t + k] - mean);
+            }
+            acc / n as f64
+        })
+        .collect()
+}
+
+/// Cross-energy spectrum helper: squared-magnitude FFT of a real signal
+/// (the unnormalized periodogram numerator), exposed for estimators that
+/// need the raw spectrum.
+pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
+    rfft(signal).into_iter().map(|z| z.norm_sqr()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_convolution_small_case() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, 1.0];
+        assert_eq!(convolve_direct(&a, &b), vec![0.5, 2.0, 3.5, 3.0]);
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct() {
+        let a: Vec<f64> = (0..57).map(|i| ((i * 7919) % 23) as f64 - 11.0).collect();
+        let b: Vec<f64> = (0..91).map(|i| ((i * 104729) % 17) as f64 * 0.25).collect();
+        let d = convolve_direct(&a, &b);
+        let f = convolve_fft(&a, &b);
+        assert_eq!(d.len(), f.len());
+        for (x, y) in d.iter().zip(&f) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_convolution_is_empty() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn self_convolution_of_degenerate_pmf_is_shifted_impulse() {
+        // P(T = 3) = 1  =>  sum of 4 draws is 12 with probability 1.
+        let mut pmf = vec![0.0; 4];
+        pmf[3] = 1.0;
+        let out = self_convolve_pmf(&pmf, 4, 20);
+        for (u, &p) in out.iter().enumerate() {
+            if u == 12 {
+                assert!((p - 1.0).abs() < 1e-9);
+            } else {
+                assert!(p.abs() < 1e-9, "u={u} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_convolution_matches_repeated_direct() {
+        let pmf = [0.2, 0.5, 0.3];
+        let k = 5;
+        let mut direct = pmf.to_vec();
+        for _ in 1..k {
+            direct = convolve_direct(&direct, &pmf);
+        }
+        let fast = self_convolve_pmf(&pmf, k, direct.len());
+        for (x, y) in direct.iter().zip(&fast) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn self_convolution_mass_sums_to_one_when_untruncated() {
+        let pmf = [0.1, 0.4, 0.25, 0.25];
+        let out = self_convolve_pmf(&pmf, 8, 64);
+        let total: f64 = out.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autocovariance_fft_matches_direct() {
+        let sig: Vec<f64> = (0..200).map(|i| ((i * 31) % 13) as f64 + (i as f64 / 50.0).sin()).collect();
+        let a = autocovariance(&sig, 40);
+        let b = autocovariance_direct(&sig, 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_degenerate() {
+        let sig = vec![5.0; 64];
+        let rho = autocorrelation(&sig, 10);
+        assert_eq!(rho[0], 1.0);
+        assert!(rho[1..].iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let sig: Vec<f64> = (0..128).map(|i| (i as f64 * 0.7).cos()).collect();
+        let rho = autocorrelation(&sig, 5);
+        assert!((rho[0] - 1.0).abs() < 1e-12);
+        assert!(rho[1..].iter().all(|&r| r.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn alternating_signal_has_negative_lag_one_correlation() {
+        let sig: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let rho = autocorrelation(&sig, 2);
+        assert!(rho[1] < -0.9);
+        assert!(rho[2] > 0.9);
+    }
+}

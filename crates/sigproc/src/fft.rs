@@ -1,0 +1,296 @@
+//! Fast Fourier transforms.
+//!
+//! Provides an iterative radix-2 Cooley-Tukey FFT for power-of-two lengths
+//! and a Bluestein (chirp-z) fallback for arbitrary lengths, so every public
+//! entry point accepts any `n ≥ 1`. The inverse transform is normalized by
+//! `1/n`, i.e. `ifft(fft(x)) == x`.
+//!
+//! The paper's SNC checker (Theorem 1, steps S1-S3) and the Davies-Harte
+//! fractional-Gaussian-noise generator are the two main consumers.
+
+use crate::complex::Complex;
+
+/// Returns `true` when `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Next power of two that is `>= n` (with `next_pow2(0) == 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT for power-of-two `data.len()`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_pow2_in_place(data: &mut [Complex]) {
+    transform_pow2(data, false);
+}
+
+/// In-place inverse FFT (normalized by `1/n`) for power-of-two lengths.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_pow2_in_place(data: &mut [Complex]) {
+    transform_pow2(data, true);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(1.0 / n);
+    }
+}
+
+fn transform_pow2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "fft length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Danielson-Lanczos butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let u = data[start + k];
+                let v = data[start + k + half] * w;
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of arbitrary length (radix-2 when possible, Bluestein
+/// otherwise). Returns a new vector of the same length.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if is_power_of_two(n) {
+        let mut buf = input.to_vec();
+        fft_pow2_in_place(&mut buf);
+        buf
+    } else {
+        bluestein(input, false)
+    }
+}
+
+/// Inverse FFT of arbitrary length, normalized by `1/n`.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if is_power_of_two(n) {
+        let mut buf = input.to_vec();
+        ifft_pow2_in_place(&mut buf);
+        buf
+    } else {
+        let mut out = bluestein(input, true);
+        let inv = 1.0 / n as f64;
+        for z in out.iter_mut() {
+            *z = z.scale(inv);
+        }
+        out
+    }
+}
+
+/// Bluestein chirp-z transform: O(n log n) DFT for arbitrary n.
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let m = next_pow2(2 * n - 1);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // chirp[k] = exp(sign * i * pi * k^2 / n)
+    let mut chirp = Vec::with_capacity(n);
+    for k in 0..n {
+        // k^2 mod 2n keeps the angle argument small for numeric stability.
+        let k2 = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
+        chirp.push(Complex::cis(sign * std::f64::consts::PI * k2 / n as f64));
+    }
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+    fft_pow2_in_place(&mut a);
+    fft_pow2_in_place(&mut b);
+    for k in 0..m {
+        a[k] *= b[k];
+    }
+    ifft_pow2_in_place(&mut a);
+    (0..n).map(|k| a[k] * chirp[k]).collect()
+}
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+pub fn rfft(input: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+    fft(&buf)
+}
+
+/// Inverse FFT returning only the real parts (caller asserts the spectrum
+/// is conjugate-symmetric so the imaginary parts are round-off noise).
+pub fn irfft_real(input: &[Complex]) -> Vec<f64> {
+    ifft(input).into_iter().map(|z| z.re).collect()
+}
+
+/// Power spectral density estimate of a real signal via the periodogram:
+/// `I(λ_j) = |Σ x_t e^{-iλ_j t}|² / (2πn)` at Fourier frequencies
+/// `λ_j = 2πj/n`, `j = 1..n/2`.
+///
+/// Returns `(frequencies, intensities)`; the zero frequency is excluded so
+/// the mean of the signal does not leak into the estimate.
+pub fn periodogram(signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = signal.len();
+    if n < 2 {
+        return (Vec::new(), Vec::new());
+    }
+    let spec = rfft(signal);
+    let half = n / 2;
+    let norm = 1.0 / (2.0 * std::f64::consts::PI * n as f64);
+    let mut freqs = Vec::with_capacity(half);
+    let mut dens = Vec::with_capacity(half);
+    for (j, z) in spec.iter().enumerate().take(half + 1).skip(1) {
+        freqs.push(2.0 * std::f64::consts::PI * j as f64 / n as f64);
+        dens.push(z.norm_sqr() * norm);
+    }
+    (freqs, dens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (t, &x) in input.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                    acc += x * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n).map(|i| Complex::new(i as f64 * 0.37 - 1.0, (i as f64).sin())).collect()
+    }
+
+    #[test]
+    fn pow2_matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let x = ramp(n);
+            let err = max_err(&fft(&x), &dft_naive(&x));
+            assert!(err < 1e-9, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        for &n in &[3usize, 5, 6, 7, 12, 15, 31, 100] {
+            let x = ramp(n);
+            let err = max_err(&fft(&x), &dft_naive(&x));
+            assert!(err < 1e-8, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for &n in &[1usize, 2, 7, 16, 33, 128] {
+            let x = ramp(n);
+            let err = max_err(&ifft(&fft(&x)), &x);
+            assert!(err < 1e-9, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        for z in fft(&x) {
+            assert!((z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_signal_concentrates_at_dc() {
+        let x = vec![Complex::from_real(2.0); 8];
+        let spec = fft(&x);
+        assert!((spec[0] - Complex::from_real(16.0)).abs() < 1e-12);
+        for z in &spec[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x = ramp(64);
+        let spec = fft(&x);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn periodogram_peaks_at_sine_frequency() {
+        let n = 1024;
+        let j0 = 50;
+        let sig: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * j0 as f64 * t as f64 / n as f64).sin())
+            .collect();
+        let (_, dens) = periodogram(&sig);
+        let argmax = dens
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // dens[j-1] corresponds to Fourier index j.
+        assert_eq!(argmax + 1, j0);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(fft(&[]).is_empty());
+        let one = [Complex::new(3.5, -1.0)];
+        assert_eq!(fft(&one), one.to_vec());
+        assert_eq!(ifft(&one), one.to_vec());
+    }
+}

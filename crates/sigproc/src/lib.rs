@@ -1,0 +1,127 @@
+//! # sst-sigproc — signal-processing substrate
+//!
+//! Self-contained numerical kernels for the reproduction of He & Hou,
+//! *"An In-Depth, Analytical Study of Sampling Techniques for Self-Similar
+//! Internet Traffic"* (ICDCS 2005). The workspace builds offline, so FFTs,
+//! wavelets, regression and special functions are implemented here rather
+//! than pulled from crates.io.
+//!
+//! ## Contents
+//!
+//! * [`complex`] — minimal `f64` complex arithmetic.
+//! * [`fft`] — radix-2 + Bluestein FFT, periodogram.
+//! * [`conv`] — convolution, τ-fold pmf self-convolution (the `k(u, τ)` of
+//!   the paper's Theorem 1), FFT autocorrelation.
+//! * [`wavelet`] — Daubechies DWT pyramid for the Abry-Veitch Hurst
+//!   estimator.
+//! * [`regress`] — OLS / weighted OLS / power-law fits.
+//! * [`special`] — `ln Γ`, `erf`, normal CDF/quantile, `ζ(2, x)`.
+//! * [`numeric`] — bisection, multi-root scan, golden section, grids.
+//!
+//! ## Example
+//!
+//! ```
+//! use sst_sigproc::{fft, Complex};
+//!
+//! let signal = [1.0, 0.0, 0.0, 0.0].map(Complex::from_real);
+//! let spectrum = fft::fft(&signal);
+//! assert!(spectrum.iter().all(|z| (z.abs() - 1.0).abs() < 1e-12));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod conv;
+pub mod fft;
+pub mod numeric;
+pub mod regress;
+pub mod special;
+pub mod wavelet;
+
+pub use complex::Complex;
+pub use regress::LineFit;
+pub use wavelet::{DwtPyramid, Wavelet};
+
+#[cfg(test)]
+mod proptests {
+    use crate::complex::Complex;
+    use crate::conv::{autocovariance, autocovariance_direct, convolve_direct, convolve_fft};
+    use crate::fft::{fft, ifft};
+    use proptest::prelude::*;
+
+    fn small_signal() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-100.0f64..100.0, 2..128)
+    }
+
+    proptest! {
+        #[test]
+        fn fft_round_trip(xs in small_signal()) {
+            let z: Vec<Complex> = xs.iter().map(|&x| Complex::from_real(x)).collect();
+            let back = ifft(&fft(&z));
+            for (a, b) in z.iter().zip(&back) {
+                prop_assert!((*a - *b).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn fft_is_linear(xs in small_signal(), k in -10.0f64..10.0) {
+            let z: Vec<Complex> = xs.iter().map(|&x| Complex::from_real(x)).collect();
+            let scaled: Vec<Complex> = z.iter().map(|&v| v.scale(k)).collect();
+            let f1 = fft(&scaled);
+            let f2: Vec<Complex> = fft(&z).into_iter().map(|v| v.scale(k)).collect();
+            for (a, b) in f1.iter().zip(&f2) {
+                prop_assert!((*a - *b).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn parseval(xs in small_signal()) {
+            let z: Vec<Complex> = xs.iter().map(|&x| Complex::from_real(x)).collect();
+            let spec = fft(&z);
+            let te: f64 = z.iter().map(|v| v.norm_sqr()).sum();
+            let fe: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / z.len() as f64;
+            prop_assert!((te - fe).abs() <= 1e-6 * te.max(1.0));
+        }
+
+        #[test]
+        fn convolution_agreement(
+            a in proptest::collection::vec(-10.0f64..10.0, 1..40),
+            b in proptest::collection::vec(-10.0f64..10.0, 1..40),
+        ) {
+            let d = convolve_direct(&a, &b);
+            let f = convolve_fft(&a, &b);
+            prop_assert_eq!(d.len(), f.len());
+            for (x, y) in d.iter().zip(&f) {
+                prop_assert!((x - y).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn convolution_commutes(
+            a in proptest::collection::vec(-10.0f64..10.0, 1..30),
+            b in proptest::collection::vec(-10.0f64..10.0, 1..30),
+        ) {
+            let ab = convolve_direct(&a, &b);
+            let ba = convolve_direct(&b, &a);
+            for (x, y) in ab.iter().zip(&ba) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn autocovariance_agreement(xs in proptest::collection::vec(-50.0f64..50.0, 4..100)) {
+            let fft_ver = autocovariance(&xs, 10);
+            let direct = autocovariance_direct(&xs, 10);
+            for (x, y) in fft_ver.iter().zip(&direct) {
+                prop_assert!((x - y).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn normal_quantile_round_trip(p in 0.0001f64..0.9999) {
+            let x = crate::special::normal_quantile(p);
+            prop_assert!((crate::special::normal_cdf(x) - p).abs() < 1e-9);
+        }
+    }
+}

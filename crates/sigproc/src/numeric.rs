@@ -1,0 +1,207 @@
+//! Scalar numerical routines: root bracketing/bisection and golden-section
+//! minimization.
+//!
+//! Used by the BSS parameter solver (finding the unbiased-threshold roots
+//! ε₁, ε₂ of ξ(ε) = target) and by the local-Whittle Hurst estimator
+//! (1-D likelihood minimization over H).
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Returns `None` when `f(lo)` and `f(hi)` have the same sign (no bracketed
+/// root). Otherwise iterates until the interval is shorter than `tol` or
+/// 200 iterations, whichever comes first, and returns the midpoint.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or `tol <= 0`.
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64) -> Option<f64> {
+    assert!(lo < hi, "invalid bracket [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Some(a);
+    }
+    if fb == 0.0 {
+        return Some(b);
+    }
+    if fa.signum() == fb.signum() {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm == 0.0 || (b - a) < tol {
+            return Some(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
+/// Scans `[lo, hi]` in `steps` uniform panels and returns every sub-interval
+/// across which `f` changes sign, refined by bisection. This is how the BSS
+/// solver finds *both* roots ε₁ < ε₂ of ξ(ε) − target.
+pub fn find_roots<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    steps: usize,
+    tol: f64,
+) -> Vec<f64> {
+    assert!(steps >= 1);
+    let mut roots = Vec::new();
+    let dx = (hi - lo) / steps as f64;
+    let mut x0 = lo;
+    let mut f0 = f(x0);
+    for i in 1..=steps {
+        let x1 = lo + dx * i as f64;
+        let f1 = f(x1);
+        if f0 == 0.0 {
+            roots.push(x0);
+        } else if f0.signum() != f1.signum() && f1 != 0.0 {
+            if let Some(r) = bisect(&mut f, x0, x1, tol) {
+                roots.push(r);
+            }
+        }
+        x0 = x1;
+        f0 = f1;
+    }
+    if f0 == 0.0 {
+        roots.push(x0);
+    }
+    roots.dedup_by(|a, b| (*a - *b).abs() < tol);
+    roots
+}
+
+/// Golden-section search for the minimizer of a unimodal `f` on `[lo, hi]`.
+///
+/// Returns `(argmin, min)` once the bracket is shorter than `tol`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or `tol <= 0`.
+pub fn golden_section_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> (f64, f64) {
+    assert!(lo < hi, "invalid bracket [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+/// Linearly spaced grid of `n` points including both endpoints.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least 2 points");
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|i| lo + step * i as f64).collect()
+}
+
+/// Logarithmically spaced grid of `n` points from `lo` to `hi` (inclusive).
+///
+/// # Panics
+///
+/// Panics if `lo` or `hi` is not strictly positive or `n < 2`.
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > 0.0, "logspace endpoints must be positive");
+    linspace(lo.ln(), hi.ln(), n).into_iter().map(f64::exp).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_returns_none_without_sign_change() {
+        assert!(bisect(|x| x * x + 1.0, -5.0, 5.0, 1e-9).is_none());
+    }
+
+    #[test]
+    fn bisect_accepts_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9), Some(0.0));
+    }
+
+    #[test]
+    fn find_roots_locates_both_quadratic_roots() {
+        let roots = find_roots(|x| (x - 1.0) * (x - 3.0), 0.0, 4.0, 100, 1e-10);
+        assert_eq!(roots.len(), 2);
+        assert!((roots[0] - 1.0).abs() < 1e-8);
+        assert!((roots[1] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn find_roots_empty_when_no_crossing() {
+        assert!(find_roots(|x| x * x + 0.5, -2.0, 2.0, 50, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn golden_section_minimizes_parabola() {
+        // Near the minimum the offset parabola is flat to machine precision
+        // (δ² underflows against 2.0), so only μ-level accuracy is testable.
+        let (x, v) = golden_section_min(|x| (x - 0.3) * (x - 0.3) + 2.0, -4.0, 5.0, 1e-8);
+        assert!((x - 0.3).abs() < 1e-6);
+        assert!((v - 2.0).abs() < 1e-11);
+    }
+
+    #[test]
+    fn golden_section_tight_accuracy_without_offset() {
+        let (x, v) = golden_section_min(|x| (x - 0.3) * (x - 0.3), -4.0, 5.0, 1e-12);
+        assert!((x - 0.3).abs() < 1e-7);
+        assert!(v < 1e-14);
+    }
+
+    #[test]
+    fn linspace_endpoints_and_count() {
+        let g = linspace(-1.0, 1.0, 5);
+        assert_eq!(g, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let g = logspace(1e-5, 1e-1, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 1e-5).abs() < 1e-18);
+        assert!((g[4] - 1e-1).abs() < 1e-12);
+        for w in g.windows(2) {
+            assert!((w[1] / w[0] - 10.0).abs() < 1e-9);
+        }
+    }
+}

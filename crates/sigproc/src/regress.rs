@@ -1,0 +1,186 @@
+//! Least-squares regression helpers.
+//!
+//! Every estimator in the reproduction ends in a line fit: the Hurst
+//! estimators regress log-energy against octave or log-variance against
+//! log-block-size, and the SNC checker fits `log R_g(τ)` against `log τ`.
+
+/// Result of a (weighted) simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 for a perfect fit; 0 when the
+    /// model explains nothing; may be negative for weighted fits).
+    pub r_squared: f64,
+    /// Standard error of the slope estimate.
+    pub slope_stderr: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LineFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares fit of `y` on `x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or fewer than 2 points are given.
+pub fn ols(x: &[f64], y: &[f64]) -> LineFit {
+    let w = vec![1.0; x.len()];
+    weighted_ols(x, y, &w)
+}
+
+/// Weighted least squares fit minimizing `Σ wᵢ (yᵢ - a xᵢ - b)²`.
+///
+/// The Abry-Veitch wavelet estimator weights each octave by the inverse
+/// variance of its log-energy, which is what makes it asymptotically
+/// efficient; this is the fit it uses.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ, fewer than 2 points are given, any
+/// weight is negative, or all weights are zero.
+pub fn weighted_ols(x: &[f64], y: &[f64], w: &[f64]) -> LineFit {
+    assert_eq!(x.len(), y.len(), "x and y length mismatch");
+    assert_eq!(x.len(), w.len(), "x and w length mismatch");
+    assert!(x.len() >= 2, "need at least two points to fit a line");
+    assert!(w.iter().all(|&wi| wi >= 0.0), "weights must be non-negative");
+    let sw: f64 = w.iter().sum();
+    assert!(sw > 0.0, "at least one weight must be positive");
+
+    let mx = x.iter().zip(w).map(|(xi, wi)| xi * wi).sum::<f64>() / sw;
+    let my = y.iter().zip(w).map(|(yi, wi)| yi * wi).sum::<f64>() / sw;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..x.len() {
+        let dx = x[i] - mx;
+        sxx += w[i] * dx * dx;
+        sxy += w[i] * dx * (y[i] - my);
+    }
+    assert!(sxx > 0.0, "x values are all identical; slope undefined");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for i in 0..x.len() {
+        let resid = y[i] - slope * x[i] - intercept;
+        ss_res += w[i] * resid * resid;
+        let dy = y[i] - my;
+        ss_tot += w[i] * dy * dy;
+    }
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let dof = (x.len() as f64 - 2.0).max(1.0);
+    let slope_stderr = (ss_res / dof / sxx).sqrt();
+    LineFit { slope, intercept, r_squared, slope_stderr, n: x.len() }
+}
+
+/// Fits `y = c · x^p` by OLS on `(log10 x, log10 y)`, returning the fitted
+/// exponent `p`, the prefactor `c`, and the underlying line fit.
+///
+/// Pairs with non-positive `x` or `y` are skipped (they have no logarithm);
+/// the fit uses the remaining points.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 usable pairs remain.
+pub fn power_law_fit(x: &[f64], y: &[f64]) -> (f64, f64, LineFit) {
+    assert_eq!(x.len(), y.len());
+    let mut lx = Vec::with_capacity(x.len());
+    let mut ly = Vec::with_capacity(y.len());
+    for i in 0..x.len() {
+        if x[i] > 0.0 && y[i] > 0.0 {
+            lx.push(x[i].log10());
+            ly.push(y[i].log10());
+        }
+    }
+    let fit = ols(&lx, &ly);
+    (fit.slope, 10f64.powf(fit.intercept), fit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| 3.0 * xi - 2.0).collect();
+        let fit = ols(&x, &y);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.slope_stderr < 1e-10);
+    }
+
+    #[test]
+    fn noisy_line_slope_close() {
+        // Deterministic "noise".
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &xi)| 0.5 * xi + 1.0 + 0.01 * ((i * 2654435761) % 100) as f64 / 100.0)
+            .collect();
+        let fit = ols(&x, &y);
+        assert!((fit.slope - 0.5).abs() < 0.01);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn weights_zero_points_are_ignored() {
+        let x = [0.0, 1.0, 2.0, 100.0];
+        let y = [0.0, 1.0, 2.0, -500.0];
+        let w = [1.0, 1.0, 1.0, 0.0];
+        let fit = weighted_ols(&x, &y, &w);
+        assert!((fit.slope - 1.0).abs() < 1e-12);
+        assert!(fit.intercept.abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighting_pulls_fit_toward_heavy_points() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 1.0, 4.0];
+        let uniform = weighted_ols(&x, &y, &[1.0, 1.0, 1.0]);
+        let heavy_last = weighted_ols(&x, &y, &[1.0, 1.0, 10.0]);
+        assert!(heavy_last.slope > uniform.slope);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        let x: Vec<f64> = (1..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| 2.5 * xi.powf(-0.7)).collect();
+        let (p, c, fit) = power_law_fit(&x, &y);
+        assert!((p + 0.7).abs() < 1e-10);
+        assert!((c - 2.5).abs() < 1e-9);
+        assert!(fit.r_squared > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn power_law_fit_skips_nonpositive_pairs() {
+        let x = [0.0, 1.0, 2.0, 4.0, 8.0];
+        let y = [5.0, 1.0, 0.5, 0.25, 0.125];
+        let (p, _, fit) = power_law_fit(&x, &y);
+        assert_eq!(fit.n, 4);
+        assert!((p + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        ols(&[1.0], &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn vertical_line_panics() {
+        ols(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Exceedance (on-off) analysis of a traffic process.
+//!
+//! Section V-B of the paper defines `q(t) = 1{f(t) > a_th}` and observes
+//! that the lengths of the 1-bursts of `q(t)` are heavy-tailed for
+//! self-similar `f(t)` — the property that makes BSS's extra samples pay
+//! off. This module extracts the bursts and measures their tail.
+
+use crate::tailfit::{fit_pareto_ccdf, ParetoFit};
+
+/// The binary exceedance process `q(t)` of Eq. (17).
+pub fn exceedance_process(values: &[f64], threshold: f64) -> Vec<bool> {
+    values.iter().map(|&x| x > threshold).collect()
+}
+
+/// Lengths of maximal runs of `true` in `q` (the 1-burst periods `B`).
+pub fn burst_lengths(q: &[bool]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut run = 0usize;
+    for &on in q {
+        if on {
+            run += 1;
+        } else if run > 0 {
+            out.push(run);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        out.push(run);
+    }
+    out
+}
+
+/// Lengths of maximal runs of `false` (the 0-burst / idle periods).
+pub fn idle_lengths(q: &[bool]) -> Vec<usize> {
+    let inverted: Vec<bool> = q.iter().map(|&b| !b).collect();
+    burst_lengths(&inverted)
+}
+
+/// Summary of the exceedance structure of a process at one threshold.
+#[derive(Clone, Debug)]
+pub struct BurstAnalysis {
+    /// The threshold used (`a_th`).
+    pub threshold: f64,
+    /// All 1-burst lengths, in time bins.
+    pub bursts: Vec<usize>,
+    /// All 0-burst lengths, in time bins.
+    pub idles: Vec<usize>,
+    /// Fraction of time above the threshold.
+    pub duty_cycle: f64,
+    /// Pareto fit of the 1-burst-length CCDF (`None` if too few bursts).
+    pub tail_fit: Option<ParetoFit>,
+}
+
+impl BurstAnalysis {
+    /// Analyzes `values` against `threshold = epsilon × mean(values)` —
+    /// the paper's parameterization `a_th = X̄ · ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn at_relative_threshold(values: &[f64], epsilon: f64) -> BurstAnalysis {
+        assert!(!values.is_empty(), "cannot analyze an empty process");
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        Self::at_threshold(values, mean * epsilon)
+    }
+
+    /// Analyzes `values` against an absolute threshold.
+    pub fn at_threshold(values: &[f64], threshold: f64) -> BurstAnalysis {
+        let q = exceedance_process(values, threshold);
+        let bursts = burst_lengths(&q);
+        let idles = idle_lengths(&q);
+        let on_time: usize = bursts.iter().sum();
+        let duty_cycle = if values.is_empty() {
+            0.0
+        } else {
+            on_time as f64 / values.len() as f64
+        };
+        let burst_f: Vec<f64> = bursts.iter().map(|&b| b as f64).collect();
+        let tail_fit = if bursts.len() >= 50 {
+            fit_pareto_ccdf(&burst_f, 0.0)
+        } else {
+            None
+        };
+        BurstAnalysis { threshold, bursts, idles, duty_cycle, tail_fit }
+    }
+
+    /// Mean 1-burst length in bins (`0` when there are no bursts).
+    pub fn mean_burst_len(&self) -> f64 {
+        if self.bursts.is_empty() {
+            0.0
+        } else {
+            self.bursts.iter().sum::<usize>() as f64 / self.bursts.len() as f64
+        }
+    }
+
+    /// The empirical burst-persistence probability of Eq. (18):
+    /// `℘(τ) = P(B > τ | B ≥ τ)` estimated from the burst lengths.
+    ///
+    /// Returns `None` when no burst reaches length `tau`.
+    pub fn persistence(&self, tau: usize) -> Option<f64> {
+        let at_least: usize = self.bursts.iter().filter(|&&b| b >= tau).count();
+        if at_least == 0 {
+            return None;
+        }
+        let beyond: usize = self.bursts.iter().filter(|&&b| b > tau).count();
+        Some(beyond as f64 / at_least as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_extraction_basics() {
+        let q = [false, true, true, false, true, true, true, false, false, true];
+        assert_eq!(burst_lengths(&q), vec![2, 3, 1]);
+        assert_eq!(idle_lengths(&q), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn all_on_and_all_off() {
+        assert_eq!(burst_lengths(&[true; 5]), vec![5]);
+        assert!(burst_lengths(&[false; 5]).is_empty());
+        assert!(burst_lengths(&[]).is_empty());
+    }
+
+    #[test]
+    fn exceedance_is_strict() {
+        let q = exceedance_process(&[1.0, 2.0, 3.0], 2.0);
+        assert_eq!(q, vec![false, false, true]);
+    }
+
+    #[test]
+    fn duty_cycle_counts_on_fraction() {
+        let vals = [0.0, 10.0, 10.0, 0.0, 10.0, 0.0, 0.0, 0.0];
+        let a = BurstAnalysis::at_threshold(&vals, 5.0);
+        assert!((a.duty_cycle - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(a.bursts, vec![2, 1]);
+        assert!((a.mean_burst_len() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_threshold_uses_mean() {
+        let vals = [2.0, 2.0, 2.0, 10.0]; // mean 4
+        let a = BurstAnalysis::at_relative_threshold(&vals, 0.5); // a_th = 2
+        assert_eq!(a.threshold, 2.0);
+        assert_eq!(a.bursts, vec![1]);
+    }
+
+    #[test]
+    fn persistence_of_deterministic_bursts() {
+        // All bursts have length 3: P(B > τ | B ≥ τ) = 1 for τ < 3, 0 at τ = 3.
+        let mut q = Vec::new();
+        for _ in 0..10 {
+            q.extend_from_slice(&[true, true, true, false]);
+        }
+        let vals: Vec<f64> = q.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let a = BurstAnalysis::at_threshold(&vals, 0.5);
+        assert_eq!(a.persistence(1), Some(1.0));
+        assert_eq!(a.persistence(2), Some(1.0));
+        assert_eq!(a.persistence(3), Some(0.0));
+        assert_eq!(a.persistence(4), None);
+    }
+
+    #[test]
+    fn pareto_bursts_are_detected_as_heavy() {
+        // Construct q(t) with Pareto-distributed burst lengths directly.
+        use crate::dist::{Distribution, Pareto};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let p = Pareto::new(1.3, 1.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut vals = Vec::new();
+        for _ in 0..5000 {
+            let on = p.sample(&mut rng).ceil() as usize;
+            vals.extend(std::iter::repeat(1.0).take(on.min(10_000)));
+            vals.extend(std::iter::repeat(0.0).take(3));
+        }
+        let a = BurstAnalysis::at_threshold(&vals, 0.5);
+        let fit = a.tail_fit.expect("enough bursts for a fit");
+        assert!((fit.alpha - 1.3).abs() < 0.35, "alpha={}", fit.alpha);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_process_panics() {
+        BurstAnalysis::at_relative_threshold(&[], 0.5);
+    }
+}

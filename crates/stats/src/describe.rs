@@ -1,0 +1,254 @@
+//! Descriptive statistics: batch summaries and streaming (Welford)
+//! accumulation.
+//!
+//! The online-tuned BSS sampler keeps a running mean of everything it has
+//! sampled so far (the paper's `E(Y_i)`); [`RunningStats`] is that
+//! accumulator, numerically stable for the millions of updates a long
+//! trace produces.
+
+/// Batch summary of a data set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population variance (divides by `n`).
+    pub variance: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn of(data: &[f64]) -> Summary {
+        assert!(!data.is_empty(), "cannot summarize an empty data set");
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let variance = data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, variance, min, max }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use sst_stats::RunningStats;
+/// let mut rs = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     rs.push(x);
+/// }
+/// assert_eq!(rs.mean(), 2.5);
+/// assert_eq!(rs.count(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`0.0` before the first observation).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`0.0` with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of `data` by linear interpolation of the
+/// order statistics (type-7, the R/NumPy default).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median, a shorthand for `quantile(data, 0.5)`.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.variance, 4.0);
+        assert_eq!(s.stddev(), 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn running_matches_batch() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let mut rs = RunningStats::new();
+        for &x in &data {
+            rs.push(x);
+        }
+        let s = Summary::of(&data);
+        assert!((rs.mean() - s.mean).abs() < 1e-10);
+        assert!((rs.variance() - s.variance).abs() < 1e-8);
+        assert_eq!(rs.min(), Some(s.min));
+        assert_eq!(rs.max(), Some(s.max));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..200).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &data[..73] {
+            left.push(x);
+        }
+        for &x in &data[73..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(median(&data), 2.5);
+        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_single_value() {
+        let mut rs = RunningStats::new();
+        rs.push(42.0);
+        assert_eq!(rs.mean(), 42.0);
+        assert_eq!(rs.variance(), 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Empirical distribution functions.
+//!
+//! Figures 7 and 8 of the paper are empirical CCDFs on log-log axes with a
+//! Pareto line fitted through the tail; this module produces exactly those
+//! curves.
+
+/// An empirical distribution built from a sorted copy of the data.
+///
+/// # Examples
+///
+/// ```
+/// use sst_stats::ecdf::Ecdf;
+/// let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(e.ccdf(2.5), 0.5);
+/// assert_eq!(e.cdf(4.0), 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the empirical distribution of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    pub fn new(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot build an ECDF from no data");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        Ecdf { sorted }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when built from no data (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Empirical CDF: fraction of observations `≤ x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical CCDF: fraction of observations `> x`.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// The sorted observations.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the CCDF on a log-spaced grid of `n` points between the
+    /// smallest positive observation and the maximum, returning `(x, ccdf)`
+    /// pairs with zero-probability tail points dropped — ready for a
+    /// log-log plot or a tail fit.
+    pub fn ccdf_curve_log(&self, n: usize) -> Vec<(f64, f64)> {
+        let lo = match self.sorted.iter().copied().find(|&v| v > 0.0) {
+            Some(v) => v,
+            None => return Vec::new(),
+        };
+        let hi = *self.sorted.last().expect("non-empty");
+        if hi <= lo || n < 2 {
+            return vec![(lo, self.ccdf(lo))];
+        }
+        sst_sigproc::numeric::logspace(lo, hi, n)
+            .into_iter()
+            .map(|x| (x, self.ccdf(x)))
+            .filter(|&(_, p)| p > 0.0)
+            .collect()
+    }
+
+    /// Empirical quantile (type-1, inverse of the step CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_and_ccdf_are_complementary() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 4.0, 5.0]);
+        for x in [0.0, 1.5, 3.0, 10.0] {
+            assert!((e.cdf(x) + e.ccdf(x) - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cdf_step_semantics() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(2.5), 0.75);
+        assert_eq!(e.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_hits_order_statistics() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+        assert_eq!(e.quantile(0.0), 10.0);
+    }
+
+    #[test]
+    fn log_curve_is_monotone_decreasing() {
+        let data: Vec<f64> = (1..1000).map(|i| i as f64).collect();
+        let e = Ecdf::new(&data);
+        let curve = e.ccdf_curve_log(50);
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-15);
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn log_curve_handles_all_nonpositive() {
+        let e = Ecdf::new(&[0.0, -1.0, 0.0]);
+        assert!(e.ccdf_curve_log(10).is_empty());
+    }
+
+    #[test]
+    fn log_curve_on_pareto_data_is_straight() {
+        // CCDF of exact Pareto quantiles should fit slope -α in log-log.
+        let alpha = 1.5;
+        let data: Vec<f64> = (1..=2000)
+            .map(|i| {
+                let u = (i as f64 - 0.5) / 2000.0;
+                (1.0 - u).powf(-1.0 / alpha)
+            })
+            .collect();
+        let e = Ecdf::new(&data);
+        let curve = e.ccdf_curve_log(40);
+        let xs: Vec<f64> = curve.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = curve.iter().map(|p| p.1).collect();
+        let (slope, _, fit) = sst_sigproc::regress::power_law_fit(&xs, &ys);
+        assert!((slope + alpha).abs() < 0.1, "slope={slope}");
+        assert!(fit.r_squared > 0.98);
+    }
+}

@@ -1,0 +1,267 @@
+//! Analytic second-order models of self-similar processes.
+//!
+//! The paper works throughout with the asymptotic autocorrelation
+//! `R(τ) ~ const·τ^{-β}`, `0 < β < 1`, and the Hurst parameter
+//! `H = 1 − β/2`. This module holds that model and the conversions
+//! between `H`, `β`, and the on/off shape parameter `α = β + 1`.
+
+use serde::{Deserialize, Serialize};
+
+/// Converts a correlation decay exponent β ∈ (0, 1) to the Hurst
+/// parameter `H = 1 − β/2 ∈ (1/2, 1)`.
+///
+/// # Panics
+///
+/// Panics if β is outside `(0, 1)`.
+pub fn hurst_from_beta(beta: f64) -> f64 {
+    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1), got {beta}");
+    1.0 - beta / 2.0
+}
+
+/// Converts a Hurst parameter `H ∈ (1/2, 1)` to `β = 2 − 2H`.
+///
+/// # Panics
+///
+/// Panics if H is outside `(1/2, 1)`.
+pub fn beta_from_hurst(h: f64) -> f64 {
+    assert!(h > 0.5 && h < 1.0, "H must be in (1/2,1), got {h}");
+    2.0 - 2.0 * h
+}
+
+/// On/off heavy-tail shape from the Hurst parameter: `α = 3 − 2H`
+/// (equivalently `α = β + 1`), per the Taqqu-Willinger-Sherman limit the
+/// paper's ns-2 setup relies on.
+pub fn onoff_alpha_from_hurst(h: f64) -> f64 {
+    beta_from_hurst(h) + 1.0
+}
+
+/// Hurst parameter produced by on/off sources with tail shape
+/// `α ∈ (1, 2)`: `H = (3 − α)/2`.
+///
+/// # Panics
+///
+/// Panics if α is outside `(1, 2)`.
+pub fn hurst_from_onoff_alpha(alpha: f64) -> f64 {
+    assert!(alpha > 1.0 && alpha < 2.0, "alpha must be in (1,2), got {alpha}");
+    (3.0 - alpha) / 2.0
+}
+
+/// The asymptotic power-law autocorrelation model `R(τ) = τ^{-β}` for
+/// `τ ≥ 1`, with `R(0) = 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawAcf {
+    beta: f64,
+}
+
+impl PowerLawAcf {
+    /// Creates the model with decay exponent β.
+    ///
+    /// # Panics
+    ///
+    /// Panics if β is outside `(0, 1)`.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1), got {beta}");
+        PowerLawAcf { beta }
+    }
+
+    /// Builds the model from a Hurst parameter.
+    pub fn from_hurst(h: f64) -> Self {
+        PowerLawAcf::new(beta_from_hurst(h))
+    }
+
+    /// The decay exponent β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The implied Hurst parameter.
+    pub fn hurst(&self) -> f64 {
+        hurst_from_beta(self.beta)
+    }
+
+    /// `R(τ)` at integer lag (τ as f64; `R(0) = 1`).
+    pub fn at(&self, tau: f64) -> f64 {
+        if tau <= 0.0 {
+            1.0
+        } else if tau < 1.0 {
+            // Interpolate smoothly between R(0)=1 and R(1)=1; the model is
+            // asymptotic, sub-unit lags are clamped.
+            1.0
+        } else {
+            tau.powf(-self.beta)
+        }
+    }
+
+    /// The second difference `δτ = R(τ+1) + R(τ−1) − 2R(τ)` of Eq. (16) —
+    /// Cochran's convexity condition. For the asymptotic power-law model
+    /// this is positive for every `τ ≥ 2` (where all three lags sit on the
+    /// convex power law); at `τ = 1` the value involves `R(0) = 1`, where
+    /// the asymptotic model is not meaningful — use [`FgnAcf::delta_tau`]
+    /// for an exact-ACF check that covers `τ = 1` too.
+    pub fn delta_tau(&self, tau: u64) -> f64 {
+        let t = tau as f64;
+        self.at(t + 1.0) + self.at(t - 1.0) - 2.0 * self.at(t)
+    }
+
+    /// Vector of `R(τ)` for `τ = 0..len` (the checker's discretized model).
+    pub fn table(&self, len: usize) -> Vec<f64> {
+        (0..len).map(|tau| self.at(tau as f64)).collect()
+    }
+}
+
+/// The exact autocorrelation of fractional Gaussian noise:
+/// `ρ(k) = (|k+1|^{2H} − 2|k|^{2H} + |k−1|^{2H}) / 2`.
+///
+/// Unlike the asymptotic [`PowerLawAcf`], this is a genuine positive
+/// semidefinite ACF with `ρ(0) = 1`; it is what the Davies-Harte generator
+/// embeds, and it satisfies Cochran's condition at **all** lags including
+/// `τ = 1` when `H > 1/2`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FgnAcf {
+    hurst: f64,
+}
+
+impl FgnAcf {
+    /// Creates the fGn ACF with Hurst parameter `h ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is outside `(0, 1)`.
+    pub fn new(h: f64) -> Self {
+        assert!(h > 0.0 && h < 1.0, "H must be in (0,1), got {h}");
+        FgnAcf { hurst: h }
+    }
+
+    /// The Hurst parameter.
+    pub fn hurst(&self) -> f64 {
+        self.hurst
+    }
+
+    /// `ρ(k)` at integer lag `k ≥ 0`.
+    pub fn at(&self, k: u64) -> f64 {
+        let h2 = 2.0 * self.hurst;
+        let k = k as f64;
+        0.5 * ((k + 1.0).powf(h2) - 2.0 * k.powf(h2) + (k - 1.0).abs().powf(h2))
+    }
+
+    /// Autocovariance table `σ²·ρ(k)` for `k = 0..len` with unit variance —
+    /// the first row of the circulant matrix Davies-Harte embeds.
+    pub fn table(&self, len: usize) -> Vec<f64> {
+        (0..len as u64).map(|k| self.at(k)).collect()
+    }
+
+    /// Cochran's second difference `δτ` under the exact ACF (valid at all
+    /// `τ ≥ 1`).
+    pub fn delta_tau(&self, tau: u64) -> f64 {
+        self.at(tau + 1) + self.at(tau.saturating_sub(1)) - 2.0 * self.at(tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        for beta in [0.1, 0.4, 0.8, 0.99] {
+            let h = hurst_from_beta(beta);
+            assert!((beta_from_hurst(h) - beta).abs() < 1e-12);
+        }
+        for h in [0.55, 0.62, 0.75, 0.9] {
+            let a = onoff_alpha_from_hurst(h);
+            assert!((hurst_from_onoff_alpha(a) - h).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_landmark_values() {
+        // H = 0.8 (the ns-2 setup) comes from α = 1.4.
+        assert!((onoff_alpha_from_hurst(0.8) - 1.4).abs() < 1e-12);
+        // H = 0.9 corresponds to α = 1.2 (the Crovella-Lipsky 10^22 case).
+        assert!((hurst_from_onoff_alpha(1.2) - 0.9).abs() < 1e-12);
+        // H = 0.75 corresponds to α = 1.5.
+        assert!((hurst_from_onoff_alpha(1.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_values() {
+        let r = PowerLawAcf::new(0.5);
+        assert_eq!(r.at(0.0), 1.0);
+        assert_eq!(r.at(1.0), 1.0);
+        assert!((r.at(4.0) - 0.5).abs() < 1e-12);
+        assert!((r.hurst() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_is_non_summable_in_spirit() {
+        // Partial sums grow without visible bound (LRD): compare two
+        // horizons.
+        let r = PowerLawAcf::new(0.3);
+        let s1: f64 = (1..10_000u64).map(|t| r.at(t as f64)).sum();
+        let s2: f64 = (1..100_000u64).map(|t| r.at(t as f64)).sum();
+        assert!(s2 > 1.5 * s1);
+    }
+
+    #[test]
+    fn delta_tau_is_positive_for_all_beta() {
+        // Figure 4 of the paper: convexity of τ^{-β} for τ ≥ 2.
+        for beta in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let r = PowerLawAcf::new(beta);
+            for tau in 2..1000u64 {
+                assert!(r.delta_tau(tau) >= 0.0, "beta={beta} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn fgn_delta_tau_positive_everywhere_for_lrd() {
+        // Exact fGn ACF covers τ = 1 as well (H > 1/2).
+        for h in [0.55, 0.62, 0.75, 0.8, 0.95] {
+            let r = FgnAcf::new(h);
+            for tau in 1..500u64 {
+                assert!(r.delta_tau(tau) >= -1e-15, "H={h} tau={tau} δ={}", r.delta_tau(tau));
+            }
+        }
+    }
+
+    #[test]
+    fn fgn_acf_landmarks() {
+        let r = FgnAcf::new(0.8);
+        assert!((r.at(0) - 1.0).abs() < 1e-12);
+        // ρ(1) = 2^{2H-1} − 1.
+        assert!((r.at(1) - (2f64.powf(0.6) - 1.0)).abs() < 1e-12);
+        // Independence for H = 1/2.
+        let white = FgnAcf::new(0.5);
+        for k in 1..10 {
+            assert!(white.at(k).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fgn_acf_decays_like_power_law() {
+        // ρ(k) ~ H(2H−1) k^{2H−2}: the log-log slope at large k equals
+        // 2H−2 = −β.
+        let h = 0.8;
+        let r = FgnAcf::new(h);
+        let ks: Vec<f64> = (64..512u64).map(|k| k as f64).collect();
+        let rs: Vec<f64> = (64..512u64).map(|k| r.at(k)).collect();
+        let (slope, _, _) = sst_sigproc::regress::power_law_fit(&ks, &rs);
+        assert!((slope - (2.0 * h - 2.0)).abs() < 0.01, "slope={slope}");
+    }
+
+    #[test]
+    fn table_matches_pointwise() {
+        let r = PowerLawAcf::new(0.2);
+        let t = r.table(10);
+        assert_eq!(t.len(), 10);
+        for (tau, &v) in t.iter().enumerate() {
+            assert_eq!(v, r.at(tau as f64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in (0,1)")]
+    fn invalid_beta_rejected() {
+        PowerLawAcf::new(1.5);
+    }
+}

@@ -1,0 +1,218 @@
+//! The `TimeSeries` container: a traffic process `f(t)` measured at a fixed
+//! time granularity, plus the block-aggregation operator of Eq. (1).
+
+use serde::{Deserialize, Serialize};
+
+/// A real-valued time series at fixed granularity — the paper's `f(t)`.
+///
+/// Values are whatever the measurement is (bytes/s, packets/bin, …); `dt`
+/// records the bin width in seconds so packet traces and synthetic traces
+/// bin to comparable processes.
+///
+/// # Examples
+///
+/// ```
+/// use sst_stats::TimeSeries;
+/// let ts = TimeSeries::from_values(1.0, vec![2.0, 4.0, 6.0, 8.0]);
+/// assert_eq!(ts.mean(), 5.0);
+/// let agg = ts.aggregate(2);
+/// assert_eq!(agg.values(), &[3.0, 7.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    dt: f64,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from raw values with the given bin width `dt`
+    /// (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or is not finite.
+    pub fn from_values(dt: f64, values: Vec<f64>) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be a positive finite bin width");
+        TimeSeries { dt, values }
+    }
+
+    /// Bin width in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow the underlying values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consume the series, returning its values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Total duration covered, in seconds.
+    pub fn duration(&self) -> f64 {
+        self.dt * self.values.len() as f64
+    }
+
+    /// Sample mean; `0.0` for an empty series.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population variance (divides by `n`); `0.0` for series shorter
+    /// than 2.
+    pub fn variance(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.values.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / n as f64
+    }
+
+    /// Largest value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Smallest value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Smallest strictly positive value (`None` when there is none) — the
+    /// empirical analogue of the Pareto scale parameter ℓ.
+    pub fn min_positive(&self) -> Option<f64> {
+        self.values.iter().copied().filter(|&x| x > 0.0).reduce(f64::min)
+    }
+
+    /// The aggregated series `f^(m)(τ) = (1/m) Σ_{i=(τ-1)m+1}^{τm} f(i)`
+    /// of Eq. (1): the time axis is divided into blocks of length `m` and
+    /// each block is replaced by its average. A trailing partial block is
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn aggregate(&self, m: usize) -> TimeSeries {
+        assert!(m >= 1, "aggregation level must be >= 1");
+        if m == 1 {
+            return self.clone();
+        }
+        let blocks = self.values.len() / m;
+        let mut out = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let chunk = &self.values[b * m..(b + 1) * m];
+            out.push(chunk.iter().sum::<f64>() / m as f64);
+        }
+        TimeSeries { dt: self.dt * m as f64, values: out }
+    }
+
+    /// A view of the prefix of length `n` (clamped to the series length).
+    pub fn truncated(&self, n: usize) -> TimeSeries {
+        TimeSeries { dt: self.dt, values: self.values[..n.min(self.values.len())].to_vec() }
+    }
+}
+
+impl AsRef<[f64]> for TimeSeries {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl FromIterator<f64> for TimeSeries {
+    /// Collects values into a series with unit bin width.
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        TimeSeries { dt: 1.0, values: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let ts = TimeSeries::from_values(1.0, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ts.mean(), 2.5);
+        assert!((ts.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(ts.min(), Some(1.0));
+        assert_eq!(ts.max(), Some(4.0));
+    }
+
+    #[test]
+    fn empty_series_is_benign() {
+        let ts = TimeSeries::from_values(0.5, vec![]);
+        assert!(ts.is_empty());
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.variance(), 0.0);
+        assert_eq!(ts.max(), None);
+        assert_eq!(ts.min_positive(), None);
+    }
+
+    #[test]
+    fn aggregation_matches_eq_1() {
+        let ts = TimeSeries::from_values(1.0, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+        let agg = ts.aggregate(2);
+        assert_eq!(agg.values(), &[2.0, 6.0]); // trailing 9.0 dropped
+        assert_eq!(agg.dt(), 2.0);
+    }
+
+    #[test]
+    fn aggregation_preserves_mean_of_kept_blocks() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i % 17) as f64).collect();
+        let ts = TimeSeries::from_values(0.001, vals);
+        for m in [1usize, 2, 5, 10, 100] {
+            let agg = ts.aggregate(m);
+            let kept = &ts.values()[..agg.len() * m];
+            let kept_mean = kept.iter().sum::<f64>() / kept.len() as f64;
+            assert!((agg.mean() - kept_mean).abs() < 1e-12, "m={m}");
+        }
+    }
+
+    #[test]
+    fn aggregate_level_one_is_identity() {
+        let ts = TimeSeries::from_values(2.0, vec![1.0, 2.0]);
+        assert_eq!(ts.aggregate(1), ts);
+    }
+
+    #[test]
+    fn min_positive_skips_zeros() {
+        let ts = TimeSeries::from_values(1.0, vec![0.0, 5.0, 0.0, 2.0]);
+        assert_eq!(ts.min_positive(), Some(2.0));
+    }
+
+    #[test]
+    fn duration_accounts_for_dt() {
+        let ts = TimeSeries::from_values(0.001, vec![0.0; 2_400_000]);
+        assert!((ts.duration() - 2400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be")]
+    fn zero_dt_rejected() {
+        TimeSeries::from_values(0.0, vec![1.0]);
+    }
+
+    #[test]
+    fn truncated_clamps() {
+        let ts = TimeSeries::from_values(1.0, vec![1.0, 2.0, 3.0]);
+        assert_eq!(ts.truncated(2).values(), &[1.0, 2.0]);
+        assert_eq!(ts.truncated(99).len(), 3);
+    }
+}

@@ -1,0 +1,327 @@
+//! α-stable distributions — the limit law behind the paper's Eq. 32-33:
+//! for heavy-tailed traffic, `V_n = N^{1−1/α}(X̄_s − X̄)` converges to an
+//! α-stable distribution, which is why the sampled-mean deficit shrinks
+//! like `η ∼ N^{1/α−1}` (Eq. 35) instead of the `N^{−1/2}` of the CLT.
+//!
+//! Sampling uses the Chambers-Mallows-Stuck construction; there is no
+//! closed-form CDF, so the type exposes the exact asymptotic tail
+//! instead of implementing the generic [`crate::dist::Distribution`]
+//! trait (whose `ccdf`/`quantile` contract demands exactness).
+
+use rand::Rng;
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// A stable distribution `S(α, β; γ, δ)` in the 1-parameterization
+/// (Samorodnitsky-Taqqu): characteristic exponent `α ∈ (0, 2]`, skewness
+/// `β ∈ [−1, 1]`, scale `γ > 0`, location `δ`.
+///
+/// # Examples
+///
+/// ```
+/// use sst_stats::stable::Stable;
+/// use sst_stats::rng::rng_from_seed;
+///
+/// // The totally skewed α = 1.5 law that governs Pareto(1.5) sums.
+/// let s = Stable::new(1.5, 1.0, 1.0, 0.0).expect("valid parameters");
+/// let mut rng = rng_from_seed(7);
+/// let x = s.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stable {
+    alpha: f64,
+    beta: f64,
+    scale: f64,
+    location: f64,
+}
+
+/// Error for invalid stable parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidStableError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for InvalidStableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.what)
+    }
+}
+
+impl std::error::Error for InvalidStableError {}
+
+impl Stable {
+    /// Creates a stable law.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `α ∉ (0, 2]`, `β ∉ [−1, 1]`, or `γ <= 0`.
+    pub fn new(
+        alpha: f64,
+        beta: f64,
+        scale: f64,
+        location: f64,
+    ) -> Result<Self, InvalidStableError> {
+        if !(alpha > 0.0 && alpha <= 2.0) {
+            return Err(InvalidStableError { what: "alpha must lie in (0, 2]" });
+        }
+        if !(-1.0..=1.0).contains(&beta) {
+            return Err(InvalidStableError { what: "beta must lie in [-1, 1]" });
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(InvalidStableError { what: "scale must be positive" });
+        }
+        if !location.is_finite() {
+            return Err(InvalidStableError { what: "location must be finite" });
+        }
+        Ok(Stable { alpha, beta, scale, location })
+    }
+
+    /// The characteristic exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The skewness β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The scale γ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The location δ (the mean, when `α > 1`).
+    pub fn location(&self) -> f64 {
+        self.location
+    }
+
+    /// Mean: `δ` for `α > 1`, undefined (NaN) otherwise.
+    pub fn mean(&self) -> f64 {
+        if self.alpha > 1.0 {
+            self.location
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Draws one sample (Chambers-Mallows-Stuck).
+    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let a = self.alpha;
+        let b = self.beta;
+        // V ~ U(−π/2, π/2), W ~ Exp(1).
+        let v = (rng.gen::<f64>() - 0.5) * PI;
+        let w = {
+            let u: f64 = loop {
+                let u = rng.gen::<f64>();
+                if u > 0.0 {
+                    break u;
+                }
+            };
+            -u.ln()
+        };
+        let x = if (a - 1.0).abs() < 1e-12 {
+            // α = 1 branch.
+            let t = FRAC_PI_2 + b * v;
+            (2.0 / PI)
+                * (t * v.tan() - b * ((FRAC_PI_2 * w * v.cos()) / t).ln())
+        } else if a == 2.0 {
+            // Gaussian limit: S(2, ·; γ, δ) = N(δ, 2γ²); β is irrelevant.
+            2.0 * w.sqrt() * v.sin()
+        } else {
+            let half_pi_a = FRAC_PI_2 * a;
+            let b_ab = (b * half_pi_a.tan()).atan() / a;
+            let s_ab = (1.0 + b * b * half_pi_a.tan().powi(2)).powf(0.5 / a);
+            let t = a * (v + b_ab);
+            s_ab * (t.sin() / v.cos().powf(1.0 / a))
+                * ((v - t).cos().max(f64::MIN_POSITIVE) / w).powf((1.0 - a) / a)
+        };
+        self.location + self.scale * x
+    }
+
+    /// The exact right-tail asymptote `P(X > x) ~ C_α·(1+β)/2·(γ/x)^α`
+    /// for `α < 2`, with `C_α = sin(πα/2)·Γ(α)/π · 2 … ` in the standard
+    /// form `C_α = (1−α)/(Γ(2−α)·cos(πα/2))` for α ≠ 1.
+    ///
+    /// Returns 0 for `α = 2` (the Gaussian tail is lighter than any
+    /// power law).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x > 0` (the asymptote only makes sense deep in the
+    /// right tail).
+    pub fn tail_ccdf_asymptotic(&self, x: f64) -> f64 {
+        assert!(x > 0.0, "tail asymptote needs x > 0");
+        if self.alpha >= 2.0 {
+            return 0.0;
+        }
+        let a = self.alpha;
+        let c_a = if (a - 1.0).abs() < 1e-9 {
+            2.0 / PI
+        } else {
+            (1.0 - a)
+                / (sst_sigproc::special::ln_gamma(2.0 - a).exp() * (FRAC_PI_2 * a).cos())
+        };
+        c_a.abs() * (1.0 + self.beta) / 2.0 * (self.scale / x).powf(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn draw(s: &Stable, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rng_from_seed(seed);
+        (0..n).map(|_| s.sample(&mut rng)).collect()
+    }
+
+    fn quantile(sorted: &[f64], q: f64) -> f64 {
+        sorted[((sorted.len() as f64 - 1.0) * q) as usize]
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Stable::new(0.0, 0.0, 1.0, 0.0).is_err());
+        assert!(Stable::new(2.1, 0.0, 1.0, 0.0).is_err());
+        assert!(Stable::new(1.5, 1.5, 1.0, 0.0).is_err());
+        assert!(Stable::new(1.5, 0.0, 0.0, 0.0).is_err());
+        assert!(Stable::new(1.5, -1.0, 2.0, 3.0).is_ok());
+    }
+
+    #[test]
+    fn alpha_two_is_gaussian() {
+        let s = Stable::new(2.0, 0.0, 1.0, 5.0).unwrap();
+        let xs = draw(&s, 100_000, 3);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        // S(2, ·; γ, δ) = N(δ, 2γ²).
+        assert!((var - 2.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn stability_property() {
+        // (X₁ + X₂) / 2^{1/α} has the same distribution (β = 0, δ = 0):
+        // compare central quantiles of n scaled pair-sums vs n draws.
+        let a = 1.5;
+        let s = Stable::new(a, 0.0, 1.0, 0.0).unwrap();
+        let xs = draw(&s, 60_000, 1);
+        let ys = draw(&s, 60_000, 2);
+        let mut sums: Vec<f64> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x + y) / 2f64.powf(1.0 / a))
+            .collect();
+        sums.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let mut plain = draw(&s, 60_000, 3);
+        plain.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let qa = quantile(&sums, q);
+            let qb = quantile(&plain, q);
+            assert!(
+                (qa - qb).abs() < 0.06,
+                "quantile {q}: scaled-sum {qa:.4} vs plain {qb:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_index_matches_alpha() {
+        // Hill-style check: the ratio of extreme quantiles follows the
+        // power law q(1−u/10)/q(1−u) ≈ 10^{1/α}.
+        for &a in &[1.3, 1.7] {
+            let s = Stable::new(a, 0.0, 1.0, 0.0).unwrap();
+            let mut xs = draw(&s, 400_000, 11);
+            xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+            let q1 = quantile(&xs, 1.0 - 1e-3);
+            let q2 = quantile(&xs, 1.0 - 1e-4);
+            let implied_alpha = (10f64).ln() / (q2 / q1).ln();
+            assert!(
+                (implied_alpha - a).abs() < 0.25,
+                "α = {a}: implied {implied_alpha:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_skew_shifts_extremes_to_the_right() {
+        let s = Stable::new(1.4, 1.0, 1.0, 0.0).unwrap();
+        let xs = draw(&s, 100_000, 9);
+        let big_right = xs.iter().filter(|&&x| x > 20.0).count();
+        let big_left = xs.iter().filter(|&&x| x < -20.0).count();
+        assert!(
+            big_right > 10 * (big_left + 1),
+            "β = 1 should put extremes on the right: {big_right} vs {big_left}"
+        );
+    }
+
+    #[test]
+    fn tail_asymptote_tracks_empirical_tail() {
+        let s = Stable::new(1.5, 0.0, 1.0, 0.0).unwrap();
+        let xs = draw(&s, 1_000_000, 21);
+        for &x in &[20.0, 50.0] {
+            let emp = xs.iter().filter(|&&v| v > x).count() as f64 / xs.len() as f64;
+            let asy = s.tail_ccdf_asymptotic(x);
+            assert!(
+                (emp / asy - 1.0).abs() < 0.4,
+                "x = {x}: empirical {emp:.3e} vs asymptote {asy:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_one_branch_is_finite_and_centered() {
+        let s = Stable::new(1.0, 0.0, 1.0, 0.0).unwrap();
+        let xs = draw(&s, 50_000, 5);
+        assert!(xs.iter().all(|x| x.is_finite()));
+        // Symmetric Cauchy: median ≈ 0.
+        let mut sorted = xs;
+        sorted.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let med = quantile(&sorted, 0.5);
+        assert!(med.abs() < 0.05, "median {med}");
+    }
+
+    #[test]
+    fn pareto_sums_obey_the_stable_scaling_law() {
+        // The paper's Eq. 32-33: V_n = N^{1−1/α}(X̄_s − X̄) converges in
+        // distribution, so its spread must be N-invariant — unlike the
+        // CLT's N^{1/2} normalization, which would shrink it. This is
+        // the mechanism behind η ∼ N^{1/α−1} (Eq. 35).
+        use crate::dist::{Distribution, Pareto};
+        let a = 1.5;
+        let p = Pareto::new(a, 1.0);
+        let truth = p.mean();
+        let spread = |n: usize, seed: u64| {
+            let mut rng = rng_from_seed(seed);
+            let mut vns: Vec<f64> = (0..400)
+                .map(|_| {
+                    let m = (0..n).map(|_| p.sample(&mut rng)).sum::<f64>() / n as f64;
+                    (n as f64).powf(1.0 - 1.0 / a) * (m - truth)
+                })
+                .collect();
+            vns.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            quantile(&vns, 0.75) - quantile(&vns, 0.25)
+        };
+        let s_small = spread(1_000, 1);
+        let s_large = spread(10_000, 2);
+        let ratio = s_large / s_small;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "stable-normalized IQR should be N-invariant, ratio {ratio:.3} \
+             (small {s_small:.4}, large {s_large:.4})"
+        );
+    }
+
+    #[test]
+    fn mean_defined_only_above_one() {
+        assert_eq!(Stable::new(1.5, 0.0, 1.0, 7.0).unwrap().mean(), 7.0);
+        assert!(Stable::new(0.8, 0.0, 1.0, 7.0).unwrap().mean().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "x > 0")]
+    fn tail_asymptote_rejects_nonpositive_x() {
+        Stable::new(1.5, 0.0, 1.0, 0.0).unwrap().tail_ccdf_asymptotic(0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Heavy-tail detection and Pareto tail fitting.
+//!
+//! Two estimators: the log-log least-squares fit the paper uses for its
+//! CCDF figures ("fit the measured CCDF to a Pareto line in a log-log
+//! plot"), and the Hill estimator as an independent cross-check.
+
+use crate::ecdf::Ecdf;
+use sst_sigproc::regress::{power_law_fit, LineFit};
+
+/// A fitted Pareto tail `P(X > x) ≈ (k/x)^α`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParetoFit {
+    /// Estimated shape (tail index) α.
+    pub alpha: f64,
+    /// Estimated scale k.
+    pub scale: f64,
+    /// Goodness of the log-log line fit (R²); `NaN` for Hill fits.
+    pub r_squared: f64,
+    /// Number of tail points used.
+    pub n_tail: usize,
+}
+
+impl ParetoFit {
+    /// The fitted CCDF evaluated at `x`.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        if x <= self.scale {
+            1.0
+        } else {
+            (self.scale / x).powf(self.alpha)
+        }
+    }
+}
+
+/// Fits a Pareto tail by least squares on the log-log CCDF, using the
+/// observations above the `tail_from` quantile (e.g. `0.5` fits the upper
+/// half — a typical choice for the traffic marginals of Fig. 8).
+///
+/// Returns `None` when fewer than 8 usable tail points remain (too little
+/// information for a meaningful line).
+pub fn fit_pareto_ccdf(data: &[f64], tail_from: f64) -> Option<ParetoFit> {
+    assert!((0.0..1.0).contains(&tail_from), "tail_from must be in [0,1)");
+    let positive: Vec<f64> = data.iter().copied().filter(|&x| x > 0.0).collect();
+    if positive.len() < 16 {
+        return None;
+    }
+    let ecdf = Ecdf::new(&positive);
+    let x0 = ecdf.quantile(tail_from);
+    // Log-spaced CCDF curve restricted to the tail. The extreme tail where
+    // fewer than ~10 observations remain is pure step noise and would bias
+    // the slope, so it is excluded from the fit.
+    let min_prob = 10.0 / positive.len() as f64;
+    let curve: Vec<(f64, f64)> = ecdf
+        .ccdf_curve_log(200)
+        .into_iter()
+        .filter(|&(x, p)| x >= x0 && p >= min_prob)
+        .collect();
+    if curve.len() < 8 {
+        return None;
+    }
+    let xs: Vec<f64> = curve.iter().map(|c| c.0).collect();
+    let ps: Vec<f64> = curve.iter().map(|c| c.1).collect();
+    let (slope, prefactor, fit): (f64, f64, LineFit) = power_law_fit(&xs, &ps);
+    let alpha = -slope;
+    if !(alpha.is_finite() && alpha > 0.0) {
+        return None;
+    }
+    // P(X > x) = c x^-α = (k/x)^α  =>  k = c^(1/α).
+    let scale = prefactor.powf(1.0 / alpha);
+    Some(ParetoFit { alpha, scale, r_squared: fit.r_squared, n_tail: curve.len() })
+}
+
+/// Hill estimator of the tail index using the top `k` order statistics:
+/// `α̂ = k / Σ_{i=1..k} ln(x_(n-i+1) / x_(n-k))`.
+///
+/// Returns `None` if fewer than `k + 1` positive observations exist or the
+/// denominator degenerates (all tail values equal).
+pub fn hill_estimator(data: &[f64], k: usize) -> Option<ParetoFit> {
+    if k < 2 {
+        return None;
+    }
+    let mut positive: Vec<f64> = data.iter().copied().filter(|&x| x > 0.0).collect();
+    if positive.len() <= k {
+        return None;
+    }
+    positive.sort_by(|a, b| a.partial_cmp(b).expect("NaN in hill input"));
+    let n = positive.len();
+    let threshold = positive[n - k - 1];
+    if threshold <= 0.0 {
+        return None;
+    }
+    let sum: f64 = positive[n - k..].iter().map(|&x| (x / threshold).ln()).sum();
+    if sum <= 0.0 {
+        return None;
+    }
+    let alpha = k as f64 / sum;
+    Some(ParetoFit { alpha, scale: threshold, r_squared: f64::NAN, n_tail: k })
+}
+
+/// A crude straight-line-in-log-log heavy-tail test: fits the upper-tail
+/// CCDF and reports whether the fit is both good (R² ≥ `min_r2`) and has a
+/// small exponent (α ≤ `max_alpha`, default heavy-tail boundary 2).
+pub fn looks_heavy_tailed(data: &[f64], min_r2: f64, max_alpha: f64) -> bool {
+    match fit_pareto_ccdf(data, 0.5) {
+        Some(fit) => fit.r_squared >= min_r2 && fit.alpha <= max_alpha,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Exponential, Pareto};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pareto_sample(alpha: f64, n: usize, seed: u64) -> Vec<f64> {
+        let p = Pareto::new(alpha, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| p.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn ccdf_fit_recovers_alpha() {
+        for &alpha in &[1.2, 1.5, 1.71] {
+            let data = pareto_sample(alpha, 100_000, 9);
+            let fit = fit_pareto_ccdf(&data, 0.5).unwrap();
+            assert!(
+                (fit.alpha - alpha).abs() < 0.15,
+                "alpha={alpha} fitted={}",
+                fit.alpha
+            );
+            assert!(fit.r_squared > 0.98);
+        }
+    }
+
+    #[test]
+    fn hill_recovers_alpha() {
+        for &alpha in &[1.3, 1.65] {
+            let data = pareto_sample(alpha, 100_000, 21);
+            let fit = hill_estimator(&data, 5_000).unwrap();
+            assert!(
+                (fit.alpha - alpha).abs() < 0.1,
+                "alpha={alpha} hill={}",
+                fit.alpha
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_is_not_heavy_tailed() {
+        let e = Exponential::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<f64> = (0..50_000).map(|_| e.sample(&mut rng)).collect();
+        // A log-log line through an exponential CCDF bends; either the fit
+        // is bad or the apparent exponent is large.
+        assert!(!looks_heavy_tailed(&data, 0.99, 2.0));
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let data = pareto_sample(1.5, 50_000, 4);
+        assert!(looks_heavy_tailed(&data, 0.95, 2.0));
+    }
+
+    #[test]
+    fn fitted_ccdf_matches_at_scale() {
+        let fit = ParetoFit { alpha: 1.5, scale: 2.0, r_squared: 1.0, n_tail: 10 };
+        assert_eq!(fit.ccdf(1.0), 1.0);
+        assert_eq!(fit.ccdf(2.0), 1.0);
+        assert!((fit.ccdf(4.0) - 0.5f64.powf(1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_little_data_returns_none() {
+        assert!(fit_pareto_ccdf(&[1.0, 2.0, 3.0], 0.5).is_none());
+        assert!(hill_estimator(&[1.0, 2.0], 5).is_none());
+        assert!(hill_estimator(&[], 2).is_none());
+    }
+
+    #[test]
+    fn hill_degenerate_tail_returns_none() {
+        let data = vec![5.0; 100];
+        assert!(hill_estimator(&data, 10).is_none());
+    }
+
+    #[test]
+    fn zeros_are_ignored_in_fit() {
+        // Mimics a binned rate process: mostly zeros + Pareto bursts.
+        let mut data = pareto_sample(1.5, 20_000, 8);
+        data.extend(std::iter::repeat(0.0).take(80_000));
+        let fit = fit_pareto_ccdf(&data, 0.5).unwrap();
+        assert!((fit.alpha - 1.5).abs() < 0.2, "fitted={}", fit.alpha);
+    }
+}

@@ -1,0 +1,235 @@
+//! Exact fractional Gaussian noise via Davies-Harte circulant embedding.
+//!
+//! fGn is the increment process of fractional Brownian motion; it is the
+//! canonical Gaussian self-similar process with Hurst parameter `H` and
+//! the backbone of the synthetic traces here: the Gaussian-copula
+//! transform ([`crate::copula`]) maps it onto any marginal while keeping
+//! its long-range dependence, matching the two properties the paper's
+//! synthetic ns-2 traffic was built to have.
+//!
+//! Davies-Harte embeds the n×n Toeplitz covariance of fGn into a 2N×2N
+//! circulant whose eigenvalues are the FFT of the first row; for the fGn
+//! ACF those eigenvalues are provably non-negative, so the method is exact
+//! (the output has *exactly* the target covariance, not asymptotically).
+
+use sst_sigproc::complex::Complex;
+use sst_sigproc::fft::{fft_pow2_in_place, next_pow2};
+use sst_stats::dist::standard_normal;
+use sst_stats::model::FgnAcf;
+use sst_stats::rng::rng_from_seed;
+use sst_stats::TimeSeries;
+
+/// Generator of exact fractional Gaussian noise.
+///
+/// # Examples
+///
+/// ```
+/// use sst_traffic::fgn::FgnGenerator;
+/// let fgn = FgnGenerator::new(0.8).expect("valid H");
+/// let ts = fgn.generate(4096, 42);
+/// assert_eq!(ts.len(), 4096);
+/// // Standard-normal marginals: mean ≈ 0, variance ≈ 1.
+/// assert!(ts.mean().abs() < 0.15);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FgnGenerator {
+    hurst: f64,
+}
+
+/// Error for invalid generator parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidParameterError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for InvalidParameterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid generator parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidParameterError {}
+
+impl InvalidParameterError {
+    pub(crate) fn new(what: &'static str) -> Self {
+        InvalidParameterError { what }
+    }
+}
+
+impl FgnGenerator {
+    /// Creates a generator for Hurst parameter `h ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `h` is outside `(0, 1)`.
+    pub fn new(h: f64) -> Result<Self, InvalidParameterError> {
+        if !(h > 0.0 && h < 1.0) {
+            return Err(InvalidParameterError { what: "Hurst parameter must be in (0,1)" });
+        }
+        Ok(FgnGenerator { hurst: h })
+    }
+
+    /// The Hurst parameter.
+    pub fn hurst(&self) -> f64 {
+        self.hurst
+    }
+
+    /// Generates `n` points of unit-variance fGn with bin width 1.0,
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(&self, n: usize, seed: u64) -> TimeSeries {
+        TimeSeries::from_values(1.0, self.generate_values(n, seed))
+    }
+
+    /// Raw-value variant of [`FgnGenerator::generate`].
+    pub fn generate_values(&self, n: usize, seed: u64) -> Vec<f64> {
+        assert!(n >= 1, "cannot generate an empty trace");
+        if n == 1 {
+            let mut rng = rng_from_seed(seed);
+            return vec![standard_normal(&mut rng)];
+        }
+        let big_n = next_pow2(n);
+        let m = 2 * big_n;
+        // First row of the circulant: ρ(0..=N), then mirrored ρ(N-1..=1).
+        let acf = FgnAcf::new(self.hurst);
+        let mut row = vec![Complex::ZERO; m];
+        for (k, slot) in row.iter_mut().enumerate().take(big_n + 1) {
+            *slot = Complex::from_real(acf.at(k as u64));
+        }
+        for k in 1..big_n {
+            row[m - k] = Complex::from_real(acf.at(k as u64));
+        }
+        fft_pow2_in_place(&mut row);
+        // Eigenvalues are real and non-negative for the fGn ACF; tiny
+        // negative round-off is clamped.
+        let lambda: Vec<f64> = row.iter().map(|z| z.re.max(0.0)).collect();
+
+        let mut rng = rng_from_seed(seed);
+        let mut spec = vec![Complex::ZERO; m];
+        spec[0] = Complex::from_real((lambda[0]).sqrt() * standard_normal(&mut rng));
+        spec[big_n] = Complex::from_real((lambda[big_n]).sqrt() * standard_normal(&mut rng));
+        for k in 1..big_n {
+            let g = standard_normal(&mut rng);
+            let h = standard_normal(&mut rng);
+            let amp = (lambda[k] / 2.0).sqrt();
+            spec[k] = Complex::new(amp * g, amp * h);
+            spec[m - k] = spec[k].conj();
+        }
+        fft_pow2_in_place(&mut spec);
+        let norm = 1.0 / (m as f64).sqrt();
+        spec.into_iter().take(n).map(|z| z.re * norm).collect()
+    }
+
+    /// Generates fractional Brownian motion (the running sum of fGn),
+    /// starting at 0.
+    pub fn generate_fbm(&self, n: usize, seed: u64) -> TimeSeries {
+        let fgn = self.generate_values(n, seed);
+        let mut acc = 0.0;
+        let fbm: Vec<f64> = fgn
+            .into_iter()
+            .map(|x| {
+                acc += x;
+                acc
+            })
+            .collect();
+        TimeSeries::from_values(1.0, fbm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_sigproc::conv::autocorrelation;
+
+    #[test]
+    fn output_length_and_determinism() {
+        let g = FgnGenerator::new(0.75).unwrap();
+        let a = g.generate_values(1000, 5);
+        let b = g.generate_values(1000, 5);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b);
+        let c = g.generate_values(1000, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_bad_hurst() {
+        assert!(FgnGenerator::new(0.0).is_err());
+        assert!(FgnGenerator::new(1.0).is_err());
+        assert!(FgnGenerator::new(-0.5).is_err());
+        assert!(FgnGenerator::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn unit_variance_and_zero_mean() {
+        let g = FgnGenerator::new(0.8).unwrap();
+        let ts = g.generate(1 << 16, 11);
+        assert!(ts.mean().abs() < 0.1, "mean={}", ts.mean());
+        assert!((ts.variance() - 1.0).abs() < 0.15, "var={}", ts.variance());
+    }
+
+    #[test]
+    fn sample_acf_matches_exact_acf() {
+        let h = 0.8;
+        let g = FgnGenerator::new(h).unwrap();
+        let vals = g.generate_values(1 << 17, 3);
+        let sample = autocorrelation(&vals, 8);
+        let exact = FgnAcf::new(h);
+        for k in 1..=8u64 {
+            let want = exact.at(k);
+            let got = sample[k as usize];
+            assert!((got - want).abs() < 0.05, "lag {k}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn white_noise_case_has_no_correlation() {
+        let g = FgnGenerator::new(0.5).unwrap();
+        let vals = g.generate_values(1 << 15, 9);
+        let sample = autocorrelation(&vals, 4);
+        for k in 1..=4 {
+            assert!(sample[k].abs() < 0.03, "lag {k}: {}", sample[k]);
+        }
+    }
+
+    #[test]
+    fn aggregated_variance_scales_like_self_similar() {
+        // var(f^(m)) ≈ m^{2H-2} for fGn.
+        let h = 0.8;
+        let g = FgnGenerator::new(h).unwrap();
+        let ts = g.generate(1 << 18, 21);
+        let v1 = ts.variance();
+        let v64 = ts.aggregate(64).variance();
+        let implied_h = 1.0 + ((v64 / v1).ln() / 64f64.ln()) / 2.0;
+        assert!((implied_h - h).abs() < 0.05, "implied H = {implied_h}");
+    }
+
+    #[test]
+    fn fbm_is_cumulative_sum() {
+        let g = FgnGenerator::new(0.7).unwrap();
+        let fgn = g.generate_values(100, 4);
+        let fbm = g.generate_fbm(100, 4);
+        let mut acc = 0.0;
+        for (i, &x) in fgn.iter().enumerate() {
+            acc += x;
+            assert!((fbm.values()[i] - acc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_point_trace() {
+        let g = FgnGenerator::new(0.6).unwrap();
+        assert_eq!(g.generate_values(1, 0).len(), 1);
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        let g = FgnGenerator::new(0.65).unwrap();
+        for n in [3usize, 100, 1023, 1025] {
+            assert_eq!(g.generate_values(n, 1).len(), n);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! M/G/∞ input traffic — an independent second construction of LRD
+//! traffic (listed as an extension in DESIGN.md).
+//!
+//! Sessions arrive as a Poisson process; each stays active for a
+//! heavy-tailed (Pareto) holding time; the traffic value in a bin is the
+//! number of active sessions (times a per-session rate). With Pareto(α)
+//! holding times, `1 < α < 2`, the count process is long-range dependent
+//! with `H = (3 − α)/2` — same limit as the on/off aggregate, via a
+//! different mechanism, which makes it a useful cross-check for the
+//! Hurst estimators.
+
+use sst_stats::dist::{poisson, Distribution, Pareto};
+use sst_stats::rng::rng_from_seed;
+use sst_stats::TimeSeries;
+
+/// Configuration for an M/G/∞ session-count traffic generator.
+///
+/// # Examples
+///
+/// ```
+/// use sst_traffic::mginf::MgInfModel;
+/// let m = MgInfModel::new(4.0, 1.4, 10.0).expect("valid");
+/// let ts = m.generate(2048, 3);
+/// assert_eq!(ts.len(), 2048);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MgInfModel {
+    arrival_rate: f64,
+    duration_shape: f64,
+    mean_duration: f64,
+    rate_per_session: f64,
+}
+
+impl MgInfModel {
+    /// Creates a model with Poisson arrival rate (sessions per bin),
+    /// Pareto duration shape `α ∈ (1, 2)`, and mean session duration in
+    /// bins. Each active session contributes rate 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on non-positive rates/durations or `α ∉ (1, 2)`.
+    pub fn new(
+        arrival_rate: f64,
+        duration_shape: f64,
+        mean_duration: f64,
+    ) -> Result<Self, crate::fgn::InvalidParameterError> {
+        if arrival_rate.is_nan() || arrival_rate <= 0.0 {
+            return Err(crate::fgn::InvalidParameterError::new("arrival rate must be positive"));
+        }
+        if !(duration_shape > 1.0 && duration_shape < 2.0) {
+            return Err(crate::fgn::InvalidParameterError::new("duration shape must be in (1,2)"));
+        }
+        if mean_duration.is_nan() || mean_duration <= 0.0 {
+            return Err(crate::fgn::InvalidParameterError::new("mean duration must be positive"));
+        }
+        Ok(MgInfModel { arrival_rate, duration_shape, mean_duration, rate_per_session: 1.0 })
+    }
+
+    /// Sets the per-session emission rate (builder-style).
+    pub fn rate_per_session(mut self, rate: f64) -> Self {
+        self.rate_per_session = rate;
+        self
+    }
+
+    /// The Hurst parameter of the limiting count process, `(3 − α)/2`.
+    pub fn limit_hurst(&self) -> f64 {
+        (3.0 - self.duration_shape) / 2.0
+    }
+
+    /// Expected stationary traffic level `λ · E[D] · rate`.
+    pub fn expected_level(&self) -> f64 {
+        self.arrival_rate * self.mean_duration * self.rate_per_session
+    }
+
+    /// Generates `n` bins of session-count traffic from `seed`.
+    ///
+    /// A warm-up period of five mean durations is simulated before bin 0
+    /// so the count starts near its stationary level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(&self, n: usize, seed: u64) -> TimeSeries {
+        assert!(n >= 1, "cannot generate an empty trace");
+        let dur = Pareto::with_mean(self.duration_shape, self.mean_duration);
+        let mut rng = rng_from_seed(seed);
+        let warmup = (5.0 * self.mean_duration).ceil() as i64;
+        // Difference-array trick: +1 at session start, −1 past its end;
+        // prefix sums give the active count per bin.
+        let mut diff = vec![0.0f64; n + 1];
+        for t in -warmup..n as i64 {
+            let arrivals = poisson(&mut rng, self.arrival_rate);
+            for _ in 0..arrivals {
+                let d = dur.sample(&mut rng);
+                let end = t as f64 + d;
+                if end <= 0.0 {
+                    continue;
+                }
+                let start = t.max(0) as usize;
+                if start >= n {
+                    continue;
+                }
+                let stop = (end.ceil() as usize).min(n);
+                diff[start] += self.rate_per_session;
+                diff[stop] -= self.rate_per_session;
+            }
+        }
+        let mut acc = 0.0;
+        let values: Vec<f64> = diff[..n]
+            .iter()
+            .map(|&d| {
+                acc += d;
+                acc
+            })
+            .collect();
+        TimeSeries::from_values(1.0, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(MgInfModel::new(0.0, 1.5, 10.0).is_err());
+        assert!(MgInfModel::new(1.0, 2.5, 10.0).is_err());
+        assert!(MgInfModel::new(1.0, 1.5, 0.0).is_err());
+        assert!(MgInfModel::new(1.0, 1.5, 10.0).is_ok());
+    }
+
+    #[test]
+    fn stationary_level_is_reached() {
+        let m = MgInfModel::new(2.0, 1.6, 8.0).unwrap();
+        let ts = m.generate(1 << 14, 77);
+        let expect = m.expected_level();
+        assert!(
+            (ts.mean() - expect).abs() / expect < 0.25,
+            "mean={} expect={expect}",
+            ts.mean()
+        );
+    }
+
+    #[test]
+    fn counts_are_non_negative() {
+        let m = MgInfModel::new(0.5, 1.3, 5.0).unwrap();
+        let ts = m.generate(4096, 5);
+        assert!(ts.min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let m = MgInfModel::new(1.0, 1.5, 10.0).unwrap();
+        assert_eq!(m.generate(256, 9), m.generate(256, 9));
+        assert_ne!(m.generate(256, 9), m.generate(256, 10));
+    }
+
+    #[test]
+    fn lrd_signature_in_variance_time() {
+        let m = MgInfModel::new(3.0, 1.4, 10.0).unwrap();
+        let ts = m.generate(1 << 16, 31);
+        let v1 = ts.variance();
+        let v64 = ts.aggregate(64).variance();
+        let implied_h = 1.0 + ((v64 / v1).ln() / 64f64.ln()) / 2.0;
+        assert!(implied_h > 0.65, "implied H = {implied_h}");
+    }
+
+    #[test]
+    fn per_session_rate_scales_level() {
+        let base = MgInfModel::new(1.0, 1.5, 6.0).unwrap();
+        let scaled = MgInfModel::new(1.0, 1.5, 6.0).unwrap().rate_per_session(3.0);
+        let a = base.generate(2048, 4);
+        let b = scaled.generate(2048, 4);
+        // Same seed, same arrivals: values scale exactly by 3.
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert!((y - 3.0 * x).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Aggregated on/off source traffic — the ns-2 construction the paper
+//! cites for its synthetic traces.
+//!
+//! Each source alternates between ON periods (emitting at a constant
+//! rate) and OFF periods (silent), with period lengths drawn from
+//! heavy-tailed distributions. By the Taqqu-Willinger-Sherman limit
+//! theorem, the superposition of many such sources converges to
+//! fractional Gaussian noise with `H = (3 − α)/2` where `α` is the
+//! Pareto shape of the period lengths.
+
+use sst_stats::dist::{Distribution, Pareto};
+use sst_stats::model::onoff_alpha_from_hurst;
+use sst_stats::rng::{derive_seed, rng_from_seed};
+use sst_stats::TimeSeries;
+
+/// Configuration for an aggregate of Pareto on/off sources.
+///
+/// # Examples
+///
+/// ```
+/// use sst_traffic::onoff::OnOffModel;
+/// let model = OnOffModel::for_hurst(0.8, 32).expect("valid");
+/// let ts = model.generate(4096, 7);
+/// assert_eq!(ts.len(), 4096);
+/// assert!(ts.mean() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OnOffModel {
+    n_sources: usize,
+    on_shape: f64,
+    off_shape: f64,
+    mean_on: f64,
+    mean_off: f64,
+    rate_per_source: f64,
+}
+
+impl OnOffModel {
+    /// Creates a model from explicit parameters.
+    ///
+    /// `mean_on` / `mean_off` are the mean period lengths in time bins;
+    /// `rate_per_source` is the emission level of one active source.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless shapes are in `(1, 2)` (finite mean,
+    /// infinite variance — the self-similar regime), means are positive,
+    /// and there is at least one source.
+    pub fn new(
+        n_sources: usize,
+        on_shape: f64,
+        off_shape: f64,
+        mean_on: f64,
+        mean_off: f64,
+        rate_per_source: f64,
+    ) -> Result<Self, crate::fgn::InvalidParameterError> {
+        let bad = |what| Err(crate::fgn::InvalidParameterError::new(what));
+        if n_sources == 0 {
+            return bad("need at least one on/off source");
+        }
+        if !(on_shape > 1.0 && on_shape < 2.0 && off_shape > 1.0 && off_shape < 2.0) {
+            return bad("on/off shapes must be in (1,2)");
+        }
+        if !(mean_on > 0.0 && mean_off > 0.0 && rate_per_source > 0.0) {
+            return bad("means and rate must be positive");
+        }
+        Ok(OnOffModel { n_sources, on_shape, off_shape, mean_on, mean_off, rate_per_source })
+    }
+
+    /// Model targeting a Hurst parameter `h ∈ (1/2, 1)` via
+    /// `α = 3 − 2H`, with unit rate and mean periods of 10 bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `h` is outside `(1/2, 1)`.
+    pub fn for_hurst(h: f64, n_sources: usize) -> Result<Self, crate::fgn::InvalidParameterError> {
+        if !(h > 0.5 && h < 1.0) {
+            return Err(crate::fgn::InvalidParameterError::new("Hurst must be in (1/2,1)"));
+        }
+        let alpha = onoff_alpha_from_hurst(h);
+        OnOffModel::new(n_sources, alpha, alpha, 10.0, 10.0, 1.0)
+    }
+
+    /// The on-period Pareto shape α.
+    pub fn on_shape(&self) -> f64 {
+        self.on_shape
+    }
+
+    /// The Hurst parameter this aggregate converges to, `(3 − α)/2`.
+    pub fn limit_hurst(&self) -> f64 {
+        (3.0 - self.on_shape) / 2.0
+    }
+
+    /// Generates `n` bins of aggregate traffic (bin width 1.0, value =
+    /// total emission rate of active sources), deterministically from
+    /// `seed`. Each source gets an independent derived RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(&self, n: usize, seed: u64) -> TimeSeries {
+        assert!(n >= 1, "cannot generate an empty trace");
+        let on_dist = Pareto::with_mean(self.on_shape, self.mean_on);
+        let off_dist = Pareto::with_mean(self.off_shape, self.mean_off);
+        let mut bins = vec![0.0f64; n];
+        for s in 0..self.n_sources {
+            let mut rng = rng_from_seed(derive_seed(seed, s as u64));
+            // Random initial phase: start mid-cycle to avoid synchronized
+            // sources at t=0 (stationarity warm-up).
+            let mut t = -(on_dist.sample(&mut rng) + off_dist.sample(&mut rng))
+                * rand::Rng::gen::<f64>(&mut rng);
+            let mut on = s % 2 == 0;
+            while t < n as f64 {
+                let len = if on { on_dist.sample(&mut rng) } else { off_dist.sample(&mut rng) };
+                if on {
+                    // Add rate to every bin overlapped by [t, t+len).
+                    let start = t.max(0.0);
+                    let end = (t + len).min(n as f64);
+                    if end > start {
+                        let first = start.floor() as usize;
+                        let last = (end.ceil() as usize).min(n);
+                        for (b, bin) in bins.iter_mut().enumerate().take(last).skip(first) {
+                            let lo = (b as f64).max(start);
+                            let hi = ((b + 1) as f64).min(end);
+                            if hi > lo {
+                                *bin += self.rate_per_source * (hi - lo);
+                            }
+                        }
+                    }
+                }
+                t += len;
+                on = !on;
+            }
+        }
+        TimeSeries::from_values(1.0, bins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(OnOffModel::new(0, 1.5, 1.5, 10.0, 10.0, 1.0).is_err());
+        assert!(OnOffModel::new(4, 2.5, 1.5, 10.0, 10.0, 1.0).is_err());
+        assert!(OnOffModel::new(4, 1.5, 1.5, -1.0, 10.0, 1.0).is_err());
+        assert!(OnOffModel::new(4, 1.5, 1.5, 10.0, 10.0, 1.0).is_ok());
+        assert!(OnOffModel::for_hurst(0.3, 4).is_err());
+    }
+
+    #[test]
+    fn hurst_alpha_mapping() {
+        let m = OnOffModel::for_hurst(0.8, 8).unwrap();
+        assert!((m.on_shape() - 1.4).abs() < 1e-12);
+        assert!((m.limit_hurst() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_and_length() {
+        let m = OnOffModel::for_hurst(0.75, 4).unwrap();
+        let a = m.generate(512, 5);
+        let b = m.generate(512, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 512);
+        assert_ne!(a, m.generate(512, 6));
+    }
+
+    #[test]
+    fn mean_rate_matches_duty_cycle() {
+        // Expected rate = n_sources · rate · mean_on/(mean_on+mean_off).
+        let m = OnOffModel::new(64, 1.5, 1.5, 10.0, 10.0, 1.0).unwrap();
+        let ts = m.generate(1 << 14, 9);
+        let expect = 64.0 * 0.5;
+        // Heavy-tailed periods converge slowly; accept 20%.
+        assert!(
+            (ts.mean() - expect).abs() / expect < 0.2,
+            "mean={} expect={expect}",
+            ts.mean()
+        );
+    }
+
+    #[test]
+    fn values_are_bounded_by_aggregate_capacity() {
+        let m = OnOffModel::new(16, 1.4, 1.4, 5.0, 5.0, 2.0).unwrap();
+        let ts = m.generate(2048, 3);
+        let cap = 16.0 * 2.0 + 1e-9;
+        assert!(ts.max().unwrap() <= cap);
+        assert!(ts.min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn aggregate_is_long_range_dependent() {
+        // Variance-time check: var(f^(m)) should decay much slower than
+        // m^-1 (the iid rate) — the self-similarity signature.
+        let m = OnOffModel::for_hurst(0.85, 32).unwrap();
+        let ts = m.generate(1 << 16, 17);
+        let v1 = ts.variance();
+        let v64 = ts.aggregate(64).variance();
+        let implied_h = 1.0 + ((v64 / v1).ln() / 64f64.ln()) / 2.0;
+        assert!(implied_h > 0.65, "implied H = {implied_h} (iid would be 0.5)");
+    }
+
+    #[test]
+    fn single_source_is_zero_one_valued() {
+        let m = OnOffModel::new(1, 1.5, 1.5, 20.0, 20.0, 1.0).unwrap();
+        let ts = m.generate(4096, 2);
+        // Interior bins are either fully on (1.0) or fully off (0.0);
+        // boundary bins are fractional.
+        let interior = ts
+            .values()
+            .iter()
+            .filter(|&&v| v < 1e-12 || (v - 1.0).abs() < 1e-12)
+            .count();
+        assert!(interior as f64 / ts.len() as f64 > 0.8);
+    }
+}

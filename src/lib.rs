@@ -1,0 +1,38 @@
+//! # selfsim — facade crate
+//!
+//! Re-exports the full reproduction of He & Hou, *"An In-Depth, Analytical
+//! Study of Sampling Techniques for Self-Similar Internet Traffic"*
+//! (ICDCS 2005) under one roof:
+//!
+//! * [`sampling`] (`sst-core`) — the paper's contribution: systematic /
+//!   stratified / simple-random samplers, Biased Systematic Sampling (BSS),
+//!   SNC theory, fidelity metrics.
+//! * [`traffic`] (`sst-traffic`) — self-similar synthetic traffic.
+//! * [`nettrace`] (`sst-nettrace`) — packet traces (Bell-Labs-like).
+//! * [`hurst`] (`sst-hurst`) — Hurst/LRD estimators.
+//! * [`queue`] (`sst-queue`) — FIFO queueing + Norros dimensioning.
+//! * [`dess`] (`sst-dess`) — discrete-event simulation (ns-2 substitute).
+//! * [`stats`] (`sst-stats`) — time series, distributions, tail fits.
+//! * [`sigproc`] (`sst-sigproc`) — FFT, wavelets, regression.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use selfsim::traffic::SyntheticTraceSpec;
+//! use selfsim::sampling::{Sampler, SystematicSampler};
+//!
+//! let trace = SyntheticTraceSpec::new().length(1 << 12).seed(7).build();
+//! let samples = SystematicSampler::new(64).sample(trace.values(), 42);
+//! assert_eq!(samples.len(), (1 << 12) / 64);
+//! ```
+
+pub use sst_core as sampling;
+pub use sst_dess as dess;
+pub use sst_queue as queue;
+pub use sst_hurst as hurst;
+pub use sst_nettrace as nettrace;
+pub use sst_sigproc as sigproc;
+pub use sst_stats as stats;
+pub use sst_traffic as traffic;

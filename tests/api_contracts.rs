@@ -1,0 +1,115 @@
+//! Compile-time API contracts across the workspace's public types:
+//! everything a user holds should be `Send + Sync` (the experiment
+//! runner fans instances across threads), `Debug` (C-DEBUG), and
+//! `Clone` where it is plain data — the Rust API guidelines' common
+//! traits, checked so regressions fail loudly.
+
+fn send_sync<T: Send + Sync>() {}
+fn debug<T: std::fmt::Debug>() {}
+fn clone<T: Clone>() {}
+
+#[test]
+fn samplers_are_thread_safe_plain_data() {
+    use selfsim::sampling::adaptive::{AdaptiveConfig, AdaptiveRandomSampler};
+    use selfsim::sampling::bss::{BssOutcome, BssSampler};
+    use selfsim::sampling::{Samples, SimpleRandomSampler, StratifiedSampler, SystematicSampler};
+
+    send_sync::<SystematicSampler>();
+    send_sync::<StratifiedSampler>();
+    send_sync::<SimpleRandomSampler>();
+    send_sync::<BssSampler>();
+    send_sync::<AdaptiveRandomSampler>();
+    send_sync::<Samples>();
+    send_sync::<BssOutcome>();
+
+    debug::<SystematicSampler>();
+    debug::<BssSampler>();
+    debug::<AdaptiveConfig>();
+    clone::<Samples>();
+    clone::<BssOutcome>();
+    clone::<AdaptiveConfig>();
+}
+
+#[test]
+fn streaming_samplers_are_send() {
+    use selfsim::sampling::stream::{
+        StreamDecision, StreamingBss, StreamingSimpleRandom, StreamingStratified,
+        StreamingSystematic,
+    };
+    // Streaming samplers hold RNG state, so they are Send (movable into
+    // a worker thread) — per-point mutation makes &self-sharing moot.
+    fn send<T: Send>() {}
+    send::<StreamingSystematic>();
+    send::<StreamingStratified>();
+    send::<StreamingSimpleRandom>();
+    send::<StreamingBss>();
+    debug::<StreamDecision>();
+    clone::<StreamingBss>();
+}
+
+#[test]
+fn substrates_are_thread_safe() {
+    use selfsim::dess::{BottleneckLink, EventQueue, OnOffScenario, ScenarioOutput};
+    use selfsim::nettrace::{FlowKey, Packet, PacketTrace, SampleAndHold, TrajectorySampler};
+    use selfsim::queue::{FluidQueue, QueuePath};
+    use selfsim::stats::{Stable, TimeSeries};
+    use selfsim::traffic::SyntheticTraceSpec;
+
+    send_sync::<TimeSeries>();
+    send_sync::<PacketTrace>();
+    send_sync::<Packet>();
+    send_sync::<FlowKey>();
+    send_sync::<FluidQueue>();
+    send_sync::<QueuePath>();
+    send_sync::<EventQueue<u32>>();
+    send_sync::<BottleneckLink>();
+    send_sync::<OnOffScenario>();
+    send_sync::<ScenarioOutput>();
+    send_sync::<TrajectorySampler>();
+    send_sync::<SampleAndHold>();
+    send_sync::<Stable>();
+    send_sync::<SyntheticTraceSpec>();
+
+    clone::<TimeSeries>();
+    clone::<PacketTrace>();
+    clone::<OnOffScenario>();
+    debug::<ScenarioOutput>();
+}
+
+#[test]
+fn errors_are_well_behaved() {
+    use selfsim::dess::ScheduleInPastError;
+    use selfsim::hurst::EstimateError;
+    use selfsim::nettrace::CodecError;
+    use selfsim::sampling::adaptive::InvalidAdaptiveConfig;
+    use selfsim::sampling::bss::BssConfigError;
+    use selfsim::stats::stable::InvalidStableError;
+
+    fn error<T: std::error::Error + Send + Sync + 'static>() {}
+    error::<EstimateError>();
+    error::<BssConfigError>();
+    error::<InvalidAdaptiveConfig>();
+    error::<CodecError>();
+    error::<ScheduleInPastError>();
+    error::<InvalidStableError>();
+
+    // Display messages are lowercase-ish, non-empty, unpunctuated ends
+    // (C-GOOD-ERR style).
+    let msgs = [
+        EstimateError::Degenerate.to_string(),
+        ScheduleInPastError { at: 1.0, now: 2.0 }.to_string(),
+    ];
+    for m in msgs {
+        assert!(!m.is_empty());
+        assert!(!m.ends_with('.'), "error message ends with period: {m}");
+    }
+}
+
+#[test]
+fn estimators_and_reports_are_copyable_values() {
+    use selfsim::hurst::{HurstEstimate, Method};
+    fn copy<T: Copy>() {}
+    copy::<HurstEstimate>();
+    copy::<Method>();
+    send_sync::<HurstEstimate>();
+}

@@ -1,0 +1,115 @@
+//! Integration: the discrete-event simulator as workload source for the
+//! rest of the stack — sampling, Hurst estimation, queueing, and
+//! packet-level capture all driven by the same simulated traffic.
+
+use selfsim::dess::{LinkSpec, OnOffScenario};
+use selfsim::hurst::LocalWhittleEstimator;
+use selfsim::queue::FluidQueue;
+use selfsim::sampling::{Sampler, SystematicSampler};
+
+fn scenario() -> OnOffScenario {
+    OnOffScenario::new()
+        .sources(16)
+        .hurst(0.8)
+        .periods(0.3, 0.3)
+        .emission(100.0, 400)
+        .bin_width(0.05)
+        .duration(420.0)
+}
+
+#[test]
+fn sampling_simulated_traffic_preserves_hurst() {
+    let out = scenario().run(77);
+    let est = LocalWhittleEstimator::default();
+    let h_full = est.estimate(out.offered.values()).expect("long enough").hurst;
+    let sampled = SystematicSampler::new(8).sample(out.offered.values(), 3);
+    let h_thin = est.estimate(sampled.values()).expect("long enough").hurst;
+    assert!(h_full > 0.6, "aggregate should be LRD, got H = {h_full:.3}");
+    assert!(
+        (h_full - h_thin).abs() < 0.12,
+        "systematic thinning moved H from {h_full:.3} to {h_thin:.3}"
+    );
+}
+
+#[test]
+fn fluid_queue_and_packet_link_agree_on_the_loss_regime() {
+    // Drive (a) the packet-level drop-tail bottleneck and (b) the fluid
+    // FIFO queue with the same aggregate at the same service rate; both
+    // must agree on whether the system is lossy.
+    let sc = scenario();
+    let capacity_bps = sc.offered_load() * 8.0 / 0.9; // 90% load
+    let packet = OnOffScenario::new()
+        .sources(16)
+        .hurst(0.8)
+        .periods(0.3, 0.3)
+        .emission(100.0, 400)
+        .bin_width(0.05)
+        .duration(420.0)
+        .bottleneck(LinkSpec { capacity_bps, queue_limit: 16 })
+        .run(77);
+    assert!(packet.loss_rate > 0.0, "packet model should drop at 90% load, queue 16");
+
+    let offered = scenario().run(77).offered;
+    let fluid = FluidQueue::new(capacity_bps / 8.0).drive(&offered);
+    // Buffer worth 16 packets of 400 B: the fluid model must also show
+    // occupancy beyond it a nontrivial fraction of the time.
+    let p_over = fluid.overflow_probability(16.0 * 400.0);
+    assert!(
+        p_over > 0.0,
+        "fluid model sees no occupancy above the packet queue limit"
+    );
+}
+
+#[test]
+fn lrd_aggregate_needs_bigger_buffers_than_mild_one() {
+    // Same offered load, two tail regimes: α = 1.2 (H = 0.9) vs α = 1.9
+    // (H = 0.55). The heavy aggregate needs a much larger buffer for the
+    // same loss target — the operational consequence of the Hurst
+    // parameter the paper's introduction motivates.
+    let build = |alpha: f64| {
+        OnOffScenario::new()
+            .sources(16)
+            .alpha(alpha)
+            .periods(0.3, 0.3)
+            .emission(100.0, 400)
+            .bin_width(0.05)
+            .duration(420.0)
+            .run(5)
+            .offered
+    };
+    let heavy = build(1.2);
+    let mild = build(1.9);
+    let q_heavy = FluidQueue::for_utilization(&heavy, 0.9).drive(&heavy);
+    let q_mild = FluidQueue::for_utilization(&mild, 0.9).drive(&mild);
+    let b_heavy = q_heavy.buffer_for_loss(0.05).unwrap_or(f64::INFINITY);
+    let b_mild = q_mild.buffer_for_loss(0.05).unwrap_or(f64::INFINITY);
+    assert!(
+        b_heavy > b_mild,
+        "H=0.9 aggregate should need a bigger buffer: {b_heavy:.0} vs {b_mild:.0}"
+    );
+}
+
+#[test]
+fn captured_trace_flows_through_packet_tooling() {
+    use selfsim::nettrace::TrajectorySampler;
+    let out = OnOffScenario::new()
+        .sources(4)
+        .emission(50.0, 500)
+        .duration(60.0)
+        .capture(true)
+        .run(3);
+    let trace = out.trace.expect("capture requested");
+    assert!(!trace.is_empty());
+    // Trajectory sampling is consistent on simulator-generated packets.
+    let tj = TrajectorySampler::new(0.1, 9);
+    assert_eq!(tj.sample(&trace), tj.sample(&trace));
+    // Binning the capture reproduces the tap's totals (bytes = Σ rate·dt
+    // at each tap's own granularity).
+    let series = trace.to_rate_series(0.05);
+    let tap_total: f64 = out.offered.values().iter().sum::<f64>() * out.offered.dt();
+    let cap_total: f64 = series.values().iter().sum::<f64>() * series.dt();
+    assert!(
+        (tap_total - cap_total).abs() / tap_total < 1e-9,
+        "tap {tap_total} vs capture {cap_total}"
+    );
+}

@@ -1,0 +1,94 @@
+//! Integration: packet-trace substrate → binning → sampling → metrics,
+//! including serialization round trips at realistic size.
+
+use selfsim::nettrace::{decode, encode, TraceSynthesizer};
+use selfsim::sampling::bss::{BssSampler, OnlineTuning, ThresholdPolicy};
+use selfsim::sampling::{Sampler, SystematicSampler};
+
+#[test]
+fn bell_labs_like_trace_matches_paper_calibration() {
+    let trace = TraceSynthesizer::bell_labs_like().duration(600.0).synthesize(77);
+    // Mean rate in the calibrated band (heavy tails: wide tolerance).
+    let rate = trace.mean_rate();
+    assert!(
+        (rate - 1.21e4).abs() / 1.21e4 < 0.6,
+        "mean rate {rate} vs 1.21e4"
+    );
+    // Hundreds of OD pairs, realistic packet sizes.
+    assert!(trace.od_pair_count() > 80, "pairs={}", trace.od_pair_count());
+    assert!(trace.packets().iter().all(|p| (40..=1500).contains(&p.size)));
+}
+
+#[test]
+fn binning_granularities_are_consistent() {
+    let trace = TraceSynthesizer::bell_labs_like().duration(120.0).synthesize(5);
+    let fine = trace.to_rate_series(1e-3);
+    let coarse = trace.to_rate_series(1e-1);
+    // Same byte volume regardless of binning.
+    let vol_fine: f64 = fine.values().iter().map(|r| r * fine.dt()).sum();
+    let vol_coarse: f64 = coarse.values().iter().map(|r| r * coarse.dt()).sum();
+    assert!((vol_fine - vol_coarse).abs() < 1e-6 * vol_fine.max(1.0));
+    // And aggregate(100) of the fine series equals the coarse one.
+    let agg = fine.aggregate(100);
+    for (a, b) in agg.values().iter().zip(coarse.values()) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn sampling_a_packet_trace_underestimates_then_bss_helps() {
+    let trace = TraceSynthesizer::bell_labs_like().duration(1200.0).synthesize(21);
+    let series = trace.to_rate_series(1e-2);
+    let truth = series.mean();
+    let interval = 200; // rate 5e-3
+
+    // Median over several instances to tame single-offset noise.
+    let mut sys_means: Vec<f64> = (0..9)
+        .map(|s| SystematicSampler::new(interval).sample(series.values(), s).mean())
+        .collect();
+    sys_means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let sys = sys_means[4];
+
+    let mut bss_means: Vec<f64> = (0..9)
+        .map(|s| {
+            BssSampler::new(
+                interval,
+                ThresholdPolicy::Online(OnlineTuning { alpha: 1.71, ..Default::default() }),
+            )
+            .unwrap()
+            .sample_detailed(series.values(), s)
+            .mean()
+        })
+        .collect();
+    bss_means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let bss = bss_means[4];
+
+    // BSS pulls the estimate toward/above systematic's.
+    assert!(bss >= sys * 0.95, "sys={sys} bss={bss} truth={truth}");
+    // Both within an order of magnitude of the truth (sanity).
+    assert!(sys > truth * 0.2 && sys < truth * 3.0);
+    assert!(bss > truth * 0.2 && bss < truth * 4.0);
+}
+
+#[test]
+fn codec_round_trip_at_scale() {
+    let trace = TraceSynthesizer::bell_labs_like().duration(300.0).synthesize(13);
+    let bytes = encode(&trace);
+    let back = decode(&bytes).expect("decode");
+    assert_eq!(trace, back);
+    assert!(bytes.len() > 1000);
+}
+
+#[test]
+fn od_filtering_partitions_traffic() {
+    let trace = TraceSynthesizer::bell_labs_like().duration(120.0).synthesize(2);
+    let all = trace.to_rate_series(0.1);
+    let volumes = trace.od_volumes();
+    let top_pair = volumes[0].0;
+    let top = trace.od_rate_series(top_pair, 0.1);
+    let rest = trace.to_rate_series_filtered(0.1, |k| k.od_pair() != top_pair);
+    for i in 0..all.len() {
+        let sum = top.values()[i] + rest.values()[i];
+        assert!((sum - all.values()[i]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration: generator → sampler → estimator pipelines.
+
+use selfsim::hurst::{consensus_hurst, LocalWhittleEstimator};
+use selfsim::sampling::bss::{BssSampler, OnlineTuning, ThresholdPolicy};
+use selfsim::sampling::{
+    run_bss_experiment, run_experiment, Sampler, SimpleRandomSampler, StratifiedSampler,
+    SystematicSampler,
+};
+use selfsim::stats::burst::BurstAnalysis;
+use selfsim::stats::tailfit::fit_pareto_ccdf;
+use selfsim::traffic::{FgnGenerator, SyntheticTraceSpec};
+
+/// The full T3 pipeline: heavy-tailed LRD trace → all four samplers →
+/// mean estimates, with BSS closest to the truth.
+#[test]
+fn end_to_end_mean_estimation() {
+    let trace = SyntheticTraceSpec::new().length(1 << 18).seed(99).build();
+    let truth = trace.mean();
+    let interval = 1000;
+    let n_inst = 9;
+
+    let sys = run_experiment(trace.values(), &SystematicSampler::new(interval), n_inst, 5);
+    let strat = run_experiment(trace.values(), &StratifiedSampler::new(interval), n_inst, 5);
+    let ran = run_experiment(
+        trace.values(),
+        &SimpleRandomSampler::new(1.0 / interval as f64),
+        n_inst,
+        5,
+    );
+    let bss = run_bss_experiment(
+        trace.values(),
+        &BssSampler::new(interval, ThresholdPolicy::Online(OnlineTuning::default())).unwrap(),
+        n_inst,
+        5,
+    );
+
+    let err = |m: f64| (m - truth).abs() / truth;
+    let e_sys = err(sys.median_mean());
+    let e_bss = err(bss.median_mean());
+    assert!(
+        e_bss <= e_sys,
+        "BSS err {e_bss:.4} vs systematic {e_sys:.4} (truth {truth:.3})"
+    );
+    // Plain samplers typically under-estimate here.
+    assert!(sys.median_mean() <= truth * 1.05);
+    assert!(strat.median_mean() <= truth * 1.1);
+    assert!(ran.median_mean() <= truth * 1.2);
+    // BSS overhead bounded.
+    assert!(bss.mean_overhead() < 1.0, "overhead {}", bss.mean_overhead());
+}
+
+/// T1 across crates: fGn → systematic sampling → Hurst estimation; the
+/// sampled process keeps the exponent the same estimator sees on the
+/// original.
+#[test]
+fn hurst_preserved_through_sampling() {
+    let h = 0.8;
+    let vals = FgnGenerator::new(h).unwrap().generate_values(1 << 17, 31);
+    let est = LocalWhittleEstimator { bandwidth: 0.5 };
+    let h_orig = est.estimate(&vals).unwrap().hurst;
+    for interval in [4usize, 16] {
+        let sampled = SystematicSampler::new(interval).sample(&vals, 2);
+        let h_s = est.estimate(sampled.values()).unwrap().hurst;
+        assert!(
+            (h_s - h_orig).abs() < 0.08,
+            "C={interval}: sampled {h_s:.3} vs original {h_orig:.3}"
+        );
+    }
+}
+
+/// The §V-B observation across crates: synthetic heavy-tailed traffic →
+/// exceedance analysis → heavy-tailed burst lengths; and the marginal
+/// itself fits a Pareto with the generator's α.
+#[test]
+fn burst_and_marginal_structure() {
+    let trace = SyntheticTraceSpec::new()
+        .length(1 << 17)
+        .pareto_marginal(1.5, 5.68)
+        .seed(3)
+        .build();
+    let marginal = fit_pareto_ccdf(trace.values(), 0.5).expect("fit");
+    assert!((marginal.alpha - 1.5).abs() < 0.3, "marginal α={}", marginal.alpha);
+
+    let bursts = BurstAnalysis::at_relative_threshold(trace.values(), 0.5);
+    assert!(bursts.bursts.len() > 100);
+    let fit = bursts.tail_fit.expect("burst fit");
+    assert!(fit.alpha < 3.0, "burst tail α={} should be heavy-ish", fit.alpha);
+    // Eq. (18)-(20): persistence grows with τ for heavy-tailed bursts.
+    let p1 = bursts.persistence(1).unwrap();
+    let p5 = bursts.persistence(5).unwrap_or(1.0);
+    assert!(p5 >= p1 * 0.8, "persistence should not collapse: p1={p1} p5={p5}");
+}
+
+/// Generators agree: on/off aggregation, M/G/∞, and fGn+copula all
+/// produce LRD traffic whose consensus Hurst is in the LRD band.
+#[test]
+fn all_generators_are_lrd() {
+    use selfsim::traffic::{MgInfModel, OnOffModel};
+    let n = 1 << 16;
+    let onoff = OnOffModel::for_hurst(0.8, 32).unwrap().generate(n, 1);
+    let mginf = MgInfModel::new(2.0, 1.4, 10.0).unwrap().generate(n, 1);
+    let copula = SyntheticTraceSpec::new().length(n).gaussian_marginal(10.0, 2.0).seed(1).build();
+    for (name, ts) in [("onoff", onoff), ("mginf", mginf), ("copula", copula)] {
+        let h = consensus_hurst(ts.values()).expect("estimable");
+        assert!(h > 0.6, "{name}: consensus H={h}");
+    }
+}
+
+/// Determinism end-to-end: the same seeds produce byte-identical
+/// experiment results.
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let trace = SyntheticTraceSpec::new().length(1 << 14).seed(7).build();
+        let bss = BssSampler::new(100, ThresholdPolicy::Online(OnlineTuning::default()))
+            .unwrap()
+            .sample_detailed(trace.values(), 9);
+        (trace.mean(), bss.mean(), bss.qualified_count)
+    };
+    assert_eq!(run(), run());
+}

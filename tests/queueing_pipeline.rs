@@ -1,0 +1,117 @@
+//! Integration: the paper's downstream use case — queueing analysis from
+//! sampled traffic. Dimensioning decisions made from the *sampled*
+//! process should match decisions made from the full trace.
+
+use selfsim::hurst::LocalWhittleEstimator;
+use selfsim::queue::{norros_overflow, FluidQueue};
+use selfsim::sampling::{Sampler, SystematicSampler};
+use selfsim::traffic::SyntheticTraceSpec;
+
+#[test]
+fn sampled_h_gives_same_dimensioning_as_full_trace() {
+    let trace = SyntheticTraceSpec::new()
+        .length(1 << 17)
+        .hurst(0.8)
+        .gaussian_marginal(100.0, 10.0)
+        .seed(8)
+        .build();
+    let est = LocalWhittleEstimator::default();
+    let h_full = est.estimate(trace.values()).unwrap().hurst;
+    let sampled = SystematicSampler::new(8).sample(trace.values(), 1);
+    let h_sampled = est.estimate(sampled.values()).unwrap().hurst;
+
+    // The paper's T1 claim: systematic sampling preserves H, so the
+    // Hurst estimate from the thinned trace must agree with the full one.
+    assert!(
+        (h_sampled - h_full).abs() < 0.06,
+        "H diverges under sampling: full {h_full:.3} vs sampled {h_sampled:.3}"
+    );
+    // The downstream consequence: the Norros buffer-dimensioning exponent
+    // 1/(2-2H) amplifies H errors nonlinearly; sampled-vs-full must still
+    // land in the same dimensioning regime.
+    let exp_full = 1.0 / (2.0 - 2.0 * h_full);
+    let exp_sampled = 1.0 / (2.0 - 2.0 * h_sampled);
+    assert!(
+        (exp_sampled / exp_full - 1.0).abs() < 0.40,
+        "dimensioning exponents diverge: full {exp_full:.3} vs sampled {exp_sampled:.3}"
+    );
+}
+
+#[test]
+fn lrd_queue_overflow_decays_slower_than_exponential() {
+    let trace = SyntheticTraceSpec::new()
+        .length(1 << 17)
+        .hurst(0.85)
+        .gaussian_marginal(100.0, 10.0)
+        .seed(3)
+        .build();
+    // Small headroom so the buffer actually builds: service ≈ mean/0.95.
+    let path = FluidQueue::for_utilization(&trace, 0.95).drive(&trace);
+    let curve = path.overflow_curve(24);
+    assert!(curve.len() >= 10, "need a usable overflow curve, got {} pts", curve.len());
+
+    // LRD input gives a Weibull occupancy tail, log P(Q>b) ∝ −b^{2−2H}
+    // with 2−2H = 0.3 ≪ 1: log-convex in b. Fit an exponential
+    // (log-linear) model on the small-buffer half of the curve and
+    // extrapolate to the largest observed buffer — the measured tail
+    // must sit clearly above the exponential extrapolation.
+    let half = curve.len() / 2;
+    let (xs, ys): (Vec<f64>, Vec<f64>) =
+        curve[..half].iter().map(|&(b, p)| (b, p.ln())).unzip();
+    let fit = selfsim::sigproc::regress::ols(&xs, &ys);
+    assert!(fit.slope < 0.0, "overflow curve must decay, slope {}", fit.slope);
+    let (b_big, p_big) = curve[curve.len() - 2];
+    let exp_pred = (fit.intercept + fit.slope * b_big).exp();
+    assert!(
+        p_big > 3.0 * exp_pred,
+        "LRD overflow {p_big:.3e} at b={b_big:.1} should exceed exponential \
+         extrapolation {exp_pred:.3e} (slower-than-exponential tail)"
+    );
+    assert!(p_big < 1.0);
+
+    // The analytic version of the same statement: at large buffers the
+    // Norros LRD (H=0.85) formula must predict vastly more overflow than
+    // the SRD (H=0.5) exponential. (The two curves cross at small b, so
+    // evaluate deep in the tail.)
+    let sigma = trace.values().iter().map(|x| (x - trace.mean()).powi(2)).sum::<f64>()
+        / trace.len() as f64;
+    let sigma = sigma.sqrt();
+    let b_large = 50.0 * sigma;
+    let srd = norros_overflow(b_large, 0.5, trace.mean(), sigma, path.service_rate());
+    let lrd = norros_overflow(b_large, 0.85, trace.mean(), sigma, path.service_rate());
+    assert!(
+        lrd > 1e6 * srd,
+        "Norros: LRD {lrd:.3e} must dwarf SRD {srd:.3e} at b={b_large:.0}"
+    );
+}
+
+#[test]
+fn queue_fed_by_sampled_reconstruction_is_conservative_check() {
+    // Driving the queue with a BSS-sampled summary (per-interval mean of
+    // kept samples) should not wildly misstate mean occupancy vs truth.
+    use selfsim::sampling::bss::{BssSampler, OnlineTuning, ThresholdPolicy};
+    let trace = SyntheticTraceSpec::new().length(1 << 16).seed(12).build();
+    let service = trace.mean() / 0.7;
+    let full = FluidQueue::new(service).drive(&trace);
+
+    let bss = BssSampler::new(64, ThresholdPolicy::Online(OnlineTuning::default()))
+        .unwrap()
+        .sample_detailed(trace.values(), 4);
+    // Reconstruct a rate series from the samples (piecewise-constant hold).
+    let mut recon = Vec::with_capacity(trace.len());
+    let mut cursor = 0usize;
+    let idx = bss.samples.indices();
+    let vals = bss.samples.values();
+    for t in 0..trace.len() {
+        while cursor + 1 < idx.len() && idx[cursor + 1] <= t {
+            cursor += 1;
+        }
+        recon.push(vals[cursor.min(vals.len() - 1)]);
+    }
+    let recon_ts = selfsim::stats::TimeSeries::from_values(trace.dt(), recon);
+    let approx = FluidQueue::new(service).drive(&recon_ts);
+    // Order-of-magnitude agreement on mean occupancy.
+    let (a, b) = (full.mean_occupancy().max(1e-9), approx.mean_occupancy().max(1e-9));
+    let ratio = a.max(b) / a.min(b);
+    assert!(ratio < 50.0, "occupancy mismatch: full {a:.3e} vs reconstructed {b:.3e}");
+}

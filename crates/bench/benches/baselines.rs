@@ -10,19 +10,30 @@ use sst_nettrace::{SampleAndHold, TraceSynthesizer, TrajectorySampler};
 use sst_traffic::SyntheticTraceSpec;
 
 fn bench_packet_samplers(c: &mut Criterion) {
-    let trace = TraceSynthesizer::bell_labs_like().duration(120.0).synthesize(1);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(120.0)
+        .synthesize(1);
     let mut g = c.benchmark_group("packet_samplers");
     g.throughput(Throughput::Elements(trace.len() as u64));
     g.bench_function("event_systematic", |b| {
-        let s = PacketSampler::new(Trigger::EventDriven { every: 100 }, SelectionPattern::Systematic);
+        let s = PacketSampler::new(
+            Trigger::EventDriven { every: 100 },
+            SelectionPattern::Systematic,
+        );
         b.iter(|| s.sample(&trace, 3).len());
     });
     g.bench_function("event_random", |b| {
-        let s = PacketSampler::new(Trigger::EventDriven { every: 100 }, SelectionPattern::Random);
+        let s = PacketSampler::new(
+            Trigger::EventDriven { every: 100 },
+            SelectionPattern::Random,
+        );
         b.iter(|| s.sample(&trace, 3).len());
     });
     g.bench_function("time_stratified", |b| {
-        let s = PacketSampler::new(Trigger::TimeDriven { every: 1.0 }, SelectionPattern::Stratified);
+        let s = PacketSampler::new(
+            Trigger::TimeDriven { every: 1.0 },
+            SelectionPattern::Stratified,
+        );
         b.iter(|| s.sample(&trace, 3).len());
     });
     g.bench_function("trajectory_1pct", |b| {

@@ -2,9 +2,7 @@
 //! queue throughput, per-source emission cost, and full scenario runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sst_dess::{
-    BottleneckLink, EventQueue, LinkSpec, OnOffScenario, OnOffSource, TrafficSource,
-};
+use sst_dess::{BottleneckLink, EventQueue, LinkSpec, OnOffScenario, OnOffSource, TrafficSource};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("dess_event_queue");
@@ -77,7 +75,10 @@ fn bench_scenario(c: &mut Criterion) {
         let sc = OnOffScenario::new()
             .sources(16)
             .duration(60.0)
-            .bottleneck(LinkSpec { capacity_bps: 4e6, queue_limit: 64 });
+            .bottleneck(LinkSpec {
+                capacity_bps: 4e6,
+                queue_limit: 64,
+            });
         b.iter(|| sc.run(3).loss_rate);
     });
     g.finish();

@@ -1,0 +1,185 @@
+//! Criterion benches: the PR's hot-path claims.
+//!
+//! * `fgn_30_instance` — a 30-instance fGn Monte-Carlo generation
+//!   experiment, comparing the **verbatim seed algorithm** (per-instance
+//!   spectrum re-derivation through the historical iterative-twiddle
+//!   FFT, fresh allocations) against the planned pipeline (cached
+//!   `FgnPlan` + buffer reuse), serially and with the parallel instance
+//!   fan-out. All three paths produce byte-identical values (pinned by
+//!   `tests/determinism.rs`).
+//! * `experiment_30_instance` — sequential vs `ParallelExperimentRunner`
+//!   sampling experiments.
+//!
+//! The parallel rows scale with the executing machine's cores; on a
+//! single-core container they only document the fan-out overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rayon::prelude::*;
+use sst_core::{run_experiment, ParallelExperimentRunner, SimpleRandomSampler};
+use sst_sigproc::complex::Complex;
+use sst_sigproc::fft::next_pow2;
+use sst_stats::model::FgnAcf;
+use sst_stats::rng::rng_from_seed;
+use sst_traffic::fgn::{FgnPlan, FgnScratch};
+use sst_traffic::SyntheticTraceSpec;
+
+const INSTANCES: usize = 30;
+
+/// The seed's FFT: iterative Cooley-Tukey recomputing twiddles through a
+/// serial `w *= wlen` dependency chain on every call (no plan, no
+/// tables) — kept verbatim as the benchmark baseline.
+fn seed_fft_pow2_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n != 0 && n & (n - 1) == 0);
+    if n <= 1 {
+        return;
+    }
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let u = data[start + k];
+                let v = data[start + k + half] * w;
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// The seed's Box-Muller helper, verbatim including its `dyn` receiver
+/// (two virtual calls per draw, as the seed paid).
+fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+    use rand::Rng;
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > 1e-300 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The seed's `FgnGenerator::generate_values`, verbatim: re-derives the
+/// circulant eigenvalue spectrum per call and allocates every buffer
+/// fresh.
+fn seed_generate_values(hurst: f64, n: usize, seed: u64) -> Vec<f64> {
+    let big_n = next_pow2(n);
+    let m = 2 * big_n;
+    let acf = FgnAcf::new(hurst);
+    let mut row = vec![Complex::ZERO; m];
+    for (k, slot) in row.iter_mut().enumerate().take(big_n + 1) {
+        *slot = Complex::from_real(acf.at(k as u64));
+    }
+    for k in 1..big_n {
+        row[m - k] = Complex::from_real(acf.at(k as u64));
+    }
+    seed_fft_pow2_in_place(&mut row);
+    let lambda: Vec<f64> = row.iter().map(|z| z.re.max(0.0)).collect();
+
+    let mut rng = rng_from_seed(seed);
+    let mut spec = vec![Complex::ZERO; m];
+    spec[0] = Complex::from_real((lambda[0]).sqrt() * standard_normal(&mut rng));
+    spec[big_n] = Complex::from_real((lambda[big_n]).sqrt() * standard_normal(&mut rng));
+    for k in 1..big_n {
+        let g = standard_normal(&mut rng);
+        let h = standard_normal(&mut rng);
+        let amp = (lambda[k] / 2.0).sqrt();
+        spec[k] = Complex::new(amp * g, amp * h);
+        spec[m - k] = spec[k].conj();
+    }
+    seed_fft_pow2_in_place(&mut spec);
+    let norm = 1.0 / (m as f64).sqrt();
+    spec.into_iter().take(n).map(|z| z.re * norm).collect()
+}
+
+fn bench_fgn_plan_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fgn_30_instance");
+    g.sample_size(10);
+    for n in [1usize << 14, 1 << 16] {
+        g.throughput(Throughput::Elements((INSTANCES * n) as u64));
+        g.bench_with_input(BenchmarkId::new("seed_algorithm", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for seed in 0..INSTANCES as u64 {
+                    acc += seed_generate_values(0.8, n, seed)[0];
+                }
+                acc
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("plan_reused", n), &n, |b, &n| {
+            let plan = FgnPlan::new(0.8, n).expect("valid");
+            let mut out = Vec::new();
+            let mut scratch = FgnScratch::default();
+            b.iter(|| {
+                let mut acc = 0.0;
+                for seed in 0..INSTANCES as u64 {
+                    plan.generate_values_into(seed, &mut out, &mut scratch);
+                    acc += out[0];
+                }
+                acc
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("plan_parallel", n), &n, |b, &n| {
+            let plan = FgnPlan::new(0.8, n).expect("valid");
+            b.iter(|| {
+                let firsts: Vec<f64> = (0..INSTANCES as u64)
+                    .into_par_iter()
+                    .map(|seed| {
+                        let mut out = Vec::new();
+                        let mut scratch = FgnScratch::default();
+                        plan.generate_values_into(seed, &mut out, &mut scratch);
+                        out[0]
+                    })
+                    .collect();
+                firsts.iter().sum::<f64>()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Sequential vs parallel instance fan-out. Simple random sampling does
+/// per-element RNG work, so each instance is a substantial task.
+fn bench_parallel_runner(c: &mut Criterion) {
+    let trace = SyntheticTraceSpec::new().length(1 << 17).seed(9).build();
+    let vals = trace.values();
+    let sampler = SimpleRandomSampler::new(0.01);
+    let mut g = c.benchmark_group("experiment_30_instance");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((INSTANCES * vals.len()) as u64));
+    g.bench_function("sequential", |b| {
+        b.iter(|| run_experiment(vals, &sampler, INSTANCES, 3).average_variance());
+    });
+    g.bench_function("parallel_all_cores", |b| {
+        let runner = ParallelExperimentRunner::new();
+        b.iter(|| runner.run(vals, &sampler, INSTANCES, 3).average_variance());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fgn_plan_reuse, bench_parallel_runner
+}
+criterion_main!(benches);

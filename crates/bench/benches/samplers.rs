@@ -11,23 +11,39 @@ fn bench_samplers(c: &mut Criterion) {
     let mut g = c.benchmark_group("samplers");
     g.throughput(Throughput::Elements(vals.len() as u64));
     for interval in [100usize, 1000] {
-        g.bench_with_input(BenchmarkId::new("systematic", interval), &interval, |b, &iv| {
-            let s = SystematicSampler::new(iv);
-            b.iter(|| s.sample(vals, 3));
-        });
-        g.bench_with_input(BenchmarkId::new("stratified", interval), &interval, |b, &iv| {
-            let s = StratifiedSampler::new(iv);
-            b.iter(|| s.sample(vals, 3));
-        });
-        g.bench_with_input(BenchmarkId::new("simple_random", interval), &interval, |b, &iv| {
-            let s = SimpleRandomSampler::new(1.0 / iv as f64);
-            b.iter(|| s.sample(vals, 3));
-        });
-        g.bench_with_input(BenchmarkId::new("bss_online", interval), &interval, |b, &iv| {
-            let s = BssSampler::new(iv, ThresholdPolicy::Online(OnlineTuning::default()))
-                .expect("valid");
-            b.iter(|| s.sample_detailed(vals, 3));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("systematic", interval),
+            &interval,
+            |b, &iv| {
+                let s = SystematicSampler::new(iv);
+                b.iter(|| s.sample(vals, 3));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("stratified", interval),
+            &interval,
+            |b, &iv| {
+                let s = StratifiedSampler::new(iv);
+                b.iter(|| s.sample(vals, 3));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("simple_random", interval),
+            &interval,
+            |b, &iv| {
+                let s = SimpleRandomSampler::new(1.0 / iv as f64);
+                b.iter(|| s.sample(vals, 3));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("bss_online", interval),
+            &interval,
+            |b, &iv| {
+                let s = BssSampler::new(iv, ThresholdPolicy::Online(OnlineTuning::default()))
+                    .expect("valid");
+                b.iter(|| s.sample_detailed(vals, 3));
+            },
+        );
     }
     g.finish();
 }

@@ -9,9 +9,7 @@
 
 use crate::ctx::Ctx;
 use crate::report::{fmt_num, FigureReport, Table};
-use sst_core::bss::{
-    calibrate_c_eta, tune_l_on_prefix, BssSampler, OnlineTuning, ThresholdPolicy,
-};
+use sst_core::bss::{calibrate_c_eta, tune_l_on_prefix, BssSampler, OnlineTuning, ThresholdPolicy};
 use sst_core::{run_bss_experiment, run_experiment, SystematicSampler};
 use sst_stats::TimeSeries;
 
@@ -32,21 +30,39 @@ pub fn run(ctx: &Ctx) -> FigureReport {
     // (1) Tuning strategies.
     let mut t1 = Table::new(
         "ablation A: online tuning strategy (median |rel. error|, low rates)",
-        &["rate", "systematic", "eq35_default", "calibrated_c", "tuned_L"],
+        &[
+            "rate",
+            "systematic",
+            "eq35_default",
+            "calibrated_c",
+            "tuned_L",
+        ],
     );
     for &r in &rates {
         let c = (1.0 / r).round().max(1.0) as usize;
         let sys = {
-            let res = run_experiment(trace.values(), &SystematicSampler::new(c), instances.min(c), ctx.seed);
+            let res = run_experiment(
+                trace.values(),
+                &SystematicSampler::new(c),
+                instances.min(c),
+                ctx.seed,
+            );
             (res.median_mean() - truth).abs() / truth
         };
-        let default_tuning = OnlineTuning { epsilon: 1.0, alpha, ..OnlineTuning::default() };
+        let default_tuning = OnlineTuning {
+            epsilon: 1.0,
+            alpha,
+            ..OnlineTuning::default()
+        };
         let default = BssSampler::new(c, ThresholdPolicy::Online(default_tuning)).expect("valid");
         let prefix = &trace.values()[..trace.len() / 4];
         let c_eta = calibrate_c_eta(prefix, c, alpha, 7);
         let calibrated = BssSampler::new(
             c,
-            ThresholdPolicy::Online(OnlineTuning { c_eta, ..default_tuning }),
+            ThresholdPolicy::Online(OnlineTuning {
+                c_eta,
+                ..default_tuning
+            }),
         )
         .expect("valid");
         let l = tune_l_on_prefix(prefix, c, default_tuning, &[0, 1, 2, 4, 8, 16], 7);
@@ -64,11 +80,18 @@ pub fn run(ctx: &Ctx) -> FigureReport {
 
     // (2) L sensitivity at a fixed mid rate.
     let c_mid = 1000usize;
-    let mut t2 = Table::new("ablation B: fixed-L sweep at ε = 1, rate 1e-3", &["L", "rel_error", "overhead"]);
+    let mut t2 = Table::new(
+        "ablation B: fixed-L sweep at ε = 1, rate 1e-3",
+        &["L", "rel_error", "overhead"],
+    );
     for l in [0usize, 1, 2, 4, 8, 16, 32, 64] {
         let s = BssSampler::new(
             c_mid,
-            ThresholdPolicy::Online(OnlineTuning { epsilon: 1.0, alpha, ..OnlineTuning::default() }),
+            ThresholdPolicy::Online(OnlineTuning {
+                epsilon: 1.0,
+                alpha,
+                ..OnlineTuning::default()
+            }),
         )
         .expect("valid")
         .with_l(l);
@@ -81,11 +104,18 @@ pub fn run(ctx: &Ctx) -> FigureReport {
     }
 
     // (3) ε sensitivity with online L.
-    let mut t3 = Table::new("ablation C: ε sweep with online-derived L, rate 1e-3", &["epsilon", "rel_error", "overhead"]);
+    let mut t3 = Table::new(
+        "ablation C: ε sweep with online-derived L, rate 1e-3",
+        &["epsilon", "rel_error", "overhead"],
+    );
     for eps in [0.5, 0.75, 1.0, 1.25, 1.5, 2.0] {
         let s = BssSampler::new(
             c_mid,
-            ThresholdPolicy::Online(OnlineTuning { epsilon: eps, alpha, ..OnlineTuning::default() }),
+            ThresholdPolicy::Online(OnlineTuning {
+                epsilon: eps,
+                alpha,
+                ..OnlineTuning::default()
+            }),
         )
         .expect("valid");
         let res = run_bss_experiment(trace.values(), &s, instances, ctx.seed + 2);
@@ -104,7 +134,8 @@ pub fn run(ctx: &Ctx) -> FigureReport {
             format!("trace: synthetic α={alpha}, truth {}", fmt_num(truth)),
             "ablation B shows the overshoot regime: beyond the model-optimal L the \
              error grows again while overhead climbs linearly — the paper's Fig. 15 \
-             guidance from the measurement side".into(),
+             guidance from the measurement side"
+                .into(),
         ],
     }
 }
@@ -127,8 +158,11 @@ mod tests {
     #[test]
     fn overhead_grows_with_l() {
         let rep = run(&Ctx::default());
-        let overheads: Vec<f64> =
-            rep.tables[1].rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let overheads: Vec<f64> = rep.tables[1]
+            .rows
+            .iter()
+            .map(|r| r[2].parse().unwrap())
+            .collect();
         assert!(overheads.last().unwrap() > &overheads[1]);
     }
 }

@@ -3,6 +3,7 @@
 //! sampled means (and BSS overhead).
 
 use crate::report::Table;
+use rayon::prelude::*;
 use sst_core::bss::{BssSampler, OnlineTuning, ThresholdPolicy};
 use sst_core::{
     run_bss_experiment, run_experiment, ExperimentResult, SimpleRandomSampler, SystematicSampler,
@@ -18,7 +19,11 @@ pub fn online_bss(trace: &TimeSeries, interval: usize, alpha: f64) -> BssSampler
     let _ = trace; // the default scheme needs no trace-specific state
     BssSampler::new(
         interval,
-        ThresholdPolicy::Online(OnlineTuning { epsilon: 1.0, alpha, ..OnlineTuning::default() }),
+        ThresholdPolicy::Online(OnlineTuning {
+            epsilon: 1.0,
+            alpha,
+            ..OnlineTuning::default()
+        }),
     )
     .expect("valid BSS configuration")
 }
@@ -49,37 +54,40 @@ pub fn compare<F>(
 where
     F: Fn(usize) -> BssSampler + Sync,
 {
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = rates
-            .iter()
-            .map(|&rate| {
-                let vals = trace.values();
-                let make_bss = &make_bss;
-                s.spawn(move |_| {
-                    let c = (1.0 / rate).round().max(1.0) as usize;
-                    let systematic = run_experiment(
-                        vals,
-                        &SystematicSampler::new(c),
-                        instances.min(c.max(1)),
-                        seed,
-                    );
-                    let bss = run_bss_experiment(vals, &make_bss(c), instances.min(c.max(1)), seed);
-                    let simple =
-                        run_experiment(vals, &SimpleRandomSampler::new(rate), instances, seed);
-                    RatePoint { rate, systematic, bss, simple }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    })
-    .expect("scope")
+    let vals = trace.values();
+    rates
+        .par_iter()
+        .map(|&rate| {
+            let c = (1.0 / rate).round().max(1.0) as usize;
+            let systematic = run_experiment(
+                vals,
+                &SystematicSampler::new(c),
+                instances.min(c.max(1)),
+                seed,
+            );
+            let bss = run_bss_experiment(vals, &make_bss(c), instances.min(c.max(1)), seed);
+            let simple = run_experiment(vals, &SimpleRandomSampler::new(rate), instances, seed);
+            RatePoint {
+                rate,
+                systematic,
+                bss,
+                simple,
+            }
+        })
+        .collect()
 }
 
 /// Formats the comparison as the paper's mean-vs-rate panel.
 pub fn mean_table(title: &str, points: &[RatePoint], true_mean: f64) -> Table {
     let mut t = Table::new(
         title,
-        &["rate", "systematic", "proposed(BSS)", "simple_random", "real_mean"],
+        &[
+            "rate",
+            "systematic",
+            "proposed(BSS)",
+            "simple_random",
+            "real_mean",
+        ],
     );
     for p in points {
         t.push_nums(&[
@@ -104,5 +112,9 @@ pub fn overhead_table(title: &str, points: &[RatePoint]) -> Table {
 
 /// Mean absolute relative error of a column across rate points.
 pub fn mean_rel_err<F: Fn(&RatePoint) -> f64>(points: &[RatePoint], truth: f64, get: F) -> f64 {
-    points.iter().map(|p| (get(p) - truth).abs() / truth).sum::<f64>() / points.len() as f64
+    points
+        .iter()
+        .map(|p| (get(p) - truth).abs() / truth)
+        .sum::<f64>()
+        / points.len() as f64
 }

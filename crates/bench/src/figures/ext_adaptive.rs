@@ -46,7 +46,12 @@ fn eval_rate(trace: &[f64], rate: f64, instances: usize, seed: u64, alpha: f64) 
     let c_eta = calibrate_c_eta(prefix, c, alpha, 5);
     let bss = BssSampler::new(
         c,
-        ThresholdPolicy::Online(OnlineTuning { epsilon: 1.0, alpha, c_eta, ..Default::default() }),
+        ThresholdPolicy::Online(OnlineTuning {
+            epsilon: 1.0,
+            alpha,
+            c_eta,
+            ..Default::default()
+        }),
     )
     .expect("valid BSS config");
 
@@ -87,7 +92,15 @@ pub fn run(ctx: &Ctx) -> FigureReport {
 
     let mut table = Table::new(
         "adaptive (Choi) vs systematic vs BSS — sampled mean and spend",
-        &["rate", "systematic", "adaptive", "adaptive_spend", "BSS", "BSS_spend", "real_mean"],
+        &[
+            "rate",
+            "systematic",
+            "adaptive",
+            "adaptive_spend",
+            "BSS",
+            "BSS_spend",
+            "real_mean",
+        ],
     );
     let mut rows = Vec::new();
     for &r in &rates {
@@ -105,12 +118,18 @@ pub fn run(ctx: &Ctx) -> FigureReport {
     }
 
     let err = |f: &dyn Fn(&Row) -> f64| {
-        rows.iter().map(|r| (f(r) - truth).abs() / truth).sum::<f64>() / rows.len() as f64
+        rows.iter()
+            .map(|r| (f(r) - truth).abs() / truth)
+            .sum::<f64>()
+            / rows.len() as f64
     };
     let sys_err = err(&|r| r.sys_mean);
     let adapt_err = err(&|r| r.adapt_mean);
     let bss_err = err(&|r| r.bss_mean);
-    let adapt_bias = rows.iter().map(|r| (r.adapt_mean - truth) / truth).sum::<f64>()
+    let adapt_bias = rows
+        .iter()
+        .map(|r| (r.adapt_mean - truth) / truth)
+        .sum::<f64>()
         / rows.len() as f64;
     let adapt_spend_ratio =
         rows.iter().map(|r| r.adapt_spend / r.rate).sum::<f64>() / rows.len() as f64;

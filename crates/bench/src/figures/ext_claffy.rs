@@ -64,14 +64,12 @@ pub fn run(ctx: &Ctx) -> FigureReport {
         id: "claffy",
         headline: "event-driven beats time-driven packet sampling (related-work replay)".into(),
         tables: vec![table],
-        notes: vec![
-            format!(
-                "class-average gap-KS: event-driven {} vs time-driven {} \
+        notes: vec![format!(
+            "class-average gap-KS: event-driven {} vs time-driven {} \
                  (Claffy et al.: event-driven wins, within-class spread small)",
-                fmt_num(event_avg),
-                fmt_num(time_avg)
-            ),
-        ],
+            fmt_num(event_avg),
+            fmt_num(time_avg)
+        )],
     }
 }
 

@@ -66,7 +66,11 @@ pub fn run(ctx: &Ctx) -> FigureReport {
         ctx.seed.wrapping_add(0xDE55),
         |c| online_bss(&trace, c, 1.4),
     );
-    let cmp = mean_table("sampler comparison on DESS traffic (Fig. 18 shape)", &points, truth);
+    let cmp = mean_table(
+        "sampler comparison on DESS traffic (Fig. 18 shape)",
+        &points,
+        truth,
+    );
     let bss_err = crate::figures::common::mean_rel_err(&points, truth, |p| p.bss.median_mean());
     let sys_err =
         crate::figures::common::mean_rel_err(&points, truth, |p| p.systematic.median_mean());
@@ -77,7 +81,10 @@ pub fn run(ctx: &Ctx) -> FigureReport {
             .into(),
         tables: vec![law, cmp],
         notes: vec![
-            format!("worst H-law gap across the alpha sweep = {}", fmt_num(worst_gap)),
+            format!(
+                "worst H-law gap across the alpha sweep = {}",
+                fmt_num(worst_gap)
+            ),
             format!(
                 "mean |rel err|: BSS {} vs systematic {} — on this *bounded-marginal* \
                  aggregate systematic is already nearly unbiased and BSS's upward bias \
@@ -102,7 +109,7 @@ mod tests {
         let worst: f64 = rep.notes[0]
             .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
             .filter_map(|s| s.parse().ok())
-            .last()
+            .next_back()
             .unwrap();
         assert!(worst < 0.25, "worst H gap {worst}");
         assert_eq!(rep.tables[0].rows.len(), 4);

@@ -39,8 +39,9 @@ pub fn run(ctx: &Ctx) -> FigureReport {
             }
         }
         for (m, (total, cnt)) in sums {
-            by_method.entry(m).or_insert_with(|| vec![f64::NAN; hs.len()])[hi] =
-                total / cnt as f64;
+            by_method
+                .entry(m)
+                .or_insert_with(|| vec![f64::NAN; hs.len()])[hi] = total / cnt as f64;
         }
     }
 
@@ -92,7 +93,10 @@ mod tests {
             .filter_map(|s| s.parse().ok())
             .collect();
         let (in_band, total) = (nums[0], nums[1]);
-        assert!(total >= 9.0, "battery should have >= 9 estimators, got {total}");
+        assert!(
+            total >= 9.0,
+            "battery should have >= 9 estimators, got {total}"
+        );
         assert!(
             in_band >= total - 2.0,
             "at most two estimators may exceed the 0.1 bias band ({in_band}/{total})"

@@ -28,7 +28,13 @@ pub fn run(ctx: &Ctx) -> FigureReport {
 
     let mut table = Table::new(
         "buffer for P(loss) <= 1e-2 at 95% load vs Hurst parameter",
-        &["H", "whittle_H", "measured_buffer", "norros_buffer(H)", "norros_buffer(Hhat)"],
+        &[
+            "H",
+            "whittle_H",
+            "measured_buffer",
+            "norros_buffer(H)",
+            "norros_buffer(Hhat)",
+        ],
     );
     // The Norros inverse is a *logarithmic* asymptote, so agreement is
     // judged on ln(buffer); and the inversion exponent 1/(2−2H) blows up
@@ -61,8 +67,14 @@ pub fn run(ctx: &Ctx) -> FigureReport {
     }
 
     // Growth factor of the measured requirement across the H sweep.
-    let first: f64 = table.rows.first().map_or(1.0, |r| r[2].parse().unwrap_or(1.0));
-    let last: f64 = table.rows.last().map_or(1.0, |r| r[2].parse().unwrap_or(1.0));
+    let first: f64 = table
+        .rows
+        .first()
+        .map_or(1.0, |r| r[2].parse().unwrap_or(1.0));
+    let last: f64 = table
+        .rows
+        .last()
+        .map_or(1.0, |r| r[2].parse().unwrap_or(1.0));
     let growth = last / first.max(1e-9);
     let worst_log_ratio = log_ratios
         .iter()
@@ -74,7 +86,10 @@ pub fn run(ctx: &Ctx) -> FigureReport {
         headline: "buffer requirements explode with H; Norros(Ĥ) predicts them".into(),
         tables: vec![table],
         notes: vec![
-            format!("measured buffer grows {}x from H=0.6 to H=0.9", fmt_num(growth)),
+            format!(
+                "measured buffer grows {}x from H=0.6 to H=0.9",
+                fmt_num(growth)
+            ),
             format!(
                 "worst ln(Norros(Hhat))/ln(measured) factor for H <= 0.8 = {} \
                  (log-asymptote: within 2x on the log scale is on-spec)",

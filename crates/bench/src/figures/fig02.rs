@@ -24,10 +24,10 @@ pub fn run(_ctx: &Ctx) -> FigureReport {
     let taus = paper_taus();
 
     // Panel (a): the β = 0.1 series.
-    let mut a = Table::new("Fig. 2(a): log2 R_g(τ) vs log2 τ at β=0.1, ρ=0.5", &[
-        "log2(tau)",
-        "log2(Rg)",
-    ]);
+    let mut a = Table::new(
+        "Fig. 2(a): log2 R_g(τ) vs log2 τ at β=0.1, ρ=0.5",
+        &["log2(tau)", "log2(Rg)"],
+    );
     for &tau in &taus {
         let terms = (4.0 * tau as f64 * (1.0 - rho) / rho) as usize + 64;
         let rg = simple_random_rg(tau, rho, 0.1, terms);
@@ -37,7 +37,10 @@ pub fn run(_ctx: &Ctx) -> FigureReport {
     // Panel (b): β̂ vs β.
     let betas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
     let scan = simple_random_beta_scan(&betas, rho, &taus);
-    let mut b = Table::new("Fig. 2(b): estimated β̂ vs real β (Eq. 11)", &["beta", "beta_hat"]);
+    let mut b = Table::new(
+        "Fig. 2(b): estimated β̂ vs real β (Eq. 11)",
+        &["beta", "beta_hat"],
+    );
     let mut worst = 0.0f64;
     for (beta, est) in &scan {
         b.push_nums(&[*beta, *est]);
@@ -78,7 +81,11 @@ mod tests {
     #[test]
     fn fig2a_series_is_decreasing() {
         let rep = run(&Ctx::default());
-        let ys: Vec<f64> = rep.tables[0].rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let ys: Vec<f64> = rep.tables[0]
+            .rows
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
         for w in ys.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
         }

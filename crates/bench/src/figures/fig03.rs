@@ -19,10 +19,14 @@ pub fn run(_ctx: &Ctx) -> FigureReport {
     let betas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
     let taus = log_taus();
     let gaps: [(&str, GapDistribution); 2] = [
-        ("Fig. 3(a): stratified random (triangular gaps, Eq. 12)",
-         GapDistribution::Stratified { interval: 10 }),
-        ("Fig. 3(b): simple random (geometric gaps, Eq. 13)",
-         GapDistribution::SimpleRandom { rate: 0.1 }),
+        (
+            "Fig. 3(a): stratified random (triangular gaps, Eq. 12)",
+            GapDistribution::Stratified { interval: 10 },
+        ),
+        (
+            "Fig. 3(b): simple random (geometric gaps, Eq. 13)",
+            GapDistribution::SimpleRandom { rate: 0.1 },
+        ),
     ];
     let mut tables = Vec::new();
     let mut notes = Vec::new();

@@ -28,9 +28,10 @@ pub fn run(_ctx: &Ctx) -> FigureReport {
     }
 
     // Companion panel: the exact fGn ACF covers τ = 1 as well.
-    let mut t2 = Table::new("companion: δτ under the exact fGn ACF (τ ≥ 1)", &[
-        "tau", "delta(H=0.55)", "delta(H=0.75)", "delta(H=0.95)",
-    ]);
+    let mut t2 = Table::new(
+        "companion: δτ under the exact fGn ACF (τ ≥ 1)",
+        &["tau", "delta(H=0.55)", "delta(H=0.75)", "delta(H=0.95)"],
+    );
     let mut min_fgn = f64::INFINITY;
     for tau in [1u64, 2, 4, 16, 64] {
         let mut row = vec![tau as f64];

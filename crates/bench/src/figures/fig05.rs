@@ -4,36 +4,31 @@
 
 use crate::ctx::Ctx;
 use crate::report::{FigureReport, Table};
-use sst_core::{
-    run_experiment, SimpleRandomSampler, StratifiedSampler, SystematicSampler,
-};
+use rayon::prelude::*;
+use sst_core::{run_experiment, SimpleRandomSampler, StratifiedSampler, SystematicSampler};
 use sst_stats::TimeSeries;
 
 fn panel(title: &str, trace: &TimeSeries, rates: &[f64], instances: usize, seed: u64) -> Table {
-    let mut t = Table::new(title, &["rate", "systematic", "stratified", "simple_random"]);
-    let rows: Vec<Vec<f64>> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = rates
-            .iter()
-            .map(|&r| {
-                let vals = trace.values();
-                s.spawn(move |_| {
-                    let c = (1.0 / r).round().max(1.0) as usize;
-                    let sys =
-                        run_experiment(vals, &SystematicSampler::new(c), instances.min(c), seed);
-                    let strat = run_experiment(vals, &StratifiedSampler::new(c), instances, seed);
-                    let ran = run_experiment(vals, &SimpleRandomSampler::new(r), instances, seed);
-                    vec![
-                        r,
-                        sys.average_variance(),
-                        strat.average_variance(),
-                        ran.average_variance(),
-                    ]
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    })
-    .expect("scope");
+    let mut t = Table::new(
+        title,
+        &["rate", "systematic", "stratified", "simple_random"],
+    );
+    let vals = trace.values();
+    let rows: Vec<Vec<f64>> = rates
+        .par_iter()
+        .map(|&r| {
+            let c = (1.0 / r).round().max(1.0) as usize;
+            let sys = run_experiment(vals, &SystematicSampler::new(c), instances.min(c), seed);
+            let strat = run_experiment(vals, &StratifiedSampler::new(c), instances, seed);
+            let ran = run_experiment(vals, &SimpleRandomSampler::new(r), instances, seed);
+            vec![
+                r,
+                sys.average_variance(),
+                strat.average_variance(),
+                ran.average_variance(),
+            ]
+        })
+        .collect();
     for row in rows {
         t.push_nums(&row);
     }

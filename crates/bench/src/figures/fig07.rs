@@ -23,11 +23,20 @@ fn panel(title: &str, trace: &TimeSeries) -> (Table, Option<f64>) {
 pub fn run(ctx: &Ctx) -> FigureReport {
     let synth = ctx.synthetic_trace(1.5, 7);
     let real = ctx.real_series(7);
-    let (a, alpha_a) = panel("Fig. 7(a): CCDF of 1-burst period B, synthetic (ε=0.5)", &synth);
-    let (b, alpha_b) = panel("Fig. 7(b): CCDF of 1-burst period B, real-like (ε=0.5)", &real);
+    let (a, alpha_a) = panel(
+        "Fig. 7(a): CCDF of 1-burst period B, synthetic (ε=0.5)",
+        &synth,
+    );
+    let (b, alpha_b) = panel(
+        "Fig. 7(b): CCDF of 1-burst period B, real-like (ε=0.5)",
+        &real,
+    );
 
     // The ε sweep of §V-B: α stays in a heavy-tailed band.
-    let mut sweep = Table::new("ε sweep: fitted burst-tail α", &["epsilon", "alpha_synth", "alpha_real"]);
+    let mut sweep = Table::new(
+        "ε sweep: fitted burst-tail α",
+        &["epsilon", "alpha_synth", "alpha_real"],
+    );
     for eps in [0.3, 0.5, 1.0, 1.5] {
         let fa = BurstAnalysis::at_relative_threshold(synth.values(), eps)
             .tail_fit

@@ -8,7 +8,12 @@ use sst_stats::tailfit::fit_pareto_ccdf;
 use sst_stats::{Ecdf, TimeSeries};
 
 fn panel(title: &str, trace: &TimeSeries) -> (Table, f64) {
-    let positive: Vec<f64> = trace.values().iter().copied().filter(|&v| v > 0.0).collect();
+    let positive: Vec<f64> = trace
+        .values()
+        .iter()
+        .copied()
+        .filter(|&v| v > 0.0)
+        .collect();
     let mut t = Table::new(title, &["f(t)", "ccdf", "pareto_fit"]);
     let fit = fit_pareto_ccdf(&positive, 0.5).expect("enough data for a tail fit");
     let e = Ecdf::new(&positive);
@@ -45,9 +50,25 @@ mod tests {
     #[test]
     fn marginal_alphas_near_paper_values() {
         let rep = run(&Ctx::default());
-        let a: f64 = rep.notes[0].split("= ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap();
+        let a: f64 = rep.notes[0]
+            .split("= ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!((a - 1.5).abs() < 0.3, "synthetic α={a}");
-        let b: f64 = rep.notes[1].split("= ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap();
+        let b: f64 = rep.notes[1]
+            .split("= ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(b > 1.0 && b < 2.7, "real α={b}");
     }
 }

@@ -38,7 +38,11 @@ mod tests {
     #[test]
     fn slice_has_bump_shape() {
         let rep = run(&Ctx::default());
-        let xs: Vec<f64> = rep.tables[0].rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let xs: Vec<f64> = rep.tables[0]
+            .rows
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
         let peak = xs.iter().cloned().fold(f64::MIN, f64::max);
         assert!(peak > xs[0] && peak > *xs.last().unwrap());
         assert!(xs.iter().all(|&x| x >= 1.0 - 1e-9));

@@ -15,13 +15,32 @@ pub fn run(ctx: &Ctx) -> FigureReport {
     let mut tables = Vec::new();
     let mut notes = Vec::new();
     // The paper's two parameter settings for the unbiased contour.
-    for (l, eps, label) in [(10usize, 2.55, "(a) L=10, ε=2.55"), (8, 2.28, "(b) L=8, ε=2.28")] {
-        let points = compare(&trace, &ctx.synth_rates(), ctx.instances(), ctx.seed + 12, |c| {
-            BssSampler::new(c, ThresholdPolicy::RelativeToMean { epsilon: eps, mean: truth })
+    for (l, eps, label) in [
+        (10usize, 2.55, "(a) L=10, ε=2.55"),
+        (8, 2.28, "(b) L=8, ε=2.28"),
+    ] {
+        let points = compare(
+            &trace,
+            &ctx.synth_rates(),
+            ctx.instances(),
+            ctx.seed + 12,
+            |c| {
+                BssSampler::new(
+                    c,
+                    ThresholdPolicy::RelativeToMean {
+                        epsilon: eps,
+                        mean: truth,
+                    },
+                )
                 .expect("valid")
                 .with_l(l)
-        });
-        tables.push(mean_table(&format!("Fig. 12{label}: sampled mean, synthetic"), &points, truth));
+            },
+        );
+        tables.push(mean_table(
+            &format!("Fig. 12{label}: sampled mean, synthetic"),
+            &points,
+            truth,
+        ));
         // At the lowest rate BSS ≈ systematic (few qualified samples).
         let lowest = &points[0];
         notes.push(format!(

@@ -12,13 +12,32 @@ pub fn run(ctx: &Ctx) -> FigureReport {
     let truth = trace.mean();
     let mut tables = Vec::new();
     let mut notes = Vec::new();
-    for (l, eps, label) in [(10usize, 1.809, "(a) L=10, ε=1.809"), (8, 1.68, "(b) L=8, ε=1.68")] {
-        let points = compare(&trace, &ctx.real_rates(), ctx.instances(), ctx.seed + 13, |c| {
-            BssSampler::new(c, ThresholdPolicy::RelativeToMean { epsilon: eps, mean: truth })
+    for (l, eps, label) in [
+        (10usize, 1.809, "(a) L=10, ε=1.809"),
+        (8, 1.68, "(b) L=8, ε=1.68"),
+    ] {
+        let points = compare(
+            &trace,
+            &ctx.real_rates(),
+            ctx.instances(),
+            ctx.seed + 13,
+            |c| {
+                BssSampler::new(
+                    c,
+                    ThresholdPolicy::RelativeToMean {
+                        epsilon: eps,
+                        mean: truth,
+                    },
+                )
                 .expect("valid")
                 .with_l(l)
-        });
-        tables.push(mean_table(&format!("Fig. 13{label}: sampled mean, real-like"), &points, truth));
+            },
+        );
+        tables.push(mean_table(
+            &format!("Fig. 13{label}: sampled mean, real-like"),
+            &points,
+            truth,
+        ));
         let lowest = &points[0];
         notes.push(format!(
             "{label}: at r={} BSS − systematic = {}",

@@ -12,7 +12,10 @@ pub fn run(_ctx: &Ctx) -> FigureReport {
     let mut cols: Vec<String> = vec!["L".into()];
     cols.extend(targets.iter().map(|x| format!("eps2(xi={x})")));
     let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new("Fig. 14: ξ contours — upper root ε₂ per (L, target)", &col_refs);
+    let mut t = Table::new(
+        "Fig. 14: ξ contours — upper root ε₂ per (L, target)",
+        &col_refs,
+    );
     for l in [1.0, 2.0, 3.0, 5.0, 7.0, 10.0] {
         let mut row = vec![l];
         let (_, peak) = max_bias(l, alpha);
@@ -32,7 +35,8 @@ pub fn run(_ctx: &Ctx) -> FigureReport {
         tables: vec![t],
         notes: vec![
             "every point on a contour achieves the same expected bias — the paper's \
-             'set one parameter first, the other follows' procedure".into(),
+             'set one parameter first, the other follows' procedure"
+                .into(),
         ],
     }
 }

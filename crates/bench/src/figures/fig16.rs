@@ -30,22 +30,44 @@ pub fn run(ctx: &Ctx) -> FigureReport {
     let n = trace.len();
 
     // (a) L fixed to 10, ε solved per rate.
-    let points_a = compare(&trace, &ctx.synth_rates(), ctx.instances(), ctx.seed + 16, |c| {
-        let eps = epsilon_for_fixed_l(10, alpha, n / c, 1.0);
-        BssSampler::new(
-            c,
-            ThresholdPolicy::Online(OnlineTuning { epsilon: eps, alpha, ..Default::default() }),
-        )
-        .expect("valid")
-        .with_l(10)
-    });
+    let points_a = compare(
+        &trace,
+        &ctx.synth_rates(),
+        ctx.instances(),
+        ctx.seed + 16,
+        |c| {
+            let eps = epsilon_for_fixed_l(10, alpha, n / c, 1.0);
+            BssSampler::new(
+                c,
+                ThresholdPolicy::Online(OnlineTuning {
+                    epsilon: eps,
+                    alpha,
+                    ..Default::default()
+                }),
+            )
+            .expect("valid")
+            .with_l(10)
+        },
+    );
     // (b) ε fixed to 1, L derived online.
-    let points_b = compare(&trace, &ctx.synth_rates(), ctx.instances(), ctx.seed + 16, |c| {
-        crate::figures::common::online_bss(&trace, c, alpha)
-    });
+    let points_b = compare(
+        &trace,
+        &ctx.synth_rates(),
+        ctx.instances(),
+        ctx.seed + 16,
+        |c| crate::figures::common::online_bss(&trace, c, alpha),
+    );
 
-    let t_a = mean_table("Fig. 16(a): biased BSS, L=10 fixed, synthetic", &points_a, truth);
-    let t_b = mean_table("Fig. 16(b): biased BSS, ε=1 fixed, synthetic", &points_b, truth);
+    let t_a = mean_table(
+        "Fig. 16(a): biased BSS, L=10 fixed, synthetic",
+        &points_a,
+        truth,
+    );
+    let t_b = mean_table(
+        "Fig. 16(b): biased BSS, ε=1 fixed, synthetic",
+        &points_b,
+        truth,
+    );
     let err_bss = mean_rel_err(&points_b, truth, |p| p.bss.median_mean());
     let err_sys = mean_rel_err(&points_b, truth, |p| p.systematic.median_mean());
     FigureReport {
@@ -75,7 +97,10 @@ mod tests {
             .filter_map(|s| s.parse().ok())
             .collect();
         let (bss_err, sys_err) = (nums[nums.len() - 2], nums[nums.len() - 1]);
-        assert!(bss_err < sys_err, "BSS err {bss_err} should beat systematic {sys_err}");
+        assert!(
+            bss_err < sys_err,
+            "BSS err {bss_err} should beat systematic {sys_err}"
+        );
     }
 
     #[test]

@@ -14,21 +14,43 @@ pub fn run(ctx: &Ctx) -> FigureReport {
     let truth = trace.mean();
     let n = trace.len();
 
-    let points_a = compare(&trace, &ctx.real_rates(), ctx.instances(), ctx.seed + 17, |c| {
-        let eps = epsilon_for_fixed_l(30, alpha, n / c, 1.0);
-        BssSampler::new(
-            c,
-            ThresholdPolicy::Online(OnlineTuning { epsilon: eps, alpha, ..Default::default() }),
-        )
-        .expect("valid")
-        .with_l(30)
-    });
-    let points_b = compare(&trace, &ctx.real_rates(), ctx.instances(), ctx.seed + 17, |c| {
-        crate::figures::common::online_bss(&trace, c, alpha)
-    });
+    let points_a = compare(
+        &trace,
+        &ctx.real_rates(),
+        ctx.instances(),
+        ctx.seed + 17,
+        |c| {
+            let eps = epsilon_for_fixed_l(30, alpha, n / c, 1.0);
+            BssSampler::new(
+                c,
+                ThresholdPolicy::Online(OnlineTuning {
+                    epsilon: eps,
+                    alpha,
+                    ..Default::default()
+                }),
+            )
+            .expect("valid")
+            .with_l(30)
+        },
+    );
+    let points_b = compare(
+        &trace,
+        &ctx.real_rates(),
+        ctx.instances(),
+        ctx.seed + 17,
+        |c| crate::figures::common::online_bss(&trace, c, alpha),
+    );
 
-    let t_a = mean_table("Fig. 17(a): biased BSS, L=30 fixed, real-like", &points_a, truth);
-    let t_b = mean_table("Fig. 17(b): biased BSS, ε=1 fixed, real-like", &points_b, truth);
+    let t_a = mean_table(
+        "Fig. 17(a): biased BSS, L=30 fixed, real-like",
+        &points_a,
+        truth,
+    );
+    let t_b = mean_table(
+        "Fig. 17(b): biased BSS, ε=1 fixed, real-like",
+        &points_b,
+        truth,
+    );
     let err_bss = mean_rel_err(&points_b, truth, |p| p.bss.median_mean());
     let err_sys = mean_rel_err(&points_b, truth, |p| p.systematic.median_mean());
     FigureReport {
@@ -59,7 +81,11 @@ mod tests {
                 let sys: f64 = row[1].parse().unwrap();
                 let bss: f64 = row[2].parse().unwrap();
                 let truth: f64 = row[4].parse().unwrap();
-                assert!(bss >= sys - 0.05 * truth, "{}: sys={sys} bss={bss}", t.title);
+                assert!(
+                    bss >= sys - 0.05 * truth,
+                    "{}: sys={sys} bss={bss}",
+                    t.title
+                );
                 assert!(bss < truth * 10.0, "{}: bss={bss} runaway", t.title);
             }
         }

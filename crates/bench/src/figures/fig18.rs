@@ -9,9 +9,13 @@ use crate::report::{fmt_num, FigureReport};
 pub(crate) fn eval_points(ctx: &Ctx, alpha: f64) -> (Vec<RatePoint>, f64) {
     let trace = ctx.synthetic_trace(alpha, 18);
     let truth = trace.mean();
-    let points = compare(&trace, &ctx.synth_rates(), ctx.instances(), ctx.seed + 18, |c| {
-        crate::figures::common::online_bss(&trace, c, alpha)
-    });
+    let points = compare(
+        &trace,
+        &ctx.synth_rates(),
+        ctx.instances(),
+        ctx.seed + 18,
+        |c| crate::figures::common::online_bss(&trace, c, alpha),
+    );
     (points, truth)
 }
 
@@ -20,14 +24,14 @@ pub fn run(ctx: &Ctx) -> FigureReport {
     let (points, truth) = eval_points(ctx, 1.3);
     let a = mean_table("Fig. 18(a): sampled mean, synthetic α=1.3", &points, truth);
     let b = overhead_table("Fig. 18(b): BSS sampling overhead", &points);
-    let avg_overhead = points.iter().map(|p| p.bss.mean_overhead()).sum::<f64>()
-        / points.len() as f64;
-    let one_minus_eta_bss = 1.0
-        - points.iter().map(|p| p.bss.eta()).sum::<f64>() / points.len() as f64;
-    let one_minus_eta_sys = 1.0
-        - points.iter().map(|p| p.systematic.eta()).sum::<f64>() / points.len() as f64;
-    let one_minus_eta_ran = 1.0
-        - points.iter().map(|p| p.simple.eta()).sum::<f64>() / points.len() as f64;
+    let avg_overhead =
+        points.iter().map(|p| p.bss.mean_overhead()).sum::<f64>() / points.len() as f64;
+    let one_minus_eta_bss =
+        1.0 - points.iter().map(|p| p.bss.eta()).sum::<f64>() / points.len() as f64;
+    let one_minus_eta_sys =
+        1.0 - points.iter().map(|p| p.systematic.eta()).sum::<f64>() / points.len() as f64;
+    let one_minus_eta_ran =
+        1.0 - points.iter().map(|p| p.simple.eta()).sum::<f64>() / points.len() as f64;
     FigureReport {
         id: "fig18",
         headline: "BSS recovers the mean at a fraction of the oversampling cost".into(),

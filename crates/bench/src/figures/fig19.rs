@@ -10,10 +10,18 @@ pub fn run(ctx: &Ctx) -> FigureReport {
     let alpha = 1.71;
     let trace = ctx.real_series(19);
     let truth = trace.mean();
-    let points = compare(&trace, &ctx.real_rates(), ctx.instances(), ctx.seed + 19, |c| {
-        crate::figures::common::online_bss(&trace, c, alpha)
-    });
-    let a = mean_table("Fig. 19(a): sampled mean, real-like (mean 1.21e4 B/s)", &points, truth);
+    let points = compare(
+        &trace,
+        &ctx.real_rates(),
+        ctx.instances(),
+        ctx.seed + 19,
+        |c| crate::figures::common::online_bss(&trace, c, alpha),
+    );
+    let a = mean_table(
+        "Fig. 19(a): sampled mean, real-like (mean 1.21e4 B/s)",
+        &points,
+        truth,
+    );
     let b = overhead_table("Fig. 19(b): BSS sampling overhead", &points);
     let avg_overhead =
         points.iter().map(|p| p.bss.mean_overhead()).sum::<f64>() / points.len() as f64;
@@ -21,7 +29,10 @@ pub fn run(ctx: &Ctx) -> FigureReport {
         id: "fig19",
         headline: "BSS on real-like traffic: better means, bounded overhead".into(),
         tables: vec![a, b],
-        notes: vec![format!("mean overhead = {} (paper: ≈ 0.3)", fmt_num(avg_overhead))],
+        notes: vec![format!(
+            "mean overhead = {} (paper: ≈ 0.3)",
+            fmt_num(avg_overhead)
+        )],
     }
 }
 

@@ -28,11 +28,8 @@ pub fn run(ctx: &Ctx) -> FigureReport {
             .gaussian_marginal(10.0, 1.0)
             .seed(ctx.seed + 21)
             .build();
-        let bss = BssSampler::new(
-            interval,
-            ThresholdPolicy::Online(OnlineTuning::default()),
-        )
-        .expect("valid");
+        let bss = BssSampler::new(interval, ThresholdPolicy::Online(OnlineTuning::default()))
+            .expect("valid");
         let out = bss.sample_detailed(trace.values(), 1);
         let wl = WaveletEstimator::default()
             .min_octave(4)
@@ -51,7 +48,8 @@ pub fn run(ctx: &Ctx) -> FigureReport {
         tables: vec![t],
         notes: vec![
             "qualified samples are taken systematically within intervals, so the \
-             sampled sequence keeps the original autocorrelation structure (§VI-B)".into(),
+             sampled sequence keeps the original autocorrelation structure (§VI-B)"
+                .into(),
         ],
     }
 }
@@ -75,8 +73,11 @@ mod tests {
         }
         // Both columns increase with β.
         for col in [1, 2] {
-            let vals: Vec<f64> =
-                rep.tables[0].rows.iter().map(|r| r[col].parse().unwrap()).collect();
+            let vals: Vec<f64> = rep.tables[0]
+                .rows
+                .iter()
+                .map(|r| r[col].parse().unwrap())
+                .collect();
             assert!(vals.last().unwrap() > vals.first().unwrap(), "column {col}");
         }
     }

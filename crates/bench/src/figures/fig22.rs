@@ -7,7 +7,14 @@ use sst_core::bss::{BssSampler, OnlineTuning, ThresholdPolicy};
 use sst_core::{run_bss_experiment, run_experiment, SystematicSampler};
 use sst_stats::TimeSeries;
 
-fn panel(title: &str, trace: &TimeSeries, rates: &[f64], instances: usize, seed: u64, alpha: f64) -> Table {
+fn panel(
+    title: &str,
+    trace: &TimeSeries,
+    rates: &[f64],
+    instances: usize,
+    seed: u64,
+    alpha: f64,
+) -> Table {
     let mut t = Table::new(title, &["rate", "systematic", "proposed(BSS)"]);
     for &r in rates {
         let c = (1.0 / r).round().max(1.0) as usize;
@@ -15,7 +22,11 @@ fn panel(title: &str, trace: &TimeSeries, rates: &[f64], instances: usize, seed:
         let sys = run_experiment(trace.values(), &SystematicSampler::new(c), inst, seed);
         let bss_sampler = BssSampler::new(
             c,
-            ThresholdPolicy::Online(OnlineTuning { epsilon: 1.0, alpha, ..Default::default() }),
+            ThresholdPolicy::Online(OnlineTuning {
+                epsilon: 1.0,
+                alpha,
+                ..Default::default()
+            }),
         )
         .expect("valid");
         let bss = run_bss_experiment(trace.values(), &bss_sampler, inst, seed);
@@ -50,7 +61,8 @@ pub fn run(ctx: &Ctx) -> FigureReport {
         tables: vec![a, b],
         notes: vec![
             "BSS's E(V) may sit slightly below systematic's: the bias toward the \
-             real mean reduces the squared deviation E[(X̂ᵢ − X̄)²]".into(),
+             real mean reduces the squared deviation E[(X̂ᵢ − X̄)²]"
+                .into(),
         ],
     }
 }

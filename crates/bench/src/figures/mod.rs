@@ -35,9 +35,32 @@ use crate::report::FigureReport;
 
 /// All figure ids in paper order.
 pub const ALL: &[&str] = &[
-    "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-    "fig20", "fig21", "fig22", "ablation", "claffy", "dess", "adaptive", "hurstbench",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "ablation",
+    "claffy",
+    "dess",
+    "adaptive",
+    "hurstbench",
     "queueing",
 ];
 

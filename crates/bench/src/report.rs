@@ -31,7 +31,12 @@ impl Table {
     ///
     /// Panics if the cell count does not match the header count.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in '{}'", self.title);
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
         self.rows.push(cells);
     }
 
@@ -72,8 +77,11 @@ impl fmt::Display for Table {
             .collect();
         writeln!(f, "{}", header.join("  "))?;
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             writeln!(f, "{}", line.join("  "))?;
         }
         Ok(())

@@ -72,11 +72,13 @@ impl AdaptiveConfig {
             (self.max_rate, "maximum rate"),
         ] {
             if !(r > 0.0 && r <= 1.0) {
-                return Err(InvalidAdaptiveConfig { what: match name {
-                    "initial rate" => "initial rate must be in (0,1]",
-                    "minimum rate" => "minimum rate must be in (0,1]",
-                    _ => "maximum rate must be in (0,1]",
-                } });
+                return Err(InvalidAdaptiveConfig {
+                    what: match name {
+                        "initial rate" => "initial rate must be in (0,1]",
+                        "minimum rate" => "minimum rate must be in (0,1]",
+                        _ => "maximum rate must be in (0,1]",
+                    },
+                });
             }
         }
         if self.min_rate > self.max_rate {
@@ -181,7 +183,10 @@ impl AdaptiveRandomSampler {
             start = end;
         }
 
-        AdaptiveOutcome { samples: Samples::new(indices, sampled), block_rates: rates }
+        AdaptiveOutcome {
+            samples: Samples::new(indices, sampled),
+            block_rates: rates,
+        }
     }
 }
 
@@ -224,7 +229,10 @@ mod tests {
     use super::*;
 
     fn config(block: usize) -> AdaptiveConfig {
-        AdaptiveConfig { block_len: block, ..AdaptiveConfig::default() }
+        AdaptiveConfig {
+            block_len: block,
+            ..AdaptiveConfig::default()
+        }
     }
 
     #[test]
@@ -253,8 +261,7 @@ mod tests {
         let half = out.block_rates.len() / 2;
         let calm: f64 = out.block_rates[1..half].iter().sum::<f64>() / (half - 1) as f64;
         // Skip the first turbulent block: its rate was set by the last calm block.
-        let wild: f64 =
-            out.block_rates[half + 1..].iter().sum::<f64>() / (half - 1) as f64;
+        let wild: f64 = out.block_rates[half + 1..].iter().sum::<f64>() / (half - 1) as f64;
         assert!(
             wild > 5.0 * calm,
             "rate should surge with variance: calm {calm:.4} wild {wild:.4}"
@@ -285,7 +292,10 @@ mod tests {
         let s = AdaptiveRandomSampler::new(config(1024)).unwrap();
         let out = s.sample_detailed(&vec![5.0; 1 << 14], 1);
         for &r in &out.block_rates {
-            assert!((r - 0.01).abs() < 1e-12, "rate drifted to {r} on constant input");
+            assert!(
+                (r - 0.01).abs() < 1e-12,
+                "rate drifted to {r} on constant input"
+            );
         }
     }
 

@@ -77,7 +77,10 @@ pub fn moving_block_ci(
         "block length must lie in [1, n]"
     );
     assert!(replicates >= 1, "need at least one replicate");
-    assert!(coverage > 0.0 && coverage < 1.0, "coverage must lie in (0,1)");
+    assert!(
+        coverage > 0.0 && coverage < 1.0,
+        "coverage must lie in (0,1)"
+    );
 
     let n = values.len();
     let mean = values.iter().sum::<f64>() / n as f64;
@@ -90,7 +93,11 @@ pub fn moving_block_ci(
         let mut total = 0.0;
         let mut taken = 0usize;
         for _ in 0..n_blocks {
-            let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_start)
+            };
             let take = block_len.min(n - taken);
             total += values[start..start + take].iter().sum::<f64>();
             taken += take;
@@ -103,7 +110,9 @@ pub fn moving_block_ci(
     boot_means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
     let alpha = 1.0 - coverage;
     let idx = |q: f64| -> usize {
-        (((replicates - 1) as f64) * q).round().clamp(0.0, (replicates - 1) as f64) as usize
+        (((replicates - 1) as f64) * q)
+            .round()
+            .clamp(0.0, (replicates - 1) as f64) as usize
     };
     BootstrapCi {
         mean,

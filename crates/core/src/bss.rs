@@ -64,7 +64,12 @@ pub struct OnlineTuning {
 
 impl Default for OnlineTuning {
     fn default() -> Self {
-        OnlineTuning { epsilon: 1.0, n_pre: 32, c_eta: 1.0, alpha: 1.5 }
+        OnlineTuning {
+            epsilon: 1.0,
+            n_pre: 32,
+            c_eta: 1.0,
+            alpha: 1.5,
+        }
     }
 }
 
@@ -160,31 +165,45 @@ impl BssSampler {
     /// outside `(1,2)`, or `n_pre == 0`.
     pub fn new(interval: usize, policy: ThresholdPolicy) -> Result<Self, BssConfigError> {
         if interval == 0 {
-            return Err(BssConfigError { what: "interval must be >= 1" });
+            return Err(BssConfigError {
+                what: "interval must be >= 1",
+            });
         }
         match policy {
             ThresholdPolicy::FixedAbsolute(a) => {
                 if !(a.is_finite() && a > 0.0) {
-                    return Err(BssConfigError { what: "threshold must be positive" });
+                    return Err(BssConfigError {
+                        what: "threshold must be positive",
+                    });
                 }
             }
             ThresholdPolicy::RelativeToMean { epsilon, mean } => {
                 if !(epsilon > 0.0 && mean > 0.0) {
-                    return Err(BssConfigError { what: "epsilon and mean must be positive" });
+                    return Err(BssConfigError {
+                        what: "epsilon and mean must be positive",
+                    });
                 }
             }
             ThresholdPolicy::Online(t) => {
                 if t.epsilon.is_nan() || t.epsilon <= 0.0 {
-                    return Err(BssConfigError { what: "epsilon must be positive" });
+                    return Err(BssConfigError {
+                        what: "epsilon must be positive",
+                    });
                 }
                 if t.n_pre == 0 {
-                    return Err(BssConfigError { what: "need at least one pre-sample" });
+                    return Err(BssConfigError {
+                        what: "need at least one pre-sample",
+                    });
                 }
                 if !(t.alpha > 1.0 && t.alpha < 2.0) {
-                    return Err(BssConfigError { what: "alpha must be in (1,2)" });
+                    return Err(BssConfigError {
+                        what: "alpha must be in (1,2)",
+                    });
                 }
                 if t.c_eta.is_nan() || t.c_eta <= 0.0 {
-                    return Err(BssConfigError { what: "c_eta must be positive" });
+                    return Err(BssConfigError {
+                        what: "c_eta must be positive",
+                    });
                 }
             }
         }
@@ -192,7 +211,12 @@ impl BssSampler {
             ThresholdPolicy::Online(_) => None,
             _ => Some(10),
         };
-        Ok(BssSampler { interval, policy, l_extra, l_max: 200 })
+        Ok(BssSampler {
+            interval,
+            policy,
+            l_extra,
+            l_max: 200,
+        })
     }
 
     /// Fixes the number of extra samples per triggered interval.
@@ -436,10 +460,16 @@ mod tests {
         assert!(BssSampler::new(10, ThresholdPolicy::FixedAbsolute(-1.0)).is_err());
         assert!(BssSampler::new(
             10,
-            ThresholdPolicy::RelativeToMean { epsilon: 0.0, mean: 1.0 }
+            ThresholdPolicy::RelativeToMean {
+                epsilon: 0.0,
+                mean: 1.0
+            }
         )
         .is_err());
-        let bad_alpha = OnlineTuning { alpha: 2.5, ..OnlineTuning::default() };
+        let bad_alpha = OnlineTuning {
+            alpha: 2.5,
+            ..OnlineTuning::default()
+        };
         assert!(BssSampler::new(10, ThresholdPolicy::Online(bad_alpha)).is_err());
         assert!(BssSampler::new(10, ThresholdPolicy::FixedAbsolute(1.0)).is_ok());
     }
@@ -464,22 +494,21 @@ mod tests {
             .unwrap()
             .with_l(9);
         let out = bss.sample_detailed(&vals, 0);
-        assert!(out.qualified_count > 0, "burst must produce qualified samples");
+        assert!(
+            out.qualified_count > 0,
+            "burst must produce qualified samples"
+        );
         // All qualified samples exceed the threshold.
-        let normal_idx: std::collections::HashSet<usize> =
-            (0..1000).step_by(50).collect();
+        let normal_idx: std::collections::HashSet<usize> = (0..1000).step_by(50).collect();
         for (i, &idx) in out.samples.indices().iter().enumerate() {
             if !normal_idx.contains(&idx) {
                 assert!(out.samples.values()[i] > 50.0);
             }
         }
         // And the BSS mean is pulled toward the burst-inclusive mean.
-        let sys_mean = crate::sampler::Sampler::sample(
-            &crate::sampler::SystematicSampler::new(50),
-            &vals,
-            0,
-        )
-        .mean();
+        let sys_mean =
+            crate::sampler::Sampler::sample(&crate::sampler::SystematicSampler::new(50), &vals, 0)
+                .mean();
         assert!(out.mean() >= sys_mean);
     }
 
@@ -503,8 +532,14 @@ mod tests {
     fn online_mode_warms_up_before_biasing() {
         // Burst inside the pre-sample window must not trigger extras.
         let vals = bursty(10_000, 0, 200);
-        let tuning = OnlineTuning { n_pre: 50, epsilon: 1.0, ..OnlineTuning::default() };
-        let bss = BssSampler::new(100, ThresholdPolicy::Online(tuning)).unwrap().with_l(5);
+        let tuning = OnlineTuning {
+            n_pre: 50,
+            epsilon: 1.0,
+            ..OnlineTuning::default()
+        };
+        let bss = BssSampler::new(100, ThresholdPolicy::Online(tuning))
+            .unwrap()
+            .with_l(5);
         let out = bss.sample_detailed(&vals, 0);
         // The first 2 normal samples land in the burst but count < n_pre:
         // no extras taken there.
@@ -520,35 +555,51 @@ mod tests {
     #[test]
     fn online_threshold_tracks_running_mean() {
         let vals = bursty(100_000, 60_000, 5_000);
-        let tuning = OnlineTuning { n_pre: 10, epsilon: 1.0, ..OnlineTuning::default() };
-        let bss = BssSampler::new(100, ThresholdPolicy::Online(tuning)).unwrap().with_l(10);
+        let tuning = OnlineTuning {
+            n_pre: 10,
+            epsilon: 1.0,
+            ..OnlineTuning::default()
+        };
+        let bss = BssSampler::new(100, ThresholdPolicy::Online(tuning))
+            .unwrap()
+            .with_l(10);
         let out = bss.sample_detailed(&vals, 0);
         assert!(out.qualified_count > 0);
         assert!(out.final_threshold.is_finite());
-        assert!(out.final_threshold > 1.0); // above the floor value
+        // Above the floor value.
+        assert!(out.final_threshold > 1.0);
         // BSS is *biased upward by construction*: on this block-aligned
         // burst (where systematic sampling is already exact) the
         // qualified samples must pull the estimate above systematic's.
-        let sys_mean = crate::sampler::Sampler::sample(
-            &crate::sampler::SystematicSampler::new(100),
-            &vals,
-            0,
-        )
-        .mean();
+        let sys_mean =
+            crate::sampler::Sampler::sample(&crate::sampler::SystematicSampler::new(100), &vals, 0)
+                .mean();
         assert!(out.mean() > sys_mean);
         // All qualified samples exceed the final threshold's order of
         // magnitude (they were above the then-current threshold).
-        assert!(out.samples.values().iter().cloned().fold(f64::MIN, f64::max) >= 100.0);
+        assert!(
+            out.samples
+                .values()
+                .iter()
+                .cloned()
+                .fold(f64::MIN, f64::max)
+                >= 100.0
+        );
     }
 
     #[test]
     fn effective_l_derivation_and_cap() {
         // Synthetic calibration: N = 1000 samples ⇒ η = 0.1 ⇒ ξ ≈ 1.11
         // ⇒ L = (ξ−1)·27/(3−ξ) ≈ 1.6 → small L.
-        let tuning = OnlineTuning { epsilon: 1.0, alpha: 1.5, c_eta: 1.0, n_pre: 32 };
+        let tuning = OnlineTuning {
+            epsilon: 1.0,
+            alpha: 1.5,
+            c_eta: 1.0,
+            n_pre: 32,
+        };
         let bss = BssSampler::new(100, ThresholdPolicy::Online(tuning)).unwrap();
         let l_mid = bss.effective_l(100_000);
-        assert!(l_mid >= 1 && l_mid <= 10, "L={l_mid}");
+        assert!((1..=10).contains(&l_mid), "L={l_mid}");
         // Very large sample counts: η ≈ 0 ⇒ L = 0 (no biasing needed).
         assert_eq!(bss.effective_l(100_000_000), 0);
         // Fewer samples ⇒ larger η ⇒ larger L.
@@ -627,8 +678,9 @@ mod tests {
         assert_eq!(l, 0);
         // On a trace systematic sampling already nails (block-aligned
         // bursts), extra biasing only hurts: tuning must pick L = 0.
-        let aligned: Vec<f64> =
-            (0..20_000).map(|i| if (i / 100) % 10 == 0 { 50.0 } else { 1.0 }).collect();
+        let aligned: Vec<f64> = (0..20_000)
+            .map(|i| if (i / 100) % 10 == 0 { 50.0 } else { 1.0 })
+            .collect();
         let l = tune_l_on_prefix(&aligned, 100, OnlineTuning::default(), &[0, 4, 16], 7);
         assert_eq!(l, 0, "aligned bursts need no biasing");
     }

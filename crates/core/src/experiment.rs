@@ -100,6 +100,24 @@ impl ExperimentResult {
     }
 }
 
+/// Shared precondition check for every experiment entry point
+/// (sequential and parallel): non-empty trace, at least one instance,
+/// positive true mean (the paper's η and E(V) metrics need a positive
+/// reference). Returns the true mean.
+pub(crate) fn validate_experiment_inputs(values: &[f64], n_instances: usize) -> f64 {
+    assert!(
+        !values.is_empty(),
+        "cannot run an experiment on an empty trace"
+    );
+    assert!(n_instances >= 1, "need at least one instance");
+    let true_mean = values.iter().sum::<f64>() / values.len() as f64;
+    assert!(
+        true_mean > 0.0,
+        "experiment metrics require a positive-mean trace"
+    );
+    true_mean
+}
+
 /// Runs `n_instances` instances of `sampler` on `values`.
 ///
 /// Instance seeds are derived deterministically from `base_seed`, so the
@@ -115,14 +133,15 @@ pub fn run_experiment(
     n_instances: usize,
     base_seed: u64,
 ) -> ExperimentResult {
-    assert!(!values.is_empty(), "cannot run an experiment on an empty trace");
-    assert!(n_instances >= 1, "need at least one instance");
-    let true_mean = values.iter().sum::<f64>() / values.len() as f64;
-    assert!(true_mean > 0.0, "experiment metrics require a positive-mean trace");
+    let true_mean = validate_experiment_inputs(values, n_instances);
     let instances = (0..n_instances)
         .map(|i| {
             let s = sampler.sample(values, derive_seed(base_seed, i as u64));
-            InstanceResult { mean: s.mean(), n_samples: s.len(), n_qualified: 0 }
+            InstanceResult {
+                mean: s.mean(),
+                n_samples: s.len(),
+                n_qualified: 0,
+            }
         })
         .collect();
     ExperimentResult {
@@ -145,10 +164,7 @@ pub fn run_bss_experiment(
     n_instances: usize,
     base_seed: u64,
 ) -> ExperimentResult {
-    assert!(!values.is_empty(), "cannot run an experiment on an empty trace");
-    assert!(n_instances >= 1, "need at least one instance");
-    let true_mean = values.iter().sum::<f64>() / values.len() as f64;
-    assert!(true_mean > 0.0, "experiment metrics require a positive-mean trace");
+    let true_mean = validate_experiment_inputs(values, n_instances);
     let instances = (0..n_instances)
         .map(|i| {
             let out = sampler.sample_detailed(values, derive_seed(base_seed, i as u64));
@@ -229,7 +245,10 @@ mod tests {
         let vals = lumpy(50_000);
         let bss = BssSampler::new(
             100,
-            ThresholdPolicy::Online(OnlineTuning { n_pre: 16, ..OnlineTuning::default() }),
+            ThresholdPolicy::Online(OnlineTuning {
+                n_pre: 16,
+                ..OnlineTuning::default()
+            }),
         )
         .unwrap()
         .with_l(10);

@@ -18,6 +18,9 @@
 //! * [`metrics`] / [`experiment`] — η, efficiency `e`, average variance
 //!   `E(V)`, and the multi-instance experiment runner behind every
 //!   measured figure.
+//! * [`parallel`] — [`ParallelExperimentRunner`], fanning instances and
+//!   whole rate sweeps across threads with byte-identical results to the
+//!   sequential runner.
 //! * [`adaptive`] — the Choi-Park-Zhang adaptive random sampler, the
 //!   related-work baseline that adapts the *rate* instead of biasing the
 //!   *selection* (compared against BSS in the ablation experiments).
@@ -58,6 +61,7 @@ pub mod bootstrap;
 pub mod bss;
 pub mod experiment;
 pub mod metrics;
+pub mod parallel;
 pub mod sampler;
 pub mod snc;
 pub mod stream;
@@ -67,6 +71,7 @@ pub use adaptive::{AdaptiveConfig, AdaptiveOutcome, AdaptiveRandomSampler};
 pub use bootstrap::{moving_block_ci, BootstrapCi};
 pub use bss::{BssOutcome, BssSampler, OnlineTuning, ThresholdPolicy};
 pub use experiment::{run_bss_experiment, run_experiment, ExperimentResult};
+pub use parallel::ParallelExperimentRunner;
 pub use sampler::{Sampler, Samples, SimpleRandomSampler, StratifiedSampler, SystematicSampler};
 pub use snc::{GapDistribution, SncReport};
 pub use stream::{
@@ -96,7 +101,10 @@ mod integration {
         );
         let bss_sampler = BssSampler::new(
             interval,
-            ThresholdPolicy::Online(OnlineTuning { alpha: 1.5, ..Default::default() }),
+            ThresholdPolicy::Online(OnlineTuning {
+                alpha: 1.5,
+                ..Default::default()
+            }),
         )
         .unwrap();
         let bss = run_bss_experiment(trace.values(), &bss_sampler, n_inst, 11);
@@ -108,7 +116,11 @@ mod integration {
             "BSS |err|={bss_err:.4} should beat systematic |err|={sys_err:.4} (truth {truth:.4})"
         );
         // And it costs bounded overhead.
-        assert!(bss.mean_overhead() < 2.0, "overhead={}", bss.mean_overhead());
+        assert!(
+            bss.mean_overhead() < 2.0,
+            "overhead={}",
+            bss.mean_overhead()
+        );
     }
 
     /// T1 in miniature: the sampled process has the same Hurst parameter
@@ -130,7 +142,10 @@ mod integration {
             (h_sampled - h_orig).abs() < 0.07,
             "sampled H={h_sampled} vs original H={h_orig}"
         );
-        assert!((h_sampled - h).abs() < 0.08, "sampled H={h_sampled} vs true {h}");
+        assert!(
+            (h_sampled - h).abs() < 0.08,
+            "sampled H={h_sampled} vs true {h}"
+        );
     }
 
     /// T2 in miniature: Theorem 2's ordering of average variances,

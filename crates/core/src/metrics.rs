@@ -30,7 +30,10 @@ pub fn eta_signed(true_mean: f64, sampled_mean: f64) -> f64 {
 ///
 /// Panics unless `n_total >= 2` (the log must be positive).
 pub fn efficiency(eta: f64, n_total: usize) -> f64 {
-    assert!(n_total >= 2, "need at least 2 samples for the efficiency metric");
+    assert!(
+        n_total >= 2,
+        "need at least 2 samples for the efficiency metric"
+    );
     (1.0 - eta) / (n_total as f64).log10()
 }
 

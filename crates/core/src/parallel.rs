@@ -1,0 +1,289 @@
+//! Parallel experiment execution.
+//!
+//! [`ParallelExperimentRunner`] fans the instances of a multi-instance
+//! sampling experiment — and whole rate sweeps — across threads while
+//! staying **byte-identical** to the sequential
+//! [`crate::experiment::run_experiment`] path: instance `i` depends only
+//! on `derive_seed(base_seed, i)`, never on shared mutable state, so the
+//! ordered parallel map reproduces the sequential result list exactly
+//! (the `parallel_matches_sequential_*` tests pin this down).
+//!
+//! ## Example
+//!
+//! ```
+//! use sst_core::{run_experiment, ParallelExperimentRunner, SystematicSampler};
+//!
+//! let trace: Vec<f64> = (0..40_000).map(|i| 1.0 + ((i / 400) % 7) as f64).collect();
+//! let sampler = SystematicSampler::new(100);
+//! let par = ParallelExperimentRunner::new().run(&trace, &sampler, 16, 7);
+//! let seq = run_experiment(&trace, &sampler, 16, 7);
+//! assert_eq!(par.instances, seq.instances);
+//! ```
+
+use crate::bss::BssSampler;
+use crate::experiment::{validate_experiment_inputs, ExperimentResult, InstanceResult};
+use crate::sampler::Sampler;
+use rayon::prelude::*;
+use sst_stats::rng::derive_seed;
+
+/// Runs multi-instance experiments across threads.
+///
+/// `jobs = None` (the default) uses every available core; `Some(n)` caps
+/// the worker count — `Some(1)` degenerates to the sequential path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelExperimentRunner {
+    jobs: Option<usize>,
+}
+
+impl ParallelExperimentRunner {
+    /// A runner using all available cores.
+    pub fn new() -> Self {
+        ParallelExperimentRunner { jobs: None }
+    }
+
+    /// Caps the worker count at `n` (`n = 1` runs sequentially).
+    pub fn with_jobs(mut self, n: usize) -> Self {
+        self.jobs = Some(n.max(1));
+        self
+    }
+
+    /// The configured worker cap, if any.
+    pub fn jobs(&self) -> Option<usize> {
+        self.jobs
+    }
+
+    fn scoped<T>(&self, f: impl FnOnce() -> T) -> T {
+        match self.jobs {
+            Some(n) => rayon::with_num_threads(n, f),
+            None => f(),
+        }
+    }
+
+    /// Parallel form of [`crate::experiment::run_experiment`]; the result
+    /// is byte-identical to the sequential call.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`crate::experiment::run_experiment`].
+    pub fn run(
+        &self,
+        values: &[f64],
+        sampler: &(dyn Sampler + Sync),
+        n_instances: usize,
+        base_seed: u64,
+    ) -> ExperimentResult {
+        let true_mean = validate_experiment_inputs(values, n_instances);
+        let instances: Vec<InstanceResult> = self.scoped(|| {
+            (0..n_instances)
+                .into_par_iter()
+                .map(|i| {
+                    let s = sampler.sample(values, derive_seed(base_seed, i as u64));
+                    InstanceResult {
+                        mean: s.mean(),
+                        n_samples: s.len(),
+                        n_qualified: 0,
+                    }
+                })
+                .collect()
+        });
+        ExperimentResult {
+            sampler: sampler.name(),
+            rate: sampler.nominal_rate(),
+            true_mean,
+            instances,
+        }
+    }
+
+    /// Parallel form of [`crate::experiment::run_bss_experiment`];
+    /// byte-identical to the sequential call.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`crate::experiment::run_bss_experiment`].
+    pub fn run_bss(
+        &self,
+        values: &[f64],
+        sampler: &BssSampler,
+        n_instances: usize,
+        base_seed: u64,
+    ) -> ExperimentResult {
+        let true_mean = validate_experiment_inputs(values, n_instances);
+        let instances: Vec<InstanceResult> = self.scoped(|| {
+            (0..n_instances)
+                .into_par_iter()
+                .map(|i| {
+                    let out = sampler.sample_detailed(values, derive_seed(base_seed, i as u64));
+                    InstanceResult {
+                        mean: out.mean(),
+                        n_samples: out.total_kept(),
+                        n_qualified: out.qualified_count,
+                    }
+                })
+                .collect()
+        });
+        ExperimentResult {
+            sampler: "bss",
+            rate: sampler.nominal_rate(),
+            true_mean,
+            instances,
+        }
+    }
+
+    /// Fans a whole rate sweep — every `(rate, instance)` pair — across
+    /// threads in one flat task list, avoiding the idle tail a
+    /// rate-at-a-time loop leaves on wide machines. `make_sampler` builds
+    /// the sampler for each rate (once); `instances_at` gives the
+    /// instance count for each rate (figures cap instances at the
+    /// systematic interval, `instances.min(c)`). Per-rate results are
+    /// byte-identical to calling [`ParallelExperimentRunner::run`] (and
+    /// therefore the sequential runner) rate by rate.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ParallelExperimentRunner::run`], applied per
+    /// rate.
+    pub fn run_rate_sweep<F, N>(
+        &self,
+        values: &[f64],
+        rates: &[f64],
+        make_sampler: F,
+        instances_at: N,
+        base_seed: u64,
+    ) -> Vec<ExperimentResult>
+    where
+        F: Fn(f64) -> Box<dyn Sampler + Send + Sync> + Sync,
+        N: Fn(f64) -> usize,
+    {
+        let true_mean = validate_experiment_inputs(values, 1);
+        let counts: Vec<usize> = rates.iter().map(|&r| instances_at(r)).collect();
+        assert!(counts.iter().all(|&c| c >= 1), "need at least one instance");
+        // One sampler per rate, shared read-only by that rate's tasks.
+        let samplers: Vec<Box<dyn Sampler + Send + Sync>> =
+            rates.iter().map(|&r| make_sampler(r)).collect();
+        // Flat (rate, instance) task list, executed in one ordered
+        // parallel map, then regrouped by rate via offsets.
+        let tasks: Vec<(usize, usize)> = (0..rates.len())
+            .flat_map(|r| (0..counts[r]).map(move |i| (r, i)))
+            .collect();
+        let flat: Vec<InstanceResult> = self.scoped(|| {
+            tasks
+                .into_par_iter()
+                .map(|(r, i)| {
+                    let s = samplers[r].sample(values, derive_seed(base_seed, i as u64));
+                    InstanceResult {
+                        mean: s.mean(),
+                        n_samples: s.len(),
+                        n_qualified: 0,
+                    }
+                })
+                .collect()
+        });
+        let mut offset = 0usize;
+        samplers
+            .iter()
+            .zip(&counts)
+            .map(|(sampler, &count)| {
+                let instances = flat[offset..offset + count].to_vec();
+                offset += count;
+                ExperimentResult {
+                    sampler: sampler.name(),
+                    rate: sampler.nominal_rate(),
+                    true_mean,
+                    instances,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bss::{OnlineTuning, ThresholdPolicy};
+    use crate::experiment::{run_bss_experiment, run_experiment};
+    use crate::sampler::{SimpleRandomSampler, StratifiedSampler, SystematicSampler};
+
+    fn lumpy(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| if (i / 97) % 11 == 0 { 40.0 } else { 1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_samplers() {
+        let vals = lumpy(30_000);
+        let runner = ParallelExperimentRunner::new();
+        let samplers: Vec<Box<dyn Sampler + Send + Sync>> = vec![
+            Box::new(SystematicSampler::new(100)),
+            Box::new(StratifiedSampler::new(100)),
+            Box::new(SimpleRandomSampler::new(0.01)),
+        ];
+        for s in &samplers {
+            for seed in [0u64, 7, 123] {
+                let par = runner.run(&vals, s.as_ref(), 12, seed);
+                let seq = run_experiment(&vals, s.as_ref(), 12, seed);
+                assert_eq!(par.instances, seq.instances, "{} seed={seed}", s.name());
+                assert_eq!(par.true_mean, seq.true_mean);
+                assert_eq!(par.rate, seq.rate);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_bss() {
+        let vals = lumpy(30_000);
+        let bss = BssSampler::new(
+            100,
+            ThresholdPolicy::Online(OnlineTuning {
+                n_pre: 16,
+                ..OnlineTuning::default()
+            }),
+        )
+        .unwrap()
+        .with_l(10);
+        let par = ParallelExperimentRunner::new().run_bss(&vals, &bss, 10, 5);
+        let seq = run_bss_experiment(&vals, &bss, 10, 5);
+        assert_eq!(par.instances, seq.instances);
+    }
+
+    #[test]
+    fn jobs_cap_does_not_change_results() {
+        let vals = lumpy(20_000);
+        let s = SystematicSampler::new(50);
+        let all = ParallelExperimentRunner::new().run(&vals, &s, 9, 3);
+        for jobs in [1usize, 2, 3, 8] {
+            let capped = ParallelExperimentRunner::new()
+                .with_jobs(jobs)
+                .run(&vals, &s, 9, 3);
+            assert_eq!(capped.instances, all.instances, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn rate_sweep_matches_per_rate_runs() {
+        let vals = lumpy(40_000);
+        let rates = [0.02, 0.01, 0.005];
+        let runner = ParallelExperimentRunner::new();
+        let sweep = runner.run_rate_sweep(
+            &vals,
+            &rates,
+            |r| Box::new(SystematicSampler::new((1.0 / r).round() as usize)),
+            |r| if r < 0.01 { 4 } else { 8 },
+            11,
+        );
+        assert_eq!(sweep.len(), rates.len());
+        for (res, &r) in sweep.iter().zip(&rates) {
+            let c = (1.0 / r).round() as usize;
+            let inst = if r < 0.01 { 4 } else { 8 };
+            let seq = run_experiment(&vals, &SystematicSampler::new(c), inst, 11);
+            assert_eq!(res.instances, seq.instances, "rate={r}");
+            assert_eq!(res.rate, seq.rate);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        ParallelExperimentRunner::new().run(&[], &SystematicSampler::new(4), 2, 0);
+    }
+}

@@ -108,7 +108,10 @@ impl SystematicSampler {
     ///
     /// Panics unless `0 < rate <= 1`.
     pub fn from_rate(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "rate must be in (0,1], got {rate}"
+        );
         SystematicSampler::new((1.0 / rate).round().max(1.0) as usize)
     }
 
@@ -137,7 +140,10 @@ impl Sampler for SystematicSampler {
             sampled.push(values[t]);
             t += self.interval;
         }
-        Samples { indices, values: sampled }
+        Samples {
+            indices,
+            values: sampled,
+        }
     }
 }
 
@@ -164,7 +170,10 @@ impl StratifiedSampler {
     ///
     /// Panics unless `0 < rate <= 1`.
     pub fn from_rate(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "rate must be in (0,1], got {rate}"
+        );
         StratifiedSampler::new((1.0 / rate).round().max(1.0) as usize)
     }
 
@@ -195,7 +204,10 @@ impl Sampler for StratifiedSampler {
             sampled.push(values[idx]);
             start = end;
         }
-        Samples { indices, values: sampled }
+        Samples {
+            indices,
+            values: sampled,
+        }
     }
 }
 
@@ -213,7 +225,10 @@ impl SimpleRandomSampler {
     ///
     /// Panics for rates outside `(0, 1]`.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "rate must be in (0,1], got {rate}"
+        );
         SimpleRandomSampler { rate }
     }
 }
@@ -260,7 +275,10 @@ impl Sampler for SimpleRandomSampler {
             indices.push(t - 1);
             sampled.push(values[t - 1]);
         }
-        Samples { indices, values: sampled }
+        Samples {
+            indices,
+            values: sampled,
+        }
     }
 }
 
@@ -342,7 +360,11 @@ mod tests {
     fn simple_random_gaps_are_geometric() {
         let s = SimpleRandomSampler::new(0.2);
         let out = s.sample(&ramp(500_000), 11);
-        let gaps: Vec<f64> = out.indices().windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let gaps: Vec<f64> = out
+            .indices()
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as f64)
+            .collect();
         let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
         assert!((mean_gap - 5.0).abs() < 0.1, "mean gap {mean_gap}");
         // P(gap = 1) should be ≈ r.

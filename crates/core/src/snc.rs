@@ -134,7 +134,10 @@ impl SncReport {
 /// Panics if `taus` has fewer than 3 entries or is not increasing.
 pub fn snc_check(gap: &GapDistribution, beta: f64, taus: &[usize]) -> SncReport {
     assert!(taus.len() >= 3, "need at least 3 lags to fit");
-    assert!(taus.windows(2).all(|w| w[0] < w[1]), "lags must be increasing");
+    assert!(
+        taus.windows(2).all(|w| w[0] < w[1]),
+        "lags must be increasing"
+    );
     let max_tau = *taus.last().expect("non-empty");
     let acf = PowerLawAcf::new(beta);
     // u-grid: τ-fold convolution of mean-μ gaps concentrates near τ·μ;
@@ -156,8 +159,7 @@ pub fn snc_check(gap: &GapDistribution, beta: f64, taus: &[usize]) -> SncReport 
     let mut series = Vec::with_capacity(taus.len());
     for &tau in taus {
         // K(ω, τ) = H(ω)^τ  (S2), then k(·, τ) by inverse FFT (S3).
-        let mut k_spec: Vec<Complex> =
-            spectrum.iter().map(|&h| h.powi(tau as u32)).collect();
+        let mut k_spec: Vec<Complex> = spectrum.iter().map(|&h| h.powi(tau as u32)).collect();
         ifft_pow2_in_place(&mut k_spec);
         let rg: f64 = k_spec
             .iter()
@@ -169,7 +171,12 @@ pub fn snc_check(gap: &GapDistribution, beta: f64, taus: &[usize]) -> SncReport 
     let xs: Vec<f64> = series.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = series.iter().map(|p| p.1).collect();
     let (slope, _, fit) = power_law_fit(&xs, &ys);
-    SncReport { beta_true: beta, beta_estimated: -slope, r_squared: fit.r_squared, series }
+    SncReport {
+        beta_true: beta,
+        beta_estimated: -slope,
+        r_squared: fit.r_squared,
+        series,
+    }
 }
 
 /// Direct evaluation of Eq. (11): the sampled-process autocorrelation of

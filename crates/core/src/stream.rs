@@ -41,7 +41,10 @@ pub enum StreamDecision {
 impl StreamDecision {
     /// `true` when the point enters the sample set.
     pub fn is_kept(self) -> bool {
-        matches!(self, StreamDecision::KeepNormal | StreamDecision::KeepQualified)
+        matches!(
+            self,
+            StreamDecision::KeepNormal | StreamDecision::KeepQualified
+        )
     }
 
     /// `true` when the point had to be looked at (kept or probed).
@@ -133,7 +136,12 @@ impl StreamingStratified {
         crate::bss::BssSampler::new(interval, ThresholdPolicy::FixedAbsolute(1.0))?;
         let mut rng = rng_from_seed(derive_seed(seed, 0x5742));
         let target = rng.gen_range(0..interval);
-        Ok(StreamingStratified { interval, pos: 0, target, rng })
+        Ok(StreamingStratified {
+            interval,
+            pos: 0,
+            target,
+            rng,
+        })
     }
 }
 
@@ -146,7 +154,7 @@ impl StreamSampler for StreamingStratified {
         let in_bucket = self.pos % self.interval;
         let keep = in_bucket == self.target;
         self.pos += 1;
-        if self.pos % self.interval == 0 {
+        if self.pos.is_multiple_of(self.interval) {
             // Entering a new bucket: draw its target.
             self.target = self.rng.gen_range(0..self.interval);
         }
@@ -401,7 +409,13 @@ mod tests {
 
     fn bursty(n: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| if (i / 37) % 11 == 0 { 120.0 + (i % 7) as f64 } else { 1.0 })
+            .map(|i| {
+                if (i / 37) % 11 == 0 {
+                    120.0 + (i % 7) as f64
+                } else {
+                    1.0
+                }
+            })
             .collect()
     }
 
@@ -463,7 +477,11 @@ mod tests {
     #[test]
     fn bss_stream_matches_offline_online_policy() {
         let vals = bursty(20_000);
-        let tuning = OnlineTuning { epsilon: 1.0, n_pre: 16, ..OnlineTuning::default() };
+        let tuning = OnlineTuning {
+            epsilon: 1.0,
+            n_pre: 16,
+            ..OnlineTuning::default()
+        };
         let offline = BssSampler::new(100, ThresholdPolicy::Online(tuning))
             .unwrap()
             .with_l(8)
@@ -480,13 +498,18 @@ mod tests {
         // C = 10, threshold 50, L = 1 → extra at pos + 5.
         let mut s = StreamingBss::new(10, ThresholdPolicy::FixedAbsolute(50.0), 1, 0).unwrap();
         let mut decisions = Vec::new();
-        let vals = [100.0, 0.0, 0.0, 0.0, 0.0, 100.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0];
+        let vals = [
+            100.0, 0.0, 0.0, 0.0, 0.0, 100.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0,
+        ];
         for &v in &vals {
             decisions.push(s.offer(v));
         }
         use StreamDecision::*;
         assert_eq!(decisions[0], KeepNormal);
-        assert_eq!(decisions[5], KeepQualified, "extra at offset 5 above threshold");
+        assert_eq!(
+            decisions[5], KeepQualified,
+            "extra at offset 5 above threshold"
+        );
         assert_eq!(decisions[10], KeepNormal, "next interval's normal sample");
         assert_eq!(decisions[1], Skip);
         assert!(!decisions[11].is_inspected());

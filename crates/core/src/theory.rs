@@ -277,7 +277,10 @@ mod tests {
         assert!(cost(0.4) > cost(1.0));
         assert!(cost(0.36) > cost(0.4));
         // And for fixed ε the cost is linear in L.
-        assert!((qualified_cost(10.0, 1.0, ALPHA) / qualified_cost(5.0, 1.0, ALPHA) - 2.0).abs() < 1e-12);
+        assert!(
+            (qualified_cost(10.0, 1.0, ALPHA) / qualified_cost(5.0, 1.0, ALPHA) - 2.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]

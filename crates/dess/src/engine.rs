@@ -22,7 +22,11 @@ pub struct ScheduleInPastError {
 
 impl fmt::Display for ScheduleInPastError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "event time {} is before the simulation clock {}", self.at, self.now)
+        write!(
+            f,
+            "event time {} is before the simulation clock {}",
+            self.at, self.now
+        )
     }
 }
 
@@ -96,7 +100,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at `t = 0`.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
     }
 
     /// The simulation clock: the delivery time of the last popped event
@@ -135,7 +143,11 @@ impl<E> EventQueue<E> {
         if at < self.now {
             return Err(ScheduleInPastError { at, now: self.now });
         }
-        self.heap.push(Entry { at, seq: self.seq, event });
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
         Ok(())
     }
@@ -146,7 +158,10 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `delay` is negative or not finite.
     pub fn schedule_in(&mut self, delay: f64, event: E) {
-        assert!(delay >= 0.0 && delay.is_finite(), "delay must be non-negative finite");
+        assert!(
+            delay >= 0.0 && delay.is_finite(),
+            "delay must be non-negative finite"
+        );
         self.schedule(self.now + delay, event)
             .expect("now + non-negative delay is never in the past");
     }
@@ -229,7 +244,11 @@ mod tests {
         assert_eq!(q.pop_until(1.5), Some((1.0, "a")));
         assert_eq!(q.pop_until(1.5), None);
         assert_eq!(q.len(), 1);
-        assert_eq!(q.now(), 1.0, "clock must not advance past unharvested events");
+        assert_eq!(
+            q.now(),
+            1.0,
+            "clock must not advance past unharvested events"
+        );
         assert_eq!(q.pop_until(2.0), Some((2.0, "b")));
     }
 

@@ -60,7 +60,10 @@ impl BottleneckLink {
     ///
     /// Panics unless the capacity is positive and `queue_limit >= 1`.
     pub fn new(capacity_bps: f64, queue_limit: usize) -> Self {
-        assert!(capacity_bps > 0.0 && capacity_bps.is_finite(), "capacity must be positive");
+        assert!(
+            capacity_bps > 0.0 && capacity_bps.is_finite(),
+            "capacity must be positive"
+        );
         assert!(queue_limit >= 1, "queue must hold at least one packet");
         BottleneckLink {
             capacity_bps,
@@ -196,8 +199,14 @@ mod tests {
     #[test]
     fn droptail_drops_when_full() {
         let mut link = BottleneckLink::new(8e3, 2);
-        assert!(matches!(link.offer(0.0, 1000), LinkVerdict::Forwarded { .. }));
-        assert!(matches!(link.offer(0.0, 1000), LinkVerdict::Forwarded { .. }));
+        assert!(matches!(
+            link.offer(0.0, 1000),
+            LinkVerdict::Forwarded { .. }
+        ));
+        assert!(matches!(
+            link.offer(0.0, 1000),
+            LinkVerdict::Forwarded { .. }
+        ));
         assert_eq!(link.offer(0.0, 1000), LinkVerdict::Dropped);
         assert_eq!(link.forwarded(), 2);
         assert_eq!(link.dropped(), 1);

@@ -33,9 +33,17 @@ impl RateMonitor {
     /// Panics unless `dt > 0` and `duration >= dt`.
     pub fn new(dt: f64, duration: f64) -> Self {
         assert!(dt > 0.0 && dt.is_finite(), "bin width must be positive");
-        assert!(duration >= dt && duration.is_finite(), "duration must cover >= 1 bin");
+        assert!(
+            duration >= dt && duration.is_finite(),
+            "duration must cover >= 1 bin"
+        );
         let n = (duration / dt).ceil() as usize;
-        RateMonitor { dt, bins: vec![0.0; n], total_bytes: 0, packets: 0 }
+        RateMonitor {
+            dt,
+            bins: vec![0.0; n],
+            total_bytes: 0,
+            packets: 0,
+        }
     }
 
     /// Records a packet of `size` bytes observed at time `at`. Packets

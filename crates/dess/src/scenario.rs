@@ -93,7 +93,10 @@ impl OnOffScenario {
     ///
     /// Panics unless `1 < alpha < 2`.
     pub fn alpha(mut self, alpha: f64) -> Self {
-        assert!(alpha > 1.0 && alpha < 2.0, "alpha must lie in (1,2), got {alpha}");
+        assert!(
+            alpha > 1.0 && alpha < 2.0,
+            "alpha must lie in (1,2), got {alpha}"
+        );
         self.alpha = alpha;
         self
     }
@@ -104,7 +107,10 @@ impl OnOffScenario {
     ///
     /// Panics unless `0.5 < hurst < 1`.
     pub fn hurst(self, hurst: f64) -> Self {
-        assert!(hurst > 0.5 && hurst < 1.0, "H must lie in (0.5,1), got {hurst}");
+        assert!(
+            hurst > 0.5 && hurst < 1.0,
+            "H must lie in (0.5,1), got {hurst}"
+        );
         self.alpha(3.0 - 2.0 * hurst)
     }
 
@@ -114,7 +120,10 @@ impl OnOffScenario {
     ///
     /// Panics unless both are positive.
     pub fn periods(mut self, mean_on: f64, mean_off: f64) -> Self {
-        assert!(mean_on > 0.0 && mean_off > 0.0, "period means must be positive");
+        assert!(
+            mean_on > 0.0 && mean_off > 0.0,
+            "period means must be positive"
+        );
         self.mean_on = mean_on;
         self.mean_off = mean_off;
         self
@@ -209,9 +218,10 @@ impl OnOffScenario {
         }
 
         let mut offered_mon = RateMonitor::new(self.dt, self.duration);
-        let mut delivered_mon =
-            self.link.map(|_| RateMonitor::new(self.dt, self.duration));
-        let mut link = self.link.map(|s| BottleneckLink::new(s.capacity_bps, s.queue_limit));
+        let mut delivered_mon = self.link.map(|_| RateMonitor::new(self.dt, self.duration));
+        let mut link = self
+            .link
+            .map(|s| BottleneckLink::new(s.capacity_bps, s.queue_limit));
         let mut packets = Vec::new();
 
         while let Some((t, (i, size))) = queue.pop_until(self.duration) {
@@ -236,7 +246,9 @@ impl OnOffScenario {
             // Refill from the source that fired.
             if let Some(e) = sources[i].next_packet() {
                 if e.time <= self.duration {
-                    queue.schedule(e.time, (i, e.size)).expect("emissions are monotone");
+                    queue
+                        .schedule(e.time, (i, e.size))
+                        .expect("emissions are monotone");
                 }
             }
         }
@@ -332,7 +344,10 @@ mod tests {
             .emission(100.0, 1000)
             .duration(60.0)
             // Offered ≈ 16·0.5·100·1000·8 = 6.4 Mbps; give 2 Mbps.
-            .bottleneck(LinkSpec { capacity_bps: 2e6, queue_limit: 32 });
+            .bottleneck(LinkSpec {
+                capacity_bps: 2e6,
+                queue_limit: 32,
+            });
         let out = sc.run(3);
         assert!(out.loss_rate > 0.2, "loss {:.3}", out.loss_rate);
         let delivered = out.delivered.expect("link produces delivered series");
@@ -340,7 +355,10 @@ mod tests {
         // below capacity in bytes/s.
         assert!(delivered.mean() <= 2e6 / 8.0 + 1.0);
         assert!(delivered.mean() < out.offered.mean());
-        assert!(out.utilization.unwrap() > 0.9, "saturated link should be busy");
+        assert!(
+            out.utilization.unwrap() > 0.9,
+            "saturated link should be busy"
+        );
     }
 
     #[test]
@@ -349,7 +367,10 @@ mod tests {
             .sources(4)
             .emission(50.0, 500)
             .duration(30.0)
-            .bottleneck(LinkSpec { capacity_bps: 1e9, queue_limit: 1000 });
+            .bottleneck(LinkSpec {
+                capacity_bps: 1e9,
+                queue_limit: 1000,
+            });
         let out = sc.run(9);
         assert_eq!(out.loss_rate, 0.0);
         let delivered = out.delivered.unwrap();
@@ -357,7 +378,10 @@ mod tests {
         // may slip out of the window; allow a sliver).
         let off: f64 = out.offered.values().iter().sum();
         let del: f64 = delivered.values().iter().sum();
-        assert!((off - del).abs() / off < 0.01, "offered {off} delivered {del}");
+        assert!(
+            (off - del).abs() / off < 0.01,
+            "offered {off} delivered {del}"
+        );
     }
 
     #[test]

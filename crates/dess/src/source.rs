@@ -64,8 +64,15 @@ impl CbrSource {
     pub fn new(pps: f64, size: u32, start: f64) -> Self {
         assert!(pps > 0.0 && pps.is_finite(), "packet rate must be positive");
         assert!(size > 0, "packet size must be positive");
-        assert!(start >= 0.0 && start.is_finite(), "start time must be non-negative");
-        CbrSource { pps, size, next_time: start }
+        assert!(
+            start >= 0.0 && start.is_finite(),
+            "start time must be non-negative"
+        );
+        CbrSource {
+            pps,
+            size,
+            next_time: start,
+        }
     }
 }
 
@@ -75,7 +82,10 @@ impl TrafficSource for CbrSource {
     }
 
     fn next_packet(&mut self) -> Option<Emission> {
-        let e = Emission { time: self.next_time, size: self.size };
+        let e = Emission {
+            time: self.next_time,
+            size: self.size,
+        };
         self.next_time += 1.0 / self.pps;
         Some(e)
     }
@@ -122,7 +132,10 @@ impl TrafficSource for PoissonSource {
 
     fn next_packet(&mut self) -> Option<Emission> {
         self.clock += self.gap.sample(&mut self.rng);
-        Some(Emission { time: self.clock, size: self.size })
+        Some(Emission {
+            time: self.clock,
+            size: self.size,
+        })
     }
 
     fn offered_load(&self) -> f64 {
@@ -163,7 +176,10 @@ impl OnOffSource {
     ///
     /// Panics unless `pps_on > 0` and `size > 0`.
     pub fn new(on: Pareto, off: Pareto, pps_on: f64, size: u32, seed: u64) -> Self {
-        assert!(pps_on > 0.0 && pps_on.is_finite(), "ON packet rate must be positive");
+        assert!(
+            pps_on > 0.0 && pps_on.is_finite(),
+            "ON packet rate must be positive"
+        );
         assert!(size > 0, "packet size must be positive");
         let mut rng = rng_from_seed(derive_seed(seed, 0x0420));
         // Start in a random phase: with probability duty-cycle begin ON,
@@ -178,7 +194,15 @@ impl OnOffSource {
             let gap = off.sample(&mut rng);
             (gap, gap) // placeholder: ON begins at `gap`, fixed below
         };
-        let mut src = OnOffSource { on, off, pps_on, size, on_until, next_emit, rng };
+        let mut src = OnOffSource {
+            on,
+            off,
+            pps_on,
+            size,
+            on_until,
+            next_emit,
+            rng,
+        };
         if !start_on {
             // Begin the first ON period after the initial OFF gap.
             let start = src.next_emit;
@@ -195,16 +219,15 @@ impl OnOffSource {
     /// # Panics
     ///
     /// Panics unless `1 < alpha < 2` and the means are positive.
-    pub fn ns2(
-        alpha: f64,
-        mean_on: f64,
-        mean_off: f64,
-        pps_on: f64,
-        size: u32,
-        seed: u64,
-    ) -> Self {
-        assert!(alpha > 1.0 && alpha < 2.0, "shape must lie in (1,2), got {alpha}");
-        assert!(mean_on > 0.0 && mean_off > 0.0, "period means must be positive");
+    pub fn ns2(alpha: f64, mean_on: f64, mean_off: f64, pps_on: f64, size: u32, seed: u64) -> Self {
+        assert!(
+            alpha > 1.0 && alpha < 2.0,
+            "shape must lie in (1,2), got {alpha}"
+        );
+        assert!(
+            mean_on > 0.0 && mean_off > 0.0,
+            "period means must be positive"
+        );
         OnOffSource::new(
             Pareto::with_mean(alpha, mean_on),
             Pareto::with_mean(alpha, mean_off),
@@ -235,7 +258,10 @@ impl TrafficSource for OnOffSource {
             self.next_emit = on_start;
             self.on_until = on_start + on_len;
         }
-        let e = Emission { time: self.next_emit, size: self.size };
+        let e = Emission {
+            time: self.next_emit,
+            size: self.size,
+        };
         self.next_emit += 1.0 / self.pps_on;
         Some(e)
     }
@@ -266,7 +292,9 @@ mod tests {
         let pkts = drain_until(&mut src, 1.0);
         // t = 0, 0.1, …, 1.0 inclusive.
         assert_eq!(pkts.len(), 11);
-        assert!(pkts.windows(2).all(|w| (w[1].time - w[0].time - 0.1).abs() < 1e-9));
+        assert!(pkts
+            .windows(2)
+            .all(|w| (w[1].time - w[0].time - 0.1).abs() < 1e-9));
         assert!(pkts.iter().all(|p| p.size == 500));
     }
 
@@ -335,7 +363,10 @@ mod tests {
         let gaps: Vec<f64> = pkts.windows(2).map(|w| w[1].time - w[0].time).collect();
         let on_gaps = gaps.iter().filter(|&&g| (g - spacing).abs() < 1e-9).count();
         let off_gaps = gaps.iter().filter(|&&g| g > 10.0 * spacing).count();
-        assert!(on_gaps > gaps.len() / 2, "mostly intra-burst gaps, got {on_gaps}");
+        assert!(
+            on_gaps > gaps.len() / 2,
+            "mostly intra-burst gaps, got {on_gaps}"
+        );
         assert!(off_gaps > 0, "some inter-burst gaps");
     }
 

@@ -30,7 +30,10 @@ pub struct AcfFitEstimator {
 
 impl Default for AcfFitEstimator {
     fn default() -> Self {
-        AcfFitEstimator { min_lag: 4, max_lag: None }
+        AcfFitEstimator {
+            min_lag: 4,
+            max_lag: None,
+        }
     }
 }
 
@@ -45,7 +48,10 @@ impl AcfFitEstimator {
     /// input).
     pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
         if values.len() < 512 {
-            return Err(EstimateError::TooShort { got: values.len(), need: 512 });
+            return Err(EstimateError::TooShort {
+                got: values.len(),
+                need: 512,
+            });
         }
         let max_lag = self
             .max_lag
@@ -115,7 +121,9 @@ mod tests {
 
     #[test]
     fn anticorrelated_input_degenerates() {
-        let vals: Vec<f64> = (0..2048).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let vals: Vec<f64> = (0..2048)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(matches!(
             AcfFitEstimator::default().estimate(&vals),
             Err(EstimateError::Degenerate)

@@ -21,7 +21,10 @@ pub struct RsEstimator {
 
 impl Default for RsEstimator {
     fn default() -> Self {
-        RsEstimator { min_block: 16, n_scales: 12 }
+        RsEstimator {
+            min_block: 16,
+            n_scales: 12,
+        }
     }
 }
 
@@ -35,7 +38,10 @@ impl RsEstimator {
     pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
         let need = self.min_block * 4;
         if values.len() < need {
-            return Err(EstimateError::TooShort { got: values.len(), need });
+            return Err(EstimateError::TooShort {
+                got: values.len(),
+                need,
+            });
         }
         let max_block = values.len() / 4;
         let grid = logspace(self.min_block as f64, max_block as f64, self.n_scales);
@@ -113,7 +119,10 @@ pub struct VarianceTimeEstimator {
 
 impl Default for VarianceTimeEstimator {
     fn default() -> Self {
-        VarianceTimeEstimator { min_m: 2, n_scales: 14 }
+        VarianceTimeEstimator {
+            min_m: 2,
+            n_scales: 14,
+        }
     }
 }
 
@@ -126,11 +135,17 @@ impl VarianceTimeEstimator {
     /// levels exist; [`EstimateError::Degenerate`] for constant input.
     pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
         if values.len() < 64 {
-            return Err(EstimateError::TooShort { got: values.len(), need: 64 });
+            return Err(EstimateError::TooShort {
+                got: values.len(),
+                need: 64,
+            });
         }
         let max_m = values.len() / 16; // keep ≥16 blocks per level
         if max_m <= self.min_m {
-            return Err(EstimateError::TooShort { got: values.len(), need: self.min_m * 32 });
+            return Err(EstimateError::TooShort {
+                got: values.len(),
+                need: self.min_m * 32,
+            });
         }
         let grid = logspace(self.min_m as f64, max_m as f64, self.n_scales);
         let mut xs = Vec::new();
@@ -172,7 +187,11 @@ fn aggregated_variance(values: &[f64], m: usize) -> f64 {
         .map(|b| values[b * m..(b + 1) * m].iter().sum::<f64>() / m as f64)
         .collect();
     let grand = means.iter().sum::<f64>() / blocks as f64;
-    means.iter().map(|&x| (x - grand) * (x - grand)).sum::<f64>() / blocks as f64
+    means
+        .iter()
+        .map(|&x| (x - grand) * (x - grand))
+        .sum::<f64>()
+        / blocks as f64
 }
 
 #[cfg(test)]

@@ -22,7 +22,10 @@ pub struct DfaEstimator {
 
 impl Default for DfaEstimator {
     fn default() -> Self {
-        DfaEstimator { min_box: 8, n_scales: 14 }
+        DfaEstimator {
+            min_box: 8,
+            n_scales: 14,
+        }
     }
 }
 
@@ -36,7 +39,10 @@ impl DfaEstimator {
     pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
         let need = self.min_box * 16;
         if values.len() < need {
-            return Err(EstimateError::TooShort { got: values.len(), need });
+            return Err(EstimateError::TooShort {
+                got: values.len(),
+                need,
+            });
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         // Profile (integrated, centered series).
@@ -144,7 +150,9 @@ mod tests {
             .collect();
         let dfa = DfaEstimator::default().estimate(&vals).unwrap();
         assert!((dfa.hurst - h).abs() < 0.1, "dfa={}", dfa.hurst);
-        let vt = crate::classic::VarianceTimeEstimator::default().estimate(&vals).unwrap();
+        let vt = crate::classic::VarianceTimeEstimator::default()
+            .estimate(&vals)
+            .unwrap();
         assert!(
             (vt.hurst - h).abs() > (dfa.hurst - h).abs(),
             "trend should hurt variance-time ({}) more than DFA ({})",

@@ -70,7 +70,10 @@ impl HurstEstimate {
     /// 95% confidence interval `Ĥ ± 1.96·stderr` (degenerate when stderr
     /// is `NaN`).
     pub fn ci95(&self) -> (f64, f64) {
-        (self.hurst - 1.96 * self.stderr, self.hurst + 1.96 * self.stderr)
+        (
+            self.hurst - 1.96 * self.stderr,
+            self.hurst + 1.96 * self.stderr,
+        )
     }
 
     /// Whether the estimate indicates long-range dependence (Ĥ
@@ -109,7 +112,10 @@ impl fmt::Display for EstimateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EstimateError::TooShort { got, need } => {
-                write!(f, "series too short: got {got} points, need at least {need}")
+                write!(
+                    f,
+                    "series too short: got {got} points, need at least {need}"
+                )
             }
             EstimateError::Degenerate => f.write_str("series is degenerate (zero variance)"),
         }

@@ -30,12 +30,18 @@ impl PeriodogramEstimator {
     /// [`EstimateError::Degenerate`] when the spectrum is empty/zero.
     pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
         if values.len() < 128 {
-            return Err(EstimateError::TooShort { got: values.len(), need: 128 });
+            return Err(EstimateError::TooShort {
+                got: values.len(),
+                need: 128,
+            });
         }
         let (freqs, dens) = periodogram(values);
         let m = ((freqs.len() as f64) * self.low_fraction).floor() as usize;
         if m < 8 {
-            return Err(EstimateError::TooShort { got: values.len(), need: 128 });
+            return Err(EstimateError::TooShort {
+                got: values.len(),
+                need: 128,
+            });
         }
         let mut xs = Vec::with_capacity(m);
         let mut ys = Vec::with_capacity(m);

@@ -22,7 +22,9 @@ fn log_grid(lo: usize, hi: usize, per_decade: usize) -> Vec<usize> {
     let lg_hi = (hi as f64).log10();
     let steps = ((lg_hi - lg_lo) * per_decade as f64).ceil().max(1.0) as usize;
     for s in 0..=steps {
-        let v = 10f64.powf(lg_lo + (lg_hi - lg_lo) * s as f64 / steps as f64).round() as usize;
+        let v = 10f64
+            .powf(lg_lo + (lg_hi - lg_lo) * s as f64 / steps as f64)
+            .round() as usize;
         let v = v.clamp(lo, hi);
         if out.last() != Some(&v) {
             out.push(v);
@@ -53,7 +55,9 @@ pub struct HiguchiEstimator {
 
 impl Default for HiguchiEstimator {
     fn default() -> Self {
-        HiguchiEstimator { max_stride_fraction: 0.1 }
+        HiguchiEstimator {
+            max_stride_fraction: 0.1,
+        }
     }
 }
 
@@ -146,7 +150,9 @@ pub struct AbsoluteMomentEstimator {
 
 impl Default for AbsoluteMomentEstimator {
     fn default() -> Self {
-        AbsoluteMomentEstimator { max_level_fraction: 0.1 }
+        AbsoluteMomentEstimator {
+            max_level_fraction: 0.1,
+        }
     }
 }
 
@@ -215,7 +221,10 @@ pub struct ResidualVarianceEstimator {
 
 impl Default for ResidualVarianceEstimator {
     fn default() -> Self {
-        ResidualVarianceEstimator { min_block: 8, max_block_fraction: 0.1 }
+        ResidualVarianceEstimator {
+            min_block: 8,
+            max_block_fraction: 0.1,
+        }
     }
 }
 
@@ -233,7 +242,10 @@ impl ResidualVarianceEstimator {
         }
         let m_max = ((n as f64) * self.max_block_fraction).floor() as usize;
         if m_max <= self.min_block {
-            return Err(EstimateError::TooShort { got: n, need: self.min_block * 10 });
+            return Err(EstimateError::TooShort {
+                got: n,
+                need: self.min_block * 10,
+            });
         }
         let ms = log_grid(self.min_block, m_max, 10);
         let mut xs = Vec::with_capacity(ms.len());
@@ -298,17 +310,24 @@ mod tests {
     #[test]
     fn higuchi_recovers_hurst() {
         for &h in &[0.6, 0.75, 0.9] {
-            let est = HiguchiEstimator::default().estimate(&fgn(h, 1 << 15, 5)).unwrap();
+            let est = HiguchiEstimator::default()
+                .estimate(&fgn(h, 1 << 15, 5))
+                .unwrap();
             assert!((est.hurst - h).abs() < 0.12, "H={h} est={}", est.hurst);
-            assert!(est.r_squared > 0.95, "poor fit at H={h}: R²={}", est.r_squared);
+            assert!(
+                est.r_squared > 0.95,
+                "poor fit at H={h}: R²={}",
+                est.r_squared
+            );
         }
     }
 
     #[test]
     fn absolute_moment_recovers_hurst() {
         for &h in &[0.6, 0.8, 0.9] {
-            let est =
-                AbsoluteMomentEstimator::default().estimate(&fgn(h, 1 << 16, 9)).unwrap();
+            let est = AbsoluteMomentEstimator::default()
+                .estimate(&fgn(h, 1 << 16, 9))
+                .unwrap();
             assert!((est.hurst - h).abs() < 0.12, "H={h} est={}", est.hurst);
         }
     }
@@ -316,8 +335,9 @@ mod tests {
     #[test]
     fn residual_variance_recovers_hurst() {
         for &h in &[0.6, 0.8, 0.9] {
-            let est =
-                ResidualVarianceEstimator::default().estimate(&fgn(h, 1 << 16, 13)).unwrap();
+            let est = ResidualVarianceEstimator::default()
+                .estimate(&fgn(h, 1 << 16, 13))
+                .unwrap();
             assert!((est.hurst - h).abs() < 0.12, "H={h} est={}", est.hurst);
         }
     }
@@ -326,9 +346,24 @@ mod tests {
     fn white_noise_reads_near_half() {
         let vals = fgn(0.5, 1 << 15, 21);
         for (name, est) in [
-            ("higuchi", HiguchiEstimator::default().estimate(&vals).unwrap().hurst),
-            ("absmom", AbsoluteMomentEstimator::default().estimate(&vals).unwrap().hurst),
-            ("residual", ResidualVarianceEstimator::default().estimate(&vals).unwrap().hurst),
+            (
+                "higuchi",
+                HiguchiEstimator::default().estimate(&vals).unwrap().hurst,
+            ),
+            (
+                "absmom",
+                AbsoluteMomentEstimator::default()
+                    .estimate(&vals)
+                    .unwrap()
+                    .hurst,
+            ),
+            (
+                "residual",
+                ResidualVarianceEstimator::default()
+                    .estimate(&vals)
+                    .unwrap()
+                    .hurst,
+            ),
         ] {
             assert!((est - 0.5).abs() < 0.1, "{name}: {est}");
         }
@@ -341,7 +376,10 @@ mod tests {
         let base = fgn(0.75, 1 << 14, 17);
         let shifted: Vec<f64> = base.iter().map(|&v| v + 1e4).collect();
         let a = HiguchiEstimator::default().estimate(&base).unwrap().hurst;
-        let b = HiguchiEstimator::default().estimate(&shifted).unwrap().hurst;
+        let b = HiguchiEstimator::default()
+            .estimate(&shifted)
+            .unwrap()
+            .hurst;
         assert!((a - b).abs() < 1e-9, "offset changed Higuchi: {a} vs {b}");
     }
 
@@ -351,10 +389,19 @@ mod tests {
         // block-detrended statistic.
         let h = 0.75;
         let base = fgn(h, 1 << 15, 31);
-        let drift: Vec<f64> =
-            base.iter().enumerate().map(|(i, &v)| v + 1e-4 * i as f64).collect();
-        let clean = ResidualVarianceEstimator::default().estimate(&base).unwrap().hurst;
-        let drifted = ResidualVarianceEstimator::default().estimate(&drift).unwrap().hurst;
+        let drift: Vec<f64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + 1e-4 * i as f64)
+            .collect();
+        let clean = ResidualVarianceEstimator::default()
+            .estimate(&base)
+            .unwrap()
+            .hurst;
+        let drifted = ResidualVarianceEstimator::default()
+            .estimate(&drift)
+            .unwrap()
+            .hurst;
         assert!(
             (drifted - clean).abs() < 0.1,
             "Peng drifted from {clean:.3} to {drifted:.3} under trend"

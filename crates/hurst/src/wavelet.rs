@@ -38,7 +38,11 @@ pub struct WaveletEstimator {
 
 impl Default for WaveletEstimator {
     fn default() -> Self {
-        WaveletEstimator { wavelet: Wavelet::Db3, j1: 3, j2: None }
+        WaveletEstimator {
+            wavelet: Wavelet::Db3,
+            j1: 3,
+            j2: None,
+        }
     }
 }
 
@@ -51,7 +55,11 @@ impl WaveletEstimator {
     pub fn with_octaves(wavelet: Wavelet, j1: usize, j2: usize) -> Self {
         assert!(j1 >= 1, "octaves are 1-based");
         assert!(j2 > j1, "need at least two octaves to fit a slope");
-        WaveletEstimator { wavelet, j1, j2: Some(j2) }
+        WaveletEstimator {
+            wavelet,
+            j1,
+            j2: Some(j2),
+        }
     }
 
     /// Sets the wavelet family (builder-style).
@@ -76,11 +84,14 @@ impl WaveletEstimator {
     pub fn estimate(&self, values: &[f64]) -> Result<HurstEstimate, EstimateError> {
         let need = 1 << (self.j1 + 4);
         if values.len() < need.max(64) {
-            return Err(EstimateError::TooShort { got: values.len(), need: need.max(64) });
+            return Err(EstimateError::TooShort {
+                got: values.len(),
+                need: need.max(64),
+            });
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var = values.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>()
-            / values.len() as f64;
+        let var =
+            values.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / values.len() as f64;
         if var <= f64::EPSILON * mean.abs().max(1.0) {
             return Err(EstimateError::Degenerate);
         }
@@ -106,7 +117,10 @@ impl WaveletEstimator {
             weights.push(1.0 / var);
         }
         if octs.len() < 2 {
-            return Err(EstimateError::TooShort { got: values.len(), need: need.max(64) });
+            return Err(EstimateError::TooShort {
+                got: values.len(),
+                need: need.max(64),
+            });
         }
         let fit = weighted_ols(&octs, &logs, &weights);
         // slope = 2H − 1.
@@ -175,9 +189,20 @@ mod tests {
     #[test]
     fn different_wavelets_agree() {
         let vals = FgnGenerator::new(0.8).unwrap().generate_values(1 << 16, 17);
-        let a = WaveletEstimator::default().wavelet(Wavelet::Db2).estimate(&vals).unwrap();
-        let b = WaveletEstimator::default().wavelet(Wavelet::Db6).estimate(&vals).unwrap();
-        assert!((a.hurst - b.hurst).abs() < 0.05, "{} vs {}", a.hurst, b.hurst);
+        let a = WaveletEstimator::default()
+            .wavelet(Wavelet::Db2)
+            .estimate(&vals)
+            .unwrap();
+        let b = WaveletEstimator::default()
+            .wavelet(Wavelet::Db6)
+            .estimate(&vals)
+            .unwrap();
+        assert!(
+            (a.hurst - b.hurst).abs() < 0.05,
+            "{} vs {}",
+            a.hurst,
+            b.hurst
+        );
     }
 
     #[test]

@@ -60,7 +60,9 @@ fn synth(rest: Vec<String>) {
         }
     }
     let out = out.unwrap_or_else(|| die("synth needs an output path"));
-    let trace = TraceSynthesizer::bell_labs_like().duration(duration).synthesize(seed);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(duration)
+        .synthesize(seed);
     let bytes = encode(&trace);
     std::fs::write(&out, &bytes).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
     eprintln!(

@@ -97,7 +97,13 @@ pub fn decode(mut buf: &[u8]) -> Result<PacketTrace, CodecError> {
             1 => Protocol::Udp,
             _ => return Err(CodecError::Corrupt("protocol tag")),
         };
-        flows.push(FlowKey { src, dst, src_port, dst_port, proto });
+        flows.push(FlowKey {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto,
+        });
     }
     if buf.remaining() < 8 {
         return Err(CodecError::Truncated);
@@ -134,7 +140,9 @@ mod tests {
 
     #[test]
     fn round_trip_synthesized_trace() {
-        let t = TraceSynthesizer::bell_labs_like().duration(30.0).synthesize(7);
+        let t = TraceSynthesizer::bell_labs_like()
+            .duration(30.0)
+            .synthesize(7);
         let encoded = encode(&t);
         let back = decode(&encoded).expect("decode");
         assert_eq!(t, back);
@@ -154,9 +162,16 @@ mod tests {
 
     #[test]
     fn truncation_rejected_at_every_boundary() {
-        let t = TraceSynthesizer::bell_labs_like().duration(10.0).synthesize(1);
+        let t = TraceSynthesizer::bell_labs_like()
+            .duration(10.0)
+            .synthesize(1);
         let encoded = encode(&t);
-        for cut in [MAGIC.len(), MAGIC.len() + 4, encoded.len() / 2, encoded.len() - 1] {
+        for cut in [
+            MAGIC.len(),
+            MAGIC.len() + 4,
+            encoded.len() / 2,
+            encoded.len() - 1,
+        ] {
             let r = decode(&encoded[..cut]);
             assert!(r.is_err(), "cut at {cut} should fail");
         }
@@ -203,7 +218,9 @@ mod tests {
 
     #[test]
     fn size_is_compact() {
-        let t = TraceSynthesizer::bell_labs_like().duration(30.0).synthesize(2);
+        let t = TraceSynthesizer::bell_labs_like()
+            .duration(30.0)
+            .synthesize(2);
         let encoded = encode(&t);
         let per_packet = encoded.len() as f64 / t.len().max(1) as f64;
         assert!(per_packet < 40.0, "bytes/packet = {per_packet}");

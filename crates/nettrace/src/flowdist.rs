@@ -56,7 +56,10 @@ pub struct EmConfig {
 
 impl Default for EmConfig {
     fn default() -> Self {
-        EmConfig { max_length: 1 << 12, iterations: 60 }
+        EmConfig {
+            max_length: 1 << 12,
+            iterations: 60,
+        }
     }
 }
 
@@ -125,7 +128,10 @@ pub fn invert_flow_distribution(
     p: f64,
     config: EmConfig,
 ) -> FlowDistEstimate {
-    assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1], got {p}");
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "sampling probability must be in (0,1], got {p}"
+    );
     assert!(config.max_length >= 1, "support must be non-empty");
     assert!(
         observed.keys().all(|&k| k >= 1),
@@ -140,7 +146,10 @@ pub fn invert_flow_distribution(
                 lambdas[k - 1] = g as f64;
             }
         }
-        return FlowDistEstimate { lambdas, sampling_prob: p };
+        return FlowDistEstimate {
+            lambdas,
+            sampling_prob: p,
+        };
     }
 
     let j_max = config.max_length;
@@ -188,7 +197,10 @@ pub fn invert_flow_distribution(
         lambdas = next;
     }
 
-    FlowDistEstimate { lambdas, sampling_prob: p }
+    FlowDistEstimate {
+        lambdas,
+        sampling_prob: p,
+    }
 }
 
 /// Builds the observed `g_k` histogram from a sampled packet stream:
@@ -287,7 +299,10 @@ mod tests {
         // when flows are short. (At p = 0.1 and mean length 4, ~70% of
         // flows are invisible.)
         let (g, _, n) = thinned_geometric(20_000, 4.0, 0.1, 3);
-        let cfg = EmConfig { iterations: 200, ..EmConfig::default() };
+        let cfg = EmConfig {
+            iterations: 200,
+            ..EmConfig::default()
+        };
         let est = invert_flow_distribution(&g, 0.1, cfg);
         let naive_count: f64 = g.values().map(|&v| v as f64).sum();
         let em_err = (est.total_flows() / n as f64 - 1.0).abs();
@@ -302,7 +317,11 @@ mod tests {
     fn ccdf_is_monotone_and_normalized() {
         let (g, _, _) = thinned_geometric(5_000, 10.0, 0.2, 1);
         let est = invert_flow_distribution(&g, 0.2, EmConfig::default());
-        assert!((est.ccdf(0) - 1.0).abs() < 1e-9, "ccdf(0) = {}", est.ccdf(0));
+        assert!(
+            (est.ccdf(0) - 1.0).abs() < 1e-9,
+            "ccdf(0) = {}",
+            est.ccdf(0)
+        );
         let mut prev = 1.0;
         for j in 1..100 {
             let c = est.ccdf(j);
@@ -348,7 +367,9 @@ mod tests {
         // Sample a synthesized trace and invert: the estimated total
         // flow count must land nearer the truth than the naive count of
         // observed flows.
-        let trace = TraceSynthesizer::bell_labs_like().duration(120.0).synthesize(5);
+        let trace = TraceSynthesizer::bell_labs_like()
+            .duration(120.0)
+            .synthesize(5);
         let p = 0.2;
         let sampled = sample_packets(&trace, p, 3);
         let mut g: BTreeMap<usize, u64> = BTreeMap::new();

@@ -28,7 +28,10 @@ pub struct SampledPackets {
 ///
 /// Panics unless `0 < rate <= 1`.
 pub fn sample_packets(trace: &PacketTrace, rate: f64, seed: u64) -> SampledPackets {
-    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+    assert!(
+        rate > 0.0 && rate <= 1.0,
+        "rate must be in (0,1], got {rate}"
+    );
     let mut rng = rng_from_seed(derive_seed(seed, 0xF10));
     let packets = trace
         .packets()
@@ -130,7 +133,9 @@ mod tests {
     use crate::synth::TraceSynthesizer;
 
     fn test_trace() -> PacketTrace {
-        TraceSynthesizer::bell_labs_like().duration(300.0).synthesize(5)
+        TraceSynthesizer::bell_labs_like()
+            .duration(300.0)
+            .synthesize(5)
     }
 
     #[test]
@@ -192,8 +197,7 @@ mod tests {
         for p in trace.packets() {
             *per_flow.entry(p.flow).or_insert(0) += 1;
         }
-        let true_mean =
-            trace.len() as f64 / per_flow.len() as f64;
+        let true_mean = trace.len() as f64 / per_flow.len() as f64;
 
         let rate = 0.05;
         let (mut corrected_err, mut naive_err) = (0.0, 0.0);

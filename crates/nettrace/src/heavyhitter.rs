@@ -82,7 +82,10 @@ impl SampleAndHold {
                 table.insert(p.flow, p.size as u64);
             }
         }
-        SampleAndHoldReport { table, byte_prob: self.byte_prob }
+        SampleAndHoldReport {
+            table,
+            byte_prob: self.byte_prob,
+        }
     }
 }
 
@@ -117,8 +120,12 @@ impl SampleAndHoldReport {
     /// Flows whose counted bytes reach `threshold`, descending by count —
     /// the reported heavy hitters.
     pub fn heavy_hitters(&self, threshold: u64) -> Vec<(u32, u64)> {
-        let mut out: Vec<(u32, u64)> =
-            self.table.iter().filter(|&(_, &b)| b >= threshold).map(|(&f, &b)| (f, b)).collect();
+        let mut out: Vec<(u32, u64)> = self
+            .table
+            .iter()
+            .filter(|&(_, &b)| b >= threshold)
+            .map(|(&f, &b)| (f, b))
+            .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -141,7 +148,13 @@ mod tests {
     use crate::synth::TraceSynthesizer;
 
     fn flow(src: u32) -> FlowKey {
-        FlowKey { src, dst: 0, src_port: 1, dst_port: 2, proto: Protocol::Tcp }
+        FlowKey {
+            src,
+            dst: 0,
+            src_port: 1,
+            dst_port: 2,
+            proto: Protocol::Tcp,
+        }
     }
 
     /// One elephant flow (1 MB) among 999 mice (1 kB each).
@@ -170,7 +183,11 @@ mod tests {
         let hh = report.heavy_hitters(100_000);
         assert_eq!(hh.len(), 1, "exactly the elephant: {hh:?}");
         assert_eq!(hh[0].0, 0);
-        assert!(report.table_len() < 100, "table stayed small: {}", report.table_len());
+        assert!(
+            report.table_len() < 100,
+            "table stayed small: {}",
+            report.table_len()
+        );
     }
 
     #[test]
@@ -182,21 +199,33 @@ mod tests {
         let mut missed = 0;
         let runs = 200;
         for seed in 0..runs {
-            if !SampleAndHold::run(&sh, &trace, seed).counted_bytes().contains_key(&0) {
+            if !SampleAndHold::run(&sh, &trace, seed)
+                .counted_bytes()
+                .contains_key(&0)
+            {
                 missed += 1;
             }
         }
         let miss_rate = missed as f64 / runs as f64;
-        assert!(miss_rate < 0.12, "miss rate {miss_rate} (expect ≈ e^-3 ≈ 0.05)");
+        assert!(
+            miss_rate < 0.12,
+            "miss rate {miss_rate} (expect ≈ e^-3 ≈ 0.05)"
+        );
     }
 
     #[test]
     fn counted_bytes_never_exceed_exact() {
-        let trace = TraceSynthesizer::bell_labs_like().duration(5.0).synthesize(4);
+        let trace = TraceSynthesizer::bell_labs_like()
+            .duration(5.0)
+            .synthesize(4);
         let exact = exact_flow_bytes(&trace);
         let report = SampleAndHold::new(1e-4).run(&trace, 9);
         for (f, &counted) in report.counted_bytes() {
-            assert!(counted <= exact[f], "flow {f}: counted {counted} > exact {}", exact[f]);
+            assert!(
+                counted <= exact[f],
+                "flow {f}: counted {counted} > exact {}",
+                exact[f]
+            );
         }
     }
 

@@ -31,9 +31,7 @@ pub mod trace;
 pub mod trajectory;
 
 pub use codec::{decode, encode, CodecError};
-pub use flowdist::{
-    invert_flow_distribution, observed_flow_lengths, EmConfig, FlowDistEstimate,
-};
+pub use flowdist::{invert_flow_distribution, observed_flow_lengths, EmConfig, FlowDistEstimate};
 pub use flowstats::{detection_probability, sample_packets, SampledPackets};
 pub use heavyhitter::{exact_flow_bytes, SampleAndHold, SampleAndHoldReport};
 pub use packet::{FlowKey, Packet, Protocol};
@@ -50,15 +48,22 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_trace() -> impl Strategy<Value = PacketTrace> {
-        (1usize..6, proptest::collection::vec((0.0f64..10.0, 1u32..2000), 0..50)).prop_map(
-            |(n_flows, mut raw)| {
+        (
+            1usize..6,
+            proptest::collection::vec((0.0f64..10.0, 1u32..2000), 0..50),
+        )
+            .prop_map(|(n_flows, mut raw)| {
                 let flows: Vec<FlowKey> = (0..n_flows)
                     .map(|i| FlowKey {
                         src: i as u32,
                         dst: (i + 1) as u32,
                         src_port: 1000 + i as u16,
                         dst_port: 80,
-                        proto: if i % 2 == 0 { Protocol::Tcp } else { Protocol::Udp },
+                        proto: if i % 2 == 0 {
+                            Protocol::Tcp
+                        } else {
+                            Protocol::Udp
+                        },
                     })
                     .collect();
                 raw.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
@@ -68,8 +73,7 @@ mod proptests {
                     .map(|(i, (t, s))| Packet::new(t, s, (i % n_flows) as u32))
                     .collect();
                 PacketTrace::new(flows, packets, 10.0)
-            },
-        )
+            })
     }
 
     proptest! {

@@ -67,7 +67,10 @@ impl Packet {
     ///
     /// Panics if `time` is negative/NaN or `size == 0`.
     pub fn new(time: f64, size: u32, flow: u32) -> Self {
-        assert!(time >= 0.0 && time.is_finite(), "timestamp must be non-negative finite");
+        assert!(
+            time >= 0.0 && time.is_finite(),
+            "timestamp must be non-negative finite"
+        );
         assert!(size > 0, "packet size must be positive");
         Packet { time, size, flow }
     }
@@ -79,8 +82,20 @@ mod tests {
 
     #[test]
     fn od_pair_is_unordered() {
-        let a = FlowKey { src: 5, dst: 9, src_port: 80, dst_port: 4000, proto: Protocol::Tcp };
-        let b = FlowKey { src: 9, dst: 5, src_port: 4000, dst_port: 80, proto: Protocol::Tcp };
+        let a = FlowKey {
+            src: 5,
+            dst: 9,
+            src_port: 80,
+            dst_port: 4000,
+            proto: Protocol::Tcp,
+        };
+        let b = FlowKey {
+            src: 9,
+            dst: 5,
+            src_port: 4000,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        };
         assert_eq!(a.od_pair(), b.od_pair());
         assert_eq!(a.od_pair(), (5, 9));
     }
@@ -107,8 +122,20 @@ mod tests {
     fn flow_key_is_hashable_and_ordered() {
         use std::collections::HashSet;
         let mut set = HashSet::new();
-        set.insert(FlowKey { src: 1, dst: 2, src_port: 1, dst_port: 2, proto: Protocol::Udp });
-        set.insert(FlowKey { src: 1, dst: 2, src_port: 1, dst_port: 2, proto: Protocol::Udp });
+        set.insert(FlowKey {
+            src: 1,
+            dst: 2,
+            src_port: 1,
+            dst_port: 2,
+            proto: Protocol::Udp,
+        });
+        set.insert(FlowKey {
+            src: 1,
+            dst: 2,
+            src_port: 1,
+            dst_port: 2,
+            proto: Protocol::Udp,
+        });
         assert_eq!(set.len(), 1);
     }
 }

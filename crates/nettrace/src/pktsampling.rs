@@ -72,7 +72,10 @@ impl PacketSampler {
                 assert!(every >= 1, "packet interval must be >= 1");
             }
             Trigger::TimeDriven { every } => {
-                assert!(every > 0.0 && every.is_finite(), "time interval must be positive");
+                assert!(
+                    every > 0.0 && every.is_finite(),
+                    "time interval must be positive"
+                );
             }
         }
         PacketSampler { trigger, pattern }
@@ -225,7 +228,12 @@ impl SampledTrace {
         let packets = trace.packets();
         let sizes = indices.iter().map(|&i| packets[i].size as f64).collect();
         let times = indices.iter().map(|&i| packets[i].time).collect();
-        SampledTrace { indices, sizes, times, parent_len: trace.len() }
+        SampledTrace {
+            indices,
+            sizes,
+            times,
+            parent_len: trace.len(),
+        }
     }
 
     /// Indices of the selected packets in the parent trace.
@@ -294,8 +302,7 @@ impl SampledTrace {
         if packets.len() < 2 {
             return 1.0;
         }
-        let parent: Vec<f64> =
-            packets.windows(2).map(|w| w[1].time - w[0].time).collect();
+        let parent: Vec<f64> = packets.windows(2).map(|w| w[1].time - w[0].time).collect();
         let sampled: Vec<f64> = self
             .indices
             .iter()
@@ -315,7 +322,10 @@ impl SampledTrace {
 ///
 /// Panics if either sample is empty.
 pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "KS distance needs non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "KS distance needs non-empty samples"
+    );
     let ea = Ecdf::new(a);
     let eb = Ecdf::new(b);
     let mut d = 0.0f64;
@@ -343,7 +353,12 @@ pub fn all_samplers(trace: &PacketTrace, mean_gap_pkts: usize) -> Vec<PacketSamp
     ];
     let mut out = Vec::with_capacity(6);
     for &p in &patterns {
-        out.push(PacketSampler::new(Trigger::EventDriven { every: mean_gap_pkts }, p));
+        out.push(PacketSampler::new(
+            Trigger::EventDriven {
+                every: mean_gap_pkts,
+            },
+            p,
+        ));
     }
     for &p in &patterns {
         out.push(PacketSampler::new(Trigger::TimeDriven { every: dt }, p));
@@ -365,14 +380,19 @@ mod tests {
             dst_port: 20,
             proto: Protocol::Udp,
         }];
-        let packets = (0..n).map(|i| Packet::new(i as f64 * gap, size, 0)).collect();
+        let packets = (0..n)
+            .map(|i| Packet::new(i as f64 * gap, size, 0))
+            .collect();
         PacketTrace::new(flows, packets, n as f64 * gap)
     }
 
     #[test]
     fn event_systematic_takes_every_nth() {
         let trace = uniform_trace(100, 0.1, 500);
-        let s = PacketSampler::new(Trigger::EventDriven { every: 10 }, SelectionPattern::Systematic);
+        let s = PacketSampler::new(
+            Trigger::EventDriven { every: 10 },
+            SelectionPattern::Systematic,
+        );
         let out = s.sample(&trace, 0);
         assert_eq!(out.indices(), &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
         assert!((out.achieved_rate() - 0.1).abs() < 1e-12);
@@ -381,7 +401,10 @@ mod tests {
     #[test]
     fn event_systematic_phase_from_seed() {
         let trace = uniform_trace(100, 0.1, 500);
-        let s = PacketSampler::new(Trigger::EventDriven { every: 10 }, SelectionPattern::Systematic);
+        let s = PacketSampler::new(
+            Trigger::EventDriven { every: 10 },
+            SelectionPattern::Systematic,
+        );
         let out = s.sample(&trace, 3);
         assert_eq!(out.indices()[0], 3);
     }
@@ -389,11 +412,17 @@ mod tests {
     #[test]
     fn event_stratified_one_per_bucket() {
         let trace = uniform_trace(97, 0.1, 500);
-        let s = PacketSampler::new(Trigger::EventDriven { every: 10 }, SelectionPattern::Stratified);
+        let s = PacketSampler::new(
+            Trigger::EventDriven { every: 10 },
+            SelectionPattern::Stratified,
+        );
         let out = s.sample(&trace, 5);
         assert_eq!(out.len(), 10);
         for (b, &i) in out.indices().iter().enumerate() {
-            assert!(i >= b * 10 && i < ((b + 1) * 10).min(97), "bucket {b} idx {i}");
+            assert!(
+                i >= b * 10 && i < ((b + 1) * 10).min(97),
+                "bucket {b} idx {i}"
+            );
         }
     }
 
@@ -402,7 +431,11 @@ mod tests {
         let trace = uniform_trace(50_000, 0.001, 100);
         let s = PacketSampler::new(Trigger::EventDriven { every: 10 }, SelectionPattern::Random);
         let out = s.sample(&trace, 7);
-        assert!((out.achieved_rate() - 0.1).abs() < 0.01, "rate {}", out.achieved_rate());
+        assert!(
+            (out.achieved_rate() - 0.1).abs() < 0.01,
+            "rate {}",
+            out.achieved_rate()
+        );
     }
 
     #[test]
@@ -410,7 +443,10 @@ mod tests {
         // Uniformly spaced packets: one per 0.1 s. A 1-second timer
         // selects every 10th packet (up to phase).
         let trace = uniform_trace(1000, 0.1, 100);
-        let s = PacketSampler::new(Trigger::TimeDriven { every: 1.0 }, SelectionPattern::Systematic);
+        let s = PacketSampler::new(
+            Trigger::TimeDriven { every: 1.0 },
+            SelectionPattern::Systematic,
+        );
         let out = s.sample(&trace, 9);
         assert!(!out.is_empty());
         let gaps: Vec<usize> = out.indices().windows(2).map(|w| w[1] - w[0]).collect();
@@ -422,7 +458,10 @@ mod tests {
         // Timer much faster than packets: every instant captures the
         // same next packet; dedup must keep it once.
         let trace = uniform_trace(10, 10.0, 100);
-        let s = PacketSampler::new(Trigger::TimeDriven { every: 0.5 }, SelectionPattern::Systematic);
+        let s = PacketSampler::new(
+            Trigger::TimeDriven { every: 0.5 },
+            SelectionPattern::Systematic,
+        );
         let out = s.sample(&trace, 1);
         let mut sorted = out.indices().to_vec();
         sorted.dedup();
@@ -474,14 +513,16 @@ mod tests {
         // idle periods and systematically reports burst heads. Event-
         // driven selection is position-uniform and has no such bias, so
         // its gap distribution matches the parent far better.
-        let trace = TraceSynthesizer::bell_labs_like().duration(60.0).synthesize(17);
+        let trace = TraceSynthesizer::bell_labs_like()
+            .duration(60.0)
+            .synthesize(17);
         let every = 50;
-        let ev = PacketSampler::new(
-            Trigger::EventDriven { every },
+        let ev = PacketSampler::new(Trigger::EventDriven { every }, SelectionPattern::Stratified);
+        let dt = every as f64 * trace.duration() / trace.len() as f64;
+        let td = PacketSampler::new(
+            Trigger::TimeDriven { every: dt },
             SelectionPattern::Stratified,
         );
-        let dt = every as f64 * trace.duration() / trace.len() as f64;
-        let td = PacketSampler::new(Trigger::TimeDriven { every: dt }, SelectionPattern::Stratified);
         let mut ev_d = 0.0;
         let mut td_d = 0.0;
         let runs = 9;

@@ -164,17 +164,16 @@ impl TraceSynthesizer {
         }
         let packets: Vec<Packet> = packets
             .into_iter()
-            .map(|p| Packet { time: p.time, size: p.size, flow: remap[p.flow as usize] })
+            .map(|p| Packet {
+                time: p.time,
+                size: p.size,
+                flow: remap[p.flow as usize],
+            })
             .collect();
         PacketTrace::new(kept, packets, self.duration)
     }
 
-    fn random_flow_key(
-        &self,
-        rng: &mut impl Rng,
-        weights: &[f64],
-        total_w: f64,
-    ) -> FlowKey {
+    fn random_flow_key(&self, rng: &mut impl Rng, weights: &[f64], total_w: f64) -> FlowKey {
         fn pick(rng: &mut impl Rng, weights: &[f64], total_w: f64) -> u32 {
             let mut x = rng.gen::<f64>() * total_w;
             for (i, w) in weights.iter().enumerate() {
@@ -190,12 +189,18 @@ impl TraceSynthesizer {
         if dst == src {
             dst = (src + 1) % self.n_hosts;
         }
-        let proto = if rng.gen::<f64>() < 0.9 { Protocol::Tcp } else { Protocol::Udp };
+        let proto = if rng.gen::<f64>() < 0.9 {
+            Protocol::Tcp
+        } else {
+            Protocol::Udp
+        };
         FlowKey {
             src,
             dst,
             src_port: rng.gen_range(1024..65535),
-            dst_port: *[80u16, 443, 8080, 25, 53].get(rng.gen_range(0..5)).expect("in range"),
+            dst_port: *[80u16, 443, 8080, 25, 53]
+                .get(rng.gen_range(0..5))
+                .expect("in range"),
             proto,
         }
     }
@@ -273,7 +278,11 @@ impl TrainModel {
                     if t > horizon {
                         return;
                     }
-                    packets.push(Packet { time: t, size: effective, flow: flow_id });
+                    packets.push(Packet {
+                        time: t,
+                        size: effective,
+                        flow: flow_id,
+                    });
                 } else if t > horizon {
                     return;
                 }
@@ -304,7 +313,9 @@ mod tests {
     use super::*;
 
     fn quick_trace(seed: u64) -> PacketTrace {
-        TraceSynthesizer::bell_labs_like().duration(120.0).synthesize(seed)
+        TraceSynthesizer::bell_labs_like()
+            .duration(120.0)
+            .synthesize(seed)
     }
 
     #[test]
@@ -315,7 +326,9 @@ mod tests {
 
     #[test]
     fn mean_rate_close_to_target() {
-        let t = TraceSynthesizer::bell_labs_like().duration(600.0).synthesize(11);
+        let t = TraceSynthesizer::bell_labs_like()
+            .duration(600.0)
+            .synthesize(11);
         let target = 1.21e4;
         // Heavy-tailed flow sizes: slow convergence; accept a wide band.
         assert!(
@@ -339,7 +352,9 @@ mod tests {
 
     #[test]
     fn many_od_pairs() {
-        let t = TraceSynthesizer::bell_labs_like().duration(300.0).synthesize(9);
+        let t = TraceSynthesizer::bell_labs_like()
+            .duration(300.0)
+            .synthesize(9);
         assert!(t.od_pair_count() > 50, "pairs={}", t.od_pair_count());
     }
 
@@ -355,7 +370,9 @@ mod tests {
     fn binned_series_is_lrd() {
         // Consensus Hurst of the 10 ms-binned rate should be in the LRD
         // band around the 0.62 target.
-        let t = TraceSynthesizer::bell_labs_like().duration(1200.0).synthesize(21);
+        let t = TraceSynthesizer::bell_labs_like()
+            .duration(1200.0)
+            .synthesize(21);
         let ts = t.to_rate_series(0.01);
         let h = sst_hurst_probe::consensus(ts.values());
         assert!(h > 0.52 && h < 0.8, "H={h}");

@@ -27,12 +27,24 @@ impl PacketTrace {
         assert!(duration >= 0.0 && duration.is_finite(), "invalid duration");
         let mut prev = 0.0f64;
         for p in &packets {
-            assert!((p.flow as usize) < flows.len(), "packet references unknown flow {}", p.flow);
-            assert!(p.time <= duration, "packet at {} beyond duration {duration}", p.time);
+            assert!(
+                (p.flow as usize) < flows.len(),
+                "packet references unknown flow {}",
+                p.flow
+            );
+            assert!(
+                p.time <= duration,
+                "packet at {} beyond duration {duration}",
+                p.time
+            );
             assert!(p.time >= prev, "packets must be sorted by time");
             prev = p.time;
         }
-        PacketTrace { flows, packets, duration }
+        PacketTrace {
+            flows,
+            packets,
+            duration,
+        }
     }
 
     /// The flow table.
@@ -110,7 +122,11 @@ impl PacketTrace {
 
     /// Rate series for a single OD pair (unordered host pair).
     pub fn od_rate_series(&self, pair: (u32, u32), dt: f64) -> TimeSeries {
-        let pair = if pair.0 <= pair.1 { pair } else { (pair.1, pair.0) };
+        let pair = if pair.0 <= pair.1 {
+            pair
+        } else {
+            (pair.1, pair.0)
+        };
         self.to_rate_series_filtered(dt, |k| k.od_pair() == pair)
     }
 
@@ -129,8 +145,11 @@ impl PacketTrace {
 
     /// Number of distinct OD pairs.
     pub fn od_pair_count(&self) -> usize {
-        let mut pairs: Vec<(u32, u32)> =
-            self.packets.iter().map(|p| self.flows[p.flow as usize].od_pair()).collect();
+        let mut pairs: Vec<(u32, u32)> = self
+            .packets
+            .iter()
+            .map(|p| self.flows[p.flow as usize].od_pair())
+            .collect();
         pairs.sort_unstable();
         pairs.dedup();
         pairs.len()
@@ -143,7 +162,13 @@ mod tests {
     use crate::packet::Protocol;
 
     fn key(src: u32, dst: u32) -> FlowKey {
-        FlowKey { src, dst, src_port: 1000, dst_port: 80, proto: Protocol::Tcp }
+        FlowKey {
+            src,
+            dst,
+            src_port: 1000,
+            dst_port: 80,
+            proto: Protocol::Tcp,
+        }
     }
 
     fn tiny_trace() -> PacketTrace {

@@ -84,7 +84,11 @@ impl TrajectorySampler {
         } else {
             (fraction * u64::MAX as f64) as u64
         };
-        TrajectorySampler { threshold, fraction, salt }
+        TrajectorySampler {
+            threshold,
+            fraction,
+            salt,
+        }
     }
 
     /// The configured sampling fraction.
@@ -127,7 +131,13 @@ mod tests {
     use crate::synth::TraceSynthesizer;
 
     fn flow(src: u32) -> FlowKey {
-        FlowKey { src, dst: 99, src_port: 1, dst_port: 2, proto: Protocol::Tcp }
+        FlowKey {
+            src,
+            dst: 99,
+            src_port: 1,
+            dst_port: 2,
+            proto: Protocol::Tcp,
+        }
     }
 
     #[test]
@@ -154,7 +164,13 @@ mod tests {
         let flows = vec![flow(1), flow(2)];
         let mk = |shift: f64| {
             let packets = (0..2000)
-                .map(|i| Packet::new(shift + i as f64 * 0.001, 40 + (i % 1460) as u32, (i % 2) as u32))
+                .map(|i| {
+                    Packet::new(
+                        shift + i as f64 * 0.001,
+                        40 + (i % 1460) as u32,
+                        (i % 2) as u32,
+                    )
+                })
                 .collect();
             PacketTrace::new(flows.clone(), packets, shift + 2.0)
         };
@@ -167,7 +183,9 @@ mod tests {
 
     #[test]
     fn different_salts_give_independent_samples() {
-        let trace = TraceSynthesizer::bell_labs_like().duration(5.0).synthesize(8);
+        let trace = TraceSynthesizer::bell_labs_like()
+            .duration(5.0)
+            .synthesize(8);
         let a = TrajectorySampler::new(0.1, 1).sample(&trace);
         let b = TrajectorySampler::new(0.1, 2).sample(&trace);
         assert_ne!(a, b);
@@ -180,7 +198,9 @@ mod tests {
 
     #[test]
     fn full_fraction_selects_everything() {
-        let trace = TraceSynthesizer::bell_labs_like().duration(1.0).synthesize(2);
+        let trace = TraceSynthesizer::bell_labs_like()
+            .duration(1.0)
+            .synthesize(2);
         let s = TrajectorySampler::new(1.0, 0);
         assert_eq!(s.sample(&trace).len(), trace.len());
     }

@@ -17,7 +17,10 @@ fn kappa(h: f64) -> f64 {
 
 fn check_params(h: f64, mean_rate: f64, sigma: f64) {
     assert!((0.5..1.0).contains(&h), "H must lie in [0.5, 1), got {h}");
-    assert!(mean_rate > 0.0 && mean_rate.is_finite(), "mean rate must be positive");
+    assert!(
+        mean_rate > 0.0 && mean_rate.is_finite(),
+        "mean rate must be positive"
+    );
     assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
 }
 
@@ -40,7 +43,10 @@ fn check_params(h: f64, mean_rate: f64, sigma: f64) {
 /// ```
 pub fn required_buffer(h: f64, mean_rate: f64, sigma: f64, service: f64, loss: f64) -> f64 {
     check_params(h, mean_rate, sigma);
-    assert!(service > mean_rate, "queue must be stable (service > mean rate)");
+    assert!(
+        service > mean_rate,
+        "queue must be stable (service > mean rate)"
+    );
     assert!(loss > 0.0 && loss < 1.0, "loss target must lie in (0,1)");
     // exp(−(c−m)^{2H} b^{2−2H} / (2κ²σ²)) = loss
     // ⇒ b = [ −ln(loss) · 2κ²σ² / (c−m)^{2H} ]^{1/(2−2H)}
@@ -59,7 +65,10 @@ pub fn required_buffer(h: f64, mean_rate: f64, sigma: f64, service: f64, loss: f
 /// and `0 < loss < 1`.
 pub fn effective_bandwidth(h: f64, mean_rate: f64, sigma: f64, buffer: f64, loss: f64) -> f64 {
     check_params(h, mean_rate, sigma);
-    assert!(buffer > 0.0 && buffer.is_finite(), "buffer must be positive");
+    assert!(
+        buffer > 0.0 && buffer.is_finite(),
+        "buffer must be positive"
+    );
     assert!(loss > 0.0 && loss < 1.0, "loss target must lie in (0,1)");
     // Solve (c−m)^{2H} = −ln(loss)·2κ²σ² / b^{2−2H} for c.
     let k = kappa(h);

@@ -112,8 +112,13 @@ impl QueuePath {
     /// `(buffer, P(Q > buffer))` on a log-spaced buffer grid — the
     /// overflow curve whose shape distinguishes SRD from LRD input.
     pub fn overflow_curve(&self, points: usize) -> Vec<(f64, f64)> {
-        let positive: Vec<f64> =
-            self.occupancy.values().iter().copied().filter(|&q| q > 0.0).collect();
+        let positive: Vec<f64> = self
+            .occupancy
+            .values()
+            .iter()
+            .copied()
+            .filter(|&q| q > 0.0)
+            .collect();
         if positive.is_empty() {
             return Vec::new();
         }
@@ -159,7 +164,10 @@ impl QueuePath {
 /// Panics unless `0.5 <= h < 1`, `service > mean_rate`, `sigma > 0`.
 pub fn norros_overflow(b: f64, h: f64, mean_rate: f64, sigma: f64, service: f64) -> f64 {
     assert!((0.5..1.0).contains(&h), "H must be in [0.5, 1)");
-    assert!(service > mean_rate, "queue must be stable (service > mean rate)");
+    assert!(
+        service > mean_rate,
+        "queue must be stable (service > mean rate)"
+    );
     assert!(sigma > 0.0, "sigma must be positive");
     if b <= 0.0 {
         return 1.0;
@@ -222,7 +230,9 @@ mod tests {
     fn buffer_for_loss_is_monotone_in_target() {
         let arr = TimeSeries::from_values(
             1.0,
-            (0..1000).map(|i| if i % 10 == 0 { 5.0 } else { 0.5 }).collect(),
+            (0..1000)
+                .map(|i| if i % 10 == 0 { 5.0 } else { 0.5 })
+                .collect(),
         );
         let q = FluidQueue::new(1.0).drive(&arr);
         let strict = q.buffer_for_loss(0.001).unwrap_or(f64::INFINITY);

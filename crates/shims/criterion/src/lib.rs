@@ -1,0 +1,431 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use — `criterion_group!`/`criterion_main!`, `Criterion::default()`,
+//! benchmark groups with `sample_size`/`throughput`/`warm_up_time`/
+//! `measurement_time`, `bench_function`/`bench_with_input`, and
+//! `Bencher::iter` — as a straightforward wall-clock harness:
+//!
+//! * each benchmark is warmed up, then timed over `sample_size` samples;
+//! * the **median** per-iteration time is reported (robust to scheduler
+//!   noise), plus min/max;
+//! * when the `CRITERION_JSON` environment variable names a file, one
+//!   JSON line per benchmark is appended:
+//!   `{"id":…,"ns_per_iter":…,"iters":…,"throughput_elems":…}` — the
+//!   workspace's `scripts/bench_json.sh` uses this to build
+//!   `BENCH_samplers.json`.
+//!
+//! `cargo test` executes harness-less bench binaries with `--test`; in
+//! that mode every benchmark runs exactly one iteration as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (reported alongside time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<N: Display, P: Display>(name: N, param: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter<P: Display>(param: P) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a per-iteration setup step excluded from the
+    /// measurement (approximated: setup runs inside the loop but its cost
+    /// is measured and subtracted).
+    pub fn iter_with_setup<S, I, O, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let setup_start = Instant::now();
+        let mut inputs = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            inputs.push(setup());
+        }
+        let _setup_cost = setup_start.elapsed();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Measurement configuration, shared by [`Criterion`] and groups.
+#[derive(Clone, Debug)]
+struct MeasureCfg {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    smoke_test: bool,
+}
+
+impl MeasureCfg {
+    fn default_cfg() -> Self {
+        MeasureCfg {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+            smoke_test: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+/// Top-level harness state.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    cfg: MeasureCfg,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            cfg: MeasureCfg::default_cfg(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let cfg = self.cfg.clone();
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            cfg,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<N, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        N: Display,
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.cfg.clone();
+        run_benchmark(&id.to_string(), &cfg, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    cfg: MeasureCfg,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure under `id` within this group.
+    pub fn bench_function<N, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        N: Display,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.cfg, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a closure parameterized by `input`.
+    pub fn bench_with_input<N, I, F>(&mut self, id: N, input: &I, mut f: F) -> &mut Self
+    where
+        N: Display,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.cfg, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    cfg: &MeasureCfg,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if cfg.smoke_test {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{id}: smoke test ok");
+        return;
+    }
+    // Calibration: time one iteration to size the warm-up and samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(20));
+
+    // Warm-up loop.
+    let warm_end = Instant::now() + cfg.warm_up;
+    while Instant::now() < warm_end {
+        let mut wb = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut wb);
+        if once > cfg.warm_up {
+            break; // one iteration already exceeds the warm-up budget
+        }
+    }
+
+    // Choose per-sample iteration count so the whole measurement stays
+    // within the budget.
+    let per_sample = cfg.measurement.as_secs_f64() / cfg.sample_size as f64;
+    let iters = (per_sample / once.as_secs_f64()).floor().clamp(1.0, 1e9) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut sb = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut sb);
+        samples_ns.push(sb.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = samples_ns[samples_ns.len() / 2];
+    let lo = samples_ns[0];
+    let hi = samples_ns[samples_ns.len() - 1];
+
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  thrpt: {} elem/s", human_rate(n as f64 / (median * 1e-9)))
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  thrpt: {}B/s", human_rate(n as f64 / (median * 1e-9)))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<50} time: [{} {} {}]{thr}",
+        human_time(lo),
+        human_time(median),
+        human_time(hi)
+    );
+    append_json(id, median, iters, throughput);
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_s: f64) -> String {
+    if per_s >= 1e9 {
+        format!("{:.3} G", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.3} M", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.3} K", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} ")
+    }
+}
+
+fn append_json(id: &str, median_ns: f64, iters: u64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) => format!(",\"throughput_elems\":{n}"),
+        Some(Throughput::Bytes(n)) => format!(",\"throughput_bytes\":{n}"),
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"id\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}{}}}\n",
+        id.replace('"', "'"),
+        median_ns,
+        iters,
+        thr
+    );
+    if let Ok(mut fh) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = fh.write_all(line.as_bytes());
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn…)` or the
+/// braced form with an explicit `config = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("fgn", 1024).to_string(), "fgn/1024");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        g.bench_function("tiny", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.finish();
+        assert!(runs > 0, "benchmark closure must have executed");
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+        assert!(human_time(2e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds with no network access, so this crate provides the
+//! small slice of the `rand 0.8` API the sources use: [`RngCore`],
+//! [`SeedableRng`], the [`Rng`] extension trait (`gen`, `gen_range`,
+//! `gen_bool`, `fill`), and [`rngs::StdRng`].
+//!
+//! `StdRng` here is **ChaCha12, bit-compatible with upstream `rand
+//! 0.8`**: the same block function and buffering, `rand_core`'s exact
+//! PCG32-based `seed_from_u64`, the same `Standard` sampling, and the
+//! same `gen_range` widening-multiply algorithm — so any explicit seed
+//! yields the value stream real `rand` would produce (the workspace's
+//! statistical test tolerances were calibrated against that stream).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level uniform bit generator.
+pub trait RngCore {
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanding it exactly like
+    /// `rand_core 0.6` (a PCG32 stream written to the seed in 4-byte
+    /// little-endian chunks) so seeds produce the same generator state as
+    /// upstream `rand 0.8`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6_364_136_223_846_793_005;
+            const INC: u64 = 11_634_580_027_462_260_723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let word = pcg32(&mut state);
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly from an `RngCore` (the `Standard`
+/// distribution of upstream `rand`).
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // As upstream rand 0.8.5: the sign bit of one u32 word.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+/// Types uniformly samplable within a range (the `SampleUniform` of
+/// upstream `rand`), reproducing `rand 0.8.5`'s draw algorithm exactly:
+/// widening multiply with zone rejection on the type-dependent "large"
+/// type (`u32` for ≤32-bit integers, `u64` for 64-bit ones), so a given
+/// seed yields the same values upstream would produce.
+pub trait SampleUniform: Sized {
+    /// Draws a value from `[lo, hi]` (inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+    /// Draws a value from `[lo, hi)`.
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => ($unsigned:ty, $large:ty, $wide:ty)),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let range = (hi as $unsigned).wrapping_sub(lo as $unsigned).wrapping_add(1) as $large;
+                if range == 0 {
+                    // Span covers the whole type.
+                    return Standard::sample(rng);
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                    // Small types: reject the exact surplus.
+                    let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                    <$large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $large = Standard::sample(rng);
+                    let m = (v as $wide).wrapping_mul(range as $wide);
+                    let hi_part = (m >> (<$large>::BITS as usize)) as $large;
+                    let lo_part = m as $large;
+                    if lo_part <= zone {
+                        return lo.wrapping_add(hi_part as $t);
+                    }
+                }
+            }
+
+            #[inline]
+            fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "cannot sample from an empty range");
+                Self::sample_inclusive(lo, hi - 1, rng)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => (u8, u32, u64),
+    u16 => (u16, u32, u64),
+    u32 => (u32, u32, u64),
+    u64 => (u64, u64, u128),
+    usize => (usize, u64, u128),
+    i8 => (u8, u32, u64),
+    i16 => (u16, u32, u64),
+    i32 => (u32, u32, u64),
+    i64 => (u64, u64, u128),
+    isize => (usize, u64, u128),
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty => ($uty:ty, $discard:expr, $exp_one:expr)),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "cannot sample from an empty range");
+                let scale = hi - lo;
+                // rand 0.8: a mantissa-uniform value in [1, 2), then
+                // fused into [lo, hi).
+                let bits: $uty = Standard::sample(rng);
+                let value1_2 = <$t>::from_bits($exp_one | (bits >> $discard));
+                let res = value1_2 * scale + (lo - scale);
+                if res < hi { res } else { hi.next_down() }
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                Self::sample_in(lo, hi, rng)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(
+    f32 => (u32, 9u32, 0x3F80_0000u32),
+    f64 => (u64, 12u64, 0x3FF0_0000_0000_0000u64),
+);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Extension methods over any [`RngCore`] (blanket-implemented).
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0,1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills an integer/byte slice with uniform values.
+    #[inline]
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    const BUF_WORDS: usize = 64; // 4 ChaCha blocks, as in rand_chacha
+
+    /// The standard generator: **ChaCha12**, bit-compatible with
+    /// `rand 0.8`'s `StdRng`.
+    ///
+    /// Reproduces upstream exactly: the ChaCha block function with a
+    /// 64-bit block counter and zero stream id, results buffered four
+    /// blocks at a time, and `rand_core`'s `BlockRng` word-consumption
+    /// rules for `next_u32`/`next_u64` (including the buffer-straddling
+    /// edge case). Combined with the `rand_core`-exact `seed_from_u64`,
+    /// any seed yields the same value stream real `rand` would produce.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    macro_rules! quarter_round {
+        ($a:ident, $b:ident, $c:ident, $d:ident) => {
+            $a = $a.wrapping_add($b);
+            $d = ($d ^ $a).rotate_left(16);
+            $c = $c.wrapping_add($d);
+            $b = ($b ^ $c).rotate_left(12);
+            $a = $a.wrapping_add($b);
+            $d = ($d ^ $a).rotate_left(8);
+            $c = $c.wrapping_add($d);
+            $b = ($b ^ $c).rotate_left(7);
+        };
+    }
+
+    #[allow(clippy::many_single_char_names)]
+    fn chacha12_block(key: &[u32; 8], counter: u64, out: &mut [u32]) {
+        // State in named locals so the 96 quarter-round operations
+        // compile to straight-line register code (no bounds checks).
+        let (ia, ib, ic, id) = (
+            0x6170_7865u32,
+            0x3320_646eu32,
+            0x7962_2d32u32,
+            0x6b20_6574u32,
+        );
+        let (ie, ig, ih, ii) = (key[0], key[1], key[2], key[3]);
+        let (ij, ik, il, im) = (key[4], key[5], key[6], key[7]);
+        // Words 12-13: 64-bit block counter; 14-15: stream id, always 0.
+        let (in_, io) = (counter as u32, (counter >> 32) as u32);
+        let (ip, iq) = (0u32, 0u32);
+        let (mut a, mut b, mut c, mut d) = (ia, ib, ic, id);
+        let (mut e, mut g, mut h, mut i) = (ie, ig, ih, ii);
+        let (mut j, mut k, mut l, mut m) = (ij, ik, il, im);
+        let (mut n, mut o, mut p, mut q) = (in_, io, ip, iq);
+        for _ in 0..6 {
+            // Column round.
+            quarter_round!(a, e, j, n);
+            quarter_round!(b, g, k, o);
+            quarter_round!(c, h, l, p);
+            quarter_round!(d, i, m, q);
+            // Diagonal round.
+            quarter_round!(a, g, l, q);
+            quarter_round!(b, h, m, n);
+            quarter_round!(c, i, j, o);
+            quarter_round!(d, e, k, p);
+        }
+        out[0] = a.wrapping_add(ia);
+        out[1] = b.wrapping_add(ib);
+        out[2] = c.wrapping_add(ic);
+        out[3] = d.wrapping_add(id);
+        out[4] = e.wrapping_add(ie);
+        out[5] = g.wrapping_add(ig);
+        out[6] = h.wrapping_add(ih);
+        out[7] = i.wrapping_add(ii);
+        out[8] = j.wrapping_add(ij);
+        out[9] = k.wrapping_add(ik);
+        out[10] = l.wrapping_add(il);
+        out[11] = m.wrapping_add(im);
+        out[12] = n.wrapping_add(in_);
+        out[13] = o.wrapping_add(io);
+        out[14] = p.wrapping_add(ip);
+        out[15] = q.wrapping_add(iq);
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            for b in 0..4u64 {
+                let c = self.counter.wrapping_add(b);
+                let lo = (b as usize) * 16;
+                chacha12_block(&self.key, c, &mut self.buf[lo..lo + 16]);
+            }
+            self.counter = self.counter.wrapping_add(4);
+            self.index = 0;
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.refill();
+            }
+            let w = self.buf[self.index];
+            self.index += 1;
+            w
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // rand_core BlockRng consumption rules.
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                (u64::from(self.buf[index + 1]) << 32) | u64::from(self.buf[index])
+            } else if index >= BUF_WORDS {
+                self.refill();
+                self.index = 2;
+                (u64::from(self.buf[1]) << 32) | u64::from(self.buf[0])
+            } else {
+                // Straddles the buffer boundary: low word is the last of
+                // this batch, high word the first of the next.
+                let lo = u64::from(self.buf[BUF_WORDS - 1]);
+                self.refill();
+                self.index = 1;
+                (u64::from(self.buf[0]) << 32) | lo
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(4);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let last = self.next_u32().to_le_bytes();
+                rem.copy_from_slice(&last[..rem.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut key = [0u32; 8];
+            for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let k = r.gen_range(0usize..5);
+            seen[k] = true;
+            let p = r.gen_range(1024u16..65535);
+            assert!((1024..65535).contains(&p));
+            let f = r.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let mut r = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = StdRng::from_seed([0u8; 32]);
+        let a = r.gen::<u64>();
+        let b = r.gen::<u64>();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the small parallel-iterator surface the workspace uses —
+//! `into_par_iter()` / `par_iter()` followed by `map(...).collect()` or
+//! `for_each(...)` — implemented with `std::thread::scope` over contiguous
+//! chunks. Results are collected **in input order**, so a parallel map is
+//! a drop-in, bit-identical replacement for the sequential `Iterator`
+//! equivalent whenever the mapped function is pure per item (no
+//! cross-item state), which is exactly the contract the workspace's
+//! experiment runner relies on for determinism.
+//!
+//! Unlike real rayon there is no work-stealing pool: each `collect` /
+//! `for_each` spawns up to [`current_num_threads`] scoped threads and
+//! joins them before returning. For the coarse-grained work here
+//! (multi-millisecond experiment instances, whole figures) the spawn cost
+//! is noise.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::AtomicUsize;
+use std::sync::Mutex;
+
+std::thread_local! {
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Number of worker threads a parallel operation will use: a
+/// [`with_num_threads`] override if one is active on this thread, else
+/// the `RAYON_NUM_THREADS` environment variable (like real rayon), else
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` with parallel operations *started on this thread* capped at
+/// `n` workers (shim-specific stand-in for rayon's scoped thread pools).
+pub fn with_num_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Ordered parallel map: applies `f` to every item, returning results in
+/// input order. The workhorse behind the iterator adapters.
+fn par_map_vec<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let effective = current_num_threads();
+    let threads = effective.min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Workers inherit the remaining thread budget, so nested parallel
+    // operations (a figure fanning rate sweeps inside `repro --jobs N`)
+    // stay within the caller's cap instead of re-reading the global
+    // default and oversubscribing the machine.
+    let nested_budget = (effective / threads).max(1);
+    // Work queue of (index, item); each worker pushes (index, result).
+    let queue: Mutex<Vec<(usize, I)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                with_num_threads(nested_budget, || loop {
+                    let next = queue.lock().expect("queue poisoned").pop();
+                    match next {
+                        Some((i, item)) => {
+                            let out = f(item);
+                            done.lock().expect("results poisoned").push((i, out));
+                        }
+                        None => break,
+                    }
+                })
+            });
+        }
+    });
+    let mut pairs = done.into_inner().expect("results poisoned");
+    pairs.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, t)| t).collect()
+}
+
+/// A materialized parallel iterator (eager source, lazy adapters).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A `map` adapter over [`ParIter`].
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// The iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize>;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    type Iter = ParIter<u64>;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// The iterator type.
+    type Iter;
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps each item through `f` (lazily; executed at `collect` /
+    /// `for_each`).
+    pub fn map<T: Send, F: Fn(I) -> T + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        par_map_vec(self.items, f);
+    }
+
+    /// Collects the items (identity map) in input order.
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<I: Send, T: Send, F: Fn(I) -> T + Sync> ParMap<I, F> {
+    /// Executes the map in parallel, collecting results in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+
+    /// Runs the map for its side effects.
+    pub fn for_each<G: Fn(T) + Sync>(self, g: G) {
+        let f = self.f;
+        par_map_vec(self.items, move |x| g(f(x)));
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join: closure panicked"))
+    })
+}
+
+/// The prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Proof-of-work counter used only by this shim's tests.
+#[doc(hidden)]
+pub static SHIM_TASKS_RUN: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn ordered_map_matches_sequential() {
+        let seq: Vec<u64> = (0..1000u64).map(|i| i * i + 1).collect();
+        let par: Vec<u64> = (0..1000usize)
+            .into_par_iter()
+            .map(|i| (i as u64) * (i as u64) + 1)
+            .collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data: Vec<f64> = (0..257).map(|i| i as f64).collect();
+        let doubled: Vec<f64> = data.par_iter().map(|&x| 2.0 * x).collect();
+        assert_eq!(doubled.len(), data.len());
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        SHIM_TASKS_RUN.store(0, Ordering::SeqCst);
+        (0..123usize).into_par_iter().for_each(|_| {
+            SHIM_TASKS_RUN.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(SHIM_TASKS_RUN.load(Ordering::SeqCst), 123);
+    }
+
+    #[test]
+    fn nested_operations_inherit_the_thread_cap() {
+        with_num_threads(2, || {
+            let observed: Vec<usize> = (0..8usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect();
+            // Each of the 2 workers has a budget of 1 for nested work.
+            assert!(observed.iter().all(|&n| n == 1), "observed {observed:?}");
+        });
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let v: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        let one: Vec<i32> = vec![7].into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(one, vec![21]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of plain
+//! data types for interoperability, but all actual encoding goes through
+//! the hand-written binary codec in `sst-nettrace`. This shim therefore
+//! provides the two trait names as markers and re-exports no-op derive
+//! macros under the same names, which is exactly enough for the existing
+//! `#[derive(Serialize, Deserialize)]` attributes to compile offline.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,44 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! Each derive emits an empty marker-trait impl for the deriving type.
+//! Only plain (non-generic) structs and enums are supported — which is
+//! all the workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following the first top-level
+/// `struct` or `enum` keyword (attributes and doc comments live inside
+/// groups at this level and are skipped naturally).
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde_derive shim: no struct/enum name found in derive input");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}

@@ -91,7 +91,11 @@ pub fn self_convolve_pmf(pmf: &[f64], k: usize, max_len: usize) -> Vec<f64> {
         *z = z.powi(k as u32);
     }
     ifft_pow2_in_place(&mut fa);
-    let mut out: Vec<f64> = fa.into_iter().take(max_len).map(|z| z.re.max(0.0)).collect();
+    let mut out: Vec<f64> = fa
+        .into_iter()
+        .take(max_len)
+        .map(|z| z.re.max(0.0))
+        .collect();
     // Clean up tiny negative round-off and renormalize the kept mass when
     // it should sum to ~1 (truncation may legitimately cut real mass; only
     // rescale overshoot).
@@ -240,7 +244,9 @@ mod tests {
 
     #[test]
     fn autocovariance_fft_matches_direct() {
-        let sig: Vec<f64> = (0..200).map(|i| ((i * 31) % 13) as f64 + (i as f64 / 50.0).sin()).collect();
+        let sig: Vec<f64> = (0..200)
+            .map(|i| ((i * 31) % 13) as f64 + (i as f64 / 50.0).sin())
+            .collect();
         let a = autocovariance(&sig, 40);
         let b = autocovariance_direct(&sig, 40);
         for (x, y) in a.iter().zip(&b) {
@@ -266,7 +272,9 @@ mod tests {
 
     #[test]
     fn alternating_signal_has_negative_lag_one_correlation() {
-        let sig: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let sig: Vec<f64> = (0..256)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let rho = autocorrelation(&sig, 2);
         assert!(rho[1] < -0.9);
         assert!(rho[2] > 0.9);

@@ -9,6 +9,7 @@
 //! fractional-Gaussian-noise generator are the two main consumers.
 
 use crate::complex::Complex;
+use crate::plan::{bluestein_for, plan_for, BluesteinScratch};
 
 /// Returns `true` when `n` is a power of two (and nonzero).
 #[inline]
@@ -24,11 +25,14 @@ pub fn next_pow2(n: usize) -> usize {
 
 /// In-place forward FFT for power-of-two `data.len()`.
 ///
+/// Thin wrapper over the shared [`crate::plan::FftPlan`] cache; results
+/// are bit-identical to the historical free-standing implementation.
+///
 /// # Panics
 ///
 /// Panics if `data.len()` is not a power of two.
 pub fn fft_pow2_in_place(data: &mut [Complex]) {
-    transform_pow2(data, false);
+    plan_for(data.len()).forward(data);
 }
 
 /// In-place inverse FFT (normalized by `1/n`) for power-of-two lengths.
@@ -37,51 +41,7 @@ pub fn fft_pow2_in_place(data: &mut [Complex]) {
 ///
 /// Panics if `data.len()` is not a power of two.
 pub fn ifft_pow2_in_place(data: &mut [Complex]) {
-    transform_pow2(data, true);
-    let n = data.len() as f64;
-    for z in data.iter_mut() {
-        *z = z.scale(1.0 / n);
-    }
-}
-
-fn transform_pow2(data: &mut [Complex], inverse: bool) {
-    let n = data.len();
-    assert!(is_power_of_two(n), "fft length {n} is not a power of two");
-    if n <= 1 {
-        return;
-    }
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            data.swap(i, j);
-        }
-    }
-    // Danielson-Lanczos butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::cis(ang);
-        let half = len / 2;
-        for start in (0..n).step_by(len) {
-            let mut w = Complex::ONE;
-            for k in 0..half {
-                let u = data[start + k];
-                let v = data[start + k + half] * w;
-                data[start + k] = u + v;
-                data[start + k + half] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
+    plan_for(data.len()).inverse(data);
 }
 
 /// Forward FFT of arbitrary length (radix-2 when possible, Bluestein
@@ -96,7 +56,8 @@ pub fn fft(input: &[Complex]) -> Vec<Complex> {
         fft_pow2_in_place(&mut buf);
         buf
     } else {
-        bluestein(input, false)
+        let mut scratch = BluesteinScratch::default();
+        bluestein_for(n).transform(input, false, &mut scratch)
     }
 }
 
@@ -111,45 +72,14 @@ pub fn ifft(input: &[Complex]) -> Vec<Complex> {
         ifft_pow2_in_place(&mut buf);
         buf
     } else {
-        let mut out = bluestein(input, true);
+        let mut scratch = BluesteinScratch::default();
+        let mut out = bluestein_for(n).transform(input, true, &mut scratch);
         let inv = 1.0 / n as f64;
         for z in out.iter_mut() {
             *z = z.scale(inv);
         }
         out
     }
-}
-
-/// Bluestein chirp-z transform: O(n log n) DFT for arbitrary n.
-fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
-    let n = input.len();
-    let m = next_pow2(2 * n - 1);
-    let sign = if inverse { 1.0 } else { -1.0 };
-    // chirp[k] = exp(sign * i * pi * k^2 / n)
-    let mut chirp = Vec::with_capacity(n);
-    for k in 0..n {
-        // k^2 mod 2n keeps the angle argument small for numeric stability.
-        let k2 = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
-        chirp.push(Complex::cis(sign * std::f64::consts::PI * k2 / n as f64));
-    }
-    let mut a = vec![Complex::ZERO; m];
-    for k in 0..n {
-        a[k] = input[k] * chirp[k];
-    }
-    let mut b = vec![Complex::ZERO; m];
-    b[0] = chirp[0].conj();
-    for k in 1..n {
-        let c = chirp[k].conj();
-        b[k] = c;
-        b[m - k] = c;
-    }
-    fft_pow2_in_place(&mut a);
-    fft_pow2_in_place(&mut b);
-    for k in 0..m {
-        a[k] *= b[k];
-    }
-    ifft_pow2_in_place(&mut a);
-    (0..n).map(|k| a[k] * chirp[k]).collect()
 }
 
 /// Forward FFT of a real signal; returns the full complex spectrum.
@@ -206,11 +136,16 @@ mod tests {
     }
 
     fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     fn ramp(n: usize) -> Vec<Complex> {
-        (0..n).map(|i| Complex::new(i as f64 * 0.37 - 1.0, (i as f64).sin())).collect()
+        (0..n)
+            .map(|i| Complex::new(i as f64 * 0.37 - 1.0, (i as f64).sin()))
+            .collect()
     }
 
     #[test]

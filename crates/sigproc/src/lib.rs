@@ -9,7 +9,10 @@
 //! ## Contents
 //!
 //! * [`complex`] — minimal `f64` complex arithmetic.
-//! * [`fft`] — radix-2 + Bluestein FFT, periodogram.
+//! * [`fft`] — radix-2 + Bluestein FFT, periodogram (thin wrappers over
+//!   the shared plan cache).
+//! * [`plan`] — precomputed FFT/Bluestein plans (twiddle tables,
+//!   bit-reversal lists, reusable scratch) with a process-wide LRU.
 //! * [`conv`] — convolution, τ-fold pmf self-convolution (the `k(u, τ)` of
 //!   the paper's Theorem 1), FFT autocorrelation.
 //! * [`wavelet`] — Daubechies DWT pyramid for the Abry-Veitch Hurst
@@ -35,11 +38,13 @@ pub mod complex;
 pub mod conv;
 pub mod fft;
 pub mod numeric;
+pub mod plan;
 pub mod regress;
 pub mod special;
 pub mod wavelet;
 
 pub use complex::Complex;
+pub use plan::{BluesteinPlan, BluesteinScratch, FftPlan};
 pub use regress::LineFit;
 pub use wavelet::{DwtPyramid, Wavelet};
 

@@ -136,7 +136,10 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 /// Panics if `lo` or `hi` is not strictly positive or `n < 2`.
 pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(lo > 0.0 && hi > 0.0, "logspace endpoints must be positive");
-    linspace(lo.ln(), hi.ln(), n).into_iter().map(f64::exp).collect()
+    linspace(lo.ln(), hi.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
 }
 
 #[cfg(test)]

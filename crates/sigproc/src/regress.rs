@@ -51,7 +51,10 @@ pub fn weighted_ols(x: &[f64], y: &[f64], w: &[f64]) -> LineFit {
     assert_eq!(x.len(), y.len(), "x and y length mismatch");
     assert_eq!(x.len(), w.len(), "x and w length mismatch");
     assert!(x.len() >= 2, "need at least two points to fit a line");
-    assert!(w.iter().all(|&wi| wi >= 0.0), "weights must be non-negative");
+    assert!(
+        w.iter().all(|&wi| wi >= 0.0),
+        "weights must be non-negative"
+    );
     let sw: f64 = w.iter().sum();
     assert!(sw > 0.0, "at least one weight must be positive");
 
@@ -76,10 +79,20 @@ pub fn weighted_ols(x: &[f64], y: &[f64], w: &[f64]) -> LineFit {
         let dy = y[i] - my;
         ss_tot += w[i] * dy * dy;
     }
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     let dof = (x.len() as f64 - 2.0).max(1.0);
     let slope_stderr = (ss_res / dof / sxx).sqrt();
-    LineFit { slope, intercept, r_squared, slope_stderr, n: x.len() }
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_stderr,
+        n: x.len(),
+    }
 }
 
 /// Fits `y = c · x^p` by OLS on `(log10 x, log10 y)`, returning the fitted

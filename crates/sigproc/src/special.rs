@@ -110,7 +110,10 @@ pub fn normal_cdf(x: f64) -> f64 {
 ///
 /// Panics if `p` is outside `(0, 1)`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
     // Acklam coefficients.
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,

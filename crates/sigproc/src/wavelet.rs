@@ -62,7 +62,10 @@ impl Wavelet {
 
 // Coefficients from Daubechies, "Ten Lectures on Wavelets", Table 6.1,
 // normalized to Σh = √2.
-const HAAR: [f64; 2] = [std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+const HAAR: [f64; 2] = [
+    std::f64::consts::FRAC_1_SQRT_2,
+    std::f64::consts::FRAC_1_SQRT_2,
+];
 const DB2: [f64; 4] = [
     0.482_962_913_144_690_2,
     0.836_516_303_737_469,
@@ -134,26 +137,42 @@ impl DwtPyramid {
 
     /// Number of detail coefficients at octave `j` (1-based).
     pub fn octave_len(&self, j: usize) -> usize {
-        j.checked_sub(1).and_then(|i| self.details.get(i)).map_or(0, Vec::len)
+        j.checked_sub(1)
+            .and_then(|i| self.details.get(i))
+            .map_or(0, Vec::len)
     }
 
     /// Total energy across all detail octaves plus the approximation.
     pub fn total_energy(&self) -> f64 {
-        let d: f64 = self.details.iter().flat_map(|v| v.iter()).map(|c| c * c).sum();
+        let d: f64 = self
+            .details
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|c| c * c)
+            .sum();
         let a: f64 = self.approx.iter().map(|c| c * c).sum();
         d + a
     }
 }
 
 /// One analysis step: circular convolution with the low/high-pass pair and
-/// dyadic downsampling. Periodic ("wraparound") boundary handling keeps the
-/// transform orthonormal so Parseval holds exactly.
-fn analysis_step(signal: &[f64], low: &[f64], high: &[f64]) -> (Vec<f64>, Vec<f64>) {
+/// dyadic downsampling into caller-provided buffers. Periodic
+/// ("wraparound") boundary handling keeps the transform orthonormal so
+/// Parseval holds exactly.
+fn analysis_step_into(
+    signal: &[f64],
+    low: &[f64],
+    high: &[f64],
+    a: &mut Vec<f64>,
+    d: &mut Vec<f64>,
+) {
     let n = signal.len();
     debug_assert!(n.is_multiple_of(2));
     let half = n / 2;
-    let mut a = Vec::with_capacity(half);
-    let mut d = Vec::with_capacity(half);
+    a.clear();
+    a.reserve(half);
+    d.clear();
+    d.reserve(half);
     for i in 0..half {
         let mut sa = 0.0;
         let mut sd = 0.0;
@@ -166,7 +185,25 @@ fn analysis_step(signal: &[f64], low: &[f64], high: &[f64]) -> (Vec<f64>, Vec<f6
         a.push(sa);
         d.push(sd);
     }
-    (a, d)
+}
+
+/// Reusable buffers for [`dwt_with`]: the approximation ping-pong pair
+/// and the per-wavelet high-pass filter, so repeated transforms (e.g. the
+/// Abry-Veitch estimator inside a Monte-Carlo experiment loop) allocate
+/// only for the detail vectors they return.
+#[derive(Clone, Debug, Default)]
+pub struct DwtWorkspace {
+    current: Vec<f64>,
+    next: Vec<f64>,
+    highpass: Vec<f64>,
+    highpass_of: Option<Wavelet>,
+}
+
+impl DwtWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Full pyramid decomposition of `signal` down to `max_levels` octaves (or
@@ -181,10 +218,31 @@ fn analysis_step(signal: &[f64], low: &[f64], high: &[f64]) -> (Vec<f64>, Vec<f6
 ///
 /// Panics if `signal.len() < 2` or `max_levels == 0`.
 pub fn dwt(signal: &[f64], wavelet: Wavelet, max_levels: usize) -> DwtPyramid {
-    assert!(signal.len() >= 2, "signal too short for a wavelet transform");
+    dwt_with(signal, wavelet, max_levels, &mut DwtWorkspace::new())
+}
+
+/// [`dwt`] with caller-owned scratch buffers (see [`DwtWorkspace`]);
+/// results are identical to [`dwt`].
+///
+/// # Panics
+///
+/// Panics if `signal.len() < 2` or `max_levels == 0`.
+pub fn dwt_with(
+    signal: &[f64],
+    wavelet: Wavelet,
+    max_levels: usize,
+    ws: &mut DwtWorkspace,
+) -> DwtPyramid {
+    assert!(
+        signal.len() >= 2,
+        "signal too short for a wavelet transform"
+    );
     assert!(max_levels >= 1, "need at least one decomposition level");
     let low = wavelet.lowpass();
-    let high = wavelet.highpass();
+    if ws.highpass_of != Some(wavelet) {
+        ws.highpass = wavelet.highpass();
+        ws.highpass_of = Some(wavelet);
+    }
 
     // Depth limited so the coarsest level still has at least filter-length
     // coefficients (below that the periodic wrap dominates the statistics).
@@ -197,20 +255,27 @@ pub fn dwt(signal: &[f64], wavelet: Wavelet, max_levels: usize) -> DwtPyramid {
     }
     let levels = levels.max(1);
 
-    let mut current: Vec<f64> = signal[..(signal.len() - signal.len() % 2)].to_vec();
+    ws.current.clear();
+    ws.current
+        .extend_from_slice(&signal[..(signal.len() - signal.len() % 2)]);
     let mut details = Vec::with_capacity(levels);
     for _ in 0..levels {
-        if current.len() % 2 == 1 {
-            current.pop();
+        if ws.current.len() % 2 == 1 {
+            ws.current.pop();
         }
-        if current.len() < 2 {
+        if ws.current.len() < 2 {
             break;
         }
-        let (a, d) = analysis_step(&current, low, &high);
+        let mut d = Vec::new();
+        analysis_step_into(&ws.current, low, &ws.highpass, &mut ws.next, &mut d);
         details.push(d);
-        current = a;
+        std::mem::swap(&mut ws.current, &mut ws.next);
     }
-    DwtPyramid { details, approx: current, wavelet }
+    DwtPyramid {
+        details,
+        approx: ws.current.clone(),
+        wavelet,
+    }
 }
 
 #[cfg(test)]
@@ -218,11 +283,37 @@ mod tests {
     use super::*;
 
     #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let sig: Vec<f64> = (0..512)
+            .map(|t| ((t * 2654435761u64 as usize) % 997) as f64 / 499.0 - 1.0)
+            .collect();
+        let mut ws = DwtWorkspace::new();
+        for w in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db4] {
+            let fresh = dwt(&sig, w, 4);
+            let reused = dwt_with(&sig, w, 4, &mut ws);
+            assert_eq!(fresh.details, reused.details, "{w:?}");
+            assert_eq!(fresh.approx, reused.approx, "{w:?}");
+        }
+        // Second pass through the same workspace stays stable.
+        let again = dwt_with(&sig, Wavelet::Db2, 4, &mut ws);
+        assert_eq!(again.details, dwt(&sig, Wavelet::Db2, 4).details);
+    }
+
+    #[test]
     fn filters_are_orthonormal() {
-        for w in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db3, Wavelet::Db4, Wavelet::Db6] {
+        for w in [
+            Wavelet::Haar,
+            Wavelet::Db2,
+            Wavelet::Db3,
+            Wavelet::Db4,
+            Wavelet::Db6,
+        ] {
             let h = w.lowpass();
             let sum: f64 = h.iter().sum();
-            assert!((sum - std::f64::consts::SQRT_2).abs() < 1e-9, "{w:?} sum={sum}");
+            assert!(
+                (sum - std::f64::consts::SQRT_2).abs() < 1e-9,
+                "{w:?} sum={sum}"
+            );
             let energy: f64 = h.iter().map(|c| c * c).sum();
             assert!((energy - 1.0).abs() < 1e-9, "{w:?} energy={energy}");
             // Even-shift orthogonality: Σ h[k] h[k+2m] = 0 for m != 0.

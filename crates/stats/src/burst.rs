@@ -81,7 +81,13 @@ impl BurstAnalysis {
         } else {
             None
         };
-        BurstAnalysis { threshold, bursts, idles, duty_cycle, tail_fit }
+        BurstAnalysis {
+            threshold,
+            bursts,
+            idles,
+            duty_cycle,
+            tail_fit,
+        }
     }
 
     /// Mean 1-burst length in bins (`0` when there are no bursts).
@@ -113,7 +119,9 @@ mod tests {
 
     #[test]
     fn burst_extraction_basics() {
-        let q = [false, true, true, false, true, true, true, false, false, true];
+        let q = [
+            false, true, true, false, true, true, true, false, false, true,
+        ];
         assert_eq!(burst_lengths(&q), vec![2, 3, 1]);
         assert_eq!(idle_lengths(&q), vec![1, 1, 2]);
     }
@@ -174,8 +182,8 @@ mod tests {
         let mut vals = Vec::new();
         for _ in 0..5000 {
             let on = p.sample(&mut rng).ceil() as usize;
-            vals.extend(std::iter::repeat(1.0).take(on.min(10_000)));
-            vals.extend(std::iter::repeat(0.0).take(3));
+            vals.extend(std::iter::repeat_n(1.0, on.min(10_000)));
+            vals.extend(std::iter::repeat_n(0.0, 3));
         }
         let a = BurstAnalysis::at_threshold(&vals, 0.5);
         let fit = a.tail_fit.expect("enough bursts for a fit");

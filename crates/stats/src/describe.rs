@@ -34,7 +34,13 @@ impl Summary {
         let variance = data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         let min = data.iter().copied().fold(f64::INFINITY, f64::min);
         let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { n, mean, variance, min, max }
+        Summary {
+            n,
+            mean,
+            variance,
+            min,
+            max,
+        }
     }
 
     /// Population standard deviation.
@@ -68,7 +74,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.

@@ -54,8 +54,14 @@ impl Pareto {
     ///
     /// Panics unless `alpha > 0` and `scale > 0`.
     pub fn new(alpha: f64, scale: f64) -> Self {
-        assert!(alpha > 0.0 && alpha.is_finite(), "shape must be positive, got {alpha}");
-        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive, got {scale}");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "shape must be positive, got {alpha}"
+        );
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be positive, got {scale}"
+        );
         Pareto { alpha, scale }
     }
 
@@ -415,7 +421,10 @@ fn gamma_fn(x: f64) -> f64 {
 ///
 /// Panics if `lambda` is negative or not finite.
 pub fn poisson(rng: &mut dyn rand::RngCore, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be non-negative finite");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be non-negative finite"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -437,7 +446,13 @@ pub fn poisson(rng: &mut dyn rand::RngCore, lambda: f64) -> u64 {
 }
 
 /// Draws a standard normal via Box-Muller (polar-free, uses two uniforms).
-pub fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+///
+/// Generic over the generator so the hot Monte-Carlo loops (the fGn
+/// spectral synthesis draws `2N` of these per instance) monomorphize and
+/// inline the RNG instead of paying two virtual calls per draw; `?Sized`
+/// keeps `&mut dyn RngCore` callers working. The computed value is
+/// identical for either call style.
+pub fn standard_normal<R: rand::RngCore + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = loop {
         let u = rng.gen::<f64>();
         if u > 1e-300 {
@@ -462,9 +477,7 @@ pub fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
 pub fn neg_binomial_ln_pmf(tau: u64, i: u64, rho: f64) -> f64 {
     assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1)");
     assert!(tau >= 1, "tau must be >= 1");
-    ln_choose((tau + i - 1) as f64, i as f64)
-        + tau as f64 * rho.ln()
-        + i as f64 * (1.0 - rho).ln()
+    ln_choose((tau + i - 1) as f64, i as f64) + tau as f64 * rho.ln() + i as f64 * (1.0 - rho).ln()
 }
 
 #[cfg(test)]
@@ -595,8 +608,14 @@ mod tests {
             let xs: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
             let mean = xs.iter().sum::<f64>() / n as f64;
             let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-            assert!((mean - lambda).abs() < 0.05 * lambda.max(1.0), "λ={lambda} mean={mean}");
-            assert!((var - lambda).abs() < 0.1 * lambda.max(1.0), "λ={lambda} var={var}");
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "λ={lambda} mean={mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.1 * lambda.max(1.0),
+                "λ={lambda} var={var}"
+            );
         }
     }
 
@@ -610,7 +629,9 @@ mod tests {
     fn neg_binomial_pmf_sums_to_one() {
         let rho = 0.3;
         let tau = 5;
-        let total: f64 = (0..2000).map(|i| neg_binomial_ln_pmf(tau, i, rho).exp()).sum();
+        let total: f64 = (0..2000)
+            .map(|i| neg_binomial_ln_pmf(tau, i, rho).exp())
+            .sum();
         assert!((total - 1.0).abs() < 1e-9, "total={total}");
     }
 

@@ -14,7 +14,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// Panics if β is outside `(0, 1)`.
 pub fn hurst_from_beta(beta: f64) -> f64 {
-    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1), got {beta}");
+    assert!(
+        beta > 0.0 && beta < 1.0,
+        "beta must be in (0,1), got {beta}"
+    );
     1.0 - beta / 2.0
 }
 
@@ -42,7 +45,10 @@ pub fn onoff_alpha_from_hurst(h: f64) -> f64 {
 ///
 /// Panics if α is outside `(1, 2)`.
 pub fn hurst_from_onoff_alpha(alpha: f64) -> f64 {
-    assert!(alpha > 1.0 && alpha < 2.0, "alpha must be in (1,2), got {alpha}");
+    assert!(
+        alpha > 1.0 && alpha < 2.0,
+        "alpha must be in (1,2), got {alpha}"
+    );
     (3.0 - alpha) / 2.0
 }
 
@@ -60,7 +66,10 @@ impl PowerLawAcf {
     ///
     /// Panics if β is outside `(0, 1)`.
     pub fn new(beta: f64) -> Self {
-        assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1), got {beta}");
+        assert!(
+            beta > 0.0 && beta < 1.0,
+            "beta must be in (0,1), got {beta}"
+        );
         PowerLawAcf { beta }
     }
 
@@ -219,7 +228,11 @@ mod tests {
         for h in [0.55, 0.62, 0.75, 0.8, 0.95] {
             let r = FgnAcf::new(h);
             for tau in 1..500u64 {
-                assert!(r.delta_tau(tau) >= -1e-15, "H={h} tau={tau} δ={}", r.delta_tau(tau));
+                assert!(
+                    r.delta_tau(tau) >= -1e-15,
+                    "H={h} tau={tau} δ={}",
+                    r.delta_tau(tau)
+                );
             }
         }
     }

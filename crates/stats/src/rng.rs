@@ -17,8 +17,7 @@ pub fn rng_from_seed(seed: u64) -> StdRng {
 /// Derives a child seed from a parent seed and a stream index using
 /// SplitMix64 — child streams are decorrelated even for adjacent indices.
 pub fn derive_seed(parent: u64, stream: u64) -> u64 {
-    let mut z = parent
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = parent.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -51,7 +50,10 @@ mod tests {
         let parent = 42;
         let mut seen = std::collections::HashSet::new();
         for stream in 0..10_000u64 {
-            assert!(seen.insert(derive_seed(parent, stream)), "collision at {stream}");
+            assert!(
+                seen.insert(derive_seed(parent, stream)),
+                "collision at {stream}"
+            );
         }
     }
 

@@ -32,7 +32,10 @@ impl TimeSeries {
     ///
     /// Panics if `dt <= 0` or is not finite.
     pub fn from_values(dt: f64, values: Vec<f64>) -> Self {
-        assert!(dt > 0.0 && dt.is_finite(), "dt must be a positive finite bin width");
+        assert!(
+            dt > 0.0 && dt.is_finite(),
+            "dt must be a positive finite bin width"
+        );
         TimeSeries { dt, values }
     }
 
@@ -98,7 +101,11 @@ impl TimeSeries {
     /// Smallest strictly positive value (`None` when there is none) — the
     /// empirical analogue of the Pareto scale parameter ℓ.
     pub fn min_positive(&self) -> Option<f64> {
-        self.values.iter().copied().filter(|&x| x > 0.0).reduce(f64::min)
+        self.values
+            .iter()
+            .copied()
+            .filter(|&x| x > 0.0)
+            .reduce(f64::min)
     }
 
     /// The aggregated series `f^(m)(τ) = (1/m) Σ_{i=(τ-1)m+1}^{τm} f(i)`
@@ -120,12 +127,18 @@ impl TimeSeries {
             let chunk = &self.values[b * m..(b + 1) * m];
             out.push(chunk.iter().sum::<f64>() / m as f64);
         }
-        TimeSeries { dt: self.dt * m as f64, values: out }
+        TimeSeries {
+            dt: self.dt * m as f64,
+            values: out,
+        }
     }
 
     /// A view of the prefix of length `n` (clamped to the series length).
     pub fn truncated(&self, n: usize) -> TimeSeries {
-        TimeSeries { dt: self.dt, values: self.values[..n.min(self.values.len())].to_vec() }
+        TimeSeries {
+            dt: self.dt,
+            values: self.values[..n.min(self.values.len())].to_vec(),
+        }
     }
 }
 
@@ -138,7 +151,10 @@ impl AsRef<[f64]> for TimeSeries {
 impl FromIterator<f64> for TimeSeries {
     /// Collects values into a series with unit bin width.
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        TimeSeries { dt: 1.0, values: iter.into_iter().collect() }
+        TimeSeries {
+            dt: 1.0,
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -62,18 +62,31 @@ impl Stable {
         location: f64,
     ) -> Result<Self, InvalidStableError> {
         if !(alpha > 0.0 && alpha <= 2.0) {
-            return Err(InvalidStableError { what: "alpha must lie in (0, 2]" });
+            return Err(InvalidStableError {
+                what: "alpha must lie in (0, 2]",
+            });
         }
         if !(-1.0..=1.0).contains(&beta) {
-            return Err(InvalidStableError { what: "beta must lie in [-1, 1]" });
+            return Err(InvalidStableError {
+                what: "beta must lie in [-1, 1]",
+            });
         }
         if !(scale > 0.0 && scale.is_finite()) {
-            return Err(InvalidStableError { what: "scale must be positive" });
+            return Err(InvalidStableError {
+                what: "scale must be positive",
+            });
         }
         if !location.is_finite() {
-            return Err(InvalidStableError { what: "location must be finite" });
+            return Err(InvalidStableError {
+                what: "location must be finite",
+            });
         }
-        Ok(Stable { alpha, beta, scale, location })
+        Ok(Stable {
+            alpha,
+            beta,
+            scale,
+            location,
+        })
     }
 
     /// The characteristic exponent α.
@@ -123,8 +136,7 @@ impl Stable {
         let x = if (a - 1.0).abs() < 1e-12 {
             // α = 1 branch.
             let t = FRAC_PI_2 + b * v;
-            (2.0 / PI)
-                * (t * v.tan() - b * ((FRAC_PI_2 * w * v.cos()) / t).ln())
+            (2.0 / PI) * (t * v.tan() - b * ((FRAC_PI_2 * w * v.cos()) / t).ln())
         } else if a == 2.0 {
             // Gaussian limit: S(2, ·; γ, δ) = N(δ, 2γ²); β is irrelevant.
             2.0 * w.sqrt() * v.sin()
@@ -159,8 +171,7 @@ impl Stable {
         let c_a = if (a - 1.0).abs() < 1e-9 {
             2.0 / PI
         } else {
-            (1.0 - a)
-                / (sst_sigproc::special::ln_gamma(2.0 - a).exp() * (FRAC_PI_2 * a).cos())
+            (1.0 - a) / (sst_sigproc::special::ln_gamma(2.0 - a).exp() * (FRAC_PI_2 * a).cos())
         };
         c_a.abs() * (1.0 + self.beta) / 2.0 * (self.scale / x).powf(a)
     }
@@ -322,6 +333,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "x > 0")]
     fn tail_asymptote_rejects_nonpositive_x() {
-        Stable::new(1.5, 0.0, 1.0, 0.0).unwrap().tail_ccdf_asymptotic(0.0);
+        Stable::new(1.5, 0.0, 1.0, 0.0)
+            .unwrap()
+            .tail_ccdf_asymptotic(0.0);
     }
 }

@@ -38,7 +38,10 @@ impl ParetoFit {
 /// Returns `None` when fewer than 8 usable tail points remain (too little
 /// information for a meaningful line).
 pub fn fit_pareto_ccdf(data: &[f64], tail_from: f64) -> Option<ParetoFit> {
-    assert!((0.0..1.0).contains(&tail_from), "tail_from must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&tail_from),
+        "tail_from must be in [0,1)"
+    );
     let positive: Vec<f64> = data.iter().copied().filter(|&x| x > 0.0).collect();
     if positive.len() < 16 {
         return None;
@@ -66,7 +69,12 @@ pub fn fit_pareto_ccdf(data: &[f64], tail_from: f64) -> Option<ParetoFit> {
     }
     // P(X > x) = c x^-α = (k/x)^α  =>  k = c^(1/α).
     let scale = prefactor.powf(1.0 / alpha);
-    Some(ParetoFit { alpha, scale, r_squared: fit.r_squared, n_tail: curve.len() })
+    Some(ParetoFit {
+        alpha,
+        scale,
+        r_squared: fit.r_squared,
+        n_tail: curve.len(),
+    })
 }
 
 /// Hill estimator of the tail index using the top `k` order statistics:
@@ -88,12 +96,20 @@ pub fn hill_estimator(data: &[f64], k: usize) -> Option<ParetoFit> {
     if threshold <= 0.0 {
         return None;
     }
-    let sum: f64 = positive[n - k..].iter().map(|&x| (x / threshold).ln()).sum();
+    let sum: f64 = positive[n - k..]
+        .iter()
+        .map(|&x| (x / threshold).ln())
+        .sum();
     if sum <= 0.0 {
         return None;
     }
     let alpha = k as f64 / sum;
-    Some(ParetoFit { alpha, scale: threshold, r_squared: f64::NAN, n_tail: k })
+    Some(ParetoFit {
+        alpha,
+        scale: threshold,
+        r_squared: f64::NAN,
+        n_tail: k,
+    })
 }
 
 /// A crude straight-line-in-log-log heavy-tail test: fits the upper-tail
@@ -164,7 +180,12 @@ mod tests {
 
     #[test]
     fn fitted_ccdf_matches_at_scale() {
-        let fit = ParetoFit { alpha: 1.5, scale: 2.0, r_squared: 1.0, n_tail: 10 };
+        let fit = ParetoFit {
+            alpha: 1.5,
+            scale: 2.0,
+            r_squared: 1.0,
+            n_tail: 10,
+        };
         assert_eq!(fit.ccdf(1.0), 1.0);
         assert_eq!(fit.ccdf(2.0), 1.0);
         assert!((fit.ccdf(4.0) - 0.5f64.powf(1.5)).abs() < 1e-12);
@@ -187,7 +208,7 @@ mod tests {
     fn zeros_are_ignored_in_fit() {
         // Mimics a binned rate process: mostly zeros + Pareto bursts.
         let mut data = pareto_sample(1.5, 20_000, 8);
-        data.extend(std::iter::repeat(0.0).take(80_000));
+        data.extend(std::iter::repeat_n(0.0, 80_000));
         let fit = fit_pareto_ccdf(&data, 0.5).unwrap();
         assert!((fit.alpha - 1.5).abs() < 0.2, "fitted={}", fit.alpha);
     }

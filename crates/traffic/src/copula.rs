@@ -22,13 +22,20 @@ const P_EPS: f64 = 1e-14;
 /// Maps each value of a (nominally standard normal) series through the
 /// quantile function of `marginal`, producing a series with that marginal.
 pub fn transform_values(gaussian: &[f64], marginal: &dyn Distribution) -> Vec<f64> {
-    gaussian
-        .iter()
-        .map(|&x| {
-            let p = normal_cdf(x).clamp(P_EPS, 1.0 - P_EPS);
-            marginal.quantile(p)
-        })
-        .collect()
+    let mut out = Vec::new();
+    transform_values_into(gaussian, marginal, &mut out);
+    out
+}
+
+/// [`transform_values`] into a caller-owned buffer (cleared first), so
+/// per-instance pipelines reuse their allocation.
+pub fn transform_values_into(gaussian: &[f64], marginal: &dyn Distribution, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(gaussian.len());
+    out.extend(gaussian.iter().map(|&x| {
+        let p = normal_cdf(x).clamp(P_EPS, 1.0 - P_EPS);
+        marginal.quantile(p)
+    }));
 }
 
 /// [`transform_values`] on a [`TimeSeries`], preserving the bin width.

@@ -13,11 +13,13 @@
 //! (the output has *exactly* the target covariance, not asymptotically).
 
 use sst_sigproc::complex::Complex;
-use sst_sigproc::fft::{fft_pow2_in_place, next_pow2};
+use sst_sigproc::fft::next_pow2;
+use sst_sigproc::plan::{lru_fetch, plan_for, FftPlan};
 use sst_stats::dist::standard_normal;
 use sst_stats::model::FgnAcf;
 use sst_stats::rng::rng_from_seed;
 use sst_stats::TimeSeries;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Generator of exact fractional Gaussian noise.
 ///
@@ -64,7 +66,9 @@ impl FgnGenerator {
     /// Returns an error if `h` is outside `(0, 1)`.
     pub fn new(h: f64) -> Result<Self, InvalidParameterError> {
         if !(h > 0.0 && h < 1.0) {
-            return Err(InvalidParameterError { what: "Hurst parameter must be in (0,1)" });
+            return Err(InvalidParameterError {
+                what: "Hurst parameter must be in (0,1)",
+            });
         }
         Ok(FgnGenerator { hurst: h })
     }
@@ -85,42 +89,17 @@ impl FgnGenerator {
     }
 
     /// Raw-value variant of [`FgnGenerator::generate`].
+    ///
+    /// Internally fetches the shared [`FgnPlan`] for `(H, n)` from the
+    /// process-wide cache, so repeated calls (across instance seeds, the
+    /// Monte-Carlo hot path) compute the circulant eigenvalue spectrum
+    /// once. Output is bit-identical to a freshly built plan and to the
+    /// historical direct implementation.
     pub fn generate_values(&self, n: usize, seed: u64) -> Vec<f64> {
         assert!(n >= 1, "cannot generate an empty trace");
-        if n == 1 {
-            let mut rng = rng_from_seed(seed);
-            return vec![standard_normal(&mut rng)];
-        }
-        let big_n = next_pow2(n);
-        let m = 2 * big_n;
-        // First row of the circulant: ρ(0..=N), then mirrored ρ(N-1..=1).
-        let acf = FgnAcf::new(self.hurst);
-        let mut row = vec![Complex::ZERO; m];
-        for (k, slot) in row.iter_mut().enumerate().take(big_n + 1) {
-            *slot = Complex::from_real(acf.at(k as u64));
-        }
-        for k in 1..big_n {
-            row[m - k] = Complex::from_real(acf.at(k as u64));
-        }
-        fft_pow2_in_place(&mut row);
-        // Eigenvalues are real and non-negative for the fGn ACF; tiny
-        // negative round-off is clamped.
-        let lambda: Vec<f64> = row.iter().map(|z| z.re.max(0.0)).collect();
-
-        let mut rng = rng_from_seed(seed);
-        let mut spec = vec![Complex::ZERO; m];
-        spec[0] = Complex::from_real((lambda[0]).sqrt() * standard_normal(&mut rng));
-        spec[big_n] = Complex::from_real((lambda[big_n]).sqrt() * standard_normal(&mut rng));
-        for k in 1..big_n {
-            let g = standard_normal(&mut rng);
-            let h = standard_normal(&mut rng);
-            let amp = (lambda[k] / 2.0).sqrt();
-            spec[k] = Complex::new(amp * g, amp * h);
-            spec[m - k] = spec[k].conj();
-        }
-        fft_pow2_in_place(&mut spec);
-        let norm = 1.0 / (m as f64).sqrt();
-        spec.into_iter().take(n).map(|z| z.re * norm).collect()
+        FgnPlan::cached(self.hurst, n)
+            .expect("Hurst validated at construction")
+            .generate_values(seed)
     }
 
     /// Generates fractional Brownian motion (the running sum of fGn),
@@ -136,6 +115,189 @@ impl FgnGenerator {
             })
             .collect();
         TimeSeries::from_values(1.0, fbm)
+    }
+}
+
+/// Reusable scratch for [`FgnPlan::generate_values_into`]: the complex
+/// spectrum buffer, so per-instance generation performs no allocation
+/// after the first call.
+#[derive(Clone, Debug, Default)]
+pub struct FgnScratch {
+    spec: Vec<Complex>,
+}
+
+/// A precomputed Davies-Harte generation plan for one `(H, n)` pair.
+///
+/// Construction performs the expensive, seed-independent work once: the
+/// fGn autocovariance row, its FFT (the circulant eigenvalues
+/// `λ(H, n)`), the clamp, and the per-bin amplitudes
+/// `√(λ_k/2)`. [`FgnPlan::generate_values_into`] then needs exactly one
+/// FFT plus `2N` Gaussian draws per instance — across a 30-instance
+/// experiment this removes 30× the spectrum derivation and 30× the
+/// allocation traffic of the historical per-call path.
+///
+/// Generation is **bit-identical** to the historical direct
+/// implementation for every `(H, n, seed)`: the amplitudes are the same
+/// floating-point values the old code derived inline, the RNG
+/// consumption order is unchanged, and the FFT is the same shared
+/// [`FftPlan`].
+///
+/// # Examples
+///
+/// ```
+/// use sst_traffic::fgn::{FgnPlan, FgnScratch};
+///
+/// let plan = FgnPlan::new(0.8, 4096).expect("valid H");
+/// let mut out = Vec::new();
+/// let mut scratch = FgnScratch::default();
+/// for seed in 0..4 {
+///     plan.generate_values_into(seed, &mut out, &mut scratch);
+///     assert_eq!(out.len(), 4096);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FgnPlan {
+    hurst: f64,
+    n: usize,
+    big_n: usize,
+    m: usize,
+    /// `amp[0] = √λ₀`, `amp[N] = √λ_N`, `amp[k] = √(λ_k/2)` otherwise.
+    amp: Vec<f64>,
+    fft: Arc<FftPlan>,
+}
+
+impl FgnPlan {
+    /// Builds the plan for Hurst parameter `h ∈ (0, 1)` and length
+    /// `n ≥ 1`, deriving the circulant eigenvalue spectrum once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `h` is outside `(0, 1)` or `n == 0`.
+    pub fn new(h: f64, n: usize) -> Result<Self, InvalidParameterError> {
+        if !(h > 0.0 && h < 1.0) {
+            return Err(InvalidParameterError {
+                what: "Hurst parameter must be in (0,1)",
+            });
+        }
+        if n == 0 {
+            return Err(InvalidParameterError {
+                what: "trace length must be >= 1",
+            });
+        }
+        if n == 1 {
+            // Degenerate single-point plan: one standard normal draw.
+            return Ok(FgnPlan {
+                hurst: h,
+                n,
+                big_n: 0,
+                m: 0,
+                amp: Vec::new(),
+                fft: plan_for(1),
+            });
+        }
+        let big_n = next_pow2(n);
+        let m = 2 * big_n;
+        // First row of the circulant: ρ(0..=N), then mirrored ρ(N-1..=1).
+        let acf = FgnAcf::new(h);
+        let mut row = vec![Complex::ZERO; m];
+        for (k, slot) in row.iter_mut().enumerate().take(big_n + 1) {
+            *slot = Complex::from_real(acf.at(k as u64));
+        }
+        for k in 1..big_n {
+            row[m - k] = Complex::from_real(acf.at(k as u64));
+        }
+        let fft = plan_for(m);
+        fft.forward(&mut row);
+        // Eigenvalues are real and non-negative for the fGn ACF; tiny
+        // negative round-off is clamped. Fold the per-bin amplitude
+        // arithmetic in now — the same expressions the generation loop
+        // historically evaluated, so the products below are bit-equal.
+        let mut amp = Vec::with_capacity(big_n + 1);
+        amp.push(row[0].re.max(0.0).sqrt());
+        for z in row.iter().take(big_n).skip(1) {
+            amp.push((z.re.max(0.0) / 2.0).sqrt());
+        }
+        amp.push(row[big_n].re.max(0.0).sqrt());
+        Ok(FgnPlan {
+            hurst: h,
+            n,
+            big_n,
+            m,
+            amp,
+            fft,
+        })
+    }
+
+    /// Fetches the shared plan for `(h, n)` from the process-wide LRU
+    /// cache (keyed on the exact bits of `h` plus `n`), building it on
+    /// first use.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FgnPlan::new`].
+    pub fn cached(h: f64, n: usize) -> Result<Arc<FgnPlan>, InvalidParameterError> {
+        const CACHE_CAP: usize = 8;
+        static CACHE: OnceLock<Mutex<Vec<Arc<FgnPlan>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        lru_fetch(
+            cache,
+            CACHE_CAP,
+            |p| p.hurst.to_bits() == h.to_bits() && p.n == n,
+            || FgnPlan::new(h, n),
+        )
+    }
+
+    /// The Hurst parameter.
+    pub fn hurst(&self) -> f64 {
+        self.hurst
+    }
+
+    /// The trace length this plan generates.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan generates zero-length traces (never true; plans
+    /// require `n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Generates one instance into `out`, reusing `scratch` — zero
+    /// allocation after the buffers have grown once.
+    pub fn generate_values_into(&self, seed: u64, out: &mut Vec<f64>, scratch: &mut FgnScratch) {
+        let mut rng = rng_from_seed(seed);
+        if self.n == 1 {
+            out.clear();
+            out.push(standard_normal(&mut rng));
+            return;
+        }
+        let (big_n, m) = (self.big_n, self.m);
+        let spec = &mut scratch.spec;
+        spec.clear();
+        spec.resize(m, Complex::ZERO);
+        spec[0] = Complex::from_real(self.amp[0] * standard_normal(&mut rng));
+        spec[big_n] = Complex::from_real(self.amp[big_n] * standard_normal(&mut rng));
+        for k in 1..big_n {
+            let g = standard_normal(&mut rng);
+            let h = standard_normal(&mut rng);
+            let amp = self.amp[k];
+            spec[k] = Complex::new(amp * g, amp * h);
+            spec[m - k] = spec[k].conj();
+        }
+        self.fft.forward(spec);
+        let norm = 1.0 / (m as f64).sqrt();
+        out.clear();
+        out.reserve(self.n);
+        out.extend(spec.iter().take(self.n).map(|z| z.re * norm));
+    }
+
+    /// Allocating variant of [`FgnPlan::generate_values_into`].
+    pub fn generate_values(&self, seed: u64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut scratch = FgnScratch::default();
+        self.generate_values_into(seed, &mut out, &mut scratch);
+        out
     }
 }
 
@@ -190,8 +352,8 @@ mod tests {
         let g = FgnGenerator::new(0.5).unwrap();
         let vals = g.generate_values(1 << 15, 9);
         let sample = autocorrelation(&vals, 4);
-        for k in 1..=4 {
-            assert!(sample[k].abs() < 0.03, "lag {k}: {}", sample[k]);
+        for (k, rho) in sample.iter().enumerate().skip(1) {
+            assert!(rho.abs() < 0.03, "lag {k}: {rho}");
         }
     }
 
@@ -231,5 +393,46 @@ mod tests {
         for n in [3usize, 100, 1023, 1025] {
             assert_eq!(g.generate_values(n, 1).len(), n);
         }
+    }
+
+    #[test]
+    fn plan_is_bit_identical_to_generator_across_seeds() {
+        for &(h, n) in &[(0.55f64, 100usize), (0.8, 1024), (0.92, 777), (0.7, 1)] {
+            let plan = FgnPlan::new(h, n).unwrap();
+            let g = FgnGenerator::new(h).unwrap();
+            let mut out = Vec::new();
+            let mut scratch = FgnScratch::default();
+            for seed in [0u64, 1, 42, 9999] {
+                plan.generate_values_into(seed, &mut out, &mut scratch);
+                // The generator goes through the shared cache; the plan
+                // here is freshly built. Bit-equality proves the cache
+                // introduces no numeric drift.
+                assert_eq!(out, g.generate_values(n, seed), "H={h} n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_plans_are_shared_and_keyed_exactly() {
+        let a = FgnPlan::cached(0.8, 2048).unwrap();
+        let b = FgnPlan::cached(0.8, 2048).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same (H, n) must hit the cache");
+        let c = FgnPlan::cached(0.8, 4096).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(FgnPlan::cached(1.5, 64).is_err());
+        assert!(FgnPlan::cached(0.8, 0).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_across_lengths() {
+        // One scratch serving plans of different sizes must not leak
+        // state between instances.
+        let small = FgnPlan::new(0.75, 64).unwrap();
+        let large = FgnPlan::new(0.75, 4096).unwrap();
+        let mut out = Vec::new();
+        let mut scratch = FgnScratch::default();
+        large.generate_values_into(7, &mut out, &mut scratch);
+        small.generate_values_into(7, &mut out, &mut scratch);
+        assert_eq!(out, small.generate_values(7));
     }
 }

@@ -4,7 +4,8 @@
 //! reproduction. Three constructions:
 //!
 //! * [`fgn`] — exact fractional Gaussian noise (Davies-Harte circulant
-//!   embedding), the Gaussian backbone.
+//!   embedding), the Gaussian backbone, with [`fgn::FgnPlan`] caching
+//!   the eigenvalue spectrum across instance seeds.
 //! * [`onoff`] — aggregated Pareto on/off sources, the ns-2 construction
 //!   the paper used (`H = (3 − α)/2`).
 //! * [`mginf`] — M/G/∞ session counts with heavy-tailed holding times
@@ -34,7 +35,7 @@ pub mod mginf;
 pub mod onoff;
 pub mod synthetic;
 
-pub use fgn::FgnGenerator;
+pub use fgn::{FgnGenerator, FgnPlan, FgnScratch};
 pub use mginf::MgInfModel;
 pub use onoff::OnOffModel;
 pub use synthetic::{GeneratorKind, MarginalSpec, SyntheticTraceSpec};

@@ -45,15 +45,26 @@ impl MgInfModel {
         mean_duration: f64,
     ) -> Result<Self, crate::fgn::InvalidParameterError> {
         if arrival_rate.is_nan() || arrival_rate <= 0.0 {
-            return Err(crate::fgn::InvalidParameterError::new("arrival rate must be positive"));
+            return Err(crate::fgn::InvalidParameterError::new(
+                "arrival rate must be positive",
+            ));
         }
         if !(duration_shape > 1.0 && duration_shape < 2.0) {
-            return Err(crate::fgn::InvalidParameterError::new("duration shape must be in (1,2)"));
+            return Err(crate::fgn::InvalidParameterError::new(
+                "duration shape must be in (1,2)",
+            ));
         }
         if mean_duration.is_nan() || mean_duration <= 0.0 {
-            return Err(crate::fgn::InvalidParameterError::new("mean duration must be positive"));
+            return Err(crate::fgn::InvalidParameterError::new(
+                "mean duration must be positive",
+            ));
         }
-        Ok(MgInfModel { arrival_rate, duration_shape, mean_duration, rate_per_session: 1.0 })
+        Ok(MgInfModel {
+            arrival_rate,
+            duration_shape,
+            mean_duration,
+            rate_per_session: 1.0,
+        })
     }
 
     /// Sets the per-session emission rate (builder-style).
@@ -81,13 +92,28 @@ impl MgInfModel {
     ///
     /// Panics if `n == 0`.
     pub fn generate(&self, n: usize, seed: u64) -> TimeSeries {
+        let mut values = Vec::new();
+        let mut diff = Vec::new();
+        self.generate_into(n, seed, &mut values, &mut diff);
+        TimeSeries::from_values(1.0, values)
+    }
+
+    /// [`MgInfModel::generate`] into caller-owned buffers (`values` is
+    /// the output; `diff` is difference-array scratch), the plan-reuse
+    /// form for multi-instance loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate_into(&self, n: usize, seed: u64, values: &mut Vec<f64>, diff: &mut Vec<f64>) {
         assert!(n >= 1, "cannot generate an empty trace");
         let dur = Pareto::with_mean(self.duration_shape, self.mean_duration);
         let mut rng = rng_from_seed(seed);
         let warmup = (5.0 * self.mean_duration).ceil() as i64;
         // Difference-array trick: +1 at session start, −1 past its end;
         // prefix sums give the active count per bin.
-        let mut diff = vec![0.0f64; n + 1];
+        diff.clear();
+        diff.resize(n + 1, 0.0f64);
         for t in -warmup..n as i64 {
             let arrivals = poisson(&mut rng, self.arrival_rate);
             for _ in 0..arrivals {
@@ -106,14 +132,12 @@ impl MgInfModel {
             }
         }
         let mut acc = 0.0;
-        let values: Vec<f64> = diff[..n]
-            .iter()
-            .map(|&d| {
-                acc += d;
-                acc
-            })
-            .collect();
-        TimeSeries::from_values(1.0, values)
+        values.clear();
+        values.reserve(n);
+        values.extend(diff[..n].iter().map(|&d| {
+            acc += d;
+            acc
+        }));
     }
 }
 
@@ -156,6 +180,16 @@ mod tests {
     }
 
     #[test]
+    fn generate_into_reuses_buffers_bit_identically() {
+        let m = MgInfModel::new(2.0, 1.5, 6.0).unwrap();
+        let (mut values, mut diff) = (Vec::new(), Vec::new());
+        m.generate_into(2048, 3, &mut values, &mut diff);
+        m.generate_into(512, 4, &mut values, &mut diff);
+        assert_eq!(values.len(), 512);
+        assert_eq!(values, m.generate(512, 4).into_values());
+    }
+
+    #[test]
     fn lrd_signature_in_variance_time() {
         let m = MgInfModel::new(3.0, 1.4, 10.0).unwrap();
         let ts = m.generate(1 << 16, 31);
@@ -168,7 +202,9 @@ mod tests {
     #[test]
     fn per_session_rate_scales_level() {
         let base = MgInfModel::new(1.0, 1.5, 6.0).unwrap();
-        let scaled = MgInfModel::new(1.0, 1.5, 6.0).unwrap().rate_per_session(3.0);
+        let scaled = MgInfModel::new(1.0, 1.5, 6.0)
+            .unwrap()
+            .rate_per_session(3.0);
         let a = base.generate(2048, 4);
         let b = scaled.generate(2048, 4);
         // Same seed, same arrivals: values scale exactly by 3.

@@ -63,7 +63,14 @@ impl OnOffModel {
         if !(mean_on > 0.0 && mean_off > 0.0 && rate_per_source > 0.0) {
             return bad("means and rate must be positive");
         }
-        Ok(OnOffModel { n_sources, on_shape, off_shape, mean_on, mean_off, rate_per_source })
+        Ok(OnOffModel {
+            n_sources,
+            on_shape,
+            off_shape,
+            mean_on,
+            mean_off,
+            rate_per_source,
+        })
     }
 
     /// Model targeting a Hurst parameter `h ∈ (1/2, 1)` via
@@ -74,7 +81,9 @@ impl OnOffModel {
     /// Returns an error if `h` is outside `(1/2, 1)`.
     pub fn for_hurst(h: f64, n_sources: usize) -> Result<Self, crate::fgn::InvalidParameterError> {
         if !(h > 0.5 && h < 1.0) {
-            return Err(crate::fgn::InvalidParameterError::new("Hurst must be in (1/2,1)"));
+            return Err(crate::fgn::InvalidParameterError::new(
+                "Hurst must be in (1/2,1)",
+            ));
         }
         let alpha = onoff_alpha_from_hurst(h);
         OnOffModel::new(n_sources, alpha, alpha, 10.0, 10.0, 1.0)
@@ -98,10 +107,23 @@ impl OnOffModel {
     ///
     /// Panics if `n == 0`.
     pub fn generate(&self, n: usize, seed: u64) -> TimeSeries {
+        let mut bins = Vec::new();
+        self.generate_into(n, seed, &mut bins);
+        TimeSeries::from_values(1.0, bins)
+    }
+
+    /// [`OnOffModel::generate`] into a caller-owned bin buffer (cleared
+    /// and refilled), the plan-reuse form for multi-instance loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate_into(&self, n: usize, seed: u64, bins: &mut Vec<f64>) {
         assert!(n >= 1, "cannot generate an empty trace");
         let on_dist = Pareto::with_mean(self.on_shape, self.mean_on);
         let off_dist = Pareto::with_mean(self.off_shape, self.mean_off);
-        let mut bins = vec![0.0f64; n];
+        bins.clear();
+        bins.resize(n, 0.0f64);
         for s in 0..self.n_sources {
             let mut rng = rng_from_seed(derive_seed(seed, s as u64));
             // Random initial phase: start mid-cycle to avoid synchronized
@@ -110,7 +132,11 @@ impl OnOffModel {
                 * rand::Rng::gen::<f64>(&mut rng);
             let mut on = s % 2 == 0;
             while t < n as f64 {
-                let len = if on { on_dist.sample(&mut rng) } else { off_dist.sample(&mut rng) };
+                let len = if on {
+                    on_dist.sample(&mut rng)
+                } else {
+                    off_dist.sample(&mut rng)
+                };
                 if on {
                     // Add rate to every bin overlapped by [t, t+len).
                     let start = t.max(0.0);
@@ -131,7 +157,6 @@ impl OnOffModel {
                 on = !on;
             }
         }
-        TimeSeries::from_values(1.0, bins)
     }
 }
 
@@ -166,6 +191,18 @@ mod tests {
     }
 
     #[test]
+    fn generate_into_reuses_buffer_bit_identically() {
+        let m = OnOffModel::for_hurst(0.8, 8).unwrap();
+        let mut bins = Vec::new();
+        // Prime the buffer with a larger run, then a smaller one: stale
+        // tail state must not leak.
+        m.generate_into(1024, 1, &mut bins);
+        m.generate_into(300, 2, &mut bins);
+        assert_eq!(bins.len(), 300);
+        assert_eq!(bins, m.generate(300, 2).into_values());
+    }
+
+    #[test]
     fn mean_rate_matches_duty_cycle() {
         // Expected rate = n_sources · rate · mean_on/(mean_on+mean_off).
         let m = OnOffModel::new(64, 1.5, 1.5, 10.0, 10.0, 1.0).unwrap();
@@ -197,7 +234,10 @@ mod tests {
         let v1 = ts.variance();
         let v64 = ts.aggregate(64).variance();
         let implied_h = 1.0 + ((v64 / v1).ln() / 64f64.ln()) / 2.0;
-        assert!(implied_h > 0.65, "implied H = {implied_h} (iid would be 0.5)");
+        assert!(
+            implied_h > 0.65,
+            "implied H = {implied_h} (iid would be 0.5)"
+        );
     }
 
     #[test]

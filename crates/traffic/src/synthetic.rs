@@ -8,7 +8,7 @@
 //! aggregation for cross-validation.
 
 use crate::copula::transform_series;
-use crate::fgn::FgnGenerator;
+use crate::fgn::FgnPlan;
 use crate::onoff::OnOffModel;
 use sst_stats::dist::Pareto;
 use sst_stats::TimeSeries;
@@ -87,7 +87,10 @@ impl SyntheticTraceSpec {
         SyntheticTraceSpec {
             length: 1 << 18,
             hurst: 0.8,
-            marginal: MarginalSpec::Pareto { alpha: 1.5, mean: 5.68 },
+            marginal: MarginalSpec::Pareto {
+                alpha: 1.5,
+                mean: 5.68,
+            },
             dt: 1e-3,
             seed: 0,
             kind: GeneratorKind::FgnCopula,
@@ -169,13 +172,19 @@ impl SyntheticTraceSpec {
         );
         match self.kind {
             GeneratorKind::FgnCopula => {
-                let fgn = FgnGenerator::new(self.hurst)
+                // The plan cache makes repeated builds over the same
+                // (H, length) — the Monte-Carlo norm — pay for the
+                // Davies-Harte eigenvalue spectrum exactly once.
+                let fgn = FgnPlan::cached(self.hurst, self.length)
                     .expect("validated above")
-                    .generate(self.length, self.seed);
-                let fgn = TimeSeries::from_values(self.dt, fgn.into_values());
+                    .generate_values(self.seed);
+                let fgn = TimeSeries::from_values(self.dt, fgn);
                 match self.marginal {
                     MarginalSpec::Pareto { alpha, mean } => {
-                        assert!(alpha > 1.0, "Pareto marginal needs alpha > 1 for finite mean");
+                        assert!(
+                            alpha > 1.0,
+                            "Pareto marginal needs alpha > 1 for finite mean"
+                        );
                         assert!(mean > 0.0, "mean must be positive");
                         let marginal = Pareto::with_mean(alpha, mean);
                         transform_series(&fgn, &marginal)
@@ -190,17 +199,13 @@ impl SyntheticTraceSpec {
                 }
             }
             GeneratorKind::OnOff { n_sources } => {
-                let model = OnOffModel::for_hurst(self.hurst, n_sources)
-                    .expect("validated above");
+                let model = OnOffModel::for_hurst(self.hurst, n_sources).expect("validated above");
                 let raw = model.generate(self.length, self.seed);
                 // Rescale to the requested mean level.
                 let target = self.target_mean();
                 let actual = raw.mean().max(f64::MIN_POSITIVE);
                 let k = target / actual;
-                TimeSeries::from_values(
-                    self.dt,
-                    raw.values().iter().map(|&x| x * k).collect(),
-                )
+                TimeSeries::from_values(self.dt, raw.values().iter().map(|&x| x * k).collect())
             }
         }
     }
@@ -250,7 +255,11 @@ mod tests {
             .build();
         // LRD: std of the sample mean is ≈ std·n^{H-1} ≈ 0.29 here.
         assert!((t.mean() - 10.0).abs() < 1.0, "mean={}", t.mean());
-        assert!((t.variance().sqrt() - 2.0).abs() < 0.3, "std={}", t.variance().sqrt());
+        assert!(
+            (t.variance().sqrt() - 2.0).abs() < 0.3,
+            "std={}",
+            t.variance().sqrt()
+        );
     }
 
     #[test]
@@ -278,6 +287,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha > 1")]
     fn infinite_mean_marginal_rejected() {
-        SyntheticTraceSpec::new().pareto_marginal(0.9, 1.0).length(8).build();
+        SyntheticTraceSpec::new()
+            .pareto_marginal(0.9, 1.0)
+            .length(8)
+            .build();
     }
 }

@@ -11,7 +11,7 @@
 //! cargo run --release --example capacity_planning
 //! ```
 
-use selfsim::hurst::{estimate_all, consensus_hurst};
+use selfsim::hurst::{consensus_hurst, estimate_all};
 use selfsim::sampling::{Sampler, SystematicSampler};
 use selfsim::traffic::SyntheticTraceSpec;
 

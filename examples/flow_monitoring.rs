@@ -14,7 +14,9 @@ use selfsim::nettrace::{detection_probability, sample_packets, TraceSynthesizer}
 use std::collections::BTreeMap;
 
 fn main() {
-    let trace = TraceSynthesizer::bell_labs_like().duration(600.0).synthesize(9);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(600.0)
+        .synthesize(9);
     let mut per_flow: BTreeMap<u32, u64> = BTreeMap::new();
     for p in trace.packets() {
         *per_flow.entry(p.flow).or_insert(0) += 1;
@@ -50,10 +52,17 @@ fn main() {
             corrected
         );
     }
-    println!("\n(true totals: {} pkts, {:.3e} bytes)", trace.len(), trace.total_bytes() as f64);
+    println!(
+        "\n(true totals: {} pkts, {:.3e} bytes)",
+        trace.len(),
+        trace.total_bytes() as f64
+    );
 
     println!("\ndetection probability of a flow vs its length at rate 0.01:");
     for len in [1u64, 10, 100, 1000] {
-        println!("  {len:>5} packets: {:.4}", detection_probability(len, 0.01));
+        println!(
+            "  {len:>5} packets: {:.4}",
+            detection_probability(len, 0.01)
+        );
     }
 }

@@ -16,7 +16,9 @@ use selfsim::nettrace::{exact_flow_bytes, SampleAndHold, TraceSynthesizer, Traje
 use std::collections::BTreeMap;
 
 fn main() {
-    let trace = TraceSynthesizer::bell_labs_like().duration(300.0).synthesize(7);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(300.0)
+        .synthesize(7);
     let exact = exact_flow_bytes(&trace);
     let total_bytes: u64 = exact.values().sum();
     println!(
@@ -29,9 +31,12 @@ fn main() {
 
     // Ground truth: flows above 0.5% of total volume.
     let threshold = total_bytes / 200;
-    let mut true_hh: Vec<(u32, u64)> =
-        exact.iter().filter(|&(_, &b)| b >= threshold).map(|(&f, &b)| (f, b)).collect();
-    true_hh.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut true_hh: Vec<(u32, u64)> = exact
+        .iter()
+        .filter(|&(_, &b)| b >= threshold)
+        .map(|(&f, &b)| (f, b))
+        .collect();
+    true_hh.sort_by_key(|&(_, b)| std::cmp::Reverse(b));
     println!(
         "\nground truth: {} flows exceed {} bytes ({}% of volume each)",
         true_hh.len(),
@@ -42,7 +47,11 @@ fn main() {
     // 1. Sample-and-hold sized for that threshold.
     let sh = SampleAndHold::for_threshold(threshold as f64, 4.0);
     let report = sh.run(&trace, 11);
-    let found: Vec<u32> = report.heavy_hitters(threshold / 2).iter().map(|&(f, _)| f).collect();
+    let found: Vec<u32> = report
+        .heavy_hitters(threshold / 2)
+        .iter()
+        .map(|&(f, _)| f)
+        .collect();
     let caught = true_hh.iter().filter(|(f, _)| found.contains(f)).count();
     println!(
         "\nsample-and-hold (p = {:.2e}/byte): table {} entries ({}% of flows), \
@@ -58,8 +67,7 @@ fn main() {
     //    expected sample budget, scaling counts up by N.
     let budget = report.table_len().max(1);
     let every = (trace.len() / budget.max(1)).max(1);
-    let sampler =
-        PacketSampler::new(Trigger::EventDriven { every }, SelectionPattern::Random);
+    let sampler = PacketSampler::new(Trigger::EventDriven { every }, SelectionPattern::Random);
     let sampled = sampler.sample(&trace, 11);
     let mut est: BTreeMap<u32, f64> = BTreeMap::new();
     for &i in sampled.indices() {
@@ -90,7 +98,11 @@ fn main() {
         "\ntrajectory sampling (1%, shared salt): {} packets selected, \
          ingress/egress agreement: {}",
         at_ingress.len(),
-        if at_ingress == at_egress { "exact" } else { "BROKEN" }
+        if at_ingress == at_egress {
+            "exact"
+        } else {
+            "BROKEN"
+        }
     );
     println!("(hash-based selection is what makes per-packet trajectories traceable)");
 }

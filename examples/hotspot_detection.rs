@@ -76,7 +76,10 @@ fn main() {
         let sys = SystematicSampler::new(interval).sample(trace.values(), 5);
         let bss = BssSampler::new(
             interval,
-            ThresholdPolicy::Online(OnlineTuning { epsilon: 1.5, ..OnlineTuning::default() }),
+            ThresholdPolicy::Online(OnlineTuning {
+                epsilon: 1.5,
+                ..OnlineTuning::default()
+            }),
         )
         .expect("valid")
         .with_l(8)

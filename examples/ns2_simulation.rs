@@ -57,7 +57,10 @@ fn main() {
         .emission(250.0, 200)
         .bin_width(0.05)
         .duration(800.0)
-        .bottleneck(LinkSpec { capacity_bps: capacity, queue_limit: 32 })
+        .bottleneck(LinkSpec {
+            capacity_bps: capacity,
+            queue_limit: 32,
+        })
         .run(2005);
     println!(
         "\nbottleneck at {:.1} Mbps (85% nominal load, 32-packet queue): \
@@ -74,7 +77,10 @@ fn main() {
                        // enough for spectral H estimation below
     let sys = SystematicSampler::new(interval).sample(offered.values(), 9);
     let ran = SimpleRandomSampler::new(1.0 / interval as f64).sample(offered.values(), 9);
-    println!("\nsampling the simulated rate process at rate {:.0e}:", 1.0 / interval as f64);
+    println!(
+        "\nsampling the simulated rate process at rate {:.0e}:",
+        1.0 / interval as f64
+    );
     println!(
         "  systematic    : mean {:.0} B/s ({:+.2}% vs truth)",
         sys.mean(),

@@ -25,7 +25,10 @@ fn main() {
 
     let interval = 500; // sampling rate 2e-3
     println!("\nsampling at rate {:.1e}:", 1.0 / interval as f64);
-    println!("{:>16}  {:>10}  {:>8}  {:>9}", "technique", "est. mean", "error%", "#samples");
+    println!(
+        "{:>16}  {:>10}  {:>8}  {:>9}",
+        "technique", "est. mean", "error%", "#samples"
+    );
 
     let report = |name: &str, mean: f64, n: usize| {
         println!(
@@ -49,7 +52,8 @@ fn main() {
     report("BSS (proposed)", bss.mean(), bss.total_kept());
     println!(
         "{:>16}  overhead {:.3} qualified samples per normal sample",
-        "", bss.overhead()
+        "",
+        bss.overhead()
     );
 
     // Second-order statistics survive sampling. One practical detail:

@@ -35,10 +35,14 @@ fn main() {
     // Eq. 35 (η ≈ c·N^{1/α−1}); the streaming sampler takes L up front
     // because a stream cannot know its length — a monitor knows its
     // planned observation window instead.
-    let policy =
-        ThresholdPolicy::Online(OnlineTuning { epsilon: 1.0, alpha: 1.4, ..Default::default() });
-    let planned_l =
-        BssSampler::new(interval, policy).expect("valid").effective_l(trace.len());
+    let policy = ThresholdPolicy::Online(OnlineTuning {
+        epsilon: 1.0,
+        alpha: 1.4,
+        ..Default::default()
+    });
+    let planned_l = BssSampler::new(interval, policy)
+        .expect("valid")
+        .effective_l(trace.len());
     println!("BSS extras budget derived from the rate (Eq. 35): L = {planned_l}");
     let mut bss = StreamingBss::new(interval, policy, planned_l, 7).expect("valid");
 
@@ -74,7 +78,8 @@ fn main() {
     report("streaming BSS", &kept_bss);
     println!(
         "{:>22}  overhead: {:.3} qualified per normal sample",
-        "", bss.overhead()
+        "",
+        bss.overhead()
     );
 
     // An honest error bar: the kept samples are still LRD, so use a
@@ -92,6 +97,10 @@ fn main() {
     );
     println!(
         "truth {truth:.4} is {} the interval",
-        if ci.contains(truth) { "inside" } else { "outside" }
+        if ci.contains(truth) {
+            "inside"
+        } else {
+            "outside"
+        }
     );
 }

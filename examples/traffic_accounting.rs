@@ -15,7 +15,9 @@ use selfsim::sampling::bss::{BssSampler, OnlineTuning, ThresholdPolicy};
 use selfsim::sampling::{Sampler, SystematicSampler};
 
 fn main() {
-    let trace = TraceSynthesizer::bell_labs_like().duration(600.0).synthesize(3);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(600.0)
+        .synthesize(3);
     println!(
         "trace: {} packets, {} OD pairs, {:.3e} bytes over {:.0} s (mean {:.3e} B/s)",
         trace.len(),
@@ -41,15 +43,26 @@ fn main() {
     for (pair, _) in &top {
         let series = trace.od_rate_series(*pair, dt);
         let truth = series.mean();
-        let sys = SystematicSampler::new(interval).sample(series.values(), 9).mean();
+        let sys = SystematicSampler::new(interval)
+            .sample(series.values(), 9)
+            .mean();
         let bss = BssSampler::new(
             interval,
-            ThresholdPolicy::Online(OnlineTuning { alpha: 1.71, ..OnlineTuning::default() }),
+            ThresholdPolicy::Online(OnlineTuning {
+                alpha: 1.71,
+                ..OnlineTuning::default()
+            }),
         )
         .expect("valid")
         .sample_detailed(series.values(), 9)
         .mean();
-        let err = |est: f64| if truth > 0.0 { 100.0 * (est - truth) / truth } else { 0.0 };
+        let err = |est: f64| {
+            if truth > 0.0 {
+                100.0 * (est - truth) / truth
+            } else {
+                0.0
+            }
+        };
         println!(
             "{:>4}<->{:<4}  {truth:>12.1}  {sys:>12.1}  {:>7.1}%  {bss:>12.1}  {:>7.1}%",
             pair.0,
@@ -67,10 +80,15 @@ fn main() {
         pair == p0 || pair == p1
     });
     let truth = agg.mean();
-    let sys = SystematicSampler::new(interval).sample(agg.values(), 9).mean();
+    let sys = SystematicSampler::new(interval)
+        .sample(agg.values(), 9)
+        .mean();
     let bss = BssSampler::new(
         interval,
-        ThresholdPolicy::Online(OnlineTuning { alpha: 1.71, ..OnlineTuning::default() }),
+        ThresholdPolicy::Online(OnlineTuning {
+            alpha: 1.71,
+            ..OnlineTuning::default()
+        }),
     )
     .expect("valid")
     .sample_detailed(agg.values(), 9)

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the sampler/experiment criterion benches and writes the results as
+# a JSON array to BENCH_samplers.json (or $1), so successive PRs can
+# track the performance trajectory.
+#
+# The workspace's offline criterion harness appends one JSON object per
+# benchmark to the file named by $CRITERION_JSON:
+#   {"id": "...", "ns_per_iter": ..., "iters": ..., "throughput_elems": ...}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_samplers.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+CRITERION_JSON="$tmp" cargo bench -p sst-bench --bench samplers --bench generators --bench experiments
+
+{
+    echo '['
+    sed '$!s/$/,/' "$tmp"
+    echo ']'
+} > "$out"
+
+echo "wrote $(grep -c ns_per_iter "$out") benchmark records to $out"

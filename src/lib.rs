@@ -30,9 +30,9 @@
 
 pub use sst_core as sampling;
 pub use sst_dess as dess;
-pub use sst_queue as queue;
 pub use sst_hurst as hurst;
 pub use sst_nettrace as nettrace;
+pub use sst_queue as queue;
 pub use sst_sigproc as sigproc;
 pub use sst_stats as stats;
 pub use sst_traffic as traffic;

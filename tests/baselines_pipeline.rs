@@ -11,12 +11,17 @@ use selfsim::traffic::SyntheticTraceSpec;
 
 #[test]
 fn sample_and_hold_beats_uniform_packet_sampling_on_recall() {
-    let trace = TraceSynthesizer::bell_labs_like().duration(240.0).synthesize(3);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(240.0)
+        .synthesize(3);
     let exact = exact_flow_bytes(&trace);
     let total: u64 = exact.values().sum();
     let threshold = total / 100; // 1%-of-volume flows
-    let truth: Vec<u32> =
-        exact.iter().filter(|&(_, &b)| b >= threshold).map(|(&f, _)| f).collect();
+    let truth: Vec<u32> = exact
+        .iter()
+        .filter(|&(_, &b)| b >= threshold)
+        .map(|(&f, _)| f)
+        .collect();
     assert!(!truth.is_empty(), "workload must contain heavy hitters");
 
     let report = SampleAndHold::for_threshold(threshold as f64, 4.0).run(&trace, 1);
@@ -57,7 +62,11 @@ fn adaptive_spends_more_but_stays_biased_low_where_bss_recovers() {
     .expect("valid");
     let bss = BssSampler::new(
         (1.0 / rate) as usize,
-        ThresholdPolicy::Online(OnlineTuning { epsilon: 1.0, alpha: 1.3, ..OnlineTuning::default() }),
+        ThresholdPolicy::Online(OnlineTuning {
+            epsilon: 1.0,
+            alpha: 1.3,
+            ..OnlineTuning::default()
+        }),
     )
     .expect("valid");
 
@@ -65,10 +74,12 @@ fn adaptive_spends_more_but_stays_biased_low_where_bss_recovers() {
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         xs[xs.len() / 2]
     };
-    let adapt_means: Vec<f64> =
-        (0..instances).map(|s| adapt.sample(trace.values(), s).mean()).collect();
-    let bss_means: Vec<f64> =
-        (0..instances).map(|s| bss.sample_detailed(trace.values(), s).mean()).collect();
+    let adapt_means: Vec<f64> = (0..instances)
+        .map(|s| adapt.sample(trace.values(), s).mean())
+        .collect();
+    let bss_means: Vec<f64> = (0..instances)
+        .map(|s| bss.sample_detailed(trace.values(), s).mean())
+        .collect();
     let adapt_med = median(adapt_means);
     let bss_med = median(bss_means);
 
@@ -90,7 +101,9 @@ fn trajectory_sampling_composes_with_flow_accounting() {
     use std::collections::BTreeMap;
     // Horvitz-Thompson over a consistent 5% trajectory sample estimates
     // total volume within 25%.
-    let trace = TraceSynthesizer::bell_labs_like().duration(240.0).synthesize(11);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(240.0)
+        .synthesize(11);
     let tj = TrajectorySampler::new(0.05, 3);
     let picked = tj.sample(&trace);
     let mut est: BTreeMap<u32, f64> = BTreeMap::new();

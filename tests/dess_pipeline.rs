@@ -21,7 +21,10 @@ fn scenario() -> OnOffScenario {
 fn sampling_simulated_traffic_preserves_hurst() {
     let out = scenario().run(77);
     let est = LocalWhittleEstimator::default();
-    let h_full = est.estimate(out.offered.values()).expect("long enough").hurst;
+    let h_full = est
+        .estimate(out.offered.values())
+        .expect("long enough")
+        .hurst;
     let sampled = SystematicSampler::new(8).sample(out.offered.values(), 3);
     let h_thin = est.estimate(sampled.values()).expect("long enough").hurst;
     assert!(h_full > 0.6, "aggregate should be LRD, got H = {h_full:.3}");
@@ -45,9 +48,15 @@ fn fluid_queue_and_packet_link_agree_on_the_loss_regime() {
         .emission(100.0, 400)
         .bin_width(0.05)
         .duration(420.0)
-        .bottleneck(LinkSpec { capacity_bps, queue_limit: 16 })
+        .bottleneck(LinkSpec {
+            capacity_bps,
+            queue_limit: 16,
+        })
         .run(77);
-    assert!(packet.loss_rate > 0.0, "packet model should drop at 90% load, queue 16");
+    assert!(
+        packet.loss_rate > 0.0,
+        "packet model should drop at 90% load, queue 16"
+    );
 
     let offered = scenario().run(77).offered;
     let fluid = FluidQueue::new(capacity_bps / 8.0).drive(&offered);

@@ -1,0 +1,146 @@
+//! Determinism contracts for the performance pipeline: the planned /
+//! cached / parallel fast paths must be **byte-identical** to the
+//! sequential reference algorithms — speed must never change results.
+
+use selfsim::sampling::bss::{BssSampler, OnlineTuning, ThresholdPolicy};
+use selfsim::sampling::{
+    run_bss_experiment, run_experiment, ParallelExperimentRunner, Sampler, SimpleRandomSampler,
+    StratifiedSampler, SystematicSampler,
+};
+use selfsim::sigproc::complex::Complex;
+use selfsim::sigproc::fft::{fft_pow2_in_place, next_pow2};
+use selfsim::stats::dist::standard_normal;
+use selfsim::stats::model::FgnAcf;
+use selfsim::stats::rng::rng_from_seed;
+use selfsim::traffic::fgn::{FgnPlan, FgnScratch};
+use selfsim::traffic::{FgnGenerator, SyntheticTraceSpec};
+
+/// The original (pre-plan) Davies-Harte generation algorithm, kept
+/// verbatim as the reference: derives the circulant eigenvalue spectrum
+/// from scratch on every call.
+fn reference_davies_harte(hurst: f64, n: usize, seed: u64) -> Vec<f64> {
+    assert!(n >= 1);
+    if n == 1 {
+        let mut rng = rng_from_seed(seed);
+        return vec![standard_normal(&mut rng)];
+    }
+    let big_n = next_pow2(n);
+    let m = 2 * big_n;
+    let acf = FgnAcf::new(hurst);
+    let mut row = vec![Complex::ZERO; m];
+    for (k, slot) in row.iter_mut().enumerate().take(big_n + 1) {
+        *slot = Complex::from_real(acf.at(k as u64));
+    }
+    for k in 1..big_n {
+        row[m - k] = Complex::from_real(acf.at(k as u64));
+    }
+    fft_pow2_in_place(&mut row);
+    let lambda: Vec<f64> = row.iter().map(|z| z.re.max(0.0)).collect();
+
+    let mut rng = rng_from_seed(seed);
+    let mut spec = vec![Complex::ZERO; m];
+    spec[0] = Complex::from_real((lambda[0]).sqrt() * standard_normal(&mut rng));
+    spec[big_n] = Complex::from_real((lambda[big_n]).sqrt() * standard_normal(&mut rng));
+    for k in 1..big_n {
+        let g = standard_normal(&mut rng);
+        let h = standard_normal(&mut rng);
+        let amp = (lambda[k] / 2.0).sqrt();
+        spec[k] = Complex::new(amp * g, amp * h);
+        spec[m - k] = spec[k].conj();
+    }
+    fft_pow2_in_place(&mut spec);
+    let norm = 1.0 / (m as f64).sqrt();
+    spec.into_iter().take(n).map(|z| z.re * norm).collect()
+}
+
+#[test]
+fn fgn_plan_paths_are_bit_identical_to_reference() {
+    // Several (H, n, seed) triples spanning short/long, pow2/non-pow2.
+    let cases = [
+        (0.55f64, 64usize, 0u64),
+        (0.7, 100, 1),
+        (0.8, 1 << 12, 42),
+        (0.8, 1 << 12, 43),
+        (0.92, 1023, 2024),
+        (0.6, 1, 7),
+    ];
+    let mut out = Vec::new();
+    let mut scratch = FgnScratch::default();
+    for &(h, n, seed) in &cases {
+        let want = reference_davies_harte(h, n, seed);
+        // Path 1: fresh plan, buffer-reuse entry point.
+        let plan = FgnPlan::new(h, n).expect("valid");
+        plan.generate_values_into(seed, &mut out, &mut scratch);
+        assert_eq!(out, want, "fresh plan: H={h} n={n} seed={seed}");
+        // Path 2: the generator facade, which goes through the shared
+        // process-wide LRU cache.
+        let cached = FgnGenerator::new(h)
+            .expect("valid")
+            .generate_values(n, seed);
+        assert_eq!(cached, want, "cached plan: H={h} n={n} seed={seed}");
+        // Path 3: cache hit on a second call (exercises the LRU reorder).
+        let cached_again = FgnGenerator::new(h)
+            .expect("valid")
+            .generate_values(n, seed);
+        assert_eq!(cached_again, want, "cache hit: H={h} n={n} seed={seed}");
+    }
+}
+
+#[test]
+fn synthetic_builds_are_stable_across_cache_states() {
+    // The builder's output must not depend on whether the plan cache is
+    // cold, warm, or was evicted in between.
+    let spec = SyntheticTraceSpec::new().length(1 << 10).hurst(0.8).seed(5);
+    let first = spec.build();
+    // Thrash the LRU with other (H, n) pairs.
+    for i in 0..12u64 {
+        let h = 0.6 + 0.02 * i as f64;
+        let _ = FgnGenerator::new(h)
+            .unwrap()
+            .generate_values(128 + i as usize, i);
+    }
+    assert_eq!(first, spec.build());
+}
+
+#[test]
+fn parallel_experiment_is_byte_equal_to_sequential() {
+    let trace = SyntheticTraceSpec::new().length(1 << 14).seed(77).build();
+    let vals = trace.values();
+    let samplers: Vec<Box<dyn Sampler + Send + Sync>> = vec![
+        Box::new(SystematicSampler::new(64)),
+        Box::new(StratifiedSampler::new(64)),
+        Box::new(SimpleRandomSampler::new(0.02)),
+    ];
+    for s in &samplers {
+        for &(instances, seed) in &[(1usize, 0u64), (8, 3), (30, 12345)] {
+            let seq = run_experiment(vals, s.as_ref(), instances, seed);
+            for jobs in [1usize, 3, 16] {
+                let par = ParallelExperimentRunner::new().with_jobs(jobs).run(
+                    vals,
+                    s.as_ref(),
+                    instances,
+                    seed,
+                );
+                assert_eq!(
+                    par.instances,
+                    seq.instances,
+                    "{} instances={instances} seed={seed} jobs={jobs}",
+                    s.name()
+                );
+                assert_eq!(par.true_mean.to_bits(), seq.true_mean.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_bss_experiment_is_byte_equal_to_sequential() {
+    let trace = SyntheticTraceSpec::new().length(1 << 14).seed(9).build();
+    let vals = trace.values();
+    let bss =
+        BssSampler::new(200, ThresholdPolicy::Online(OnlineTuning::default())).expect("valid");
+    let seq = run_bss_experiment(vals, &bss, 12, 4);
+    let par = ParallelExperimentRunner::new().run_bss(vals, &bss, 12, 4);
+    assert_eq!(par.instances, seq.instances);
+    assert_eq!(par.sampler, seq.sampler);
+}

@@ -7,7 +7,9 @@ use selfsim::sampling::{Sampler, SystematicSampler};
 
 #[test]
 fn bell_labs_like_trace_matches_paper_calibration() {
-    let trace = TraceSynthesizer::bell_labs_like().duration(600.0).synthesize(77);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(600.0)
+        .synthesize(77);
     // Mean rate in the calibrated band (heavy tails: wide tolerance).
     let rate = trace.mean_rate();
     assert!(
@@ -15,13 +17,22 @@ fn bell_labs_like_trace_matches_paper_calibration() {
         "mean rate {rate} vs 1.21e4"
     );
     // Hundreds of OD pairs, realistic packet sizes.
-    assert!(trace.od_pair_count() > 80, "pairs={}", trace.od_pair_count());
-    assert!(trace.packets().iter().all(|p| (40..=1500).contains(&p.size)));
+    assert!(
+        trace.od_pair_count() > 80,
+        "pairs={}",
+        trace.od_pair_count()
+    );
+    assert!(trace
+        .packets()
+        .iter()
+        .all(|p| (40..=1500).contains(&p.size)));
 }
 
 #[test]
 fn binning_granularities_are_consistent() {
-    let trace = TraceSynthesizer::bell_labs_like().duration(120.0).synthesize(5);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(120.0)
+        .synthesize(5);
     let fine = trace.to_rate_series(1e-3);
     let coarse = trace.to_rate_series(1e-1);
     // Same byte volume regardless of binning.
@@ -37,14 +48,20 @@ fn binning_granularities_are_consistent() {
 
 #[test]
 fn sampling_a_packet_trace_underestimates_then_bss_helps() {
-    let trace = TraceSynthesizer::bell_labs_like().duration(1200.0).synthesize(21);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(1200.0)
+        .synthesize(21);
     let series = trace.to_rate_series(1e-2);
     let truth = series.mean();
     let interval = 200; // rate 5e-3
 
     // Median over several instances to tame single-offset noise.
     let mut sys_means: Vec<f64> = (0..9)
-        .map(|s| SystematicSampler::new(interval).sample(series.values(), s).mean())
+        .map(|s| {
+            SystematicSampler::new(interval)
+                .sample(series.values(), s)
+                .mean()
+        })
         .collect();
     sys_means.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let sys = sys_means[4];
@@ -53,7 +70,10 @@ fn sampling_a_packet_trace_underestimates_then_bss_helps() {
         .map(|s| {
             BssSampler::new(
                 interval,
-                ThresholdPolicy::Online(OnlineTuning { alpha: 1.71, ..Default::default() }),
+                ThresholdPolicy::Online(OnlineTuning {
+                    alpha: 1.71,
+                    ..Default::default()
+                }),
             )
             .unwrap()
             .sample_detailed(series.values(), s)
@@ -72,7 +92,9 @@ fn sampling_a_packet_trace_underestimates_then_bss_helps() {
 
 #[test]
 fn codec_round_trip_at_scale() {
-    let trace = TraceSynthesizer::bell_labs_like().duration(300.0).synthesize(13);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(300.0)
+        .synthesize(13);
     let bytes = encode(&trace);
     let back = decode(&bytes).expect("decode");
     assert_eq!(trace, back);
@@ -81,7 +103,9 @@ fn codec_round_trip_at_scale() {
 
 #[test]
 fn od_filtering_partitions_traffic() {
-    let trace = TraceSynthesizer::bell_labs_like().duration(120.0).synthesize(2);
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(120.0)
+        .synthesize(2);
     let all = trace.to_rate_series(0.1);
     let volumes = trace.od_volumes();
     let top_pair = volumes[0].0;

@@ -46,7 +46,11 @@ fn end_to_end_mean_estimation() {
     assert!(strat.median_mean() <= truth * 1.1);
     assert!(ran.median_mean() <= truth * 1.2);
     // BSS overhead bounded.
-    assert!(bss.mean_overhead() < 1.0, "overhead {}", bss.mean_overhead());
+    assert!(
+        bss.mean_overhead() < 1.0,
+        "overhead {}",
+        bss.mean_overhead()
+    );
 }
 
 /// T1 across crates: fGn → systematic sampling → Hurst estimation; the
@@ -79,16 +83,27 @@ fn burst_and_marginal_structure() {
         .seed(3)
         .build();
     let marginal = fit_pareto_ccdf(trace.values(), 0.5).expect("fit");
-    assert!((marginal.alpha - 1.5).abs() < 0.3, "marginal α={}", marginal.alpha);
+    assert!(
+        (marginal.alpha - 1.5).abs() < 0.3,
+        "marginal α={}",
+        marginal.alpha
+    );
 
     let bursts = BurstAnalysis::at_relative_threshold(trace.values(), 0.5);
     assert!(bursts.bursts.len() > 100);
     let fit = bursts.tail_fit.expect("burst fit");
-    assert!(fit.alpha < 3.0, "burst tail α={} should be heavy-ish", fit.alpha);
+    assert!(
+        fit.alpha < 3.0,
+        "burst tail α={} should be heavy-ish",
+        fit.alpha
+    );
     // Eq. (18)-(20): persistence grows with τ for heavy-tailed bursts.
     let p1 = bursts.persistence(1).unwrap();
     let p5 = bursts.persistence(5).unwrap_or(1.0);
-    assert!(p5 >= p1 * 0.8, "persistence should not collapse: p1={p1} p5={p5}");
+    assert!(
+        p5 >= p1 * 0.8,
+        "persistence should not collapse: p1={p1} p5={p5}"
+    );
 }
 
 /// Generators agree: on/off aggregation, M/G/∞, and fGn+copula all
@@ -99,7 +114,11 @@ fn all_generators_are_lrd() {
     let n = 1 << 16;
     let onoff = OnOffModel::for_hurst(0.8, 32).unwrap().generate(n, 1);
     let mginf = MgInfModel::new(2.0, 1.4, 10.0).unwrap().generate(n, 1);
-    let copula = SyntheticTraceSpec::new().length(n).gaussian_marginal(10.0, 2.0).seed(1).build();
+    let copula = SyntheticTraceSpec::new()
+        .length(n)
+        .gaussian_marginal(10.0, 2.0)
+        .seed(1)
+        .build();
     for (name, ts) in [("onoff", onoff), ("mginf", mginf), ("copula", copula)] {
         let h = consensus_hurst(ts.values()).expect("estimable");
         assert!(h > 0.6, "{name}: consensus H={h}");

@@ -48,7 +48,11 @@ fn lrd_queue_overflow_decays_slower_than_exponential() {
     // Small headroom so the buffer actually builds: service ≈ mean/0.95.
     let path = FluidQueue::for_utilization(&trace, 0.95).drive(&trace);
     let curve = path.overflow_curve(24);
-    assert!(curve.len() >= 10, "need a usable overflow curve, got {} pts", curve.len());
+    assert!(
+        curve.len() >= 10,
+        "need a usable overflow curve, got {} pts",
+        curve.len()
+    );
 
     // LRD input gives a Weibull occupancy tail, log P(Q>b) ∝ −b^{2−2H}
     // with 2−2H = 0.3 ≪ 1: log-convex in b. Fit an exponential
@@ -56,10 +60,13 @@ fn lrd_queue_overflow_decays_slower_than_exponential() {
     // extrapolate to the largest observed buffer — the measured tail
     // must sit clearly above the exponential extrapolation.
     let half = curve.len() / 2;
-    let (xs, ys): (Vec<f64>, Vec<f64>) =
-        curve[..half].iter().map(|&(b, p)| (b, p.ln())).unzip();
+    let (xs, ys): (Vec<f64>, Vec<f64>) = curve[..half].iter().map(|&(b, p)| (b, p.ln())).unzip();
     let fit = selfsim::sigproc::regress::ols(&xs, &ys);
-    assert!(fit.slope < 0.0, "overflow curve must decay, slope {}", fit.slope);
+    assert!(
+        fit.slope < 0.0,
+        "overflow curve must decay, slope {}",
+        fit.slope
+    );
     let (b_big, p_big) = curve[curve.len() - 2];
     let exp_pred = (fit.intercept + fit.slope * b_big).exp();
     assert!(
@@ -73,7 +80,11 @@ fn lrd_queue_overflow_decays_slower_than_exponential() {
     // Norros LRD (H=0.85) formula must predict vastly more overflow than
     // the SRD (H=0.5) exponential. (The two curves cross at small b, so
     // evaluate deep in the tail.)
-    let sigma = trace.values().iter().map(|x| (x - trace.mean()).powi(2)).sum::<f64>()
+    let sigma = trace
+        .values()
+        .iter()
+        .map(|x| (x - trace.mean()).powi(2))
+        .sum::<f64>()
         / trace.len() as f64;
     let sigma = sigma.sqrt();
     let b_large = 50.0 * sigma;
@@ -111,7 +122,13 @@ fn queue_fed_by_sampled_reconstruction_is_conservative_check() {
     let recon_ts = selfsim::stats::TimeSeries::from_values(trace.dt(), recon);
     let approx = FluidQueue::new(service).drive(&recon_ts);
     // Order-of-magnitude agreement on mean occupancy.
-    let (a, b) = (full.mean_occupancy().max(1e-9), approx.mean_occupancy().max(1e-9));
+    let (a, b) = (
+        full.mean_occupancy().max(1e-9),
+        approx.mean_occupancy().max(1e-9),
+    );
     let ratio = a.max(b) / a.min(b);
-    assert!(ratio < 50.0, "occupancy mismatch: full {a:.3e} vs reconstructed {b:.3e}");
+    assert!(
+        ratio < 50.0,
+        "occupancy mismatch: full {a:.3e} vs reconstructed {b:.3e}"
+    );
 }

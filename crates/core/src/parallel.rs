@@ -26,10 +26,65 @@ use crate::sampler::Sampler;
 use rayon::prelude::*;
 use sst_stats::rng::derive_seed;
 
+/// Minimum trace elements one spawned task should be responsible for.
+///
+/// Fanning out costs real money here (the offline rayon stand-in spawns
+/// scoped threads per operation, and even a work-stealing pool pays
+/// queueing and cache-migration overhead), so an instance only earns a
+/// task of its own when it scans at least this many elements; smaller
+/// instances are batched together, and sweeps whose *total* work cannot
+/// fill two such tasks skip the fan-out entirely. The value corresponds
+/// to roughly a millisecond of sampling work — far above spawn cost,
+/// far below the scale where load imbalance would matter.
+const MIN_TASK_ELEMS: u64 = 1 << 21;
+
+/// How a runner will execute a sweep of `total_items` work items, each
+/// scanning `item_elems` trace elements.
+///
+/// Exposed for tests; produced by [`chunking_for`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Chunking {
+    /// Run inline on the calling thread — the work cannot pay for even
+    /// one fan-out.
+    Sequential,
+    /// Fan out tasks of `chunk` consecutive items each.
+    Chunked {
+        /// Items per spawned task (≥ 1).
+        chunk: usize,
+    },
+}
+
+/// Decides the execution strategy for `total_items` items of
+/// `item_elems` elements each across `threads` workers.
+///
+/// Byte-equality is unaffected by the choice — chunks preserve item
+/// order and items stay pure functions of their seed — so this is
+/// purely a throughput decision.
+pub fn chunking_for(total_items: usize, item_elems: usize, threads: usize) -> Chunking {
+    let total_work = total_items as u64 * item_elems as u64;
+    if threads <= 1 || total_items <= 1 || total_work < 2 * MIN_TASK_ELEMS {
+        return Chunking::Sequential;
+    }
+    // Items per task so each task clears the minimum-work bar …
+    let min_chunk = (MIN_TASK_ELEMS / (item_elems as u64).max(1)).max(1) as usize;
+    // … but never fewer tasks than workers when the work could fill
+    // them (ceil division keeps every chunk at least `min_chunk` except
+    // possibly the last).
+    let fair_chunk = total_items.div_ceil(threads);
+    Chunking::Chunked {
+        chunk: min_chunk.max(fair_chunk.min(total_items)),
+    }
+}
+
 /// Runs multi-instance experiments across threads.
 ///
 /// `jobs = None` (the default) uses every available core; `Some(n)` caps
 /// the worker count — `Some(1)` degenerates to the sequential path.
+/// Small sweeps are not fanned out at all: a minimum-work-per-task
+/// threshold ([`chunking_for`]) batches instances into chunks and runs
+/// sub-millisecond sweeps inline, so the parallel entry points are never
+/// slower than [`crate::experiment::run_experiment`] by more than
+/// measurement noise (and byte-identical to it always).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ParallelExperimentRunner {
     jobs: Option<usize>,
@@ -59,6 +114,37 @@ impl ParallelExperimentRunner {
         }
     }
 
+    /// The worker count the next operation would fan out across.
+    fn effective_threads(&self) -> usize {
+        self.jobs.unwrap_or_else(rayon::current_num_threads).max(1)
+    }
+
+    /// Whether a sweep of `n_items` items over `item_elems`-element
+    /// scans falls under the minimum-work threshold and runs inline.
+    fn runs_sequentially(&self, n_items: usize, item_elems: usize) -> bool {
+        chunking_for(n_items, item_elems, self.effective_threads()) == Chunking::Sequential
+    }
+
+    /// Runs `n_items` indexed work items (each scanning `item_elems`
+    /// trace elements) under the [`chunking_for`] policy, preserving
+    /// item order exactly.
+    fn execute<F>(&self, n_items: usize, item_elems: usize, f: F) -> Vec<InstanceResult>
+    where
+        F: Fn(usize) -> InstanceResult + Sync,
+    {
+        match chunking_for(n_items, item_elems, self.effective_threads()) {
+            Chunking::Sequential => (0..n_items).map(f).collect(),
+            Chunking::Chunked { chunk } => self.scoped(|| {
+                let starts: Vec<usize> = (0..n_items).step_by(chunk).collect();
+                let batches: Vec<Vec<InstanceResult>> = starts
+                    .into_par_iter()
+                    .map(|start| (start..(start + chunk).min(n_items)).map(&f).collect())
+                    .collect();
+                batches.into_iter().flatten().collect()
+            }),
+        }
+    }
+
     /// Parallel form of [`crate::experiment::run_experiment`]; the result
     /// is byte-identical to the sequential call.
     ///
@@ -72,19 +158,19 @@ impl ParallelExperimentRunner {
         n_instances: usize,
         base_seed: u64,
     ) -> ExperimentResult {
+        if self.runs_sequentially(n_instances, values.len()) {
+            // Below the fan-out threshold the parallel entry point IS
+            // the sequential runner — same function, zero overhead.
+            return crate::experiment::run_experiment(values, sampler, n_instances, base_seed);
+        }
         let true_mean = validate_experiment_inputs(values, n_instances);
-        let instances: Vec<InstanceResult> = self.scoped(|| {
-            (0..n_instances)
-                .into_par_iter()
-                .map(|i| {
-                    let s = sampler.sample(values, derive_seed(base_seed, i as u64));
-                    InstanceResult {
-                        mean: s.mean(),
-                        n_samples: s.len(),
-                        n_qualified: 0,
-                    }
-                })
-                .collect()
+        let instances = self.execute(n_instances, values.len(), |i| {
+            let s = sampler.sample(values, derive_seed(base_seed, i as u64));
+            InstanceResult {
+                mean: s.mean(),
+                n_samples: s.len(),
+                n_qualified: 0,
+            }
         });
         ExperimentResult {
             sampler: sampler.name(),
@@ -107,19 +193,17 @@ impl ParallelExperimentRunner {
         n_instances: usize,
         base_seed: u64,
     ) -> ExperimentResult {
+        if self.runs_sequentially(n_instances, values.len()) {
+            return crate::experiment::run_bss_experiment(values, sampler, n_instances, base_seed);
+        }
         let true_mean = validate_experiment_inputs(values, n_instances);
-        let instances: Vec<InstanceResult> = self.scoped(|| {
-            (0..n_instances)
-                .into_par_iter()
-                .map(|i| {
-                    let out = sampler.sample_detailed(values, derive_seed(base_seed, i as u64));
-                    InstanceResult {
-                        mean: out.mean(),
-                        n_samples: out.total_kept(),
-                        n_qualified: out.qualified_count,
-                    }
-                })
-                .collect()
+        let instances = self.execute(n_instances, values.len(), |i| {
+            let out = sampler.sample_detailed(values, derive_seed(base_seed, i as u64));
+            InstanceResult {
+                mean: out.mean(),
+                n_samples: out.total_kept(),
+                n_qualified: out.qualified_count,
+            }
         });
         ExperimentResult {
             sampler: "bss",
@@ -161,22 +245,18 @@ impl ParallelExperimentRunner {
         let samplers: Vec<Box<dyn Sampler + Send + Sync>> =
             rates.iter().map(|&r| make_sampler(r)).collect();
         // Flat (rate, instance) task list, executed in one ordered
-        // parallel map, then regrouped by rate via offsets.
+        // (chunked) parallel map, then regrouped by rate via offsets.
         let tasks: Vec<(usize, usize)> = (0..rates.len())
             .flat_map(|r| (0..counts[r]).map(move |i| (r, i)))
             .collect();
-        let flat: Vec<InstanceResult> = self.scoped(|| {
-            tasks
-                .into_par_iter()
-                .map(|(r, i)| {
-                    let s = samplers[r].sample(values, derive_seed(base_seed, i as u64));
-                    InstanceResult {
-                        mean: s.mean(),
-                        n_samples: s.len(),
-                        n_qualified: 0,
-                    }
-                })
-                .collect()
+        let flat = self.execute(tasks.len(), values.len(), |t| {
+            let (r, i) = tasks[t];
+            let s = samplers[r].sample(values, derive_seed(base_seed, i as u64));
+            InstanceResult {
+                mean: s.mean(),
+                n_samples: s.len(),
+                n_qualified: 0,
+            }
         });
         let mut offset = 0usize;
         samplers
@@ -285,5 +365,66 @@ mod tests {
     #[should_panic(expected = "empty trace")]
     fn empty_trace_panics() {
         ParallelExperimentRunner::new().run(&[], &SystematicSampler::new(4), 2, 0);
+    }
+
+    #[test]
+    fn chunking_policy_thresholds() {
+        // One worker, one item, or sub-threshold total work: inline.
+        assert_eq!(chunking_for(30, 1 << 17, 1), Chunking::Sequential);
+        assert_eq!(chunking_for(1, 1 << 22, 8), Chunking::Sequential);
+        assert_eq!(
+            chunking_for(30, 1 << 17, 8),
+            Chunking::Sequential,
+            "a ~4M-element sweep cannot fill two minimum-work tasks"
+        );
+        // Large items: the per-task minimum dictates the chunk.
+        let big = chunking_for(64, 1 << 17, 8);
+        assert_eq!(big, Chunking::Chunked { chunk: 16 });
+        // Huge items: one item already clears the bar, fairness caps the
+        // task count at the worker count.
+        let huge = chunking_for(64, 1 << 22, 8);
+        assert_eq!(huge, Chunking::Chunked { chunk: 8 });
+        // Tiny items in a long sweep: chunks batch many items.
+        match chunking_for(100_000, 100, 4) {
+            Chunking::Chunked { chunk } => assert!(chunk * 100 >= (1 << 21)),
+            seq => panic!("expected chunked, got {seq:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_and_sequential_paths_are_byte_equal_across_threshold() {
+        // Straddle the minimum-work threshold from both sides with the
+        // same sampler/seed; all strategies must agree bit for bit.
+        let s = SimpleRandomSampler::new(0.02);
+        for n in [6usize, 40] {
+            let vals = lumpy(1 << 17);
+            let seq = run_experiment(&vals, &s, n, 9);
+            for jobs in [1usize, 2, 5, 16] {
+                let par = ParallelExperimentRunner::new()
+                    .with_jobs(jobs)
+                    .run(&vals, &s, n, 9);
+                assert_eq!(par.instances, seq.instances, "n={n} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_sweep_chunked_matches_per_rate_runs_on_large_sweeps() {
+        // A sweep big enough to trigger chunked fan-out must still be
+        // byte-identical to the sequential per-rate reference.
+        let vals = lumpy(1 << 16);
+        let rates = [0.05, 0.02, 0.01, 0.005, 0.002];
+        let sweep = ParallelExperimentRunner::new().with_jobs(4).run_rate_sweep(
+            &vals,
+            &rates,
+            |r| Box::new(StratifiedSampler::new((1.0 / r).round() as usize)),
+            |_| 16,
+            21,
+        );
+        for (res, &r) in sweep.iter().zip(&rates) {
+            let c = (1.0 / r).round() as usize;
+            let seq = run_experiment(&vals, &StratifiedSampler::new(c), 16, 21);
+            assert_eq!(res.instances, seq.instances, "rate={r}");
+        }
     }
 }

@@ -244,16 +244,22 @@ impl Sampler for SimpleRandomSampler {
 
     fn sample(&self, values: &[f64], seed: u64) -> Samples {
         let mut rng = rng_from_seed(derive_seed(seed, 0x51D0));
-        // Skip-ahead via geometric gaps: O(expected samples) instead of
-        // one RNG call per element.
-        let mut indices = Vec::new();
-        let mut sampled = Vec::new();
         if self.rate >= 1.0 {
             return Samples {
                 indices: (0..values.len()).collect(),
                 values: values.to_vec(),
             };
         }
+        // Skip-ahead via geometric gaps (Vitter-style): O(expected
+        // samples) RNG draws instead of one Bernoulli per element, with
+        // selection statistics identical to per-element thinning (the
+        // `geometric_skips_match_per_element_bernoulli` test pins this).
+        // Reserve the expected count plus 4σ of binomial slack so the
+        // hot loop almost never reallocates.
+        let expect = values.len() as f64 * self.rate;
+        let cap = (expect + 4.0 * (expect * (1.0 - self.rate)).sqrt() + 8.0) as usize;
+        let mut indices = Vec::with_capacity(cap.min(values.len()));
+        let mut sampled = Vec::with_capacity(cap.min(values.len()));
         let ln_q = (1.0 - self.rate).ln();
         let mut t: usize = 0;
         loop {
@@ -354,6 +360,58 @@ mod tests {
         let s = SimpleRandomSampler::new(1.0);
         let out = s.sample(&ramp(10), 0);
         assert_eq!(out.len(), 10);
+    }
+
+    /// Pins the geometric-skip implementation to the per-element
+    /// Bernoulli definition it replaces: identical selection rate,
+    /// identical gap distribution. (The two consume different RNG
+    /// streams, so the comparison is distributional with tight
+    /// large-sample tolerances, plus an exact chi-squared-style bound
+    /// on the gap histogram.)
+    #[test]
+    fn geometric_skips_match_per_element_bernoulli() {
+        let rate = 0.05;
+        let n = 400_000usize;
+        let vals = ramp(n);
+        let s = SimpleRandomSampler::new(rate);
+        let skip = s.sample(&vals, 17);
+
+        // Reference: literal per-element Bernoulli thinning.
+        let mut rng = rng_from_seed(derive_seed(29, 0x51D0));
+        let bern: Vec<usize> = (0..n).filter(|_| rng.gen::<f64>() < rate).collect();
+
+        // Selection rates agree with each other and the nominal rate
+        // within 4σ of binomial noise.
+        let sigma = (n as f64 * rate * (1.0 - rate)).sqrt();
+        let tol = 4.0 * sigma;
+        assert!(
+            ((skip.len() as f64) - n as f64 * rate).abs() < tol,
+            "skip count {} vs expected {}",
+            skip.len(),
+            n as f64 * rate
+        );
+        assert!(
+            ((bern.len() as f64) - n as f64 * rate).abs() < tol,
+            "bernoulli count {} vs expected {}",
+            bern.len(),
+            n as f64 * rate
+        );
+
+        // Gap histograms both match the geometric law P(gap = g) =
+        // r(1−r)^{g−1} bin by bin (4σ multinomial noise per bin).
+        let gaps = |idx: &[usize]| -> Vec<usize> { idx.windows(2).map(|w| w[1] - w[0]).collect() };
+        for (name, g) in [("skip", gaps(skip.indices())), ("bern", gaps(&bern))] {
+            let m = g.len() as f64;
+            for k in 1usize..=5 {
+                let want = rate * (1.0 - rate).powi(k as i32 - 1);
+                let got = g.iter().filter(|&&x| x == k).count() as f64 / m;
+                let noise = 4.0 * (want * (1.0 - want) / m).sqrt();
+                assert!(
+                    (got - want).abs() < noise,
+                    "{name}: P(gap={k}) = {got:.5}, want {want:.5} ± {noise:.5}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   `BENCH_samplers.json`.
 //!
 //! `cargo test` executes harness-less bench binaries with `--test`; in
-//! that mode every benchmark runs exactly one iteration as a smoke test.
+//! that mode every benchmark runs exactly one iteration as a smoke test
+//! (still appending its id to `CRITERION_JSON` when set, which is how
+//! `scripts/check_bench_ids.sh` enumerates the harness's current ids).
 
 #![forbid(unsafe_code)]
 
@@ -251,6 +253,11 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         };
         f(&mut b);
         println!("{id}: smoke test ok");
+        // Still record the id (with the single-iteration time) when JSON
+        // output was requested: `scripts/check_bench_ids.sh` runs the
+        // harness in smoke mode to enumerate the current benchmark ids
+        // and diff them against the committed BENCH_samplers.json.
+        append_json(id, b.elapsed.as_nanos() as f64, 1, throughput);
         return;
     }
     // Calibration: time one iteration to size the warm-up and samples.

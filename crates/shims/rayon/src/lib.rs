@@ -19,7 +19,7 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::AtomicUsize;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 std::thread_local! {
     static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
@@ -27,22 +27,31 @@ std::thread_local! {
 
 /// Number of worker threads a parallel operation will use: a
 /// [`with_num_threads`] override if one is active on this thread, else
-/// the `RAYON_NUM_THREADS` environment variable (like real rayon), else
-/// the machine's available parallelism.
+/// the `RAYON_NUM_THREADS` environment variable, else the machine's
+/// available parallelism.
+///
+/// The environment/parallelism default is resolved **once** per process
+/// — the same semantics as real rayon, whose global pool reads the
+/// variable at construction. (Re-reading it per call also made this
+/// function a hot-path cost: `env::var` scans the whole environment
+/// block, which the experiment runner's work-sizing heuristic calls on
+/// every sweep.)
 pub fn current_num_threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
         return n.max(1);
     }
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// Runs `f` with parallel operations *started on this thread* capped at

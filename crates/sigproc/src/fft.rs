@@ -10,6 +10,7 @@
 
 use crate::complex::Complex;
 use crate::plan::{bluestein_for, plan_for, BluesteinScratch};
+use crate::rfft::real_plan_for;
 
 /// Returns `true` when `n` is a power of two (and nonzero).
 #[inline]
@@ -105,7 +106,12 @@ pub fn periodogram(signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
     if n < 2 {
         return (Vec::new(), Vec::new());
     }
-    let spec = rfft(signal);
+    // Only the non-redundant half-spectrum is needed, so this runs
+    // through the shared real-FFT plan (half-size complex FFT for
+    // power-of-two lengths) instead of a full complex transform.
+    let plan = real_plan_for(n);
+    let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+    plan.r2c(signal, &mut spec);
     let half = n / 2;
     let norm = 1.0 / (2.0 * std::f64::consts::PI * n as f64);
     let mut freqs = Vec::with_capacity(half);

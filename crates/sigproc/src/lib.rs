@@ -13,6 +13,8 @@
 //!   the shared plan cache).
 //! * [`plan`] — precomputed FFT/Bluestein plans (twiddle tables,
 //!   bit-reversal lists, reusable scratch) with a process-wide LRU.
+//! * [`rfft`] — real-valued transforms (`r2c`/`c2r`) that exploit
+//!   Hermitian symmetry through a half-size complex FFT.
 //! * [`conv`] — convolution, τ-fold pmf self-convolution (the `k(u, τ)` of
 //!   the paper's Theorem 1), FFT autocorrelation.
 //! * [`wavelet`] — Daubechies DWT pyramid for the Abry-Veitch Hurst
@@ -40,12 +42,14 @@ pub mod fft;
 pub mod numeric;
 pub mod plan;
 pub mod regress;
+pub mod rfft;
 pub mod special;
 pub mod wavelet;
 
 pub use complex::Complex;
 pub use plan::{BluesteinPlan, BluesteinScratch, FftPlan};
 pub use regress::LineFit;
+pub use rfft::RealFftPlan;
 pub use wavelet::{DwtPyramid, Wavelet};
 
 #[cfg(test)]
@@ -53,10 +57,18 @@ mod proptests {
     use crate::complex::Complex;
     use crate::conv::{autocovariance, autocovariance_direct, convolve_direct, convolve_fft};
     use crate::fft::{fft, ifft};
+    use crate::rfft::RealFftPlan;
     use proptest::prelude::*;
 
     fn small_signal() -> impl Strategy<Value = Vec<f64>> {
         proptest::collection::vec(-100.0f64..100.0, 2..128)
+    }
+
+    /// Signals whose lengths exercise both real-FFT backends: arbitrary
+    /// lengths hit the Bluestein fallback, and padding to the next power
+    /// of two (done in the tests) hits the half-size fast path.
+    fn real_signal() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-100.0f64..100.0, 1..200)
     }
 
     proptest! {
@@ -127,6 +139,63 @@ mod proptests {
         fn normal_quantile_round_trip(p in 0.0001f64..0.9999) {
             let x = crate::special::normal_quantile(p);
             prop_assert!((crate::special::normal_cdf(x) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn real_fft_round_trip_bluestein_sizes(xs in real_signal()) {
+            // Arbitrary lengths: mostly non-powers of two, i.e. the
+            // Bluestein fallback, with the occasional pow2 mixed in.
+            let plan = RealFftPlan::new(xs.len());
+            let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+            plan.r2c(&xs, &mut spec);
+            let mut back = vec![0.0; xs.len()];
+            plan.c2r(&mut spec, &mut back);
+            for (a, b) in xs.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn real_fft_round_trip_pow2_sizes(xs in real_signal()) {
+            // Zero-pad to the next power of two: the half-size fast path.
+            let n = xs.len().next_power_of_two().max(2);
+            let mut padded = xs.clone();
+            padded.resize(n, 0.0);
+            let plan = RealFftPlan::new(n);
+            let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+            plan.r2c(&padded, &mut spec);
+            let mut back = vec![0.0; n];
+            plan.c2r(&mut spec, &mut back);
+            for (a, b) in padded.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn real_fft_matches_hermitian_complex_spectrum(xs in real_signal()) {
+            // The half-spectrum must equal the first n/2+1 bins of the
+            // full complex FFT, and the discarded bins must be their
+            // mirror conjugates (Hermitian symmetry) — for both the
+            // pow2 fast path and the Bluestein fallback.
+            for pad in [false, true] {
+                let mut x = xs.clone();
+                if pad {
+                    x.resize(x.len().next_power_of_two().max(2), 0.0);
+                }
+                let n = x.len();
+                let plan = RealFftPlan::new(n);
+                let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+                plan.r2c(&x, &mut spec);
+                let z: Vec<Complex> = x.iter().map(|&v| Complex::from_real(v)).collect();
+                let full = fft(&z);
+                let tol = 1e-7 * (1.0 + x.iter().map(|v| v.abs()).sum::<f64>());
+                for k in 0..plan.spectrum_len() {
+                    prop_assert!((spec[k] - full[k]).abs() < tol, "bin {k}");
+                }
+                for k in 1..n - n / 2 {
+                    prop_assert!((full[n - k] - full[k].conj()).abs() < tol, "mirror {k}");
+                }
+            }
         }
     }
 }

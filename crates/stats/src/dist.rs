@@ -445,14 +445,31 @@ pub fn poisson(rng: &mut dyn rand::RngCore, lambda: f64) -> u64 {
     }
 }
 
-/// Draws a standard normal via Box-Muller (polar-free, uses two uniforms).
+/// Draws a standard normal — the workspace's default Gaussian source,
+/// backed by the 256-layer ziggurat
+/// ([`crate::ziggurat::standard_normal_ziggurat`]): ~one RNG word, one
+/// multiply, and one compare per draw in the common case, versus the
+/// `ln`/`sqrt`/`cos` chain Box-Muller pays on every draw.
 ///
 /// Generic over the generator so the hot Monte-Carlo loops (the fGn
 /// spectral synthesis draws `2N` of these per instance) monomorphize and
-/// inline the RNG instead of paying two virtual calls per draw; `?Sized`
-/// keeps `&mut dyn RngCore` callers working. The computed value is
-/// identical for either call style.
+/// inline the RNG instead of paying virtual calls per draw; `?Sized`
+/// keeps `&mut dyn RngCore` callers working.
+///
+/// The ziggurat is distribution-exact but consumes a different RNG
+/// stream than the historical Box-Muller implementation; callers that
+/// must reproduce the legacy value stream bit-for-bit (the determinism
+/// suite, the seed-algorithm benchmarks) use
+/// [`standard_normal_boxmuller`].
 pub fn standard_normal<R: rand::RngCore + ?Sized>(rng: &mut R) -> f64 {
+    crate::ziggurat::standard_normal_ziggurat(rng)
+}
+
+/// Draws a standard normal via Box-Muller (polar-free, uses two
+/// uniforms) — the workspace's historical Gaussian path, kept verbatim
+/// so the seed-determinism suite can pin the legacy algorithms
+/// bit-for-bit. New code should prefer [`standard_normal`].
+pub fn standard_normal_boxmuller<R: rand::RngCore + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = loop {
         let u = rng.gen::<f64>();
         if u > 1e-300 {

@@ -18,6 +18,8 @@
 //! * [`model`] — `R(τ) = τ^{-β}` autocorrelation model, H/β/α
 //!   conversions, Cochran's δτ.
 //! * [`rng`] — seeded RNG construction and seed derivation.
+//! * [`ziggurat`] — transcendental-free standard-normal sampling for
+//!   the Monte-Carlo hot paths.
 //!
 //! ## Example
 //!
@@ -44,6 +46,7 @@ pub mod rng;
 pub mod series;
 pub mod stable;
 pub mod tailfit;
+pub mod ziggurat;
 
 pub use describe::{RunningStats, Summary};
 pub use ecdf::Ecdf;

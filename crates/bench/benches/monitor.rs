@@ -1,0 +1,99 @@
+//! Criterion benches for the sharded online monitoring engine:
+//! single-stream offer throughput, 10k-stream sharded vs sequential
+//! ingest (the persistent-worker-pool payoff), and snapshot/merge cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sst_monitor::{EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec};
+
+/// Deterministic bursty multiplexed workload over `n_keys` streams.
+fn points(n: usize, n_keys: u64) -> Vec<(u64, f64)> {
+    (0..n)
+        .map(|i| {
+            let key = (i as u64).wrapping_mul(2654435761) % n_keys;
+            let v = if (i / 53) % 13 == 0 {
+                250.0 + (i % 11) as f64
+            } else {
+                2.0 + (i % 5) as f64
+            };
+            (key, v)
+        })
+        .collect()
+}
+
+fn spec() -> SamplerSpec {
+    SamplerSpec::Bss {
+        interval: 10,
+        epsilon: 1.0,
+        n_pre: 16,
+        l: 4,
+    }
+}
+
+fn bench_offer(c: &mut Criterion) {
+    let pts = points(1 << 18, 1);
+    let mut g = c.benchmark_group("monitor");
+    g.throughput(Throughput::Elements(pts.len() as u64));
+    g.bench_function("offer_single_stream", |b| {
+        b.iter(|| {
+            let mut engine = MonitorEngine::new(MonitorConfig::default().sampler(spec()).seed(3));
+            for &(k, v) in &pts {
+                engine.offer(k, v);
+            }
+            engine.stream_count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    // 10k concurrent streams; the sharded row fans shard batches across
+    // the persistent worker pool, the sequential row is one shard.
+    let pts = points(1 << 20, 10_000);
+    let mut g = c.benchmark_group("monitor/ingest_10k_streams");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pts.len() as u64));
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut engine =
+                MonitorEngine::new(MonitorConfig::default().sampler(spec()).shards(1).seed(3));
+            engine.offer_batch(&pts);
+            engine.stream_count()
+        });
+    });
+    g.bench_function("sharded", |b| {
+        b.iter(|| {
+            let mut engine =
+                MonitorEngine::new(MonitorConfig::default().sampler(spec()).shards(8).seed(3));
+            engine.offer_batch(&pts);
+            engine.stream_count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_snapshot_merge(c: &mut Criterion) {
+    let pts = points(1 << 19, 4096);
+    let mut engine = MonitorEngine::new(MonitorConfig::default().sampler(spec()).shards(4).seed(3));
+    engine.offer_batch(&pts);
+    let snap = engine.snapshot();
+    let (even, odd): (Vec<_>, Vec<_>) =
+        snap.streams().iter().cloned().partition(|e| e.key % 2 == 0);
+    let a = EngineSnapshot::from_streams(even);
+    let b = EngineSnapshot::from_streams(odd);
+    let mut g = c.benchmark_group("monitor");
+    g.throughput(Throughput::Elements(snap.stream_count() as u64));
+    g.bench_function("snapshot_4096_streams", |bch| {
+        bch.iter(|| engine.snapshot().stream_count());
+    });
+    g.bench_function("merge_4096_streams", |bch| {
+        bch.iter(|| a.clone().merge(b.clone()).aggregate().moments.count());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_offer, bench_sharded_ingest, bench_snapshot_merge
+}
+criterion_main!(benches);

@@ -26,7 +26,11 @@
 //!   *selection* (compared against BSS in the ablation experiments).
 //! * [`stream`] — push-based (one decision per arriving point) streaming
 //!   counterparts of every sampler, exactly equivalent to the offline
-//!   forms — what a router line card deploys.
+//!   forms — what a router line card deploys — with state snapshots
+//!   ([`SamplerSnapshot`]) for online monitoring.
+//! * [`summary`] — the [`MergeableSummary`] contract: summaries of
+//!   disjoint data partitions combine associatively, the property the
+//!   sharded monitoring engine (`sst-monitor`) is built on.
 //! * [`bootstrap`] — moving-block bootstrap confidence intervals, the
 //!   LRD-honest error bar to attach to a sampled mean.
 //!
@@ -65,6 +69,7 @@ pub mod parallel;
 pub mod sampler;
 pub mod snc;
 pub mod stream;
+pub mod summary;
 pub mod theory;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveOutcome, AdaptiveRandomSampler};
@@ -75,9 +80,10 @@ pub use parallel::ParallelExperimentRunner;
 pub use sampler::{Sampler, Samples, SimpleRandomSampler, StratifiedSampler, SystematicSampler};
 pub use snc::{GapDistribution, SncReport};
 pub use stream::{
-    StreamDecision, StreamSampler, StreamingBss, StreamingSimpleRandom, StreamingStratified,
-    StreamingSystematic,
+    SamplerSnapshot, StreamDecision, StreamSampler, StreamingBss, StreamingSimpleRandom,
+    StreamingStratified, StreamingSystematic,
 };
+pub use summary::{merge_all, MergeableSummary};
 
 #[cfg(test)]
 mod integration {

@@ -26,17 +26,19 @@ use crate::sampler::Sampler;
 use rayon::prelude::*;
 use sst_stats::rng::derive_seed;
 
-/// Minimum trace elements one spawned task should be responsible for.
+/// Minimum trace elements one submitted task should be responsible for.
 ///
-/// Fanning out costs real money here (the offline rayon stand-in spawns
-/// scoped threads per operation, and even a work-stealing pool pays
-/// queueing and cache-migration overhead), so an instance only earns a
-/// task of its own when it scans at least this many elements; smaller
-/// instances are batched together, and sweeps whose *total* work cannot
-/// fill two such tasks skip the fan-out entirely. The value corresponds
-/// to roughly a millisecond of sampling work — far above spawn cost,
-/// far below the scale where load imbalance would matter.
-const MIN_TASK_ELEMS: u64 = 1 << 21;
+/// Fanning out is cheap now that the offline rayon stand-in runs a
+/// persistent worker pool (one queue push per task instead of an OS
+/// thread spawn), but a work item still pays queueing and
+/// cache-migration overhead, so an instance only earns a task of its
+/// own when it scans at least this many elements; smaller instances are
+/// batched together, and sweeps whose *total* work cannot fill two such
+/// tasks skip the fan-out entirely. The value corresponds to roughly a
+/// hundred microseconds of sampling work — far above enqueue cost, far
+/// below the scale where load imbalance would matter. (The pre-pool
+/// threshold was 8× higher; the pool dropped the fan-out floor.)
+const MIN_TASK_ELEMS: u64 = 1 << 18;
 
 /// How a runner will execute a sweep of `total_items` work items, each
 /// scanning `item_elems` trace elements.
@@ -373,20 +375,21 @@ mod tests {
         assert_eq!(chunking_for(30, 1 << 17, 1), Chunking::Sequential);
         assert_eq!(chunking_for(1, 1 << 22, 8), Chunking::Sequential);
         assert_eq!(
-            chunking_for(30, 1 << 17, 8),
+            chunking_for(3, 1 << 16, 8),
             Chunking::Sequential,
-            "a ~4M-element sweep cannot fill two minimum-work tasks"
+            "a ~200k-element sweep cannot fill two minimum-work tasks"
         );
-        // Large items: the per-task minimum dictates the chunk.
-        let big = chunking_for(64, 1 << 17, 8);
-        assert_eq!(big, Chunking::Chunked { chunk: 16 });
+        // Large items: fairness spreads the sweep across the workers.
+        let big = chunking_for(30, 1 << 17, 8);
+        assert_eq!(big, Chunking::Chunked { chunk: 4 });
         // Huge items: one item already clears the bar, fairness caps the
         // task count at the worker count.
         let huge = chunking_for(64, 1 << 22, 8);
         assert_eq!(huge, Chunking::Chunked { chunk: 8 });
-        // Tiny items in a long sweep: chunks batch many items.
+        // Tiny items in a long sweep: chunks batch many items so every
+        // task still clears the per-task minimum.
         match chunking_for(100_000, 100, 4) {
-            Chunking::Chunked { chunk } => assert!(chunk * 100 >= (1 << 21)),
+            Chunking::Chunked { chunk } => assert!(chunk as u64 * 100 >= MIN_TASK_ELEMS),
             seq => panic!("expected chunked, got {seq:?}"),
         }
     }

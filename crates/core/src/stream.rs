@@ -53,6 +53,32 @@ impl StreamDecision {
     }
 }
 
+/// Point-in-time state of a streaming sampler: how much of the stream
+/// it has consumed and what it cost.
+///
+/// Counters over disjoint stream segments add, so shard-level monitor
+/// snapshots combine by field-wise addition — the sampler-state half of
+/// the mergeable-summary contract ([`crate::summary::MergeableSummary`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SamplerSnapshot {
+    /// Points offered so far (the sampler's position).
+    pub offered: usize,
+    /// Points kept (entered the sample set).
+    pub kept: usize,
+    /// Points inspected (kept or probed — the paper's cost metric
+    /// counts BSS extras that were looked at but not kept).
+    pub inspected: usize,
+}
+
+impl SamplerSnapshot {
+    /// Field-wise addition: the snapshot of two disjoint segments.
+    pub fn merge_from(&mut self, other: &SamplerSnapshot) {
+        self.offered += other.offered;
+        self.kept += other.kept;
+        self.inspected += other.inspected;
+    }
+}
+
 /// A push-based sampler: one decision per offered point.
 pub trait StreamSampler {
     /// Short human-readable name.
@@ -63,6 +89,9 @@ pub trait StreamSampler {
 
     /// Points offered so far.
     fn position(&self) -> usize;
+
+    /// Current state snapshot (offered/kept/inspected counters).
+    fn snapshot(&self) -> SamplerSnapshot;
 }
 
 /// Streaming systematic sampling: keep positions `offset + k·C`.
@@ -108,6 +137,20 @@ impl StreamSampler for StreamingSystematic {
     fn position(&self) -> usize {
         self.pos
     }
+
+    fn snapshot(&self) -> SamplerSnapshot {
+        // Kept positions are offset, offset+C, …: count in [0, pos).
+        let kept = if self.pos > self.offset {
+            (self.pos - 1 - self.offset) / self.interval + 1
+        } else {
+            0
+        };
+        SamplerSnapshot {
+            offered: self.pos,
+            kept,
+            inspected: kept,
+        }
+    }
 }
 
 /// Streaming stratified random sampling: at each bucket boundary, draw
@@ -122,6 +165,7 @@ pub struct StreamingStratified {
     interval: usize,
     pos: usize,
     target: usize,
+    kept: usize,
     rng: rand::rngs::StdRng,
 }
 
@@ -140,6 +184,7 @@ impl StreamingStratified {
             interval,
             pos: 0,
             target,
+            kept: 0,
             rng,
         })
     }
@@ -159,6 +204,7 @@ impl StreamSampler for StreamingStratified {
             self.target = self.rng.gen_range(0..self.interval);
         }
         if keep {
+            self.kept += 1;
             StreamDecision::KeepNormal
         } else {
             StreamDecision::Skip
@@ -168,16 +214,28 @@ impl StreamSampler for StreamingStratified {
     fn position(&self) -> usize {
         self.pos
     }
+
+    fn snapshot(&self) -> SamplerSnapshot {
+        SamplerSnapshot {
+            offered: self.pos,
+            kept: self.kept,
+            inspected: self.kept,
+        }
+    }
 }
 
 /// Streaming simple random sampling via geometric skip-ahead — O(1) RNG
-/// work per *kept* sample, not per offered point.
+/// work per *kept* sample, not per offered point (and no transcendental
+/// per draw: the gap comes from the shared table-driven
+/// `GeometricGap`).
 #[derive(Clone, Debug)]
 pub struct StreamingSimpleRandom {
-    ln_q: f64,
+    /// Shared per-rate gap table (one per process, not per stream).
+    gaps: Option<std::sync::Arc<crate::sampler::GeometricGap>>,
     pos: usize,
     /// Position (0-based) of the next point to keep.
     next_keep: usize,
+    kept: usize,
     take_all: bool,
     rng: rand::rngs::StdRng,
 }
@@ -193,11 +251,13 @@ impl StreamingSimpleRandom {
         if !(rate > 0.0 && rate <= 1.0) {
             return Err(crate::bss::BssConfigError::new("rate must be in (0,1]"));
         }
+        let take_all = rate >= 1.0;
         let mut s = StreamingSimpleRandom {
-            ln_q: (1.0 - rate).ln(),
+            gaps: (!take_all).then(|| crate::sampler::GeometricGap::cached(rate)),
             pos: 0,
             next_keep: 0,
-            take_all: rate >= 1.0,
+            kept: 0,
+            take_all,
             rng: rng_from_seed(derive_seed(seed, 0x51D0)),
         };
         if !s.take_all {
@@ -208,13 +268,10 @@ impl StreamingSimpleRandom {
 
     /// Geometric(r) gap ≥ 1, identical arithmetic to the offline sampler.
     fn draw_gap(&mut self) -> usize {
-        let u: f64 = loop {
-            let u = self.rng.gen::<f64>();
-            if u > 0.0 {
-                break u;
-            }
-        };
-        (u.ln() / self.ln_q).ceil().max(1.0) as usize
+        self.gaps
+            .as_ref()
+            .expect("gap table exists unless take_all")
+            .draw(&mut self.rng)
     }
 }
 
@@ -231,6 +288,7 @@ impl StreamSampler for StreamingSimpleRandom {
         }
         self.pos += 1;
         if keep {
+            self.kept += 1;
             StreamDecision::KeepNormal
         } else {
             StreamDecision::Skip
@@ -239,6 +297,14 @@ impl StreamSampler for StreamingSimpleRandom {
 
     fn position(&self) -> usize {
         self.pos
+    }
+
+    fn snapshot(&self) -> SamplerSnapshot {
+        SamplerSnapshot {
+            offered: self.pos,
+            kept: self.kept,
+            inspected: self.kept,
+        }
     }
 }
 
@@ -386,6 +452,15 @@ impl StreamSampler for StreamingBss {
     fn position(&self) -> usize {
         self.pos
     }
+
+    fn snapshot(&self) -> SamplerSnapshot {
+        SamplerSnapshot {
+            offered: self.pos,
+            kept: self.normal_count + self.qualified_count,
+            // Extras were inspected whether or not they qualified.
+            inspected: self.normal_count + self.extras_inspected,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -524,6 +599,62 @@ mod tests {
         assert_eq!(decisions[2], StreamDecision::InspectOnly);
         assert_eq!(s.extras_inspected(), 1);
         assert_eq!(s.qualified_count(), 0);
+    }
+
+    #[test]
+    fn snapshots_count_offered_kept_inspected() {
+        let vals = bursty(5000);
+        // Systematic / stratified / simple random: inspected == kept,
+        // and the counters match a replayed decision tally.
+        let mut samplers: Vec<Box<dyn StreamSampler>> = vec![
+            Box::new(StreamingSystematic::new(7, 3).unwrap()),
+            Box::new(StreamingStratified::new(7, 3).unwrap()),
+            Box::new(StreamingSimpleRandom::new(0.13, 3).unwrap()),
+            Box::new(StreamingBss::new(50, ThresholdPolicy::FixedAbsolute(50.0), 6, 3).unwrap()),
+        ];
+        for s in &mut samplers {
+            let mut kept = 0usize;
+            let mut inspected = 0usize;
+            for &v in &vals {
+                let d = s.offer(v);
+                kept += usize::from(d.is_kept());
+                inspected += usize::from(d.is_inspected());
+            }
+            let snap = s.snapshot();
+            assert_eq!(
+                snap,
+                SamplerSnapshot {
+                    offered: vals.len(),
+                    kept,
+                    inspected
+                },
+                "{}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_is_fieldwise_addition() {
+        let mut a = SamplerSnapshot {
+            offered: 10,
+            kept: 3,
+            inspected: 4,
+        };
+        let b = SamplerSnapshot {
+            offered: 5,
+            kept: 1,
+            inspected: 1,
+        };
+        a.merge_from(&b);
+        assert_eq!(
+            a,
+            SamplerSnapshot {
+                offered: 15,
+                kept: 4,
+                inspected: 5
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Mergeable summaries — the algebraic contract behind sharded
+//! monitoring.
+//!
+//! A summary is *mergeable* when combining the summaries of two disjoint
+//! data partitions yields exactly the summary of their union. That
+//! property is what lets an online monitoring engine shard its streams
+//! across workers and still report link- and network-level statistics:
+//! each shard summarizes what it saw, and snapshots combine
+//! associatively afterwards (`sst-monitor` builds on this trait; its
+//! merge-equivalence tests pin the contract bit-for-bit).
+
+use sst_stats::RunningStats;
+
+/// A summary that can absorb another summary of *disjoint* data.
+///
+/// # Contract
+///
+/// For summaries `a` of partition `A` and `b` of partition `B` with
+/// `A ∩ B = ∅`:
+///
+/// * **Union**: `a.merge_from(&b)` must equal the summary of `A ∪ B`
+///   computed directly, up to the implementation's documented precision
+///   (exact for counters, floating-point-associative for moments).
+/// * **Identity**: merging an empty summary is a no-op.
+///
+/// Merging is *not* required to be order-insensitive bit-for-bit —
+/// floating-point accumulation rarely is. Engines that need bitwise
+/// reproducibility (the monitor's sharded snapshots) obtain it by
+/// merging in a canonical order (sorted stream key), which this trait's
+/// determinism — same inputs, same output — guarantees is stable.
+pub trait MergeableSummary {
+    /// Absorbs `other` (a summary of disjoint data) into `self`.
+    fn merge_from(&mut self, other: &Self);
+
+    /// `true` when the summary has absorbed no data (the merge
+    /// identity).
+    fn is_empty(&self) -> bool;
+}
+
+impl MergeableSummary for RunningStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+}
+
+/// Folds an iterator of summaries into one, merging in iteration order.
+///
+/// With a canonically ordered input (e.g. sorted by stream key) the
+/// result is bitwise-deterministic regardless of how the summaries were
+/// produced or partitioned.
+pub fn merge_all<S, I>(summaries: I) -> S
+where
+    S: MergeableSummary + Default,
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<S>,
+{
+    use std::borrow::Borrow;
+    let mut acc = S::default();
+    for s in summaries {
+        acc.merge_from(s.borrow());
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_merge_is_a_union() {
+        let data: Vec<f64> = (0..300).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        for split in [1usize, 57, 150, 299] {
+            let mut left = RunningStats::new();
+            let mut right = RunningStats::new();
+            for &x in &data[..split] {
+                left.push(x);
+            }
+            for &x in &data[split..] {
+                right.push(x);
+            }
+            MergeableSummary::merge_from(&mut left, &right);
+            assert_eq!(left.count(), whole.count());
+            assert!((left.mean() - whole.mean()).abs() < 1e-12);
+            assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(2.0);
+        a.push(5.0);
+        let before = a;
+        a.merge_from(&RunningStats::new());
+        assert_eq!(a, before);
+        assert!(RunningStats::new().is_empty());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn merge_all_folds_in_order() {
+        let parts: Vec<RunningStats> = (0..5)
+            .map(|p| {
+                let mut rs = RunningStats::new();
+                for i in 0..20 {
+                    rs.push((p * 20 + i) as f64);
+                }
+                rs
+            })
+            .collect();
+        let folded: RunningStats = merge_all(&parts);
+        let mut direct = RunningStats::new();
+        for x in 0..100 {
+            direct.push(x as f64);
+        }
+        assert_eq!(folded.count(), direct.count());
+        assert!((folded.mean() - direct.mean()).abs() < 1e-12);
+        // Same inputs in the same order → bitwise-identical fold.
+        let again: RunningStats = merge_all(&parts);
+        assert_eq!(folded, again);
+    }
+}

@@ -33,6 +33,7 @@
 pub mod acffit;
 pub mod classic;
 pub mod dfa;
+pub mod online;
 pub mod report;
 pub mod spectral;
 pub mod timedomain;
@@ -41,6 +42,7 @@ pub mod wavelet;
 pub use acffit::AcfFitEstimator;
 pub use classic::{RsEstimator, VarianceTimeEstimator};
 pub use dfa::DfaEstimator;
+pub use online::OnlineVarianceTime;
 pub use report::{EstimateError, HurstEstimate, Method};
 pub use spectral::{LocalWhittleEstimator, PeriodogramEstimator};
 pub use timedomain::{AbsoluteMomentEstimator, HiguchiEstimator, ResidualVarianceEstimator};

@@ -1,0 +1,320 @@
+//! Online (single-pass, bounded-memory) aggregated-variance Hurst
+//! estimation over **dyadic block accumulators**.
+//!
+//! The offline [`crate::classic::VarianceTimeEstimator`] needs the whole
+//! series in memory to form block means at every aggregation level. A
+//! monitor watching an unbounded stream cannot afford that; this module
+//! maintains, per dyadic level `m = 2^k`, a Welford accumulator of the
+//! completed `m`-block means — O(log n) state total — via a
+//! binary-counter cascade: each arriving value closes a level-0 block,
+//! two closed level-`k` blocks merge into a closed level-`k+1` block,
+//! and every closed block pushes its mean into its level's
+//! [`RunningStats`]. The log-log regression of block-mean variance
+//! against `m` then gives `H = 1 + slope/2` exactly as in the offline
+//! method (`var(X^(m)) ~ σ²·m^{2H−2}`), and the
+//! `online_matches_offline_*` tests pin the two estimators to within
+//! 0.02 on fGn fixtures.
+//!
+//! The per-level accumulators are **mergeable**: pooling the completed
+//! block means of two disjoint streams level by level yields the
+//! pooled variance-time statistic of both streams (the open partial
+//! blocks of each stream are dropped — they have no sibling to pair
+//! with across streams). `sst-monitor` uses this to combine per-stream
+//! Hurst state into link-level estimates.
+
+use crate::report::{EstimateError, HurstEstimate, Method};
+use sst_sigproc::regress::ols;
+use sst_stats::RunningStats;
+
+/// Hard cap on dyadic levels: 2^48 values is far beyond any stream this
+/// engine will see, and keeps merged state bounded.
+const MAX_LEVELS: usize = 48;
+
+/// Fewest completed blocks for a level to enter the regression — the
+/// offline estimator's `max_m = n/16` bound, expressed online.
+const MIN_BLOCKS: u64 = 16;
+
+/// Streaming aggregated-variance (variance-time) estimator state.
+///
+/// # Examples
+///
+/// ```
+/// use sst_hurst::online::OnlineVarianceTime;
+/// use sst_traffic::FgnGenerator;
+///
+/// let mut ovt = OnlineVarianceTime::new();
+/// for v in FgnGenerator::new(0.8).unwrap().generate_values(1 << 14, 3) {
+///     ovt.push(v);
+/// }
+/// let est = ovt.estimate().unwrap();
+/// assert!((est.hurst - 0.8).abs() < 0.1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OnlineVarianceTime {
+    /// Values pushed so far.
+    count: u64,
+    /// `levels[k]`: stats of the means of completed `2^k`-blocks.
+    levels: Vec<RunningStats>,
+    /// `partial[k]`: sum of a completed `2^k`-block waiting for its
+    /// sibling (the binary-counter carry chain).
+    partial: Vec<Option<f64>>,
+}
+
+impl OnlineVarianceTime {
+    /// Creates empty estimator state.
+    pub fn new() -> Self {
+        OnlineVarianceTime::default()
+    }
+
+    /// Values pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Absorbs one value (amortized O(1): the cascade touches level `k`
+    /// every `2^k` pushes).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let mut sum = x;
+        let mut size = 1u64;
+        for k in 0..MAX_LEVELS {
+            if self.levels.len() <= k {
+                self.levels.push(RunningStats::new());
+                self.partial.push(None);
+            }
+            self.levels[k].push(sum / size as f64);
+            match self.partial[k].take() {
+                // The sibling (earlier half) was waiting: the parent
+                // block is now complete; carry its sum upward.
+                Some(first_half) => {
+                    sum += first_half;
+                    size *= 2;
+                }
+                None => {
+                    self.partial[k] = Some(sum);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Per-level view: `(block size m, completed-block-mean stats)` for
+    /// every level that has completed at least one block.
+    pub fn levels(&self) -> impl Iterator<Item = (u64, &RunningStats)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count() > 0)
+            .map(|(k, s)| (1u64 << k, s))
+    }
+
+    /// Decomposes the estimator into its raw state
+    /// `(count, per-level block-mean stats, carry chain)` so a
+    /// serializer can round-trip it bit-for-bit.
+    pub fn raw_parts(&self) -> (u64, &[RunningStats], &[Option<f64>]) {
+        (self.count, &self.levels, &self.partial)
+    }
+
+    /// Rebuilds estimator state from [`OnlineVarianceTime::raw_parts`]
+    /// output. `levels` and `partial` must have equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length.
+    pub fn from_raw_parts(
+        count: u64,
+        levels: Vec<RunningStats>,
+        partial: Vec<Option<f64>>,
+    ) -> Self {
+        assert_eq!(levels.len(), partial.len(), "level/carry length mismatch");
+        OnlineVarianceTime {
+            count,
+            levels,
+            partial,
+        }
+    }
+
+    /// Pools another estimator's completed-block statistics into this
+    /// one (level-by-level [`RunningStats::merge`]; the open partial
+    /// blocks of `other` are dropped — across streams they have no
+    /// sibling to complete with).
+    pub fn merge_from(&mut self, other: &OnlineVarianceTime) {
+        self.count += other.count;
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(RunningStats::new());
+            self.partial.push(None);
+        }
+        for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// The variance-time regression over the dyadic levels:
+    /// `H = 1 + slope/2` from `log var(X^(m))` vs `log m`, levels
+    /// `m ≥ 2` with at least 16 completed blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::TooShort`] with fewer than 3 usable levels;
+    /// [`EstimateError::Degenerate`] when the variances collapse to
+    /// zero (constant input).
+    pub fn estimate(&self) -> Result<HurstEstimate, EstimateError> {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (m, stats) in self.levels() {
+            if m < 2 || stats.count() < MIN_BLOCKS {
+                continue;
+            }
+            let var = stats.variance();
+            if var > 0.0 {
+                xs.push((m as f64).log10());
+                ys.push(var.log10());
+            }
+        }
+        if xs.len() < 3 {
+            // 128 values complete 16 blocks at m ∈ {2, 4, 8} — the
+            // smallest stream with 3 regression points. With that much
+            // data and still no usable levels, the input is constant.
+            if self.count >= 128 {
+                return Err(EstimateError::Degenerate);
+            }
+            return Err(EstimateError::TooShort {
+                got: self.count as usize,
+                need: 128,
+            });
+        }
+        let fit = ols(&xs, &ys);
+        if !fit.slope.is_finite() {
+            return Err(EstimateError::Degenerate);
+        }
+        Ok(HurstEstimate {
+            hurst: 1.0 + fit.slope / 2.0,
+            stderr: fit.slope_stderr / 2.0,
+            method: Method::OnlineVarianceTime,
+            n_points: xs.len(),
+            r_squared: fit.r_squared,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::VarianceTimeEstimator;
+    use sst_traffic::FgnGenerator;
+
+    fn fgn(h: f64, n: usize, seed: u64) -> Vec<f64> {
+        FgnGenerator::new(h).unwrap().generate_values(n, seed)
+    }
+
+    fn online_of(values: &[f64]) -> OnlineVarianceTime {
+        let mut ovt = OnlineVarianceTime::new();
+        for &v in values {
+            ovt.push(v);
+        }
+        ovt
+    }
+
+    #[test]
+    fn block_stats_match_offline_aggregation_exactly() {
+        // The cascade's completed 2^k-blocks are the offline method's
+        // aligned complete blocks; counts must match exactly and the
+        // variances to fp round-off.
+        let vals = fgn(0.75, (1 << 12) + 37, 5); // non-pow2: partials drop
+        let ovt = online_of(&vals);
+        for (m, stats) in ovt.levels() {
+            let m = m as usize;
+            let blocks = vals.len() / m;
+            assert_eq!(stats.count(), blocks as u64, "m={m}");
+            if blocks >= 2 {
+                let means: Vec<f64> = (0..blocks)
+                    .map(|b| vals[b * m..(b + 1) * m].iter().sum::<f64>() / m as f64)
+                    .collect();
+                let grand = means.iter().sum::<f64>() / blocks as f64;
+                let var = means
+                    .iter()
+                    .map(|&x| (x - grand) * (x - grand))
+                    .sum::<f64>()
+                    / blocks as f64;
+                assert!(
+                    (stats.variance() - var).abs() <= 1e-9 * var.max(1e-30),
+                    "m={m}: online {} vs offline {var}",
+                    stats.variance()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_matches_offline_variance_time_on_fgn() {
+        // The acceptance bound for the monitoring engine: online vs the
+        // offline estimator within 0.02 across the paper's H range.
+        for &h in &[0.6, 0.75, 0.9] {
+            let vals = fgn(h, 1 << 16, 11);
+            let offline = VarianceTimeEstimator::default()
+                .estimate(&vals)
+                .unwrap()
+                .hurst;
+            let online = online_of(&vals).estimate().unwrap().hurst;
+            assert!(
+                (online - offline).abs() < 0.02,
+                "H={h}: online {online:.4} vs offline {offline:.4}"
+            );
+            assert!((online - h).abs() < 0.1, "H={h}: online {online:.4}");
+        }
+    }
+
+    #[test]
+    fn white_noise_reads_near_half() {
+        let est = online_of(&fgn(0.5, 1 << 15, 7)).estimate().unwrap();
+        assert!((est.hurst - 0.5).abs() < 0.06, "H={}", est.hurst);
+    }
+
+    #[test]
+    fn merge_pools_block_means() {
+        // Two independent streams: merged per-level counts add, and the
+        // merged estimate is the pooled variance-time statistic.
+        let a = online_of(&fgn(0.8, 1 << 14, 1));
+        let b = online_of(&fgn(0.8, 1 << 14, 2));
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        for ((m_a, sa), (m_m, sm)) in a.levels().zip(merged.levels()) {
+            assert_eq!(m_a, m_m);
+            let sb = b
+                .levels()
+                .find(|&(m, _)| m == m_a)
+                .map(|(_, s)| s.count())
+                .unwrap_or(0);
+            assert_eq!(sm.count(), sa.count() + sb, "m={m_a}");
+        }
+        let h = merged.estimate().unwrap().hurst;
+        assert!((h - 0.8).abs() < 0.1, "merged H={h}");
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let a = online_of(&fgn(0.7, 4096, 3));
+        let b = online_of(&fgn(0.7, 2048, 4));
+        let mut m1 = a.clone();
+        m1.merge_from(&b);
+        let mut m2 = a.clone();
+        m2.merge_from(&b);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn short_input_errors() {
+        let ovt = online_of(&fgn(0.7, 32, 5));
+        assert!(matches!(
+            ovt.estimate(),
+            Err(EstimateError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_input_is_degenerate() {
+        let ovt = online_of(&[3.0; 4096]);
+        assert!(matches!(ovt.estimate(), Err(EstimateError::Degenerate)));
+    }
+}

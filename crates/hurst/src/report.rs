@@ -25,6 +25,9 @@ pub enum Method {
     AbsoluteMoment,
     /// Peng's variance-of-residuals (block-detrended partial sums).
     ResidualVariance,
+    /// Online aggregated-variance over dyadic block accumulators
+    /// (streaming form of [`Method::VarianceTime`]).
+    OnlineVarianceTime,
 }
 
 impl fmt::Display for Method {
@@ -40,6 +43,7 @@ impl fmt::Display for Method {
             Method::Higuchi => "Higuchi",
             Method::AbsoluteMoment => "absolute moments",
             Method::ResidualVariance => "variance of residuals (Peng)",
+            Method::OnlineVarianceTime => "online variance-time (dyadic)",
         };
         f.write_str(name)
     }

@@ -1,0 +1,177 @@
+//! `monitor-tool` — drive the sharded monitoring engine over synthetic
+//! packet traces, and inspect/merge its snapshots.
+//!
+//! ```text
+//! monitor-tool run [--seed N] [--duration SECS] [--shards N]
+//!                  [--interval C] [--snapshot OUT.ssm]
+//!     synthesize a Bell-Labs-like trace, ingest it as per-OD-pair
+//!     streams (batched through the worker pool), print the link report,
+//!     optionally write the snapshot
+//! monitor-tool info IN.ssm          # decode a snapshot, print the report
+//! monitor-tool merge OUT.ssm IN.ssm [IN.ssm …]
+//!     merge snapshots (disjoint or overlapping key sets) into one
+//! ```
+
+use sst_monitor::{
+    decode_snapshot, encode_snapshot, EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec,
+};
+use sst_nettrace::TraceSynthesizer;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    match it.next().as_deref() {
+        Some("run") => run(it.collect()),
+        Some("info") => {
+            let path = it
+                .next()
+                .unwrap_or_else(|| die("info needs a snapshot path"));
+            report(&load(&path));
+        }
+        Some("merge") => {
+            let out = it
+                .next()
+                .unwrap_or_else(|| die("merge needs an output path"));
+            let inputs: Vec<String> = it.collect();
+            if inputs.is_empty() {
+                die("merge needs at least one input snapshot");
+            }
+            let mut merged = EngineSnapshot::default();
+            for p in &inputs {
+                merged = merged.merge(load(p));
+            }
+            let bytes = encode_snapshot(&merged);
+            std::fs::write(&out, &bytes).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+            eprintln!(
+                "merged {} snapshots into {out}: {} streams, {} bytes",
+                inputs.len(),
+                merged.stream_count(),
+                bytes.len()
+            );
+            report(&merged);
+        }
+        _ => die("usage: monitor-tool run|info|merge …  (see the module docs)"),
+    }
+}
+
+fn run(rest: Vec<String>) {
+    let mut seed = 1u64;
+    let mut duration = 120.0f64;
+    let mut shards = 4usize;
+    let mut interval = 10usize;
+    let mut snapshot_path: Option<String> = None;
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match a.as_str() {
+            "--seed" => seed = parse(&num("--seed"), "--seed"),
+            "--duration" => duration = parse(&num("--duration"), "--duration"),
+            "--shards" => shards = parse(&num("--shards"), "--shards"),
+            "--interval" => interval = parse(&num("--interval"), "--interval"),
+            "--snapshot" => snapshot_path = Some(num("--snapshot")),
+            other => die(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let trace = TraceSynthesizer::bell_labs_like()
+        .duration(duration)
+        .synthesize(seed);
+    let points = trace.od_keyed_points();
+    eprintln!(
+        "trace: {} packets over {} OD pairs, {:.0}s",
+        points.len(),
+        trace.od_pair_count(),
+        trace.duration()
+    );
+    let mut engine = MonitorEngine::new(
+        MonitorConfig::default()
+            .sampler(if interval <= 1 {
+                SamplerSpec::TakeAll
+            } else {
+                SamplerSpec::Bss {
+                    interval,
+                    epsilon: 1.0,
+                    n_pre: 16,
+                    l: 4,
+                }
+            })
+            .shards(shards)
+            .seed(seed)
+            // Packet sizes are 40..1500 bytes: a ladder on that scale.
+            .tail_thresholds(vec![64.0, 256.0, 576.0, 1024.0, 1400.0]),
+    );
+    // Stream the trace through in batches, as a collector would.
+    for chunk in points.chunks(1 << 16) {
+        engine.offer_batch(chunk);
+    }
+    let snap = engine.snapshot();
+    report(&snap);
+    if let Some(path) = snapshot_path {
+        let bytes = encode_snapshot(&snap);
+        std::fs::write(&path, &bytes).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("wrote {path}: {} bytes", bytes.len());
+    }
+}
+
+fn report(snap: &EngineSnapshot) {
+    let agg = snap.aggregate();
+    let totals = snap.sampler_totals();
+    println!("streams        : {}", snap.stream_count());
+    println!(
+        "offered/kept   : {} / {} (inspected {})",
+        totals.offered, totals.kept, totals.inspected
+    );
+    println!(
+        "kept mean/std  : {:.3} / {:.3}",
+        agg.moments.mean(),
+        agg.moments.stddev()
+    );
+    match agg.hurst_estimate() {
+        Some(h) => println!("online Hurst   : {h:.3}"),
+        None => println!("online Hurst   : (insufficient data)"),
+    }
+    let ladder: Vec<(f64, u64)> = agg.tail.ladder().collect();
+    if !ladder.is_empty() {
+        let cells: Vec<String> = ladder
+            .iter()
+            .map(|(t, c)| {
+                format!(
+                    "P(>{t:.0})={:.4}",
+                    *c as f64 / agg.tail.total().max(1) as f64
+                )
+            })
+            .collect();
+        println!("tail           : {}", cells.join("  "));
+    }
+    println!("top streams by kept volume:");
+    println!(
+        "{:>18} {:>12} {:>14} {:>10}",
+        "key", "kept", "volume", "mean"
+    );
+    for e in snap.top_streams(5) {
+        println!(
+            "{:>18x} {:>12} {:>14.0} {:>10.2}",
+            e.key,
+            e.sampler.kept,
+            e.summary.kept_volume(),
+            e.summary.moments.mean()
+        );
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("{what}: cannot parse '{s}'")))
+}
+
+fn load(path: &str) -> EngineSnapshot {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    decode_snapshot(&bytes).unwrap_or_else(|e| die(&format!("decode {path}: {e}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,339 @@
+//! Compact binary codec for [`EngineSnapshot`]s.
+//!
+//! Shard and link snapshots travel — to a collector, to disk, across a
+//! network roll-up — so the format is a fixed-layout little-endian
+//! encoding in the style of `sst-nettrace`'s trace codec. The decode
+//! path validates every structural invariant (magic, lengths, sorted
+//! keys, ladder monotonicity) and never panics on untrusted input;
+//! round-trips are **bit-exact** (the summaries are serialized from
+//! their raw Welford/cascade state, not from derived statistics).
+
+use crate::engine::{EngineSnapshot, StreamEntry};
+use crate::summary::{ReservoirSnapshot, SummarySnapshot, TailCounter};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sst_core::stream::SamplerSnapshot;
+use sst_hurst::online::OnlineVarianceTime;
+use sst_stats::RunningStats;
+use std::fmt;
+
+/// Magic bytes + version prefix of the format.
+const MAGIC: &[u8; 6] = b"SSMON1";
+
+/// Decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotCodecError {
+    /// The buffer does not begin with the expected magic/version.
+    BadMagic,
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// A field held an invalid value.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotCodecError::BadMagic => f.write_str("not a monitor snapshot (bad magic)"),
+            SnapshotCodecError::Truncated => f.write_str("snapshot buffer truncated"),
+            SnapshotCodecError::Corrupt(what) => write!(f, "corrupt snapshot field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotCodecError {}
+
+fn put_running_stats(buf: &mut BytesMut, rs: &RunningStats) {
+    let (n, mean, m2, min, max) = rs.raw_parts();
+    buf.put_u64_le(n);
+    buf.put_f64_le(mean);
+    buf.put_f64_le(m2);
+    buf.put_f64_le(min);
+    buf.put_f64_le(max);
+}
+
+fn get_running_stats(buf: &mut &[u8]) -> Result<RunningStats, SnapshotCodecError> {
+    if buf.remaining() < 40 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let n = buf.get_u64_le();
+    let mean = buf.get_f64_le();
+    let m2 = buf.get_f64_le();
+    let min = buf.get_f64_le();
+    let max = buf.get_f64_le();
+    Ok(RunningStats::from_raw_parts(n, mean, m2, min, max))
+}
+
+/// Serializes a snapshot into a freshly allocated buffer.
+pub fn encode_snapshot(snap: &EngineSnapshot) -> Bytes {
+    let mut buf = BytesMut::with_capacity(MAGIC.len() + 16 + 256 * snap.stream_count());
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(snap.stream_count() as u64);
+    for e in snap.streams() {
+        buf.put_u64_le(e.key);
+        buf.put_u64_le(e.sampler.offered as u64);
+        buf.put_u64_le(e.sampler.kept as u64);
+        buf.put_u64_le(e.sampler.inspected as u64);
+        put_running_stats(&mut buf, &e.summary.moments);
+        // Online Hurst cascade: count, then levels with a carry flag.
+        let (count, levels, partial) = e.summary.hurst.raw_parts();
+        buf.put_u64_le(count);
+        buf.put_u64_le(levels.len() as u64);
+        for (stats, carry) in levels.iter().zip(partial) {
+            put_running_stats(&mut buf, stats);
+            match carry {
+                Some(sum) => {
+                    buf.put_u8(1);
+                    buf.put_f64_le(*sum);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        // Reservoir.
+        let r = &e.summary.reservoir;
+        buf.put_u64_le(r.cap as u64);
+        buf.put_u64_le(r.seed);
+        buf.put_u64_le(r.seen);
+        buf.put_u64_le(r.items.len() as u64);
+        for &v in &r.items {
+            buf.put_f64_le(v);
+        }
+        // Tail ladder.
+        let (thresholds, counts, total) = e.summary.tail.raw_parts();
+        buf.put_u64_le(thresholds.len() as u64);
+        for &t in thresholds {
+            buf.put_f64_le(t);
+        }
+        for &c in counts {
+            buf.put_u64_le(c);
+        }
+        buf.put_u64_le(total);
+    }
+    buf.freeze()
+}
+
+fn get_len(buf: &mut &[u8], elem_bytes: usize) -> Result<usize, SnapshotCodecError> {
+    if buf.remaining() < 8 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let n = buf.get_u64_le() as usize;
+    if buf.remaining() < n.saturating_mul(elem_bytes) {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    Ok(n)
+}
+
+/// Deserializes a snapshot from a buffer produced by
+/// [`encode_snapshot`].
+///
+/// # Errors
+///
+/// Any structural problem yields a [`SnapshotCodecError`]; the function
+/// never panics on untrusted input.
+pub fn decode_snapshot(mut buf: &[u8]) -> Result<EngineSnapshot, SnapshotCodecError> {
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotCodecError::BadMagic);
+    }
+    buf.advance(MAGIC.len());
+    let n_streams = get_len(&mut buf, 8)?;
+    let mut streams = Vec::with_capacity(n_streams.min(1 << 20));
+    let mut prev_key: Option<u64> = None;
+    for _ in 0..n_streams {
+        if buf.remaining() < 32 {
+            return Err(SnapshotCodecError::Truncated);
+        }
+        let key = buf.get_u64_le();
+        if let Some(p) = prev_key {
+            if key <= p {
+                return Err(SnapshotCodecError::Corrupt("stream keys not ascending"));
+            }
+        }
+        prev_key = Some(key);
+        let offered = buf.get_u64_le() as usize;
+        let kept = buf.get_u64_le() as usize;
+        let inspected = buf.get_u64_le() as usize;
+        if kept > inspected || inspected > offered {
+            return Err(SnapshotCodecError::Corrupt("sampler counters"));
+        }
+        let moments = get_running_stats(&mut buf)?;
+        if buf.remaining() < 8 {
+            return Err(SnapshotCodecError::Truncated);
+        }
+        let hurst_count = buf.get_u64_le();
+        let n_levels = get_len(&mut buf, 41)?;
+        if n_levels > 64 {
+            return Err(SnapshotCodecError::Corrupt("level count"));
+        }
+        let mut levels = Vec::with_capacity(n_levels);
+        let mut partial = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            levels.push(get_running_stats(&mut buf)?);
+            if buf.remaining() < 1 {
+                return Err(SnapshotCodecError::Truncated);
+            }
+            match buf.get_u8() {
+                0 => partial.push(None),
+                1 => {
+                    if buf.remaining() < 8 {
+                        return Err(SnapshotCodecError::Truncated);
+                    }
+                    partial.push(Some(buf.get_f64_le()));
+                }
+                _ => return Err(SnapshotCodecError::Corrupt("carry flag")),
+            }
+        }
+        let hurst = OnlineVarianceTime::from_raw_parts(hurst_count, levels, partial);
+        if buf.remaining() < 24 {
+            return Err(SnapshotCodecError::Truncated);
+        }
+        let cap = buf.get_u64_le() as usize;
+        let seed = buf.get_u64_le();
+        let seen = buf.get_u64_le();
+        let n_items = get_len(&mut buf, 8)?;
+        if n_items > cap || (n_items as u64) > seen {
+            return Err(SnapshotCodecError::Corrupt("reservoir size"));
+        }
+        let mut items = Vec::with_capacity(n_items);
+        for _ in 0..n_items {
+            items.push(buf.get_f64_le());
+        }
+        let reservoir = ReservoirSnapshot {
+            cap,
+            seed,
+            seen,
+            items,
+        };
+        let n_thresholds = get_len(&mut buf, 16)?;
+        let mut thresholds = Vec::with_capacity(n_thresholds);
+        for _ in 0..n_thresholds {
+            thresholds.push(buf.get_f64_le());
+        }
+        if !thresholds.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SnapshotCodecError::Corrupt("tail ladder order"));
+        }
+        let mut counts = Vec::with_capacity(n_thresholds);
+        for _ in 0..n_thresholds {
+            counts.push(buf.get_u64_le());
+        }
+        if buf.remaining() < 8 {
+            return Err(SnapshotCodecError::Truncated);
+        }
+        let total = buf.get_u64_le();
+        if counts.iter().any(|&c| c > total) {
+            return Err(SnapshotCodecError::Corrupt("tail counts exceed total"));
+        }
+        let tail = TailCounter::from_raw_parts(thresholds, counts, total);
+        streams.push(StreamEntry {
+            key,
+            sampler: SamplerSnapshot {
+                offered,
+                kept,
+                inspected,
+            },
+            summary: SummarySnapshot {
+                moments,
+                hurst,
+                reservoir,
+                tail,
+            },
+        });
+    }
+    Ok(EngineSnapshot::from_streams(streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MonitorConfig, MonitorEngine, SamplerSpec};
+
+    fn sample_snapshot() -> EngineSnapshot {
+        let mut engine = MonitorEngine::new(
+            MonitorConfig::default()
+                .sampler(SamplerSpec::Bss {
+                    interval: 10,
+                    epsilon: 1.0,
+                    n_pre: 8,
+                    l: 4,
+                })
+                .shards(3)
+                .seed(5),
+        );
+        for i in 0..30_000u64 {
+            let key = i % 23;
+            let v = if (i / 41) % 9 == 0 { 150.0 } else { 2.0 };
+            engine.offer(key, v);
+        }
+        engine.snapshot()
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let snap = sample_snapshot();
+        let encoded = encode_snapshot(&snap);
+        let back = decode_snapshot(&encoded).expect("decode");
+        assert_eq!(snap, back);
+        // Derived statistics survive too.
+        assert_eq!(
+            snap.aggregate().hurst_estimate(),
+            back.aggregate().hurst_estimate()
+        );
+    }
+
+    #[test]
+    fn round_trip_empty_snapshot() {
+        let snap = EngineSnapshot::default();
+        assert_eq!(decode_snapshot(&encode_snapshot(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            decode_snapshot(b"NOTASNAP"),
+            Err(SnapshotCodecError::BadMagic)
+        );
+        assert_eq!(decode_snapshot(b""), Err(SnapshotCodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_boundary() {
+        let encoded = encode_snapshot(&sample_snapshot());
+        for cut in [
+            MAGIC.len(),
+            MAGIC.len() + 4,
+            MAGIC.len() + 12,
+            encoded.len() / 3,
+            encoded.len() / 2,
+            encoded.len() - 1,
+        ] {
+            assert!(
+                decode_snapshot(&encoded[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_keys_rejected() {
+        let snap = sample_snapshot();
+        let mut raw = encode_snapshot(&snap).to_vec();
+        // Stream records start after magic + count; overwrite the first
+        // key with a large value so the second is out of order.
+        let off = MAGIC.len() + 8;
+        raw[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_snapshot(&raw),
+            Err(SnapshotCodecError::Corrupt(_)) | Err(SnapshotCodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn merged_snapshots_round_trip() {
+        let a = sample_snapshot();
+        let mut engine = MonitorEngine::new(MonitorConfig::default().seed(9));
+        for i in 0..5000u64 {
+            engine.offer(1000 + (i % 5), (i % 100) as f64);
+        }
+        let merged = a.merge(engine.snapshot());
+        let back = decode_snapshot(&encode_snapshot(&merged)).expect("decode");
+        assert_eq!(merged, back);
+    }
+}

@@ -1,0 +1,557 @@
+//! The sharded monitoring engine: many concurrent keyed streams, each
+//! behind its own streaming sampler, summarized with bounded memory.
+//!
+//! ## Determinism / merge-equivalence contract
+//!
+//! Every stream (key) lives on exactly one shard
+//! (`splitmix(key) mod n_shards`), its sampler is seeded from
+//! `(base_seed, key)` only, and its points are processed in arrival
+//! order — so per-stream state is independent of the shard count and of
+//! whether points arrived through [`MonitorEngine::offer`] or a
+//! parallel [`MonitorEngine::offer_batch`]. Snapshots list streams in
+//! sorted key order and aggregate by folding in that order, which makes
+//! the whole [`EngineSnapshot`] **bit-for-bit identical** across shard
+//! counts (the `merge_equivalence` integration tests pin N ∈ {1, 2, 8}),
+//! and makes [`EngineSnapshot::merge`] associative for combining
+//! engines that watched disjoint key sets (link → network roll-ups).
+
+use crate::summary::{StreamSummary, SummaryConfig, SummarySnapshot};
+use rayon::prelude::*;
+use sst_core::bss::{BssConfigError, OnlineTuning, ThresholdPolicy};
+use sst_core::stream::{
+    SamplerSnapshot, StreamDecision, StreamSampler, StreamingBss, StreamingSimpleRandom,
+    StreamingStratified, StreamingSystematic,
+};
+use sst_core::summary::MergeableSummary;
+use sst_stats::rng::derive_seed;
+use std::collections::HashMap;
+
+/// Domain-separation tag for shard routing.
+const SHARD_TAG: u64 = 0x5348_4152;
+
+/// Which streaming sampler each stream runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SamplerSpec {
+    /// Keep every point (pure monitoring, no thinning).
+    TakeAll,
+    /// Systematic 1-in-C ([`StreamingSystematic`]).
+    Systematic {
+        /// Sampling interval C.
+        interval: usize,
+    },
+    /// Stratified random, one per bucket of C ([`StreamingStratified`]).
+    Stratified {
+        /// Bucket length C.
+        interval: usize,
+    },
+    /// Bernoulli thinning at `rate` ([`StreamingSimpleRandom`]).
+    SimpleRandom {
+        /// Per-point keep probability.
+        rate: f64,
+    },
+    /// Online-tuned Biased Systematic Sampling ([`StreamingBss`]).
+    Bss {
+        /// Sampling interval C.
+        interval: usize,
+        /// Threshold factor ε (the paper uses 1.0).
+        epsilon: f64,
+        /// Pre-samples before the online threshold activates.
+        n_pre: usize,
+        /// Extras budget L per triggered interval.
+        l: usize,
+    },
+}
+
+impl SamplerSpec {
+    /// Builds the sampler for one stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying sampler's configuration validation.
+    pub fn build(&self, seed: u64) -> Result<Box<dyn StreamSampler + Send>, BssConfigError> {
+        Ok(match *self {
+            SamplerSpec::TakeAll => Box::new(StreamingSystematic::new(1, seed)?),
+            SamplerSpec::Systematic { interval } => {
+                Box::new(StreamingSystematic::new(interval, seed)?)
+            }
+            SamplerSpec::Stratified { interval } => {
+                Box::new(StreamingStratified::new(interval, seed)?)
+            }
+            SamplerSpec::SimpleRandom { rate } => Box::new(StreamingSimpleRandom::new(rate, seed)?),
+            SamplerSpec::Bss {
+                interval,
+                epsilon,
+                n_pre,
+                l,
+            } => Box::new(StreamingBss::new(
+                interval,
+                ThresholdPolicy::Online(OnlineTuning {
+                    epsilon,
+                    n_pre,
+                    ..OnlineTuning::default()
+                }),
+                l,
+                seed,
+            )?),
+        })
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonitorConfig {
+    /// Sampler deployed on every stream.
+    pub sampler: SamplerSpec,
+    /// Shard count (≥ 1); streams are routed by key hash.
+    pub n_shards: usize,
+    /// Base seed; stream `key` gets `derive_seed(base_seed, key)`.
+    pub base_seed: u64,
+    /// Per-stream summary configuration.
+    pub summary: SummaryConfig,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            sampler: SamplerSpec::TakeAll,
+            n_shards: 1,
+            base_seed: 0,
+            summary: SummaryConfig::default(),
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Sets the sampler spec.
+    pub fn sampler(mut self, s: SamplerSpec) -> Self {
+        self.sampler = s;
+        self
+    }
+
+    /// Sets the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one shard");
+        self.n_shards = n;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.base_seed = s;
+        self
+    }
+
+    /// Sets the per-stream reservoir capacity.
+    pub fn reservoir_capacity(mut self, cap: usize) -> Self {
+        self.summary.reservoir_capacity = cap;
+        self
+    }
+
+    /// Sets the tail-exceedance threshold ladder (ascending).
+    pub fn tail_thresholds(mut self, t: Vec<f64>) -> Self {
+        self.summary.tail_thresholds = t;
+        self
+    }
+}
+
+/// One stream's live state: its sampler plus the summary of what the
+/// sampler kept.
+struct StreamState {
+    sampler: Box<dyn StreamSampler + Send>,
+    summary: StreamSummary,
+}
+
+/// One shard: the streams routed to it.
+#[derive(Default)]
+struct Shard {
+    streams: HashMap<u64, StreamState>,
+}
+
+impl Shard {
+    fn offer(&mut self, config: &MonitorConfig, key: u64, value: f64) -> StreamDecision {
+        let state = self.streams.entry(key).or_insert_with(|| {
+            let seed = derive_seed(config.base_seed, key);
+            StreamState {
+                sampler: config
+                    .sampler
+                    .build(seed)
+                    .expect("sampler spec validated at engine construction"),
+                summary: StreamSummary::new(&config.summary, seed),
+            }
+        });
+        let decision = state.sampler.offer(value);
+        if decision.is_kept() {
+            state.summary.push(value);
+        }
+        decision
+    }
+}
+
+/// Points below this batch size are ingested inline — the partition +
+/// fan-out bookkeeping costs more than it saves.
+const PAR_BATCH_MIN: usize = 4096;
+
+/// The sharded online monitoring engine.
+///
+/// # Examples
+///
+/// ```
+/// use sst_monitor::{MonitorConfig, MonitorEngine, SamplerSpec};
+///
+/// let mut engine = MonitorEngine::new(
+///     MonitorConfig::default()
+///         .sampler(SamplerSpec::Systematic { interval: 10 })
+///         .shards(4),
+/// );
+/// for i in 0..10_000u64 {
+///     engine.offer(i % 7, (i % 100) as f64); // 7 streams
+/// }
+/// let snap = engine.snapshot();
+/// assert_eq!(snap.stream_count(), 7);
+/// assert!(snap.aggregate().moments.count() > 0);
+/// ```
+pub struct MonitorEngine {
+    config: MonitorConfig,
+    shards: Vec<Shard>,
+}
+
+impl MonitorEngine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler spec is invalid (zero interval, rate
+    /// outside `(0, 1]`) or `n_shards == 0`.
+    pub fn new(config: MonitorConfig) -> Self {
+        assert!(config.n_shards >= 1, "need at least one shard");
+        config
+            .sampler
+            .build(0)
+            .expect("invalid sampler specification");
+        let shards = (0..config.n_shards).map(|_| Shard::default()).collect();
+        MonitorEngine { config, shards }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// The shard a key routes to.
+    fn shard_index(&self, key: u64) -> usize {
+        (derive_seed(SHARD_TAG, key) % self.config.n_shards as u64) as usize
+    }
+
+    /// Offers one point of stream `key`.
+    pub fn offer(&mut self, key: u64, value: f64) -> StreamDecision {
+        let idx = self.shard_index(key);
+        self.shards[idx].offer(&self.config, key, value)
+    }
+
+    /// Offers a batch of keyed points, fanning the shards across the
+    /// persistent worker pool. Exactly equivalent to offering the
+    /// points one by one in order: the partition preserves each
+    /// stream's sub-order and shards share no state.
+    pub fn offer_batch(&mut self, points: &[(u64, f64)]) {
+        if self.config.n_shards == 1 || points.len() < PAR_BATCH_MIN {
+            for &(k, v) in points {
+                self.offer(k, v);
+            }
+            return;
+        }
+        let n = self.config.n_shards;
+        let mut per_shard: Vec<Vec<(u64, f64)>> = (0..n).map(|_| Vec::new()).collect();
+        for &(k, v) in points {
+            per_shard[self.shard_index(k)].push((k, v));
+        }
+        let shards = std::mem::take(&mut self.shards);
+        let config = &self.config;
+        let work: Vec<(Shard, Vec<(u64, f64)>)> = shards.into_iter().zip(per_shard).collect();
+        self.shards = work
+            .into_par_iter()
+            .map(|(mut shard, pts)| {
+                for (k, v) in pts {
+                    shard.offer(config, k, v);
+                }
+                shard
+            })
+            .collect();
+    }
+
+    /// Streams currently tracked.
+    pub fn stream_count(&self) -> usize {
+        self.shards.iter().map(|s| s.streams.len()).sum()
+    }
+
+    /// A point-in-time snapshot: per-stream summaries in sorted key
+    /// order. Bit-for-bit independent of the shard count.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut streams: Vec<StreamEntry> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard.streams.iter().map(|(&key, state)| StreamEntry {
+                    key,
+                    sampler: state.sampler.snapshot(),
+                    summary: state.summary.snapshot(),
+                })
+            })
+            .collect();
+        streams.sort_by_key(|e| e.key);
+        EngineSnapshot { streams }
+    }
+}
+
+/// One stream's snapshot inside an [`EngineSnapshot`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamEntry {
+    /// The stream key (e.g. packed OD pair).
+    pub key: u64,
+    /// Sampler counters (offered/kept/inspected).
+    pub sampler: SamplerSnapshot,
+    /// Summary of the kept samples.
+    pub summary: SummarySnapshot,
+}
+
+/// A mergeable point-in-time image of a whole engine.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineSnapshot {
+    /// Per-stream entries, strictly ascending by key.
+    streams: Vec<StreamEntry>,
+}
+
+impl EngineSnapshot {
+    /// Builds a snapshot from per-stream entries (sorted internally;
+    /// duplicate keys are merged).
+    pub fn from_streams(mut streams: Vec<StreamEntry>) -> Self {
+        streams.sort_by_key(|e| e.key);
+        let mut out: Vec<StreamEntry> = Vec::with_capacity(streams.len());
+        for e in streams {
+            match out.last_mut() {
+                Some(last) if last.key == e.key => {
+                    last.sampler.merge_from(&e.sampler);
+                    last.summary.merge_from(&e.summary);
+                }
+                _ => out.push(e),
+            }
+        }
+        EngineSnapshot { streams: out }
+    }
+
+    /// The per-stream entries, ascending by key.
+    pub fn streams(&self) -> &[StreamEntry] {
+        &self.streams
+    }
+
+    /// Number of streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Link-level summary: every stream's summary folded in key order —
+    /// deterministic for a given stream set, however it was sharded.
+    pub fn aggregate(&self) -> SummarySnapshot {
+        let mut acc = SummarySnapshot::default();
+        for e in &self.streams {
+            acc.merge_from(&e.summary);
+        }
+        acc
+    }
+
+    /// Total sampler counters across streams.
+    pub fn sampler_totals(&self) -> SamplerSnapshot {
+        let mut acc = SamplerSnapshot::default();
+        for e in &self.streams {
+            acc.merge_from(&e.sampler);
+        }
+        acc
+    }
+
+    /// The `k` heaviest streams by kept volume (descending; key breaks
+    /// ties so the order is total). The ranking stays a total order
+    /// even if a decoded snapshot carries NaN moments — inspection
+    /// tools must not panic on hostile input, and a stream whose
+    /// volume is unknowable ranks last, not first.
+    pub fn top_streams(&self, k: usize) -> Vec<&StreamEntry> {
+        fn volume(e: &StreamEntry) -> f64 {
+            let v = e.summary.kept_volume();
+            if v.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                v
+            }
+        }
+        let mut ranked: Vec<&StreamEntry> = self.streams.iter().collect();
+        ranked.sort_by(|a, b| volume(b).total_cmp(&volume(a)).then(a.key.cmp(&b.key)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Merges another snapshot (an engine over a further set of
+    /// streams) into this one: key-wise union, summaries of shared keys
+    /// merged, order re-canonicalized. Associative, so shard → link →
+    /// network roll-ups compose.
+    pub fn merge(self, other: EngineSnapshot) -> EngineSnapshot {
+        let mut all = self.streams;
+        all.extend(other.streams);
+        EngineSnapshot::from_streams(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(n: usize, n_keys: u64) -> Vec<(u64, f64)> {
+        // Deterministic bursty multiplexed workload.
+        (0..n)
+            .map(|i| {
+                let key = (i as u64 * 2654435761) % n_keys;
+                let v = if (i / 37) % 11 == 0 {
+                    120.0 + (i % 7) as f64
+                } else {
+                    1.0 + (i % 3) as f64
+                };
+                (key, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_stream_matches_raw_sampler() {
+        // Engine with one stream ≡ driving the sampler directly.
+        let mut engine = MonitorEngine::new(
+            MonitorConfig::default()
+                .sampler(SamplerSpec::Systematic { interval: 5 })
+                .seed(9),
+        );
+        let mut raw = StreamingSystematic::new(5, derive_seed(9, 42)).unwrap();
+        let mut kept = Vec::new();
+        for i in 0..1000 {
+            let v = (i % 13) as f64;
+            let d = engine.offer(42, v);
+            assert_eq!(d, raw.offer(v), "point {i}");
+            if d.is_kept() {
+                kept.push(v);
+            }
+        }
+        let snap = engine.snapshot();
+        assert_eq!(snap.stream_count(), 1);
+        let e = &snap.streams()[0];
+        assert_eq!(e.sampler, raw.snapshot());
+        assert_eq!(e.summary.moments.count(), kept.len() as u64);
+        let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+        assert!((e.summary.moments.mean() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_equals_pointwise() {
+        let pts = points(50_000, 64);
+        let config = MonitorConfig::default()
+            .sampler(SamplerSpec::SimpleRandom { rate: 0.2 })
+            .shards(4)
+            .seed(3);
+        let mut one = MonitorEngine::new(config.clone());
+        for &(k, v) in &pts {
+            one.offer(k, v);
+        }
+        let mut batched = MonitorEngine::new(config);
+        batched.offer_batch(&pts);
+        assert_eq!(one.snapshot(), batched.snapshot());
+    }
+
+    #[test]
+    fn all_sampler_specs_run() {
+        for spec in [
+            SamplerSpec::TakeAll,
+            SamplerSpec::Systematic { interval: 10 },
+            SamplerSpec::Stratified { interval: 10 },
+            SamplerSpec::SimpleRandom { rate: 0.1 },
+            SamplerSpec::Bss {
+                interval: 10,
+                epsilon: 1.0,
+                n_pre: 8,
+                l: 4,
+            },
+        ] {
+            let mut engine = MonitorEngine::new(MonitorConfig::default().sampler(spec).shards(2));
+            engine.offer_batch(&points(20_000, 16));
+            let snap = engine.snapshot();
+            assert_eq!(snap.stream_count(), 16, "{spec:?}");
+            let totals = snap.sampler_totals();
+            assert_eq!(totals.offered, 20_000, "{spec:?}");
+            assert!(totals.kept > 0, "{spec:?}");
+            assert!(totals.kept <= totals.inspected, "{spec:?}");
+            assert_eq!(
+                snap.aggregate().moments.count(),
+                totals.kept as u64,
+                "{spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_streams_rank_by_kept_volume() {
+        let mut engine = MonitorEngine::new(MonitorConfig::default());
+        // Stream 1 carries 10x the volume of stream 2, stream 3 tiny.
+        for _ in 0..1000 {
+            engine.offer(1, 100.0);
+        }
+        for _ in 0..1000 {
+            engine.offer(2, 10.0);
+        }
+        engine.offer(3, 1.0);
+        let snap = engine.snapshot();
+        let top: Vec<u64> = snap.top_streams(2).iter().map(|e| e.key).collect();
+        assert_eq!(top, vec![1, 2]);
+    }
+
+    #[test]
+    fn snapshot_merge_is_key_union() {
+        let pts = points(30_000, 32);
+        let config = MonitorConfig::default().sampler(SamplerSpec::Systematic { interval: 3 });
+        // Split streams across two engines by key parity.
+        let mut even = MonitorEngine::new(config.clone());
+        let mut odd = MonitorEngine::new(config.clone());
+        let mut whole = MonitorEngine::new(config);
+        for &(k, v) in &pts {
+            if k % 2 == 0 {
+                even.offer(k, v);
+            } else {
+                odd.offer(k, v);
+            }
+            whole.offer(k, v);
+        }
+        let merged = even.snapshot().merge(odd.snapshot());
+        assert_eq!(merged, whole.snapshot());
+        // Associativity the other way around.
+        let merged_rev = odd.snapshot().merge(even.snapshot());
+        assert_eq!(merged_rev, whole.snapshot());
+    }
+
+    #[test]
+    fn top_streams_tolerates_nan_values() {
+        // Inspection paths must stay total-ordered even when a stream
+        // carried NaN (hostile snapshot or broken feed).
+        let mut engine = MonitorEngine::new(MonitorConfig::default());
+        engine.offer(1, f64::NAN);
+        engine.offer(2, 5.0);
+        engine.offer(3, 9.0);
+        let snap = engine.snapshot();
+        let top: Vec<u64> = snap.top_streams(3).iter().map(|e| e.key).collect();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], 3, "finite volumes rank ahead of NaN");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sampler")]
+    fn invalid_spec_panics_at_construction() {
+        MonitorEngine::new(
+            MonitorConfig::default().sampler(SamplerSpec::Systematic { interval: 0 }),
+        );
+    }
+}

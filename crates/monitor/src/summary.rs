@@ -1,0 +1,527 @@
+//! Per-stream mergeable summaries: Welford moments, a mergeable
+//! reservoir of kept samples, online aggregated-variance Hurst state,
+//! and tail-exceedance counters.
+//!
+//! Two forms exist per stream. The *live* [`StreamSummary`] is what a
+//! shard updates point by point (it owns the reservoir's RNG). A
+//! [`SummarySnapshot`] is its plain-data image: comparable, codable,
+//! and — the property everything rests on — **mergeable**: snapshots of
+//! disjoint streams combine through
+//! [`sst_core::summary::MergeableSummary`] into link- and
+//! network-level summaries. Every merge is a deterministic function of
+//! its operands (the reservoir merge derives its RNG from the operand
+//! state), so folding snapshots in a canonical order yields
+//! bitwise-identical results no matter how the streams were sharded —
+//! the engine's merge-equivalence tests pin exactly that.
+
+use rand::Rng;
+use sst_core::summary::MergeableSummary;
+use sst_hurst::online::OnlineVarianceTime;
+use sst_stats::rng::{derive_seed, rng_from_seed};
+use sst_stats::RunningStats;
+
+/// Domain-separation tag for reservoir-merge RNG derivation.
+const MERGE_TAG: u64 = 0x4D45_5247;
+
+/// Shared configuration for the per-stream summaries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SummaryConfig {
+    /// Kept samples retained per stream (reservoir capacity).
+    pub reservoir_capacity: usize,
+    /// Ascending exceedance thresholds for the tail counters.
+    pub tail_thresholds: Vec<f64>,
+}
+
+impl Default for SummaryConfig {
+    fn default() -> Self {
+        SummaryConfig {
+            reservoir_capacity: 64,
+            tail_thresholds: vec![1.0, 10.0, 100.0, 1e3, 1e4, 1e5],
+        }
+    }
+}
+
+/// Bounded uniform sample of a stream (Vitter's algorithm R), with a
+/// deterministic, state-derived merge.
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    cap: usize,
+    seed: u64,
+    seen: u64,
+    items: Vec<f64>,
+    rng: rand::rngs::StdRng,
+}
+
+impl Reservoir {
+    /// Creates an empty reservoir of the given capacity; `seed` drives
+    /// the replacement draws (derive it from the stream key so
+    /// identical streams reproduce identical reservoirs).
+    pub fn new(cap: usize, seed: u64) -> Self {
+        Reservoir {
+            cap,
+            seed,
+            seen: 0,
+            items: Vec::with_capacity(cap.min(64)),
+            rng: rng_from_seed(derive_seed(seed, 0x5E5E)),
+        }
+    }
+
+    /// Offers one value.
+    pub fn push(&mut self, v: f64) {
+        self.seen += 1;
+        if self.items.len() < self.cap {
+            self.items.push(v);
+            return;
+        }
+        if self.cap == 0 {
+            return;
+        }
+        // Replace slot j with probability cap/seen: j uniform over all
+        // seen items, replacement iff it lands inside the reservoir.
+        let j = self.rng.gen_range(0..self.seen as usize);
+        if j < self.cap {
+            self.items[j] = v;
+        }
+    }
+
+    /// Plain-data image of the reservoir.
+    pub fn snapshot(&self) -> ReservoirSnapshot {
+        ReservoirSnapshot {
+            cap: self.cap,
+            seed: self.seed,
+            seen: self.seen,
+            items: self.items.clone(),
+        }
+    }
+}
+
+/// Plain-data image of a [`Reservoir`]: comparable, codable, mergeable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReservoirSnapshot {
+    /// Capacity of the source reservoir.
+    pub cap: usize,
+    /// Seed of the source reservoir (merges fold it in).
+    pub seed: u64,
+    /// Stream values offered to the source reservoir.
+    pub seen: u64,
+    /// The retained sample.
+    pub items: Vec<f64>,
+}
+
+impl ReservoirSnapshot {
+    /// Merges `other` (a reservoir over a disjoint stream) into `self`:
+    /// a weighted sample of the union, each retained item standing for
+    /// `seen/len` originals (Efraimidis-Spirakis keys, largest-key
+    /// `cap` survive). The merge RNG derives from both operands' seeds
+    /// and counts, so equal inputs always produce equal outputs.
+    fn merge_from(&mut self, other: &ReservoirSnapshot) {
+        if other.seen == 0 {
+            return;
+        }
+        if self.seen == 0 {
+            *self = other.clone();
+            return;
+        }
+        let cap = self.cap.max(other.cap);
+        let mut rng = rng_from_seed(derive_seed(
+            derive_seed(MERGE_TAG, self.seed ^ other.seed.rotate_left(32)),
+            self.seen.wrapping_add(other.seen.rotate_left(17)),
+        ));
+        let mut keyed: Vec<(f64, f64)> = Vec::with_capacity(self.items.len() + other.items.len());
+        for part in [&*self, other] {
+            if part.items.is_empty() {
+                continue;
+            }
+            let w = part.seen as f64 / part.items.len() as f64;
+            for &v in &part.items {
+                let u: f64 = loop {
+                    let u = rng.gen::<f64>();
+                    if u > 0.0 {
+                        break u;
+                    }
+                };
+                keyed.push((u.powf(1.0 / w), v));
+            }
+        }
+        // Descending by key (total_cmp: keys are finite by
+        // construction, but decoded snapshots are untrusted); index
+        // order breaks (measure-zero) ties deterministically because
+        // the sort is stable.
+        keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+        keyed.truncate(cap);
+        self.items = keyed.into_iter().map(|(_, v)| v).collect();
+        self.cap = cap;
+        self.seed = derive_seed(self.seed, other.seed);
+        self.seen += other.seen;
+    }
+}
+
+/// Exceedance counters over a fixed ascending threshold ladder — the
+/// mergeable form of the paper's tail interest (how often the rate
+/// process exceeds a level; counts of disjoint streams add).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TailCounter {
+    /// Ascending thresholds.
+    thresholds: Vec<f64>,
+    /// `counts[i]` = observations strictly above `thresholds[i]`.
+    counts: Vec<u64>,
+    /// Total observations.
+    total: u64,
+}
+
+impl TailCounter {
+    /// Creates counters over `thresholds` (must be ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thresholds are not strictly ascending.
+    pub fn new(thresholds: &[f64]) -> Self {
+        assert!(
+            thresholds.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must be strictly ascending"
+        );
+        TailCounter {
+            thresholds: thresholds.to_vec(),
+            counts: vec![0; thresholds.len()],
+            total: 0,
+        }
+    }
+
+    /// Counts one observation.
+    pub fn push(&mut self, v: f64) {
+        self.total += 1;
+        for (t, c) in self.thresholds.iter().zip(self.counts.iter_mut()) {
+            if v > *t {
+                *c += 1;
+            } else {
+                break; // ascending: nothing larger is exceeded either
+            }
+        }
+    }
+
+    /// The `(threshold, exceedance count)` ladder.
+    pub fn ladder(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.thresholds
+            .iter()
+            .copied()
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Total observations counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical exceedance probability `P(X > thresholds[i])`.
+    pub fn exceedance(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Raw state for serialization: `(thresholds, counts, total)`.
+    pub fn raw_parts(&self) -> (&[f64], &[u64], u64) {
+        (&self.thresholds, &self.counts, self.total)
+    }
+
+    /// Rebuilds counters from [`TailCounter::raw_parts`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or non-ascending thresholds.
+    pub fn from_raw_parts(thresholds: Vec<f64>, counts: Vec<u64>, total: u64) -> Self {
+        assert_eq!(thresholds.len(), counts.len(), "ladder length mismatch");
+        assert!(
+            thresholds.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must be strictly ascending"
+        );
+        TailCounter {
+            thresholds,
+            counts,
+            total,
+        }
+    }
+
+    fn merge_from(&mut self, other: &TailCounter) {
+        // A counter that observed nothing carries no information — it
+        // is the merge identity even if it was configured with a
+        // (different) ladder, so it must never drag the other side's
+        // counts into an intersection.
+        if other.total == 0 {
+            return;
+        }
+        if self.total == 0 {
+            *self = other.clone();
+            return;
+        }
+        if self.thresholds == other.thresholds {
+            for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+                *c += o;
+            }
+            self.total += other.total;
+            return;
+        }
+        // Ladders differ (snapshots from engines configured with
+        // different thresholds — `monitor_tool merge` accepts arbitrary
+        // inputs, so this must not panic): degrade to the intersection.
+        // Counts at shared rungs stay exact; rungs only one side
+        // measured are dropped, because an exceedance count at a
+        // threshold the other stream never tracked cannot be combined.
+        let mut thresholds = Vec::new();
+        let mut counts = Vec::new();
+        for (i, t) in self.thresholds.iter().enumerate() {
+            if let Some(j) = other.thresholds.iter().position(|o| o == t) {
+                thresholds.push(*t);
+                counts.push(self.counts[i] + other.counts[j]);
+            }
+        }
+        self.thresholds = thresholds;
+        self.counts = counts;
+        self.total += other.total;
+    }
+}
+
+/// Live per-stream summary: what a shard updates for every kept sample.
+#[derive(Clone, Debug)]
+pub struct StreamSummary {
+    moments: RunningStats,
+    hurst: OnlineVarianceTime,
+    reservoir: Reservoir,
+    tail: TailCounter,
+}
+
+impl StreamSummary {
+    /// Creates an empty summary; `seed` drives the reservoir.
+    pub fn new(config: &SummaryConfig, seed: u64) -> Self {
+        StreamSummary {
+            moments: RunningStats::new(),
+            hurst: OnlineVarianceTime::new(),
+            reservoir: Reservoir::new(config.reservoir_capacity, seed),
+            tail: TailCounter::new(&config.tail_thresholds),
+        }
+    }
+
+    /// Absorbs one kept sample.
+    pub fn push(&mut self, v: f64) {
+        self.moments.push(v);
+        self.hurst.push(v);
+        self.reservoir.push(v);
+        self.tail.push(v);
+    }
+
+    /// Kept samples absorbed so far.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Plain-data image of the summary.
+    pub fn snapshot(&self) -> SummarySnapshot {
+        SummarySnapshot {
+            moments: self.moments,
+            hurst: self.hurst.clone(),
+            reservoir: self.reservoir.snapshot(),
+            tail: self.tail.clone(),
+        }
+    }
+}
+
+/// Plain-data image of a [`StreamSummary`]: comparable, codable, and
+/// mergeable via [`MergeableSummary`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SummarySnapshot {
+    /// Welford moments of the kept samples.
+    pub moments: RunningStats,
+    /// Online aggregated-variance Hurst state (dyadic block stats).
+    pub hurst: OnlineVarianceTime,
+    /// Retained kept-sample reservoir.
+    pub reservoir: ReservoirSnapshot,
+    /// Tail-exceedance ladder.
+    pub tail: TailCounter,
+}
+
+impl SummarySnapshot {
+    /// The online Hurst estimate from the (possibly merged) dyadic
+    /// block statistics.
+    pub fn hurst_estimate(&self) -> Option<f64> {
+        self.hurst.estimate().ok().map(|e| e.hurst)
+    }
+
+    /// Sum of kept values (`count · mean`) — the heavy-hitter volume.
+    pub fn kept_volume(&self) -> f64 {
+        self.moments.count() as f64 * self.moments.mean()
+    }
+}
+
+impl MergeableSummary for SummarySnapshot {
+    fn merge_from(&mut self, other: &Self) {
+        self.moments.merge(&other.moments);
+        self.hurst.merge_from(&other.hurst);
+        self.reservoir.merge_from(&other.reservoir);
+        self.tail.merge_from(&other.tail);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.moments.count() == 0 && self.tail.total() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::summary::merge_all;
+
+    fn summary_of(values: &[f64], seed: u64) -> SummarySnapshot {
+        let mut s = StreamSummary::new(&SummaryConfig::default(), seed);
+        for &v in values {
+            s.push(v);
+        }
+        s.snapshot()
+    }
+
+    fn ramp(n: usize, scale: f64) -> Vec<f64> {
+        (0..n).map(|i| (i % 977) as f64 * scale).collect()
+    }
+
+    #[test]
+    fn reservoir_is_uniform_enough_and_deterministic() {
+        let vals: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let mut r1 = Reservoir::new(100, 7);
+        let mut r2 = Reservoir::new(100, 7);
+        for &v in &vals {
+            r1.push(v);
+            r2.push(v);
+        }
+        assert_eq!(r1.snapshot(), r2.snapshot(), "same seed, same reservoir");
+        let snap = r1.snapshot();
+        assert_eq!(snap.items.len(), 100);
+        assert_eq!(snap.seen, 10_000);
+        // Uniformity: the retained sample's mean is near the stream's.
+        let mean = snap.items.iter().sum::<f64>() / snap.items.len() as f64;
+        assert!(
+            (mean - 4999.5).abs() < 1200.0,
+            "reservoir mean {mean} far from 4999.5"
+        );
+    }
+
+    #[test]
+    fn reservoir_merge_is_deterministic_and_weighted() {
+        let a = {
+            let mut r = Reservoir::new(50, 1);
+            for v in ramp(5000, 1.0) {
+                r.push(v);
+            }
+            r.snapshot()
+        };
+        let b = {
+            let mut r = Reservoir::new(50, 2);
+            for v in ramp(500, -1.0) {
+                r.push(v);
+            }
+            r.snapshot()
+        };
+        let mut m1 = a.clone();
+        m1.merge_from(&b);
+        let mut m2 = a.clone();
+        m2.merge_from(&b);
+        assert_eq!(m1, m2, "merge must be a pure function of its inputs");
+        assert_eq!(m1.seen, a.seen + b.seen);
+        assert_eq!(m1.items.len(), 50);
+        // ~10:1 weight ratio: most survivors come from `a` (positive).
+        let from_a = m1.items.iter().filter(|&&v| v >= 0.0).count();
+        assert!(from_a > 25, "only {from_a}/50 from the 10x-heavier side");
+    }
+
+    #[test]
+    fn reservoir_merge_identity() {
+        let a = summary_of(&ramp(300, 2.0), 3).reservoir;
+        let mut left = ReservoirSnapshot::default();
+        left.merge_from(&a);
+        assert_eq!(left, a);
+        let mut right = a.clone();
+        right.merge_from(&ReservoirSnapshot::default());
+        assert_eq!(right, a);
+    }
+
+    #[test]
+    fn tail_counter_counts_exceedances() {
+        let mut t = TailCounter::new(&[10.0, 100.0]);
+        for v in [5.0, 11.0, 150.0, 100.0, 101.0] {
+            t.push(v);
+        }
+        let ladder: Vec<(f64, u64)> = t.ladder().collect();
+        assert_eq!(ladder, vec![(10.0, 4), (100.0, 2)]);
+        assert_eq!(t.total(), 5);
+        assert!((t.exceedance(0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn tail_counter_rejects_unsorted_ladder() {
+        TailCounter::new(&[10.0, 5.0]);
+    }
+
+    #[test]
+    fn tail_merge_with_empty_counter_is_identity_regardless_of_ladder() {
+        // A stream whose sampler kept nothing has a configured ladder
+        // but zero observations; merging it must not disturb the other
+        // side's counts (the MergeableSummary identity law).
+        let mut a = TailCounter::new(&[64.0, 576.0, 1400.0]);
+        for v in [100.0, 700.0, 700.0] {
+            a.push(v);
+        }
+        let before = a.clone();
+        a.merge_from(&TailCounter::new(&[1.0, 10.0])); // different ladder, 0 obs
+        assert_eq!(a, before);
+        let mut empty = TailCounter::new(&[1.0, 10.0]);
+        empty.merge_from(&before);
+        assert_eq!(empty, before, "empty side adopts the informative side");
+    }
+
+    #[test]
+    fn tail_merge_with_mismatched_ladders_intersects() {
+        // `monitor_tool merge` accepts snapshots from differently
+        // configured engines; shared rungs stay exact, others drop.
+        let mut a = TailCounter::new(&[10.0, 100.0, 1000.0]);
+        for v in [5.0, 50.0, 500.0, 5000.0] {
+            a.push(v);
+        }
+        let mut b = TailCounter::new(&[100.0, 500.0]);
+        for v in [200.0, 600.0] {
+            b.push(v);
+        }
+        a.merge_from(&b);
+        let ladder: Vec<(f64, u64)> = a.ladder().collect();
+        // Only the shared 100.0 rung survives: a counted {500, 5000},
+        // b counted {200, 600}.
+        assert_eq!(ladder, vec![(100.0, 4)]);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn summary_merge_equals_pooled_moments() {
+        let a = summary_of(&ramp(1000, 1.0), 1);
+        let b = summary_of(&ramp(500, 3.0), 2);
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        let mut direct = RunningStats::new();
+        for v in ramp(1000, 1.0).into_iter().chain(ramp(500, 3.0)) {
+            direct.push(v);
+        }
+        assert_eq!(merged.moments.count(), direct.count());
+        assert!((merged.moments.mean() - direct.mean()).abs() < 1e-9);
+        assert!((merged.moments.variance() - direct.variance()).abs() < 1e-6);
+        assert_eq!(merged.tail.total(), 1500);
+    }
+
+    #[test]
+    fn merge_all_is_order_stable() {
+        let parts: Vec<SummarySnapshot> = (0..4)
+            .map(|i| summary_of(&ramp(200 + 13 * i as usize, 1.0 + i as f64), i))
+            .collect();
+        let one: SummarySnapshot = merge_all(&parts);
+        let two: SummarySnapshot = merge_all(&parts);
+        assert_eq!(one, two, "same order, same inputs → identical bits");
+    }
+}

@@ -143,6 +143,20 @@ impl PacketTrace {
         out
     }
 
+    /// OD-keyed monitoring points: one `(key, bytes)` pair per packet,
+    /// in arrival order, where the key packs the packet's unordered OD
+    /// pair (`lo << 32 | hi`) — the natural feed for a per-flow
+    /// monitoring engine (`sst-monitor`), which routes streams by key.
+    pub fn od_keyed_points(&self) -> Vec<(u64, f64)> {
+        self.packets
+            .iter()
+            .map(|p| {
+                let (a, b) = self.flows[p.flow as usize].od_pair();
+                (((a as u64) << 32) | b as u64, p.size as f64)
+            })
+            .collect()
+    }
+
     /// Number of distinct OD pairs.
     pub fn od_pair_count(&self) -> usize {
         let mut pairs: Vec<(u32, u32)> = self

@@ -2,20 +2,24 @@
 //!
 //! Provides the small parallel-iterator surface the workspace uses —
 //! `into_par_iter()` / `par_iter()` followed by `map(...).collect()` or
-//! `for_each(...)` — implemented with `std::thread::scope` over contiguous
-//! chunks. Results are collected **in input order**, so a parallel map is
-//! a drop-in, bit-identical replacement for the sequential `Iterator`
+//! `for_each(...)` — implemented over a **persistent worker pool**.
+//! Results are collected **in input order**, so a parallel map is a
+//! drop-in, bit-identical replacement for the sequential `Iterator`
 //! equivalent whenever the mapped function is pure per item (no
 //! cross-item state), which is exactly the contract the workspace's
 //! experiment runner relies on for determinism.
 //!
-//! Unlike real rayon there is no work-stealing pool: each `collect` /
-//! `for_each` spawns up to [`current_num_threads`] scoped threads and
-//! joins them before returning. For the coarse-grained work here
-//! (multi-millisecond experiment instances, whole figures) the spawn cost
-//! is noise.
+//! Earlier revisions spawned `std::thread::scope` threads per operation;
+//! thread creation put a floor under the fan-out cost that the
+//! experiment runner's minimum-work heuristic had to stay above. The
+//! pool ([`pool`]) spawns its workers once per process and hands them
+//! type-erased tasks through a shared queue; a parallel operation now
+//! costs one enqueue per worker task plus condvar traffic, dropping the
+//! fan-out floor by orders of magnitude. Submitting threads *help*: they
+//! run queued tasks themselves while waiting for their batch, so nested
+//! parallel operations cannot deadlock even on a single-worker pool.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::AtomicUsize;
@@ -25,21 +29,13 @@ std::thread_local! {
     static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
 
-/// Number of worker threads a parallel operation will use: a
-/// [`with_num_threads`] override if one is active on this thread, else
-/// the `RAYON_NUM_THREADS` environment variable, else the machine's
-/// available parallelism.
-///
-/// The environment/parallelism default is resolved **once** per process
-/// — the same semantics as real rayon, whose global pool reads the
-/// variable at construction. (Re-reading it per call also made this
-/// function a hot-path cost: `env::var` scans the whole environment
-/// block, which the experiment runner's work-sizing heuristic calls on
-/// every sweep.)
-pub fn current_num_threads() -> usize {
-    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
-        return n.max(1);
-    }
+/// The process-wide default worker count: the `RAYON_NUM_THREADS`
+/// environment variable, else the machine's available parallelism —
+/// resolved **once** per process, the same semantics as real rayon,
+/// whose global pool reads the variable at construction. (Re-reading it
+/// per call also made this a hot-path cost: `env::var` scans the whole
+/// environment block.)
+fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
         std::env::var("RAYON_NUM_THREADS")
@@ -54,6 +50,16 @@ pub fn current_num_threads() -> usize {
     })
 }
 
+/// Number of worker threads a parallel operation will use: a
+/// [`with_num_threads`] override if one is active on this thread, else
+/// the process-wide default ([`default_threads`]).
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    default_threads()
+}
+
 /// Runs `f` with parallel operations *started on this thread* capped at
 /// `n` workers (shim-specific stand-in for rayon's scoped thread pools).
 pub fn with_num_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
@@ -65,6 +71,183 @@ pub fn with_num_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
     }
     let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
     f()
+}
+
+/// The persistent worker pool behind every parallel operation.
+///
+/// One queue, [`default_threads`] workers spawned lazily on first use
+/// and kept for the life of the process. Work is submitted in *batches*
+/// ([`pool::run_batch_with_inline`]): the submitter enqueues its tasks,
+/// runs one share of the work inline, then **helps** — it keeps popping
+/// and running queued tasks (its own or anyone else's) until its batch
+/// completes. Helping is what makes the design sound with any worker
+/// count: even if every pool worker is busy or the pool is a single
+/// thread, the submitting thread alone drains its queue entries, so a
+/// batch can always make progress and nested batches cannot deadlock.
+pub mod pool {
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+    use std::time::Duration;
+
+    type Task = Box<dyn FnOnce() + Send>;
+
+    struct Inner {
+        queue: Mutex<VecDeque<Task>>,
+        work: Condvar,
+    }
+
+    /// Completion state of one submitted batch.
+    struct Batch {
+        pending: Mutex<usize>,
+        done: Condvar,
+        panicked: AtomicBool,
+    }
+
+    impl Batch {
+        fn new(n: usize) -> Self {
+            Batch {
+                pending: Mutex::new(n),
+                done: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            }
+        }
+
+        /// Blocks until every task of this batch has finished, running
+        /// queued tasks (from any batch) while waiting.
+        fn wait_all(&self) {
+            loop {
+                if *self.pending.lock().expect("batch lock") == 0 {
+                    return;
+                }
+                if let Some(task) = try_pop() {
+                    task();
+                    continue;
+                }
+                let pending = self.pending.lock().expect("batch lock");
+                if *pending == 0 {
+                    return;
+                }
+                // Tasks of this batch are running on other threads; they
+                // notify `done` as they finish. The timeout is pure
+                // belt-and-suspenders against a missed wakeup.
+                let _ = self
+                    .done
+                    .wait_timeout(pending, Duration::from_millis(50))
+                    .expect("batch lock");
+            }
+        }
+    }
+
+    fn inner() -> &'static Inner {
+        static INNER: OnceLock<Inner> = OnceLock::new();
+        static WORKERS: OnceLock<()> = OnceLock::new();
+        let inner = INNER.get_or_init(|| Inner {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+        });
+        WORKERS.get_or_init(|| {
+            for i in 0..super::default_threads() {
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(worker_main)
+                    .expect("spawn pool worker");
+            }
+        });
+        inner
+    }
+
+    /// Worker thread body: pop and run tasks forever. Every queued task
+    /// is panic-wrapped at submission, so nothing unwinds out of here.
+    fn worker_main() {
+        let p = inner();
+        loop {
+            let task = {
+                let mut q = p.queue.lock().expect("pool queue");
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break t;
+                    }
+                    q = p.work.wait(q).expect("pool queue");
+                }
+            };
+            task();
+        }
+    }
+
+    fn try_pop() -> Option<Task> {
+        inner().queue.lock().expect("pool queue").pop_front()
+    }
+
+    /// Erases the batch lifetime from a task so it can sit in the
+    /// `'static` pool queue.
+    #[allow(unsafe_code)]
+    fn erase<'env>(task: Box<dyn FnOnce() + Send + 'env>) -> Box<dyn FnOnce() + Send + 'static> {
+        // SAFETY: `run_batch_with_inline` does not return — not even by
+        // unwinding, thanks to its wait guard — until the batch's
+        // `pending` count reaches zero, i.e. until every erased task has
+        // finished executing. Data borrowed for `'env` therefore
+        // strictly outlives every use of the erased closure. This is the
+        // same invariant `std::thread::scope` enforces for its scoped
+        // threads, applied to pool tasks.
+        unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(task)
+        }
+    }
+
+    /// Submits `tasks` to the pool, runs `inline` on the calling thread
+    /// (its share of the work), then blocks — helping with queued work —
+    /// until every submitted task has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics after completion if any submitted task panicked (the task
+    /// panic is contained to the pool; the batch reports it here), and
+    /// propagates `inline`'s own panic after the batch has drained.
+    pub fn run_batch_with_inline<'env, R>(
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+        inline: impl FnOnce() -> R,
+    ) -> R {
+        if tasks.is_empty() {
+            return inline();
+        }
+        let batch = Arc::new(Batch::new(tasks.len()));
+        {
+            let p = inner();
+            let mut q = p.queue.lock().expect("pool queue");
+            for task in tasks {
+                let task = erase(task);
+                let b = Arc::clone(&batch);
+                q.push_back(Box::new(move || {
+                    if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                        b.panicked.store(true, Ordering::SeqCst);
+                    }
+                    let mut pending = b.pending.lock().expect("batch lock");
+                    *pending -= 1;
+                    if *pending == 0 {
+                        b.done.notify_all();
+                    }
+                }));
+            }
+            p.work.notify_all();
+        }
+        // Even if `inline` unwinds, the batch must drain before frames
+        // holding `'env` borrows are popped.
+        struct WaitGuard<'a>(&'a Batch);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                self.0.wait_all();
+            }
+        }
+        let guard = WaitGuard(&batch);
+        let result = inline();
+        drop(guard);
+        if batch.panicked.load(Ordering::SeqCst) {
+            panic!("a parallel task panicked");
+        }
+        result
+    }
 }
 
 /// Ordered parallel map: applies `f` to every item, returning results in
@@ -89,22 +272,24 @@ where
     // Work queue of (index, item); each worker pushes (index, result).
     let queue: Mutex<Vec<(usize, I)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
     let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                with_num_threads(nested_budget, || loop {
-                    let next = queue.lock().expect("queue poisoned").pop();
-                    match next {
-                        Some((i, item)) => {
-                            let out = f(item);
-                            done.lock().expect("results poisoned").push((i, out));
-                        }
-                        None => break,
-                    }
-                })
-            });
-        }
-    });
+    // One popping loop per worker slot: `threads - 1` pool tasks plus
+    // the calling thread running the same loop inline.
+    let worker = || {
+        with_num_threads(nested_budget, || loop {
+            let next = queue.lock().expect("queue poisoned").pop();
+            match next {
+                Some((i, item)) => {
+                    let out = f(item);
+                    done.lock().expect("results poisoned").push((i, out));
+                }
+                None => break,
+            }
+        })
+    };
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (1..threads)
+        .map(|_| Box::new(worker) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    pool::run_batch_with_inline(tasks, worker);
     let mut pairs = done.into_inner().expect("results poisoned");
     pairs.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(pairs.len(), n);
@@ -242,11 +427,19 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("join: closure panicked"))
-    })
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    let ra = pool::run_batch_with_inline(
+        vec![Box::new(|| {
+            let out = b();
+            *rb.lock().expect("join result") = Some(out);
+        }) as Box<dyn FnOnce() + Send + '_>],
+        a,
+    );
+    let rb = rb
+        .into_inner()
+        .expect("join result")
+        .expect("join: closure panicked");
+    (ra, rb)
 }
 
 /// The prelude, mirroring `rayon::prelude`.
@@ -313,10 +506,80 @@ mod tests {
     }
 
     #[test]
+    fn join_borrows_locals() {
+        // The pool task borrows stack data; run_batch_with_inline must
+        // block until it finishes.
+        let data: Vec<u64> = (0..10_000).collect();
+        let (sum, max) = join(
+            || data.iter().sum::<u64>(),
+            || data.iter().copied().max().unwrap_or(0),
+        );
+        assert_eq!(sum, 9999 * 10_000 / 2);
+        assert_eq!(max, 9999);
+    }
+
+    #[test]
     fn empty_and_single_inputs() {
         let v: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
         assert!(v.is_empty());
         let one: Vec<i32> = vec![7].into_par_iter().map(|x| x * 3).collect();
         assert_eq!(one, vec![21]);
+    }
+
+    #[test]
+    fn nested_parallel_maps_complete() {
+        // A parallel map whose items run parallel maps themselves: the
+        // help-while-waiting protocol must drain the nested batches even
+        // with a single-worker pool.
+        let out: Vec<u64> = with_num_threads(4, || {
+            (0..8u64)
+                .into_par_iter()
+                .map(|i| {
+                    let inner: Vec<u64> = (0..50u64).into_par_iter().map(|j| i * 100 + j).collect();
+                    inner.iter().sum()
+                })
+                .collect()
+        });
+        let want: Vec<u64> = (0..8u64)
+            .map(|i| (0..50u64).map(|j| i * 100 + j).sum())
+            .collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn many_concurrent_batches_from_many_threads() {
+        // Independent OS threads submitting batches share the one pool.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let v: Vec<usize> = with_num_threads(3, || {
+                        (0..200usize).into_par_iter().map(|i| i + t).collect()
+                    });
+                    v.iter().sum::<usize>()
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            let got = h.join().expect("thread");
+            assert_eq!(got, (0..200).sum::<usize>() + 200 * t);
+        }
+    }
+
+    #[test]
+    fn task_panics_propagate_to_the_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                (0..16usize).into_par_iter().for_each(|i| {
+                    if i == 7 {
+                        panic!("boom");
+                    }
+                });
+            })
+        });
+        assert!(result.is_err(), "panic must reach the submitter");
+        // The pool must still be usable afterwards.
+        let v: Vec<usize> =
+            with_num_threads(2, || (0..64usize).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(v.len(), 64);
     }
 }

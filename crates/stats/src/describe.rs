@@ -131,6 +131,25 @@ impl RunningStats {
         (self.n > 0).then_some(self.max)
     }
 
+    /// Decomposes the accumulator into its raw state
+    /// `(n, mean, m2, min, max)` — the exact Welford internals, so a
+    /// serializer can round-trip an accumulator bit-for-bit (variance
+    /// reconstructed from getters would not be).
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`RunningStats::raw_parts`] output.
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        RunningStats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.n == 0 {

@@ -17,6 +17,7 @@ use sst_sigproc::fft::next_pow2;
 use sst_sigproc::plan::{lru_fetch, plan_for, FftPlan};
 use sst_sigproc::rfft::{real_plan_for, RealFftPlan};
 use sst_stats::dist::{standard_normal, standard_normal_boxmuller};
+use sst_stats::fill_standard_normal;
 use sst_stats::model::FgnAcf;
 use sst_stats::rng::rng_from_seed;
 use sst_stats::TimeSeries;
@@ -123,11 +124,12 @@ impl FgnGenerator {
 }
 
 /// Reusable scratch for [`FgnPlan::generate_values_into`]: the complex
-/// spectrum buffer, so per-instance generation performs no allocation
-/// after the first call.
+/// spectrum buffer plus the Gaussian draw buffer, so per-instance
+/// generation performs no allocation after the first call.
 #[derive(Clone, Debug, Default)]
 pub struct FgnScratch {
     spec: Vec<Complex>,
+    gauss: Vec<f64>,
 }
 
 /// A precomputed Davies-Harte generation plan for one `(H, n)` pair.
@@ -305,14 +307,27 @@ impl FgnPlan {
             return;
         }
         let big_n = self.big_n;
+        // All 2N Gaussians in one batch fill — bit-identical to the
+        // historical per-draw calls (the fill consumes the RNG in the
+        // same order: bin 0, bin N, then the interior (g, h) pairs).
+        // No clear() first: every slot in [0, 2N) is overwritten by the
+        // fill, so resize alone (a no-op at steady state) avoids a dead
+        // zero-fill of the whole buffer on each call.
+        let gauss = &mut scratch.gauss;
+        gauss.resize(2 * big_n, 0.0);
+        fill_standard_normal(&mut rng, gauss);
         let spec = &mut scratch.spec;
         spec.clear();
         spec.resize(big_n + 1, Complex::ZERO);
-        spec[0] = Complex::from_real(self.half_amp[0] * standard_normal(&mut rng));
-        spec[big_n] = Complex::from_real(self.half_amp[big_n] * standard_normal(&mut rng));
-        for (slot, &amp) in spec[1..big_n].iter_mut().zip(&self.half_amp[1..big_n]) {
-            let g = standard_normal(&mut rng);
-            let h = standard_normal(&mut rng);
+        spec[0] = Complex::from_real(self.half_amp[0] * gauss[0]);
+        spec[big_n] = Complex::from_real(self.half_amp[big_n] * gauss[1]);
+        for (k, (slot, &amp)) in spec[1..big_n]
+            .iter_mut()
+            .zip(&self.half_amp[1..big_n])
+            .enumerate()
+        {
+            let g = gauss[2 + 2 * k];
+            let h = gauss[3 + 2 * k];
             *slot = Complex::new(amp * g, -(amp * h));
         }
         out.clear();

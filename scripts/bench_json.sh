@@ -16,7 +16,8 @@ trap 'rm -f "$tmp"' EXIT
 # Keep this bench list in sync with scripts/check_bench_ids.sh, which
 # diffs the ids these benches emit against the committed JSON.
 CRITERION_JSON="$tmp" cargo bench -p sst-bench \
-    --bench samplers --bench sigproc --bench generators --bench experiments
+    --bench samplers --bench sigproc --bench generators --bench experiments \
+    --bench monitor
 
 {
     echo '['

@@ -22,6 +22,7 @@ trap 'rm -f "$tmp"' EXIT
 # Keep this bench list in sync with scripts/bench_json.sh.
 CRITERION_JSON="$tmp" cargo bench -p sst-bench \
     --bench samplers --bench sigproc --bench generators --bench experiments \
+    --bench monitor \
     -- --test >/dev/null
 
 ids_of() { grep -o '"id":"[^"]*"' "$1" | sort -u; }

@@ -7,6 +7,8 @@
 //! * [`sampling`] (`sst-core`) — the paper's contribution: systematic /
 //!   stratified / simple-random samplers, Biased Systematic Sampling (BSS),
 //!   SNC theory, fidelity metrics.
+//! * [`monitor`] (`sst-monitor`) — sharded online monitoring: streaming
+//!   samplers over many concurrent flows with mergeable summaries.
 //! * [`traffic`] (`sst-traffic`) — self-similar synthetic traffic.
 //! * [`nettrace`] (`sst-nettrace`) — packet traces (Bell-Labs-like).
 //! * [`hurst`] (`sst-hurst`) — Hurst/LRD estimators.
@@ -31,6 +33,7 @@
 pub use sst_core as sampling;
 pub use sst_dess as dess;
 pub use sst_hurst as hurst;
+pub use sst_monitor as monitor;
 pub use sst_nettrace as nettrace;
 pub use sst_queue as queue;
 pub use sst_sigproc as sigproc;

@@ -1,9 +1,13 @@
-//! Criterion benches for the sharded online monitoring engine:
+//! Criterion benches for the layered online monitoring engine:
 //! single-stream offer throughput, 10k-stream sharded vs sequential
-//! ingest (the persistent-worker-pool payoff), and snapshot/merge cost.
+//! ingest (the persistent-worker-pool payoff), snapshot/merge cost,
+//! summary compaction, wire-frame round-trips, and eviction churn.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sst_monitor::{EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec};
+use sst_monitor::EngineSnapshot;
+use sst_monitor::{
+    decode_frames, encode_frame, Frame, MonitorConfig, MonitorEngine, SamplerSpec, WIRE_VERSION,
+};
 
 /// Deterministic bursty multiplexed workload over `n_keys` streams.
 fn points(n: usize, n_keys: u64) -> Vec<(u64, f64)> {
@@ -91,9 +95,88 @@ fn bench_snapshot_merge(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_compaction(c: &mut Criterion) {
+    // Compacting a 4096-stream snapshot toward the 768 B default
+    // budget — the aggregator-side memory bound.
+    let pts = points(1 << 19, 4096);
+    let mut engine = MonitorEngine::new(MonitorConfig::default().sampler(spec()).shards(4).seed(3));
+    engine.offer_batch(&pts);
+    let snap = engine.snapshot();
+    let mut g = c.benchmark_group("monitor");
+    g.throughput(Throughput::Elements(snap.stream_count() as u64));
+    g.bench_function("compact_4096_streams", |b| {
+        b.iter(|| {
+            let mut s = snap.clone();
+            s.compact(768);
+            s.stream_count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    // A collector flush interval on the wire: Hello + a 4096-stream
+    // Delta + Bye, encoded and decoded back.
+    let pts = points(1 << 19, 4096);
+    let mut engine = MonitorEngine::new(MonitorConfig::default().sampler(spec()).shards(4).seed(3));
+    engine.offer_batch(&pts);
+    let frames = vec![
+        Frame::Hello {
+            protocol: WIRE_VERSION,
+            collector_id: 1,
+        },
+        Frame::Delta(engine.snapshot()),
+        Frame::Bye,
+    ];
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(engine.stream_count() as u64));
+    g.bench_function("wire_roundtrip", |b| {
+        b.iter(|| {
+            let mut bytes = Vec::new();
+            for f in &frames {
+                bytes.extend_from_slice(&encode_frame(f));
+            }
+            decode_frames(&bytes).expect("clean stream").len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_evict_churn(c: &mut Criterion) {
+    // 2^18 points over ~32k churning keys (8 points per key, never
+    // reappearing) with idle eviction + compaction — the lifecycle
+    // layer's steady-state cost.
+    let pts: Vec<(u64, f64)> = (0..1u64 << 18)
+        .map(|i| (i / 8, 40.0 + (i % 1461) as f64))
+        .collect();
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pts.len() as u64));
+    g.bench_function("evict_churn", |b| {
+        b.iter(|| {
+            let mut engine = MonitorEngine::new(
+                MonitorConfig::default()
+                    .shards(2)
+                    .seed(3)
+                    .evict_idle_after(4096)
+                    .sweep_every(4096)
+                    .compact_budget(768),
+            );
+            for chunk in pts.chunks(1 << 14) {
+                engine.offer_batch(chunk);
+            }
+            engine.maintain();
+            engine.lifecycle_stats().evicted
+        });
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_offer, bench_sharded_ingest, bench_snapshot_merge
+    targets = bench_offer, bench_sharded_ingest, bench_snapshot_merge,
+        bench_compaction, bench_wire_roundtrip, bench_evict_churn
 }
 criterion_main!(benches);

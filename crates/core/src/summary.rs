@@ -47,6 +47,37 @@ impl MergeableSummary for RunningStats {
     }
 }
 
+/// A summary whose retained state can be *compacted* — shrunk toward a
+/// byte budget — without touching its totals.
+///
+/// # Contract
+///
+/// * **Totals are sacred**: counts, sums, and anything else that must
+///   stay exact across a merge tree (the monitor's offered/kept
+///   counters, tail totals, Welford moment counts) survive any
+///   `compact` call unchanged. Only *auxiliary* state — retained
+///   samples, fine-grained histogram levels — may be pruned.
+/// * **Deterministic**: `compact` is a pure function of the summary's
+///   own state and the budget. Two bit-identical summaries compacted to
+///   the same budget stay bit-identical, which is what lets a sharded
+///   engine compact mid-stream and keep its merge-equivalence pins.
+/// * **Monotone**: compacting to a budget the summary already fits is a
+///   no-op on the retained data (it may still clamp growth limits), and
+///   `estimated_bytes` never increases across a `compact` call.
+///
+/// `sst-monitor`'s lifecycle layer drives this periodically so that
+/// per-stream state amortizes below a configured budget (~1 KB by
+/// default) even under unbounded key cardinality.
+pub trait Compactable {
+    /// Approximate in-memory footprint of the summary, in bytes
+    /// (inline struct + owned heap allocations).
+    fn estimated_bytes(&self) -> usize;
+
+    /// Prunes auxiliary state until the summary fits (or gets as close
+    /// as its fixed-size core allows to) `budget_bytes`.
+    fn compact(&mut self, budget_bytes: usize);
+}
+
 /// Folds an iterator of summaries into one, merging in iteration order.
 ///
 /// With a canonically ordered input (e.g. sorted by stream key) the

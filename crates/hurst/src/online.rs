@@ -134,6 +134,42 @@ impl OnlineVarianceTime {
         }
     }
 
+    /// Number of dyadic levels currently held (including levels whose
+    /// block-mean stats are still empty).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Approximate in-memory footprint: the per-level block-mean stats
+    /// plus the carry chain, in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        // count + 2 Vec headers, then 40 B of Welford state and a
+        // 16 B Option<f64> carry slot per level.
+        8 + 48 + self.levels.len() * (40 + 16)
+    }
+
+    /// Drops every dyadic level at index `max_levels` and above — the
+    /// *coarse* end of the cascade, whose block sizes are largest and
+    /// whose completed-block counts are smallest (a level at index `k`
+    /// needs `16 · 2^k` values before [`OnlineVarianceTime::estimate`]
+    /// will even use it). This is the summary-compaction primitive: it
+    /// bounds the estimator at `max_levels · 56` bytes while leaving the
+    /// statistically informative fine levels untouched.
+    ///
+    /// Lossy but benign: subsequent pushes re-grow coarse levels from
+    /// the point of pruning (their partial carries restart), so a
+    /// periodically pruned estimator tracks the unpruned one on the
+    /// fine levels exactly and differs only in coarse levels that a
+    /// bounded-memory monitor could not afford anyway. `count` — the
+    /// total — is untouched.
+    pub fn prune_levels(&mut self, max_levels: usize) {
+        let keep = max_levels.min(MAX_LEVELS);
+        if self.levels.len() > keep {
+            self.levels.truncate(keep);
+            self.partial.truncate(keep);
+        }
+    }
+
     /// Pools another estimator's completed-block statistics into this
     /// one (level-by-level [`RunningStats::merge`]; the open partial
     /// blocks of `other` are dropped — across streams they have no
@@ -310,6 +346,47 @@ mod tests {
             ovt.estimate(),
             Err(EstimateError::TooShort { .. })
         ));
+    }
+
+    #[test]
+    fn prune_drops_coarse_levels_and_keeps_totals() {
+        let vals = fgn(0.8, 1 << 14, 9);
+        let full = online_of(&vals);
+        let mut pruned = full.clone();
+        pruned.prune_levels(8);
+        assert_eq!(pruned.level_count(), 8);
+        assert_eq!(pruned.count(), full.count(), "totals are sacred");
+        // The surviving fine levels are bit-identical to the unpruned
+        // cascade's.
+        for ((m_p, sp), (m_f, sf)) in pruned.levels().zip(full.levels()) {
+            assert_eq!(m_p, m_f);
+            assert_eq!(sp, sf, "m={m_p}");
+        }
+        assert!(pruned.estimated_bytes() < full.estimated_bytes());
+        // Still estimates (levels m ∈ {2..128} remain usable).
+        let h = pruned.estimate().unwrap().hurst;
+        assert!((h - 0.8).abs() < 0.15, "pruned H={h}");
+    }
+
+    #[test]
+    fn pruned_estimator_regrows_under_further_pushes() {
+        let vals = fgn(0.7, 1 << 12, 3);
+        let mut ovt = online_of(&vals);
+        ovt.prune_levels(4);
+        for &v in &vals {
+            ovt.push(v);
+        }
+        assert!(ovt.level_count() > 4, "coarse levels regrow");
+        assert_eq!(ovt.count(), 2 * vals.len() as u64);
+        assert!(ovt.estimate().is_ok());
+    }
+
+    #[test]
+    fn prune_to_more_levels_than_held_is_a_noop() {
+        let mut ovt = online_of(&fgn(0.6, 1024, 1));
+        let before = ovt.clone();
+        ovt.prune_levels(64);
+        assert_eq!(ovt, before);
     }
 
     #[test]

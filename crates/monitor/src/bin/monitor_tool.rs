@@ -1,21 +1,44 @@
-//! `monitor-tool` — drive the sharded monitoring engine over synthetic
-//! packet traces, and inspect/merge its snapshots.
+//! `monitor-tool` — drive the layered monitoring stack over synthetic
+//! packet traces: run a standalone engine, inspect/merge snapshots, or
+//! assemble a collector → aggregator topology over Unix sockets.
 //!
 //! ```text
 //! monitor-tool run [--seed N] [--duration SECS] [--shards N]
 //!                  [--interval C] [--snapshot OUT.ssm]
+//!                  [--evict-idle TICKS] [--max-streams N] [--compact BYTES]
 //!     synthesize a Bell-Labs-like trace, ingest it as per-OD-pair
 //!     streams (batched through the worker pool), print the link report,
 //!     optionally write the snapshot
 //! monitor-tool info IN.ssm          # decode a snapshot, print the report
 //! monitor-tool merge OUT.ssm IN.ssm [IN.ssm …]
 //!     merge snapshots (disjoint or overlapping key sets) into one
+//! monitor-tool serve SOCKET --collectors N [--out OUT.ssm]
+//!     bind a Unix socket, accept N collector sessions (concurrently),
+//!     assemble their frames, print the merged report
+//! monitor-tool forward SOCKET [--id K] [--partition I/N] [--seed N]
+//!                  [--duration SECS] [--interval C] [--flush-every P]
+//!                  [--evict-idle TICKS] [--compact BYTES]
+//!     synthesize the shared trace, keep only keys hashing to partition
+//!     I of N, and stream Hello/Delta/Evicted/Bye frames to the socket
 //! ```
+//!
+//! With the default (no-eviction) configuration, `serve` + N×`forward`
+//! on the same seed reproduce, byte for byte, the snapshot `run`
+//! computes single-process — the wire-boundary merge-equivalence
+//! guarantee, demoable from the shell. With `--evict-idle` the clocks
+//! differ (each forwarder counts only its partition's points, `run`
+//! counts all), so a key that reappears after eviction restarts its
+//! sampler at different logical times: *totals* stay exact, but kept
+//! sample sets — and hence the bytes — can diverge from `run`'s.
 
+use sst_monitor::topology::{Aggregator, Collector};
 use sst_monitor::{
-    decode_snapshot, encode_snapshot, EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec,
+    decode_snapshot, encode_snapshot, EngineSnapshot, Frame, FrameDecoder, MonitorConfig,
+    MonitorEngine, SamplerSpec,
 };
 use sst_nettrace::TraceSynthesizer;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::{Arc, Mutex};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,15 +73,75 @@ fn main() {
             );
             report(&merged);
         }
-        _ => die("usage: monitor-tool run|info|merge …  (see the module docs)"),
+        Some("serve") => serve(it.collect()),
+        Some("forward") => forward(it.collect()),
+        _ => die("usage: monitor-tool run|info|merge|serve|forward …  (see the module docs)"),
+    }
+}
+
+/// Shared trace + engine shape so `run` and N×`forward` agree.
+struct Workload {
+    seed: u64,
+    duration: f64,
+    interval: usize,
+    evict_idle: Option<u64>,
+    max_streams: Option<usize>,
+    compact: Option<usize>,
+}
+
+impl Workload {
+    fn points(&self) -> Vec<(u64, f64)> {
+        let trace = TraceSynthesizer::bell_labs_like()
+            .duration(self.duration)
+            .synthesize(self.seed);
+        eprintln!(
+            "trace: {} packets over {} OD pairs, {:.0}s",
+            trace.len(),
+            trace.od_pair_count(),
+            trace.duration()
+        );
+        trace.od_keyed_points()
+    }
+
+    fn config(&self, shards: usize) -> MonitorConfig {
+        let mut config = MonitorConfig::default()
+            .sampler(if self.interval <= 1 {
+                SamplerSpec::TakeAll
+            } else {
+                SamplerSpec::Bss {
+                    interval: self.interval,
+                    epsilon: 1.0,
+                    n_pre: 16,
+                    l: 4,
+                }
+            })
+            .shards(shards)
+            .seed(self.seed)
+            // Packet sizes are 40..1500 bytes: a ladder on that scale.
+            .tail_thresholds(vec![64.0, 256.0, 576.0, 1024.0, 1400.0]);
+        if let Some(t) = self.evict_idle {
+            config = config.evict_idle_after(t);
+        }
+        if let Some(n) = self.max_streams {
+            config = config.max_streams(n);
+        }
+        if let Some(b) = self.compact {
+            config = config.compact_budget(b);
+        }
+        config
     }
 }
 
 fn run(rest: Vec<String>) {
-    let mut seed = 1u64;
-    let mut duration = 120.0f64;
+    let mut w = Workload {
+        seed: 1,
+        duration: 120.0,
+        interval: 10,
+        evict_idle: None,
+        max_streams: None,
+        compact: None,
+    };
     let mut shards = 4usize;
-    let mut interval = 10usize;
     let mut snapshot_path: Option<String> = None;
     let mut it = rest.into_iter();
     while let Some(a) = it.next() {
@@ -67,52 +150,215 @@ fn run(rest: Vec<String>) {
                 .unwrap_or_else(|| die(&format!("{what} needs a value")))
         };
         match a.as_str() {
-            "--seed" => seed = parse(&num("--seed"), "--seed"),
-            "--duration" => duration = parse(&num("--duration"), "--duration"),
+            "--seed" => w.seed = parse(&num("--seed"), "--seed"),
+            "--duration" => w.duration = parse(&num("--duration"), "--duration"),
             "--shards" => shards = parse(&num("--shards"), "--shards"),
-            "--interval" => interval = parse(&num("--interval"), "--interval"),
+            "--interval" => w.interval = parse(&num("--interval"), "--interval"),
             "--snapshot" => snapshot_path = Some(num("--snapshot")),
+            "--evict-idle" => w.evict_idle = Some(parse(&num("--evict-idle"), "--evict-idle")),
+            "--max-streams" => {
+                w.max_streams = Some(parse(&num("--max-streams"), "--max-streams"));
+            }
+            "--compact" => w.compact = Some(parse(&num("--compact"), "--compact")),
             other => die(&format!("unexpected argument '{other}'")),
         }
     }
-    let trace = TraceSynthesizer::bell_labs_like()
-        .duration(duration)
-        .synthesize(seed);
-    let points = trace.od_keyed_points();
-    eprintln!(
-        "trace: {} packets over {} OD pairs, {:.0}s",
-        points.len(),
-        trace.od_pair_count(),
-        trace.duration()
-    );
-    let mut engine = MonitorEngine::new(
-        MonitorConfig::default()
-            .sampler(if interval <= 1 {
-                SamplerSpec::TakeAll
-            } else {
-                SamplerSpec::Bss {
-                    interval,
-                    epsilon: 1.0,
-                    n_pre: 16,
-                    l: 4,
-                }
-            })
-            .shards(shards)
-            .seed(seed)
-            // Packet sizes are 40..1500 bytes: a ladder on that scale.
-            .tail_thresholds(vec![64.0, 256.0, 576.0, 1024.0, 1400.0]),
-    );
+    let points = w.points();
+    let mut engine = MonitorEngine::new(w.config(shards));
     // Stream the trace through in batches, as a collector would.
     for chunk in points.chunks(1 << 16) {
         engine.offer_batch(chunk);
     }
-    let snap = engine.snapshot();
+    engine.maintain();
+    let stats = engine.lifecycle_stats();
+    if stats.evicted > 0 {
+        eprintln!(
+            "lifecycle: {} evicted, {} retired, {} live, ~{} KiB state",
+            stats.evicted,
+            stats.retired,
+            engine.stream_count(),
+            engine.estimated_state_bytes() >> 10
+        );
+    }
+    let snap = engine.full_snapshot();
     report(&snap);
     if let Some(path) = snapshot_path {
         let bytes = encode_snapshot(&snap);
         std::fs::write(&path, &bytes).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         eprintln!("wrote {path}: {} bytes", bytes.len());
     }
+}
+
+fn serve(rest: Vec<String>) {
+    let mut it = rest.into_iter();
+    let socket = it
+        .next()
+        .unwrap_or_else(|| die("serve needs a socket path"));
+    let mut collectors = 1usize;
+    let mut out: Option<String> = None;
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match a.as_str() {
+            "--collectors" => collectors = parse(&num("--collectors"), "--collectors"),
+            "--out" => out = Some(num("--out")),
+            other => die(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let _ = std::fs::remove_file(&socket);
+    let listener =
+        UnixListener::bind(&socket).unwrap_or_else(|e| die(&format!("bind {socket}: {e}")));
+    eprintln!("listening on {socket} for {collectors} collector(s)");
+    let agg = Arc::new(Mutex::new(Aggregator::new()));
+    std::thread::scope(|scope| {
+        for conn in 0..collectors {
+            let (stream, _) = listener
+                .accept()
+                .unwrap_or_else(|e| die(&format!("accept: {e}")));
+            let agg = Arc::clone(&agg);
+            // Legacy (Hello-less) sessions get ids past u32 so they
+            // can't collide with forwarders' small collector ids.
+            let fallback_id = (1u64 << 32) + conn as u64;
+            scope.spawn(move || {
+                if let Err(e) = pump_session(stream, &agg, fallback_id) {
+                    die(&format!("session failed: {e}"));
+                }
+            });
+        }
+    });
+    let _ = std::fs::remove_file(&socket);
+    let agg = agg.lock().expect("aggregator");
+    eprintln!(
+        "assembled {} collector session(s), ~{} KiB aggregator state",
+        agg.collector_count(),
+        agg.estimated_state_bytes() >> 10
+    );
+    let snap = agg.snapshot();
+    report(&snap);
+    if let Some(path) = out {
+        let bytes = encode_snapshot(&snap);
+        std::fs::write(&path, &bytes).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("wrote {path}: {} bytes", bytes.len());
+    }
+}
+
+/// Feeds one socket session into the shared aggregator, locking per
+/// frame so concurrent sessions interleave freely. Mirrors
+/// `Aggregator::ingest_stream` semantics (hand-rolled only because
+/// that method would hold the lock for the whole session): the first
+/// `Hello` names the session; a session that opens with data frames —
+/// e.g. a legacy `.ssm` stream, whose implicit `FullSnapshot` only
+/// decodes once EOF is signalled via `FrameDecoder::finish` — is
+/// attributed to `fallback_id`.
+fn pump_session(
+    mut stream: UnixStream,
+    agg: &Mutex<Aggregator>,
+    fallback_id: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::Read;
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    let mut session: Option<u64> = None;
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            dec.finish();
+        } else {
+            dec.push(&buf[..n]);
+        }
+        while let Some(frame) = dec.next_frame()? {
+            let id = match (&frame, session) {
+                (Frame::Hello { collector_id, .. }, _) => {
+                    session = Some(*collector_id);
+                    *collector_id
+                }
+                (_, Some(id)) => id,
+                (_, None) => {
+                    session = Some(fallback_id);
+                    fallback_id
+                }
+            };
+            agg.lock().expect("aggregator").feed(id, frame)?;
+        }
+        if n == 0 {
+            if dec.pending_bytes() != 0 {
+                return Err("connection closed mid-frame".into());
+            }
+            return Ok(());
+        }
+    }
+}
+
+fn forward(rest: Vec<String>) {
+    let mut it = rest.into_iter();
+    let socket = it
+        .next()
+        .unwrap_or_else(|| die("forward needs a socket path"));
+    let mut w = Workload {
+        seed: 1,
+        duration: 120.0,
+        interval: 10,
+        evict_idle: None,
+        max_streams: None,
+        compact: None,
+    };
+    let mut id: Option<u64> = None;
+    let mut part = 0u64;
+    let mut n_parts = 1u64;
+    let mut flush_every = 1usize << 14;
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match a.as_str() {
+            "--seed" => w.seed = parse(&num("--seed"), "--seed"),
+            "--duration" => w.duration = parse(&num("--duration"), "--duration"),
+            "--interval" => w.interval = parse(&num("--interval"), "--interval"),
+            "--id" => id = Some(parse(&num("--id"), "--id")),
+            "--partition" => {
+                let spec = num("--partition");
+                let (i, n) = spec
+                    .split_once('/')
+                    .unwrap_or_else(|| die("--partition expects I/N"));
+                part = parse(i, "--partition");
+                n_parts = parse(n, "--partition");
+                if n_parts == 0 || part >= n_parts {
+                    die("--partition needs I < N, N >= 1");
+                }
+            }
+            "--flush-every" => flush_every = parse(&num("--flush-every"), "--flush-every"),
+            "--evict-idle" => w.evict_idle = Some(parse(&num("--evict-idle"), "--evict-idle")),
+            "--compact" => w.compact = Some(parse(&num("--compact"), "--compact")),
+            other => die(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let points: Vec<(u64, f64)> = w
+        .points()
+        .into_iter()
+        .filter(|&(k, _)| k % n_parts == part)
+        .collect();
+    let mut sock =
+        UnixStream::connect(&socket).unwrap_or_else(|e| die(&format!("connect {socket}: {e}")));
+    let mut collector = Collector::new(id.unwrap_or(part), w.config(2));
+    for chunk in points.chunks(flush_every.max(1)) {
+        collector.offer_batch(chunk);
+        collector
+            .flush(&mut sock)
+            .unwrap_or_else(|e| die(&format!("flush: {e}")));
+    }
+    collector
+        .finish(&mut sock)
+        .unwrap_or_else(|e| die(&format!("finish: {e}")));
+    let stats = collector.engine().lifecycle_stats();
+    eprintln!(
+        "forwarded {} points as collector {} (partition {part}/{n_parts}, {} evicted)",
+        points.len(),
+        id.unwrap_or(part),
+        stats.evicted
+    );
 }
 
 fn report(snap: &EngineSnapshot) {

@@ -1,4 +1,5 @@
-//! Compact binary codec for [`EngineSnapshot`]s.
+//! Compact binary codec for [`EngineSnapshot`]s — the **v1 payload
+//! format** of the transport layer.
 //!
 //! Shard and link snapshots travel — to a collector, to disk, across a
 //! network roll-up — so the format is a fixed-layout little-endian
@@ -7,6 +8,12 @@
 //! keys, ladder monotonicity) and never panics on untrusted input;
 //! round-trips are **bit-exact** (the summaries are serialized from
 //! their raw Welford/cascade state, not from derived statistics).
+//!
+//! [`crate::wire`] generalizes this into the versioned frame protocol:
+//! snapshot-bearing frames (`Delta`/`FullSnapshot`/`Evicted`) carry
+//! exactly these bytes as payloads, and a bare buffer in this format
+//! (the legacy `.ssm` file form) still decodes as one implicit
+//! `FullSnapshot` frame.
 
 use crate::engine::{EngineSnapshot, StreamEntry};
 use crate::summary::{ReservoirSnapshot, SummarySnapshot, TailCounter};

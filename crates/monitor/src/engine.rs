@@ -1,5 +1,13 @@
-//! The sharded monitoring engine: many concurrent keyed streams, each
-//! behind its own streaming sampler, summarized with bounded memory.
+//! The engine facade: configuration, snapshots, and the public ingest
+//! API over the layered collector stack.
+//!
+//! The actual machinery lives one layer down each: shard routing and
+//! per-stream samplers in [`crate::ingest`], eviction/compaction in
+//! [`crate::lifecycle`], framing in [`crate::wire`], and multi-process
+//! assembly in [`crate::topology`]. This module keeps the original
+//! single-process API ([`MonitorEngine::offer`] / `offer_batch` /
+//! `snapshot`) source-compatible while exposing the lifecycle surface
+//! (`full_snapshot`, `drain_evicted`, `maintain`).
 //!
 //! ## Determinism / merge-equivalence contract
 //!
@@ -14,88 +22,16 @@
 //! counts (the `merge_equivalence` integration tests pin N ∈ {1, 2, 8}),
 //! and makes [`EngineSnapshot::merge`] associative for combining
 //! engines that watched disjoint key sets (link → network roll-ups).
+//! Lifecycle sweeps are driven by the tick sequence alone, so the
+//! contract survives eviction and compaction too.
 
-use crate::summary::{StreamSummary, SummaryConfig, SummarySnapshot};
-use rayon::prelude::*;
-use sst_core::bss::{BssConfigError, OnlineTuning, ThresholdPolicy};
-use sst_core::stream::{
-    SamplerSnapshot, StreamDecision, StreamSampler, StreamingBss, StreamingSimpleRandom,
-    StreamingStratified, StreamingSystematic,
-};
-use sst_core::summary::MergeableSummary;
-use sst_stats::rng::derive_seed;
-use std::collections::HashMap;
+use crate::ingest::ShardSet;
+use crate::lifecycle::{LifecycleConfig, LifecycleState, LifecycleStats};
+use crate::summary::{SummaryConfig, SummarySnapshot};
+use sst_core::stream::{SamplerSnapshot, StreamDecision};
+use sst_core::summary::{Compactable, MergeableSummary};
 
-/// Domain-separation tag for shard routing.
-const SHARD_TAG: u64 = 0x5348_4152;
-
-/// Which streaming sampler each stream runs.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum SamplerSpec {
-    /// Keep every point (pure monitoring, no thinning).
-    TakeAll,
-    /// Systematic 1-in-C ([`StreamingSystematic`]).
-    Systematic {
-        /// Sampling interval C.
-        interval: usize,
-    },
-    /// Stratified random, one per bucket of C ([`StreamingStratified`]).
-    Stratified {
-        /// Bucket length C.
-        interval: usize,
-    },
-    /// Bernoulli thinning at `rate` ([`StreamingSimpleRandom`]).
-    SimpleRandom {
-        /// Per-point keep probability.
-        rate: f64,
-    },
-    /// Online-tuned Biased Systematic Sampling ([`StreamingBss`]).
-    Bss {
-        /// Sampling interval C.
-        interval: usize,
-        /// Threshold factor ε (the paper uses 1.0).
-        epsilon: f64,
-        /// Pre-samples before the online threshold activates.
-        n_pre: usize,
-        /// Extras budget L per triggered interval.
-        l: usize,
-    },
-}
-
-impl SamplerSpec {
-    /// Builds the sampler for one stream.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the underlying sampler's configuration validation.
-    pub fn build(&self, seed: u64) -> Result<Box<dyn StreamSampler + Send>, BssConfigError> {
-        Ok(match *self {
-            SamplerSpec::TakeAll => Box::new(StreamingSystematic::new(1, seed)?),
-            SamplerSpec::Systematic { interval } => {
-                Box::new(StreamingSystematic::new(interval, seed)?)
-            }
-            SamplerSpec::Stratified { interval } => {
-                Box::new(StreamingStratified::new(interval, seed)?)
-            }
-            SamplerSpec::SimpleRandom { rate } => Box::new(StreamingSimpleRandom::new(rate, seed)?),
-            SamplerSpec::Bss {
-                interval,
-                epsilon,
-                n_pre,
-                l,
-            } => Box::new(StreamingBss::new(
-                interval,
-                ThresholdPolicy::Online(OnlineTuning {
-                    epsilon,
-                    n_pre,
-                    ..OnlineTuning::default()
-                }),
-                l,
-                seed,
-            )?),
-        })
-    }
-}
+pub use crate::ingest::SamplerSpec;
 
 /// Engine configuration.
 #[derive(Clone, Debug, PartialEq)]
@@ -108,6 +44,8 @@ pub struct MonitorConfig {
     pub base_seed: u64,
     /// Per-stream summary configuration.
     pub summary: SummaryConfig,
+    /// Eviction / compaction policy (default: disabled).
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for MonitorConfig {
@@ -117,6 +55,7 @@ impl Default for MonitorConfig {
             n_shards: 1,
             base_seed: 0,
             summary: SummaryConfig::default(),
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }
@@ -156,44 +95,44 @@ impl MonitorConfig {
         self.summary.tail_thresholds = t;
         self
     }
-}
 
-/// One stream's live state: its sampler plus the summary of what the
-/// sampler kept.
-struct StreamState {
-    sampler: Box<dyn StreamSampler + Send>,
-    summary: StreamSummary,
-}
+    /// Replaces the whole lifecycle policy.
+    pub fn lifecycle(mut self, l: LifecycleConfig) -> Self {
+        self.lifecycle = l;
+        self
+    }
 
-/// One shard: the streams routed to it.
-#[derive(Default)]
-struct Shard {
-    streams: HashMap<u64, StreamState>,
-}
+    /// Evicts streams idle for at least `ticks` points.
+    pub fn evict_idle_after(mut self, ticks: u64) -> Self {
+        self.lifecycle.idle_after = Some(ticks);
+        self
+    }
 
-impl Shard {
-    fn offer(&mut self, config: &MonitorConfig, key: u64, value: f64) -> StreamDecision {
-        let state = self.streams.entry(key).or_insert_with(|| {
-            let seed = derive_seed(config.base_seed, key);
-            StreamState {
-                sampler: config
-                    .sampler
-                    .build(seed)
-                    .expect("sampler spec validated at engine construction"),
-                summary: StreamSummary::new(&config.summary, seed),
-            }
-        });
-        let decision = state.sampler.offer(value);
-        if decision.is_kept() {
-            state.summary.push(value);
-        }
-        decision
+    /// Caps the live stream table (LRU eviction beyond `n`).
+    pub fn max_streams(mut self, n: usize) -> Self {
+        self.lifecycle.max_streams = Some(n);
+        self
+    }
+
+    /// Compacts every summary toward `bytes` at each sweep.
+    pub fn compact_budget(mut self, bytes: usize) -> Self {
+        self.lifecycle.compact_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the maintenance sweep period in ticks.
+    pub fn sweep_every(mut self, ticks: u64) -> Self {
+        self.lifecycle.sweep_every = ticks.max(1);
+        self
+    }
+
+    /// Controls whether evicted finals are retained locally (see
+    /// [`LifecycleConfig::retain_evicted`]).
+    pub fn retain_evicted(mut self, keep: bool) -> Self {
+        self.lifecycle.retain_evicted = keep;
+        self
     }
 }
-
-/// Points below this batch size are ingested inline — the partition +
-/// fan-out bookkeeping costs more than it saves.
-const PAR_BATCH_MIN: usize = 4096;
 
 /// The sharded online monitoring engine.
 ///
@@ -216,7 +155,8 @@ const PAR_BATCH_MIN: usize = 4096;
 /// ```
 pub struct MonitorEngine {
     config: MonitorConfig,
-    shards: Vec<Shard>,
+    shards: ShardSet,
+    lifecycle: LifecycleState,
 }
 
 impl MonitorEngine {
@@ -232,8 +172,12 @@ impl MonitorEngine {
             .sampler
             .build(0)
             .expect("invalid sampler specification");
-        let shards = (0..config.n_shards).map(|_| Shard::default()).collect();
-        MonitorEngine { config, shards }
+        let shards = ShardSet::new(config.n_shards);
+        MonitorEngine {
+            config,
+            shards,
+            lifecycle: LifecycleState::default(),
+        }
     }
 
     /// The engine configuration.
@@ -241,68 +185,117 @@ impl MonitorEngine {
         &self.config
     }
 
-    /// The shard a key routes to.
-    fn shard_index(&self, key: u64) -> usize {
-        (derive_seed(SHARD_TAG, key) % self.config.n_shards as u64) as usize
-    }
-
     /// Offers one point of stream `key`.
     pub fn offer(&mut self, key: u64, value: f64) -> StreamDecision {
-        let idx = self.shard_index(key);
-        self.shards[idx].offer(&self.config, key, value)
+        let tick = self.lifecycle.next_tick();
+        let decision = self.shards.offer(&self.config, key, value, tick);
+        if self.lifecycle.sweep_due(&self.config.lifecycle) {
+            self.lifecycle
+                .sweep(&self.config.lifecycle, &mut self.shards);
+        }
+        decision
     }
 
     /// Offers a batch of keyed points, fanning the shards across the
     /// persistent worker pool. Exactly equivalent to offering the
-    /// points one by one in order: the partition preserves each
-    /// stream's sub-order and shards share no state.
+    /// points one by one in order (lifecycle sweeps excepted: a batch
+    /// runs at most one sweep, at its end — see [`crate::lifecycle`]).
     pub fn offer_batch(&mut self, points: &[(u64, f64)]) {
-        if self.config.n_shards == 1 || points.len() < PAR_BATCH_MIN {
-            for &(k, v) in points {
-                self.offer(k, v);
-            }
-            return;
+        let first_tick = self.lifecycle.advance(points.len() as u64);
+        self.shards.offer_batch(&self.config, points, first_tick);
+        if self.lifecycle.sweep_due(&self.config.lifecycle) {
+            self.lifecycle
+                .sweep(&self.config.lifecycle, &mut self.shards);
         }
-        let n = self.config.n_shards;
-        let mut per_shard: Vec<Vec<(u64, f64)>> = (0..n).map(|_| Vec::new()).collect();
-        for &(k, v) in points {
-            per_shard[self.shard_index(k)].push((k, v));
-        }
-        let shards = std::mem::take(&mut self.shards);
-        let config = &self.config;
-        let work: Vec<(Shard, Vec<(u64, f64)>)> = shards.into_iter().zip(per_shard).collect();
-        self.shards = work
-            .into_par_iter()
-            .map(|(mut shard, pts)| {
-                for (k, v) in pts {
-                    shard.offer(config, k, v);
-                }
-                shard
-            })
-            .collect();
     }
 
-    /// Streams currently tracked.
+    /// Runs a maintenance sweep now, regardless of the sweep schedule
+    /// (eviction deadlines still apply — only streams actually idle or
+    /// over the LRU cap are evicted).
+    pub fn maintain(&mut self) {
+        self.lifecycle
+            .sweep(&self.config.lifecycle, &mut self.shards);
+    }
+
+    /// Streams currently tracked (live only; retired streams are not
+    /// counted).
     pub fn stream_count(&self) -> usize {
-        self.shards.iter().map(|s| s.streams.len()).sum()
+        self.shards.stream_count()
     }
 
-    /// A point-in-time snapshot: per-stream summaries in sorted key
-    /// order. Bit-for-bit independent of the shard count.
-    pub fn snapshot(&self) -> EngineSnapshot {
-        let mut streams: Vec<StreamEntry> = self
+    /// Lifecycle counters: ticks, evictions, retired keys, sweeps.
+    pub fn lifecycle_stats(&self) -> LifecycleStats {
+        self.lifecycle.stats()
+    }
+
+    /// Takes the final snapshots of streams evicted since the last
+    /// drain (transport collectors frame these as `Evicted`). Only
+    /// populated when `retain_evicted` is **off**; with it on (the
+    /// default) finals live in the retired store and are served by
+    /// [`MonitorEngine::full_snapshot`] instead.
+    pub fn drain_evicted(&mut self) -> Vec<StreamEntry> {
+        self.lifecycle.drain_evicted()
+    }
+
+    /// Approximate bytes held per tracked stream state — live summaries
+    /// (plus sampler overhead) and the retired store. The compaction
+    /// acceptance tests bound `estimated_state_bytes / keys_seen`.
+    pub fn estimated_state_bytes(&self) -> usize {
+        let live: usize = self
             .shards
             .iter()
-            .flat_map(|shard| {
-                shard.streams.iter().map(|(&key, state)| StreamEntry {
+            // Box + sampler struct (ChaCha RNG dominates) + table slot.
+            .map(|(_, st)| st.summary.estimated_bytes() + 384 + 48)
+            .sum();
+        live + self.lifecycle.retired_bytes()
+    }
+
+    /// Cumulative entries for the given keys, ascending by key —
+    /// live streams only; unknown keys are skipped. This is the delta
+    /// extraction a transport collector uses for its dirty set.
+    pub fn entries_for(&self, keys: impl IntoIterator<Item = u64>) -> Vec<StreamEntry> {
+        let mut out: Vec<StreamEntry> = keys
+            .into_iter()
+            .filter_map(|key| {
+                self.shards.get(key).map(|state| StreamEntry {
                     key,
                     sampler: state.sampler.snapshot(),
                     summary: state.summary.snapshot(),
                 })
             })
             .collect();
+        out.sort_by_key(|e| e.key);
+        out.dedup_by_key(|e| e.key);
+        out
+    }
+
+    /// A point-in-time snapshot of the **live** streams, in sorted key
+    /// order. Bit-for-bit independent of the shard count. Retired
+    /// (evicted) streams are excluded — see
+    /// [`MonitorEngine::full_snapshot`].
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut streams: Vec<StreamEntry> = self
+            .shards
+            .iter()
+            .map(|(key, state)| StreamEntry {
+                key,
+                sampler: state.sampler.snapshot(),
+                summary: state.summary.snapshot(),
+            })
+            .collect();
         streams.sort_by_key(|e| e.key);
         EngineSnapshot { streams }
+    }
+
+    /// The live snapshot plus every retained evicted final, merged
+    /// per key (retired state first, then the live reincarnation).
+    /// With `retain_evicted` on, totals — offered/kept counters, tail
+    /// totals, moment counts — are exactly what a never-evicting engine
+    /// would report.
+    pub fn full_snapshot(&self) -> EngineSnapshot {
+        let mut entries: Vec<StreamEntry> = self.lifecycle.retired().cloned().collect();
+        entries.extend(self.snapshot().streams);
+        EngineSnapshot::from_streams(entries)
     }
 }
 
@@ -326,7 +319,7 @@ pub struct EngineSnapshot {
 
 impl EngineSnapshot {
     /// Builds a snapshot from per-stream entries (sorted internally;
-    /// duplicate keys are merged).
+    /// duplicate keys are merged in input order — the sort is stable).
     pub fn from_streams(mut streams: Vec<StreamEntry>) -> Self {
         streams.sort_by_key(|e| e.key);
         let mut out: Vec<StreamEntry> = Vec::with_capacity(streams.len());
@@ -347,9 +340,25 @@ impl EngineSnapshot {
         &self.streams
     }
 
+    /// Consumes the snapshot into its entries (ascending by key) —
+    /// lets frame consumers move reservoirs/ladders instead of cloning
+    /// them.
+    pub fn into_streams(self) -> Vec<StreamEntry> {
+        self.streams
+    }
+
     /// Number of streams.
     pub fn stream_count(&self) -> usize {
         self.streams.len()
+    }
+
+    /// Compacts every entry's summary toward `budget_bytes` — what an
+    /// aggregator does to bound its own memory when holding snapshots
+    /// of very many streams. Totals are untouched.
+    pub fn compact(&mut self, budget_bytes: usize) {
+        for e in &mut self.streams {
+            e.summary.compact(budget_bytes);
+        }
     }
 
     /// Link-level summary: every stream's summary folded in key order —
@@ -405,6 +414,8 @@ impl EngineSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sst_core::stream::{StreamSampler, StreamingSystematic};
+    use sst_stats::rng::derive_seed;
 
     fn points(n: usize, n_keys: u64) -> Vec<(u64, f64)> {
         // Deterministic bursty multiplexed workload.
@@ -553,5 +564,20 @@ mod tests {
         MonitorEngine::new(
             MonitorConfig::default().sampler(SamplerSpec::Systematic { interval: 0 }),
         );
+    }
+
+    #[test]
+    fn lifecycle_disabled_is_the_identity() {
+        // Default lifecycle must not perturb anything: same bits as an
+        // engine that never heard of sweeps, even when forced.
+        let pts = points(20_000, 32);
+        let mut plain = MonitorEngine::new(MonitorConfig::default().shards(2));
+        plain.offer_batch(&pts);
+        let mut swept = MonitorEngine::new(MonitorConfig::default().shards(2));
+        swept.offer_batch(&pts);
+        swept.maintain();
+        assert_eq!(plain.snapshot(), swept.snapshot());
+        assert_eq!(swept.snapshot(), swept.full_snapshot());
+        assert_eq!(swept.lifecycle_stats().evicted, 0);
     }
 }

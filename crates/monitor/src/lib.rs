@@ -1,18 +1,37 @@
-//! # sst-monitor — sharded online monitoring with mergeable summaries
+//! # sst-monitor — layered online monitoring with mergeable summaries
 //!
 //! Everything downstream of `sst-core::stream` used to be offline
 //! batch; this crate is the deployable counterpart: a push-based engine
 //! that multiplexes thousands of concurrent keyed streams (OD flows,
-//! link ids) over the existing [`sst_core::stream::StreamSampler`]
-//! implementations and keeps, per stream and with bounded memory:
+//! link ids, 5-tuples) over the existing
+//! [`sst_core::stream::StreamSampler`] implementations and keeps, per
+//! stream and with bounded memory, Welford moments, a mergeable
+//! reservoir, online dyadic variance-time Hurst state, and
+//! tail-exceedance counters.
 //!
-//! * **Welford moments** of the kept samples ([`sst_stats::RunningStats`]),
-//! * a **mergeable reservoir** of kept samples ([`summary::Reservoir`]),
-//! * **online aggregated-variance Hurst state** with dyadic block
-//!   accumulators ([`sst_hurst::online::OnlineVarianceTime`], validated
-//!   within 0.02 of the offline estimator on fGn fixtures),
-//! * **tail-exceedance counters** over a threshold ladder
-//!   ([`summary::TailCounter`]).
+//! ## Collector topology — the four layers
+//!
+//! ```text
+//!            keyed points (k, v)
+//!                  │
+//!  ┌───────────────▼───────────────┐
+//!  │ ingest    shard routing,      │  SamplerSpec, ShardSet
+//!  │           per-stream samplers │
+//!  ├───────────────────────────────┤
+//!  │ lifecycle eviction (idle/LRU) │  LifecycleConfig, Compactable
+//!  │           + compaction        │  final snapshots on evict
+//!  ├───────────────────────────────┤
+//!  │ transport versioned frames    │  Hello/Delta/FullSnapshot/
+//!  │           (length-prefixed)   │  Evicted/Bye, v1 compat
+//!  ├───────────────────────────────┤
+//!  │ topology  Collector ⇒         │  N processes ⇒ one merged
+//!  │           Aggregator          │  state, interleaving-proof
+//!  └───────────────────────────────┘
+//! ```
+//!
+//! [`MonitorEngine`] (in [`engine`]) is the facade over the bottom two
+//! layers and keeps the original single-process API; [`wire`] and
+//! [`topology`] extend it across process boundaries.
 //!
 //! ## The merge-equivalence guarantee
 //!
@@ -21,13 +40,18 @@
 //! point order, so:
 //!
 //! * an [`MonitorEngine`] snapshot is **bit-for-bit identical** for any
-//!   shard count (N ∈ {1, 2, 8} pinned by the integration tests), and
+//!   shard count (N ∈ {1, 2, 8} pinned by the integration tests),
 //! * [`EngineSnapshot::merge`] combines engines watching disjoint key
 //!   sets associatively — shard → link → network roll-ups all yield the
-//!   bits a single unsharded engine would have produced.
+//!   bits a single unsharded engine would have produced, and
+//! * the same holds **across the wire**: collectors streaming frames to
+//!   an [`topology::Aggregator`] assemble to the single-engine bits
+//!   (pinned over in-memory pipes and Unix sockets).
 //!
-//! Batch ingestion ([`MonitorEngine::offer_batch`]) fans shards across
-//! the persistent worker pool behind the workspace's rayon stand-in.
+//! Eviction emits a final snapshot per retired stream, so bounded
+//! memory never costs totals; compaction ([`sst_core::summary::Compactable`])
+//! prunes reservoirs and coarse Hurst levels toward a per-stream byte
+//! budget.
 //!
 //! ## Example
 //!
@@ -38,7 +62,9 @@
 //!     MonitorConfig::default()
 //!         .sampler(SamplerSpec::Bss { interval: 20, epsilon: 1.0, n_pre: 16, l: 4 })
 //!         .shards(8)
-//!         .seed(7),
+//!         .seed(7)
+//!         .max_streams(64)        // LRU-evict beyond 64 live streams
+//!         .compact_budget(1024),  // keep each summary under ~1 KB
 //! );
 //! // 100 concurrent streams, multiplexed arrivals.
 //! for i in 0..200_000u64 {
@@ -46,13 +72,17 @@
 //!     let value = if i % 970 < 30 { 900.0 } else { 10.0 };
 //!     engine.offer(key, value);
 //! }
-//! let snap = engine.snapshot();
-//! assert_eq!(snap.stream_count(), 100);
-//! let link = snap.aggregate();
-//! assert!(link.moments.mean() > 0.0);
+//! // Live streams are LRU-bounded; evicted finals keep totals exact.
+//! engine.maintain();
+//! assert!(engine.stream_count() <= 64);
+//! let full = engine.full_snapshot();
+//! assert_eq!(full.sampler_totals().offered, 200_000);
 //! // Snapshots serialize losslessly for collectors.
-//! let bytes = sst_monitor::encode_snapshot(&snap);
-//! assert_eq!(sst_monitor::decode_snapshot(&bytes).unwrap(), snap);
+//! let bytes = sst_monitor::encode_snapshot(&engine.snapshot());
+//! assert_eq!(
+//!     sst_monitor::decode_snapshot(&bytes).unwrap(),
+//!     engine.snapshot()
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
@@ -60,8 +90,15 @@
 
 pub mod codec;
 pub mod engine;
+pub mod ingest;
+pub mod lifecycle;
 pub mod summary;
+pub mod topology;
+pub mod wire;
 
 pub use codec::{decode_snapshot, encode_snapshot, SnapshotCodecError};
 pub use engine::{EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec, StreamEntry};
+pub use lifecycle::{LifecycleConfig, LifecycleStats};
 pub use summary::{StreamSummary, SummaryConfig, SummarySnapshot};
+pub use topology::{Aggregator, Collector};
+pub use wire::{decode_frames, encode_frame, Frame, FrameDecoder, WireError, WIRE_VERSION};

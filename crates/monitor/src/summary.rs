@@ -15,13 +15,16 @@
 //! the engine's merge-equivalence tests pin exactly that.
 
 use rand::Rng;
-use sst_core::summary::MergeableSummary;
+use sst_core::summary::{Compactable, MergeableSummary};
 use sst_hurst::online::OnlineVarianceTime;
 use sst_stats::rng::{derive_seed, rng_from_seed};
 use sst_stats::RunningStats;
 
 /// Domain-separation tag for reservoir-merge RNG derivation.
 const MERGE_TAG: u64 = 0x4D45_5247;
+
+/// Domain-separation tag for reservoir-compaction RNG derivation.
+const COMPACT_TAG: u64 = 0x434F_4D50;
 
 /// Shared configuration for the per-stream summaries.
 #[derive(Clone, Debug, PartialEq)]
@@ -93,6 +96,62 @@ impl Reservoir {
             items: self.items.clone(),
         }
     }
+
+    /// Shrinks the reservoir to at most `max_items` retained samples
+    /// (deterministic uniform subsample) and clamps the capacity so it
+    /// stays there — the lifecycle layer's compaction primitive.
+    /// `seen` is untouched; the retained set remains an approximately
+    /// uniform sample of the stream (each survivor of a uniform sample
+    /// of a uniform sample is itself uniform).
+    pub fn compact(&mut self, max_items: usize) {
+        compact_items(
+            &mut self.items,
+            &mut self.cap,
+            self.seed,
+            self.seen,
+            max_items,
+        );
+    }
+
+    /// Approximate in-memory footprint (inline state + ChaCha RNG +
+    /// retained items).
+    pub fn estimated_bytes(&self) -> usize {
+        // cap/seed/seen + Vec header + 304 B StdRng + items.
+        24 + 24 + 304 + 8 * self.items.capacity()
+    }
+}
+
+/// The one compaction primitive behind both reservoir forms (live and
+/// snapshot — they must stay in lockstep so a live stream and its
+/// image compact identically): deterministic uniform subsample of
+/// `items` down to `max_items` survivors in original relative order,
+/// with `cap` clamped so the reservoir stays at that size. The draw
+/// RNG derives from the reservoir's identity (`seed`, `seen`, length),
+/// making compaction a pure function of state. `seen` is untouched;
+/// the retained set remains an approximately uniform sample of the
+/// stream (each survivor of a uniform sample of a uniform sample is
+/// itself uniform).
+fn compact_items(items: &mut Vec<f64>, cap: &mut usize, seed: u64, seen: u64, max_items: usize) {
+    let max_items = max_items.max(1);
+    if items.len() > max_items {
+        let mut rng = rng_from_seed(derive_seed(
+            derive_seed(COMPACT_TAG, seed),
+            seen ^ (items.len() as u64).rotate_left(32),
+        ));
+        let mut keyed: Vec<(f64, usize)> =
+            (0..items.len()).map(|i| (rng.gen::<f64>(), i)).collect();
+        // Largest-key survivors; total_cmp keeps hostile NaN-free
+        // totality, stable sort breaks (measure-zero) ties by index.
+        keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+        keyed.truncate(max_items);
+        let mut pick: Vec<usize> = keyed.into_iter().map(|(_, i)| i).collect();
+        pick.sort_unstable();
+        *items = pick.into_iter().map(|i| items[i]).collect();
+        // collect() may have reused a larger source allocation
+        // (in-place specialization); compaction is about memory.
+        items.shrink_to_fit();
+    }
+    *cap = (*cap).min(max_items);
 }
 
 /// Plain-data image of a [`Reservoir`]: comparable, codable, mergeable.
@@ -109,6 +168,25 @@ pub struct ReservoirSnapshot {
 }
 
 impl ReservoirSnapshot {
+    /// [`Reservoir::compact`] on the plain-data image: deterministic
+    /// uniform subsample down to `max_items`, capacity clamped — the
+    /// shared [`compact_items`] primitive, so live and snapshot forms
+    /// of the same reservoir compact to identical items.
+    pub fn compact(&mut self, max_items: usize) {
+        compact_items(
+            &mut self.items,
+            &mut self.cap,
+            self.seed,
+            self.seen,
+            max_items,
+        );
+    }
+
+    /// Approximate in-memory footprint.
+    pub fn estimated_bytes(&self) -> usize {
+        24 + 24 + 8 * self.items.capacity()
+    }
+
     /// Merges `other` (a reservoir over a disjoint stream) into `self`:
     /// a weighted sample of the union, each retained item standing for
     /// `seen/len` originals (Efraimidis-Spirakis keys, largest-key
@@ -226,6 +304,13 @@ impl TailCounter {
         (&self.thresholds, &self.counts, self.total)
     }
 
+    /// Approximate in-memory footprint. The ladder is fixed at
+    /// configuration time, so this never shrinks under compaction —
+    /// exceedance *totals* are sacred.
+    pub fn estimated_bytes(&self) -> usize {
+        48 + 8 + 16 * self.thresholds.len()
+    }
+
     /// Rebuilds counters from [`TailCounter::raw_parts`] output.
     ///
     /// # Panics
@@ -325,6 +410,41 @@ impl StreamSummary {
             tail: self.tail.clone(),
         }
     }
+
+    /// Approximate in-memory footprint of the live summary.
+    pub fn estimated_bytes(&self) -> usize {
+        40 + self.hurst.estimated_bytes()
+            + self.reservoir.estimated_bytes()
+            + self.tail.estimated_bytes()
+    }
+
+    /// Prunes the live summary's auxiliary state (reservoir items,
+    /// coarse Hurst levels) toward `budget_bytes` — the *same split*
+    /// as the snapshot-side [`Compactable`] impl, so a live stream and
+    /// its snapshot compacted at the same budget retain identical
+    /// levels and items (the live side then sits one RNG — ~304 B —
+    /// above the budget; the amortized bound is retired-dominated and
+    /// absorbs that). Totals are untouched.
+    pub fn compact(&mut self, budget_bytes: usize) {
+        let fixed = 40 + 56 + 48 + self.tail.estimated_bytes();
+        let (levels, items) = compaction_plan(budget_bytes, fixed);
+        self.hurst.prune_levels(levels);
+        self.reservoir.compact(items);
+    }
+}
+
+/// Splits a summary byte budget between the two prunable parts: the
+/// dyadic Hurst cascade gets up to 3/5 of the slack above the
+/// fixed-size core (56 B per level), the reservoir the rest (8 B per
+/// item). Floors of 4 levels (the fewest that keep
+/// `OnlineVarianceTime::estimate` possible: `m ∈ {2, 4, 8}`) and
+/// 4 items keep a tiny budget from destroying the summary outright, so
+/// the result is best-effort when `budget` is below the core size.
+fn compaction_plan(budget: usize, fixed: usize) -> (usize, usize) {
+    let slack = budget.saturating_sub(fixed);
+    let levels = ((slack * 3 / 5) / 56).clamp(4, 48);
+    let items = (slack.saturating_sub(levels * 56) / 8).max(4);
+    (levels, items)
 }
 
 /// Plain-data image of a [`StreamSummary`]: comparable, codable, and
@@ -364,6 +484,24 @@ impl MergeableSummary for SummarySnapshot {
 
     fn is_empty(&self) -> bool {
         self.moments.count() == 0 && self.tail.total() == 0
+    }
+}
+
+impl Compactable for SummarySnapshot {
+    fn estimated_bytes(&self) -> usize {
+        40 + self.hurst.estimated_bytes()
+            + self.reservoir.estimated_bytes()
+            + self.tail.estimated_bytes()
+    }
+
+    /// Prunes reservoir items and coarse dyadic Hurst levels toward the
+    /// budget. Counts, sums, and tail totals are untouched, so merging
+    /// compacted snapshots still yields exact aggregate totals.
+    fn compact(&mut self, budget_bytes: usize) {
+        let fixed = 40 + 56 + 48 + self.tail.estimated_bytes();
+        let (levels, items) = compaction_plan(budget_bytes, fixed);
+        self.hurst.prune_levels(levels);
+        self.reservoir.compact(items);
     }
 }
 

@@ -1,0 +1,461 @@
+//! Topology layer: N collector processes streaming frames to one
+//! aggregator whose merged state is bit-for-bit what a single unsharded
+//! engine would hold.
+//!
+//! A [`Collector`] wraps a [`MonitorEngine`] and speaks the
+//! [`crate::wire`] protocol over any `io::Write` (an in-memory buffer,
+//! a Unix socket, a file). It tracks the keys touched since the last
+//! flush and ships them as cumulative `Delta` frames, plus `Evicted`
+//! frames for streams its lifecycle layer retired.
+//!
+//! An [`Aggregator`] consumes frames from many collectors. Its state is
+//! *per collector*: a live view (replaced by `Delta`/`FullSnapshot`
+//! entries — they are cumulative) and a retired store (folded from
+//! `Evicted` finals). Because each collector's frames are ordered
+//! within its own session and state is never shared across collectors,
+//! the aggregate is **independent of how sessions interleave** — feed
+//! the connections concurrently or one after another, the final
+//! snapshot is the same bits.
+//!
+//! ## The wire-boundary merge-equivalence guarantee
+//!
+//! For collectors watching disjoint key sets (the deployment shape: a
+//! collector per link/tap), [`Aggregator::snapshot`] equals the
+//! snapshot of one engine that ingested every collector's points —
+//! extending the in-process N ∈ {1, 2, 8} shard pins across the wire.
+//! The `topology_wire` integration tests pin this bit-for-bit over both
+//! in-memory pipes and Unix sockets.
+
+use crate::engine::{EngineSnapshot, MonitorConfig, MonitorEngine, StreamEntry};
+use crate::wire::{read_frames, write_frame, Frame, WireError, WIRE_VERSION};
+use sst_core::stream::StreamDecision;
+use sst_core::summary::{Compactable, MergeableSummary};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+
+/// A monitoring engine that streams its state over the wire protocol.
+pub struct Collector {
+    id: u64,
+    engine: MonitorEngine,
+    /// Keys touched since the last flush.
+    dirty: BTreeSet<u64>,
+    /// Evicted finals drained from the engine but not yet successfully
+    /// written — survives a failed flush so totals are never lost.
+    pending_evicted: Vec<StreamEntry>,
+    hello_sent: bool,
+}
+
+/// Target payload per `Delta`/`Evicted` frame, in (estimated) bytes —
+/// 16× below [`crate::wire::MAX_FRAME_BYTES`], so even generous
+/// estimate error can't reach the wire cap whatever
+/// `reservoir_capacity` or ladder the config chose. Splitting is free
+/// because entries are cumulative (`Delta`) or per-key finals
+/// (`Evicted`).
+const TARGET_FRAME_BYTES: usize = 16 << 20;
+
+/// Splits `entries` at [`TARGET_FRAME_BYTES`] boundaries (estimated
+/// entry footprint; always at least one entry per chunk).
+fn frame_chunks(entries: &[StreamEntry]) -> impl Iterator<Item = &[StreamEntry]> {
+    let mut rest = entries;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        let mut bytes = 0usize;
+        let mut n = 0usize;
+        for e in rest {
+            bytes += 64 + e.summary.estimated_bytes();
+            if n > 0 && bytes > TARGET_FRAME_BYTES {
+                break;
+            }
+            n += 1;
+        }
+        let (chunk, tail) = rest.split_at(n);
+        rest = tail;
+        Some(chunk)
+    })
+}
+
+impl Collector {
+    /// Wraps an engine configuration as a collector with the given id.
+    ///
+    /// The engine's `retain_evicted` is forced **off**: evicted finals
+    /// leave through `Evicted` frames and the aggregator owns them —
+    /// holding a second copy here would defeat the memory bound.
+    ///
+    /// # Panics
+    ///
+    /// As [`MonitorEngine::new`] (invalid sampler spec or shard count).
+    pub fn new(id: u64, config: MonitorConfig) -> Self {
+        Collector {
+            id,
+            engine: MonitorEngine::new(config.retain_evicted(false)),
+            dirty: BTreeSet::new(),
+            pending_evicted: Vec::new(),
+            hello_sent: false,
+        }
+    }
+
+    /// The collector id (sent in `Hello`).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The wrapped engine (snapshots, lifecycle stats).
+    pub fn engine(&self) -> &MonitorEngine {
+        &self.engine
+    }
+
+    /// Offers one point of stream `key`.
+    pub fn offer(&mut self, key: u64, value: f64) -> StreamDecision {
+        self.dirty.insert(key);
+        self.engine.offer(key, value)
+    }
+
+    /// Offers a batch of keyed points.
+    pub fn offer_batch(&mut self, points: &[(u64, f64)]) {
+        self.dirty.extend(points.iter().map(|&(k, _)| k));
+        self.engine.offer_batch(points);
+    }
+
+    /// Ships everything pending to `w`: a `Hello` on first contact,
+    /// `Evicted` frames for streams retired since the last flush, and
+    /// `Delta` frames with the cumulative entries of every dirty key
+    /// still live (chunked at [`TARGET_FRAME_BYTES`] of estimated
+    /// entry footprint so no frame approaches the wire's length cap,
+    /// whatever the configured reservoir size). The dirty set is
+    /// cleared only once everything was written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error. Nothing is lost on failure:
+    /// undelivered evicted finals are held and re-sent on the next
+    /// flush, and the dirty set keeps its keys so their cumulative
+    /// entries are rebuilt from the engine then. (A *torn* frame write
+    /// corrupts the byte stream itself — callers should drop the
+    /// connection and open a fresh session; an at-least-once redelivery
+    /// of `Evicted` finals across sessions needs the ack story the
+    /// ROADMAP tracks.)
+    pub fn flush(&mut self, w: &mut impl Write) -> std::io::Result<()> {
+        if !self.hello_sent {
+            write_frame(
+                w,
+                &Frame::Hello {
+                    protocol: WIRE_VERSION,
+                    collector_id: self.id,
+                },
+            )?;
+            self.hello_sent = true;
+        }
+        // Evicted keys may sit in the dirty set; their live state is
+        // gone (or fresh, in which case the deltas below re-add it).
+        self.pending_evicted.extend(self.engine.drain_evicted());
+        while !self.pending_evicted.is_empty() {
+            let n = frame_chunks(&self.pending_evicted)
+                .next()
+                .expect("non-empty")
+                .len();
+            write_frame(w, &Frame::Evicted(self.pending_evicted[..n].to_vec()))?;
+            // Drop a chunk only after its frame was fully written.
+            self.pending_evicted.drain(..n);
+        }
+        let entries = self.engine.entries_for(self.dirty.iter().copied());
+        for chunk in frame_chunks(&entries) {
+            write_frame(
+                w,
+                &Frame::Delta(EngineSnapshot::from_streams(chunk.to_vec())),
+            )?;
+        }
+        self.dirty.clear();
+        Ok(())
+    }
+
+    /// Flushes, then closes the session with `Bye`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn finish(&mut self, w: &mut impl Write) -> std::io::Result<()> {
+        self.flush(w)?;
+        write_frame(w, &Frame::Bye)
+    }
+}
+
+/// Per-collector state inside the aggregator.
+#[derive(Default)]
+struct CollectorState {
+    /// Latest cumulative entry per live key (Delta/FullSnapshot
+    /// replace).
+    live: BTreeMap<u64, StreamEntry>,
+    /// Folded evicted finals per key.
+    retired: BTreeMap<u64, StreamEntry>,
+    done: bool,
+}
+
+/// Assembles frames from many collectors into one mergeable state.
+#[derive(Default)]
+pub struct Aggregator {
+    collectors: BTreeMap<u64, CollectorState>,
+    /// Optional byte budget applied to incoming summaries.
+    compact_budget: Option<usize>,
+}
+
+impl Aggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Aggregator::default()
+    }
+
+    /// Compacts every incoming summary toward `bytes` (bounds
+    /// aggregator memory under huge fan-in; totals stay exact).
+    pub fn compact_budget(mut self, bytes: usize) -> Self {
+        self.compact_budget = Some(bytes);
+        self
+    }
+
+    /// Applies one frame from the session of `collector_id` (the id
+    /// from that session's `Hello`; transports that already know the
+    /// session id may feed data frames directly).
+    pub fn feed(&mut self, collector_id: u64, frame: Frame) -> Result<(), WireError> {
+        // Validate before touching state: a rejected Hello must not
+        // leave a phantom session behind (it would inflate
+        // collector_count and wedge all_done forever).
+        if let Frame::Hello { protocol, .. } = frame {
+            if protocol != WIRE_VERSION {
+                return Err(WireError::UnsupportedVersion(protocol));
+            }
+        }
+        let state = self.collectors.entry(collector_id).or_default();
+        match frame {
+            Frame::Hello { .. } => {
+                // A fresh Hello restarts the session's live view (a
+                // reconnecting collector re-sends cumulative state);
+                // retired finals were real evictions and stay.
+                state.live.clear();
+                state.done = false;
+            }
+            Frame::Delta(snap) => {
+                for mut e in snap.into_streams() {
+                    if let Some(b) = self.compact_budget {
+                        e.summary.compact(b);
+                    }
+                    state.live.insert(e.key, e);
+                }
+            }
+            Frame::FullSnapshot(snap) => {
+                state.live.clear();
+                for mut e in snap.into_streams() {
+                    if let Some(b) = self.compact_budget {
+                        e.summary.compact(b);
+                    }
+                    state.live.insert(e.key, e);
+                }
+            }
+            Frame::Evicted(entries) => {
+                for mut e in entries {
+                    if let Some(b) = self.compact_budget {
+                        e.summary.compact(b);
+                    }
+                    state.live.remove(&e.key);
+                    use std::collections::btree_map::Entry;
+                    match state.retired.entry(e.key) {
+                        Entry::Vacant(v) => {
+                            v.insert(e);
+                        }
+                        Entry::Occupied(mut o) => {
+                            let held = o.get_mut();
+                            held.sampler.merge_from(&e.sampler);
+                            held.summary.merge_from(&e.summary);
+                            if let Some(b) = self.compact_budget {
+                                held.summary.compact(b);
+                            }
+                        }
+                    }
+                }
+            }
+            Frame::Bye => state.done = true,
+        }
+        Ok(())
+    }
+
+    /// Runs a whole byte stream (one collector session) into the
+    /// aggregator: reads the `Hello`, then feeds every following frame
+    /// to that session. Legacy v1 snapshots (no `Hello`) are attributed
+    /// to `fallback_id`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the reader; protocol errors as `InvalidData`.
+    pub fn ingest_stream(
+        &mut self,
+        r: &mut impl std::io::Read,
+        fallback_id: u64,
+    ) -> std::io::Result<usize> {
+        let mut session = fallback_id;
+        let mut first = true;
+        let mut result = Ok(());
+        let n = read_frames(r, |frame| {
+            if result.is_err() {
+                return;
+            }
+            if first {
+                if let Frame::Hello { collector_id, .. } = frame {
+                    session = collector_id;
+                }
+                first = false;
+            }
+            result = self.feed(session, frame);
+        })?;
+        result.map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(n)
+    }
+
+    /// Collector sessions seen so far.
+    pub fn collector_count(&self) -> usize {
+        self.collectors.len()
+    }
+
+    /// `true` once every known session has sent `Bye`.
+    pub fn all_done(&self) -> bool {
+        !self.collectors.is_empty() && self.collectors.values().all(|c| c.done)
+    }
+
+    /// The assembled snapshot: for every collector (ascending id),
+    /// retired finals then live entries, canonically merged. For
+    /// disjoint collectors this is bit-for-bit the single-engine
+    /// snapshot ([`MonitorEngine::full_snapshot`] semantics).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut entries: Vec<StreamEntry> = Vec::new();
+        for state in self.collectors.values() {
+            entries.extend(state.retired.values().cloned());
+            entries.extend(state.live.values().cloned());
+        }
+        EngineSnapshot::from_streams(entries)
+    }
+
+    /// Approximate bytes held across all per-collector state.
+    pub fn estimated_state_bytes(&self) -> usize {
+        self.collectors
+            .values()
+            .flat_map(|c| c.live.values().chain(c.retired.values()))
+            .map(|e| 64 + e.summary.estimated_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SamplerSpec;
+
+    fn keyed_points(n: usize, n_keys: u64) -> Vec<(u64, f64)> {
+        (0..n)
+            .map(|i| {
+                let key = (i as u64).wrapping_mul(0x9E37_79B9) % n_keys;
+                (key, 1.0 + (i % 97) as f64)
+            })
+            .collect()
+    }
+
+    fn config() -> MonitorConfig {
+        MonitorConfig::default()
+            .sampler(SamplerSpec::Systematic { interval: 4 })
+            .seed(11)
+    }
+
+    #[test]
+    fn two_collectors_assemble_to_the_unsharded_bits_over_a_pipe() {
+        let points = keyed_points(40_000, 64);
+        // Reference: one engine sees everything.
+        let mut reference = MonitorEngine::new(config().shards(2));
+        for &(k, v) in &points {
+            reference.offer(k, v);
+        }
+        // Two collectors partition the keys; several flushes each.
+        let mut pipes = [Vec::new(), Vec::new()];
+        let mut collectors = [Collector::new(0, config()), Collector::new(1, config())];
+        for (i, chunk) in points.chunks(7000).enumerate() {
+            for &(k, v) in chunk {
+                collectors[(k % 2) as usize].offer(k, v);
+            }
+            // Interleave flushes to exercise repeated deltas.
+            let c = i % 2;
+            collectors[c].flush(&mut pipes[c]).unwrap();
+        }
+        for c in 0..2 {
+            collectors[c].finish(&mut pipes[c]).unwrap();
+        }
+        let mut agg = Aggregator::new();
+        for pipe in &pipes {
+            agg.ingest_stream(&mut pipe.as_slice(), 999).unwrap();
+        }
+        assert!(agg.all_done());
+        assert_eq!(agg.collector_count(), 2);
+        assert_eq!(agg.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn interleaving_does_not_change_the_aggregate() {
+        let points = keyed_points(20_000, 32);
+        let mut pipes = [Vec::new(), Vec::new()];
+        let mut collectors = [Collector::new(0, config()), Collector::new(1, config())];
+        for chunk in points.chunks(3000) {
+            for &(k, v) in chunk {
+                collectors[(k % 2) as usize].offer(k, v);
+            }
+            for c in 0..2 {
+                collectors[c].flush(&mut pipes[c]).unwrap();
+            }
+        }
+        for c in 0..2 {
+            collectors[c].finish(&mut pipes[c]).unwrap();
+        }
+        // Sequential sessions vs frame-interleaved sessions.
+        let mut seq = Aggregator::new();
+        seq.ingest_stream(&mut pipes[0].as_slice(), 0).unwrap();
+        seq.ingest_stream(&mut pipes[1].as_slice(), 1).unwrap();
+        let mut interleaved = Aggregator::new();
+        let decoded: Vec<Vec<Frame>> = pipes
+            .iter()
+            .map(|p| crate::wire::decode_frames(p).unwrap())
+            .collect();
+        let max = decoded[0].len().max(decoded[1].len());
+        for i in 0..max {
+            for (c, frames) in decoded.iter().enumerate() {
+                if let Some(f) = frames.get(i) {
+                    interleaved.feed(c as u64, f.clone()).unwrap();
+                }
+            }
+        }
+        assert_eq!(seq.snapshot(), interleaved.snapshot());
+    }
+
+    #[test]
+    fn hello_version_mismatch_rejected() {
+        let mut agg = Aggregator::new();
+        let err = agg.feed(
+            0,
+            Frame::Hello {
+                protocol: 77,
+                collector_id: 0,
+            },
+        );
+        assert_eq!(err, Err(WireError::UnsupportedVersion(77)));
+    }
+
+    #[test]
+    fn redelivered_delta_is_idempotent() {
+        // Deltas are cumulative: feeding the same one twice must not
+        // double-count (replacement, not merge).
+        let mut collector = Collector::new(3, config());
+        collector.offer_batch(&keyed_points(5000, 8));
+        let mut pipe = Vec::new();
+        collector.finish(&mut pipe).unwrap();
+        let mut once = Aggregator::new();
+        once.ingest_stream(&mut pipe.as_slice(), 3).unwrap();
+        let mut twice = Aggregator::new();
+        twice.ingest_stream(&mut pipe.as_slice(), 3).unwrap();
+        twice.ingest_stream(&mut pipe.as_slice(), 3).unwrap();
+        assert_eq!(once.snapshot(), twice.snapshot());
+    }
+}

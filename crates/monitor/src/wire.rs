@@ -1,0 +1,569 @@
+//! Transport layer: a versioned, length-prefixed frame protocol for
+//! collector → aggregator streams, generalizing the v1 snapshot codec.
+//!
+//! ## Frame format (protocol v2)
+//!
+//! ```text
+//! frame   := magic "SSWF" | version u8 | kind u8 | len u32le | payload[len]
+//! ```
+//!
+//! | kind | frame          | payload                                     |
+//! |-----:|----------------|---------------------------------------------|
+//! | 0    | `Hello`        | protocol u8, collector id u64le              |
+//! | 1    | `FullSnapshot` | v1 snapshot bytes (`SSMON1…`) — all live     |
+//! | 2    | `Delta`        | v1 snapshot bytes — changed streams, cumulative |
+//! | 3    | `Evicted`      | v1 snapshot bytes — final entries of retired streams |
+//! | 4    | `Bye`          | empty                                        |
+//!
+//! Snapshot-bearing payloads reuse [`crate::codec`] verbatim, so a
+//! frame round-trip is exactly as lossless as the snapshot codec
+//! (bit-exact). `Delta` and `FullSnapshot` entries are **cumulative**
+//! per stream — the receiver *replaces* its copy of those keys rather
+//! than merging, which is what keeps a re-sent delta idempotent.
+//!
+//! ## Backward compatibility (v1)
+//!
+//! A byte stream that begins with the v1 snapshot magic (`SSMON1`) is
+//! decoded as a single implicit [`Frame::FullSnapshot`] — existing
+//! `.ssm` files written by `monitor_tool` keep working against every
+//! frame consumer ([`FrameDecoder`] buffers until the legacy snapshot
+//! decodes whole).
+//!
+//! ## Robustness
+//!
+//! Decoding never panics on untrusted input: truncated buffers report
+//! incompleteness (`Ok(None)` from the incremental decoder, an error
+//! from the whole-buffer entry points), declared lengths are capped at
+//! [`MAX_FRAME_BYTES`] before any allocation, and payloads are
+//! validated by the v1 codec's structural checks. The `wire_fuzz`
+//! proptest drives random byte mutations through both decoders.
+
+use crate::codec::{decode_snapshot, encode_snapshot, SnapshotCodecError};
+use crate::engine::{EngineSnapshot, StreamEntry};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Magic bytes opening every v2 frame.
+pub const FRAME_MAGIC: &[u8; 4] = b"SSWF";
+
+/// Current wire protocol version (v1 is the bare snapshot codec).
+pub const WIRE_VERSION: u8 = 2;
+
+/// Hard cap on a declared frame payload length — rejects
+/// length-overflow attacks before any allocation happens. 256 MiB is
+/// ~1M streams at worst-case entry size, far beyond a sane frame.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// The v1 snapshot magic (re-checked here for legacy detection).
+const V1_MAGIC: &[u8; 6] = b"SSMON1";
+
+const KIND_HELLO: u8 = 0;
+const KIND_FULL: u8 = 1;
+const KIND_DELTA: u8 = 2;
+const KIND_EVICTED: u8 = 3;
+const KIND_BYE: u8 = 4;
+
+/// Wire decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer starts with neither the frame magic nor the v1
+    /// snapshot magic.
+    BadMagic,
+    /// The frame declares a protocol version this decoder cannot read.
+    UnsupportedVersion(u8),
+    /// Unknown frame kind byte.
+    UnknownKind(u8),
+    /// Declared payload length exceeds [`MAX_FRAME_BYTES`].
+    Oversize(u64),
+    /// The buffer ended before the declared frame (whole-buffer entry
+    /// points only; the incremental decoder reports `Ok(None)`).
+    Truncated,
+    /// A snapshot payload failed the v1 codec's validation.
+    Snapshot(SnapshotCodecError),
+    /// A fixed-layout payload held an invalid value.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => f.write_str("not a wire frame (bad magic)"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire protocol v{v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversize(n) => write!(f, "frame length {n} exceeds cap"),
+            WireError::Truncated => f.write_str("frame buffer truncated"),
+            WireError::Snapshot(e) => write!(f, "snapshot payload: {e}"),
+            WireError::Corrupt(what) => write!(f, "corrupt frame field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<SnapshotCodecError> for WireError {
+    fn from(e: SnapshotCodecError) -> Self {
+        WireError::Snapshot(e)
+    }
+}
+
+/// One protocol frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Opens a collector session: protocol version + collector id.
+    Hello {
+        /// Protocol version the sender speaks.
+        protocol: u8,
+        /// Stable id of the sending collector.
+        collector_id: u64,
+    },
+    /// Every live stream of the sender, cumulative (receiver replaces
+    /// its whole live view of this collector).
+    FullSnapshot(EngineSnapshot),
+    /// Streams changed since the last flush, cumulative (receiver
+    /// replaces those keys).
+    Delta(EngineSnapshot),
+    /// Final snapshots of evicted streams (receiver retires those
+    /// keys; successive finals for a reappearing key merge).
+    Evicted(Vec<StreamEntry>),
+    /// Clean end of a collector session.
+    Bye,
+}
+
+impl Frame {
+    /// Short human name of the frame kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::FullSnapshot(_) => "FullSnapshot",
+            Frame::Delta(_) => "Delta",
+            Frame::Evicted(_) => "Evicted",
+            Frame::Bye => "Bye",
+        }
+    }
+}
+
+/// Serializes one frame.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_FRAME_BYTES`] — such a frame
+/// could never be decoded (and past `u32::MAX` its length field would
+/// silently truncate), so refusing loudly at the writer beats shipping
+/// bytes every receiver must reject. [`topology::Collector`] never
+/// gets here: it splits large snapshots across frames at a byte
+/// target 16× below the cap, which callers encoding their own
+/// `Delta`/`FullSnapshot` frames should mirror.
+///
+/// [`topology::Collector`]: crate::topology::Collector
+pub fn encode_frame(frame: &Frame) -> Bytes {
+    let (kind, payload): (u8, Bytes) = match frame {
+        Frame::Hello {
+            protocol,
+            collector_id,
+        } => {
+            let mut b = BytesMut::with_capacity(9);
+            b.put_u8(*protocol);
+            b.put_u64_le(*collector_id);
+            (KIND_HELLO, b.freeze())
+        }
+        Frame::FullSnapshot(snap) => (KIND_FULL, encode_snapshot(snap)),
+        Frame::Delta(snap) => (KIND_DELTA, encode_snapshot(snap)),
+        Frame::Evicted(entries) => (
+            KIND_EVICTED,
+            encode_snapshot(&EngineSnapshot::from_streams(entries.clone())),
+        ),
+        Frame::Bye => (KIND_BYE, Bytes::new()),
+    };
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "frame payload {} exceeds the {} B wire cap — chunk the snapshot across frames",
+        payload.len(),
+        MAX_FRAME_BYTES
+    );
+    let mut buf = BytesMut::with_capacity(FRAME_MAGIC.len() + 6 + payload.len());
+    buf.put_slice(FRAME_MAGIC);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(kind);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Writes one frame to a byte sink.
+///
+/// # Errors
+///
+/// Propagates the sink's I/O error.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    match kind {
+        KIND_HELLO => {
+            if payload.len() != 9 {
+                return Err(WireError::Corrupt("hello payload length"));
+            }
+            let mut p = payload;
+            let protocol = p.get_u8();
+            let collector_id = p.get_u64_le();
+            Ok(Frame::Hello {
+                protocol,
+                collector_id,
+            })
+        }
+        KIND_FULL => Ok(Frame::FullSnapshot(decode_snapshot(payload)?)),
+        KIND_DELTA => Ok(Frame::Delta(decode_snapshot(payload)?)),
+        KIND_EVICTED => Ok(Frame::Evicted(decode_snapshot(payload)?.into_streams())),
+        KIND_BYE => {
+            if !payload.is_empty() {
+                return Err(WireError::Corrupt("bye payload not empty"));
+            }
+            Ok(Frame::Bye)
+        }
+        other => Err(WireError::UnknownKind(other)),
+    }
+}
+
+/// Incremental frame decoder: push bytes in as they arrive, pop frames
+/// out as they complete. Handles the v1 legacy form (a bare snapshot)
+/// by buffering until the whole snapshot decodes.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Set once the stream is known to be a v1 legacy snapshot.
+    legacy: bool,
+    /// The legacy snapshot was emitted; only EOF may follow.
+    legacy_done: bool,
+    /// Buffer length at which the next legacy decode attempt runs —
+    /// doubled after every failed (truncated) attempt, so an N-byte
+    /// legacy stream costs O(N) total parse work instead of a full
+    /// re-parse per pushed chunk (quadratic).
+    legacy_retry_at: usize,
+    /// The transport reported end-of-input ([`FrameDecoder::finish`]):
+    /// attempt the legacy decode regardless of the retry threshold.
+    eof: bool,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Tells the decoder no more bytes are coming (EOF). Only needed
+    /// for v1 legacy streams, whose length isn't declared up front:
+    /// it forces the final decode attempt regardless of the
+    /// amortization threshold. Frames already buffered whole are
+    /// unaffected.
+    pub fn finish(&mut self) {
+        self.eof = true;
+    }
+
+    /// Bytes buffered but not yet consumed by a completed frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next completed frame, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed input; the decoder is then poisoned
+    /// for that stream (callers should drop the connection).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.legacy_done {
+            return if self.buf.is_empty() {
+                Ok(None)
+            } else {
+                Err(WireError::Corrupt("bytes after legacy snapshot"))
+            };
+        }
+        if self.legacy {
+            return self.try_legacy();
+        }
+        if self.buf.len() < 4 {
+            // Could still become either form; wait, unless the prefix
+            // already mismatches both magics.
+            if !FRAME_MAGIC.starts_with(&self.buf[..self.buf.len().min(4)])
+                && !V1_MAGIC.starts_with(&self.buf[..self.buf.len().min(6)])
+            {
+                return Err(WireError::BadMagic);
+            }
+            return Ok(None);
+        }
+        if &self.buf[..4] == FRAME_MAGIC {
+            return self.try_v2();
+        }
+        if self.buf.len() < V1_MAGIC.len() {
+            return if V1_MAGIC.starts_with(&self.buf[..self.buf.len()]) {
+                Ok(None)
+            } else {
+                Err(WireError::BadMagic)
+            };
+        }
+        if &self.buf[..V1_MAGIC.len()] == V1_MAGIC {
+            self.legacy = true;
+            return self.try_legacy();
+        }
+        Err(WireError::BadMagic)
+    }
+
+    fn try_legacy(&mut self) -> Result<Option<Frame>, WireError> {
+        if !self.eof && self.buf.len() < self.legacy_retry_at {
+            return Ok(None);
+        }
+        match decode_snapshot(&self.buf) {
+            Ok(snap) => {
+                self.buf.clear();
+                self.legacy_done = true;
+                Ok(Some(Frame::FullSnapshot(snap)))
+            }
+            Err(SnapshotCodecError::Truncated) => {
+                // Geometric back-off: don't re-parse the whole prefix
+                // until the buffer has roughly doubled.
+                self.legacy_retry_at = self.buf.len().saturating_mul(2).max(4096);
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn try_v2(&mut self) -> Result<Option<Frame>, WireError> {
+        const HEADER: usize = 4 + 1 + 1 + 4;
+        if self.buf.len() < HEADER {
+            return Ok(None);
+        }
+        let version = self.buf[4];
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let kind = self.buf[5];
+        let len = u32::from_le_bytes([self.buf[6], self.buf[7], self.buf[8], self.buf[9]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::Oversize(len as u64));
+        }
+        if self.buf.len() < HEADER + len {
+            return Ok(None);
+        }
+        let frame = decode_payload(kind, &self.buf[HEADER..HEADER + len])?;
+        self.buf.drain(..HEADER + len);
+        Ok(Some(frame))
+    }
+}
+
+/// Decodes a complete buffer into its frames. Accepts both the v2
+/// frame stream and a bare v1 snapshot (one implicit `FullSnapshot`).
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] if the buffer ends mid-frame, plus every
+/// structural error the incremental decoder reports.
+pub fn decode_frames(bytes: &[u8]) -> Result<Vec<Frame>, WireError> {
+    let mut dec = FrameDecoder::new();
+    dec.push(bytes);
+    dec.finish();
+    let mut frames = Vec::new();
+    loop {
+        match dec.next_frame()? {
+            Some(f) => frames.push(f),
+            None => {
+                return if dec.pending_bytes() == 0 {
+                    Ok(frames)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+        }
+    }
+}
+
+/// Reads frames from a blocking byte source (socket, file) until EOF,
+/// handing each to `sink`. Returns the frame count.
+///
+/// # Errors
+///
+/// I/O errors from the source; decode errors surface as
+/// `InvalidData`.
+pub fn read_frames(r: &mut impl Read, mut sink: impl FnMut(Frame)) -> std::io::Result<usize> {
+    let mut dec = FrameDecoder::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut count = 0usize;
+    loop {
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            // EOF: a clean stream has nothing buffered (or a legacy
+            // snapshot that only now decodes whole).
+            dec.finish();
+            while let Some(f) = decode_err(&mut dec)? {
+                count += 1;
+                sink(f);
+            }
+            if dec.pending_bytes() != 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    WireError::Truncated,
+                ));
+            }
+            return Ok(count);
+        }
+        dec.push(&chunk[..n]);
+        while let Some(f) = decode_err(&mut dec)? {
+            count += 1;
+            sink(f);
+        }
+    }
+}
+
+fn decode_err(dec: &mut FrameDecoder) -> std::io::Result<Option<Frame>> {
+    dec.next_frame()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MonitorConfig, MonitorEngine, SamplerSpec};
+
+    fn sample_snapshot(seed: u64) -> EngineSnapshot {
+        let mut engine = MonitorEngine::new(
+            MonitorConfig::default()
+                .sampler(SamplerSpec::Systematic { interval: 3 })
+                .shards(2)
+                .seed(seed),
+        );
+        for i in 0..5000u64 {
+            engine.offer(i % 17, (i % 251) as f64);
+        }
+        engine.snapshot()
+    }
+
+    fn roundtrip(frames: &[Frame]) -> Vec<Frame> {
+        let mut bytes = Vec::new();
+        for f in frames {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+        decode_frames(&bytes).expect("decode")
+    }
+
+    #[test]
+    fn frame_stream_round_trips_bit_exact() {
+        let snap = sample_snapshot(5);
+        let evicted: Vec<StreamEntry> = snap.streams()[..3].to_vec();
+        let frames = vec![
+            Frame::Hello {
+                protocol: WIRE_VERSION,
+                collector_id: 42,
+            },
+            Frame::Delta(sample_snapshot(9)),
+            Frame::Evicted(evicted),
+            Frame::FullSnapshot(snap),
+            Frame::Bye,
+        ];
+        assert_eq!(roundtrip(&frames), frames);
+    }
+
+    #[test]
+    fn incremental_decode_across_arbitrary_chunking() {
+        let frames = vec![
+            Frame::Hello {
+                protocol: WIRE_VERSION,
+                collector_id: 7,
+            },
+            Frame::Delta(sample_snapshot(1)),
+            Frame::Bye,
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+        for chunk in [1usize, 3, 7, 64, 1021] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in bytes.chunks(chunk) {
+                dec.push(piece);
+                while let Some(f) = dec.next_frame().expect("clean stream") {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got, frames, "chunk size {chunk}");
+            assert_eq!(dec.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_decodes_as_full_snapshot() {
+        let snap = sample_snapshot(3);
+        let v1 = encode_snapshot(&snap);
+        let frames = decode_frames(&v1).expect("legacy decode");
+        assert_eq!(frames, vec![Frame::FullSnapshot(snap)]);
+        // Incrementally too, in awkward chunks.
+        let mut dec = FrameDecoder::new();
+        let (a, b) = v1.split_at(v1.len() / 2);
+        dec.push(a);
+        assert_eq!(dec.next_frame().expect("partial"), None);
+        dec.push(b);
+        assert!(matches!(
+            dec.next_frame().expect("whole"),
+            Some(Frame::FullSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn oversize_length_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(FRAME_MAGIC);
+        bytes.push(WIRE_VERSION);
+        bytes.push(1); // FullSnapshot
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frames(&bytes),
+            Err(WireError::Oversize(u32::MAX as u64))
+        );
+    }
+
+    #[test]
+    fn unknown_kind_and_version_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(FRAME_MAGIC);
+        bytes.push(99);
+        bytes.push(0);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            decode_frames(&bytes),
+            Err(WireError::UnsupportedVersion(99))
+        );
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(FRAME_MAGIC);
+        bytes.push(WIRE_VERSION);
+        bytes.push(200);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode_frames(&bytes), Err(WireError::UnknownKind(200)));
+    }
+
+    #[test]
+    fn truncation_is_reported_not_panicked() {
+        let bytes = encode_frame(&Frame::Delta(sample_snapshot(2)));
+        for cut in [1usize, 4, 5, 9, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(
+                decode_frames(&bytes[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected_early() {
+        assert_eq!(decode_frames(b"GARBAGE!"), Err(WireError::BadMagic));
+        assert_eq!(decode_frames(b"SS"), Err(WireError::Truncated));
+    }
+}

@@ -1,0 +1,280 @@
+//! The wire-boundary merge-equivalence pins: N collector processes
+//! streaming frames to one aggregator reassemble **byte-identical**
+//! `EngineSnapshot` output to a single unsharded engine on the same
+//! keyed trace — over in-memory pipes and over Unix sockets, with and
+//! without eviction in the collectors.
+
+use sst_monitor::topology::{Aggregator, Collector};
+use sst_monitor::{encode_snapshot, EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec};
+use sst_nettrace::TraceSynthesizer;
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::{Arc, Mutex};
+
+fn trace_points() -> Vec<(u64, f64)> {
+    TraceSynthesizer::bell_labs_like()
+        .duration(150.0)
+        .mean_rate(1.5e5)
+        .synthesize(20050607)
+        .od_keyed_points()
+}
+
+fn config(spec: SamplerSpec) -> MonitorConfig {
+    MonitorConfig::default()
+        .sampler(spec)
+        .seed(42)
+        .tail_thresholds(vec![64.0, 576.0, 1400.0])
+}
+
+/// Streams a key partition through a collector into `w`, flushing
+/// periodically so the wire carries many Delta (and possibly Evicted)
+/// frames rather than one blob.
+fn drive_collector(
+    mut collector: Collector,
+    points: &[(u64, f64)],
+    part: u64,
+    n_parts: u64,
+    w: &mut impl Write,
+) {
+    let mine: Vec<(u64, f64)> = points
+        .iter()
+        .filter(|&&(k, _)| k % n_parts == part)
+        .copied()
+        .collect();
+    for chunk in mine.chunks(5000) {
+        for &(k, v) in chunk {
+            collector.offer(k, v);
+        }
+        collector.flush(w).expect("flush");
+    }
+    collector.finish(w).expect("finish");
+}
+
+#[test]
+fn two_collectors_one_aggregator_match_the_unsharded_engine_bytes() {
+    let points = trace_points();
+    assert!(points.len() > 20_000, "workload too small to mean anything");
+    for spec in [
+        SamplerSpec::Systematic { interval: 7 },
+        SamplerSpec::Bss {
+            interval: 11,
+            epsilon: 1.0,
+            n_pre: 8,
+            l: 3,
+        },
+    ] {
+        // The single **unsharded** engine (n_shards = 1).
+        let mut reference = MonitorEngine::new(config(spec));
+        for &(k, v) in &points {
+            reference.offer(k, v);
+        }
+        // Two collectors (sharded internally — also crossing the shard
+        // count) stream to an aggregator over in-memory pipes.
+        let mut agg = Aggregator::new();
+        for part in 0..2u64 {
+            let mut pipe: Vec<u8> = Vec::new();
+            drive_collector(
+                Collector::new(part, config(spec).shards(2)),
+                &points,
+                part,
+                2,
+                &mut pipe,
+            );
+            agg.ingest_stream(&mut pipe.as_slice(), part)
+                .expect("ingest");
+        }
+        assert!(agg.all_done());
+        let assembled = agg.snapshot();
+        assert_eq!(assembled, reference.snapshot(), "{spec:?}");
+        // Byte-identical, not merely structurally equal.
+        assert_eq!(
+            encode_snapshot(&assembled),
+            encode_snapshot(&reference.snapshot()),
+            "{spec:?}: serialized bytes"
+        );
+    }
+}
+
+#[test]
+fn topology_over_unix_sockets_matches_the_unsharded_engine() {
+    let points = trace_points();
+    let spec = SamplerSpec::Systematic { interval: 5 };
+    let mut reference = MonitorEngine::new(config(spec));
+    for &(k, v) in &points {
+        reference.offer(k, v);
+    }
+    let dir = std::env::temp_dir().join(format!("sst_topology_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let path = dir.join("aggregator.sock");
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path).expect("bind");
+
+    let agg = Arc::new(Mutex::new(Aggregator::new()));
+    let assembled = std::thread::scope(|scope| {
+        // Aggregator side: one thread per accepted connection, feeding
+        // the shared state — interleaving across sessions is safe.
+        let agg_srv = Arc::clone(&agg);
+        let server = scope.spawn(move || {
+            let mut conns = Vec::new();
+            for part in 0..3 {
+                let (stream, _) = listener.accept().expect("accept");
+                let agg = Arc::clone(&agg_srv);
+                conns.push(std::thread::spawn(move || {
+                    // Decode frames off the socket, lock per frame.
+                    let mut stream = stream;
+                    let mut dec = sst_monitor::FrameDecoder::new();
+                    let mut buf = [0u8; 8192];
+                    let mut session = part as u64;
+                    let mut first = true;
+                    loop {
+                        use std::io::Read;
+                        let n = stream.read(&mut buf).expect("read");
+                        if n == 0 {
+                            break;
+                        }
+                        dec.push(&buf[..n]);
+                        while let Some(frame) = dec.next_frame().expect("frame") {
+                            if first {
+                                if let sst_monitor::Frame::Hello { collector_id, .. } = frame {
+                                    session = collector_id;
+                                }
+                                first = false;
+                            }
+                            agg.lock().unwrap().feed(session, frame).expect("feed");
+                        }
+                    }
+                    assert_eq!(dec.pending_bytes(), 0, "clean EOF");
+                }));
+            }
+            for c in conns {
+                c.join().expect("conn thread");
+            }
+        });
+        // Collector side: three concurrent processes-in-miniature.
+        let mut clients = Vec::new();
+        for part in 0..3u64 {
+            let points = &points;
+            let path = path.clone();
+            clients.push(scope.spawn(move || {
+                let mut sock = UnixStream::connect(&path).expect("connect");
+                drive_collector(
+                    Collector::new(part, config(spec).shards(2)),
+                    points,
+                    part,
+                    3,
+                    &mut sock,
+                );
+            }));
+        }
+        for c in clients {
+            c.join().expect("collector thread");
+        }
+        server.join().expect("server thread");
+        let snap = agg.lock().unwrap().snapshot();
+        snap
+    });
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(assembled, reference.snapshot());
+    assert_eq!(
+        encode_snapshot(&assembled),
+        encode_snapshot(&reference.snapshot())
+    );
+}
+
+#[test]
+fn evicting_collectors_reassemble_the_never_evicting_bits() {
+    // Burst keys (never reappear): collectors evict aggressively and
+    // ship finals as Evicted frames; the aggregator must still hold
+    // exactly the bits of a single never-evicting engine.
+    let points: Vec<(u64, f64)> = (0..60_000u64)
+        .map(|i| (i / 60, 2.0 + (i % 23) as f64))
+        .collect();
+    let spec = SamplerSpec::Systematic { interval: 4 };
+    let mut reference = MonitorEngine::new(config(spec));
+    for &(k, v) in &points {
+        reference.offer(k, v);
+    }
+    let mut agg = Aggregator::new();
+    for part in 0..2u64 {
+        let mut pipe: Vec<u8> = Vec::new();
+        drive_collector(
+            Collector::new(part, config(spec).evict_idle_after(300).sweep_every(128)),
+            &points,
+            part,
+            2,
+            &mut pipe,
+        );
+        agg.ingest_stream(&mut pipe.as_slice(), part)
+            .expect("ingest");
+    }
+    // Eviction must genuinely have happened for the pin to mean much.
+    let frames_have_evictions = {
+        let mut pipe: Vec<u8> = Vec::new();
+        drive_collector(
+            Collector::new(9, config(spec).evict_idle_after(300).sweep_every(128)),
+            &points,
+            0,
+            2,
+            &mut pipe,
+        );
+        sst_monitor::decode_frames(&pipe)
+            .unwrap()
+            .iter()
+            .any(|f| matches!(f, sst_monitor::Frame::Evicted(_)))
+    };
+    assert!(
+        frames_have_evictions,
+        "workload must trigger Evicted frames"
+    );
+    assert_eq!(agg.snapshot(), reference.snapshot());
+}
+
+#[test]
+fn aggregator_compact_budget_keeps_totals_exact() {
+    // A compacting aggregator trades reservoir/Hurst detail for
+    // memory but must never lose counts.
+    let points = trace_points();
+    let spec = SamplerSpec::TakeAll;
+    let mut plain = Aggregator::new();
+    let mut compacting = Aggregator::new().compact_budget(512);
+    for part in 0..2u64 {
+        let mut pipe: Vec<u8> = Vec::new();
+        drive_collector(
+            Collector::new(part, config(spec)),
+            &points,
+            part,
+            2,
+            &mut pipe,
+        );
+        plain.ingest_stream(&mut pipe.as_slice(), part).unwrap();
+        compacting
+            .ingest_stream(&mut pipe.as_slice(), part)
+            .unwrap();
+    }
+    let a = plain.snapshot();
+    let b = compacting.snapshot();
+    assert_eq!(a.stream_count(), b.stream_count());
+    assert_eq!(a.sampler_totals(), b.sampler_totals());
+    assert_eq!(a.aggregate().moments.count(), b.aggregate().moments.count());
+    assert_eq!(a.aggregate().tail.total(), b.aggregate().tail.total());
+    assert!(compacting.estimated_state_bytes() <= plain.estimated_state_bytes());
+}
+
+#[test]
+fn legacy_snapshot_files_feed_the_aggregator() {
+    // v1 `.ssm` bytes (no Hello) are one implicit FullSnapshot.
+    let mut engine = MonitorEngine::new(config(SamplerSpec::TakeAll));
+    for i in 0..4000u64 {
+        engine.offer(i % 13, (i % 97) as f64);
+    }
+    let snap = engine.snapshot();
+    let v1 = encode_snapshot(&snap);
+    let mut agg = Aggregator::new();
+    agg.ingest_stream(&mut v1.as_ref(), 7)
+        .expect("legacy ingest");
+    assert_eq!(agg.snapshot(), snap);
+    assert_eq!(
+        agg.snapshot(),
+        EngineSnapshot::from_streams(snap.streams().to_vec())
+    );
+}

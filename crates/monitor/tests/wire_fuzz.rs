@@ -1,0 +1,153 @@
+//! Decode robustness: snapshot and frame decoding must *reject*
+//! malformed input — truncations, length overflows, random byte
+//! mutations — with errors, never panics. The proptests below mutate
+//! valid encodings at random and drive both the whole-buffer and the
+//! incremental decoders.
+
+use proptest::prelude::*;
+use sst_monitor::{
+    decode_frames, decode_snapshot, encode_frame, encode_snapshot, Frame, FrameDecoder,
+    MonitorConfig, MonitorEngine, SamplerSpec, WIRE_VERSION,
+};
+
+/// [`valid_stream`] plus the byte offsets at which a truncation still
+/// leaves a whole (shorter) frame stream: 0 and every frame end.
+fn valid_stream_with_boundaries() -> (Vec<u8>, Vec<usize>) {
+    let bytes = valid_stream();
+    let mut boundaries = vec![0usize];
+    let mut dec = FrameDecoder::new();
+    let mut consumed_to = 0usize;
+    dec.push(&bytes);
+    while dec.next_frame().expect("valid stream").is_some() {
+        consumed_to = bytes.len() - dec.pending_bytes();
+        boundaries.push(consumed_to);
+    }
+    assert_eq!(consumed_to, bytes.len(), "whole stream decodes");
+    (bytes, boundaries)
+}
+
+/// A representative frame stream: Hello, a Delta, an Evicted, a full
+/// snapshot, Bye.
+fn valid_stream() -> Vec<u8> {
+    let mut engine = MonitorEngine::new(
+        MonitorConfig::default()
+            .sampler(SamplerSpec::Bss {
+                interval: 10,
+                epsilon: 1.0,
+                n_pre: 8,
+                l: 4,
+            })
+            .shards(3)
+            .seed(5),
+    );
+    for i in 0..20_000u64 {
+        let key = i % 23;
+        let v = if (i / 41) % 9 == 0 { 150.0 } else { 2.0 };
+        engine.offer(key, v);
+    }
+    let snap = engine.snapshot();
+    let evicted = snap.streams()[..5].to_vec();
+    let mut bytes = Vec::new();
+    for frame in [
+        Frame::Hello {
+            protocol: WIRE_VERSION,
+            collector_id: 17,
+        },
+        Frame::Delta(snap.clone()),
+        Frame::Evicted(evicted),
+        Frame::FullSnapshot(snap),
+        Frame::Bye,
+    ] {
+        bytes.extend_from_slice(&encode_frame(&frame));
+    }
+    bytes
+}
+
+/// Decoding must return — Ok or Err, never panic, never hang.
+fn decode_every_way(bytes: &[u8]) {
+    let _ = decode_frames(bytes);
+    let _ = decode_snapshot(bytes);
+    // Incremental, in awkward chunk sizes; stop on first error like a
+    // real connection handler would.
+    let mut dec = FrameDecoder::new();
+    'outer: for chunk in bytes.chunks(13) {
+        dec.push(chunk);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => break 'outer,
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mutated_frame_streams_never_panic(
+        muts in proptest::collection::vec((0usize..1_000_000, 0u8..=255u8), 1..12),
+    ) {
+        let mut bytes = valid_stream();
+        for &(pos, val) in &muts {
+            let i = pos % bytes.len();
+            bytes[i] = val;
+        }
+        decode_every_way(&bytes);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..4096),
+    ) {
+        decode_every_way(&bytes);
+    }
+
+    #[test]
+    fn random_truncations_never_panic(cut in 0usize..1_000_000) {
+        let (bytes, boundaries) = valid_stream_with_boundaries();
+        let cut = cut % (bytes.len() + 1);
+        decode_every_way(&bytes[..cut]);
+        if boundaries.contains(&cut) {
+            // A cut on a frame boundary is a shorter valid stream.
+            prop_assert!(decode_frames(&bytes[..cut]).is_ok());
+        } else {
+            // A cut inside a frame is incomplete or corrupt, never
+            // silently whole.
+            prop_assert!(decode_frames(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn mutated_v1_snapshots_never_panic(
+        muts in proptest::collection::vec((0usize..1_000_000, 0u8..=255u8), 1..12),
+    ) {
+        let mut engine = MonitorEngine::new(MonitorConfig::default().seed(2));
+        for i in 0..3000u64 {
+            engine.offer(i % 7, (i % 31) as f64);
+        }
+        let mut bytes = encode_snapshot(&engine.snapshot()).to_vec();
+        for &(pos, val) in &muts {
+            let i = pos % bytes.len();
+            bytes[i] = val;
+        }
+        let _ = decode_snapshot(&bytes);
+        let _ = decode_frames(&bytes);
+    }
+
+    #[test]
+    fn declared_length_overflows_are_rejected_not_allocated(
+        kind in 0u8..=5u8,
+        len in (1u32 << 28)..=u32::MAX,
+    ) {
+        // A hostile header declaring a huge payload must fail fast
+        // (no allocation, no panic), whatever the kind byte says.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SSWF");
+        bytes.push(WIRE_VERSION);
+        bytes.push(kind);
+        bytes.extend_from_slice(&len.to_le_bytes());
+        prop_assert!(decode_frames(&bytes).is_err());
+    }
+}

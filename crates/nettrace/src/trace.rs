@@ -157,6 +157,38 @@ impl PacketTrace {
             .collect()
     }
 
+    /// Monitoring points keyed by an arbitrary flow attribute: one
+    /// `(key(flow), bytes)` pair per packet in arrival order. The
+    /// generalization behind [`PacketTrace::od_keyed_points`] — pick
+    /// the key granularity the monitor should shard on.
+    pub fn keyed_points_by<F>(&self, key: F) -> Vec<(u64, f64)>
+    where
+        F: Fn(&FlowKey) -> u64,
+    {
+        self.packets
+            .iter()
+            .map(|p| (key(&self.flows[p.flow as usize]), p.size as f64))
+            .collect()
+    }
+
+    /// Monitoring points keyed by the full 5-tuple (src, dst, ports,
+    /// protocol — mixed into a single u64). Where OD-pair keys bound
+    /// stream cardinality by the host count, 5-tuple keys grow with
+    /// *connection* churn — the workload that makes eviction and
+    /// compaction in a monitoring engine load-bearing.
+    pub fn flow_keyed_points(&self) -> Vec<(u64, f64)> {
+        self.keyed_points_by(flow_tuple_key)
+    }
+
+    /// Distinct 5-tuple flows in the trace (the key cardinality
+    /// [`PacketTrace::flow_keyed_points`] exposes to a monitor).
+    pub fn flow_key_count(&self) -> usize {
+        let mut keys: Vec<u64> = self.flows.iter().map(flow_tuple_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
     /// Number of distinct OD pairs.
     pub fn od_pair_count(&self) -> usize {
         let mut pairs: Vec<(u32, u32)> = self
@@ -168,6 +200,17 @@ impl PacketTrace {
         pairs.dedup();
         pairs.len()
     }
+}
+
+/// Packs a 5-tuple into a well-mixed u64 key (SplitMix64 finalizer over
+/// the packed fields) — deterministic across runs and platforms.
+fn flow_tuple_key(k: &FlowKey) -> u64 {
+    let hi = ((k.src as u64) << 32) | k.dst as u64;
+    let lo = ((k.src_port as u64) << 48) | ((k.dst_port as u64) << 32) | (k.proto as u8 as u64);
+    let mut z = hi ^ lo.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lo ^ 0xA5);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -231,6 +274,30 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert_eq!(v[0], ((3, 4), 600));
         assert_eq!(v[1], ((1, 2), 400));
+    }
+
+    #[test]
+    fn flow_keyed_points_distinguish_five_tuples() {
+        // Same OD pair, different ports → one OD key but two flow keys.
+        let mut k2 = key(1, 2);
+        k2.src_port = 2000;
+        let flows = vec![key(1, 2), k2];
+        let packets = vec![
+            Packet::new(0.1, 100, 0),
+            Packet::new(0.2, 200, 1),
+            Packet::new(0.3, 300, 0),
+        ];
+        let t = PacketTrace::new(flows, packets, 1.0);
+        assert_eq!(t.od_pair_count(), 1);
+        assert_eq!(t.flow_key_count(), 2);
+        let pts = t.flow_keyed_points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].0, pts[2].0, "same 5-tuple, same key");
+        assert_ne!(pts[0].0, pts[1].0, "different ports, different key");
+        assert_eq!(pts[1].1, 200.0);
+        // The generic form with a constant key collapses everything.
+        let one = t.keyed_points_by(|_| 7);
+        assert!(one.iter().all(|&(k, _)| k == 7));
     }
 
     #[test]

@@ -13,11 +13,16 @@
 //! thread creation put a floor under the fan-out cost that the
 //! experiment runner's minimum-work heuristic had to stay above. The
 //! pool ([`pool`]) spawns its workers once per process and hands them
-//! type-erased tasks through a shared queue; a parallel operation now
-//! costs one enqueue per worker task plus condvar traffic, dropping the
-//! fan-out floor by orders of magnitude. Submitting threads *help*: they
-//! run queued tasks themselves while waiting for their batch, so nested
-//! parallel operations cannot deadlock even on a single-worker pool.
+//! type-erased tasks through **per-worker local deques with stealing**
+//! (an earlier revision used one global FIFO, which made every batch
+//! contend on a single lock): submitters spread a batch round-robin
+//! over the deques, workers pop their own front and steal siblings'
+//! backs when idle. A parallel operation costs one enqueue per worker
+//! task plus condvar traffic, dropping the fan-out floor by orders of
+//! magnitude. Submitting threads *help*: they run queued tasks
+//! themselves (scanning every deque) while waiting for their batch, so
+//! nested parallel operations cannot deadlock even on a single-worker
+//! pool.
 
 #![deny(unsafe_code)]
 
@@ -75,27 +80,48 @@ pub fn with_num_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
 
 /// The persistent worker pool behind every parallel operation.
 ///
-/// One queue, [`default_threads`] workers spawned lazily on first use
-/// and kept for the life of the process. Work is submitted in *batches*
-/// ([`pool::run_batch_with_inline`]): the submitter enqueues its tasks,
-/// runs one share of the work inline, then **helps** — it keeps popping
-/// and running queued tasks (its own or anyone else's) until its batch
-/// completes. Helping is what makes the design sound with any worker
-/// count: even if every pool worker is busy or the pool is a single
-/// thread, the submitting thread alone drains its queue entries, so a
-/// batch can always make progress and nested batches cannot deadlock.
+/// **Per-worker local deques with stealing** (rayon's topology, sized
+/// for a shim): each worker owns a deque; submitters spread a batch's
+/// tasks round-robin across the deques; a worker pops its own deque
+/// from the *front* and, when empty, steals from the *back* of its
+/// siblings — so concurrent batches mostly touch disjoint locks
+/// instead of contending on one global queue, while imbalanced batches
+/// still level out through steals. Workers are spawned lazily on first
+/// use and kept for the life of the process.
+///
+/// Work is submitted in *batches* ([`pool::run_batch_with_inline`]):
+/// the submitter enqueues its tasks, runs one share of the work inline,
+/// then **helps** — it keeps popping and running queued tasks (its own
+/// or anyone else's, scanning every deque) until its batch completes.
+/// Helping is what makes the design sound with any worker count: even
+/// if every pool worker is busy or the pool is a single thread, the
+/// submitting thread alone drains its queue entries, so a batch can
+/// always make progress and nested batches cannot deadlock.
 pub mod pool {
     use std::collections::VecDeque;
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex, OnceLock};
     use std::time::Duration;
 
     type Task = Box<dyn FnOnce() + Send>;
 
     struct Inner {
-        queue: Mutex<VecDeque<Task>>,
+        /// One local deque per worker; submitters push round-robin,
+        /// owners pop the front, everyone else steals the back.
+        deques: Vec<Mutex<VecDeque<Task>>>,
+        /// Queued (not yet popped) tasks across all deques — atomic so
+        /// the pop/steal fast paths never touch a global lock. `sleep`
+        /// and `work` exist only for the idle path: the count is
+        /// re-checked under the lock to close the check-then-wait
+        /// race, with the usual timeout backstop.
+        pending: AtomicUsize,
+        sleep: Mutex<()>,
         work: Condvar,
+        /// Round-robin cursor for batch placement.
+        next: AtomicUsize,
+        /// Cumulative successful steals (observability for tests).
+        steals: AtomicUsize,
     }
 
     /// Completion state of one submitted batch.
@@ -115,13 +141,13 @@ pub mod pool {
         }
 
         /// Blocks until every task of this batch has finished, running
-        /// queued tasks (from any batch) while waiting.
+        /// queued tasks (from any batch, any deque) while waiting.
         fn wait_all(&self) {
             loop {
                 if *self.pending.lock().expect("batch lock") == 0 {
                     return;
                 }
-                if let Some(task) = try_pop() {
+                if let Some(task) = steal_any(usize::MAX) {
                     task();
                     continue;
                 }
@@ -140,44 +166,108 @@ pub mod pool {
         }
     }
 
+    /// Worker count: the process default, floored at 2 so the stealing
+    /// topology (and its tests) exist even on a single-core box — an
+    /// idle extra worker costs one sleeping thread.
+    fn worker_count() -> usize {
+        super::default_threads().max(2)
+    }
+
     fn inner() -> &'static Inner {
         static INNER: OnceLock<Inner> = OnceLock::new();
         static WORKERS: OnceLock<()> = OnceLock::new();
         let inner = INNER.get_or_init(|| Inner {
-            queue: Mutex::new(VecDeque::new()),
+            deques: (0..worker_count())
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            pending: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
             work: Condvar::new(),
+            next: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
         });
         WORKERS.get_or_init(|| {
-            for i in 0..super::default_threads() {
+            for i in 0..worker_count() {
                 std::thread::Builder::new()
                     .name(format!("rayon-shim-{i}"))
-                    .spawn(worker_main)
+                    .spawn(move || worker_main(i))
                     .expect("spawn pool worker");
             }
         });
         inner
     }
 
-    /// Worker thread body: pop and run tasks forever. Every queued task
-    /// is panic-wrapped at submission, so nothing unwinds out of here.
-    fn worker_main() {
+    /// Worker thread body: drain the local deque, steal when it runs
+    /// dry, sleep when everything is empty. Every queued task is
+    /// panic-wrapped at submission, so nothing unwinds out of here.
+    fn worker_main(me: usize) {
         let p = inner();
         loop {
-            let task = {
-                let mut q = p.queue.lock().expect("pool queue");
-                loop {
-                    if let Some(t) = q.pop_front() {
-                        break t;
-                    }
-                    q = p.work.wait(q).expect("pool queue");
-                }
-            };
-            task();
+            if let Some(task) = pop_local(me).or_else(|| steal_any(me)) {
+                task();
+                continue;
+            }
+            // Nothing anywhere: sleep until a submitter bumps
+            // `pending`. The count is re-checked under the sleep lock
+            // (submitters notify under it after incrementing), so a
+            // wakeup between the scan and the wait cannot be lost; the
+            // timeout is belt-and-suspenders on top.
+            let guard = p.sleep.lock().expect("pool sleep");
+            if p.pending.load(Ordering::SeqCst) == 0 {
+                let _ = p
+                    .work
+                    .wait_timeout(guard, Duration::from_millis(50))
+                    .expect("pool sleep");
+            }
+            // Re-scan; the pop itself decrements `pending`.
         }
     }
 
-    fn try_pop() -> Option<Task> {
-        inner().queue.lock().expect("pool queue").pop_front()
+    /// Pops the front of worker `me`'s own deque.
+    fn pop_local(me: usize) -> Option<Task> {
+        let p = inner();
+        let task = p.deques[me].lock().expect("pool deque").pop_front();
+        if task.is_some() {
+            p.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        task
+    }
+
+    /// Steals from the back of any other deque (`me == usize::MAX` for
+    /// non-worker helpers: scan everything, starting at a rotating
+    /// offset so helpers don't all hammer deque 0).
+    fn steal_any(me: usize) -> Option<Task> {
+        let p = inner();
+        let n = p.deques.len();
+        let start = p.next.load(Ordering::Relaxed);
+        for off in 0..n {
+            let i = (start + off) % n;
+            if i == me {
+                continue;
+            }
+            let task = p.deques[i].lock().expect("pool deque").pop_back();
+            if let Some(task) = task {
+                p.pending.fetch_sub(1, Ordering::SeqCst);
+                if me != i {
+                    p.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Cumulative successful steals — observability for the shim's own
+    /// tests (monotone; exact value depends on scheduling).
+    #[doc(hidden)]
+    pub fn steal_count() -> usize {
+        inner().steals.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads backing the pool.
+    #[doc(hidden)]
+    pub fn pool_workers() -> usize {
+        inner().deques.len()
     }
 
     /// Erases the batch lifetime from a task so it can sit in the
@@ -215,11 +305,21 @@ pub mod pool {
         let batch = Arc::new(Batch::new(tasks.len()));
         {
             let p = inner();
-            let mut q = p.queue.lock().expect("pool queue");
-            for task in tasks {
+            let n_tasks = tasks.len();
+            // Spread the batch round-robin over the worker deques,
+            // starting past the previous batch's placement so
+            // concurrent submitters interleave across workers instead
+            // of stacking on deque 0 (stealing levels the remainder).
+            let start = p.next.fetch_add(n_tasks, Ordering::Relaxed);
+            // Count first, push second: a task must never be popped
+            // (which decrements `pending`) before it was counted. A
+            // scanning worker may briefly see the count ahead of the
+            // queues and re-scan; that costs a loop, not correctness.
+            p.pending.fetch_add(n_tasks, Ordering::SeqCst);
+            for (i, task) in tasks.into_iter().enumerate() {
                 let task = erase(task);
                 let b = Arc::clone(&batch);
-                q.push_back(Box::new(move || {
+                let wrapped: Task = Box::new(move || {
                     if catch_unwind(AssertUnwindSafe(task)).is_err() {
                         b.panicked.store(true, Ordering::SeqCst);
                     }
@@ -228,8 +328,17 @@ pub mod pool {
                     if *pending == 0 {
                         b.done.notify_all();
                     }
-                }));
+                });
+                let target = (start + i) % p.deques.len();
+                p.deques[target]
+                    .lock()
+                    .expect("pool deque")
+                    .push_back(wrapped);
             }
+            // Notify under the sleep lock: a worker that saw pending
+            // == 0 is either inside its wait (woken here) or hasn't
+            // taken the lock yet (will re-read the count under it).
+            let _guard = p.sleep.lock().expect("pool sleep");
             p.work.notify_all();
         }
         // Even if `inline` unwinds, the batch must drain before frames
@@ -563,6 +672,72 @@ mod tests {
             let got = h.join().expect("thread");
             assert_eq!(got, (0..200).sum::<usize>() + 200 * t);
         }
+    }
+
+    #[test]
+    fn pool_always_has_a_stealing_topology() {
+        // ≥ 2 deques even on a 1-core box, so the steal paths are real.
+        assert!(pool::pool_workers() >= 2);
+    }
+
+    #[test]
+    fn imbalanced_batches_complete() {
+        // One long task and many short ones land round-robin on the
+        // deques; idle workers (and the helping submitter) level the
+        // imbalance away. Pin completion and order.
+        let sums: Vec<u64> = with_num_threads(4, || {
+            (0..64u64)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                    }
+                    (0..1000u64).map(|j| i * 1000 + j).sum()
+                })
+                .collect()
+        });
+        let want: Vec<u64> = (0..64u64)
+            .map(|i| (0..1000u64).map(|j| i * 1000 + j).sum())
+            .collect();
+        assert_eq!(sums, want);
+    }
+
+    #[test]
+    fn helpers_steal_when_every_worker_is_busy() {
+        use std::time::Duration;
+        // Occupy every pool worker (plus the blocking submitter) with
+        // long sleeps, then submit a quick batch from this thread: the
+        // only way it can finish before the blockade lifts is by this
+        // thread *stealing* its own tasks back off the worker deques —
+        // so the steal counter must strictly increase.
+        let workers = pool::pool_workers();
+        let before = pool::steal_count();
+        let blocker = std::thread::spawn(move || {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..workers)
+                .map(|_| {
+                    Box::new(|| std::thread::sleep(Duration::from_millis(200)))
+                        as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool::run_batch_with_inline(tasks, || std::thread::sleep(Duration::from_millis(200)));
+        });
+        // Let the sleepers claim their deques.
+        std::thread::sleep(Duration::from_millis(50));
+        let hits = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|_| {
+                Box::new(|| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::run_batch_with_inline(tasks, || ());
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+        assert!(
+            pool::steal_count() > before,
+            "the submitter must have stolen while all workers slept"
+        );
+        blocker.join().expect("blocker thread");
     }
 
     #[test]

@@ -7,6 +7,10 @@
 # The criterion shim's smoke mode (`-- --test`) runs every benchmark for
 # one iteration and still appends its id to $CRITERION_JSON, so the
 # enumeration costs seconds, not the full measurement budget.
+#
+# The monitor bench covers the lifecycle/wire layers too:
+# monitor/{compact_4096_streams,wire_roundtrip,evict_churn} ride in the
+# same --bench monitor harness below.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

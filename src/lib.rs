@@ -7,8 +7,9 @@
 //! * [`sampling`] (`sst-core`) — the paper's contribution: systematic /
 //!   stratified / simple-random samplers, Biased Systematic Sampling (BSS),
 //!   SNC theory, fidelity metrics.
-//! * [`monitor`] (`sst-monitor`) — sharded online monitoring: streaming
-//!   samplers over many concurrent flows with mergeable summaries.
+//! * [`monitor`] (`sst-monitor`) — layered collector stack: sharded
+//!   online monitoring with mergeable summaries, eviction + compaction,
+//!   a versioned wire protocol, and collector → aggregator topology.
 //! * [`traffic`] (`sst-traffic`) — self-similar synthetic traffic.
 //! * [`nettrace`] (`sst-nettrace`) — packet traces (Bell-Labs-like).
 //! * [`hurst`] (`sst-hurst`) — Hurst/LRD estimators.

@@ -1,9 +1,12 @@
 //! Criterion benches for the layered online monitoring engine:
 //! single-stream offer throughput, 10k-stream sharded vs sequential
 //! ingest (the persistent-worker-pool payoff), snapshot/merge cost,
-//! summary compaction, wire-frame round-trips, and eviction churn.
+//! summary compaction, wire-frame round-trips, eviction churn, and the
+//! poll(2) event-loop transport (64-session serve, TCP round-trip).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sst_monitor::topology::{Aggregator, Collector};
+use sst_monitor::transport::{EventLoopServer, ServeOptions};
 use sst_monitor::EngineSnapshot;
 use sst_monitor::{
     decode_frames, encode_frame, Frame, MonitorConfig, MonitorEngine, SamplerSpec, WIRE_VERSION,
@@ -173,10 +176,116 @@ fn bench_evict_churn(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_event_loop_serve(c: &mut Criterion) {
+    // 64 collector sessions drained by one poll(2) event loop: each
+    // session's bytes are pre-encoded and injected through a
+    // socketpair (written whole — the payloads sit far below the
+    // kernel buffer — then EOF), so the measurement is the transport:
+    // poll wakeups, non-blocking reads, frame decode, aggregator feed.
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+    const SESSIONS: u64 = 64;
+    let pipes: Vec<Vec<u8>> = (0..SESSIONS)
+        .map(|part| {
+            let mut collector =
+                Collector::new(part, MonitorConfig::default().sampler(spec()).seed(3));
+            let mine: Vec<(u64, f64)> = points(1 << 15, 256)
+                .into_iter()
+                .filter(|&(k, _)| k % SESSIONS == part)
+                .collect();
+            let mut pipe = Vec::new();
+            for chunk in mine.chunks(128) {
+                collector.offer_batch(chunk);
+                collector.flush(&mut pipe).expect("flush");
+            }
+            collector.finish(&mut pipe).expect("finish");
+            pipe
+        })
+        .collect();
+    let total_bytes: usize = pipes.iter().map(Vec::len).sum();
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(total_bytes as u64));
+    g.bench_function("serve_event_loop_64_sessions", |b| {
+        b.iter(|| {
+            let mut server = EventLoopServer::new(
+                Aggregator::new(),
+                ServeOptions {
+                    collectors: SESSIONS as usize,
+                    accept_timeout: None,
+                },
+            );
+            for pipe in &pipes {
+                let (mut tx, rx) = UnixStream::pair().expect("socketpair");
+                tx.write_all(pipe).expect("buffered write");
+                drop(tx);
+                server.add_session(rx).expect("add_session");
+            }
+            let (agg, rep) = server.run().expect("event loop");
+            assert_eq!(rep.completed, SESSIONS as usize);
+            agg.snapshot().stream_count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_tcp_roundtrip(c: &mut Criterion) {
+    // The wire_roundtrip workload (Hello + 4096-stream Delta + Bye)
+    // pushed through a real TCP loopback connection into the event
+    // loop — wire_roundtrip minus this row is the in-memory floor, this
+    // row adds the socket + poll cost.
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    let pts = points(1 << 19, 4096);
+    let mut engine = MonitorEngine::new(MonitorConfig::default().sampler(spec()).shards(4).seed(3));
+    engine.offer_batch(&pts);
+    let mut session = Vec::new();
+    for f in [
+        Frame::Hello {
+            protocol: WIRE_VERSION,
+            collector_id: 1,
+        },
+        Frame::Delta(engine.snapshot()),
+        Frame::Bye,
+    ] {
+        session.extend_from_slice(&encode_frame(&f));
+    }
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(engine.stream_count() as u64));
+    g.bench_function("tcp_roundtrip", |b| {
+        b.iter(|| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let mut server = EventLoopServer::new(
+                Aggregator::new(),
+                ServeOptions {
+                    collectors: 1,
+                    accept_timeout: None,
+                },
+            );
+            server.add_tcp_listener(listener).expect("register");
+            let writer = std::thread::spawn({
+                let session = session.clone();
+                move || {
+                    let mut sock = TcpStream::connect(addr).expect("connect");
+                    sock.write_all(&session).expect("write session");
+                }
+            });
+            let (agg, rep) = server.run().expect("event loop");
+            writer.join().expect("writer");
+            assert_eq!(rep.completed, 1);
+            agg.snapshot().stream_count()
+        });
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_offer, bench_sharded_ingest, bench_snapshot_merge,
-        bench_compaction, bench_wire_roundtrip, bench_evict_churn
+        bench_compaction, bench_wire_roundtrip, bench_evict_churn,
+        bench_event_loop_serve, bench_tcp_roundtrip
 }
 criterion_main!(benches);

@@ -12,33 +12,49 @@
 //! monitor-tool info IN.ssm          # decode a snapshot, print the report
 //! monitor-tool merge OUT.ssm IN.ssm [IN.ssm …]
 //!     merge snapshots (disjoint or overlapping key sets) into one
-//! monitor-tool serve SOCKET --collectors N [--out OUT.ssm]
-//!     bind a Unix socket, accept N collector sessions (concurrently),
-//!     assemble their frames, print the merged report
-//! monitor-tool forward SOCKET [--id K] [--partition I/N] [--seed N]
+//! monitor-tool serve SOCKET [--tcp HOST:PORT] --collectors N [--out OUT.ssm]
+//!                  [--accept-timeout SECS] [--threaded]
+//!     accept collector sessions on a Unix socket (and, with --tcp, a
+//!     TCP listener) until N sessions *delivered frames and closed
+//!     cleanly*, assemble them, print the merged report. The default
+//!     transport is the single-threaded poll(2) event loop; --threaded
+//!     keeps the historical one-blocking-thread-per-connection path
+//!     (Unix socket only). Hostile sessions — garbage bytes, mid-frame
+//!     disconnects, connect-and-close probes — are logged and isolated,
+//!     never fatal, on both transports.
+//! monitor-tool forward TARGET [--tcp] [--id K] [--partition I/N] [--seed N]
 //!                  [--duration SECS] [--interval C] [--flush-every P]
 //!                  [--evict-idle TICKS] [--compact BYTES]
 //!     synthesize the shared trace, keep only keys hashing to partition
-//!     I of N, and stream Hello/Delta/Evicted/Bye frames to the socket
+//!     I of N, and stream Hello/Delta/Evicted/Bye frames to TARGET —
+//!     a Unix socket path, or host:port with --tcp
 //! ```
 //!
 //! With the default (no-eviction) configuration, `serve` + N×`forward`
 //! on the same seed reproduce, byte for byte, the snapshot `run`
 //! computes single-process — the wire-boundary merge-equivalence
-//! guarantee, demoable from the shell. With `--evict-idle` the clocks
-//! differ (each forwarder counts only its partition's points, `run`
-//! counts all), so a key that reappears after eviction restarts its
-//! sampler at different logical times: *totals* stay exact, but kept
-//! sample sets — and hence the bytes — can diverge from `run`'s.
+//! guarantee, demoable from the shell, on either transport. With
+//! `--evict-idle` the clocks differ (each forwarder counts only its
+//! partition's points, `run` counts all), so a key that reappears after
+//! eviction restarts its sampler at different logical times: *totals*
+//! stay exact, but kept sample sets — and hence the bytes — can diverge
+//! from `run`'s.
 
-use sst_monitor::topology::{Aggregator, Collector};
+use sst_monitor::topology::Aggregator;
+use sst_monitor::transport::{
+    pump_blocking, EventLoopServer, ServeOptions, ServeReport, FALLBACK_ID_BASE,
+};
+use sst_monitor::Collector;
 use sst_monitor::{
-    decode_snapshot, encode_snapshot, EngineSnapshot, Frame, FrameDecoder, MonitorConfig,
-    MonitorEngine, SamplerSpec,
+    decode_snapshot, encode_snapshot, EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec,
 };
 use sst_nettrace::TraceSynthesizer;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -196,6 +212,9 @@ fn serve(rest: Vec<String>) {
         .unwrap_or_else(|| die("serve needs a socket path"));
     let mut collectors = 1usize;
     let mut out: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut accept_timeout: Option<Duration> = None;
+    let mut threaded = false;
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> String {
             it.next()
@@ -204,32 +223,82 @@ fn serve(rest: Vec<String>) {
         match a.as_str() {
             "--collectors" => collectors = parse(&num("--collectors"), "--collectors"),
             "--out" => out = Some(num("--out")),
+            "--tcp" => tcp = Some(num("--tcp")),
+            "--accept-timeout" => {
+                let secs: f64 = parse(&num("--accept-timeout"), "--accept-timeout");
+                // try_from rejects NaN, infinity, and out-of-range;
+                // the explicit check below rejects zero and negatives.
+                match Duration::try_from_secs_f64(secs) {
+                    Ok(d) if !d.is_zero() => accept_timeout = Some(d),
+                    _ => die("--accept-timeout needs a positive (finite) number of seconds"),
+                }
+            }
+            "--threaded" => threaded = true,
+            "--event-loop" => threaded = false, // The default; kept for explicitness.
             other => die(&format!("unexpected argument '{other}'")),
         }
     }
     let _ = std::fs::remove_file(&socket);
     let listener =
         UnixListener::bind(&socket).unwrap_or_else(|e| die(&format!("bind {socket}: {e}")));
-    eprintln!("listening on {socket} for {collectors} collector(s)");
-    let agg = Arc::new(Mutex::new(Aggregator::new()));
-    std::thread::scope(|scope| {
-        for conn in 0..collectors {
-            let (stream, _) = listener
-                .accept()
-                .unwrap_or_else(|e| die(&format!("accept: {e}")));
-            let agg = Arc::clone(&agg);
-            // Legacy (Hello-less) sessions get ids past u32 so they
-            // can't collide with forwarders' small collector ids.
-            let fallback_id = (1u64 << 32) + conn as u64;
-            scope.spawn(move || {
-                if let Err(e) = pump_session(stream, &agg, fallback_id) {
-                    die(&format!("session failed: {e}"));
-                }
-            });
+    eprintln!(
+        "listening on {socket} for {collectors} collector(s) [{}]",
+        if threaded { "threaded" } else { "event loop" }
+    );
+    let (agg, rep) = if threaded {
+        if tcp.is_some() {
+            die("--tcp needs the event-loop transport (drop --threaded)");
         }
-    });
+        serve_threaded(listener, collectors, accept_timeout)
+    } else {
+        let opts = ServeOptions {
+            collectors,
+            accept_timeout,
+        };
+        let mut server = EventLoopServer::new(Aggregator::new(), opts);
+        server
+            .add_unix_listener(listener)
+            .unwrap_or_else(|e| die(&format!("register unix listener: {e}")));
+        if let Some(addr) = &tcp {
+            let l = TcpListener::bind(addr).unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+            // :0 resolves to an ephemeral port; print the real one so
+            // forwarders (and tests) can find it.
+            match l.local_addr() {
+                Ok(a) => eprintln!("listening on tcp {a}"),
+                Err(_) => eprintln!("listening on tcp {addr}"),
+            }
+            server
+                .add_tcp_listener(l)
+                .unwrap_or_else(|e| die(&format!("register tcp listener: {e}")));
+        }
+        server
+            .run()
+            .unwrap_or_else(|e| die(&format!("event loop: {e}")))
+    };
     let _ = std::fs::remove_file(&socket);
-    let agg = agg.lock().expect("aggregator");
+    for f in &rep.failures {
+        eprintln!(
+            "session failed ({}, id {}): {} — isolated, kept serving",
+            f.peer,
+            f.session.map_or("unknown".into(), |s| s.to_string()),
+            f.error
+        );
+    }
+    if rep.probes > 0 {
+        eprintln!("ignored {} connect-and-close probe(s)", rep.probes);
+    }
+    if rep.aborted > 0 {
+        eprintln!(
+            "dropped {} session(s) still mid-stream at shutdown",
+            rep.aborted
+        );
+    }
+    if rep.timed_out {
+        eprintln!(
+            "accept timeout: assembled {} of {collectors} expected collector(s)",
+            rep.completed
+        );
+    }
     eprintln!(
         "assembled {} collector session(s), ~{} KiB aggregator state",
         agg.collector_count(),
@@ -244,50 +313,146 @@ fn serve(rest: Vec<String>) {
     }
 }
 
-/// Feeds one socket session into the shared aggregator, locking per
-/// frame so concurrent sessions interleave freely. Mirrors
-/// `Aggregator::ingest_stream` semantics (hand-rolled only because
-/// that method would hold the lock for the whole session): the first
-/// `Hello` names the session; a session that opens with data frames —
-/// e.g. a legacy `.ssm` stream, whose implicit `FullSnapshot` only
-/// decodes once EOF is signalled via `FrameDecoder::finish` — is
-/// attributed to `fallback_id`.
-fn pump_session(
-    mut stream: UnixStream,
-    agg: &Mutex<Aggregator>,
-    fallback_id: u64,
-) -> Result<(), Box<dyn std::error::Error>> {
-    use std::io::Read;
-    let mut dec = FrameDecoder::new();
-    let mut buf = [0u8; 64 * 1024];
-    let mut session: Option<u64> = None;
-    loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            dec.finish();
-        } else {
-            dec.push(&buf[..n]);
-        }
-        while let Some(frame) = dec.next_frame()? {
-            let id = match (&frame, session) {
-                (Frame::Hello { collector_id, .. }, _) => {
-                    session = Some(*collector_id);
-                    *collector_id
-                }
-                (_, Some(id)) => id,
-                (_, None) => {
-                    session = Some(fallback_id);
-                    fallback_id
-                }
-            };
-            agg.lock().expect("aggregator").feed(id, frame)?;
-        }
-        if n == 0 {
-            if dec.pending_bytes() != 0 {
-                return Err("connection closed mid-frame".into());
+/// The historical transport: one blocking thread per accepted
+/// connection, aggregator behind a mutex. Kept for comparison and as a
+/// fallback; shares the library's [`pump_blocking`] /
+/// [`sst_monitor::SessionDriver`] state machine with the event loop,
+/// so failures are isolated the same way (a bad session is logged and
+/// rolled back, never fatal) and the assembled bytes are identical.
+///
+/// Unlike the event loop it joins every accepted session before
+/// returning, so with `--accept-timeout` each session socket also gets
+/// that as its read timeout — a stalled (never-closing) client then
+/// fails its own session instead of holding the shutdown hostage.
+/// Without the flag, a stalled client blocks shutdown forever — one
+/// more reason the event loop is the default. Collector-id admission
+/// (spoof rejection) is event-loop-only; this path trusts its local
+/// Unix-socket peers to use distinct ids.
+fn serve_threaded(
+    listener: UnixListener,
+    collectors: usize,
+    accept_timeout: Option<Duration>,
+) -> (Aggregator, ServeReport) {
+    listener
+        .set_nonblocking(true)
+        .unwrap_or_else(|e| die(&format!("listener nonblocking: {e}")));
+    let agg = Mutex::new(Aggregator::new());
+    let completed = AtomicUsize::new(0);
+    let probes = AtomicUsize::new(0);
+    let failures = Mutex::new(Vec::new());
+    let last_activity = Mutex::new(Instant::now());
+    let mut timed_out = false;
+    std::thread::scope(|scope| {
+        let mut conn = 0u64;
+        loop {
+            if completed.load(Ordering::SeqCst) >= collectors {
+                break;
             }
-            return Ok(());
+            if let Some(t) = accept_timeout {
+                let last = *last_activity.lock().unwrap_or_else(PoisonError::into_inner);
+                if last.elapsed() >= t {
+                    timed_out = true;
+                    break;
+                }
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // A stalled client must not wedge the final scope
+                    // join: bound each blocking read by the same idle
+                    // budget (the read error then fails that session
+                    // alone).
+                    if let Some(t) = accept_timeout {
+                        let _ = stream.set_read_timeout(Some(t));
+                    }
+                    // Accepting alone is not activity (a periodic
+                    // prober must not defer the idle deadline) — the
+                    // ActivityRead wrapper stamps delivered bytes.
+                    // Legacy (Hello-less) sessions get ids past u32 so
+                    // they can't collide with forwarders' small ids.
+                    let fallback_id = FALLBACK_ID_BASE + conn;
+                    conn += 1;
+                    let (agg, completed, probes, failures, last_activity) =
+                        (&agg, &completed, &probes, &failures, &last_activity);
+                    scope.spawn(move || {
+                        // Stamp the activity clock per read, not just
+                        // at accept/exit, so a session actively
+                        // streaming for longer than --accept-timeout
+                        // doesn't trip the idle guard (matching the
+                        // event loop's semantics).
+                        let mut stream = ActivityRead {
+                            inner: stream,
+                            last_activity,
+                        };
+                        match pump_blocking(&mut stream, agg, fallback_id) {
+                            Ok(0) => {
+                                probes.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Ok(_) => {
+                                completed.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(e) => {
+                                // One bad session must not kill the
+                                // aggregator: record it, keep serving.
+                                failures
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .push(sst_monitor::transport::SessionFailure {
+                                        peer: "uds".into(),
+                                        session: e.session,
+                                        error: e.error.to_string(),
+                                    });
+                            }
+                        }
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                // Peer resets and fd exhaustion are transient; dying
+                // here would discard every completed session — the
+                // total-loss failure this PR removes. Same
+                // classification as the event loop's accept path.
+                Err(e) if sst_monitor::transport::accept_error_is_transient(&e) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => die(&format!("accept: {e}")),
+            }
         }
+    });
+    let report = ServeReport {
+        completed: completed.into_inner(),
+        probes: probes.into_inner(),
+        failures: failures
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
+        aborted: 0,
+        timed_out,
+    };
+    // Even if a session thread panicked while holding the lock, the
+    // completed sessions' state is intact (it is keyed per session):
+    // recover it rather than discarding everything.
+    let agg = agg.into_inner().unwrap_or_else(PoisonError::into_inner);
+    (agg, report)
+}
+
+/// Read adapter for the threaded transport: stamps the shared
+/// activity clock on every successful read so the accept-timeout means
+/// "no session activity" there too.
+struct ActivityRead<'a> {
+    inner: UnixStream,
+    last_activity: &'a Mutex<Instant>,
+}
+
+impl Read for ActivityRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if n > 0 {
+            *self
+                .last_activity
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Instant::now();
+        }
+        Ok(n)
     }
 }
 
@@ -295,7 +460,7 @@ fn forward(rest: Vec<String>) {
     let mut it = rest.into_iter();
     let socket = it
         .next()
-        .unwrap_or_else(|| die("forward needs a socket path"));
+        .unwrap_or_else(|| die("forward needs a socket path (or host:port with --tcp)"));
     let mut w = Workload {
         seed: 1,
         duration: 120.0,
@@ -308,12 +473,14 @@ fn forward(rest: Vec<String>) {
     let mut part = 0u64;
     let mut n_parts = 1u64;
     let mut flush_every = 1usize << 14;
+    let mut tcp = false;
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> String {
             it.next()
                 .unwrap_or_else(|| die(&format!("{what} needs a value")))
         };
         match a.as_str() {
+            "--tcp" => tcp = true,
             "--seed" => w.seed = parse(&num("--seed"), "--seed"),
             "--duration" => w.duration = parse(&num("--duration"), "--duration"),
             "--interval" => w.interval = parse(&num("--interval"), "--interval"),
@@ -340,8 +507,15 @@ fn forward(rest: Vec<String>) {
         .into_iter()
         .filter(|&(k, _)| k % n_parts == part)
         .collect();
-    let mut sock =
-        UnixStream::connect(&socket).unwrap_or_else(|e| die(&format!("connect {socket}: {e}")));
+    let mut sock: Box<dyn Write> = if tcp {
+        Box::new(
+            TcpStream::connect(&socket).unwrap_or_else(|e| die(&format!("connect {socket}: {e}"))),
+        )
+    } else {
+        Box::new(
+            UnixStream::connect(&socket).unwrap_or_else(|e| die(&format!("connect {socket}: {e}"))),
+        )
+    };
     let mut collector = Collector::new(id.unwrap_or(part), w.config(2));
     for chunk in points.chunks(flush_every.max(1)) {
         collector.offer_batch(chunk);

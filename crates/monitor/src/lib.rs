@@ -9,7 +9,7 @@
 //! reservoir, online dyadic variance-time Hurst state, and
 //! tail-exceedance counters.
 //!
-//! ## Collector topology — the four layers
+//! ## Collector topology — the five layers
 //!
 //! ```text
 //!            keyed points (k, v)
@@ -21,17 +21,26 @@
 //!  │ lifecycle eviction (idle/LRU) │  LifecycleConfig, Compactable
 //!  │           + compaction        │  final snapshots on evict
 //!  ├───────────────────────────────┤
-//!  │ transport versioned frames    │  Hello/Delta/FullSnapshot/
+//!  │ wire      versioned frames    │  Hello/Delta/FullSnapshot/
 //!  │           (length-prefixed)   │  Evicted/Bye, v1 compat
 //!  ├───────────────────────────────┤
 //!  │ topology  Collector ⇒         │  N processes ⇒ one merged
-//!  │           Aggregator          │  state, interleaving-proof
+//!  │           Aggregator          │  state, interleaving-proof,
+//!  │           SessionDriver       │  per-session state machine
+//!  ├───────────────────────────────┤
+//!  │ transport poll(2) event loop  │  UDS + TCP listeners, hostile
+//!  │           (or threads)        │  sessions isolated, no mutex
 //!  └───────────────────────────────┘
 //! ```
 //!
-//! [`MonitorEngine`] (in [`engine`]) is the facade over the bottom two
+//! [`MonitorEngine`] (in [`engine`]) is the facade over the top two
 //! layers and keeps the original single-process API; [`wire`] and
-//! [`topology`] extend it across process boundaries.
+//! [`topology`] extend it across process boundaries, and [`transport`]
+//! puts it on real sockets: a single-threaded `poll(2)` event loop
+//! ([`transport::EventLoopServer`]) multiplexing any number of
+//! Unix-domain and TCP collector sessions — one bad session is rolled
+//! back and logged, never fatal — with a blocking
+//! [`transport::pump_blocking`] for thread-per-connection callers.
 //!
 //! ## The merge-equivalence guarantee
 //!
@@ -85,7 +94,10 @@
 //! );
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// two-line `poll(2)` FFI in `transport::sys`, which carries its own
+// narrowly-scoped `#[allow(unsafe_code)]` and safety comment.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
@@ -94,11 +106,13 @@ pub mod ingest;
 pub mod lifecycle;
 pub mod summary;
 pub mod topology;
+pub mod transport;
 pub mod wire;
 
 pub use codec::{decode_snapshot, encode_snapshot, SnapshotCodecError};
 pub use engine::{EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec, StreamEntry};
 pub use lifecycle::{LifecycleConfig, LifecycleStats};
 pub use summary::{StreamSummary, SummaryConfig, SummarySnapshot};
-pub use topology::{Aggregator, Collector};
+pub use topology::{Aggregator, Collector, SessionDriver, SessionError};
+pub use transport::{EventLoopServer, ServeOptions, ServeReport, SessionStream};
 pub use wire::{decode_frames, encode_frame, Frame, FrameDecoder, WireError, WIRE_VERSION};

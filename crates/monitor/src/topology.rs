@@ -27,10 +27,11 @@
 //! in-memory pipes and Unix sockets.
 
 use crate::engine::{EngineSnapshot, MonitorConfig, MonitorEngine, StreamEntry};
-use crate::wire::{read_frames, write_frame, Frame, WireError, WIRE_VERSION};
+use crate::wire::{read_frames, write_frame, Frame, FrameDecoder, WireError, WIRE_VERSION};
 use sst_core::stream::StreamDecision;
 use sst_core::summary::{Compactable, MergeableSummary};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::io::Write;
 
 /// A monitoring engine that streams its state over the wire protocol.
@@ -310,6 +311,21 @@ impl Aggregator {
         Ok(n)
     }
 
+    /// Discards every entry (live *and* retired) fed under
+    /// `collector_id`, as if that session had never connected.
+    ///
+    /// Transports call this when a session fails mid-stream — a
+    /// half-delivered cumulative view must not leak into the assembled
+    /// snapshot, so the guarantee stays "the snapshot is exactly the
+    /// completed sessions". Retired finals the failed session delivered
+    /// are lost with it; redelivering them on reconnect needs the
+    /// ack story the ROADMAP tracks. (Sessions are trusted to use
+    /// distinct ids — a session that claims another's id already stomps
+    /// its live view at `Hello` time.)
+    pub fn remove_collector(&mut self, collector_id: u64) {
+        self.collectors.remove(&collector_id);
+    }
+
     /// Collector sessions seen so far.
     pub fn collector_count(&self) -> usize {
         self.collectors.len()
@@ -340,6 +356,199 @@ impl Aggregator {
             .flat_map(|c| c.live.values().chain(c.retired.values()))
             .map(|e| 64 + e.summary.estimated_bytes())
             .sum()
+    }
+}
+
+/// Why a collector session failed.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The byte stream violated the wire protocol (or carried a frame
+    /// the aggregator rejected, e.g. an unsupported `Hello` version).
+    Wire(WireError),
+    /// The connection closed with a partial frame still buffered.
+    MidFrameEof,
+    /// The session tried to feed under a collector id the transport's
+    /// admission policy refused (e.g. an id another session owns).
+    IdRejected(u64),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Wire(e) => write!(f, "wire: {e}"),
+            SessionError::MidFrameEof => f.write_str("connection closed mid-frame"),
+            SessionError::IdRejected(id) => {
+                write!(f, "collector id {id} already owned by another session")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// The per-session state machine every transport shares: bytes in,
+/// aggregator mutations out.
+///
+/// A `SessionDriver` owns one connection's [`FrameDecoder`] and session
+/// identity. Push bytes as they arrive ([`SessionDriver::push`]), call
+/// [`SessionDriver::finish`] at EOF; each completed frame is fed to the
+/// [`Aggregator`] under the session's id — the id from the first
+/// `Hello`, or `fallback_id` for legacy (Hello-less) `.ssm` streams,
+/// whose implicit `FullSnapshot` only decodes once EOF is signalled.
+///
+/// The driver never touches the aggregator except through
+/// [`Aggregator::feed`]/[`Aggregator::remove_collector`], so the same
+/// state machine serves the blocking thread-per-connection transport
+/// (aggregator behind a mutex, pushed under the lock) and the
+/// single-threaded event loop (exclusive aggregator, no lock) — and is
+/// unit-testable against in-memory byte slices.
+pub struct SessionDriver {
+    dec: FrameDecoder,
+    session: Option<u64>,
+    fallback_id: u64,
+    frames: usize,
+    /// Every collector id this session fed at least one frame under —
+    /// a session that re-`Hello`s under new ids touches several, and
+    /// [`SessionDriver::abort`] must roll back all of them.
+    fed: BTreeSet<u64>,
+}
+
+impl SessionDriver {
+    /// A fresh session; data frames arriving before any `Hello` are
+    /// attributed to `fallback_id`.
+    pub fn new(fallback_id: u64) -> Self {
+        SessionDriver {
+            dec: FrameDecoder::new(),
+            session: None,
+            fallback_id,
+            frames: 0,
+            fed: BTreeSet::new(),
+        }
+    }
+
+    /// Feeds a chunk of received bytes, applying every frame that
+    /// completes. Equivalent to [`SessionDriver::push_admitted`] with
+    /// an admit-everything policy — for transports whose peers are
+    /// trusted to use distinct ids (in-process pipes, local Unix
+    /// sockets).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Wire`] on malformed bytes or a rejected frame;
+    /// the session is then dead (callers should [`SessionDriver::abort`]
+    /// and drop the connection).
+    pub fn push(&mut self, bytes: &[u8], agg: &mut Aggregator) -> Result<(), SessionError> {
+        self.push_admitted(bytes, agg, &mut |_| true)
+    }
+
+    /// As [`SessionDriver::push`], but `admit` is consulted **before**
+    /// the first frame under each newly-claimed collector id is
+    /// applied — returning `false` fails the session with
+    /// [`SessionError::IdRejected`] *before* the frame can touch the
+    /// aggregator (a spoofed `Hello` would otherwise clear the real
+    /// collector's live view). Network-facing transports use this to
+    /// refuse ids already owned by another live or completed session.
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionDriver::push`], plus [`SessionError::IdRejected`].
+    pub fn push_admitted(
+        &mut self,
+        bytes: &[u8],
+        agg: &mut Aggregator,
+        admit: &mut dyn FnMut(u64) -> bool,
+    ) -> Result<(), SessionError> {
+        self.dec.push(bytes);
+        self.drain(agg, admit)
+    }
+
+    /// Signals EOF: decodes anything still pending (a legacy snapshot
+    /// decodes only now) and verifies the stream ended on a frame
+    /// boundary. Admits everything, like [`SessionDriver::push`].
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::MidFrameEof`] if bytes of an incomplete frame
+    /// remain; [`SessionError::Wire`] as [`SessionDriver::push`].
+    pub fn finish(&mut self, agg: &mut Aggregator) -> Result<(), SessionError> {
+        self.finish_admitted(agg, &mut |_| true)
+    }
+
+    /// As [`SessionDriver::finish`] with an admission policy (a legacy
+    /// stream establishes its fallback id only now, at EOF).
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionDriver::finish`], plus [`SessionError::IdRejected`].
+    pub fn finish_admitted(
+        &mut self,
+        agg: &mut Aggregator,
+        admit: &mut dyn FnMut(u64) -> bool,
+    ) -> Result<(), SessionError> {
+        self.dec.finish();
+        self.drain(agg, admit)?;
+        if self.dec.pending_bytes() != 0 {
+            return Err(SessionError::MidFrameEof);
+        }
+        Ok(())
+    }
+
+    /// Rolls the session's contribution back out of the aggregator:
+    /// every collector id it fed frames under is removed (no-op if it
+    /// never delivered a frame). Call on session failure.
+    pub fn abort(&self, agg: &mut Aggregator) {
+        for &id in &self.fed {
+            agg.remove_collector(id);
+        }
+    }
+
+    /// Frames successfully fed so far. Transports use `> 0` to tell a
+    /// real collector session from a connect-and-probe that must not
+    /// consume a collector slot.
+    pub fn frames_delivered(&self) -> usize {
+        self.frames
+    }
+
+    /// The session's established id (`Hello`'s collector id, or the
+    /// fallback once a Hello-less data frame arrived).
+    pub fn session_id(&self) -> Option<u64> {
+        self.session
+    }
+
+    /// Every collector id this session has fed frames under (what
+    /// [`SessionDriver::abort`] would roll back).
+    pub fn fed_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.fed.iter().copied()
+    }
+
+    fn drain(
+        &mut self,
+        agg: &mut Aggregator,
+        admit: &mut dyn FnMut(u64) -> bool,
+    ) -> Result<(), SessionError> {
+        while let Some(frame) = self.dec.next_frame().map_err(SessionError::Wire)? {
+            let id = match (&frame, self.session) {
+                (Frame::Hello { collector_id, .. }, _) => {
+                    self.session = Some(*collector_id);
+                    *collector_id
+                }
+                (_, Some(id)) => id,
+                (_, None) => {
+                    self.session = Some(self.fallback_id);
+                    self.fallback_id
+                }
+            };
+            // Admission runs before the frame is applied: a refused id
+            // must leave no trace (not even a `Hello`'s live-view
+            // reset).
+            if !self.fed.contains(&id) && !admit(id) {
+                return Err(SessionError::IdRejected(id));
+            }
+            agg.feed(id, frame).map_err(SessionError::Wire)?;
+            self.frames += 1;
+            self.fed.insert(id);
+        }
+        Ok(())
     }
 }
 
@@ -441,6 +650,113 @@ mod tests {
             },
         );
         assert_eq!(err, Err(WireError::UnsupportedVersion(77)));
+    }
+
+    #[test]
+    fn session_driver_replays_a_collector_pipe_chunk_by_chunk() {
+        let mut collector = Collector::new(5, config());
+        collector.offer_batch(&keyed_points(8000, 16));
+        let mut pipe = Vec::new();
+        collector.finish(&mut pipe).unwrap();
+        // Reference: the whole-stream ingest path.
+        let mut want = Aggregator::new();
+        want.ingest_stream(&mut pipe.as_slice(), 99).unwrap();
+        // Driver: awkward chunk sizes, EOF at the end.
+        for chunk in [1usize, 13, 4096] {
+            let mut agg = Aggregator::new();
+            let mut driver = SessionDriver::new(99);
+            for piece in pipe.chunks(chunk) {
+                driver.push(piece, &mut agg).expect("clean stream");
+            }
+            driver.finish(&mut agg).expect("clean eof");
+            assert_eq!(driver.session_id(), Some(5));
+            assert!(driver.frames_delivered() >= 2, "hello + data + bye");
+            assert_eq!(agg.snapshot(), want.snapshot(), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn session_driver_attributes_legacy_streams_to_the_fallback_id() {
+        let mut engine = MonitorEngine::new(config());
+        engine.offer_batch(&keyed_points(3000, 8));
+        let v1 = crate::codec::encode_snapshot(&engine.snapshot());
+        let mut agg = Aggregator::new();
+        let mut driver = SessionDriver::new(777);
+        driver.push(&v1, &mut agg).expect("buffering");
+        // A legacy snapshot's length is not declared up front: nothing
+        // decodes until EOF says the buffer is whole.
+        driver.finish(&mut agg).expect("legacy eof");
+        assert_eq!(driver.session_id(), Some(777));
+        assert_eq!(driver.frames_delivered(), 1);
+        assert_eq!(agg.snapshot(), engine.snapshot());
+    }
+
+    #[test]
+    fn session_driver_rejects_garbage_without_touching_the_aggregator() {
+        let mut agg = Aggregator::new();
+        let mut driver = SessionDriver::new(1);
+        assert!(matches!(
+            driver.push(b"GARBAGE, NOT A FRAME", &mut agg),
+            Err(SessionError::Wire(WireError::BadMagic))
+        ));
+        assert_eq!(driver.frames_delivered(), 0);
+        driver.abort(&mut agg);
+        assert_eq!(agg.collector_count(), 0);
+    }
+
+    #[test]
+    fn session_driver_mid_frame_eof_aborts_cleanly() {
+        // A session that dies mid-frame must report the failure and be
+        // removable, leaving the aggregator as if it never connected.
+        let mut collector = Collector::new(8, config());
+        collector.offer_batch(&keyed_points(5000, 8));
+        let mut pipe = Vec::new();
+        collector.finish(&mut pipe).unwrap();
+        let mut agg = Aggregator::new();
+        let mut driver = SessionDriver::new(1);
+        // Cut inside the final frame: earlier frames land, the cut one
+        // doesn't.
+        driver
+            .push(&pipe[..pipe.len() - 3], &mut agg)
+            .expect("whole frames are fine");
+        assert!(driver.frames_delivered() > 0);
+        assert!(matches!(
+            driver.finish(&mut agg),
+            Err(SessionError::MidFrameEof)
+        ));
+        assert_eq!(agg.collector_count(), 1, "partial frames were fed");
+        driver.abort(&mut agg);
+        assert_eq!(agg.collector_count(), 0, "abort rolls the session back");
+    }
+
+    #[test]
+    fn session_driver_abort_rolls_back_every_id_it_fed() {
+        // One connection re-Helloing under a second id before dying:
+        // abort must remove *both* ids' state, not just the latest.
+        let mut engine = MonitorEngine::new(config());
+        engine.offer_batch(&keyed_points(2000, 4));
+        let snap = engine.snapshot();
+        let mut bytes = Vec::new();
+        for f in [
+            Frame::Hello {
+                protocol: WIRE_VERSION,
+                collector_id: 10,
+            },
+            Frame::Delta(snap.clone()),
+            Frame::Hello {
+                protocol: WIRE_VERSION,
+                collector_id: 11,
+            },
+            Frame::Delta(snap),
+        ] {
+            bytes.extend_from_slice(&crate::wire::encode_frame(&f));
+        }
+        let mut agg = Aggregator::new();
+        let mut driver = SessionDriver::new(1);
+        driver.push(&bytes, &mut agg).expect("valid frames");
+        assert_eq!(agg.collector_count(), 2);
+        driver.abort(&mut agg);
+        assert_eq!(agg.collector_count(), 0, "both fed ids rolled back");
     }
 
     #[test]

@@ -1,0 +1,917 @@
+//! Socket transport for the collector topology: a single-threaded
+//! `poll(2)` event loop serving many collector sessions at once, plus
+//! the blocking per-connection pump the threaded transport shares.
+//!
+//! ## Why an event loop
+//!
+//! The original `monitor_tool serve` burned one blocking OS thread per
+//! collector connection. Sampled-NetFlow-style deployments put
+//! *hundreds* of exporters behind one aggregation point; at that fan-in
+//! the thread-per-connection model costs a stack and a scheduler slot
+//! per mostly-idle socket, and a mutex around the aggregator besides.
+//! The frame protocol is already incremental ([`FrameDecoder`] is
+//! push-based) and the per-session logic is a pure state machine
+//! ([`SessionDriver`]), so only the socket layer had to change:
+//!
+//! * every listener and connection is non-blocking,
+//! * one `poll(2)` call multiplexes all of them (level-triggered — a
+//!   partially-drained buffer simply reports readable again),
+//! * readable bytes feed each session's [`SessionDriver`], which feeds
+//!   the [`Aggregator`] **directly** — no mutex, no threads,
+//! * both Unix-domain and TCP listeners can serve concurrently, and
+//!   pre-accepted streams can be injected for tests and benches.
+//!
+//! Because the aggregator keys state per session and is
+//! interleaving-independent, the event loop's snapshot is
+//! **byte-identical** to the threaded transport's (and to a single
+//! unsharded engine over the same points) — pinned by
+//! `tests/transport_live.rs`.
+//!
+//! ## Failure isolation
+//!
+//! One bad session must never kill the aggregator. A session that sends
+//! garbage, violates the protocol, or disconnects mid-frame is rolled
+//! back ([`SessionDriver::abort`]) and recorded in the
+//! [`ServeReport`]; everything already assembled keeps serving. A
+//! connect-then-close probe (zero frames delivered) does not consume a
+//! collector slot. The assembled snapshot is exactly the union of
+//! *completed* sessions: ≥ 1 frame delivered, clean EOF.
+//!
+//! ## Shutdown
+//!
+//! [`EventLoopServer::run`] returns when `collectors` sessions have
+//! completed, or — with [`ServeOptions::accept_timeout`] — when no
+//! session delivered bytes for that long (so a serve waiting on clients
+//! that never come, or that stall, terminates instead of blocking
+//! forever). Sessions still in flight at shutdown are aborted and
+//! counted in [`ServeReport::aborted`].
+//!
+//! `io_uring` (batched submission, zero-syscall steady state) is the
+//! natural next step past `poll(2)` and is tracked in the ROADMAP.
+//!
+//! [`FrameDecoder`]: crate::wire::FrameDecoder
+
+use crate::topology::{Aggregator, SessionDriver};
+use std::collections::BTreeMap;
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Minimal FFI binding for `poll(2)` — the one hole in the crate's
+/// no-unsafe rule, confined to this module and wrapped by the safe
+/// [`sys::poll_fds`]. (No `libc` dependency: the container's workspace
+/// is offline, and two `#[repr(C)]` lines beat a vendored crate.)
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+    use std::os::raw::{c_int, c_ulong};
+
+    /// `struct pollfd` from `<poll.h>` (identical layout on every
+    /// Linux ABI this workspace targets).
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    /// There is input to read.
+    pub const POLLIN: i16 = 0x001;
+    /// Error condition (revents only).
+    pub const POLLERR: i16 = 0x008;
+    /// Peer hung up (revents only).
+    pub const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Blocks until an fd in `fds` is ready or `timeout_ms` elapses
+    /// (`-1` = forever), retrying on `EINTR`. Returns the ready count
+    /// (`0` on timeout); `revents` is filled in place.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `fds` is a valid, exclusively-borrowed slice of
+            // `#[repr(C)]` pollfd-layout structs; the kernel writes
+            // only `revents` within it.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms as c_int) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// A connected collector stream over either supported transport.
+pub enum SessionStream {
+    /// A Unix-domain connection.
+    Unix(UnixStream),
+    /// A TCP connection.
+    Tcp(TcpStream),
+}
+
+impl SessionStream {
+    fn set_nonblocking(&self, v: bool) -> io::Result<()> {
+        match self {
+            SessionStream::Unix(s) => s.set_nonblocking(v),
+            SessionStream::Tcp(s) => s.set_nonblocking(v),
+        }
+    }
+
+    fn peer_label(&self) -> String {
+        match self {
+            SessionStream::Unix(_) => "uds".to_string(),
+            SessionStream::Tcp(s) => s
+                .peer_addr()
+                .map(|a| format!("tcp {a}"))
+                .unwrap_or_else(|_| "tcp".to_string()),
+        }
+    }
+}
+
+impl AsRawFd for SessionStream {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            SessionStream::Unix(s) => s.as_raw_fd(),
+            SessionStream::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+impl Read for SessionStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            SessionStream::Unix(s) => s.read(buf),
+            SessionStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl From<UnixStream> for SessionStream {
+    fn from(s: UnixStream) -> Self {
+        SessionStream::Unix(s)
+    }
+}
+
+impl From<TcpStream> for SessionStream {
+    fn from(s: TcpStream) -> Self {
+        SessionStream::Tcp(s)
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Unix(l) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+
+    /// Accepts one pending connection, `Ok(None)` when none is queued.
+    fn accept(&self) -> io::Result<Option<SessionStream>> {
+        let res = match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| SessionStream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| SessionStream::Tcp(s)),
+        };
+        match res {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            // Transient conditions (peer reset, fd exhaustion) must
+            // not kill the loop: losing the whole assembled aggregator
+            // over them would be the total-loss failure this transport
+            // exists to prevent. Back off briefly — under EMFILE the
+            // listener stays readable, so poll would otherwise spin
+            // hot — and retry next round.
+            Err(e) if accept_error_is_transient(&e) => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// `accept(2)` failures that indicate a transient per-connection or
+/// resource condition rather than a broken listener: the peer reset
+/// before we got to it (`ECONNABORTED`), or process/system fd
+/// exhaustion (`EMFILE`/`ENFILE`). Callers should back off briefly and
+/// keep serving — dying would discard every completed session. Shared
+/// by the event loop and the threaded accept loop so the two
+/// transports classify identically.
+pub fn accept_error_is_transient(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::ConnectionAborted
+        // EMFILE = 24, ENFILE = 23 on every Linux ABI this targets.
+        || matches!(e.raw_os_error(), Some(23) | Some(24))
+}
+
+/// How [`EventLoopServer::run`] decides it is done.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Stop once this many sessions completed (≥ 1 frame delivered,
+    /// clean EOF). Probes and failed sessions do not count.
+    pub collectors: usize,
+    /// Stop when no session delivered bytes for this long — the guard
+    /// against clients that never connect (or stall forever). `None`
+    /// waits indefinitely.
+    pub accept_timeout: Option<Duration>,
+}
+
+/// One failed session, as recorded in the [`ServeReport`].
+#[derive(Clone, Debug)]
+pub struct SessionFailure {
+    /// Transport-level peer label (`"uds"` / `"tcp <addr>"`).
+    pub peer: String,
+    /// The session id it had established, if any.
+    pub session: Option<u64>,
+    /// Human-readable failure cause.
+    pub error: String,
+}
+
+/// What a serve run saw: the observability half of failure isolation.
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Sessions that delivered ≥ 1 frame and closed cleanly — the ones
+    /// whose state the assembled snapshot holds.
+    pub completed: usize,
+    /// Connect-then-close probes (clean EOF, zero frames): logged,
+    /// never counted against `collectors`.
+    pub probes: usize,
+    /// Sessions that failed (garbage, protocol violation, mid-frame
+    /// disconnect, read error); each was rolled back out of the
+    /// aggregator.
+    pub failures: Vec<SessionFailure>,
+    /// Sessions still mid-stream at shutdown, rolled back likewise.
+    pub aborted: usize,
+    /// `true` when the run ended on `accept_timeout` instead of
+    /// reaching the collector target.
+    pub timed_out: bool,
+}
+
+struct Session {
+    stream: SessionStream,
+    driver: SessionDriver,
+    peer: String,
+    /// Unique per accepted connection — the ownership token in the
+    /// collector-id registry (the fallback id doubles as it).
+    token: u64,
+}
+
+/// Who holds a collector id in the event loop's admission registry.
+enum IdOwner {
+    /// An open session (by its token) is feeding under this id.
+    Open(u64),
+    /// A completed session delivered this id's state; nobody may
+    /// claim it again within this serve run (a late "reconnect" after
+    /// a clean `Bye` is indistinguishable from a spoof).
+    Completed,
+}
+
+/// How one readable session left the poll round.
+enum SessionEnd {
+    /// Still open; its socket buffer is drained for now.
+    Open,
+    /// Clean EOF.
+    Done,
+    /// Dead: protocol or I/O failure.
+    Failed(String),
+}
+
+/// The single-threaded `poll(2)` serve loop: non-blocking listeners,
+/// per-connection [`SessionDriver`]s, one exclusively-owned
+/// [`Aggregator`] — see the module docs for the design.
+///
+/// ```no_run
+/// use sst_monitor::topology::Aggregator;
+/// use sst_monitor::transport::{EventLoopServer, ServeOptions};
+/// use std::os::unix::net::UnixListener;
+///
+/// let mut server = EventLoopServer::new(
+///     Aggregator::new(),
+///     ServeOptions { collectors: 64, accept_timeout: Some(std::time::Duration::from_secs(30)) },
+/// );
+/// server.add_unix_listener(UnixListener::bind("/tmp/agg.sock")?)?;
+/// let (agg, report) = server.run()?;
+/// assert_eq!(report.completed, 64);
+/// let snapshot = agg.snapshot();
+/// # std::io::Result::Ok(())
+/// ```
+pub struct EventLoopServer {
+    listeners: Vec<Listener>,
+    sessions: Vec<Session>,
+    agg: Aggregator,
+    opts: ServeOptions,
+    accepted: u64,
+    report: ServeReport,
+    /// Collector-id admission registry: an id already owned by another
+    /// open session, or delivered by a completed one, cannot be
+    /// claimed again — a spoofed `Hello` is rejected *before* it can
+    /// reset the real collector's live view (ids free up again when a
+    /// session fails, so reconnect-after-failure still works).
+    id_owners: BTreeMap<u64, IdOwner>,
+}
+
+/// Base of the fallback session-id range handed to legacy (Hello-less)
+/// sessions — past `u32`, so it cannot collide with forwarders' small
+/// collector ids.
+pub const FALLBACK_ID_BASE: u64 = 1 << 32;
+
+impl EventLoopServer {
+    /// A serve loop that will assemble into `agg` (pre-configure its
+    /// compaction budget there) under the given stop conditions.
+    pub fn new(agg: Aggregator, opts: ServeOptions) -> Self {
+        EventLoopServer {
+            listeners: Vec::new(),
+            sessions: Vec::new(),
+            agg,
+            opts,
+            accepted: 0,
+            report: ServeReport::default(),
+            id_owners: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a Unix-domain listener (switched to non-blocking).
+    ///
+    /// # Errors
+    ///
+    /// The `set_nonblocking` I/O error.
+    pub fn add_unix_listener(&mut self, l: UnixListener) -> io::Result<()> {
+        l.set_nonblocking(true)?;
+        self.listeners.push(Listener::Unix(l));
+        Ok(())
+    }
+
+    /// Registers a TCP listener (switched to non-blocking).
+    ///
+    /// # Errors
+    ///
+    /// The `set_nonblocking` I/O error.
+    pub fn add_tcp_listener(&mut self, l: TcpListener) -> io::Result<()> {
+        l.set_nonblocking(true)?;
+        self.listeners.push(Listener::Tcp(l));
+        Ok(())
+    }
+
+    /// Registers an already-accepted connection (tests, benches, or a
+    /// supervisor that does its own accepting).
+    ///
+    /// # Errors
+    ///
+    /// The `set_nonblocking` I/O error.
+    pub fn add_session(&mut self, stream: impl Into<SessionStream>) -> io::Result<()> {
+        let stream = stream.into();
+        stream.set_nonblocking(true)?;
+        self.accepted += 1;
+        // Unique per connection, so it doubles as the ownership token
+        // in the id registry.
+        let token = FALLBACK_ID_BASE + self.accepted - 1;
+        let driver = SessionDriver::new(token);
+        let peer = stream.peer_label();
+        self.sessions.push(Session {
+            stream,
+            driver,
+            peer,
+            token,
+        });
+        Ok(())
+    }
+
+    /// Runs the loop to completion and returns the assembled
+    /// aggregator plus the session report.
+    ///
+    /// # Errors
+    ///
+    /// Only loop-fatal I/O errors: `poll(2)` itself or a listener
+    /// accept failing. Per-session errors never surface here — they
+    /// are isolated into [`ServeReport::failures`].
+    pub fn run(mut self) -> io::Result<(Aggregator, ServeReport)> {
+        let mut last_activity = Instant::now();
+        while self.report.completed < self.opts.collectors {
+            // Nothing connected and nothing to connect through: no
+            // event can ever arrive, so waiting would hang forever.
+            // (Not a timeout — `completed < collectors` in the report
+            // already tells the caller the target was unreachable.)
+            if self.listeners.is_empty() && self.sessions.is_empty() {
+                break;
+            }
+            let timeout_ms = match self.opts.accept_timeout {
+                Some(t) => {
+                    let deadline = last_activity + t;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.report.timed_out = true;
+                        break;
+                    }
+                    // +1 so a sub-millisecond remainder still sleeps
+                    // instead of spinning; clamped below i32::MAX so
+                    // a ~25-day timeout can't overflow into poll(2)'s
+                    // negative-means-infinite encoding.
+                    (deadline - now).as_millis().min(i32::MAX as u128 - 1) as i32 + 1
+                }
+                None => -1,
+            };
+            let mut fds: Vec<sys::PollFd> = self
+                .listeners
+                .iter()
+                .map(Listener::as_raw_fd)
+                .chain(self.sessions.iter().map(|s| s.stream.as_raw_fd()))
+                .map(|fd| sys::PollFd {
+                    fd,
+                    events: sys::POLLIN,
+                    revents: 0,
+                })
+                .collect();
+            if sys::poll_fds(&mut fds, timeout_ms)? == 0 {
+                continue; // Timeout tick; the deadline check above decides.
+            }
+            let n_listeners = self.listeners.len();
+            // How many sessions the poll set covered — accepts below
+            // grow `self.sessions` past it, and those have no revents
+            // until the next round.
+            let n_polled = fds.len() - n_listeners;
+            // Accepting alone is *not* activity: a periodic prober
+            // (health check, port scan) must not defer the idle
+            // deadline forever — only delivered bytes do, below.
+            for (i, pfd) in fds[..n_listeners].iter().enumerate() {
+                if pfd.revents != 0 {
+                    while let Some(stream) = self.listeners[i].accept()? {
+                        self.add_session(stream)?;
+                    }
+                }
+            }
+            // Walk polled sessions back to front so closing one by
+            // swap-remove cannot skip or re-map a pending readiness
+            // bit (the swapped-in tail element is always one this
+            // round already handled or never polled).
+            for si in (0..n_polled).rev() {
+                let revents = fds[n_listeners + si].revents;
+                if revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) == 0 {
+                    continue;
+                }
+                let session = &mut self.sessions[si];
+                let (end, bytes_read) = Self::pump(session, &mut self.agg, &mut self.id_owners);
+                if bytes_read > 0 {
+                    last_activity = Instant::now();
+                }
+                match end {
+                    SessionEnd::Open => {}
+                    SessionEnd::Done => {
+                        if session.driver.frames_delivered() > 0 {
+                            self.report.completed += 1;
+                            // Its ids are spoken for within this run:
+                            // a later claimant would be a spoof.
+                            for id in session.driver.fed_ids() {
+                                self.id_owners.insert(id, IdOwner::Completed);
+                            }
+                        } else {
+                            self.report.probes += 1;
+                        }
+                        self.sessions.swap_remove(si);
+                    }
+                    SessionEnd::Failed(error) => {
+                        session.driver.abort(&mut self.agg);
+                        // Free its ids so the collector can reconnect
+                        // and resend cumulative state.
+                        let token = session.token;
+                        self.id_owners
+                            .retain(|_, o| !matches!(o, IdOwner::Open(t) if *t == token));
+                        self.report.failures.push(SessionFailure {
+                            peer: session.peer.clone(),
+                            session: session.driver.session_id(),
+                            error,
+                        });
+                        self.sessions.swap_remove(si);
+                    }
+                }
+            }
+        }
+        // Shutdown: roll back sessions still mid-stream so the snapshot
+        // is exactly the completed sessions (probes have nothing fed).
+        for session in self.sessions.drain(..) {
+            if session.driver.frames_delivered() > 0 {
+                session.driver.abort(&mut self.agg);
+                self.report.aborted += 1;
+            }
+        }
+        Ok((self.agg, self.report))
+    }
+
+    /// Per-session byte budget for one poll round. A firehose peer
+    /// whose data arrives faster than we drain it would otherwise keep
+    /// `read` returning data forever and monopolize the single thread;
+    /// capping the round re-arms level-triggered poll (the fd stays
+    /// readable) and lets every other session make progress in
+    /// between.
+    const MAX_ROUND_BYTES: usize = 4 << 20;
+
+    /// Drains one readable session's socket buffer into its driver —
+    /// up to [`Self::MAX_ROUND_BYTES`] per round — returning how it
+    /// ended plus the bytes read (the caller's idle-deadline currency
+    /// — EOF-only rounds deliver nothing). Frames pass the
+    /// id-admission registry before they apply, so a session claiming
+    /// an id another session owns fails *before* it can touch that
+    /// collector's state.
+    fn pump(
+        session: &mut Session,
+        agg: &mut Aggregator,
+        owners: &mut BTreeMap<u64, IdOwner>,
+    ) -> (SessionEnd, usize) {
+        let token = session.token;
+        let mut admit = |id: u64| match owners.get(&id) {
+            None => {
+                owners.insert(id, IdOwner::Open(token));
+                true
+            }
+            Some(IdOwner::Open(t)) => *t == token,
+            Some(IdOwner::Completed) => false,
+        };
+        let mut buf = [0u8; 64 * 1024];
+        let mut total = 0usize;
+        loop {
+            match session.stream.read(&mut buf) {
+                Ok(0) => {
+                    let end = match session.driver.finish_admitted(agg, &mut admit) {
+                        Ok(()) => SessionEnd::Done,
+                        Err(e) => SessionEnd::Failed(e.to_string()),
+                    };
+                    return (end, total);
+                }
+                Ok(n) => {
+                    total += n;
+                    if let Err(e) = session.driver.push_admitted(&buf[..n], agg, &mut admit) {
+                        return (SessionEnd::Failed(e.to_string()), total);
+                    }
+                    if total >= Self::MAX_ROUND_BYTES {
+                        return (SessionEnd::Open, total);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return (SessionEnd::Open, total)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return (SessionEnd::Failed(format!("read: {e}")), total),
+            }
+        }
+    }
+}
+
+/// The blocking per-connection pump the **threaded** transport uses:
+/// reads `stream` to EOF, feeding each chunk to a [`SessionDriver`]
+/// under a short-lived aggregator lock (held per chunk, so concurrent
+/// sessions interleave freely).
+///
+/// A poisoned mutex — some *other* session thread panicked mid-feed —
+/// is recovered via [`PoisonError::into_inner`]: the aggregator's
+/// per-collector state is keyed by session, so the panicking session's
+/// damage cannot extend past its own id, and losing every completed
+/// session to a poison flag would be strictly worse.
+///
+/// A failed blocking pump: the I/O-level cause plus the collector id
+/// the session had established before dying — the triage handle an
+/// operator needs to tell *which* of N collectors is flapping (the
+/// event loop reports the same through [`SessionFailure::session`]).
+#[derive(Debug)]
+pub struct PumpError {
+    /// The session's established id, if it got that far.
+    pub session: Option<u64>,
+    /// What killed it ([`SessionError`] wrapped as `InvalidData`, or
+    /// the stream's read error).
+    pub error: io::Error,
+}
+
+impl std::fmt::Display for PumpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.session {
+            Some(id) => write!(f, "session {id}: {}", self.error),
+            None => self.error.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PumpError {}
+
+/// Returns the number of frames delivered (`0` ⇒ the connection was a
+/// probe and must not consume a collector slot).
+///
+/// # Errors
+///
+/// [`PumpError`] carrying the established session id (if any) and the
+/// cause. On failure the session's partial contribution has already
+/// been rolled back ([`SessionDriver::abort`]).
+pub fn pump_blocking(
+    stream: &mut impl Read,
+    agg: &Mutex<Aggregator>,
+    fallback_id: u64,
+) -> Result<usize, PumpError> {
+    fn lock(agg: &Mutex<Aggregator>) -> std::sync::MutexGuard<'_, Aggregator> {
+        agg.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+    let mut driver = SessionDriver::new(fallback_id);
+    let mut buf = [0u8; 64 * 1024];
+    let fail = |driver: &SessionDriver, error: io::Error| {
+        driver.abort(&mut lock(agg));
+        PumpError {
+            session: driver.session_id(),
+            error,
+        }
+    };
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(fail(&driver, e)),
+        };
+        // Bind each step's result before inspecting it: the guard
+        // temporary in `lock(agg)` lives to the end of its statement,
+        // and `fail` needs the lock again.
+        if n == 0 {
+            let res = driver.finish(&mut lock(agg));
+            res.map_err(|e| fail(&driver, io::Error::new(io::ErrorKind::InvalidData, e)))?;
+            return Ok(driver.frames_delivered());
+        }
+        let res = driver.push(&buf[..n], &mut lock(agg));
+        res.map_err(|e| fail(&driver, io::Error::new(io::ErrorKind::InvalidData, e)))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MonitorConfig, MonitorEngine, SamplerSpec};
+    use crate::topology::Collector;
+
+    fn config() -> MonitorConfig {
+        MonitorConfig::default()
+            .sampler(SamplerSpec::Systematic { interval: 3 })
+            .seed(9)
+    }
+
+    fn keyed_points(n: usize, n_keys: u64) -> Vec<(u64, f64)> {
+        (0..n)
+            .map(|i| {
+                let key = (i as u64).wrapping_mul(0x9E37_79B9) % n_keys;
+                (key, 1.0 + (i % 53) as f64)
+            })
+            .collect()
+    }
+
+    /// Encodes one collector session (Hello … Bye) as wire bytes.
+    fn session_bytes(id: u64, points: &[(u64, f64)]) -> Vec<u8> {
+        let mut c = Collector::new(id, config());
+        let mut pipe = Vec::new();
+        for chunk in points.chunks(1500) {
+            c.offer_batch(chunk);
+            c.flush(&mut pipe).unwrap();
+        }
+        c.finish(&mut pipe).unwrap();
+        pipe
+    }
+
+    /// Writes `bytes` into a socketpair and hands the read end to the
+    /// server (payloads stay far below the kernel buffer, so the
+    /// blocking write cannot deadlock the single thread).
+    fn inject(server: &mut EventLoopServer, bytes: &[u8]) {
+        use std::io::Write;
+        let (mut tx, rx) = UnixStream::pair().expect("socketpair");
+        tx.write_all(bytes).expect("buffered write");
+        drop(tx); // EOF for the server side.
+        server.add_session(rx).expect("add_session");
+    }
+
+    #[test]
+    fn event_loop_assembles_injected_sessions_to_the_reference_bits() {
+        let points = keyed_points(12_000, 24);
+        let mut reference = MonitorEngine::new(config());
+        for &(k, v) in &points {
+            reference.offer(k, v);
+        }
+        let mut server = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: 3,
+                accept_timeout: None,
+            },
+        );
+        for part in 0..3u64 {
+            let mine: Vec<_> = points
+                .iter()
+                .filter(|&&(k, _)| k % 3 == part)
+                .copied()
+                .collect();
+            inject(&mut server, &session_bytes(part, &mine));
+        }
+        let (agg, report) = server.run().expect("serve");
+        assert_eq!(report.completed, 3);
+        assert!(report.failures.is_empty());
+        assert_eq!(agg.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn hostile_sessions_are_isolated_and_rolled_back() {
+        let points = keyed_points(9000, 16);
+        let mut reference = MonitorEngine::new(config());
+        for &(k, v) in &points {
+            reference.offer(k, v);
+        }
+        let mut server = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: 2,
+                accept_timeout: None,
+            },
+        );
+        // Two healthy halves…
+        for part in 0..2u64 {
+            let mine: Vec<_> = points
+                .iter()
+                .filter(|&&(k, _)| k % 2 == part)
+                .copied()
+                .collect();
+            inject(&mut server, &session_bytes(part, &mine));
+        }
+        // …plus a garbage client, a mid-frame disconnect (valid prefix,
+        // torn tail), and two connect-and-close probes.
+        inject(&mut server, b"SSWF this was never a frame");
+        let torn = session_bytes(700, &keyed_points(4000, 7));
+        inject(&mut server, &torn[..torn.len() - 5]);
+        inject(&mut server, b"");
+        inject(&mut server, b"");
+        let (agg, report) = server.run().expect("serve survives hostility");
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.probes, 2);
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(
+            agg.snapshot(),
+            reference.snapshot(),
+            "hostile sessions must leave no trace in the snapshot"
+        );
+    }
+
+    #[test]
+    fn spoofed_collector_id_is_rejected_without_touching_state() {
+        // A healthy session completes as id 4; a second session then
+        // claiming id 4 with a valid Hello must be refused before its
+        // Hello can reset (or its frames replace) the real state.
+        // Sessions are swept newest-injected-first, so inject the
+        // spoofer *first* to have it processed after the healthy one.
+        let points = keyed_points(8000, 16);
+        let mut reference = MonitorEngine::new(config());
+        for &(k, v) in &points {
+            reference.offer(k, v);
+        }
+        let mut server = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: 1,
+                accept_timeout: None,
+            },
+        );
+        let healthy = session_bytes(4, &points);
+        let mut spoof = Vec::new();
+        let mut c = Collector::new(4, config());
+        c.offer_batch(&keyed_points(2000, 4)); // Different data, same id.
+        c.finish(&mut spoof).unwrap();
+        inject(&mut server, &spoof);
+        inject(&mut server, &healthy);
+        let (agg, report) = server.run().expect("serve");
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failures.len(), 1);
+        assert!(
+            report.failures[0].error.contains("already owned"),
+            "got: {}",
+            report.failures[0].error
+        );
+        assert_eq!(
+            agg.snapshot(),
+            reference.snapshot(),
+            "the spoofer must leave no trace"
+        );
+    }
+
+    #[test]
+    fn a_failed_session_frees_its_id_for_reconnect() {
+        // A collector that dies mid-frame and reconnects under the
+        // same id must be admitted again (its failed contribution was
+        // rolled back, the resent cumulative state replaces nothing).
+        let points = keyed_points(8000, 16);
+        let mut reference = MonitorEngine::new(config());
+        for &(k, v) in &points {
+            reference.offer(k, v);
+        }
+        let full = session_bytes(3, &points);
+        let mut server = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: 1,
+                accept_timeout: None,
+            },
+        );
+        // Reconnect injected first => processed second (after the torn
+        // session failed and freed the id).
+        inject(&mut server, &full);
+        inject(&mut server, &full[..full.len() - 5]);
+        let (agg, report) = server.run().expect("serve");
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failures.len(), 1, "the torn session failed");
+        assert_eq!(agg.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn accept_timeout_unblocks_a_short_handed_serve() {
+        // A live listener nobody else connects to: without the idle
+        // deadline the loop would wait forever for collectors 2–5.
+        let dir = std::env::temp_dir().join(format!("sst_evl_timeout_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("socket dir");
+        let path = dir.join("idle.sock");
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).expect("bind");
+        let points = keyed_points(5000, 8);
+        let mut server = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: 5, // Only one will ever arrive.
+                accept_timeout: Some(Duration::from_millis(50)),
+            },
+        );
+        server.add_unix_listener(listener).expect("register");
+        inject(&mut server, &session_bytes(0, &points));
+        let start = Instant::now();
+        let (agg, report) = server.run().expect("serve");
+        let _ = std::fs::remove_file(&path);
+        assert!(report.timed_out);
+        assert_eq!(report.completed, 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "must not block forever"
+        );
+        assert_eq!(agg.collector_count(), 1, "the delivered session stays");
+    }
+
+    #[test]
+    fn exhausted_sessions_without_listeners_end_without_a_timeout_flag() {
+        // No listeners and no open sessions left: nothing can ever
+        // arrive, so run() returns immediately — and that is a target
+        // shortfall (completed < collectors), not a timeout.
+        let points = keyed_points(5000, 8);
+        let mut server = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: 5,
+                accept_timeout: None,
+            },
+        );
+        inject(&mut server, &session_bytes(0, &points));
+        let (agg, report) = server.run().expect("serve");
+        assert!(!report.timed_out, "no accept_timeout was configured");
+        assert_eq!(report.completed, 1);
+        assert_eq!(agg.collector_count(), 1);
+    }
+
+    #[test]
+    fn pump_blocking_recovers_a_poisoned_aggregator() {
+        let points = keyed_points(6000, 8);
+        let agg = Mutex::new(Aggregator::new());
+        // Poison the mutex the way a panicking session thread would.
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = agg.lock().unwrap();
+                panic!("session thread dies while holding the lock");
+            })
+            .join()
+        });
+        assert!(agg.lock().is_err(), "mutex must actually be poisoned");
+        let bytes = session_bytes(4, &points);
+        let frames =
+            pump_blocking(&mut bytes.as_slice(), &agg, FALLBACK_ID_BASE).expect("recovered");
+        assert!(frames > 0);
+        let guard = agg.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut reference = MonitorEngine::new(config());
+        for &(k, v) in &points {
+            reference.offer(k, v);
+        }
+        assert_eq!(guard.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn pump_blocking_rolls_back_failed_sessions() {
+        let agg = Mutex::new(Aggregator::new());
+        let bytes = session_bytes(6, &keyed_points(4000, 8));
+        let err = pump_blocking(&mut &bytes[..bytes.len() - 4], &agg, FALLBACK_ID_BASE)
+            .expect_err("mid-frame EOF must fail");
+        assert_eq!(err.error.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(err.session, Some(6), "failure names the collector");
+        assert_eq!(agg.lock().unwrap().collector_count(), 0);
+    }
+}

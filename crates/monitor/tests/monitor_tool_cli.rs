@@ -1,0 +1,228 @@
+//! End-to-end pins for the `monitor_tool` binary: a live `serve`
+//! process (event-loop default and `--threaded`) fed by real `forward`
+//! processes over Unix sockets and TCP, with hostile clients injected —
+//! the shell-level demo of the wire-boundary merge-equivalence
+//! guarantee, and the regression test for "one bad session used to
+//! kill the aggregator".
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const SEED: &str = "7";
+const DURATION: &str = "120";
+
+fn tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_monitor_tool"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sst_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// `run --shards 1` — the single-process reference snapshot.
+fn reference_snapshot(dir: &Path) -> Vec<u8> {
+    let ref_path = dir.join("ref.ssm");
+    let status = tool()
+        .args([
+            "run",
+            "--seed",
+            SEED,
+            "--duration",
+            DURATION,
+            "--shards",
+            "1",
+        ])
+        .arg("--snapshot")
+        .arg(&ref_path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn run");
+    assert!(status.success(), "reference run failed");
+    std::fs::read(&ref_path).expect("reference bytes")
+}
+
+fn spawn_forward(target: &str, part: u64, n_parts: u64, tcp: bool) -> Child {
+    let mut cmd = tool();
+    cmd.args(["forward", target]);
+    if tcp {
+        cmd.arg("--tcp");
+    }
+    cmd.args([
+        "--partition",
+        &format!("{part}/{n_parts}"),
+        "--seed",
+        SEED,
+        "--duration",
+        DURATION,
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    cmd.spawn().expect("spawn forward")
+}
+
+/// Reads serve's stderr until the TCP listener line appears, returning
+/// the bound address and a thread draining the rest into a String.
+fn tcp_addr_from_stderr(
+    stderr: std::process::ChildStderr,
+) -> (String, std::thread::JoinHandle<String>) {
+    let mut reader = BufReader::new(stderr);
+    let mut addr = None;
+    let mut seen = String::new();
+    for _ in 0..64 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("serve stderr") == 0 {
+            break;
+        }
+        seen.push_str(&line);
+        if let Some(rest) = line.trim().strip_prefix("listening on tcp ") {
+            addr = Some(rest.to_string());
+            break;
+        }
+    }
+    let addr = addr.unwrap_or_else(|| panic!("no tcp listener line in serve stderr:\n{seen}"));
+    let drain = std::thread::spawn(move || {
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).expect("drain stderr");
+        seen + &rest
+    });
+    (addr, drain)
+}
+
+#[test]
+fn event_loop_serve_with_mixed_transports_and_hostile_clients_matches_run() {
+    let dir = scratch_dir("evloop");
+    let reference = reference_snapshot(&dir);
+    let sock = dir.join("agg.sock");
+    let out = dir.join("out.ssm");
+
+    let mut serve = tool()
+        .arg("serve")
+        .arg(&sock)
+        .args(["--tcp", "127.0.0.1:0", "--collectors", "3"])
+        .args(["--accept-timeout", "120"])
+        .arg("--out")
+        .arg(&out)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let (tcp_addr, stderr_thread) = tcp_addr_from_stderr(serve.stderr.take().expect("stderr"));
+
+    // Hostile clients first, fully finished before any forwarder: a
+    // garbage UDS session (this used to kill the whole aggregator), a
+    // mid-frame TCP cut, and connect-and-close probes on both
+    // transports. None may consume a collector slot.
+    {
+        let mut s = UnixStream::connect(&sock).expect("connect uds");
+        s.write_all(b"NOT A FRAME AT ALL").expect("garbage write");
+        drop(s);
+        let mut s = TcpStream::connect(&tcp_addr).expect("connect tcp");
+        // A valid v2 header cut inside its declared payload.
+        s.write_all(b"SSWF\x02\x01\xff\x00\x00\x00partial")
+            .expect("torn write");
+        drop(s);
+        drop(UnixStream::connect(&sock).expect("probe uds"));
+        drop(TcpStream::connect(&tcp_addr).expect("probe tcp"));
+    }
+
+    // Three healthy forwarders: two over UDS, one over TCP.
+    let sock_str = sock.to_str().expect("utf8 path");
+    let mut forwards = vec![
+        spawn_forward(sock_str, 0, 3, false),
+        spawn_forward(sock_str, 1, 3, false),
+        spawn_forward(&tcp_addr, 2, 3, true),
+    ];
+    for f in &mut forwards {
+        assert!(f.wait().expect("forward exit").success(), "forward failed");
+    }
+    let status = serve.wait().expect("serve exit");
+    let stderr = stderr_thread.join().expect("stderr thread");
+    assert!(
+        status.success(),
+        "serve must survive hostile clients:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("session failed"),
+        "hostile sessions should be logged:\n{stderr}"
+    );
+
+    let assembled = std::fs::read(&out).expect("assembled bytes");
+    assert_eq!(
+        assembled, reference,
+        "event-loop serve + 3 forwards must reproduce run --shards 1 byte-for-byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn threaded_serve_survives_a_bad_session_and_matches_run() {
+    let dir = scratch_dir("threaded");
+    let reference = reference_snapshot(&dir);
+    let sock = dir.join("agg.sock");
+    let out = dir.join("out.ssm");
+
+    let mut serve = tool()
+        .arg("serve")
+        .arg(&sock)
+        .args(["--threaded", "--collectors", "2"])
+        .args(["--accept-timeout", "120"])
+        .arg("--out")
+        .arg(&out)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    // Wait until the socket exists before connecting.
+    for _ in 0..500 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // The original bug: one bad session called die() inside the
+    // accept scope, killing the aggregator and every completed
+    // session. Now it must be logged and isolated.
+    {
+        let mut s = UnixStream::connect(&sock).expect("connect uds");
+        s.write_all(b"GARBAGE SESSION").expect("garbage write");
+        drop(s);
+        // And a probe, which must not consume a collector slot.
+        drop(UnixStream::connect(&sock).expect("probe uds"));
+    }
+
+    let sock_str = sock.to_str().expect("utf8 path");
+    let mut forwards = vec![
+        spawn_forward(sock_str, 0, 2, false),
+        spawn_forward(sock_str, 1, 2, false),
+    ];
+    for f in &mut forwards {
+        assert!(f.wait().expect("forward exit").success(), "forward failed");
+    }
+    let mut stderr_pipe = serve.stderr.take().expect("stderr");
+    let stderr_thread = std::thread::spawn(move || {
+        let mut s = String::new();
+        stderr_pipe.read_to_string(&mut s).expect("read stderr");
+        s
+    });
+    let status = serve.wait().expect("serve exit");
+    let stderr = stderr_thread.join().expect("stderr thread");
+    assert!(status.success(), "threaded serve must survive:\n{stderr}");
+    assert!(
+        stderr.contains("session failed"),
+        "the bad session should be logged:\n{stderr}"
+    );
+
+    let assembled = std::fs::read(&out).expect("assembled bytes");
+    assert_eq!(
+        assembled, reference,
+        "threaded serve + 2 forwards must reproduce run --shards 1 byte-for-byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,294 @@
+//! Live-socket pins for the event-loop transport: a real `poll(2)`
+//! serve loop on Unix **and** TCP listeners, many concurrent collector
+//! clients, hostile sessions injected alongside — and the assembled
+//! snapshot still byte-identical to one unsharded engine over the same
+//! points (the ISSUE 5 acceptance criterion, N ≥ 64 mixed transports).
+
+use sst_monitor::topology::{Aggregator, Collector};
+use sst_monitor::transport::{pump_blocking, EventLoopServer, ServeOptions, FALLBACK_ID_BASE};
+use sst_monitor::{
+    encode_frame, encode_snapshot, Frame, MonitorConfig, MonitorEngine, SamplerSpec,
+};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+fn config(spec: SamplerSpec) -> MonitorConfig {
+    MonitorConfig::default()
+        .sampler(spec)
+        .seed(42)
+        .tail_thresholds(vec![64.0, 576.0, 1400.0])
+}
+
+/// A multiplexed keyed workload: enough keys that every one of 64
+/// partitions is non-empty, bursty values for non-trivial summaries.
+fn keyed_points(n: usize, n_keys: u64) -> Vec<(u64, f64)> {
+    (0..n)
+        .map(|i| {
+            let key = (i as u64).wrapping_mul(2654435761) % n_keys;
+            let v = if (i / 53) % 13 == 0 {
+                250.0 + (i % 11) as f64
+            } else {
+                2.0 + (i % 5) as f64
+            };
+            (key, v)
+        })
+        .collect()
+}
+
+/// Streams partition `part` of `n_parts` through a collector into `w`
+/// with several flushes, ignoring write errors past the first (the
+/// server may have dropped us — hostile-client threads rely on this).
+fn drive_collector(
+    mut collector: Collector,
+    points: &[(u64, f64)],
+    part: u64,
+    n_parts: u64,
+    w: &mut impl Write,
+) {
+    let mine: Vec<(u64, f64)> = points
+        .iter()
+        .filter(|&&(k, _)| k % n_parts == part)
+        .copied()
+        .collect();
+    for chunk in mine.chunks(2500) {
+        collector.offer_batch(chunk);
+        if collector.flush(w).is_err() {
+            return;
+        }
+    }
+    let _ = collector.finish(w);
+}
+
+/// The tentpole pin: 64 collectors — even ids over the Unix socket,
+/// odd ids over TCP — plus garbage, mid-frame-disconnect, and
+/// connect-and-close clients, against one live event loop. The healthy
+/// 64 must assemble to the unsharded engine's bytes; the hostiles must
+/// be isolated, not fatal.
+#[test]
+fn event_loop_64_mixed_sessions_with_hostile_clients_match_unsharded_bytes() {
+    const N: u64 = 64;
+    let points = keyed_points(300_000, 512);
+    let spec = SamplerSpec::Systematic { interval: 7 };
+    let mut reference = MonitorEngine::new(config(spec));
+    for &(k, v) in &points {
+        reference.offer(k, v);
+    }
+
+    let dir = std::env::temp_dir().join(format!("sst_transport_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let uds_path = dir.join("agg64.sock");
+    let _ = std::fs::remove_file(&uds_path);
+    let uds = UnixListener::bind(&uds_path).expect("bind uds");
+    let tcp = TcpListener::bind("127.0.0.1:0").expect("bind tcp");
+    let tcp_addr = tcp.local_addr().expect("tcp addr");
+
+    let mut server = EventLoopServer::new(
+        Aggregator::new(),
+        ServeOptions {
+            collectors: N as usize,
+            accept_timeout: Some(Duration::from_secs(60)),
+        },
+    );
+    server.add_unix_listener(uds).expect("register uds");
+    server.add_tcp_listener(tcp).expect("register tcp");
+
+    // Collector 0 holds its whole session back until every hostile
+    // client has connected, written, and closed — so the server cannot
+    // reach its 64-completion target (and stop) before it has seen and
+    // judged every hostile session. That makes the report assertions
+    // below deterministic, not a race.
+    let hostiles_done = std::sync::atomic::AtomicUsize::new(0);
+    const N_HOSTILE: usize = 6;
+
+    let (agg, rep) = std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.run().expect("event loop"));
+        let mut clients = Vec::new();
+        // Hostile client 1: garbage bytes on TCP.
+        let hd = &hostiles_done;
+        clients.push(scope.spawn(move || {
+            let mut sock = TcpStream::connect(tcp_addr).expect("connect tcp");
+            let _ = sock.write_all(b"SSWF but then it all goes wrong \xff\xff\xff");
+            drop(sock);
+            hd.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }));
+        // Hostile client 2: a valid prefix torn off mid-frame (UDS).
+        let uds_path2 = dir.join("agg64.sock");
+        let hd = &hostiles_done;
+        clients.push(scope.spawn(move || {
+            let mut pipe = Vec::new();
+            let mut c = Collector::new(9000, config(spec));
+            c.offer_batch(&keyed_points(5000, 16));
+            c.finish(&mut pipe).expect("in-memory");
+            let mut sock = UnixStream::connect(&uds_path2).expect("connect uds");
+            let _ = sock.write_all(&pipe[..pipe.len() - 7]);
+            drop(sock);
+            hd.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }));
+        // Hostile client 3: a lone Hello then a torn Delta on TCP —
+        // frames *were* delivered, so the rollback path is exercised.
+        let hd = &hostiles_done;
+        clients.push(scope.spawn(move || {
+            let mut sock = TcpStream::connect(tcp_addr).expect("connect tcp");
+            let hello = encode_frame(&Frame::Hello {
+                protocol: sst_monitor::WIRE_VERSION,
+                collector_id: 9001,
+            });
+            let mut engine = MonitorEngine::new(config(spec));
+            engine.offer_batch(&keyed_points(3000, 8));
+            let delta = encode_frame(&Frame::Delta(engine.snapshot()));
+            let _ = sock.write_all(&hello);
+            let _ = sock.write_all(&delta[..delta.len() / 2]);
+            drop(sock);
+            hd.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }));
+        // Hostile clients 4–6: connect-and-close probes on both
+        // transports — must not consume collector slots.
+        for i in 0..3u64 {
+            let uds_path = dir.join("agg64.sock");
+            let hd = &hostiles_done;
+            clients.push(scope.spawn(move || {
+                if i % 2 == 0 {
+                    drop(TcpStream::connect(tcp_addr));
+                } else {
+                    drop(UnixStream::connect(&uds_path));
+                }
+                hd.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }));
+        }
+        // 64 healthy collectors, mixed transports.
+        for part in 0..N {
+            let points = &points;
+            let uds_path = uds_path.clone();
+            let hd = &hostiles_done;
+            clients.push(scope.spawn(move || {
+                if part == 0 {
+                    while hd.load(std::sync::atomic::Ordering::SeqCst) < N_HOSTILE {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+                let collector = Collector::new(part, config(spec).shards(2));
+                if part % 2 == 0 {
+                    let mut sock = UnixStream::connect(&uds_path).expect("connect uds");
+                    drive_collector(collector, points, part, N, &mut sock);
+                } else {
+                    let mut sock = TcpStream::connect(tcp_addr).expect("connect tcp");
+                    drive_collector(collector, points, part, N, &mut sock);
+                }
+            }));
+        }
+        for c in clients {
+            c.join().expect("client thread");
+        }
+        server_thread.join().expect("server thread")
+    });
+    let _ = std::fs::remove_file(dir.join("agg64.sock"));
+
+    assert_eq!(rep.completed, N as usize, "all healthy collectors count");
+    assert!(!rep.timed_out);
+    // Garbage + two torn streams fail; probes may race EOF-vs-reset on
+    // TCP (a reset counts as a failure, not a probe), so only bound
+    // their split.
+    assert!(
+        rep.failures.len() >= 3,
+        "garbage + two torn streams must be recorded: {:?}",
+        rep.failures
+    );
+    assert_eq!(
+        rep.failures.len() + rep.probes,
+        N_HOSTILE,
+        "every hostile session ends up logged"
+    );
+    let assembled = agg.snapshot();
+    assert_eq!(assembled, reference.snapshot());
+    assert_eq!(
+        encode_snapshot(&assembled),
+        encode_snapshot(&reference.snapshot()),
+        "byte-identical to the unsharded run"
+    );
+}
+
+/// The two transports share one state machine, so the same sessions
+/// must assemble to the same bytes: threaded `pump_blocking` (mutexed
+/// aggregator) vs the event loop, over live Unix sockets.
+#[test]
+fn threaded_and_event_loop_transports_assemble_identical_bytes() {
+    let points = keyed_points(60_000, 96);
+    let spec = SamplerSpec::Bss {
+        interval: 11,
+        epsilon: 1.0,
+        n_pre: 8,
+        l: 3,
+    };
+    const N: u64 = 4;
+    let session_pipes: Vec<Vec<u8>> = (0..N)
+        .map(|part| {
+            let mut pipe = Vec::new();
+            drive_collector(
+                Collector::new(part, config(spec).shards(2)),
+                &points,
+                part,
+                N,
+                &mut pipe,
+            );
+            pipe
+        })
+        .collect();
+
+    // Threaded: N concurrent blocking pumps over a shared mutex.
+    let threaded = {
+        let agg = Mutex::new(Aggregator::new());
+        std::thread::scope(|scope| {
+            for (i, pipe) in session_pipes.iter().enumerate() {
+                let agg = &agg;
+                scope.spawn(move || {
+                    let frames =
+                        pump_blocking(&mut pipe.as_slice(), agg, FALLBACK_ID_BASE + i as u64)
+                            .expect("clean session");
+                    assert!(frames > 0);
+                });
+            }
+        });
+        agg.into_inner().expect("no poison").snapshot()
+    };
+
+    // Event loop: the same byte streams over live sockets.
+    let dir = std::env::temp_dir().join(format!("sst_transport_eq_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let uds_path = dir.join("eq.sock");
+    let _ = std::fs::remove_file(&uds_path);
+    let uds = UnixListener::bind(&uds_path).expect("bind uds");
+    let mut server = EventLoopServer::new(
+        Aggregator::new(),
+        ServeOptions {
+            collectors: N as usize,
+            accept_timeout: Some(Duration::from_secs(60)),
+        },
+    );
+    server.add_unix_listener(uds).expect("register uds");
+    let event_loop = std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.run().expect("event loop"));
+        for pipe in &session_pipes {
+            let uds_path = uds_path.clone();
+            scope.spawn(move || {
+                let mut sock = UnixStream::connect(&uds_path).expect("connect");
+                sock.write_all(pipe).expect("write session");
+            });
+        }
+        let (agg, rep) = server_thread.join().expect("server thread");
+        assert_eq!(rep.completed, N as usize);
+        agg.snapshot()
+    });
+    let _ = std::fs::remove_file(dir.join("eq.sock"));
+
+    assert_eq!(threaded, event_loop);
+    assert_eq!(encode_snapshot(&threaded), encode_snapshot(&event_loop));
+    // And both equal the unsharded engine (partitions cover every key).
+    let mut reference = MonitorEngine::new(config(spec));
+    for &(k, v) in &points {
+        reference.offer(k, v);
+    }
+    assert_eq!(event_loop, reference.snapshot());
+}

@@ -8,8 +8,10 @@
 # one iteration and still appends its id to $CRITERION_JSON, so the
 # enumeration costs seconds, not the full measurement budget.
 #
-# The monitor bench covers the lifecycle/wire layers too:
-# monitor/{compact_4096_streams,wire_roundtrip,evict_churn} ride in the
+# The monitor bench covers the lifecycle/wire/transport layers too:
+# monitor/{compact_4096_streams,wire_roundtrip,evict_churn} and the
+# event-loop transport rows
+# monitor/{serve_event_loop_64_sessions,tcp_roundtrip} ride in the
 # same --bench monitor harness below.
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -2,11 +2,12 @@
 //! single-stream offer throughput, 10k-stream sharded vs sequential
 //! ingest (the persistent-worker-pool payoff), snapshot/merge cost,
 //! summary compaction, wire-frame round-trips, eviction churn, and the
-//! poll(2) event-loop transport (64-session serve, TCP round-trip).
+//! event-loop transport (64-session serve on the poll(2) and epoll(7)
+//! backends, multi-loop sharded serve, TCP round-trip).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sst_monitor::topology::{Aggregator, Collector};
-use sst_monitor::transport::{EventLoopServer, ServeOptions};
+use sst_monitor::transport::{BackendKind, EventLoopServer, MultiLoopServer, ServeOptions};
 use sst_monitor::EngineSnapshot;
 use sst_monitor::{
     decode_frames, encode_frame, Frame, MonitorConfig, MonitorEngine, SamplerSpec, WIRE_VERSION,
@@ -176,22 +177,17 @@ fn bench_evict_churn(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_event_loop_serve(c: &mut Criterion) {
-    // 64 collector sessions drained by one poll(2) event loop: each
-    // session's bytes are pre-encoded and injected through a
-    // socketpair (written whole — the payloads sit far below the
-    // kernel buffer — then EOF), so the measurement is the transport:
-    // poll wakeups, non-blocking reads, frame decode, aggregator feed.
-    use std::io::Write;
-    use std::os::unix::net::UnixStream;
-    const SESSIONS: u64 = 64;
-    let pipes: Vec<Vec<u8>> = (0..SESSIONS)
+/// Pre-encoded session byte streams for the serve benches: 64
+/// collectors, each flushing its partition of a 2^15-point workload in
+/// 128-point intervals.
+fn serve_pipes(sessions: u64) -> Vec<Vec<u8>> {
+    (0..sessions)
         .map(|part| {
             let mut collector =
                 Collector::new(part, MonitorConfig::default().sampler(spec()).seed(3));
             let mine: Vec<(u64, f64)> = points(1 << 15, 256)
                 .into_iter()
-                .filter(|&(k, _)| k % SESSIONS == part)
+                .filter(|&(k, _)| k % sessions == part)
                 .collect();
             let mut pipe = Vec::new();
             for chunk in mine.chunks(128) {
@@ -201,31 +197,104 @@ fn bench_event_loop_serve(c: &mut Criterion) {
             collector.finish(&mut pipe).expect("finish");
             pipe
         })
-        .collect();
+        .collect()
+}
+
+fn bench_event_loop_serve(c: &mut Criterion) {
+    // 64 collector sessions drained by one event loop, once per
+    // readiness backend. Delivery is *staged*: a writer thread feeds
+    // one session at a time (yielding after each) while the other
+    // sessions sit connected but idle — the steady state a live
+    // aggregator actually sees, and the one where the backends differ.
+    // Every round the poll(2) backend has the kernel walk the whole
+    // registered table to find the single ready fd, while epoll(7)'s
+    // wait returns just the ready event: O(registered) vs O(ready)
+    // per round, at identical session count, byte volume, and decode
+    // work.
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+    const SESSIONS: u64 = 64;
+    let pipes = serve_pipes(SESSIONS);
     let total_bytes: usize = pipes.iter().map(Vec::len).sum();
     let mut g = c.benchmark_group("monitor");
     g.sample_size(10);
     g.throughput(Throughput::Bytes(total_bytes as u64));
-    g.bench_function("serve_event_loop_64_sessions", |b| {
-        b.iter(|| {
-            let mut server = EventLoopServer::new(
-                Aggregator::new(),
-                ServeOptions {
-                    collectors: SESSIONS as usize,
-                    accept_timeout: None,
-                },
-            );
-            for pipe in &pipes {
-                let (mut tx, rx) = UnixStream::pair().expect("socketpair");
-                tx.write_all(pipe).expect("buffered write");
-                drop(tx);
-                server.add_session(rx).expect("add_session");
-            }
-            let (agg, rep) = server.run().expect("event loop");
-            assert_eq!(rep.completed, SESSIONS as usize);
-            agg.snapshot().stream_count()
+    for (id, kind) in [
+        ("serve_event_loop_64_sessions", BackendKind::Poll),
+        ("serve_epoll_64_sessions", BackendKind::Epoll),
+    ] {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let mut server = EventLoopServer::new(
+                    Aggregator::new(),
+                    ServeOptions {
+                        collectors: SESSIONS as usize,
+                        accept_timeout: None,
+                    },
+                )
+                .with_backend(kind);
+                let mut writers = Vec::with_capacity(pipes.len());
+                for _ in 0..pipes.len() {
+                    let (tx, rx) = UnixStream::pair().expect("socketpair");
+                    writers.push(tx);
+                    server.add_session(rx).expect("add_session");
+                }
+                let feeder = std::thread::spawn({
+                    let pipes = pipes.clone();
+                    move || {
+                        for (mut tx, pipe) in writers.into_iter().zip(&pipes) {
+                            tx.write_all(pipe).expect("buffered write");
+                            drop(tx);
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+                let (agg, rep) = server.run().expect("event loop");
+                feeder.join().expect("feeder");
+                assert_eq!(rep.completed, SESSIONS as usize);
+                agg.snapshot().stream_count()
+            });
         });
-    });
+    }
+    g.finish();
+}
+
+fn bench_multi_loop_serve(c: &mut Criterion) {
+    // The same 64 pre-encoded sessions sharded across N event loops
+    // (default backend), dealt round-robin to per-loop aggregators and
+    // merged at snapshot time. On a single core this prices the
+    // sharding machinery (threads, wake pipes, snapshot merge); on N
+    // cores it is the scaling row.
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+    const SESSIONS: u64 = 64;
+    let pipes = serve_pipes(SESSIONS);
+    let total_bytes: usize = pipes.iter().map(Vec::len).sum();
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(total_bytes as u64));
+    for loops in [2usize, 4] {
+        g.bench_function(format!("serve_multi_loop_{loops}x"), |b| {
+            b.iter(|| {
+                let mut server = MultiLoopServer::new(
+                    (0..loops).map(|_| Aggregator::new()).collect(),
+                    ServeOptions {
+                        collectors: SESSIONS as usize,
+                        accept_timeout: None,
+                    },
+                );
+                for pipe in &pipes {
+                    let (mut tx, rx) = UnixStream::pair().expect("socketpair");
+                    tx.write_all(pipe).expect("buffered write");
+                    drop(tx);
+                    server.add_session(rx);
+                }
+                let (aggs, rep) = server.run().expect("event loops");
+                assert_eq!(rep.completed, SESSIONS as usize);
+                aggs.snapshot().stream_count()
+            });
+        });
+    }
     g.finish();
 }
 
@@ -286,6 +355,6 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_offer, bench_sharded_ingest, bench_snapshot_merge,
         bench_compaction, bench_wire_roundtrip, bench_evict_churn,
-        bench_event_loop_serve, bench_tcp_roundtrip
+        bench_event_loop_serve, bench_multi_loop_serve, bench_tcp_roundtrip
 }
 criterion_main!(benches);

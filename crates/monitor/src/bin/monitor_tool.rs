@@ -13,15 +13,21 @@
 //! monitor-tool merge OUT.ssm IN.ssm [IN.ssm …]
 //!     merge snapshots (disjoint or overlapping key sets) into one
 //! monitor-tool serve SOCKET [--tcp HOST:PORT] --collectors N [--out OUT.ssm]
-//!                  [--accept-timeout SECS] [--threaded]
+//!                  [--accept-timeout SECS] [--backend poll|epoll]
+//!                  [--loops N] [--report-sessions] [--threaded]
 //!     accept collector sessions on a Unix socket (and, with --tcp, a
 //!     TCP listener) until N sessions *delivered frames and closed
 //!     cleanly*, assemble them, print the merged report. The default
-//!     transport is the single-threaded poll(2) event loop; --threaded
-//!     keeps the historical one-blocking-thread-per-connection path
-//!     (Unix socket only). Hostile sessions — garbage bytes, mid-frame
-//!     disconnects, connect-and-close probes — are logged and isolated,
-//!     never fatal, on both transports.
+//!     transport is the event loop on the platform-default readiness
+//!     backend (epoll on Linux; --backend poll for the portable
+//!     baseline); --loops N shards sessions across N event loops (one
+//!     per core) behind an accept dispatcher, and --report-sessions
+//!     prints per-session delivery counters so the loop balance is
+//!     inspectable. --threaded keeps the historical
+//!     one-blocking-thread-per-connection path (Unix socket only).
+//!     Hostile sessions — garbage bytes, mid-frame disconnects,
+//!     connect-and-close probes — are logged and isolated, never
+//!     fatal, on every transport.
 //! monitor-tool forward TARGET [--tcp] [--id K] [--partition I/N] [--seed N]
 //!                  [--duration SECS] [--interval C] [--flush-every P]
 //!                  [--evict-idle TICKS] [--compact BYTES]
@@ -40,9 +46,10 @@
 //! stay exact, but kept sample sets — and hence the bytes — can diverge
 //! from `run`'s.
 
-use sst_monitor::topology::Aggregator;
+use sst_monitor::topology::{Aggregator, AggregatorSet};
 use sst_monitor::transport::{
-    pump_blocking, EventLoopServer, ServeOptions, ServeReport, FALLBACK_ID_BASE,
+    pump_blocking, BackendKind, EventLoopServer, MultiLoopServer, ServeOptions, ServeReport,
+    FALLBACK_ID_BASE,
 };
 use sst_monitor::Collector;
 use sst_monitor::{
@@ -215,6 +222,9 @@ fn serve(rest: Vec<String>) {
     let mut tcp: Option<String> = None;
     let mut accept_timeout: Option<Duration> = None;
     let mut threaded = false;
+    let mut backend: Option<BackendKind> = None;
+    let mut loops = 1usize;
+    let mut report_sessions = false;
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> String {
             it.next()
@@ -233,47 +243,85 @@ fn serve(rest: Vec<String>) {
                     _ => die("--accept-timeout needs a positive (finite) number of seconds"),
                 }
             }
+            "--backend" => {
+                backend = Some(num("--backend").parse().unwrap_or_else(|e: String| die(&e)));
+            }
+            "--loops" => {
+                loops = parse(&num("--loops"), "--loops");
+                if loops == 0 {
+                    die("--loops needs at least 1");
+                }
+            }
+            "--report-sessions" => report_sessions = true,
             "--threaded" => threaded = true,
             "--event-loop" => threaded = false, // The default; kept for explicitness.
             other => die(&format!("unexpected argument '{other}'")),
         }
     }
+    if threaded && (backend.is_some() || loops > 1 || report_sessions) {
+        die("--backend/--loops/--report-sessions need the event-loop transport (drop --threaded)");
+    }
+    let kind = backend.unwrap_or_default();
     let _ = std::fs::remove_file(&socket);
     let listener =
         UnixListener::bind(&socket).unwrap_or_else(|e| die(&format!("bind {socket}: {e}")));
-    eprintln!(
-        "listening on {socket} for {collectors} collector(s) [{}]",
-        if threaded { "threaded" } else { "event loop" }
-    );
-    let (agg, rep) = if threaded {
-        if tcp.is_some() {
+    let mode = if threaded {
+        "threaded".to_string()
+    } else if loops > 1 {
+        format!("{loops} event loops, {kind}")
+    } else {
+        format!("event loop, {kind}")
+    };
+    eprintln!("listening on {socket} for {collectors} collector(s) [{mode}]");
+    // :0 resolves to an ephemeral port; print the real one so
+    // forwarders (and tests) can find it.
+    let tcp_listener = tcp.as_ref().map(|addr| {
+        let l = TcpListener::bind(addr).unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+        match l.local_addr() {
+            Ok(a) => eprintln!("listening on tcp {a}"),
+            Err(_) => eprintln!("listening on tcp {addr}"),
+        }
+        l
+    });
+    let opts = ServeOptions {
+        collectors,
+        accept_timeout,
+    };
+    let (aggs, rep) = if threaded {
+        if tcp_listener.is_some() {
             die("--tcp needs the event-loop transport (drop --threaded)");
         }
-        serve_threaded(listener, collectors, accept_timeout)
-    } else {
-        let opts = ServeOptions {
-            collectors,
-            accept_timeout,
-        };
-        let mut server = EventLoopServer::new(Aggregator::new(), opts);
+        let (agg, rep) = serve_threaded(listener, collectors, accept_timeout);
+        (AggregatorSet::new(vec![agg]), rep)
+    } else if loops > 1 {
+        let mut server =
+            MultiLoopServer::new((0..loops).map(|_| Aggregator::new()).collect(), opts)
+                .with_backend(kind);
         server
             .add_unix_listener(listener)
             .unwrap_or_else(|e| die(&format!("register unix listener: {e}")));
-        if let Some(addr) = &tcp {
-            let l = TcpListener::bind(addr).unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
-            // :0 resolves to an ephemeral port; print the real one so
-            // forwarders (and tests) can find it.
-            match l.local_addr() {
-                Ok(a) => eprintln!("listening on tcp {a}"),
-                Err(_) => eprintln!("listening on tcp {addr}"),
-            }
+        if let Some(l) = tcp_listener {
             server
                 .add_tcp_listener(l)
                 .unwrap_or_else(|e| die(&format!("register tcp listener: {e}")));
         }
         server
             .run()
-            .unwrap_or_else(|e| die(&format!("event loop: {e}")))
+            .unwrap_or_else(|e| die(&format!("event loops: {e}")))
+    } else {
+        let mut server = EventLoopServer::new(Aggregator::new(), opts).with_backend(kind);
+        server
+            .add_unix_listener(listener)
+            .unwrap_or_else(|e| die(&format!("register unix listener: {e}")));
+        if let Some(l) = tcp_listener {
+            server
+                .add_tcp_listener(l)
+                .unwrap_or_else(|e| die(&format!("register tcp listener: {e}")));
+        }
+        let (agg, rep) = server
+            .run()
+            .unwrap_or_else(|e| die(&format!("event loop: {e}")));
+        (AggregatorSet::new(vec![agg]), rep)
     };
     let _ = std::fs::remove_file(&socket);
     for f in &rep.failures {
@@ -286,6 +334,18 @@ fn serve(rest: Vec<String>) {
     }
     if rep.probes > 0 {
         eprintln!("ignored {} connect-and-close probe(s)", rep.probes);
+    }
+    if report_sessions {
+        for s in &rep.sessions {
+            eprintln!(
+                "session delivered: id={} peer={} loop={} frames={} bytes={}",
+                s.session.map_or("-".into(), |id| id.to_string()),
+                s.peer,
+                s.worker,
+                s.frames,
+                s.bytes
+            );
+        }
     }
     if rep.aborted > 0 {
         eprintln!(
@@ -301,10 +361,10 @@ fn serve(rest: Vec<String>) {
     }
     eprintln!(
         "assembled {} collector session(s), ~{} KiB aggregator state",
-        agg.collector_count(),
-        agg.estimated_state_bytes() >> 10
+        aggs.collector_count(),
+        aggs.estimated_state_bytes() >> 10
     );
-    let snap = agg.snapshot();
+    let snap = aggs.snapshot();
     report(&snap);
     if let Some(path) = out {
         let bytes = encode_snapshot(&snap);
@@ -427,6 +487,7 @@ fn serve_threaded(
             .unwrap_or_else(PoisonError::into_inner),
         aborted: 0,
         timed_out,
+        sessions: Vec::new(),
     };
     // Even if a session thread panicked while holding the lock, the
     // completed sessions' state is intact (it is keyed per session):

@@ -28,19 +28,26 @@
 //!  │           Aggregator          │  state, interleaving-proof,
 //!  │           SessionDriver       │  per-session state machine
 //!  ├───────────────────────────────┤
-//!  │ transport poll(2) event loop  │  UDS + TCP listeners, hostile
-//!  │           (or threads)        │  sessions isolated, no mutex
+//!  │ transport event loops (epoll  │  UDS + TCP listeners, hostile
+//!  │           or poll backend),   │  sessions isolated, no mutex;
+//!  │           1 loop or 1/core    │  per-loop aggs merge at the end
 //!  └───────────────────────────────┘
 //! ```
 //!
 //! [`MonitorEngine`] (in [`engine`]) is the facade over the top two
 //! layers and keeps the original single-process API; [`wire`] and
 //! [`topology`] extend it across process boundaries, and [`transport`]
-//! puts it on real sockets: a single-threaded `poll(2)` event loop
-//! ([`transport::EventLoopServer`]) multiplexing any number of
+//! puts it on real sockets: an event loop
+//! ([`transport::EventLoopServer`]) over a pluggable readiness backend
+//! ([`transport::BackendKind`]: `epoll(7)` by default on Linux,
+//! `poll(2)` as the portable baseline) multiplexing any number of
 //! Unix-domain and TCP collector sessions — one bad session is rolled
-//! back and logged, never fatal — with a blocking
-//! [`transport::pump_blocking`] for thread-per-connection callers.
+//! back and logged, never fatal. [`transport::MultiLoopServer`] shards
+//! sessions across one loop per core behind an accept dispatcher
+//! (per-loop [`topology::Aggregator`]s merge at snapshot time via
+//! [`topology::AggregatorSet`]; spoof rejection stays global through
+//! the shared [`topology::AdmissionRegistry`]), and a blocking
+//! [`transport::pump_blocking`] serves thread-per-connection callers.
 //!
 //! ## The merge-equivalence guarantee
 //!
@@ -95,8 +102,8 @@
 //! ```
 
 // `deny` rather than `forbid`: the one sanctioned exception is the
-// two-line `poll(2)` FFI in `transport::sys`, which carries its own
-// narrowly-scoped `#[allow(unsafe_code)]` and safety comment.
+// minimal `poll(2)`/`epoll(7)` FFI in `transport::sys`, which carries
+// its own narrowly-scoped `#[allow(unsafe_code)]` and safety comments.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -113,6 +120,11 @@ pub use codec::{decode_snapshot, encode_snapshot, SnapshotCodecError};
 pub use engine::{EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec, StreamEntry};
 pub use lifecycle::{LifecycleConfig, LifecycleStats};
 pub use summary::{StreamSummary, SummaryConfig, SummarySnapshot};
-pub use topology::{Aggregator, Collector, SessionDriver, SessionError};
-pub use transport::{EventLoopServer, ServeOptions, ServeReport, SessionStream};
+pub use topology::{
+    AdmissionRegistry, Aggregator, AggregatorSet, Collector, SessionDriver, SessionError,
+};
+pub use transport::{
+    BackendKind, EventLoopServer, MultiLoopServer, ServeOptions, ServeReport, SessionStats,
+    SessionStream,
+};
 pub use wire::{decode_frames, encode_frame, Frame, FrameDecoder, WireError, WIRE_VERSION};

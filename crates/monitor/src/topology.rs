@@ -33,6 +33,7 @@ use sst_core::summary::{Compactable, MergeableSummary};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io::Write;
+use std::sync::{Mutex, PoisonError};
 
 /// A monitoring engine that streams its state over the wire protocol.
 pub struct Collector {
@@ -356,6 +357,140 @@ impl Aggregator {
             .flat_map(|c| c.live.values().chain(c.retired.values()))
             .map(|e| 64 + e.summary.estimated_bytes())
             .sum()
+    }
+}
+
+/// Who holds a collector id in the admission registry.
+enum IdOwner {
+    /// An open session (by its transport-assigned token) is feeding
+    /// under this id.
+    Open(u64),
+    /// A completed session delivered this id's state; nobody may claim
+    /// it again within this serve run (a late "reconnect" after a
+    /// clean `Bye` is indistinguishable from a spoof).
+    Completed,
+}
+
+/// Collector-id admission table shared by every serve loop of one run.
+///
+/// An id already owned by another *open* session, or delivered by a
+/// *completed* one, cannot be claimed again — a spoofed `Hello` is
+/// rejected before it can reset the real collector's live view. Ids
+/// free up again when their session fails, so a collector that crashed
+/// mid-stream can reconnect and resend its cumulative state.
+///
+/// The table is its own type (rather than event-loop-private state, as
+/// it originally was) because under multi-loop serving
+/// ([`crate::transport::MultiLoopServer`]) sessions land on different
+/// loops: admission must be global or a spoofer could dodge it by
+/// connecting until the dispatcher hands it a different loop than its
+/// victim. It is a small `Mutex`ed map, consulted only on the *first*
+/// frame a session sends under each id (the per-session
+/// [`SessionDriver`] caches ids it already fed), so cross-loop
+/// contention is a handful of lock acquisitions per session, not per
+/// frame.
+#[derive(Default)]
+pub struct AdmissionRegistry {
+    owners: Mutex<BTreeMap<u64, IdOwner>>,
+}
+
+impl AdmissionRegistry {
+    /// An empty registry (wrap it in an `Arc` to share across loops).
+    pub fn new() -> Self {
+        AdmissionRegistry::default()
+    }
+
+    /// Recovers the map even if a panicking loop thread poisoned the
+    /// lock: the table holds only small plain data, never mid-mutation
+    /// invariants.
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, IdOwner>> {
+        self.owners.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Claims `id` on behalf of the session `token`. `true` when the
+    /// id is free or already held by this very session; `false` when
+    /// another open session owns it or a completed session delivered
+    /// it — the caller must then fail the claiming session *before*
+    /// the frame touches any aggregator.
+    pub fn admit(&self, id: u64, token: u64) -> bool {
+        let mut owners = self.lock();
+        match owners.get(&id) {
+            None => {
+                owners.insert(id, IdOwner::Open(token));
+                true
+            }
+            Some(IdOwner::Open(t)) => *t == token,
+            Some(IdOwner::Completed) => false,
+        }
+    }
+
+    /// Marks every id in `ids` as delivered by a completed session:
+    /// within this run a later claimant would be a spoof.
+    pub fn complete(&self, ids: impl Iterator<Item = u64>) {
+        let mut owners = self.lock();
+        for id in ids {
+            owners.insert(id, IdOwner::Completed);
+        }
+    }
+
+    /// Frees every id the (failed) session `token` held open, so the
+    /// real collector can reconnect and resend cumulative state.
+    pub fn release(&self, token: u64) {
+        self.lock()
+            .retain(|_, o| !matches!(o, IdOwner::Open(t) if *t == token));
+    }
+}
+
+/// The per-loop aggregators of a multi-loop serve, assembled at
+/// snapshot/report time.
+///
+/// Each serve loop owns a private [`Aggregator`] that its sessions feed
+/// lock-free; nothing is shared while bytes flow. Only when the run is
+/// over are the per-loop states combined — via
+/// [`EngineSnapshot::merge`], whose canonical key-wise form makes the
+/// assembled snapshot independent of *which* loop each collector
+/// happened to land on. For collectors watching disjoint key sets the
+/// result is byte-identical to one unsharded engine (and to a
+/// single-loop serve of the same sessions), whatever the dispatcher's
+/// placement — pinned by `tests/transport_live.rs` for 1, 2 and 4
+/// loops on both readiness backends.
+#[derive(Default)]
+pub struct AggregatorSet {
+    aggs: Vec<Aggregator>,
+}
+
+impl AggregatorSet {
+    /// Wraps the per-loop aggregators a finished multi-loop run left.
+    pub fn new(aggs: Vec<Aggregator>) -> Self {
+        AggregatorSet { aggs }
+    }
+
+    /// How many per-loop aggregators the set holds.
+    pub fn loops(&self) -> usize {
+        self.aggs.len()
+    }
+
+    /// Completed collector sessions across all loops.
+    pub fn collector_count(&self) -> usize {
+        self.aggs.iter().map(Aggregator::collector_count).sum()
+    }
+
+    /// Approximate bytes held across every loop's per-collector state.
+    pub fn estimated_state_bytes(&self) -> usize {
+        self.aggs
+            .iter()
+            .map(Aggregator::estimated_state_bytes)
+            .sum()
+    }
+
+    /// The assembled snapshot: every loop's snapshot merged
+    /// canonically (the empty snapshot is the merge identity, so idle
+    /// loops contribute nothing).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.aggs
+            .iter()
+            .map(Aggregator::snapshot)
+            .fold(EngineSnapshot::default(), EngineSnapshot::merge)
     }
 }
 

@@ -161,6 +161,87 @@ fn event_loop_serve_with_mixed_transports_and_hostile_clients_matches_run() {
 }
 
 #[test]
+fn multi_loop_serve_with_report_sessions_matches_run() {
+    let dir = scratch_dir("multiloop");
+    let reference = reference_snapshot(&dir);
+
+    // One pass per (backend, loop-count) corner of the serve matrix;
+    // byte-identity to `run --shards 1` must hold at every one.
+    for (backend, loops) in [("poll", "2"), ("epoll", "4")] {
+        let sock = dir.join(format!("agg_{backend}_{loops}.sock"));
+        let out = dir.join(format!("out_{backend}_{loops}.ssm"));
+
+        let mut serve = tool()
+            .arg("serve")
+            .arg(&sock)
+            .args(["--tcp", "127.0.0.1:0", "--collectors", "4"])
+            .args(["--backend", backend, "--loops", loops])
+            .args(["--accept-timeout", "120", "--report-sessions"])
+            .arg("--out")
+            .arg(&out)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn serve");
+        let (tcp_addr, stderr_thread) = tcp_addr_from_stderr(serve.stderr.take().expect("stderr"));
+
+        // Hostiles first: garbage on UDS, a torn frame on TCP, probes
+        // on both. The admission table and failure isolation must hold
+        // regardless of which loop each lands on.
+        {
+            let mut s = UnixStream::connect(&sock).expect("connect uds");
+            s.write_all(b"NOT A FRAME AT ALL").expect("garbage write");
+            drop(s);
+            let mut s = TcpStream::connect(&tcp_addr).expect("connect tcp");
+            s.write_all(b"SSWF\x02\x01\xff\x00\x00\x00partial")
+                .expect("torn write");
+            drop(s);
+            drop(UnixStream::connect(&sock).expect("probe uds"));
+            drop(TcpStream::connect(&tcp_addr).expect("probe tcp"));
+        }
+
+        // Four healthy forwarders round-robined across the loops: two
+        // over UDS, two over TCP.
+        let sock_str = sock.to_str().expect("utf8 path");
+        let mut forwards = vec![
+            spawn_forward(sock_str, 0, 4, false),
+            spawn_forward(&tcp_addr, 1, 4, true),
+            spawn_forward(sock_str, 2, 4, false),
+            spawn_forward(&tcp_addr, 3, 4, true),
+        ];
+        for f in &mut forwards {
+            assert!(f.wait().expect("forward exit").success(), "forward failed");
+        }
+        let status = serve.wait().expect("serve exit");
+        let stderr = stderr_thread.join().expect("stderr thread");
+        assert!(
+            status.success(),
+            "{backend} x{loops}: serve must survive hostile clients:\n{stderr}"
+        );
+        assert!(
+            stderr.contains(&format!("{loops} event loops, {backend}")),
+            "{backend} x{loops}: mode line should name the matrix cell:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("session failed"),
+            "{backend} x{loops}: hostile sessions should be logged:\n{stderr}"
+        );
+        assert_eq!(
+            stderr.matches("session delivered:").count(),
+            4,
+            "{backend} x{loops}: --report-sessions prints one line per delivery:\n{stderr}"
+        );
+
+        let assembled = std::fs::read(&out).expect("assembled bytes");
+        assert_eq!(
+            assembled, reference,
+            "{backend} x{loops}: multi-loop serve must reproduce run --shards 1 byte-for-byte"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn threaded_serve_survives_a_bad_session_and_matches_run() {
     let dir = scratch_dir("threaded");
     let reference = reference_snapshot(&dir);

@@ -1,11 +1,18 @@
-//! Live-socket pins for the event-loop transport: a real `poll(2)`
-//! serve loop on Unix **and** TCP listeners, many concurrent collector
-//! clients, hostile sessions injected alongside — and the assembled
-//! snapshot still byte-identical to one unsharded engine over the same
-//! points (the ISSUE 5 acceptance criterion, N ≥ 64 mixed transports).
+//! Live-socket pins for the event-loop transport: real serve loops on
+//! Unix **and** TCP listeners — on both readiness backends (`poll`,
+//! `epoll`), single-loop and sharded across N loops — with many
+//! concurrent collector clients and hostile sessions injected, and the
+//! assembled snapshot still byte-identical to one unsharded engine
+//! over the same points (the ISSUE 5 acceptance criterion, N ≥ 64
+//! mixed transports, extended to the ISSUE 6 backend/loop matrix).
+//!
+//! Set `SST_BACKEND=poll|epoll` to pin one backend (the CI matrix
+//! does); unset, every test runs both.
 
 use sst_monitor::topology::{Aggregator, Collector};
-use sst_monitor::transport::{pump_blocking, EventLoopServer, ServeOptions, FALLBACK_ID_BASE};
+use sst_monitor::transport::{
+    pump_blocking, BackendKind, EventLoopServer, MultiLoopServer, ServeOptions, FALLBACK_ID_BASE,
+};
 use sst_monitor::{
     encode_frame, encode_snapshot, Frame, MonitorConfig, MonitorEngine, SamplerSpec,
 };
@@ -13,13 +20,21 @@ use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn config(spec: SamplerSpec) -> MonitorConfig {
     MonitorConfig::default()
         .sampler(spec)
         .seed(42)
         .tail_thresholds(vec![64.0, 576.0, 1400.0])
+}
+
+/// The backends to exercise: the one `SST_BACKEND` names, or both.
+fn backends_under_test() -> Vec<BackendKind> {
+    match std::env::var("SST_BACKEND") {
+        Ok(v) => vec![v.parse().unwrap_or_else(|e: String| panic!("{e}"))],
+        Err(_) => vec![BackendKind::Poll, BackendKind::Epoll],
+    }
 }
 
 /// A multiplexed keyed workload: enough keys that every one of 64
@@ -62,49 +77,74 @@ fn drive_collector(
     let _ = collector.finish(w);
 }
 
-/// The tentpole pin: 64 collectors — even ids over the Unix socket,
-/// odd ids over TCP — plus garbage, mid-frame-disconnect, and
-/// connect-and-close clients, against one live event loop. The healthy
-/// 64 must assemble to the unsharded engine's bytes; the hostiles must
-/// be isolated, not fatal.
-#[test]
-fn event_loop_64_mixed_sessions_with_hostile_clients_match_unsharded_bytes() {
-    const N: u64 = 64;
-    let points = keyed_points(300_000, 512);
+/// Either serve shape under test, so the hostile-client scenario runs
+/// unchanged against a single loop or a multi-loop dispatcher.
+enum Serve {
+    Single(EventLoopServer),
+    Multi(MultiLoopServer),
+}
+
+impl Serve {
+    fn add_unix_listener(&mut self, l: UnixListener) {
+        match self {
+            Serve::Single(s) => s.add_unix_listener(l).expect("register uds"),
+            Serve::Multi(s) => s.add_unix_listener(l).expect("register uds"),
+        }
+    }
+
+    fn add_tcp_listener(&mut self, l: TcpListener) {
+        match self {
+            Serve::Single(s) => s.add_tcp_listener(l).expect("register tcp"),
+            Serve::Multi(s) => s.add_tcp_listener(l).expect("register tcp"),
+        }
+    }
+
+    fn run(self) -> (sst_monitor::EngineSnapshot, sst_monitor::ServeReport) {
+        match self {
+            Serve::Single(s) => {
+                let (agg, rep) = s.run().expect("event loop");
+                (agg.snapshot(), rep)
+            }
+            Serve::Multi(s) => {
+                let (aggs, rep) = s.run().expect("event loops");
+                (aggs.snapshot(), rep)
+            }
+        }
+    }
+}
+
+/// The tentpole scenario: `n` collectors — even ids over the Unix
+/// socket, odd ids over TCP — plus garbage, mid-frame-disconnect, and
+/// connect-and-close clients, against a live serve. The healthy `n`
+/// must assemble to the unsharded engine's bytes; the hostiles must be
+/// isolated, not fatal.
+fn hostile_mixed_scenario(tag: &str, n: u64, points: &[(u64, f64)], mut server: Serve) {
     let spec = SamplerSpec::Systematic { interval: 7 };
     let mut reference = MonitorEngine::new(config(spec));
-    for &(k, v) in &points {
+    for &(k, v) in points {
         reference.offer(k, v);
     }
 
-    let dir = std::env::temp_dir().join(format!("sst_transport_{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("sst_transport_{tag}_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("socket dir");
-    let uds_path = dir.join("agg64.sock");
+    let uds_path = dir.join("agg.sock");
     let _ = std::fs::remove_file(&uds_path);
     let uds = UnixListener::bind(&uds_path).expect("bind uds");
     let tcp = TcpListener::bind("127.0.0.1:0").expect("bind tcp");
     let tcp_addr = tcp.local_addr().expect("tcp addr");
-
-    let mut server = EventLoopServer::new(
-        Aggregator::new(),
-        ServeOptions {
-            collectors: N as usize,
-            accept_timeout: Some(Duration::from_secs(60)),
-        },
-    );
-    server.add_unix_listener(uds).expect("register uds");
-    server.add_tcp_listener(tcp).expect("register tcp");
+    server.add_unix_listener(uds);
+    server.add_tcp_listener(tcp);
 
     // Collector 0 holds its whole session back until every hostile
     // client has connected, written, and closed — so the server cannot
-    // reach its 64-completion target (and stop) before it has seen and
+    // reach its n-completion target (and stop) before it has seen and
     // judged every hostile session. That makes the report assertions
     // below deterministic, not a race.
     let hostiles_done = std::sync::atomic::AtomicUsize::new(0);
     const N_HOSTILE: usize = 6;
 
-    let (agg, rep) = std::thread::scope(|scope| {
-        let server_thread = scope.spawn(move || server.run().expect("event loop"));
+    let (assembled, rep) = std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.run());
         let mut clients = Vec::new();
         // Hostile client 1: garbage bytes on TCP.
         let hd = &hostiles_done;
@@ -115,7 +155,7 @@ fn event_loop_64_mixed_sessions_with_hostile_clients_match_unsharded_bytes() {
             hd.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         }));
         // Hostile client 2: a valid prefix torn off mid-frame (UDS).
-        let uds_path2 = dir.join("agg64.sock");
+        let uds_path2 = uds_path.clone();
         let hd = &hostiles_done;
         clients.push(scope.spawn(move || {
             let mut pipe = Vec::new();
@@ -147,7 +187,7 @@ fn event_loop_64_mixed_sessions_with_hostile_clients_match_unsharded_bytes() {
         // Hostile clients 4–6: connect-and-close probes on both
         // transports — must not consume collector slots.
         for i in 0..3u64 {
-            let uds_path = dir.join("agg64.sock");
+            let uds_path = uds_path.clone();
             let hd = &hostiles_done;
             clients.push(scope.spawn(move || {
                 if i % 2 == 0 {
@@ -158,9 +198,8 @@ fn event_loop_64_mixed_sessions_with_hostile_clients_match_unsharded_bytes() {
                 hd.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             }));
         }
-        // 64 healthy collectors, mixed transports.
-        for part in 0..N {
-            let points = &points;
+        // n healthy collectors, mixed transports.
+        for part in 0..n {
             let uds_path = uds_path.clone();
             let hd = &hostiles_done;
             clients.push(scope.spawn(move || {
@@ -172,10 +211,10 @@ fn event_loop_64_mixed_sessions_with_hostile_clients_match_unsharded_bytes() {
                 let collector = Collector::new(part, config(spec).shards(2));
                 if part % 2 == 0 {
                     let mut sock = UnixStream::connect(&uds_path).expect("connect uds");
-                    drive_collector(collector, points, part, N, &mut sock);
+                    drive_collector(collector, points, part, n, &mut sock);
                 } else {
                     let mut sock = TcpStream::connect(tcp_addr).expect("connect tcp");
-                    drive_collector(collector, points, part, N, &mut sock);
+                    drive_collector(collector, points, part, n, &mut sock);
                 }
             }));
         }
@@ -184,30 +223,186 @@ fn event_loop_64_mixed_sessions_with_hostile_clients_match_unsharded_bytes() {
         }
         server_thread.join().expect("server thread")
     });
-    let _ = std::fs::remove_file(dir.join("agg64.sock"));
+    let _ = std::fs::remove_file(&uds_path);
 
-    assert_eq!(rep.completed, N as usize, "all healthy collectors count");
-    assert!(!rep.timed_out);
+    assert_eq!(
+        rep.completed, n as usize,
+        "{tag}: all healthy collectors count"
+    );
+    assert!(!rep.timed_out, "{tag}");
     // Garbage + two torn streams fail; probes may race EOF-vs-reset on
     // TCP (a reset counts as a failure, not a probe), so only bound
     // their split.
     assert!(
         rep.failures.len() >= 3,
-        "garbage + two torn streams must be recorded: {:?}",
+        "{tag}: garbage + two torn streams must be recorded: {:?}",
         rep.failures
     );
     assert_eq!(
         rep.failures.len() + rep.probes,
         N_HOSTILE,
-        "every hostile session ends up logged"
+        "{tag}: every hostile session ends up logged"
     );
-    let assembled = agg.snapshot();
-    assert_eq!(assembled, reference.snapshot());
+    assert_eq!(
+        rep.sessions.len(),
+        n as usize,
+        "{tag}: one stats entry per completed session"
+    );
+    assert!(
+        rep.sessions.iter().all(|s| s.bytes > 0 && s.frames > 0),
+        "{tag}: delivery counters are live"
+    );
+    assert_eq!(assembled, reference.snapshot(), "{tag}");
     assert_eq!(
         encode_snapshot(&assembled),
         encode_snapshot(&reference.snapshot()),
-        "byte-identical to the unsharded run"
+        "{tag}: byte-identical to the unsharded run"
     );
+}
+
+#[test]
+fn event_loop_64_mixed_sessions_with_hostile_clients_match_unsharded_bytes() {
+    const N: u64 = 64;
+    let points = keyed_points(300_000, 512);
+    for kind in backends_under_test() {
+        let server = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: N as usize,
+                accept_timeout: Some(Duration::from_secs(60)),
+            },
+        )
+        .with_backend(kind);
+        hostile_mixed_scenario(&format!("single_{kind}"), N, &points, Serve::Single(server));
+    }
+}
+
+#[test]
+fn multi_loop_mixed_sessions_with_hostile_clients_match_unsharded_bytes() {
+    const N: u64 = 16;
+    let points = keyed_points(120_000, 256);
+    for kind in backends_under_test() {
+        for loops in [2usize, 4] {
+            let server = MultiLoopServer::new(
+                (0..loops).map(|_| Aggregator::new()).collect(),
+                ServeOptions {
+                    collectors: N as usize,
+                    accept_timeout: Some(Duration::from_secs(60)),
+                },
+            )
+            .with_backend(kind);
+            hostile_mixed_scenario(
+                &format!("multi_{kind}_x{loops}"),
+                N,
+                &points,
+                Serve::Multi(server),
+            );
+        }
+    }
+}
+
+/// Read-budget fairness: a firehose session that *never stops sending*
+/// must not starve slow sessions sharing its loop. The serve target is
+/// the four slow sessions alone — it is reachable only if their frames
+/// land while the firehose is still blasting (the per-round byte
+/// budget re-arms the level-triggered backend and hands the loop on).
+#[test]
+fn slow_sessions_complete_while_a_firehose_is_streaming() {
+    for kind in backends_under_test() {
+        const SLOW: u64 = 4;
+        let spec = SamplerSpec::Systematic { interval: 7 };
+        let points = keyed_points(20_000, 64);
+        let mut reference = MonitorEngine::new(config(spec));
+        for &(k, v) in &points {
+            reference.offer(k, v);
+        }
+
+        let dir = std::env::temp_dir().join(format!("sst_fair_{kind}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("socket dir");
+        let uds_path = dir.join("fair.sock");
+        let _ = std::fs::remove_file(&uds_path);
+        let uds = UnixListener::bind(&uds_path).expect("bind uds");
+        let mut server = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: SLOW as usize,
+                // The hang guard: if the firehose *did* starve the
+                // slow sessions, this fails the test instead of
+                // wedging it.
+                accept_timeout: Some(Duration::from_secs(60)),
+            },
+        )
+        .with_backend(kind);
+        server.add_unix_listener(uds).expect("register uds");
+
+        let start = Instant::now();
+        let (agg, rep) = std::thread::scope(|scope| {
+            let server_thread = scope.spawn(move || server.run().expect("event loop"));
+            // The firehose: Hello, then an endless stream of large
+            // Delta frames until the server hangs up on it.
+            let fire_path = uds_path.clone();
+            scope.spawn(move || {
+                let mut sock = UnixStream::connect(&fire_path).expect("connect firehose");
+                let hello = encode_frame(&Frame::Hello {
+                    protocol: sst_monitor::WIRE_VERSION,
+                    collector_id: 9999,
+                });
+                let mut engine = MonitorEngine::new(config(spec));
+                engine.offer_batch(&keyed_points(30_000, 128));
+                let delta = encode_frame(&Frame::Delta(engine.snapshot()));
+                if sock.write_all(&hello).is_err() {
+                    return;
+                }
+                loop {
+                    // Ends with a write error once the serve reaches
+                    // its target and closes the socket (Rust ignores
+                    // SIGPIPE, so this is Err, not a signal death).
+                    if sock.write_all(&delta).is_err() {
+                        return;
+                    }
+                }
+            });
+            // Give the firehose a head start so it is mid-stream (and
+            // has delivered frames) before any slow session arrives.
+            std::thread::sleep(Duration::from_millis(50));
+            for part in 0..SLOW {
+                let points = &points;
+                let uds_path = uds_path.clone();
+                scope.spawn(move || {
+                    let mut sock = UnixStream::connect(&uds_path).expect("connect slow");
+                    drive_collector(
+                        Collector::new(part, config(spec).shards(2)),
+                        points,
+                        part,
+                        SLOW,
+                        &mut sock,
+                    );
+                });
+            }
+            server_thread.join().expect("server thread")
+        });
+        let _ = std::fs::remove_file(&uds_path);
+
+        assert_eq!(
+            rep.completed, SLOW as usize,
+            "{kind}: every slow session must land despite the firehose"
+        );
+        assert!(!rep.timed_out, "{kind}: must not need the idle deadline");
+        assert_eq!(
+            rep.aborted, 1,
+            "{kind}: the firehose was still mid-stream at shutdown"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "{kind}: slow sessions must land within a bounded time, took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(
+            agg.snapshot(),
+            reference.snapshot(),
+            "{kind}: the aborted firehose must leave no trace"
+        );
+    }
 }
 
 /// The two transports share one state machine, so the same sessions

@@ -11,7 +11,8 @@
 # The monitor bench covers the lifecycle/wire/transport layers too:
 # monitor/{compact_4096_streams,wire_roundtrip,evict_churn} and the
 # event-loop transport rows
-# monitor/{serve_event_loop_64_sessions,tcp_roundtrip} ride in the
+# monitor/{serve_event_loop_64_sessions,serve_epoll_64_sessions,
+# serve_multi_loop_2x,serve_multi_loop_4x,tcp_roundtrip} ride in the
 # same --bench monitor harness below.
 set -euo pipefail
 cd "$(dirname "$0")/.."

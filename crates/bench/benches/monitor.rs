@@ -128,6 +128,7 @@ fn bench_wire_roundtrip(c: &mut Criterion) {
         Frame::Hello {
             protocol: WIRE_VERSION,
             collector_id: 1,
+            resume: None,
         },
         Frame::Delta(engine.snapshot()),
         Frame::Bye,
@@ -313,6 +314,7 @@ fn bench_tcp_roundtrip(c: &mut Criterion) {
         Frame::Hello {
             protocol: WIRE_VERSION,
             collector_id: 1,
+            resume: None,
         },
         Frame::Delta(engine.snapshot()),
         Frame::Bye,
@@ -350,11 +352,85 @@ fn bench_tcp_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_resync_after_kill(c: &mut Criterion) {
+    // The ISSUE 7 recovery row: a sequenced collector's connection is
+    // hard-killed mid-stream (half the window delivered, no Bye), and
+    // the clock runs until a reconnect has replayed, the watermark has
+    // skipped the duplicates, the session has completed, and the
+    // assembled snapshot equals the unsharded engine's bytes. The
+    // delta against `tcp_roundtrip`-style clean delivery prices the
+    // whole recovery path: EOF detection, park/suspend, resumed
+    // admission, duplicate-skip replay, final ack handshake.
+    use sst_monitor::retry::{Backoff, SequencedSender};
+    use sst_monitor::transport::SessionStream;
+    use std::io::Write;
+    use std::net::{Shutdown, TcpListener, TcpStream};
+    let pts = points(1 << 15, 256);
+    let mut reference = MonitorEngine::new(MonitorConfig::default().sampler(spec()).seed(3));
+    reference.offer_batch(&pts);
+    let reference_bytes = sst_monitor::encode_snapshot(&reference.snapshot());
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pts.len() as u64));
+    g.bench_function("resync_after_kill", |b| {
+        b.iter(|| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let mut server = EventLoopServer::new(
+                Aggregator::new(),
+                ServeOptions {
+                    collectors: 1,
+                    accept_timeout: None,
+                },
+            );
+            server.add_tcp_listener(listener).expect("register");
+            let server_thread = std::thread::spawn(move || server.run().expect("event loop"));
+            let mut collector =
+                Collector::new_sequenced(7, MonitorConfig::default().sampler(spec()).seed(3));
+            // First connection: half the workload on the wire, then a
+            // hard kill before any ack can trim the window.
+            let (first, second) = pts.split_at(pts.len() / 2);
+            collector.offer_batch(first);
+            collector.seal_flush();
+            {
+                let mut sock = TcpStream::connect(addr).expect("connect");
+                sock.write_all(&encode_frame(&collector.hello()))
+                    .expect("hello");
+                for (_, bytes) in collector.unsent_window(0) {
+                    sock.write_all(bytes).expect("window");
+                }
+                let _ = sock.shutdown(Shutdown::Both);
+            }
+            // The clock keeps running through detection + resumption:
+            // the sender replays the full window and the serve's parked
+            // watermark drops the half it already applied.
+            collector.offer_batch(second);
+            let sender = SequencedSender::new(
+                collector,
+                move || TcpStream::connect(addr).map(SessionStream::from),
+                Backoff::new(1, 4, 7),
+                64,
+            );
+            sender.finish().expect("resync within budget");
+            let (agg, rep) = server_thread.join().expect("server");
+            assert_eq!(rep.completed, 1);
+            assert_eq!(
+                sst_monitor::encode_snapshot(&agg.snapshot()),
+                reference_bytes,
+                "recovered snapshot must equal the unsharded bytes"
+            );
+            rep.completed
+        });
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_offer, bench_sharded_ingest, bench_snapshot_merge,
         bench_compaction, bench_wire_roundtrip, bench_evict_churn,
-        bench_event_loop_serve, bench_multi_loop_serve, bench_tcp_roundtrip
+        bench_event_loop_serve, bench_multi_loop_serve, bench_tcp_roundtrip,
+        bench_resync_after_kill
 }
 criterion_main!(benches);

@@ -31,9 +31,15 @@
 //! monitor-tool forward TARGET [--tcp] [--id K] [--partition I/N] [--seed N]
 //!                  [--duration SECS] [--interval C] [--flush-every P]
 //!                  [--evict-idle TICKS] [--compact BYTES]
+//!                  [--retry N] [--backoff-ms B]
 //!     synthesize the shared trace, keep only keys hashing to partition
 //!     I of N, and stream Hello/Delta/Evicted/Bye frames to TARGET —
-//!     a Unix socket path, or host:port with --tcp
+//!     a Unix socket path, or host:port with --tcp. With --retry N the
+//!     session is *sequenced* (wire v3): every frame carries a seq,
+//!     acks trim an in-flight window, and up to N reconnects — connect
+//!     *and* mid-stream failures alike — replay the unacked tail (or
+//!     resync from a full snapshot after a serve restart) on a capped
+//!     exponential backoff starting at B ms (default 50).
 //! ```
 //!
 //! With the default (no-eviction) configuration, `serve` + N×`forward`
@@ -46,10 +52,11 @@
 //! stay exact, but kept sample sets — and hence the bytes — can diverge
 //! from `run`'s.
 
+use sst_monitor::retry::{Backoff, SequencedSender};
 use sst_monitor::topology::{Aggregator, AggregatorSet};
 use sst_monitor::transport::{
     pump_blocking, BackendKind, EventLoopServer, MultiLoopServer, ServeOptions, ServeReport,
-    FALLBACK_ID_BASE,
+    SessionStream, FALLBACK_ID_BASE,
 };
 use sst_monitor::Collector;
 use sst_monitor::{
@@ -535,6 +542,8 @@ fn forward(rest: Vec<String>) {
     let mut n_parts = 1u64;
     let mut flush_every = 1usize << 14;
     let mut tcp = false;
+    let mut retry = 0u32;
+    let mut backoff_ms = 50u64;
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> String {
             it.next()
@@ -560,6 +569,8 @@ fn forward(rest: Vec<String>) {
             "--flush-every" => flush_every = parse(&num("--flush-every"), "--flush-every"),
             "--evict-idle" => w.evict_idle = Some(parse(&num("--evict-idle"), "--evict-idle")),
             "--compact" => w.compact = Some(parse(&num("--compact"), "--compact")),
+            "--retry" => retry = parse(&num("--retry"), "--retry"),
+            "--backoff-ms" => backoff_ms = parse(&num("--backoff-ms"), "--backoff-ms"),
             other => die(&format!("unexpected argument '{other}'")),
         }
     }
@@ -568,6 +579,49 @@ fn forward(rest: Vec<String>) {
         .into_iter()
         .filter(|&(k, _)| k % n_parts == part)
         .collect();
+    let collector_id = id.unwrap_or(part);
+    if retry > 0 {
+        // Sequenced (wire v3) path: seq/ack window, reconnect with
+        // backoff, replay or full-snapshot resync.
+        let target = socket.clone();
+        let connect = move || -> std::io::Result<SessionStream> {
+            if tcp {
+                TcpStream::connect(target.as_str()).map(SessionStream::from)
+            } else {
+                UnixStream::connect(target.as_str()).map(SessionStream::from)
+            }
+        };
+        let backoff = Backoff::new(
+            backoff_ms,
+            backoff_ms.saturating_mul(64),
+            w.seed ^ collector_id,
+        );
+        let mut sender = SequencedSender::new(
+            Collector::new_sequenced(collector_id, w.config(2)),
+            connect,
+            backoff,
+            retry,
+        );
+        for chunk in points.chunks(flush_every.max(1)) {
+            sender.collector_mut().offer_batch(chunk);
+            sender
+                .flush()
+                .unwrap_or_else(|e| die(&format!("flush: {e}")));
+        }
+        let reconnects = sender.reconnects();
+        let collector = sender
+            .finish()
+            .unwrap_or_else(|e| die(&format!("finish: {e}")));
+        let stats = collector.engine().lifecycle_stats();
+        eprintln!(
+            "forwarded {} points as collector {collector_id} (partition {part}/{n_parts}, \
+             {} evicted, sequenced, {} reconnects)",
+            points.len(),
+            stats.evicted,
+            reconnects
+        );
+        return;
+    }
     let mut sock: Box<dyn Write> = if tcp {
         Box::new(
             TcpStream::connect(&socket).unwrap_or_else(|e| die(&format!("connect {socket}: {e}"))),
@@ -577,7 +631,7 @@ fn forward(rest: Vec<String>) {
             UnixStream::connect(&socket).unwrap_or_else(|e| die(&format!("connect {socket}: {e}"))),
         )
     };
-    let mut collector = Collector::new(id.unwrap_or(part), w.config(2));
+    let mut collector = Collector::new(collector_id, w.config(2));
     for chunk in points.chunks(flush_every.max(1)) {
         collector.offer_batch(chunk);
         collector
@@ -589,9 +643,8 @@ fn forward(rest: Vec<String>) {
         .unwrap_or_else(|e| die(&format!("finish: {e}")));
     let stats = collector.engine().lifecycle_stats();
     eprintln!(
-        "forwarded {} points as collector {} (partition {part}/{n_parts}, {} evicted)",
+        "forwarded {} points as collector {collector_id} (partition {part}/{n_parts}, {} evicted)",
         points.len(),
-        id.unwrap_or(part),
         stats.evicted
     );
 }

@@ -109,8 +109,10 @@
 
 pub mod codec;
 pub mod engine;
+pub mod fault;
 pub mod ingest;
 pub mod lifecycle;
+pub mod retry;
 pub mod summary;
 pub mod topology;
 pub mod transport;
@@ -118,7 +120,9 @@ pub mod wire;
 
 pub use codec::{decode_snapshot, encode_snapshot, SnapshotCodecError};
 pub use engine::{EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec, StreamEntry};
+pub use fault::{FaultPlan, FaultyLink};
 pub use lifecycle::{LifecycleConfig, LifecycleStats};
+pub use retry::{Backoff, SequencedSender};
 pub use summary::{StreamSummary, SummaryConfig, SummarySnapshot};
 pub use topology::{
     AdmissionRegistry, Aggregator, AggregatorSet, Collector, SessionDriver, SessionError,

@@ -27,13 +27,58 @@
 //! in-memory pipes and Unix sockets.
 
 use crate::engine::{EngineSnapshot, MonitorConfig, MonitorEngine, StreamEntry};
-use crate::wire::{read_frames, write_frame, Frame, FrameDecoder, WireError, WIRE_VERSION};
+use crate::wire::{
+    encode_frame, encode_frame_seq, read_frames, write_frame, Frame, FrameDecoder, HelloResume,
+    WireError, WIRE_VERSION, WIRE_VERSION_FRAMED,
+};
+use bytes::Bytes;
 use sst_core::stream::StreamDecision;
 use sst_core::summary::{Compactable, MergeableSummary};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::io::Write;
 use std::sync::{Mutex, PoisonError};
+
+/// Sequenced-mode (wire v3) state of a [`Collector`]: the unacked
+/// replay window and the eviction log behind resumable sessions.
+struct SeqState {
+    /// Sequence number the next sealed data frame gets.
+    next_seq: u64,
+    /// Highest sequence the aggregator has acknowledged.
+    last_acked: Option<u64>,
+    /// Encoded, unacked v3 data frames, oldest first — replayed
+    /// verbatim after a reconnect.
+    window: VecDeque<(u64, Bytes)>,
+    /// Every evicted final shipped this session, tagged with the seq
+    /// of the frame that last carried it. `Evicted` finals *merge* at
+    /// the aggregator, so a resync must re-send exactly the tail the
+    /// aggregator is missing — never blindly re-send everything. Kept
+    /// for the session lifetime: that is what lets a `Resync{from: 0}`
+    /// after a full aggregator restart rebuild byte-identical totals.
+    evicted_log: Vec<(u64, StreamEntry)>,
+    /// A `Bye` has been sealed; a resync must re-seal it after the
+    /// re-baseline frames.
+    bye_sealed: bool,
+}
+
+impl SeqState {
+    fn new() -> Self {
+        SeqState {
+            next_seq: 0,
+            last_acked: None,
+            window: VecDeque::new(),
+            evicted_log: Vec::new(),
+            bye_sealed: false,
+        }
+    }
+
+    fn seal(&mut self, frame: &Frame) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.window.push_back((seq, encode_frame_seq(seq, frame)));
+        seq
+    }
+}
 
 /// A monitoring engine that streams its state over the wire protocol.
 pub struct Collector {
@@ -45,6 +90,8 @@ pub struct Collector {
     /// written — survives a failed flush so totals are never lost.
     pending_evicted: Vec<StreamEntry>,
     hello_sent: bool,
+    /// `Some` in sequenced (wire v3) mode.
+    seq: Option<SeqState>,
 }
 
 /// Target payload per `Delta`/`Evicted` frame, in (estimated) bytes —
@@ -95,7 +142,33 @@ impl Collector {
             dirty: BTreeSet::new(),
             pending_evicted: Vec::new(),
             hello_sent: false,
+            seq: None,
         }
+    }
+
+    /// As [`Collector::new`], but in **sequenced** (wire v3) mode: data
+    /// frames carry sequence numbers, unacked frames are retained in a
+    /// replay window, and evicted finals are logged for the session
+    /// lifetime so any suffix of the session can be resynced — the
+    /// price of surviving aggregator restarts byte-identically.
+    ///
+    /// Sequenced collectors seal frames with [`Collector::seal_flush`]
+    /// / [`Collector::seal_finish`] and a transport-owned writer (e.g.
+    /// [`crate::retry::SequencedSender`]) ships the window; the direct
+    /// [`Collector::flush`] path is for unsequenced collectors.
+    ///
+    /// # Panics
+    ///
+    /// As [`MonitorEngine::new`].
+    pub fn new_sequenced(id: u64, config: MonitorConfig) -> Self {
+        let mut c = Collector::new(id, config);
+        c.seq = Some(SeqState::new());
+        c
+    }
+
+    /// `true` when this collector speaks the sequenced (v3) protocol.
+    pub fn is_sequenced(&self) -> bool {
+        self.seq.is_some()
     }
 
     /// The collector id (sent in `Hello`).
@@ -139,12 +212,17 @@ impl Collector {
     /// of `Evicted` finals across sessions needs the ack story the
     /// ROADMAP tracks.)
     pub fn flush(&mut self, w: &mut impl Write) -> std::io::Result<()> {
+        assert!(
+            self.seq.is_none(),
+            "sequenced collectors seal frames (seal_flush) instead of writing directly"
+        );
         if !self.hello_sent {
             write_frame(
                 w,
                 &Frame::Hello {
-                    protocol: WIRE_VERSION,
+                    protocol: WIRE_VERSION_FRAMED,
                     collector_id: self.id,
+                    resume: None,
                 },
             )?;
             self.hello_sent = true;
@@ -181,6 +259,170 @@ impl Collector {
         self.flush(w)?;
         write_frame(w, &Frame::Bye)
     }
+
+    // ---- sequenced (v3) sealing API -------------------------------
+
+    fn seq_mut(&mut self) -> &mut SeqState {
+        self.seq.as_mut().expect("sequenced collector")
+    }
+
+    /// Seals everything pending into the replay window as sequenced
+    /// frames: `Evicted` frames for streams retired since the last
+    /// seal (each final also tagged into the eviction log), then
+    /// `Delta` frames for the dirty keys. Nothing is written — a
+    /// transport writer ships [`Collector::unsent_window`] and trims
+    /// it via [`Collector::ack`].
+    ///
+    /// # Panics
+    ///
+    /// On an unsequenced collector.
+    pub fn seal_flush(&mut self) {
+        self.pending_evicted.extend(self.engine.drain_evicted());
+        let evicted = std::mem::take(&mut self.pending_evicted);
+        for chunk in frame_chunks(&evicted) {
+            let frame = Frame::Evicted(chunk.to_vec());
+            let st = self.seq.as_mut().expect("sequenced collector");
+            let seq = st.seal(&frame);
+            st.evicted_log
+                .extend(chunk.iter().map(|e| (seq, e.clone())));
+        }
+        let entries = self.engine.entries_for(self.dirty.iter().copied());
+        for chunk in frame_chunks(&entries) {
+            let frame = Frame::Delta(EngineSnapshot::from_streams(chunk.to_vec()));
+            self.seq_mut().seal(&frame);
+        }
+        self.dirty.clear();
+    }
+
+    /// Seals pending state, then a `Bye`. Idempotent across resyncs:
+    /// [`Collector::handle_resync`] re-seals the `Bye` after the
+    /// re-baseline frames.
+    ///
+    /// # Panics
+    ///
+    /// On an unsequenced collector.
+    pub fn seal_finish(&mut self) {
+        self.seal_flush();
+        self.seq_mut().seal(&Frame::Bye);
+        self.seq_mut().bye_sealed = true;
+    }
+
+    /// The `Hello` opening a sequenced connection: `Fresh` for a
+    /// never-connected session, otherwise `Replay` from the oldest
+    /// unacked frame (the aggregator skips any seq it already
+    /// applied).
+    ///
+    /// # Panics
+    ///
+    /// On an unsequenced collector.
+    pub fn hello(&self) -> Frame {
+        let st = self.seq.as_ref().expect("sequenced collector");
+        let resume = if st.next_seq == 0 && st.last_acked.is_none() {
+            HelloResume::Fresh { first_seq: 0 }
+        } else {
+            HelloResume::Replay {
+                first_seq: st.window.front().map_or(st.next_seq, |&(s, _)| s),
+            }
+        };
+        Frame::Hello {
+            protocol: WIRE_VERSION,
+            collector_id: self.id,
+            resume: Some(resume),
+        }
+    }
+
+    /// Records an aggregator `Ack {through_seq}`: acked frames leave
+    /// the replay window.
+    ///
+    /// # Panics
+    ///
+    /// On an unsequenced collector.
+    pub fn ack(&mut self, through_seq: u64) {
+        let st = self.seq_mut();
+        while st.window.front().is_some_and(|&(s, _)| s <= through_seq) {
+            st.window.pop_front();
+        }
+        if st.last_acked.is_none_or(|a| a < through_seq) {
+            st.last_acked = Some(through_seq);
+        }
+    }
+
+    /// Answers an aggregator `Resync {from_seq}`: the window is
+    /// superseded wholesale by a re-baseline — the evicted finals the
+    /// aggregator is missing (log entries tagged at or past
+    /// `from_seq`, re-sealed under fresh seqs), then a `FullSnapshot`
+    /// of the entire live engine state, then the `Bye` again if one
+    /// was already sealed. Returns the `Resync`-mode `Hello` to send
+    /// before the rebuilt window.
+    ///
+    /// # Panics
+    ///
+    /// On an unsequenced collector.
+    pub fn handle_resync(&mut self, from_seq: u64) -> Frame {
+        // Everything pending joins the baseline: dirty keys are in the
+        // full snapshot, pending evictions seal first.
+        self.pending_evicted.extend(self.engine.drain_evicted());
+        let pending = std::mem::take(&mut self.pending_evicted);
+        let st = self.seq.as_mut().expect("sequenced collector");
+        st.window.clear();
+        let first_seq = st.next_seq;
+        // Re-send the evicted tail the aggregator is missing, fresh
+        // seqs, and re-tag the log so a *second* resync stays exact.
+        let mut resend: Vec<StreamEntry> = Vec::new();
+        let mut kept: Vec<(u64, StreamEntry)> = Vec::new();
+        for (tag, entry) in std::mem::take(&mut st.evicted_log) {
+            if tag >= from_seq {
+                resend.push(entry);
+            } else {
+                kept.push((tag, entry));
+            }
+        }
+        resend.extend(pending);
+        st.evicted_log = kept;
+        for chunk in frame_chunks(&resend) {
+            let frame = Frame::Evicted(chunk.to_vec());
+            let st = self.seq.as_mut().expect("sequenced collector");
+            let seq = st.seal(&frame);
+            st.evicted_log
+                .extend(chunk.iter().map(|e| (seq, e.clone())));
+        }
+        let baseline = Frame::FullSnapshot(self.engine.snapshot());
+        self.dirty.clear();
+        let st = self.seq_mut();
+        st.seal(&baseline);
+        if st.bye_sealed {
+            st.seal(&Frame::Bye);
+        }
+        Frame::Hello {
+            protocol: WIRE_VERSION,
+            collector_id: self.id,
+            resume: Some(HelloResume::Resync { first_seq }),
+        }
+    }
+
+    /// The unacked window frames at or past `from_seq`, oldest first
+    /// (encoded, ready to write).
+    pub fn unsent_window(&self, from_seq: u64) -> impl Iterator<Item = (u64, &Bytes)> {
+        self.seq
+            .as_ref()
+            .expect("sequenced collector")
+            .window
+            .iter()
+            .filter(move |&&(s, _)| s >= from_seq)
+            .map(|&(s, ref b)| (s, b))
+    }
+
+    /// Sequence number the next sealed frame will get.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.as_ref().expect("sequenced collector").next_seq
+    }
+
+    /// `true` once the sealed `Bye` (and everything before it) has
+    /// been acknowledged — the session is durably complete.
+    pub fn finish_acked(&self) -> bool {
+        let st = self.seq.as_ref().expect("sequenced collector");
+        st.bye_sealed && st.window.is_empty()
+    }
 }
 
 /// Per-collector state inside the aggregator.
@@ -192,6 +434,40 @@ struct CollectorState {
     /// Folded evicted finals per key.
     retired: BTreeMap<u64, StreamEntry>,
     done: bool,
+    /// Sequenced (v3) session: highest applied data-frame seq. The
+    /// watermark is what makes redelivery idempotent — duplicate seqs
+    /// are skipped, which matters because `Evicted` finals merge.
+    last_seq: Option<u64>,
+    /// This id negotiated the sequenced protocol.
+    sequenced: bool,
+    /// A `Resync` was requested; data frames are ignored until the
+    /// `Resync`-mode `Hello` re-baselines the session.
+    awaiting_resync: bool,
+}
+
+/// A suspended collector's aggregator state, parked in the
+/// [`AdmissionRegistry`] between a sequenced session's failure and its
+/// resumption (possibly on a different serve loop). Opaque: only
+/// [`Aggregator::park_collector`] produces one and only
+/// [`Aggregator::restore_collector`] consumes it.
+pub struct ParkedCollector(CollectorState);
+
+/// What [`Aggregator::feed_seq`] did with a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeqOutcome {
+    /// The frame was applied (or was an unsequenced frame).
+    Applied,
+    /// Duplicate seq — already applied in a prior connection; skipped.
+    Duplicate,
+    /// Dropped: the session is awaiting a resync re-baseline.
+    Ignored,
+    /// A gap was detected: the caller should send
+    /// `Resync { from_seq }` back to the collector. Data frames are
+    /// ignored until the `Resync`-mode `Hello` arrives.
+    NeedResync {
+        /// First sequence number the aggregator is missing.
+        from_seq: u64,
+    },
 }
 
 /// Assembles frames from many collectors into one mergeable state.
@@ -217,24 +493,118 @@ impl Aggregator {
 
     /// Applies one frame from the session of `collector_id` (the id
     /// from that session's `Hello`; transports that already know the
-    /// session id may feed data frames directly).
+    /// session id may feed data frames directly). Unsequenced entry
+    /// point: equivalent to [`Aggregator::feed_seq`] with no sequence
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// As [`Aggregator::feed_seq`].
     pub fn feed(&mut self, collector_id: u64, frame: Frame) -> Result<(), WireError> {
-        // Validate before touching state: a rejected Hello must not
-        // leave a phantom session behind (it would inflate
-        // collector_count and wedge all_done forever).
-        if let Frame::Hello { protocol, .. } = frame {
-            if protocol != WIRE_VERSION {
-                return Err(WireError::UnsupportedVersion(protocol));
-            }
+        self.feed_seq(collector_id, None, frame).map(|_| ())
+    }
+
+    /// Applies one frame with its wire sequence number.
+    ///
+    /// Protocol-version negotiation happens here: any `Hello` is
+    /// accepted, and the session runs at the highest version both
+    /// sides speak — `resume: Some` means the sequenced (v3) protocol,
+    /// `resume: None` the one-way framed (v2) protocol, whatever the
+    /// peer's declared ceiling. A v2 peer is never rejected.
+    ///
+    /// Sequenced sessions are idempotent across redelivery: `last_seq`
+    /// is tracked per collector (and survives re-admission), duplicate
+    /// seqs are skipped, and a gap turns into a
+    /// [`SeqOutcome::NeedResync`] rather than silent corruption.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Corrupt`] on protocol violations: aggregator
+    /// control frames fed as collector frames, sequenced data frames
+    /// without a sequenced `Hello`, or unsequenced data frames inside
+    /// a sequenced session.
+    pub fn feed_seq(
+        &mut self,
+        collector_id: u64,
+        seq: Option<u64>,
+        frame: Frame,
+    ) -> Result<SeqOutcome, WireError> {
+        if frame.is_control() {
+            return Err(WireError::Corrupt(
+                "aggregator control frame from a collector",
+            ));
         }
         let state = self.collectors.entry(collector_id).or_default();
+        if let Frame::Hello { resume, .. } = &frame {
+            match resume {
+                None => {
+                    // A fresh Hello restarts the session's live view (a
+                    // reconnecting collector re-sends cumulative state);
+                    // retired finals were real evictions and stay.
+                    state.live.clear();
+                    state.done = false;
+                    state.sequenced = false;
+                    state.last_seq = None;
+                    state.awaiting_resync = false;
+                }
+                Some(HelloResume::Fresh { first_seq }) => {
+                    state.live.clear();
+                    state.done = false;
+                    state.sequenced = true;
+                    state.last_seq = first_seq.checked_sub(1);
+                    state.awaiting_resync = false;
+                }
+                Some(HelloResume::Replay { first_seq }) => {
+                    // Keep everything: the whole point of a replay is
+                    // that prior state (and its seq watermark) stands.
+                    state.done = false;
+                    state.sequenced = true;
+                    let expected = state.last_seq.map_or(0, |s| s + 1);
+                    if *first_seq > expected {
+                        state.awaiting_resync = true;
+                        return Ok(SeqOutcome::NeedResync { from_seq: expected });
+                    }
+                    state.awaiting_resync = false;
+                }
+                Some(HelloResume::Resync { first_seq }) => {
+                    // Re-baseline: the live view is rebuilt by the
+                    // coming FullSnapshot; retired finals already
+                    // applied stay (the collector re-sends only the
+                    // tail past the seq watermark we reported).
+                    state.live.clear();
+                    state.done = false;
+                    state.sequenced = true;
+                    state.last_seq = first_seq.checked_sub(1);
+                    state.awaiting_resync = false;
+                }
+            }
+            return Ok(SeqOutcome::Applied);
+        }
+        // Data frame: sequence bookkeeping before any state change.
+        if state.sequenced {
+            let seq = seq.ok_or(WireError::Corrupt(
+                "unsequenced data frame in a sequenced session",
+            ))?;
+            if state.awaiting_resync {
+                return Ok(SeqOutcome::Ignored);
+            }
+            let expected = state.last_seq.map_or(0, |s| s + 1);
+            if seq < expected {
+                return Ok(SeqOutcome::Duplicate);
+            }
+            if seq > expected {
+                state.awaiting_resync = true;
+                return Ok(SeqOutcome::NeedResync { from_seq: expected });
+            }
+            state.last_seq = Some(seq);
+        } else if seq.is_some() {
+            return Err(WireError::Corrupt(
+                "sequenced data frame without a sequenced hello",
+            ));
+        }
         match frame {
-            Frame::Hello { .. } => {
-                // A fresh Hello restarts the session's live view (a
-                // reconnecting collector re-sends cumulative state);
-                // retired finals were real evictions and stay.
-                state.live.clear();
-                state.done = false;
+            Frame::Hello { .. } | Frame::Ack { .. } | Frame::Resync { .. } | Frame::Shutdown => {
+                unreachable!("handled above")
             }
             Frame::Delta(snap) => {
                 for mut e in snap.into_streams() {
@@ -277,7 +647,41 @@ impl Aggregator {
             }
             Frame::Bye => state.done = true,
         }
-        Ok(())
+        Ok(SeqOutcome::Applied)
+    }
+
+    /// Highest applied sequence number of `collector_id`'s session
+    /// (`None` for unknown ids and unsequenced sessions).
+    pub fn last_seq(&self, collector_id: u64) -> Option<u64> {
+        self.collectors.get(&collector_id).and_then(|s| s.last_seq)
+    }
+
+    /// `true` once `collector_id`'s session has applied its `Bye`.
+    pub fn session_done(&self, collector_id: u64) -> bool {
+        self.collectors.get(&collector_id).is_some_and(|s| s.done)
+    }
+
+    /// `true` while `collector_id` is waiting out a requested resync.
+    pub fn awaiting_resync(&self, collector_id: u64) -> bool {
+        self.collectors
+            .get(&collector_id)
+            .is_some_and(|s| s.awaiting_resync)
+    }
+
+    /// Extracts `collector_id`'s whole state (live, retired, seq
+    /// watermark) for parking in the [`AdmissionRegistry`] while its
+    /// session is down. The collector vanishes from this aggregator —
+    /// [`Aggregator::restore_collector`] puts the state back wherever
+    /// the session resumes.
+    pub fn park_collector(&mut self, collector_id: u64) -> Option<ParkedCollector> {
+        self.collectors.remove(&collector_id).map(ParkedCollector)
+    }
+
+    /// Re-injects state parked by [`Aggregator::park_collector`]
+    /// (possibly from another loop's aggregator) ahead of a resumed
+    /// session's frames.
+    pub fn restore_collector(&mut self, collector_id: u64, parked: ParkedCollector) {
+        self.collectors.insert(collector_id, parked.0);
     }
 
     /// Runs a whole byte stream (one collector session) into the
@@ -369,6 +773,24 @@ enum IdOwner {
     /// it again within this serve run (a late "reconnect" after a
     /// clean `Bye` is indistinguishable from a spoof).
     Completed,
+    /// A sequenced session failed mid-stream; its aggregator state is
+    /// parked here until the collector reconnects and resumes —
+    /// idempotently, thanks to the parked seq watermark.
+    Suspended(Box<ParkedCollector>),
+}
+
+/// Result of [`AdmissionRegistry::claim`].
+pub enum Claim {
+    /// The id is granted, no prior state.
+    New,
+    /// The id is granted and carries the parked state of the suspended
+    /// session being resumed — restore it into the claiming loop's
+    /// aggregator before feeding frames.
+    Resumed(Box<ParkedCollector>),
+    /// Another open session owns the id, or a completed session
+    /// delivered it: the claimant must be failed before the frame
+    /// touches any aggregator.
+    Rejected,
 }
 
 /// Collector-id admission table shared by every serve loop of one run.
@@ -408,20 +830,43 @@ impl AdmissionRegistry {
     }
 
     /// Claims `id` on behalf of the session `token`. `true` when the
-    /// id is free or already held by this very session; `false` when
-    /// another open session owns it or a completed session delivered
-    /// it — the caller must then fail the claiming session *before*
-    /// the frame touches any aggregator.
+    /// claim is granted ([`AdmissionRegistry::claim`] for the variant
+    /// that also hands back parked state — use that from transports
+    /// that support resumption, or the parked state is lost).
     pub fn admit(&self, id: u64, token: u64) -> bool {
+        !matches!(self.claim(id, token), Claim::Rejected)
+    }
+
+    /// Claims `id` on behalf of the session `token`: grants free ids,
+    /// re-grants ids this very session holds, resumes suspended ids
+    /// (handing their parked state to the claimant), and rejects ids
+    /// owned by another open session or delivered by a completed one —
+    /// the caller must then fail the claiming session *before* the
+    /// frame touches any aggregator.
+    pub fn claim(&self, id: u64, token: u64) -> Claim {
         let mut owners = self.lock();
         match owners.get(&id) {
             None => {
                 owners.insert(id, IdOwner::Open(token));
-                true
+                Claim::New
             }
-            Some(IdOwner::Open(t)) => *t == token,
-            Some(IdOwner::Completed) => false,
+            Some(IdOwner::Open(t)) if *t == token => Claim::New,
+            Some(IdOwner::Open(_)) | Some(IdOwner::Completed) => Claim::Rejected,
+            Some(IdOwner::Suspended(_)) => {
+                let Some(IdOwner::Suspended(parked)) = owners.insert(id, IdOwner::Open(token))
+                else {
+                    unreachable!("matched Suspended above")
+                };
+                Claim::Resumed(parked)
+            }
         }
+    }
+
+    /// Parks a failed sequenced session's aggregator state under its
+    /// id, to be handed to whichever session (on whichever loop)
+    /// resumes it.
+    pub fn suspend(&self, id: u64, parked: ParkedCollector) {
+        self.lock().insert(id, IdOwner::Suspended(Box::new(parked)));
     }
 
     /// Marks every id in `ids` as delivered by a completed session:
@@ -505,6 +950,13 @@ pub enum SessionError {
     /// The session tried to feed under a collector id the transport's
     /// admission policy refused (e.g. an id another session owns).
     IdRejected(u64),
+    /// A *sequenced* session's connection ended (even on a clean frame
+    /// boundary) before its `Bye` was applied. Unsequenced v1/v2
+    /// streams complete on EOF; a sequenced collector explicitly ends
+    /// with `Bye` and anything less is a torn connection the peer will
+    /// resume — completing it would mark the id delivered and reject
+    /// the resumption as a spoof.
+    SequencedEof(u64),
 }
 
 impl fmt::Display for SessionError {
@@ -514,6 +966,9 @@ impl fmt::Display for SessionError {
             SessionError::MidFrameEof => f.write_str("connection closed mid-frame"),
             SessionError::IdRejected(id) => {
                 write!(f, "collector id {id} already owned by another session")
+            }
+            SessionError::SequencedEof(id) => {
+                write!(f, "sequenced session {id} disconnected before its Bye")
             }
         }
     }
@@ -546,6 +1001,16 @@ pub struct SessionDriver {
     /// a session that re-`Hello`s under new ids touches several, and
     /// [`SessionDriver::abort`] must roll back all of them.
     fed: BTreeSet<u64>,
+    /// The session negotiated the sequenced (v3) protocol.
+    sequenced: bool,
+    /// Encoded aggregator → collector control frames (`Ack`, `Resync`)
+    /// awaiting transport write — the transport drains this via
+    /// [`SessionDriver::take_outbound`] and owns partial-write
+    /// handling.
+    outbound: Vec<u8>,
+    /// Highest seq already queued in an `Ack`, so acks fire once per
+    /// advance, not once per pushed chunk.
+    acked_through: Option<u64>,
 }
 
 impl SessionDriver {
@@ -558,6 +1023,9 @@ impl SessionDriver {
             fallback_id,
             frames: 0,
             fed: BTreeSet::new(),
+            sequenced: false,
+            outbound: Vec::new(),
+            acked_through: None,
         }
     }
 
@@ -573,7 +1041,7 @@ impl SessionDriver {
     /// the session is then dead (callers should [`SessionDriver::abort`]
     /// and drop the connection).
     pub fn push(&mut self, bytes: &[u8], agg: &mut Aggregator) -> Result<(), SessionError> {
-        self.push_admitted(bytes, agg, &mut |_| true)
+        self.push_admitted(bytes, agg, &mut |_, _| true)
     }
 
     /// As [`SessionDriver::push`], but `admit` is consulted **before**
@@ -582,7 +1050,9 @@ impl SessionDriver {
     /// [`SessionError::IdRejected`] *before* the frame can touch the
     /// aggregator (a spoofed `Hello` would otherwise clear the real
     /// collector's live view). Network-facing transports use this to
-    /// refuse ids already owned by another live or completed session.
+    /// refuse ids already owned by another live or completed session —
+    /// and, handed the aggregator, to restore parked state when
+    /// admitting a *resumed* session.
     ///
     /// # Errors
     ///
@@ -591,7 +1061,7 @@ impl SessionDriver {
         &mut self,
         bytes: &[u8],
         agg: &mut Aggregator,
-        admit: &mut dyn FnMut(u64) -> bool,
+        admit: &mut dyn FnMut(u64, &mut Aggregator) -> bool,
     ) -> Result<(), SessionError> {
         self.dec.push(bytes);
         self.drain(agg, admit)
@@ -606,7 +1076,7 @@ impl SessionDriver {
     /// [`SessionError::MidFrameEof`] if bytes of an incomplete frame
     /// remain; [`SessionError::Wire`] as [`SessionDriver::push`].
     pub fn finish(&mut self, agg: &mut Aggregator) -> Result<(), SessionError> {
-        self.finish_admitted(agg, &mut |_| true)
+        self.finish_admitted(agg, &mut |_, _| true)
     }
 
     /// As [`SessionDriver::finish`] with an admission policy (a legacy
@@ -618,12 +1088,23 @@ impl SessionDriver {
     pub fn finish_admitted(
         &mut self,
         agg: &mut Aggregator,
-        admit: &mut dyn FnMut(u64) -> bool,
+        admit: &mut dyn FnMut(u64, &mut Aggregator) -> bool,
     ) -> Result<(), SessionError> {
         self.dec.finish();
         self.drain(agg, admit)?;
         if self.dec.pending_bytes() != 0 {
             return Err(SessionError::MidFrameEof);
+        }
+        // A sequenced session is complete only once its `Bye` applied:
+        // a clean frame-boundary EOF without one is a torn connection
+        // whose peer will reconnect and resume — completing it here
+        // would mark the id delivered and spoof-reject the resumption.
+        if self.sequenced {
+            if let Some(id) = self.session {
+                if !agg.session_done(id) {
+                    return Err(SessionError::SequencedEof(id));
+                }
+            }
         }
         Ok(())
     }
@@ -656,12 +1137,33 @@ impl SessionDriver {
         self.fed.iter().copied()
     }
 
+    /// The session negotiated the sequenced (v3) protocol — on
+    /// failure, transports park its state for resumption instead of
+    /// rolling it back.
+    pub fn is_sequenced(&self) -> bool {
+        self.sequenced
+    }
+
+    /// Drains the encoded aggregator → collector control frames
+    /// (`Ack`, `Resync`) queued since the last take. The transport
+    /// owns writing them — including partial writes and write-interest
+    /// re-arming on nonblocking sockets.
+    pub fn take_outbound(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.outbound)
+    }
+
+    /// `true` when control frames are queued for the collector.
+    pub fn has_outbound(&self) -> bool {
+        !self.outbound.is_empty()
+    }
+
     fn drain(
         &mut self,
         agg: &mut Aggregator,
-        admit: &mut dyn FnMut(u64) -> bool,
+        admit: &mut dyn FnMut(u64, &mut Aggregator) -> bool,
     ) -> Result<(), SessionError> {
-        while let Some(frame) = self.dec.next_frame().map_err(SessionError::Wire)? {
+        while let Some(sf) = self.dec.next_seq_frame().map_err(SessionError::Wire)? {
+            let frame = sf.frame;
             let id = match (&frame, self.session) {
                 (Frame::Hello { collector_id, .. }, _) => {
                     self.session = Some(*collector_id);
@@ -673,15 +1175,45 @@ impl SessionDriver {
                     self.fallback_id
                 }
             };
+            if let Frame::Hello {
+                resume: Some(_), ..
+            } = &frame
+            {
+                self.sequenced = true;
+            }
             // Admission runs before the frame is applied: a refused id
             // must leave no trace (not even a `Hello`'s live-view
-            // reset).
-            if !self.fed.contains(&id) && !admit(id) {
+            // reset). A granted resumption restores parked state into
+            // `agg` inside the closure, ahead of this frame.
+            if !self.fed.contains(&id) && !admit(id, agg) {
                 return Err(SessionError::IdRejected(id));
             }
-            agg.feed(id, frame).map_err(SessionError::Wire)?;
+            match agg
+                .feed_seq(id, sf.seq, frame)
+                .map_err(SessionError::Wire)?
+            {
+                SeqOutcome::NeedResync { from_seq } => {
+                    self.outbound
+                        .extend_from_slice(&encode_frame(&Frame::Resync { from_seq }));
+                }
+                SeqOutcome::Applied | SeqOutcome::Duplicate | SeqOutcome::Ignored => {}
+            }
             self.frames += 1;
             self.fed.insert(id);
+        }
+        // Ack once per drained batch, and only when the watermark
+        // moved — a per-session outbound buffer the transport flushes.
+        if self.sequenced {
+            if let Some(id) = self.session {
+                if let Some(through) = agg.last_seq(id) {
+                    if self.acked_through.is_none_or(|a| a < through) {
+                        self.acked_through = Some(through);
+                        self.outbound.extend_from_slice(&encode_frame(&Frame::Ack {
+                            through_seq: through,
+                        }));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -775,16 +1307,116 @@ mod tests {
     }
 
     #[test]
-    fn hello_version_mismatch_rejected() {
+    fn hello_version_negotiates_down_never_rejects() {
+        // A peer declaring any protocol ceiling is accepted; the
+        // session simply runs at the highest version both sides speak
+        // (resume: None ⇒ the one-way framed protocol).
         let mut agg = Aggregator::new();
-        let err = agg.feed(
-            0,
-            Frame::Hello {
-                protocol: 77,
-                collector_id: 0,
-            },
+        for protocol in [1u8, 2, 3, 77] {
+            agg.feed(
+                u64::from(protocol),
+                Frame::Hello {
+                    protocol,
+                    collector_id: u64::from(protocol),
+                    resume: None,
+                },
+            )
+            .expect("negotiated, not rejected");
+        }
+        assert_eq!(agg.collector_count(), 4);
+    }
+
+    #[test]
+    fn sequenced_replay_skips_duplicates_and_gaps_request_resync() {
+        let mut engine = MonitorEngine::new(config());
+        engine.offer_batch(&keyed_points(2000, 4));
+        let snap = engine.snapshot();
+        let mut agg = Aggregator::new();
+        let hello = |resume| Frame::Hello {
+            protocol: WIRE_VERSION,
+            collector_id: 9,
+            resume: Some(resume),
+        };
+        agg.feed_seq(9, None, hello(HelloResume::Fresh { first_seq: 0 }))
+            .unwrap();
+        assert_eq!(
+            agg.feed_seq(9, Some(0), Frame::Delta(snap.clone()))
+                .unwrap(),
+            SeqOutcome::Applied
         );
-        assert_eq!(err, Err(WireError::UnsupportedVersion(77)));
+        assert_eq!(agg.last_seq(9), Some(0));
+        // Reconnect replaying from 0: the duplicate is skipped (the
+        // watermark protects the non-idempotent Evicted merge), the
+        // new frame applies.
+        agg.feed_seq(9, None, hello(HelloResume::Replay { first_seq: 0 }))
+            .unwrap();
+        assert_eq!(
+            agg.feed_seq(9, Some(0), Frame::Delta(snap.clone()))
+                .unwrap(),
+            SeqOutcome::Duplicate
+        );
+        assert_eq!(
+            agg.feed_seq(9, Some(1), Frame::Delta(snap.clone()))
+                .unwrap(),
+            SeqOutcome::Applied
+        );
+        // A gap asks for a resync and ignores frames until the
+        // re-baseline Hello.
+        assert_eq!(
+            agg.feed_seq(9, Some(5), Frame::Delta(snap.clone()))
+                .unwrap(),
+            SeqOutcome::NeedResync { from_seq: 2 }
+        );
+        assert!(agg.awaiting_resync(9));
+        assert_eq!(
+            agg.feed_seq(9, Some(6), Frame::Delta(snap.clone()))
+                .unwrap(),
+            SeqOutcome::Ignored
+        );
+        agg.feed_seq(9, None, hello(HelloResume::Resync { first_seq: 7 }))
+            .unwrap();
+        assert_eq!(
+            agg.feed_seq(9, Some(7), Frame::FullSnapshot(snap.clone()))
+                .unwrap(),
+            SeqOutcome::Applied
+        );
+        assert_eq!(agg.snapshot(), snap);
+    }
+
+    #[test]
+    fn parked_state_survives_re_admission() {
+        let mut engine = MonitorEngine::new(config());
+        engine.offer_batch(&keyed_points(2000, 4));
+        let snap = engine.snapshot();
+        let mut agg_a = Aggregator::new();
+        agg_a
+            .feed_seq(
+                4,
+                None,
+                Frame::Hello {
+                    protocol: WIRE_VERSION,
+                    collector_id: 4,
+                    resume: Some(HelloResume::Fresh { first_seq: 0 }),
+                },
+            )
+            .unwrap();
+        agg_a
+            .feed_seq(4, Some(0), Frame::Delta(snap.clone()))
+            .unwrap();
+        // Session fails: park, hand through the registry, resume on a
+        // different loop's aggregator.
+        let registry = AdmissionRegistry::new();
+        registry.suspend(4, agg_a.park_collector(4).expect("state"));
+        assert_eq!(agg_a.collector_count(), 0);
+        let Claim::Resumed(parked) = registry.claim(4, 1 << 33) else {
+            panic!("suspended id resumes");
+        };
+        let mut agg_b = Aggregator::new();
+        agg_b.restore_collector(4, *parked);
+        assert_eq!(agg_b.last_seq(4), Some(0), "seq watermark travels");
+        assert_eq!(agg_b.snapshot(), snap);
+        // And the id is now open: a second claimant is a spoof.
+        assert!(matches!(registry.claim(4, 77), Claim::Rejected));
     }
 
     #[test]
@@ -865,6 +1497,39 @@ mod tests {
     }
 
     #[test]
+    fn sequenced_eof_without_bye_fails_instead_of_completing() {
+        // A sequenced session torn at a frame boundary (clean EOF, no
+        // Bye) must fail — its peer will resume; completing it would
+        // mark the id delivered and reject the resumption as a spoof.
+        let mut collector = Collector::new_sequenced(3, config());
+        collector.offer_batch(&keyed_points(2000, 8));
+        collector.seal_flush();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame(&collector.hello()));
+        for (_, b) in collector.unsent_window(0) {
+            bytes.extend_from_slice(b);
+        }
+        let mut agg = Aggregator::new();
+        let mut driver = SessionDriver::new(999);
+        driver.push(&bytes, &mut agg).expect("whole frames");
+        assert!(matches!(
+            driver.finish(&mut agg),
+            Err(SessionError::SequencedEof(3))
+        ));
+        // With the Bye replayed on a second connection, it completes.
+        collector.seal_finish();
+        let mut rest = Vec::new();
+        rest.extend_from_slice(&encode_frame(&collector.hello()));
+        for (_, b) in collector.unsent_window(0) {
+            rest.extend_from_slice(b);
+        }
+        let mut driver2 = SessionDriver::new(999);
+        driver2.push(&rest, &mut agg).expect("replay");
+        driver2.finish(&mut agg).expect("bye applied");
+        assert!(agg.session_done(3));
+    }
+
+    #[test]
     fn session_driver_abort_rolls_back_every_id_it_fed() {
         // One connection re-Helloing under a second id before dying:
         // abort must remove *both* ids' state, not just the latest.
@@ -876,11 +1541,13 @@ mod tests {
             Frame::Hello {
                 protocol: WIRE_VERSION,
                 collector_id: 10,
+                resume: None,
             },
             Frame::Delta(snap.clone()),
             Frame::Hello {
                 protocol: WIRE_VERSION,
                 collector_id: 11,
+                resume: None,
             },
             Frame::Delta(snap),
         ] {

@@ -84,7 +84,8 @@
 //!
 //! [`FrameDecoder`]: crate::wire::FrameDecoder
 
-use crate::topology::{AdmissionRegistry, Aggregator, AggregatorSet, SessionDriver};
+use crate::topology::{AdmissionRegistry, Aggregator, AggregatorSet, Claim, SessionDriver};
+use crate::wire::{encode_frame, Frame};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -116,6 +117,8 @@ mod sys {
 
     /// There is input to read.
     pub const POLLIN: i16 = 0x001;
+    /// Writing is possible without blocking.
+    pub const POLLOUT: i16 = 0x004;
     /// Error condition (revents only).
     pub const POLLERR: i16 = 0x008;
     /// Peer hung up (revents only).
@@ -136,6 +139,8 @@ mod sys {
 
     /// There is input to read (interest and ready mask).
     pub const EPOLLIN: u32 = 0x001;
+    /// Writing is possible without blocking (interest and ready mask).
+    pub const EPOLLOUT: u32 = 0x004;
 
     const EPOLL_CLOEXEC: c_int = 0o2000000;
     const EPOLL_CTL_ADD: c_int = 1;
@@ -190,9 +195,9 @@ mod sys {
             Ok(Epoll { epfd })
         }
 
-        fn ctl(&self, op: c_int, fd: RawFd, token: u64) -> io::Result<()> {
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
             let mut ev = EpollEvent {
-                events: EPOLLIN,
+                events,
                 data: token,
             };
             // SAFETY: `ev` is a valid, live `#[repr(C)]` epoll_event;
@@ -204,20 +209,20 @@ mod sys {
             Ok(())
         }
 
-        /// Adds `fd` to the interest set, level-triggered readable,
-        /// tagged with `token`.
-        pub fn add(&self, fd: RawFd, token: u64) -> io::Result<()> {
-            self.ctl(EPOLL_CTL_ADD, fd, token)
+        /// Adds `fd` to the interest set, level-triggered, tagged with
+        /// `token`, watching for the given event mask.
+        pub fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, events)
         }
 
-        /// Re-tags an fd already in the interest set.
-        pub fn modify(&self, fd: RawFd, token: u64) -> io::Result<()> {
-            self.ctl(EPOLL_CTL_MOD, fd, token)
+        /// Re-tags and/or re-masks an fd already in the interest set.
+        pub fn modify(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, events)
         }
 
         /// Removes `fd` from the interest set.
         pub fn del(&self, fd: RawFd) -> io::Result<()> {
-            self.ctl(EPOLL_CTL_DEL, fd, 0)
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
         }
 
         /// Blocks until ≥ 1 event or `timeout_ms` (`-1` = forever),
@@ -278,6 +283,18 @@ pub trait Backend: Send {
     /// The underlying syscall's error; `NotFound` when `fd` was never
     /// registered.
     fn modify(&mut self, fd: RawFd, token: u64) -> io::Result<()>;
+
+    /// Adds or removes write interest on an already-watched `fd`
+    /// (read interest stays armed either way). The serve loop arms
+    /// this only while a session has undelivered outbound bytes —
+    /// level-triggered write readiness on an idle healthy socket would
+    /// otherwise busy-spin the loop.
+    ///
+    /// # Errors
+    ///
+    /// The underlying syscall's error; `NotFound` when `fd` was never
+    /// registered.
+    fn set_writable(&mut self, fd: RawFd, token: u64, writable: bool) -> io::Result<()>;
 
     /// Stops watching `fd`. Must be called *before* the fd is closed
     /// (the poll backend keeps a private fd table).
@@ -348,6 +365,17 @@ impl Backend for PollBackend {
         Ok(())
     }
 
+    fn set_writable(&mut self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+        let i = self.position(fd)?;
+        self.tokens[i] = token;
+        self.fds[i].events = if writable {
+            sys::POLLIN | sys::POLLOUT
+        } else {
+            sys::POLLIN
+        };
+        Ok(())
+    }
+
     fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
         let i = self.position(fd)?;
         self.fds.swap_remove(i);
@@ -359,7 +387,8 @@ impl Backend for PollBackend {
         let n = sys::poll_fds(&mut self.fds, timeout_ms)?;
         if n > 0 {
             for (pfd, &token) in self.fds.iter().zip(&self.tokens) {
-                if pfd.revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0 {
+                let mask = sys::POLLIN | sys::POLLOUT | sys::POLLERR | sys::POLLHUP;
+                if pfd.revents & mask != 0 {
                     ready.push(token);
                 }
             }
@@ -393,11 +422,20 @@ impl Backend for EpollBackend {
     }
 
     fn register(&mut self, fd: RawFd, token: u64) -> io::Result<()> {
-        self.ep.add(fd, token)
+        self.ep.add(fd, token, sys::EPOLLIN)
     }
 
     fn modify(&mut self, fd: RawFd, token: u64) -> io::Result<()> {
-        self.ep.modify(fd, token)
+        self.ep.modify(fd, token, sys::EPOLLIN)
+    }
+
+    fn set_writable(&mut self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+        let events = if writable {
+            sys::EPOLLIN | sys::EPOLLOUT
+        } else {
+            sys::EPOLLIN
+        };
+        self.ep.modify(fd, token, events)
     }
 
     fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
@@ -480,10 +518,54 @@ pub enum SessionStream {
 }
 
 impl SessionStream {
-    fn set_nonblocking(&self, v: bool) -> io::Result<()> {
+    /// Switches the socket between blocking and non-blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `fcntl`'s error.
+    pub fn set_nonblocking(&self, v: bool) -> io::Result<()> {
         match self {
             SessionStream::Unix(s) => s.set_nonblocking(v),
             SessionStream::Tcp(s) => s.set_nonblocking(v),
+        }
+    }
+
+    /// Sets the blocking-read timeout (`None` blocks indefinitely) —
+    /// how a retrying forwarder bounds its wait for acks.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `setsockopt`'s error.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            SessionStream::Unix(s) => s.set_read_timeout(t),
+            SessionStream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Clones the underlying socket handle (shared fd, independent
+    /// cursor) — how the fault proxy splits a connection into its two
+    /// shuttle directions.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `dup`'s error.
+    pub fn try_clone(&self) -> io::Result<SessionStream> {
+        Ok(match self {
+            SessionStream::Unix(s) => SessionStream::Unix(s.try_clone()?),
+            SessionStream::Tcp(s) => SessionStream::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Shuts down one or both halves of the connection.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `shutdown`'s error.
+    pub fn shutdown(&self, how: std::net::Shutdown) -> io::Result<()> {
+        match self {
+            SessionStream::Unix(s) => s.shutdown(how),
+            SessionStream::Tcp(s) => s.shutdown(how),
         }
     }
 
@@ -512,6 +594,22 @@ impl Read for SessionStream {
         match self {
             SessionStream::Unix(s) => s.read(buf),
             SessionStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SessionStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            SessionStream::Unix(s) => s.write(buf),
+            SessionStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            SessionStream::Unix(s) => s.flush(),
+            SessionStream::Tcp(s) => s.flush(),
         }
     }
 }
@@ -665,6 +763,41 @@ struct Session {
     token: u64,
     /// Wire bytes delivered so far (reported in [`SessionStats`]).
     bytes: u64,
+    /// Outbound bytes (acks/resyncs to a sequenced collector) not yet
+    /// accepted by the socket — the partial-write carry-over buffer.
+    out: Vec<u8>,
+    /// Whether write interest is currently armed with the backend.
+    /// Tracked so the interest set is only touched on transitions.
+    write_armed: bool,
+}
+
+impl Session {
+    /// Pushes as much of `self.out` as the socket will take right now.
+    /// `Ok(true)` when the buffer drained fully, `Ok(false)` when bytes
+    /// remain (socket buffer full — write interest should be armed).
+    fn flush_outbound(&mut self) -> io::Result<bool> {
+        let mut written = 0usize;
+        while written < self.out.len() {
+            match self.stream.write(&self.out[written..]) {
+                Ok(0) => {
+                    self.out.drain(..written);
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer closed mid-ack",
+                    ));
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.out.drain(..written);
+                    return Err(e);
+                }
+            }
+        }
+        self.out.drain(..written);
+        Ok(self.out.is_empty())
+    }
 }
 
 /// How one readable session left the round.
@@ -927,6 +1060,8 @@ impl EventLoopServer {
                 peer,
                 token,
                 bytes: 0,
+                out: Vec::new(),
+                write_armed: false,
             },
         );
         Ok(token)
@@ -1031,7 +1166,14 @@ impl EventLoopServer {
         }
         // Shutdown: roll back sessions still mid-stream so the snapshot
         // is exactly the completed sessions (probes have nothing fed).
-        for (_, session) in std::mem::take(&mut self.sessions) {
+        // Sequenced peers get a best-effort Shutdown frame first — the
+        // graceful-drain notice that tells a retrying forwarder to
+        // reconnect (and resync) instead of waiting on acks that will
+        // never come.
+        for (_, mut session) in std::mem::take(&mut self.sessions) {
+            if session.driver.is_sequenced() {
+                let _ = session.stream.write(&encode_frame(&Frame::Shutdown));
+            }
             if session.driver.frames_delivered() > 0 {
                 session.driver.abort(&mut self.agg);
                 self.report.aborted += 1;
@@ -1084,8 +1226,9 @@ impl EventLoopServer {
     }
 
     /// Pumps one ready session and settles its fate: still open,
-    /// completed (counted, its ids sealed), or failed (rolled back,
-    /// its ids released, recorded).
+    /// completed (counted, its ids sealed), or failed (sequenced:
+    /// parked for resumption; otherwise rolled back; either way its
+    /// open ids are released and the failure recorded).
     fn pump_ready_session(
         &mut self,
         token: u64,
@@ -1095,6 +1238,16 @@ impl EventLoopServer {
         let Some(session) = self.sessions.get_mut(&token) else {
             return Ok(());
         };
+        // Write half first: if this wakeup is a write-readiness for a
+        // previously-full socket buffer, drain the carried-over acks
+        // before reading more (the collector's in-flight window is
+        // waiting on them).
+        if !session.out.is_empty() {
+            if let Err(e) = session.flush_outbound() {
+                self.settle_failed(token, backend, format!("write: {e}"))?;
+                return Ok(());
+            }
+        }
         let (end, bytes_read) = Self::pump(session, &mut self.agg, &self.admission);
         session.bytes += bytes_read as u64;
         if bytes_read > 0 {
@@ -1104,7 +1257,24 @@ impl EventLoopServer {
             }
         }
         match end {
-            SessionEnd::Open => {}
+            SessionEnd::Open => {
+                // Queue whatever the driver produced this round
+                // (acks/resyncs), push what the socket will take now,
+                // and arm/disarm write interest on transitions only.
+                let fresh = session.driver.take_outbound();
+                session.out.extend_from_slice(&fresh);
+                if !session.out.is_empty() {
+                    if let Err(e) = session.flush_outbound() {
+                        self.settle_failed(token, backend, format!("write: {e}"))?;
+                        return Ok(());
+                    }
+                }
+                let want = !session.out.is_empty();
+                if want != session.write_armed {
+                    backend.set_writable(session.stream.as_raw_fd(), token, want)?;
+                    session.write_armed = want;
+                }
+            }
             SessionEnd::Done => {
                 let session = self.sessions.remove(&token).expect("session present");
                 backend.deregister(session.stream.as_raw_fd())?;
@@ -1130,19 +1300,46 @@ impl EventLoopServer {
                 }
             }
             SessionEnd::Failed(error) => {
-                let session = self.sessions.remove(&token).expect("session present");
-                backend.deregister(session.stream.as_raw_fd())?;
-                session.driver.abort(&mut self.agg);
-                // Free its ids so the collector can reconnect and
-                // resend cumulative state.
-                self.admission.release(session.token);
-                self.report.failures.push(SessionFailure {
-                    peer: session.peer.clone(),
-                    session: session.driver.session_id(),
-                    error,
-                });
+                self.settle_failed(token, backend, error)?;
             }
         }
+        Ok(())
+    }
+
+    /// Settles a failed session. An unsequenced session is rolled back
+    /// wholesale (the pre-seq/ack contract: its partial contribution
+    /// must leave no trace). A sequenced session's per-collector state
+    /// is instead *parked* in the shared admission registry — keyed by
+    /// collector id, so the retrying forwarder can resume it from any
+    /// loop — with its delivery watermark intact; replayed frames at
+    /// or below the watermark will be skipped, which is what makes the
+    /// retry idempotent rather than double-counted.
+    fn settle_failed(
+        &mut self,
+        token: u64,
+        backend: &mut dyn Backend,
+        error: String,
+    ) -> io::Result<()> {
+        let session = self.sessions.remove(&token).expect("session present");
+        backend.deregister(session.stream.as_raw_fd())?;
+        if session.driver.is_sequenced() {
+            for id in session.driver.fed_ids() {
+                if let Some(parked) = self.agg.park_collector(id) {
+                    self.admission.suspend(id, parked);
+                }
+            }
+        } else {
+            session.driver.abort(&mut self.agg);
+        }
+        // Free any ids still merely *open* under this session's token
+        // (parked ids moved to Suspended above and are kept) so the
+        // collector can reconnect and resend cumulative state.
+        self.admission.release(session.token);
+        self.report.failures.push(SessionFailure {
+            peer: session.peer.clone(),
+            session: session.driver.session_id(),
+            error,
+        });
         Ok(())
     }
 
@@ -1167,7 +1364,18 @@ impl EventLoopServer {
         admission: &AdmissionRegistry,
     ) -> (SessionEnd, usize) {
         let token = session.token;
-        let mut admit = |id: u64| admission.admit(id, token);
+        let mut admit = |id: u64, agg: &mut Aggregator| match admission.claim(id, token) {
+            Claim::New => true,
+            // A suspended collector parked by a failed sequenced
+            // session (possibly on another loop): restore its state —
+            // delivery watermark included — into *this* loop's
+            // aggregator before the first frame applies.
+            Claim::Resumed(parked) => {
+                agg.restore_collector(id, *parked);
+                true
+            }
+            Claim::Rejected => false,
+        };
         let mut buf = [0u8; 64 * 1024];
         let mut total = 0usize;
         loop {

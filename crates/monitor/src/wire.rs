@@ -1,25 +1,44 @@
 //! Transport layer: a versioned, length-prefixed frame protocol for
-//! collector → aggregator streams, generalizing the v1 snapshot codec.
+//! collector ⇄ aggregator streams, generalizing the v1 snapshot codec.
 //!
-//! ## Frame format (protocol v2)
+//! ## Frame format (protocol v2 and v3)
 //!
 //! ```text
 //! frame   := magic "SSWF" | version u8 | kind u8 | len u32le | payload[len]
 //! ```
 //!
-//! | kind | frame          | payload                                     |
-//! |-----:|----------------|---------------------------------------------|
-//! | 0    | `Hello`        | protocol u8, collector id u64le              |
-//! | 1    | `FullSnapshot` | v1 snapshot bytes (`SSMON1…`) — all live     |
-//! | 2    | `Delta`        | v1 snapshot bytes — changed streams, cumulative |
-//! | 3    | `Evicted`      | v1 snapshot bytes — final entries of retired streams |
-//! | 4    | `Bye`          | empty                                        |
+//! | kind | frame          | v2 payload                                  | v3 payload |
+//! |-----:|----------------|---------------------------------------------|------------|
+//! | 0    | `Hello`        | protocol u8, collector id u64le              | + mode u8, first_seq u64le |
+//! | 1    | `FullSnapshot` | v1 snapshot bytes (`SSMON1…`) — all live     | seq u64le, then as v2 |
+//! | 2    | `Delta`        | v1 snapshot bytes — changed streams, cumulative | seq u64le, then as v2 |
+//! | 3    | `Evicted`      | v1 snapshot bytes — final entries of retired streams | seq u64le, then as v2 |
+//! | 4    | `Bye`          | empty                                        | seq u64le |
+//! | 5    | `Ack`          | — (v3 only)                                  | through_seq u64le |
+//! | 6    | `Resync`       | — (v3 only)                                  | from_seq u64le |
+//! | 7    | `Shutdown`     | — (v3 only)                                  | empty |
+//!
+//! Version 2 is the original **one-way** framed protocol. Version 3
+//! makes sessions **sequenced and acknowledged**: every
+//! collector-originated data frame carries a `u64` sequence number
+//! (the `Hello` carries the first sequence the connection will send,
+//! plus a resume mode — see [`HelloResume`]), and three
+//! aggregator-originated frames flow back on the same connection:
+//! `Ack` (frames through `through_seq` are applied — the sender may
+//! drop them from its replay window), `Resync` (the aggregator is
+//! missing frames from `from_seq` on and wants a full-snapshot
+//! re-baseline), and `Shutdown` (graceful drain on serve teardown).
+//! Both versions decode through the same [`FrameDecoder`]; `Hello`
+//! negotiation picks the highest common version, so a v2 peer is
+//! accepted verbatim by a v3 aggregator.
 //!
 //! Snapshot-bearing payloads reuse [`crate::codec`] verbatim, so a
 //! frame round-trip is exactly as lossless as the snapshot codec
 //! (bit-exact). `Delta` and `FullSnapshot` entries are **cumulative**
 //! per stream — the receiver *replaces* its copy of those keys rather
 //! than merging, which is what keeps a re-sent delta idempotent.
+//! `Evicted` finals *merge* — which is why their redelivery is guarded
+//! by the v3 sequence watermark, never by blind re-application.
 //!
 //! ## Backward compatibility (v1)
 //!
@@ -36,7 +55,8 @@
 //! from the whole-buffer entry points), declared lengths are capped at
 //! [`MAX_FRAME_BYTES`] before any allocation, and payloads are
 //! validated by the v1 codec's structural checks. The `wire_fuzz`
-//! proptest drives random byte mutations through both decoders.
+//! proptest drives random byte mutations through both decoders and
+//! both protocol versions.
 
 use crate::codec::{decode_snapshot, encode_snapshot, SnapshotCodecError};
 use crate::engine::{EngineSnapshot, StreamEntry};
@@ -44,11 +64,16 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 use std::io::{Read, Write};
 
-/// Magic bytes opening every v2 frame.
+/// Magic bytes opening every framed (v2/v3) frame.
 pub const FRAME_MAGIC: &[u8; 4] = b"SSWF";
 
-/// Current wire protocol version (v1 is the bare snapshot codec).
-pub const WIRE_VERSION: u8 = 2;
+/// Current wire protocol version: sequenced, acknowledged sessions.
+/// (v1 is the bare snapshot codec, v2 the one-way framed protocol.)
+pub const WIRE_VERSION: u8 = 3;
+
+/// The one-way framed protocol version — still fully accepted; what
+/// unsequenced senders (pipes, `.ssm` frame files) emit.
+pub const WIRE_VERSION_FRAMED: u8 = 2;
 
 /// Hard cap on a declared frame payload length — rejects
 /// length-overflow attacks before any allocation happens. 256 MiB is
@@ -63,6 +88,9 @@ const KIND_FULL: u8 = 1;
 const KIND_DELTA: u8 = 2;
 const KIND_EVICTED: u8 = 3;
 const KIND_BYE: u8 = 4;
+const KIND_ACK: u8 = 5;
+const KIND_RESYNC: u8 = 6;
+const KIND_SHUTDOWN: u8 = 7;
 
 /// Wire decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -107,6 +135,51 @@ impl From<SnapshotCodecError> for WireError {
     }
 }
 
+/// How a v3 (sequenced) `Hello` relates this connection to the
+/// collector's prior sessions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HelloResume {
+    /// A brand-new session; data seqs start at `first_seq` (normally
+    /// 0).
+    Fresh {
+        /// Sequence number of the first data frame to follow.
+        first_seq: u64,
+    },
+    /// A reconnect that will replay its unacked window verbatim,
+    /// starting at `first_seq`. The aggregator skips any seq it
+    /// already applied.
+    Replay {
+        /// Sequence number of the first replayed frame.
+        first_seq: u64,
+    },
+    /// The answer to an aggregator `Resync` request: the live view is
+    /// about to be re-baselined by a `FullSnapshot`, with fresh seqs
+    /// starting at `first_seq`.
+    Resync {
+        /// Sequence number of the first re-baseline frame.
+        first_seq: u64,
+    },
+}
+
+impl HelloResume {
+    fn mode_byte(self) -> u8 {
+        match self {
+            HelloResume::Fresh { .. } => 0,
+            HelloResume::Replay { .. } => 1,
+            HelloResume::Resync { .. } => 2,
+        }
+    }
+
+    /// Sequence number of the first data frame this connection sends.
+    pub fn first_seq(self) -> u64 {
+        match self {
+            HelloResume::Fresh { first_seq }
+            | HelloResume::Replay { first_seq }
+            | HelloResume::Resync { first_seq } => first_seq,
+        }
+    }
+}
+
 /// One protocol frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -116,6 +189,9 @@ pub enum Frame {
         protocol: u8,
         /// Stable id of the sending collector.
         collector_id: u64,
+        /// `Some` on a sequenced (v3) session: how this connection
+        /// resumes prior state. `None` on unsequenced (v2) sessions.
+        resume: Option<HelloResume>,
     },
     /// Every live stream of the sender, cumulative (receiver replaces
     /// its whole live view of this collector).
@@ -128,6 +204,21 @@ pub enum Frame {
     Evicted(Vec<StreamEntry>),
     /// Clean end of a collector session.
     Bye,
+    /// Aggregator → collector: every frame through `through_seq` is
+    /// applied; the sender may drop them from its replay window.
+    Ack {
+        /// Highest contiguous applied sequence number.
+        through_seq: u64,
+    },
+    /// Aggregator → collector: frames from `from_seq` on are missing —
+    /// re-baseline with a `Resync`-mode `Hello`, the unacked evicted
+    /// finals, and a `FullSnapshot`.
+    Resync {
+        /// First sequence number the aggregator does not hold.
+        from_seq: u64,
+    },
+    /// Aggregator → collector: the serve is draining; reconnect later.
+    Shutdown,
 }
 
 impl Frame {
@@ -139,8 +230,30 @@ impl Frame {
             Frame::Delta(_) => "Delta",
             Frame::Evicted(_) => "Evicted",
             Frame::Bye => "Bye",
+            Frame::Ack { .. } => "Ack",
+            Frame::Resync { .. } => "Resync",
+            Frame::Shutdown => "Shutdown",
         }
     }
+
+    /// `true` for the aggregator-originated control frames (`Ack`,
+    /// `Resync`, `Shutdown`) that only exist at protocol v3.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Frame::Ack { .. } | Frame::Resync { .. } | Frame::Shutdown
+        )
+    }
+}
+
+/// A decoded frame together with the v3 sequence number its envelope
+/// carried (`None` for v2/legacy frames, `Hello`s and control frames).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeqFrame {
+    /// The v3 data-frame sequence number, if any.
+    pub seq: Option<u64>,
+    /// The frame itself.
+    pub frame: Frame,
 }
 
 /// Serializes one frame.
@@ -157,16 +270,62 @@ impl Frame {
 ///
 /// [`topology::Collector`]: crate::topology::Collector
 pub fn encode_frame(frame: &Frame) -> Bytes {
-    let (kind, payload): (u8, Bytes) = match frame {
+    let (version, kind, payload): (u8, u8, Bytes) = match frame {
         Frame::Hello {
             protocol,
             collector_id,
+            resume: None,
         } => {
             let mut b = BytesMut::with_capacity(9);
             b.put_u8(*protocol);
             b.put_u64_le(*collector_id);
-            (KIND_HELLO, b.freeze())
+            (WIRE_VERSION_FRAMED, KIND_HELLO, b.freeze())
         }
+        Frame::Hello {
+            protocol,
+            collector_id,
+            resume: Some(resume),
+        } => {
+            let mut b = BytesMut::with_capacity(18);
+            b.put_u8(*protocol);
+            b.put_u64_le(*collector_id);
+            b.put_u8(resume.mode_byte());
+            b.put_u64_le(resume.first_seq());
+            (WIRE_VERSION, KIND_HELLO, b.freeze())
+        }
+        Frame::FullSnapshot(snap) => (WIRE_VERSION_FRAMED, KIND_FULL, encode_snapshot(snap)),
+        Frame::Delta(snap) => (WIRE_VERSION_FRAMED, KIND_DELTA, encode_snapshot(snap)),
+        Frame::Evicted(entries) => (
+            WIRE_VERSION_FRAMED,
+            KIND_EVICTED,
+            encode_snapshot(&EngineSnapshot::from_streams(entries.clone())),
+        ),
+        Frame::Bye => (WIRE_VERSION_FRAMED, KIND_BYE, Bytes::new()),
+        Frame::Ack { through_seq } => (
+            WIRE_VERSION,
+            KIND_ACK,
+            Bytes::copy_from_slice(&through_seq.to_le_bytes()),
+        ),
+        Frame::Resync { from_seq } => (
+            WIRE_VERSION,
+            KIND_RESYNC,
+            Bytes::copy_from_slice(&from_seq.to_le_bytes()),
+        ),
+        Frame::Shutdown => (WIRE_VERSION, KIND_SHUTDOWN, Bytes::new()),
+    };
+    assemble(version, kind, &payload, None)
+}
+
+/// Serializes one **data** frame (`FullSnapshot`, `Delta`, `Evicted`,
+/// `Bye`) at protocol v3 with the given sequence number.
+///
+/// # Panics
+///
+/// As [`encode_frame`] on oversize payloads, and on frames that do not
+/// carry a data sequence number (`Hello` encodes its resume info via
+/// [`encode_frame`]; control frames are unsequenced).
+pub fn encode_frame_seq(seq: u64, frame: &Frame) -> Bytes {
+    let (kind, payload): (u8, Bytes) = match frame {
         Frame::FullSnapshot(snap) => (KIND_FULL, encode_snapshot(snap)),
         Frame::Delta(snap) => (KIND_DELTA, encode_snapshot(snap)),
         Frame::Evicted(entries) => (
@@ -174,19 +333,28 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             encode_snapshot(&EngineSnapshot::from_streams(entries.clone())),
         ),
         Frame::Bye => (KIND_BYE, Bytes::new()),
+        other => panic!("{} frames do not carry a data seq", other.kind_name()),
     };
+    assemble(WIRE_VERSION, kind, &payload, Some(seq))
+}
+
+fn assemble(version: u8, kind: u8, payload: &[u8], seq: Option<u64>) -> Bytes {
+    let seq_len = if seq.is_some() { 8 } else { 0 };
     assert!(
-        payload.len() <= MAX_FRAME_BYTES,
+        payload.len() + seq_len <= MAX_FRAME_BYTES,
         "frame payload {} exceeds the {} B wire cap — chunk the snapshot across frames",
         payload.len(),
         MAX_FRAME_BYTES
     );
-    let mut buf = BytesMut::with_capacity(FRAME_MAGIC.len() + 6 + payload.len());
+    let mut buf = BytesMut::with_capacity(FRAME_MAGIC.len() + 6 + seq_len + payload.len());
     buf.put_slice(FRAME_MAGIC);
-    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(version);
     buf.put_u8(kind);
-    buf.put_u32_le(payload.len() as u32);
-    buf.put_slice(&payload);
+    buf.put_u32_le((payload.len() + seq_len) as u32);
+    if let Some(s) = seq {
+        buf.put_u64_le(s);
+    }
+    buf.put_slice(payload);
     buf.freeze()
 }
 
@@ -199,31 +367,89 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
     w.write_all(&encode_frame(frame))
 }
 
-fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
-    match kind {
+fn decode_payload(version: u8, kind: u8, payload: &[u8]) -> Result<SeqFrame, WireError> {
+    let sequenced = version >= WIRE_VERSION;
+    // v3 data frames open with their seq; everything else carries none.
+    let (seq, payload) =
+        if sequenced && matches!(kind, KIND_FULL | KIND_DELTA | KIND_EVICTED | KIND_BYE) {
+            if payload.len() < 8 {
+                return Err(WireError::Corrupt("missing data seq"));
+            }
+            let (s, rest) = payload.split_at(8);
+            (
+                Some(u64::from_le_bytes(s.try_into().expect("8 bytes"))),
+                rest,
+            )
+        } else {
+            (None, payload)
+        };
+    let frame = match kind {
         KIND_HELLO => {
-            if payload.len() != 9 {
+            let want = if sequenced { 18 } else { 9 };
+            if payload.len() != want {
                 return Err(WireError::Corrupt("hello payload length"));
             }
             let mut p = payload;
             let protocol = p.get_u8();
             let collector_id = p.get_u64_le();
-            Ok(Frame::Hello {
+            let resume = if sequenced {
+                let mode = p.get_u8();
+                let first_seq = p.get_u64_le();
+                Some(match mode {
+                    0 => HelloResume::Fresh { first_seq },
+                    1 => HelloResume::Replay { first_seq },
+                    2 => HelloResume::Resync { first_seq },
+                    _ => return Err(WireError::Corrupt("hello resume mode")),
+                })
+            } else {
+                None
+            };
+            Frame::Hello {
                 protocol,
                 collector_id,
-            })
+                resume,
+            }
         }
-        KIND_FULL => Ok(Frame::FullSnapshot(decode_snapshot(payload)?)),
-        KIND_DELTA => Ok(Frame::Delta(decode_snapshot(payload)?)),
-        KIND_EVICTED => Ok(Frame::Evicted(decode_snapshot(payload)?.into_streams())),
+        KIND_FULL => Frame::FullSnapshot(decode_snapshot(payload)?),
+        KIND_DELTA => Frame::Delta(decode_snapshot(payload)?),
+        KIND_EVICTED => Frame::Evicted(decode_snapshot(payload)?.into_streams()),
         KIND_BYE => {
             if !payload.is_empty() {
                 return Err(WireError::Corrupt("bye payload not empty"));
             }
-            Ok(Frame::Bye)
+            Frame::Bye
         }
-        other => Err(WireError::UnknownKind(other)),
-    }
+        KIND_ACK | KIND_RESYNC if !sequenced => {
+            return Err(WireError::Corrupt("control frame below protocol v3"));
+        }
+        KIND_ACK => {
+            if payload.len() != 8 {
+                return Err(WireError::Corrupt("ack payload length"));
+            }
+            Frame::Ack {
+                through_seq: u64::from_le_bytes(payload.try_into().expect("8 bytes")),
+            }
+        }
+        KIND_RESYNC => {
+            if payload.len() != 8 {
+                return Err(WireError::Corrupt("resync payload length"));
+            }
+            Frame::Resync {
+                from_seq: u64::from_le_bytes(payload.try_into().expect("8 bytes")),
+            }
+        }
+        KIND_SHUTDOWN => {
+            if !sequenced {
+                return Err(WireError::Corrupt("control frame below protocol v3"));
+            }
+            if !payload.is_empty() {
+                return Err(WireError::Corrupt("shutdown payload not empty"));
+            }
+            Frame::Shutdown
+        }
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    Ok(SeqFrame { seq, frame })
 }
 
 /// Incremental frame decoder: push bytes in as they arrive, pop frames
@@ -272,13 +498,24 @@ impl FrameDecoder {
     }
 
     /// Pops the next completed frame, `Ok(None)` when more bytes are
-    /// needed.
+    /// needed. Drops the v3 sequence number — sequenced consumers use
+    /// [`FrameDecoder::next_seq_frame`].
     ///
     /// # Errors
     ///
     /// [`WireError`] on malformed input; the decoder is then poisoned
     /// for that stream (callers should drop the connection).
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        Ok(self.next_seq_frame()?.map(|sf| sf.frame))
+    }
+
+    /// Pops the next completed frame with its v3 sequence number
+    /// (`None` seq for v2/legacy frames, `Hello`s and control frames).
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameDecoder::next_frame`].
+    pub fn next_seq_frame(&mut self) -> Result<Option<SeqFrame>, WireError> {
         if self.legacy_done {
             return if self.buf.is_empty() {
                 Ok(None)
@@ -316,7 +553,7 @@ impl FrameDecoder {
         Err(WireError::BadMagic)
     }
 
-    fn try_legacy(&mut self) -> Result<Option<Frame>, WireError> {
+    fn try_legacy(&mut self) -> Result<Option<SeqFrame>, WireError> {
         if !self.eof && self.buf.len() < self.legacy_retry_at {
             return Ok(None);
         }
@@ -324,7 +561,10 @@ impl FrameDecoder {
             Ok(snap) => {
                 self.buf.clear();
                 self.legacy_done = true;
-                Ok(Some(Frame::FullSnapshot(snap)))
+                Ok(Some(SeqFrame {
+                    seq: None,
+                    frame: Frame::FullSnapshot(snap),
+                }))
             }
             Err(SnapshotCodecError::Truncated) => {
                 // Geometric back-off: don't re-parse the whole prefix
@@ -336,13 +576,13 @@ impl FrameDecoder {
         }
     }
 
-    fn try_v2(&mut self) -> Result<Option<Frame>, WireError> {
+    fn try_v2(&mut self) -> Result<Option<SeqFrame>, WireError> {
         const HEADER: usize = 4 + 1 + 1 + 4;
         if self.buf.len() < HEADER {
             return Ok(None);
         }
         let version = self.buf[4];
-        if version != WIRE_VERSION {
+        if !(WIRE_VERSION_FRAMED..=WIRE_VERSION).contains(&version) {
             return Err(WireError::UnsupportedVersion(version));
         }
         let kind = self.buf[5];
@@ -353,7 +593,7 @@ impl FrameDecoder {
         if self.buf.len() < HEADER + len {
             return Ok(None);
         }
-        let frame = decode_payload(kind, &self.buf[HEADER..HEADER + len])?;
+        let frame = decode_payload(version, kind, &self.buf[HEADER..HEADER + len])?;
         self.buf.drain(..HEADER + len);
         Ok(Some(frame))
     }
@@ -461,6 +701,7 @@ mod tests {
             Frame::Hello {
                 protocol: WIRE_VERSION,
                 collector_id: 42,
+                resume: None,
             },
             Frame::Delta(sample_snapshot(9)),
             Frame::Evicted(evicted),
@@ -471,11 +712,109 @@ mod tests {
     }
 
     #[test]
+    fn sequenced_v3_frames_round_trip_with_their_seqs() {
+        let snap = sample_snapshot(5);
+        let evicted: Vec<StreamEntry> = snap.streams()[..2].to_vec();
+        let hello = Frame::Hello {
+            protocol: WIRE_VERSION,
+            collector_id: 42,
+            resume: Some(HelloResume::Replay { first_seq: 17 }),
+        };
+        let data = [
+            Frame::Evicted(evicted),
+            Frame::Delta(sample_snapshot(9)),
+            Frame::FullSnapshot(snap),
+            Frame::Bye,
+        ];
+        let controls = [
+            Frame::Ack { through_seq: 20 },
+            Frame::Resync { from_seq: 18 },
+            Frame::Shutdown,
+        ];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame(&hello));
+        for (i, f) in data.iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame_seq(17 + i as u64, f));
+        }
+        for f in &controls {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        dec.finish();
+        let mut got = Vec::new();
+        while let Some(sf) = dec.next_seq_frame().expect("clean stream") {
+            got.push(sf);
+        }
+        assert_eq!(
+            got[0],
+            SeqFrame {
+                seq: None,
+                frame: hello
+            }
+        );
+        for (i, f) in data.iter().enumerate() {
+            assert_eq!(
+                got[1 + i],
+                SeqFrame {
+                    seq: Some(17 + i as u64),
+                    frame: f.clone()
+                }
+            );
+        }
+        for (i, f) in controls.iter().enumerate() {
+            assert_eq!(
+                got[1 + data.len() + i],
+                SeqFrame {
+                    seq: None,
+                    frame: f.clone()
+                }
+            );
+        }
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn hello_resume_modes_round_trip() {
+        for resume in [
+            HelloResume::Fresh { first_seq: 0 },
+            HelloResume::Replay { first_seq: 914 },
+            HelloResume::Resync {
+                first_seq: u64::MAX,
+            },
+        ] {
+            let hello = Frame::Hello {
+                protocol: WIRE_VERSION,
+                collector_id: 3,
+                resume: Some(resume),
+            };
+            assert_eq!(roundtrip(std::slice::from_ref(&hello)), vec![hello]);
+        }
+    }
+
+    #[test]
+    fn control_frames_below_v3_are_rejected() {
+        // Hand-craft an Ack inside a v2 envelope: structurally framed,
+        // semantically impossible (v2 is one-way).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(FRAME_MAGIC);
+        bytes.push(WIRE_VERSION_FRAMED);
+        bytes.push(5); // Ack
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        assert_eq!(
+            decode_frames(&bytes),
+            Err(WireError::Corrupt("control frame below protocol v3"))
+        );
+    }
+
+    #[test]
     fn incremental_decode_across_arbitrary_chunking() {
         let frames = vec![
             Frame::Hello {
                 protocol: WIRE_VERSION,
                 collector_id: 7,
+                resume: None,
             },
             Frame::Delta(sample_snapshot(1)),
             Frame::Bye,

@@ -8,10 +8,19 @@
 //!
 //! Set `SST_BACKEND=poll|epoll` to pin one backend (the CI matrix
 //! does); unset, every test runs both.
+//!
+//! ISSUE 7 adds the robustness half: the same byte-identity invariant
+//! with seeded faults injected on the links ([`FaultyLink`]) and
+//! `--retry`-style sequenced forwarders ([`SequencedSender`]) riding
+//! them out — plus a serve *restart* mid-run survived via
+//! full-snapshot resync.
 
+use sst_monitor::fault::{FaultyLink, Front, Target};
+use sst_monitor::retry::{Backoff, SequencedSender};
 use sst_monitor::topology::{Aggregator, Collector};
 use sst_monitor::transport::{
-    pump_blocking, BackendKind, EventLoopServer, MultiLoopServer, ServeOptions, FALLBACK_ID_BASE,
+    pump_blocking, BackendKind, EventLoopServer, MultiLoopServer, ServeOptions, SessionStream,
+    FALLBACK_ID_BASE,
 };
 use sst_monitor::{
     encode_frame, encode_snapshot, Frame, MonitorConfig, MonitorEngine, SamplerSpec,
@@ -19,6 +28,7 @@ use sst_monitor::{
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -175,6 +185,7 @@ fn hostile_mixed_scenario(tag: &str, n: u64, points: &[(u64, f64)], mut server: 
             let hello = encode_frame(&Frame::Hello {
                 protocol: sst_monitor::WIRE_VERSION,
                 collector_id: 9001,
+                resume: None,
             });
             let mut engine = MonitorEngine::new(config(spec));
             engine.offer_batch(&keyed_points(3000, 8));
@@ -346,6 +357,7 @@ fn slow_sessions_complete_while_a_firehose_is_streaming() {
                 let hello = encode_frame(&Frame::Hello {
                     protocol: sst_monitor::WIRE_VERSION,
                     collector_id: 9999,
+                    resume: None,
                 });
                 let mut engine = MonitorEngine::new(config(spec));
                 engine.offer_batch(&keyed_points(30_000, 128));
@@ -486,4 +498,353 @@ fn threaded_and_event_loop_transports_assemble_identical_bytes() {
         reference.offer(k, v);
     }
     assert_eq!(event_loop, reference.snapshot());
+}
+
+/// Streams partition `part` of `n_parts` through a *sequenced* (v3)
+/// collector with a generous retry budget — the library equivalent of
+/// `monitor_tool forward --retry`. Panics if the budget runs out: the
+/// fault plans go clean past a threshold, so a healthy stack always
+/// converges.
+fn drive_sequenced(
+    part: u64,
+    n_parts: u64,
+    points: &[(u64, f64)],
+    spec: SamplerSpec,
+    connect: impl FnMut() -> std::io::Result<SessionStream>,
+) {
+    let mine: Vec<(u64, f64)> = points
+        .iter()
+        .filter(|&&(k, _)| k % n_parts == part)
+        .copied()
+        .collect();
+    let mut sender = SequencedSender::new(
+        Collector::new_sequenced(part, config(spec).shards(2)),
+        connect,
+        // Small, capped delays keep the test fast; the seed makes each
+        // forwarder's schedule distinct but reproducible.
+        Backoff::new(2, 40, 0xFA01 ^ part),
+        200,
+    );
+    for chunk in mine.chunks(600) {
+        sender.collector_mut().offer_batch(chunk);
+        sender.flush().expect("sequenced flush within retry budget");
+    }
+    sender
+        .finish()
+        .expect("sequenced finish within retry budget");
+}
+
+/// The ISSUE 7 headline run: `n` sequenced collectors — even ids over
+/// a Unix-socket fault proxy, odd ids over a TCP fault proxy — with
+/// the first `faulted` connections per proxy mangled (drops, mid-frame
+/// kills, delays, split writes) by seed-determined plans. Every
+/// forwarder must converge through retries, and the assembled snapshot
+/// must still be byte-identical to the unsharded engine.
+fn faulted_scenario(tag: &str, n: u64, points: &[(u64, f64)], mut server: Serve, seed: u64) {
+    let spec = SamplerSpec::Systematic { interval: 7 };
+    let mut reference = MonitorEngine::new(config(spec));
+    for &(k, v) in points {
+        reference.offer(k, v);
+    }
+
+    let dir = std::env::temp_dir().join(format!("sst_fault_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let uds_path = dir.join("agg.sock");
+    let _ = std::fs::remove_file(&uds_path);
+    let uds = UnixListener::bind(&uds_path).expect("bind uds");
+    let tcp = TcpListener::bind("127.0.0.1:0").expect("bind tcp");
+    let tcp_addr = tcp.local_addr().expect("tcp addr");
+    server.add_unix_listener(uds);
+    server.add_tcp_listener(tcp);
+
+    // The proxies: every forwarder connects *through* these.
+    const FAULTED_PER_PROXY: u64 = 40;
+    let proxy_uds_path = dir.join("proxy.sock");
+    let _ = std::fs::remove_file(&proxy_uds_path);
+    let proxy_uds = FaultyLink::spawn(
+        Front::Unix(UnixListener::bind(&proxy_uds_path).expect("bind proxy uds")),
+        Target::Unix(uds_path.to_string_lossy().into_owned()),
+        seed,
+        FAULTED_PER_PROXY,
+    )
+    .expect("spawn uds proxy");
+    let proxy_tcp_listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy tcp");
+    let proxy_tcp_front = Front::Tcp(proxy_tcp_listener);
+    let proxy_tcp_addr = proxy_tcp_front.tcp_addr().expect("proxy tcp addr");
+    let proxy_tcp = FaultyLink::spawn(
+        proxy_tcp_front,
+        Target::Tcp(tcp_addr.to_string()),
+        seed ^ 0x5EED,
+        FAULTED_PER_PROXY,
+    )
+    .expect("spawn tcp proxy");
+
+    let (assembled, rep) = std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.run());
+        let mut clients = Vec::new();
+        for part in 0..n {
+            let proxy_uds_path = proxy_uds_path.clone();
+            let points = &points;
+            clients.push(scope.spawn(move || {
+                if part % 2 == 0 {
+                    drive_sequenced(part, n, points, spec, move || {
+                        UnixStream::connect(&proxy_uds_path).map(SessionStream::from)
+                    });
+                } else {
+                    drive_sequenced(part, n, points, spec, move || {
+                        TcpStream::connect(proxy_tcp_addr).map(SessionStream::from)
+                    });
+                }
+            }));
+        }
+        for c in clients {
+            c.join().expect("forwarder thread");
+        }
+        server_thread.join().expect("server thread")
+    });
+    let accepted = proxy_uds.accepted() + proxy_tcp.accepted();
+    drop(proxy_uds);
+    drop(proxy_tcp);
+    let _ = std::fs::remove_file(&uds_path);
+    let _ = std::fs::remove_file(dir.join("proxy.sock"));
+
+    assert_eq!(rep.completed, n as usize, "{tag}: every collector lands");
+    assert!(!rep.timed_out, "{tag}");
+    assert!(
+        accepted > n,
+        "{tag}: faults must have forced retries (accepted {accepted} ≤ {n} connections)"
+    );
+    assert!(
+        !rep.failures.is_empty(),
+        "{tag}: killed sessions must be recorded (accepted {accepted})"
+    );
+    assert_eq!(assembled, reference.snapshot(), "{tag}");
+    assert_eq!(
+        encode_snapshot(&assembled),
+        encode_snapshot(&reference.snapshot()),
+        "{tag}: byte-identical to the unsharded run despite injected faults"
+    );
+}
+
+#[test]
+fn sequenced_sessions_survive_seeded_faults_single_loop() {
+    const N: u64 = 64;
+    let points = keyed_points(120_000, 256);
+    for kind in backends_under_test() {
+        let server = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: N as usize,
+                accept_timeout: Some(Duration::from_secs(60)),
+            },
+        )
+        .with_backend(kind);
+        faulted_scenario(
+            &format!("single_{kind}"),
+            N,
+            &points,
+            Serve::Single(server),
+            0xC0FFEE,
+        );
+    }
+}
+
+#[test]
+fn sequenced_sessions_survive_seeded_faults_multi_loop() {
+    const N: u64 = 64;
+    let points = keyed_points(120_000, 256);
+    for kind in backends_under_test() {
+        for loops in [2usize, 4] {
+            let server = MultiLoopServer::new(
+                (0..loops).map(|_| Aggregator::new()).collect(),
+                ServeOptions {
+                    collectors: N as usize,
+                    accept_timeout: Some(Duration::from_secs(60)),
+                },
+            )
+            .with_backend(kind);
+            faulted_scenario(
+                &format!("multi_{kind}_x{loops}"),
+                N,
+                &points,
+                Serve::Multi(server),
+                0xC0FFEE ^ loops as u64,
+            );
+        }
+    }
+}
+
+/// Version negotiation live (satellite 2): unsequenced v2 forwarders
+/// and sequenced v3 forwarders share one serve, and the assembled
+/// snapshot is still the unsharded engine's bytes — a v2-only binary
+/// keeps working unchanged against a v3 aggregator.
+#[test]
+fn mixed_v2_and_v3_sessions_assemble_identical_bytes() {
+    const N: u64 = 8;
+    let spec = SamplerSpec::Systematic { interval: 7 };
+    let points = keyed_points(60_000, 128);
+    let mut reference = MonitorEngine::new(config(spec));
+    for &(k, v) in &points {
+        reference.offer(k, v);
+    }
+    for kind in backends_under_test() {
+        let dir = std::env::temp_dir().join(format!("sst_mixed_{kind}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("socket dir");
+        let uds_path = dir.join("mixed.sock");
+        let _ = std::fs::remove_file(&uds_path);
+        let uds = UnixListener::bind(&uds_path).expect("bind uds");
+        let mut server = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: N as usize,
+                accept_timeout: Some(Duration::from_secs(60)),
+            },
+        )
+        .with_backend(kind);
+        server.add_unix_listener(uds).expect("register uds");
+        let (agg, rep) = std::thread::scope(|scope| {
+            let server_thread = scope.spawn(move || server.run().expect("event loop"));
+            for part in 0..N {
+                let uds_path = uds_path.clone();
+                let points = &points;
+                scope.spawn(move || {
+                    if part % 2 == 0 {
+                        // Unsequenced v2 — the pre-ISSUE-7 forward path.
+                        let mut sock = UnixStream::connect(&uds_path).expect("connect uds");
+                        drive_collector(
+                            Collector::new(part, config(spec).shards(2)),
+                            points,
+                            part,
+                            N,
+                            &mut sock,
+                        );
+                    } else {
+                        drive_sequenced(part, N, points, spec, move || {
+                            UnixStream::connect(&uds_path).map(SessionStream::from)
+                        });
+                    }
+                });
+            }
+            server_thread.join().expect("server thread")
+        });
+        let _ = std::fs::remove_file(dir.join("mixed.sock"));
+        assert_eq!(rep.completed, N as usize, "{kind}");
+        assert!(rep.failures.is_empty(), "{kind}: {:?}", rep.failures);
+        assert_eq!(
+            encode_snapshot(&agg.snapshot()),
+            encode_snapshot(&reference.snapshot()),
+            "{kind}: mixed-version serve must still assemble the reference bytes"
+        );
+    }
+}
+
+/// The serve process dies mid-run and a new one takes over the same
+/// socket: retrying forwarders must reconnect, be told to resync (the
+/// fresh aggregator has no per-collector watermark), re-baseline from
+/// a full snapshot, and still assemble the reference bytes. The first
+/// serve's teardown also exercises the best-effort `Shutdown` frame.
+#[test]
+fn serve_restart_mid_run_survived_by_full_snapshot_resync() {
+    const N: u64 = 8;
+    let spec = SamplerSpec::Systematic { interval: 7 };
+    let points = keyed_points(60_000, 128);
+    let mut reference = MonitorEngine::new(config(spec));
+    for &(k, v) in &points {
+        reference.offer(k, v);
+    }
+
+    let dir = std::env::temp_dir().join(format!("sst_restart_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let uds_path = dir.join("restart.sock");
+    let _ = std::fs::remove_file(&uds_path);
+
+    let phase_a_done = AtomicUsize::new(0);
+    let serve2_up = AtomicBool::new(false);
+
+    // Serve 1 stops after ONE completed session — the throwaway dummy
+    // below — stranding the 8 sequenced forwarders mid-stream.
+    let uds1 = UnixListener::bind(&uds_path).expect("bind uds 1");
+    let mut serve1 = EventLoopServer::new(
+        Aggregator::new(),
+        ServeOptions {
+            collectors: 1,
+            accept_timeout: Some(Duration::from_secs(60)),
+        },
+    );
+    serve1.add_unix_listener(uds1).expect("register uds 1");
+
+    let (agg2, rep2) = std::thread::scope(|scope| {
+        let serve1_thread = scope.spawn(move || serve1.run().expect("serve 1"));
+        let mut clients = Vec::new();
+        for part in 0..N {
+            let uds_path = uds_path.clone();
+            let points = &points;
+            let phase_a_done = &phase_a_done;
+            let serve2_up = &serve2_up;
+            clients.push(scope.spawn(move || {
+                let mine: Vec<(u64, f64)> = points
+                    .iter()
+                    .filter(|&&(k, _)| k % N == part)
+                    .copied()
+                    .collect();
+                let connect_path = uds_path.clone();
+                let mut sender = SequencedSender::new(
+                    Collector::new_sequenced(part, config(spec).shards(2)),
+                    move || UnixStream::connect(&connect_path).map(SessionStream::from),
+                    Backoff::new(2, 40, 0xBEEF ^ part),
+                    400,
+                );
+                let (first, second) = mine.split_at(mine.len() / 2);
+                sender.collector_mut().offer_batch(first);
+                sender.flush().expect("phase A flush");
+                phase_a_done.fetch_add(1, Ordering::SeqCst);
+                while !serve2_up.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                sender.collector_mut().offer_batch(second);
+                sender.flush().expect("phase B flush");
+                sender.finish().expect("finish against serve 2");
+            }));
+        }
+        // Once every forwarder has frames inside serve 1, complete the
+        // dummy session so serve 1 reaches its target and tears down.
+        while phase_a_done.load(Ordering::SeqCst) < N as usize {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let mut sock = UnixStream::connect(&uds_path).expect("connect dummy");
+            let mut dummy = Collector::new(9000, config(spec));
+            dummy.offer_batch(&keyed_points(500, 4));
+            dummy.finish(&mut sock).expect("dummy session");
+        }
+        serve1_thread.join().expect("serve 1 thread");
+        // Same path, fresh process state: the restart.
+        let _ = std::fs::remove_file(&uds_path);
+        let uds2 = UnixListener::bind(&uds_path).expect("bind uds 2");
+        let mut serve2 = EventLoopServer::new(
+            Aggregator::new(),
+            ServeOptions {
+                collectors: N as usize,
+                accept_timeout: Some(Duration::from_secs(60)),
+            },
+        );
+        serve2.add_unix_listener(uds2).expect("register uds 2");
+        let serve2_thread = scope.spawn(move || serve2.run().expect("serve 2"));
+        serve2_up.store(true, Ordering::SeqCst);
+        for c in clients {
+            c.join().expect("forwarder thread");
+        }
+        serve2_thread.join().expect("serve 2 thread")
+    });
+    let _ = std::fs::remove_file(dir.join("restart.sock"));
+
+    assert_eq!(
+        rep2.completed, N as usize,
+        "every forwarder must land on the restarted serve"
+    );
+    assert_eq!(
+        encode_snapshot(&agg2.snapshot()),
+        encode_snapshot(&reference.snapshot()),
+        "restart must be invisible in the assembled bytes (full-snapshot resync)"
+    );
 }

@@ -52,11 +52,56 @@ fn valid_stream() -> Vec<u8> {
         Frame::Hello {
             protocol: WIRE_VERSION,
             collector_id: 17,
+            resume: None,
         },
         Frame::Delta(snap.clone()),
         Frame::Evicted(evicted),
         Frame::FullSnapshot(snap),
         Frame::Bye,
+    ] {
+        bytes.extend_from_slice(&encode_frame(&frame));
+    }
+    bytes
+}
+
+/// A representative *sequenced* (v3) bidirectional byte soup: a
+/// resume Hello, sequenced data frames, and the three
+/// aggregator-originated control frames — everything the v3 decoder
+/// can legally meet on one connection, in one buffer.
+fn valid_sequenced_stream(first_seq: u64) -> Vec<u8> {
+    use sst_monitor::wire::{encode_frame_seq, HelloResume};
+    let mut engine = MonitorEngine::new(
+        MonitorConfig::default()
+            .sampler(SamplerSpec::Systematic { interval: 9 })
+            .seed(13),
+    );
+    for i in 0..10_000u64 {
+        engine.offer(i % 17, 1.0 + (i % 29) as f64);
+    }
+    let snap = engine.snapshot();
+    let evicted = snap.streams()[..3].to_vec();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&encode_frame(&Frame::Hello {
+        protocol: WIRE_VERSION,
+        collector_id: 23,
+        resume: Some(HelloResume::Replay { first_seq }),
+    }));
+    let mut seq = first_seq;
+    for frame in [
+        Frame::Delta(snap.clone()),
+        Frame::Evicted(evicted),
+        Frame::FullSnapshot(snap),
+        Frame::Bye,
+    ] {
+        bytes.extend_from_slice(&encode_frame_seq(seq, &frame));
+        seq += 1;
+    }
+    for frame in [
+        Frame::Ack { through_seq: seq },
+        Frame::Resync {
+            from_seq: first_seq,
+        },
+        Frame::Shutdown,
     ] {
         bytes.extend_from_slice(&encode_frame(&frame));
     }
@@ -138,7 +183,7 @@ proptest! {
 
     #[test]
     fn declared_length_overflows_are_rejected_not_allocated(
-        kind in 0u8..=5u8,
+        kind in 0u8..=7u8,
         len in (1u32 << 28)..=u32::MAX,
     ) {
         // A hostile header declaring a huge payload must fail fast
@@ -149,5 +194,49 @@ proptest! {
         bytes.push(kind);
         bytes.extend_from_slice(&len.to_le_bytes());
         prop_assert!(decode_frames(&bytes).is_err());
+    }
+
+    #[test]
+    fn mutated_sequenced_streams_never_panic(
+        first_seq in 0u64..1_000,
+        muts in proptest::collection::vec((0usize..1_000_000, 0u8..=255u8), 1..12),
+    ) {
+        let mut bytes = valid_sequenced_stream(first_seq);
+        for &(pos, val) in &muts {
+            let i = pos % bytes.len();
+            bytes[i] = val;
+        }
+        decode_every_way(&bytes);
+    }
+
+    #[test]
+    fn truncated_sequenced_streams_never_panic(
+        first_seq in 0u64..1_000,
+        cut in 0usize..1_000_000,
+    ) {
+        let bytes = valid_sequenced_stream(first_seq);
+        let cut = cut % (bytes.len() + 1);
+        decode_every_way(&bytes[..cut]);
+    }
+
+    #[test]
+    fn sequenced_streams_round_trip_their_seqs(first_seq in 0u64..u64::MAX / 2) {
+        // The bidirectional decoder must hand back exactly the seqs
+        // the sender stamped — data frames numbered, Hello and
+        // control frames seq-less — through arbitrary re-chunking.
+        let bytes = valid_sequenced_stream(first_seq);
+        let mut dec = FrameDecoder::new();
+        let mut seqs = Vec::new();
+        for chunk in bytes.chunks(7) {
+            dec.push(chunk);
+            while let Some(sf) = dec.next_seq_frame().expect("valid stream") {
+                seqs.push(sf.seq);
+            }
+        }
+        let expected: Vec<Option<u64>> = std::iter::once(None)
+            .chain((0..4).map(|i| Some(first_seq + i)))
+            .chain([None, None, None])
+            .collect();
+        prop_assert_eq!(seqs, expected);
     }
 }

@@ -1,9 +1,10 @@
 //! Criterion benches for the layered online monitoring engine:
 //! single-stream offer throughput, 10k-stream sharded vs sequential
 //! ingest (the persistent-worker-pool payoff), snapshot/merge cost,
-//! summary compaction, wire-frame round-trips, eviction churn, and the
-//! event-loop transport (64-session serve on the poll(2) and epoll(7)
-//! backends, multi-loop sharded serve, TCP round-trip).
+//! summary compaction, wire-frame round-trips, eviction churn, the
+//! sketch tier (key-flood absorption and promote/demote turnover), and
+//! the event-loop transport (64-session serve on the poll(2) and
+//! epoll(7) backends, multi-loop sharded serve, TCP round-trip).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sst_monitor::topology::{Aggregator, Collector};
@@ -173,6 +174,69 @@ fn bench_evict_churn(c: &mut Criterion) {
             }
             engine.maintain();
             engine.lifecycle_stats().evicted
+        });
+    });
+    g.finish();
+}
+
+fn bench_sketch_churn(c: &mut Criterion) {
+    // 2^18 points over ~130k distinct keys against 512 exact slots and
+    // a fixed sketch budget — the sketch tier's absorb path (count-min,
+    // heavy-hitter list, projection cascades) at key-flood rates.
+    let pts: Vec<(u64, f64)> = (0..1u64 << 18)
+        .map(|i| (i / 2, 2.0 + (i % 17) as f64))
+        .collect();
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pts.len() as u64));
+    g.bench_function("sketch_churn", |b| {
+        b.iter(|| {
+            let mut engine = MonitorEngine::new(
+                MonitorConfig::default()
+                    .shards(2)
+                    .seed(3)
+                    .max_exact_keys(512)
+                    .sketch_bytes(1 << 18)
+                    .promote_after(1 << 20),
+            );
+            for chunk in pts.chunks(1 << 14) {
+                engine.offer_batch(chunk);
+            }
+            engine.tier_stats().expect("tiered").sketched_keys
+        });
+    });
+    g.finish();
+}
+
+fn bench_promote_demote(c: &mut Criterion) {
+    // Heavy-hitter turnover: 64 hot keys rotating through 16 exact
+    // slots with a low promotion threshold — prices the promote →
+    // demote-coldest → retire cycle, the tier's worst-case path.
+    let pts: Vec<(u64, f64)> = (0..1u64 << 17)
+        .map(|i| {
+            let phase = i / (1 << 11); // hot set rotates every 2048 points
+            let key = (phase * 16 + i % 16) % 64;
+            (key, 2.0 + (i % 13) as f64)
+        })
+        .collect();
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pts.len() as u64));
+    g.bench_function("promote_demote", |b| {
+        b.iter(|| {
+            let mut engine = MonitorEngine::new(
+                MonitorConfig::default()
+                    .shards(2)
+                    .seed(3)
+                    .max_exact_keys(16)
+                    .sketch_bytes(1 << 16)
+                    .promote_after(64),
+            );
+            for chunk in pts.chunks(1 << 14) {
+                engine.offer_batch(chunk);
+            }
+            let stats = engine.tier_stats().expect("tiered");
+            stats.promotions + stats.demotions
         });
     });
     g.finish();
@@ -430,6 +494,7 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_offer, bench_sharded_ingest, bench_snapshot_merge,
         bench_compaction, bench_wire_roundtrip, bench_evict_churn,
+        bench_sketch_churn, bench_promote_demote,
         bench_event_loop_serve, bench_multi_loop_serve, bench_tcp_roundtrip,
         bench_resync_after_kill
 }

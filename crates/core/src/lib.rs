@@ -28,6 +28,10 @@
 //!   counterparts of every sampler, exactly equivalent to the offline
 //!   forms — what a router line card deploys — with state snapshots
 //!   ([`SamplerSnapshot`]) for online monitoring.
+//! * [`sketch`] — fixed-memory frequency sketches (count-min,
+//!   SpaceSaving) with integer cells, so merges are exact cell-wise
+//!   addition — the long-tail tier under `sst-monitor`'s exact
+//!   per-stream state.
 //! * [`summary`] — the [`MergeableSummary`] contract: summaries of
 //!   disjoint data partitions combine associatively, the property the
 //!   sharded monitoring engine (`sst-monitor`) is built on.
@@ -67,6 +71,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod parallel;
 pub mod sampler;
+pub mod sketch;
 pub mod snc;
 pub mod stream;
 pub mod summary;
@@ -78,6 +83,7 @@ pub use bss::{BssOutcome, BssSampler, OnlineTuning, ThresholdPolicy};
 pub use experiment::{run_bss_experiment, run_experiment, ExperimentResult};
 pub use parallel::ParallelExperimentRunner;
 pub use sampler::{Sampler, Samples, SimpleRandomSampler, StratifiedSampler, SystematicSampler};
+pub use sketch::{CountMinSketch, SpaceSaving};
 pub use snc::{GapDistribution, SncReport};
 pub use stream::{
     SamplerSnapshot, StreamDecision, StreamSampler, StreamingBss, StreamingSimpleRandom,

@@ -1,0 +1,470 @@
+//! Fixed-memory frequency sketches for the long-tail flow tier.
+//!
+//! A monitor serving millions of keys cannot afford per-key state for
+//! all of them; the classical answer (Cormode & Muthukrishnan's
+//! count-min sketch, Metwally et al.'s SpaceSaving) is a fixed array of
+//! counters shared by every key.  `sst-monitor` layers these under its
+//! exact [`crate::stream::StreamSampler`] tier: the count-min sketch
+//! estimates per-key volume (and drives deterministic heavy-hitter
+//! promotion), SpaceSaving keeps the candidate top-k.
+//!
+//! Both structures are deliberately integer-only: cell updates are
+//! `u64` additions, so merging is cell-wise addition — associative,
+//! commutative, and bit-exact regardless of partition order.  That is
+//! what lets sketch snapshots ride [`MergeableSummary`] through the
+//! sharded engine and the collector topology without breaking the
+//! byte-identity guarantees the exact tier already provides.
+
+use crate::summary::MergeableSummary;
+use sst_stats::rng::derive_seed;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Domain tag mixed into row-seed derivation so count-min row hashes
+/// never collide with other `derive_seed` users on the same base seed.
+const CM_ROW_TAG: u64 = 0x434d_524f_5753; // "CMROWS"
+
+/// A count-min sketch over `u64` keys with `u64` counts.
+///
+/// `depth` rows of `width` cells each (width is a power of two);
+/// incrementing a key adds to one cell per row (row hashes derived from
+/// the seed via [`derive_seed`]), and the point estimate is the minimum
+/// over rows — an overestimate with bounded expected error
+/// `ε ≈ e / width` of the total count.
+///
+/// Counts are integers, so [`MergeableSummary::merge_from`] is exact
+/// cell-wise addition: merging per-partition sketches yields the bits a
+/// single sketch over the interleaved stream would hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    seed: u64,
+    /// Cached `derive_seed(derive_seed(seed, CM_ROW_TAG), row)` values.
+    row_seeds: Vec<u64>,
+    /// Row-major `depth × width` counters.
+    cells: Vec<u64>,
+    /// Exact total of all increments (every row also sums to this
+    /// unless a cell saturated).
+    total: u64,
+}
+
+fn row_seeds(seed: u64, depth: usize) -> Vec<u64> {
+    let base = derive_seed(seed, CM_ROW_TAG);
+    (0..depth as u64).map(|r| derive_seed(base, r)).collect()
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with exactly `depth × width` cells; `width` is
+    /// rounded up to a power of two (minimum 16).
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        let depth = depth.max(1);
+        let width = width.max(16).next_power_of_two();
+        Self {
+            width,
+            depth,
+            seed,
+            row_seeds: row_seeds(seed, depth),
+            cells: vec![0; depth * width],
+            total: 0,
+        }
+    }
+
+    /// Creates the widest `depth`-row sketch that fits in `bytes` of
+    /// cell storage (width rounded *down* to a power of two, min 16).
+    pub fn with_budget(bytes: usize, depth: usize, seed: u64) -> Self {
+        let depth = depth.max(1);
+        let per_row = bytes / (8 * depth);
+        let width = if per_row < 16 {
+            16
+        } else {
+            // Largest power of two ≤ per_row.
+            1usize << (usize::BITS - 1 - per_row.leading_zeros())
+        };
+        Self::new(depth, width, seed)
+    }
+
+    /// Row width in cells (a power of two).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of hash rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Seed the row hashes derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Row-major cell counters (`depth × width` values).
+    pub fn cells(&self) -> &[u64] {
+        &self.cells
+    }
+
+    /// Exact total of all increments ever applied (or merged in).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Rebuilds a sketch from codec-decoded parts. Returns `None` when
+    /// `cells.len() != depth × width` or `width` is not a power of two.
+    pub fn from_raw_parts(
+        depth: usize,
+        width: usize,
+        seed: u64,
+        cells: Vec<u64>,
+        total: u64,
+    ) -> Option<Self> {
+        if depth == 0 || width == 0 || !width.is_power_of_two() {
+            return None;
+        }
+        if cells.len() != depth.checked_mul(width)? {
+            return None;
+        }
+        Some(Self {
+            width,
+            depth,
+            seed,
+            row_seeds: row_seeds(seed, depth),
+            cells,
+            total,
+        })
+    }
+
+    #[inline]
+    fn index(&self, row: usize, key: u64) -> usize {
+        row * self.width + (derive_seed(self.row_seeds[row], key) as usize & (self.width - 1))
+    }
+
+    /// Adds `count` to `key`'s cell in every row.
+    pub fn increment(&mut self, key: u64, count: u64) {
+        for row in 0..self.depth {
+            let i = self.index(row, key);
+            self.cells[i] = self.cells[i].saturating_add(count);
+        }
+        self.total = self.total.saturating_add(count);
+    }
+
+    /// Point estimate for `key`: the minimum cell over rows (never an
+    /// underestimate).
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.cells[self.index(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Linear-counting estimate of the number of distinct keys seen,
+    /// from the zero-cell occupancy of row 0. Saturates at `total()`
+    /// when the row is full.
+    pub fn distinct_estimate(&self) -> u64 {
+        let row = &self.cells[..self.width];
+        let zeros = row.iter().filter(|&&c| c == 0).count();
+        if zeros == 0 {
+            return self.total;
+        }
+        let w = self.width as f64;
+        let est = (w * (w / zeros as f64).ln()).round() as u64;
+        est.min(self.total)
+    }
+
+    /// Bytes of heap + inline state.
+    pub fn estimated_bytes(&self) -> usize {
+        64 + 8 * self.row_seeds.len() + 8 * self.cells.len()
+    }
+}
+
+impl MergeableSummary for CountMinSketch {
+    /// Cell-wise addition when geometries match (exact); when they do
+    /// not, only the exact `total` is carried over and the point
+    /// estimates degrade — totals are sacred, estimates are not.
+    fn merge_from(&mut self, other: &Self) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        if self.width == other.width && self.depth == other.depth && self.seed == other.seed {
+            for (c, o) in self.cells.iter_mut().zip(&other.cells) {
+                *c = c.saturating_add(*o);
+            }
+        }
+        self.total = self.total.saturating_add(other.total);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// Metwally et al.'s SpaceSaving top-k candidate table.
+///
+/// Holds at most `capacity` `(key, count, err)` entries; a new key past
+/// capacity evicts the minimum-count entry (ties broken by smaller
+/// key, so eviction is deterministic) and inherits its count as the
+/// admission error bound. Guarantees: `count - err ≤ true ≤ count`,
+/// and any key with true count above the minimum table count is
+/// present.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// key → (count, err)
+    by_key: HashMap<u64, (u64, u64)>,
+    /// (count, key) ordered index for O(log n) min-eviction.
+    by_count: BTreeSet<(u64, u64)>,
+}
+
+impl SpaceSaving {
+    /// Creates a table tracking up to `capacity` candidates (min 4).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(4);
+        Self {
+            capacity,
+            by_key: HashMap::with_capacity(capacity),
+            by_count: BTreeSet::new(),
+        }
+    }
+
+    /// Maximum number of tracked candidates.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of tracked candidates.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True when no key has ever been offered.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Offers `count` observations of `key`.
+    pub fn offer(&mut self, key: u64, count: u64) {
+        if let Some(&(old, err)) = self.by_key.get(&key) {
+            let new = old.saturating_add(count);
+            self.by_count.remove(&(old, key));
+            self.by_count.insert((new, key));
+            self.by_key.insert(key, (new, err));
+            return;
+        }
+        if self.by_key.len() < self.capacity {
+            self.by_key.insert(key, (count, 0));
+            self.by_count.insert((count, key));
+            return;
+        }
+        // Deterministic victim: smallest count, then smallest key.
+        let &(min_count, victim) = self.by_count.iter().next().expect("non-empty at capacity");
+        self.by_count.remove(&(min_count, victim));
+        self.by_key.remove(&victim);
+        let new = min_count.saturating_add(count);
+        self.by_key.insert(key, (new, min_count));
+        self.by_count.insert((new, key));
+    }
+
+    /// Upper-bound count for `key`, or 0 if untracked.
+    pub fn estimate(&self, key: u64) -> u64 {
+        self.by_key.get(&key).map_or(0, |&(c, _)| c)
+    }
+
+    /// All candidates as `(key, count, err)`, sorted by key — the
+    /// canonical (deterministic) snapshot order.
+    pub fn entries(&self) -> Vec<(u64, u64, u64)> {
+        let sorted: BTreeMap<u64, (u64, u64)> = self.by_key.iter().map(|(&k, &v)| (k, v)).collect();
+        sorted.into_iter().map(|(k, (c, e))| (k, c, e)).collect()
+    }
+
+    /// Rebuilds a table from codec-decoded `(key, count, err)` entries.
+    /// Returns `None` when entries exceed `capacity` or contain
+    /// duplicate keys.
+    pub fn from_entries(capacity: usize, entries: &[(u64, u64, u64)]) -> Option<Self> {
+        let capacity = capacity.max(4);
+        if entries.len() > capacity {
+            return None;
+        }
+        let mut t = Self::new(capacity);
+        for &(k, c, e) in entries {
+            if t.by_key.insert(k, (c, e)).is_some() {
+                return None;
+            }
+            t.by_count.insert((c, k));
+        }
+        Some(t)
+    }
+
+    /// Merges another table: counts and error bounds add for shared
+    /// keys, then the union is truncated back to the larger capacity
+    /// keeping the highest counts (ties keep the smaller key). The
+    /// result depends only on the two inputs, not their build order —
+    /// but truncation makes this approximate, unlike
+    /// [`CountMinSketch`]'s exact merge.
+    pub fn merge_from(&mut self, other: &Self) {
+        if other.is_empty() {
+            return;
+        }
+        let capacity = self.capacity.max(other.capacity);
+        let mut union: BTreeMap<u64, (u64, u64)> =
+            self.by_key.iter().map(|(&k, &v)| (k, v)).collect();
+        for (&k, &(c, e)) in &other.by_key {
+            let slot = union.entry(k).or_insert((0, 0));
+            slot.0 = slot.0.saturating_add(c);
+            slot.1 = slot.1.saturating_add(e);
+        }
+        let mut ranked: Vec<(u64, u64, u64)> =
+            union.into_iter().map(|(k, (c, e))| (k, c, e)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(capacity);
+        let mut merged = Self::new(capacity);
+        for (k, c, e) in ranked {
+            merged.by_key.insert(k, (c, e));
+            merged.by_count.insert((c, k));
+        }
+        *self = merged;
+    }
+
+    /// Bytes of heap + inline state.
+    pub fn estimated_bytes(&self) -> usize {
+        48 + self.by_key.len() * 56 + self.by_count.len() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm_never_underestimates_and_is_exact_when_sparse() {
+        let mut cm = CountMinSketch::new(4, 1 << 12, 7);
+        for k in 0..100u64 {
+            cm.increment(k, k + 1);
+        }
+        for k in 0..100u64 {
+            assert!(cm.estimate(k) > k, "key {k}");
+        }
+        // 100 keys in 4096 cells: collisions are unlikely enough that
+        // most estimates are exact.
+        let exact = (0..100u64).filter(|&k| cm.estimate(k) == k + 1).count();
+        assert!(exact > 90, "only {exact}/100 exact");
+        assert_eq!(cm.total(), (1..=100).sum::<u64>());
+    }
+
+    #[test]
+    fn cm_merge_is_exact_cellwise_addition() {
+        let mut whole = CountMinSketch::new(4, 256, 3);
+        let mut left = CountMinSketch::new(4, 256, 3);
+        let mut right = CountMinSketch::new(4, 256, 3);
+        for i in 0..10_000u64 {
+            let key = i % 331;
+            whole.increment(key, 1);
+            if i % 2 == 0 {
+                left.increment(key, 1);
+            } else {
+                right.increment(key, 1);
+            }
+        }
+        left.merge_from(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn cm_merge_identity_laws() {
+        let mut cm = CountMinSketch::new(4, 64, 1);
+        cm.increment(9, 5);
+        let before = cm.clone();
+        cm.merge_from(&CountMinSketch::new(4, 64, 1));
+        assert_eq!(cm, before);
+        let mut empty = CountMinSketch::new(4, 64, 1);
+        empty.merge_from(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn cm_mismatched_merge_keeps_total() {
+        let mut a = CountMinSketch::new(4, 64, 1);
+        let mut b = CountMinSketch::new(4, 128, 2);
+        a.increment(1, 10);
+        b.increment(2, 32);
+        a.merge_from(&b);
+        assert_eq!(a.total(), 42);
+    }
+
+    #[test]
+    fn cm_budget_fits() {
+        let cm = CountMinSketch::with_budget(1 << 16, 4, 0);
+        assert!(cm.cells().len() * 8 <= 1 << 16);
+        assert!(cm.width().is_power_of_two());
+        assert_eq!(cm.width(), 2048);
+    }
+
+    #[test]
+    fn cm_distinct_estimate_tracks_cardinality() {
+        let mut cm = CountMinSketch::new(4, 1 << 14, 11);
+        for k in 0..2000u64 {
+            cm.increment(k * 2_654_435_761, 3);
+        }
+        let d = cm.distinct_estimate();
+        assert!((1700..=2300).contains(&d), "distinct estimate {d}");
+    }
+
+    #[test]
+    fn spacesaving_keeps_true_heavy_hitters() {
+        let mut ss = SpaceSaving::new(16);
+        // 8 heavy keys at 1000 each drowned in 10k singleton keys.
+        for i in 0..10_000u64 {
+            ss.offer(1_000_000 + i, 1);
+            if i % 10 == 0 {
+                for h in 0..8u64 {
+                    ss.offer(h, 10);
+                }
+            }
+        }
+        for h in 0..8u64 {
+            let est = ss.estimate(h);
+            assert!(est >= 10_000, "heavy key {h} estimate {est}");
+        }
+        assert_eq!(ss.len(), 16);
+    }
+
+    #[test]
+    fn spacesaving_eviction_is_deterministic() {
+        let build = || {
+            let mut ss = SpaceSaving::new(4);
+            for k in [5u64, 3, 9, 1, 7, 7, 2] {
+                ss.offer(k, 1);
+            }
+            ss.entries()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn spacesaving_merge_order_independent() {
+        let mut a = SpaceSaving::new(8);
+        let mut b = SpaceSaving::new(8);
+        for i in 0..500u64 {
+            a.offer(i % 13, 1);
+            b.offer(i % 29, 2);
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab.entries(), ba.entries());
+    }
+
+    #[test]
+    fn spacesaving_roundtrips_entries() {
+        let mut ss = SpaceSaving::new(8);
+        for k in 0..20u64 {
+            ss.offer(k, k + 1);
+        }
+        let back = SpaceSaving::from_entries(8, &ss.entries()).unwrap();
+        assert_eq!(back, ss);
+        assert!(SpaceSaving::from_entries(4, &ss.entries()).is_none());
+    }
+}

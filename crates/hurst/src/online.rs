@@ -24,6 +24,7 @@
 
 use crate::report::{EstimateError, HurstEstimate, Method};
 use sst_sigproc::regress::ols;
+use sst_stats::rng::derive_seed;
 use sst_stats::RunningStats;
 
 /// Hard cap on dyadic levels: 2^48 values is far beyond any stream this
@@ -233,6 +234,163 @@ impl OnlineVarianceTime {
     }
 }
 
+/// A bank of `r` sign-projection variance-time cascades over a *keyed*
+/// stream — the sketch-tier counterpart of [`OnlineVarianceTime`].
+///
+/// When millions of keys share one aggregate, per-key cascades are
+/// unaffordable; Fontugne, Abry & Veitch instead push each point
+/// through a handful of random ±1 projections (`σ_j(key) · value`) and
+/// run the multiscale analysis on the projected series. A ±1 mixture
+/// of flows preserves the second-order scaling of the aggregate, so
+/// each cascade's variance-time slope still estimates `H`; the bank
+/// reports the median over its cascades to damp projection noise.
+///
+/// Signs are derived deterministically from `(seed, cascade, key)` via
+/// [`derive_seed`] parity, so two banks with the same seed absorb a
+/// partitioned stream into mergeable state: [`ProjectionBank::merge_from`]
+/// pools the cascades level by level exactly as
+/// [`OnlineVarianceTime::merge_from`] does.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProjectionBank {
+    seed: u64,
+    /// Cached `derive_seed(seed, j)` per cascade.
+    cascade_seeds: Vec<u64>,
+    cascades: Vec<OnlineVarianceTime>,
+}
+
+impl ProjectionBank {
+    /// Creates a bank of `r` cascades (min 1) whose signs derive from
+    /// `seed`.
+    pub fn new(r: usize, seed: u64) -> Self {
+        let r = r.max(1);
+        ProjectionBank {
+            seed,
+            cascade_seeds: (0..r as u64).map(|j| derive_seed(seed, j)).collect(),
+            cascades: vec![OnlineVarianceTime::new(); r],
+        }
+    }
+
+    /// The sign-derivation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of cascades in the bank.
+    pub fn len(&self) -> usize {
+        self.cascades.len()
+    }
+
+    /// True when no value has been absorbed (or merged in).
+    pub fn is_empty(&self) -> bool {
+        self.cascades.iter().all(|c| c.count() == 0)
+    }
+
+    /// Values absorbed so far (each value feeds every cascade once).
+    pub fn count(&self) -> u64 {
+        self.cascades.first().map_or(0, |c| c.count())
+    }
+
+    /// Absorbs one keyed value: cascade `j` receives
+    /// `σ_j(key) · value` with `σ_j(key) = ±1` from seed parity.
+    pub fn push(&mut self, key: u64, value: f64) {
+        for (j, cascade) in self.cascades.iter_mut().enumerate() {
+            let sign = if derive_seed(self.cascade_seeds[j], key) & 1 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            cascade.push(sign * value);
+        }
+    }
+
+    /// The per-cascade states, for serialization.
+    pub fn cascades(&self) -> &[OnlineVarianceTime] {
+        &self.cascades
+    }
+
+    /// Rebuilds a bank from codec-decoded cascades. Returns `None` on
+    /// an empty cascade list.
+    pub fn from_raw_parts(seed: u64, cascades: Vec<OnlineVarianceTime>) -> Option<Self> {
+        if cascades.is_empty() {
+            return None;
+        }
+        Some(ProjectionBank {
+            seed,
+            cascade_seeds: (0..cascades.len() as u64)
+                .map(|j| derive_seed(seed, j))
+                .collect(),
+            cascades,
+        })
+    }
+
+    /// Pools another bank's cascades into this one, level by level.
+    /// Requires matching seed and cascade count (same projection
+    /// family); a mismatched bank is skipped entirely — a projection
+    /// under a different sign family cannot be pooled meaningfully.
+    /// An empty `other` is an identity; an empty `self` adopts `other`.
+    pub fn merge_from(&mut self, other: &ProjectionBank) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        if self.seed != other.seed || self.cascades.len() != other.cascades.len() {
+            return;
+        }
+        for (mine, theirs) in self.cascades.iter_mut().zip(&other.cascades) {
+            mine.merge_from(theirs);
+        }
+    }
+
+    /// Bounds every cascade at `max_levels` dyadic levels (see
+    /// [`OnlineVarianceTime::prune_levels`]).
+    pub fn prune_levels(&mut self, max_levels: usize) {
+        for c in &mut self.cascades {
+            c.prune_levels(max_levels);
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        48 + 8 * self.cascade_seeds.len()
+            + self
+                .cascades
+                .iter()
+                .map(|c| c.estimated_bytes())
+                .sum::<usize>()
+    }
+
+    /// The bank's Hurst estimate: the median over the cascades'
+    /// variance-time estimates (lower-middle element for even counts —
+    /// deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first cascade error when *no* cascade can
+    /// estimate.
+    pub fn estimate(&self) -> Result<HurstEstimate, EstimateError> {
+        let mut ok = Vec::new();
+        let mut first_err = None;
+        for c in &self.cascades {
+            match c.estimate() {
+                Ok(e) => ok.push(e),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if ok.is_empty() {
+            return Err(first_err.unwrap_or(EstimateError::Degenerate));
+        }
+        ok.sort_by(|a, b| a.hurst.partial_cmp(&b.hurst).expect("finite hurst"));
+        Ok(ok.swap_remove((ok.len() - 1) / 2))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,5 +551,95 @@ mod tests {
     fn constant_input_is_degenerate() {
         let ovt = online_of(&[3.0; 4096]);
         assert!(matches!(ovt.estimate(), Err(EstimateError::Degenerate)));
+    }
+
+    #[test]
+    fn projection_of_one_key_matches_raw_cascade_variances() {
+        // A single key gets one global sign per cascade; variance is
+        // sign-invariant, so every level's block-mean variance matches
+        // the unprojected cascade and so does the estimate.
+        let vals = fgn(0.8, 1 << 14, 21);
+        let raw = online_of(&vals);
+        let mut bank = ProjectionBank::new(4, 77);
+        for &v in &vals {
+            bank.push(42, v);
+        }
+        for c in bank.cascades() {
+            for ((m_r, sr), (m_c, sc)) in raw.levels().zip(c.levels()) {
+                assert_eq!(m_r, m_c);
+                assert_eq!(sr.count(), sc.count());
+                assert!(
+                    (sr.variance() - sc.variance()).abs() <= 1e-12 * sr.variance().max(1e-30),
+                    "m={m_r}"
+                );
+            }
+        }
+        let h_raw = raw.estimate().unwrap().hurst;
+        let h_bank = bank.estimate().unwrap().hurst;
+        assert!((h_raw - h_bank).abs() < 1e-9, "{h_raw} vs {h_bank}");
+    }
+
+    #[test]
+    fn projection_mixture_recovers_hurst_within_tolerance() {
+        // 8 independent fGn flows arriving in long runs: each flow keeps
+        // a constant sign per cascade, so the signed mixture preserves
+        // the common scaling exponent.
+        let h = 0.8;
+        let flows: Vec<Vec<f64>> = (0..8u64).map(|k| fgn(h, 1 << 13, 100 + k)).collect();
+        let mut bank = ProjectionBank::new(4, 9);
+        let run = 1024;
+        for chunk in 0..(1 << 13) / run {
+            for (k, flow) in flows.iter().enumerate() {
+                for &v in &flow[chunk * run..(chunk + 1) * run] {
+                    bank.push(k as u64, v);
+                }
+            }
+        }
+        let est = bank.estimate().unwrap().hurst;
+        assert!((est - h).abs() < 0.15, "projected H={est} vs {h}");
+    }
+
+    #[test]
+    fn projection_merge_pools_partitions() {
+        let vals = fgn(0.75, 1 << 13, 31);
+        let mut whole = ProjectionBank::new(3, 5);
+        let mut left = ProjectionBank::new(3, 5);
+        let mut right = ProjectionBank::new(3, 5);
+        for (i, &v) in vals.iter().enumerate() {
+            let key = (i / 512) as u64 % 4;
+            whole.push(key, v);
+            if key < 2 {
+                left.push(key, v);
+            } else {
+                right.push(key, v);
+            }
+        }
+        let mut merged = left.clone();
+        merged.merge_from(&right);
+        assert_eq!(merged.count(), whole.count());
+        // Identity laws.
+        let before = merged.clone();
+        merged.merge_from(&ProjectionBank::new(3, 5));
+        assert_eq!(merged, before);
+        let mut empty = ProjectionBank::new(3, 5);
+        empty.merge_from(&before);
+        assert_eq!(empty, before);
+        // Mismatched family is skipped, not corrupted.
+        let mut other_family = ProjectionBank::new(3, 6);
+        other_family.push(1, 1.0);
+        let kept = merged.clone();
+        merged.merge_from(&other_family);
+        assert_eq!(merged, kept);
+    }
+
+    #[test]
+    fn projection_bank_roundtrips_raw_parts() {
+        let mut bank = ProjectionBank::new(2, 13);
+        for i in 0..4096 {
+            bank.push(i % 7, (i as f64).sin());
+        }
+        let back = ProjectionBank::from_raw_parts(bank.seed(), bank.cascades().to_vec()).unwrap();
+        assert_eq!(back, bank);
+        assert!(ProjectionBank::from_raw_parts(13, Vec::new()).is_none());
     }
 }

@@ -6,15 +6,19 @@
 //! monitor-tool run [--seed N] [--duration SECS] [--shards N]
 //!                  [--interval C] [--snapshot OUT.ssm]
 //!                  [--evict-idle TICKS] [--max-streams N] [--compact BYTES]
+//!                  [--max-exact-keys N] [--sketch-bytes B]
 //!     synthesize a Bell-Labs-like trace, ingest it as per-OD-pair
 //!     streams (batched through the worker pool), print the link report,
-//!     optionally write the snapshot
+//!     optionally write the snapshot. --max-exact-keys enables the
+//!     two-tier store: at most N exact live streams, the long tail in
+//!     a fixed-memory sketch of --sketch-bytes bytes (default 256 KiB)
 //! monitor-tool info IN.ssm          # decode a snapshot, print the report
 //! monitor-tool merge OUT.ssm IN.ssm [IN.ssm …]
 //!     merge snapshots (disjoint or overlapping key sets) into one
 //! monitor-tool serve SOCKET [--tcp HOST:PORT] --collectors N [--out OUT.ssm]
 //!                  [--accept-timeout SECS] [--backend poll|epoll]
 //!                  [--loops N] [--report-sessions] [--threaded]
+//!                  [--max-exact-keys N] [--sketch-bytes B]
 //!     accept collector sessions on a Unix socket (and, with --tcp, a
 //!     TCP listener) until N sessions *delivered frames and closed
 //!     cleanly*, assemble them, print the merged report. The default
@@ -27,10 +31,13 @@
 //!     one-blocking-thread-per-connection path (Unix socket only).
 //!     Hostile sessions — garbage bytes, mid-frame disconnects,
 //!     connect-and-close probes — are logged and isolated, never
-//!     fatal, on every transport.
+//!     fatal, on every transport. --max-exact-keys caps each session's
+//!     *retired* store server-side (overflow finals demote into a
+//!     per-session sketch); --sketch-bytes compacts sketch images.
 //! monitor-tool forward TARGET [--tcp] [--id K] [--partition I/N] [--seed N]
 //!                  [--duration SECS] [--interval C] [--flush-every P]
 //!                  [--evict-idle TICKS] [--compact BYTES]
+//!                  [--max-exact-keys N] [--sketch-bytes B]
 //!                  [--retry N] [--backoff-ms B]
 //!     synthesize the shared trace, keep only keys hashing to partition
 //!     I of N, and stream Hello/Delta/Evicted/Bye frames to TARGET —
@@ -117,6 +124,8 @@ struct Workload {
     evict_idle: Option<u64>,
     max_streams: Option<usize>,
     compact: Option<usize>,
+    max_exact_keys: Option<usize>,
+    sketch_bytes: Option<usize>,
 }
 
 impl Workload {
@@ -158,6 +167,12 @@ impl Workload {
         if let Some(b) = self.compact {
             config = config.compact_budget(b);
         }
+        if let Some(n) = self.max_exact_keys {
+            config = config.max_exact_keys(n);
+        }
+        if let Some(b) = self.sketch_bytes {
+            config = config.sketch_bytes(b);
+        }
         config
     }
 }
@@ -170,6 +185,8 @@ fn run(rest: Vec<String>) {
         evict_idle: None,
         max_streams: None,
         compact: None,
+        max_exact_keys: None,
+        sketch_bytes: None,
     };
     let mut shards = 4usize;
     let mut snapshot_path: Option<String> = None;
@@ -190,6 +207,12 @@ fn run(rest: Vec<String>) {
                 w.max_streams = Some(parse(&num("--max-streams"), "--max-streams"));
             }
             "--compact" => w.compact = Some(parse(&num("--compact"), "--compact")),
+            "--max-exact-keys" => {
+                w.max_exact_keys = Some(parse(&num("--max-exact-keys"), "--max-exact-keys"));
+            }
+            "--sketch-bytes" => {
+                w.sketch_bytes = Some(parse(&num("--sketch-bytes"), "--sketch-bytes"));
+            }
             other => die(&format!("unexpected argument '{other}'")),
         }
     }
@@ -208,6 +231,16 @@ fn run(rest: Vec<String>) {
             stats.retired,
             engine.stream_count(),
             engine.estimated_state_bytes() >> 10
+        );
+    }
+    if let Some(t) = engine.tier_stats() {
+        eprintln!(
+            "tier: {} exact, ~{} sketched, {} promotions, {} demotions, ~{} KiB sketch",
+            t.exact_keys,
+            t.sketched_keys,
+            t.promotions,
+            t.demotions,
+            t.sketch_state_bytes >> 10
         );
     }
     let snap = engine.full_snapshot();
@@ -232,6 +265,8 @@ fn serve(rest: Vec<String>) {
     let mut backend: Option<BackendKind> = None;
     let mut loops = 1usize;
     let mut report_sessions = false;
+    let mut max_exact_keys: Option<usize> = None;
+    let mut sketch_bytes: Option<usize> = None;
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> String {
             it.next()
@@ -260,6 +295,12 @@ fn serve(rest: Vec<String>) {
                 }
             }
             "--report-sessions" => report_sessions = true,
+            "--max-exact-keys" => {
+                max_exact_keys = Some(parse(&num("--max-exact-keys"), "--max-exact-keys"));
+            }
+            "--sketch-bytes" => {
+                sketch_bytes = Some(parse(&num("--sketch-bytes"), "--sketch-bytes"));
+            }
             "--threaded" => threaded = true,
             "--event-loop" => threaded = false, // The default; kept for explicitness.
             other => die(&format!("unexpected argument '{other}'")),
@@ -294,16 +335,25 @@ fn serve(rest: Vec<String>) {
         collectors,
         accept_timeout,
     };
+    let make_agg = || {
+        let mut a = Aggregator::new();
+        if let Some(n) = max_exact_keys {
+            a = a.max_exact_keys(n);
+        }
+        if let Some(b) = sketch_bytes {
+            a = a.sketch_bytes(b);
+        }
+        a
+    };
     let (aggs, rep) = if threaded {
         if tcp_listener.is_some() {
             die("--tcp needs the event-loop transport (drop --threaded)");
         }
-        let (agg, rep) = serve_threaded(listener, collectors, accept_timeout);
+        let (agg, rep) = serve_threaded(listener, make_agg(), collectors, accept_timeout);
         (AggregatorSet::new(vec![agg]), rep)
     } else if loops > 1 {
         let mut server =
-            MultiLoopServer::new((0..loops).map(|_| Aggregator::new()).collect(), opts)
-                .with_backend(kind);
+            MultiLoopServer::new((0..loops).map(|_| make_agg()).collect(), opts).with_backend(kind);
         server
             .add_unix_listener(listener)
             .unwrap_or_else(|e| die(&format!("register unix listener: {e}")));
@@ -316,7 +366,7 @@ fn serve(rest: Vec<String>) {
             .run()
             .unwrap_or_else(|e| die(&format!("event loops: {e}")))
     } else {
-        let mut server = EventLoopServer::new(Aggregator::new(), opts).with_backend(kind);
+        let mut server = EventLoopServer::new(make_agg(), opts).with_backend(kind);
         server
             .add_unix_listener(listener)
             .unwrap_or_else(|e| die(&format!("register unix listener: {e}")));
@@ -397,13 +447,14 @@ fn serve(rest: Vec<String>) {
 /// Unix-socket peers to use distinct ids.
 fn serve_threaded(
     listener: UnixListener,
+    agg: Aggregator,
     collectors: usize,
     accept_timeout: Option<Duration>,
 ) -> (Aggregator, ServeReport) {
     listener
         .set_nonblocking(true)
         .unwrap_or_else(|e| die(&format!("listener nonblocking: {e}")));
-    let agg = Mutex::new(Aggregator::new());
+    let agg = Mutex::new(agg);
     let completed = AtomicUsize::new(0);
     let probes = AtomicUsize::new(0);
     let failures = Mutex::new(Vec::new());
@@ -536,6 +587,8 @@ fn forward(rest: Vec<String>) {
         evict_idle: None,
         max_streams: None,
         compact: None,
+        max_exact_keys: None,
+        sketch_bytes: None,
     };
     let mut id: Option<u64> = None;
     let mut part = 0u64;
@@ -569,6 +622,12 @@ fn forward(rest: Vec<String>) {
             "--flush-every" => flush_every = parse(&num("--flush-every"), "--flush-every"),
             "--evict-idle" => w.evict_idle = Some(parse(&num("--evict-idle"), "--evict-idle")),
             "--compact" => w.compact = Some(parse(&num("--compact"), "--compact")),
+            "--max-exact-keys" => {
+                w.max_exact_keys = Some(parse(&num("--max-exact-keys"), "--max-exact-keys"));
+            }
+            "--sketch-bytes" => {
+                w.sketch_bytes = Some(parse(&num("--sketch-bytes"), "--sketch-bytes"));
+            }
             "--retry" => retry = parse(&num("--retry"), "--retry"),
             "--backoff-ms" => backoff_ms = parse(&num("--backoff-ms"), "--backoff-ms"),
             other => die(&format!("unexpected argument '{other}'")),
@@ -653,6 +712,21 @@ fn report(snap: &EngineSnapshot) {
     let agg = snap.aggregate();
     let totals = snap.sampler_totals();
     println!("streams        : {}", snap.stream_count());
+    if let Some(sk) = snap.sketch() {
+        let tail_h = sk
+            .projected_hurst()
+            .map_or("(insufficient data)".to_string(), |h| format!("{h:.3}"));
+        println!(
+            "tier           : {} exact, ~{} sketched, {} promotions, {} demotions, \
+             ~{} KiB sketch, tail Hurst {}",
+            snap.stream_count(),
+            sk.distinct_keys(),
+            sk.promotions,
+            sk.demotions,
+            sst_core::summary::Compactable::estimated_bytes(sk) >> 10,
+            tail_h
+        );
+    }
     println!(
         "offered/kept   : {} / {} (inspected {})",
         totals.offered, totals.kept, totals.inspected

@@ -16,15 +16,24 @@
 //! `FullSnapshot` frame.
 
 use crate::engine::{EngineSnapshot, StreamEntry};
+use crate::sketch::SketchSnapshot;
 use crate::summary::{ReservoirSnapshot, SummarySnapshot, TailCounter};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sst_core::sketch::CountMinSketch;
 use sst_core::stream::SamplerSnapshot;
 use sst_hurst::online::OnlineVarianceTime;
+use sst_hurst::ProjectionBank;
 use sst_stats::RunningStats;
 use std::fmt;
 
 /// Magic bytes + version prefix of the format.
 const MAGIC: &[u8; 6] = b"SSMON1";
+
+/// Magic of the optional trailing sketch-tier section. A v1 snapshot
+/// remains exactly the stream records when no sketch is present, so
+/// untiered engines produce byte-identical output to every prior
+/// release.
+const SKETCH_MAGIC: &[u8; 4] = b"SKT1";
 
 /// Decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,50 +79,279 @@ fn get_running_stats(buf: &mut &[u8]) -> Result<RunningStats, SnapshotCodecError
     Ok(RunningStats::from_raw_parts(n, mean, m2, min, max))
 }
 
-/// Serializes a snapshot into a freshly allocated buffer.
+fn put_sampler(buf: &mut BytesMut, s: &SamplerSnapshot) {
+    buf.put_u64_le(s.offered as u64);
+    buf.put_u64_le(s.kept as u64);
+    buf.put_u64_le(s.inspected as u64);
+}
+
+fn get_sampler(buf: &mut &[u8]) -> Result<SamplerSnapshot, SnapshotCodecError> {
+    if buf.remaining() < 24 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let offered = buf.get_u64_le() as usize;
+    let kept = buf.get_u64_le() as usize;
+    let inspected = buf.get_u64_le() as usize;
+    if kept > inspected || inspected > offered {
+        return Err(SnapshotCodecError::Corrupt("sampler counters"));
+    }
+    Ok(SamplerSnapshot {
+        offered,
+        kept,
+        inspected,
+    })
+}
+
+fn put_cascade(buf: &mut BytesMut, cascade: &OnlineVarianceTime) {
+    let (count, levels, partial) = cascade.raw_parts();
+    buf.put_u64_le(count);
+    buf.put_u64_le(levels.len() as u64);
+    for (stats, carry) in levels.iter().zip(partial) {
+        put_running_stats(buf, stats);
+        match carry {
+            Some(sum) => {
+                buf.put_u8(1);
+                buf.put_f64_le(*sum);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+}
+
+fn get_cascade(buf: &mut &[u8]) -> Result<OnlineVarianceTime, SnapshotCodecError> {
+    if buf.remaining() < 8 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let count = buf.get_u64_le();
+    let n_levels = get_len(buf, 41)?;
+    if n_levels > 64 {
+        return Err(SnapshotCodecError::Corrupt("level count"));
+    }
+    let mut levels = Vec::with_capacity(n_levels);
+    let mut partial = Vec::with_capacity(n_levels);
+    for _ in 0..n_levels {
+        levels.push(get_running_stats(buf)?);
+        if buf.remaining() < 1 {
+            return Err(SnapshotCodecError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => partial.push(None),
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(SnapshotCodecError::Truncated);
+                }
+                partial.push(Some(buf.get_f64_le()));
+            }
+            _ => return Err(SnapshotCodecError::Corrupt("carry flag")),
+        }
+    }
+    Ok(OnlineVarianceTime::from_raw_parts(count, levels, partial))
+}
+
+fn put_summary(buf: &mut BytesMut, s: &SummarySnapshot) {
+    put_running_stats(buf, &s.moments);
+    // Online Hurst cascade: count, then levels with a carry flag.
+    put_cascade(buf, &s.hurst);
+    // Reservoir.
+    let r = &s.reservoir;
+    buf.put_u64_le(r.cap as u64);
+    buf.put_u64_le(r.seed);
+    buf.put_u64_le(r.seen);
+    buf.put_u64_le(r.items.len() as u64);
+    for &v in &r.items {
+        buf.put_f64_le(v);
+    }
+    // Tail ladder.
+    let (thresholds, counts, total) = s.tail.raw_parts();
+    buf.put_u64_le(thresholds.len() as u64);
+    for &t in thresholds {
+        buf.put_f64_le(t);
+    }
+    for &c in counts {
+        buf.put_u64_le(c);
+    }
+    buf.put_u64_le(total);
+}
+
+fn get_summary(buf: &mut &[u8]) -> Result<SummarySnapshot, SnapshotCodecError> {
+    let moments = get_running_stats(buf)?;
+    let hurst = get_cascade(buf)?;
+    if buf.remaining() < 24 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let cap = buf.get_u64_le() as usize;
+    let seed = buf.get_u64_le();
+    let seen = buf.get_u64_le();
+    let n_items = get_len(buf, 8)?;
+    if n_items > cap || (n_items as u64) > seen {
+        return Err(SnapshotCodecError::Corrupt("reservoir size"));
+    }
+    let mut items = Vec::with_capacity(n_items);
+    for _ in 0..n_items {
+        items.push(buf.get_f64_le());
+    }
+    let reservoir = ReservoirSnapshot {
+        cap,
+        seed,
+        seen,
+        items,
+    };
+    let n_thresholds = get_len(buf, 16)?;
+    let mut thresholds = Vec::with_capacity(n_thresholds);
+    for _ in 0..n_thresholds {
+        thresholds.push(buf.get_f64_le());
+    }
+    if !thresholds.windows(2).all(|w| w[0] < w[1]) {
+        return Err(SnapshotCodecError::Corrupt("tail ladder order"));
+    }
+    let mut counts = Vec::with_capacity(n_thresholds);
+    for _ in 0..n_thresholds {
+        counts.push(buf.get_u64_le());
+    }
+    if buf.remaining() < 8 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let total = buf.get_u64_le();
+    if counts.iter().any(|&c| c > total) {
+        return Err(SnapshotCodecError::Corrupt("tail counts exceed total"));
+    }
+    let tail = TailCounter::from_raw_parts(thresholds, counts, total);
+    Ok(SummarySnapshot {
+        moments,
+        hurst,
+        reservoir,
+        tail,
+    })
+}
+
+fn put_sketch(buf: &mut BytesMut, sk: &SketchSnapshot) {
+    buf.put_slice(SKETCH_MAGIC);
+    put_sampler(buf, &sk.sampler);
+    put_summary(buf, &sk.summary);
+    // Count-min geometry + cells.
+    buf.put_u64_le(sk.cm.depth() as u64);
+    buf.put_u64_le(sk.cm.width() as u64);
+    buf.put_u64_le(sk.cm.seed());
+    buf.put_u64_le(sk.cm.total());
+    for &c in sk.cm.cells() {
+        buf.put_u64_le(c);
+    }
+    // SpaceSaving candidates.
+    buf.put_u64_le(sk.heavy_capacity);
+    buf.put_u64_le(sk.heavy.len() as u64);
+    for &(k, c, e) in &sk.heavy {
+        buf.put_u64_le(k);
+        buf.put_u64_le(c);
+        buf.put_u64_le(e);
+    }
+    // Sign-projection cascades.
+    buf.put_u64_le(sk.projections.seed());
+    buf.put_u64_le(sk.projections.len() as u64);
+    for cascade in sk.projections.cascades() {
+        put_cascade(buf, cascade);
+    }
+    buf.put_u64_le(sk.promotions);
+    buf.put_u64_le(sk.demotions);
+}
+
+fn get_sketch(buf: &mut &[u8]) -> Result<SketchSnapshot, SnapshotCodecError> {
+    if buf.remaining() < SKETCH_MAGIC.len() {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    if &buf[..SKETCH_MAGIC.len()] != SKETCH_MAGIC {
+        return Err(SnapshotCodecError::Corrupt("trailing bytes after streams"));
+    }
+    buf.advance(SKETCH_MAGIC.len());
+    let sampler = get_sampler(buf)?;
+    let summary = get_summary(buf)?;
+    if buf.remaining() < 32 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let depth = buf.get_u64_le() as usize;
+    let width = buf.get_u64_le() as usize;
+    let cm_seed = buf.get_u64_le();
+    let cm_total = buf.get_u64_le();
+    if depth == 0 || depth > 16 || !width.is_power_of_two() || width > (1 << 26) {
+        return Err(SnapshotCodecError::Corrupt("count-min geometry"));
+    }
+    let n_cells = depth * width;
+    if buf.remaining() < n_cells.saturating_mul(8) {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let mut cells = Vec::with_capacity(n_cells);
+    for _ in 0..n_cells {
+        cells.push(buf.get_u64_le());
+    }
+    let cm = CountMinSketch::from_raw_parts(depth, width, cm_seed, cells, cm_total)
+        .ok_or(SnapshotCodecError::Corrupt("count-min cells"))?;
+    if buf.remaining() < 8 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let heavy_capacity = buf.get_u64_le();
+    if heavy_capacity > (1 << 22) {
+        return Err(SnapshotCodecError::Corrupt("candidate capacity"));
+    }
+    let n_heavy = get_len(buf, 24)?;
+    if (n_heavy as u64) > heavy_capacity {
+        return Err(SnapshotCodecError::Corrupt("candidate count"));
+    }
+    let mut heavy = Vec::with_capacity(n_heavy);
+    let mut prev: Option<u64> = None;
+    for _ in 0..n_heavy {
+        let k = buf.get_u64_le();
+        let c = buf.get_u64_le();
+        let e = buf.get_u64_le();
+        if prev.is_some_and(|p| k <= p) {
+            return Err(SnapshotCodecError::Corrupt("candidate keys not ascending"));
+        }
+        prev = Some(k);
+        heavy.push((k, c, e));
+    }
+    if buf.remaining() < 16 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let proj_seed = buf.get_u64_le();
+    let n_proj = buf.get_u64_le() as usize;
+    if n_proj == 0 || n_proj > 16 {
+        return Err(SnapshotCodecError::Corrupt("projection count"));
+    }
+    let mut cascades = Vec::with_capacity(n_proj);
+    for _ in 0..n_proj {
+        cascades.push(get_cascade(buf)?);
+    }
+    let projections = ProjectionBank::from_raw_parts(proj_seed, cascades)
+        .ok_or(SnapshotCodecError::Corrupt("projection bank"))?;
+    if buf.remaining() < 16 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let promotions = buf.get_u64_le();
+    let demotions = buf.get_u64_le();
+    Ok(SketchSnapshot {
+        sampler,
+        summary,
+        cm,
+        heavy,
+        heavy_capacity,
+        projections,
+        promotions,
+        demotions,
+    })
+}
+
+/// Serializes a snapshot into a freshly allocated buffer. A sketch
+/// section, when present, follows the stream records as a `SKT1`
+/// trailer; without one the bytes are exactly the pre-tier format.
 pub fn encode_snapshot(snap: &EngineSnapshot) -> Bytes {
     let mut buf = BytesMut::with_capacity(MAGIC.len() + 16 + 256 * snap.stream_count());
     buf.put_slice(MAGIC);
     buf.put_u64_le(snap.stream_count() as u64);
     for e in snap.streams() {
         buf.put_u64_le(e.key);
-        buf.put_u64_le(e.sampler.offered as u64);
-        buf.put_u64_le(e.sampler.kept as u64);
-        buf.put_u64_le(e.sampler.inspected as u64);
-        put_running_stats(&mut buf, &e.summary.moments);
-        // Online Hurst cascade: count, then levels with a carry flag.
-        let (count, levels, partial) = e.summary.hurst.raw_parts();
-        buf.put_u64_le(count);
-        buf.put_u64_le(levels.len() as u64);
-        for (stats, carry) in levels.iter().zip(partial) {
-            put_running_stats(&mut buf, stats);
-            match carry {
-                Some(sum) => {
-                    buf.put_u8(1);
-                    buf.put_f64_le(*sum);
-                }
-                None => buf.put_u8(0),
-            }
-        }
-        // Reservoir.
-        let r = &e.summary.reservoir;
-        buf.put_u64_le(r.cap as u64);
-        buf.put_u64_le(r.seed);
-        buf.put_u64_le(r.seen);
-        buf.put_u64_le(r.items.len() as u64);
-        for &v in &r.items {
-            buf.put_f64_le(v);
-        }
-        // Tail ladder.
-        let (thresholds, counts, total) = e.summary.tail.raw_parts();
-        buf.put_u64_le(thresholds.len() as u64);
-        for &t in thresholds {
-            buf.put_f64_le(t);
-        }
-        for &c in counts {
-            buf.put_u64_le(c);
-        }
-        buf.put_u64_le(total);
+        put_sampler(&mut buf, &e.sampler);
+        put_summary(&mut buf, &e.summary);
+    }
+    if let Some(sk) = snap.sketch() {
+        put_sketch(&mut buf, sk);
     }
     buf.freeze()
 }
@@ -131,6 +369,15 @@ fn get_len(buf: &mut &[u8], elem_bytes: usize) -> Result<usize, SnapshotCodecErr
 
 /// Deserializes a snapshot from a buffer produced by
 /// [`encode_snapshot`].
+///
+/// An incomplete `SKT1` trailer decodes as
+/// [`SnapshotCodecError::Truncated`] (so incremental readers wait for
+/// the rest), while non-sketch trailing bytes are
+/// [`SnapshotCodecError::Corrupt`]. Note the v1 format is not
+/// self-delimiting: an incremental legacy reader that stops exactly at
+/// the last stream record would accept a sketchless prefix — in
+/// practice only whole buffers (files, length-prefixed v2/v3 frame
+/// payloads) carry sketch sections.
 ///
 /// # Errors
 ///
@@ -155,96 +402,23 @@ pub fn decode_snapshot(mut buf: &[u8]) -> Result<EngineSnapshot, SnapshotCodecEr
             }
         }
         prev_key = Some(key);
-        let offered = buf.get_u64_le() as usize;
-        let kept = buf.get_u64_le() as usize;
-        let inspected = buf.get_u64_le() as usize;
-        if kept > inspected || inspected > offered {
-            return Err(SnapshotCodecError::Corrupt("sampler counters"));
-        }
-        let moments = get_running_stats(&mut buf)?;
-        if buf.remaining() < 8 {
-            return Err(SnapshotCodecError::Truncated);
-        }
-        let hurst_count = buf.get_u64_le();
-        let n_levels = get_len(&mut buf, 41)?;
-        if n_levels > 64 {
-            return Err(SnapshotCodecError::Corrupt("level count"));
-        }
-        let mut levels = Vec::with_capacity(n_levels);
-        let mut partial = Vec::with_capacity(n_levels);
-        for _ in 0..n_levels {
-            levels.push(get_running_stats(&mut buf)?);
-            if buf.remaining() < 1 {
-                return Err(SnapshotCodecError::Truncated);
-            }
-            match buf.get_u8() {
-                0 => partial.push(None),
-                1 => {
-                    if buf.remaining() < 8 {
-                        return Err(SnapshotCodecError::Truncated);
-                    }
-                    partial.push(Some(buf.get_f64_le()));
-                }
-                _ => return Err(SnapshotCodecError::Corrupt("carry flag")),
-            }
-        }
-        let hurst = OnlineVarianceTime::from_raw_parts(hurst_count, levels, partial);
-        if buf.remaining() < 24 {
-            return Err(SnapshotCodecError::Truncated);
-        }
-        let cap = buf.get_u64_le() as usize;
-        let seed = buf.get_u64_le();
-        let seen = buf.get_u64_le();
-        let n_items = get_len(&mut buf, 8)?;
-        if n_items > cap || (n_items as u64) > seen {
-            return Err(SnapshotCodecError::Corrupt("reservoir size"));
-        }
-        let mut items = Vec::with_capacity(n_items);
-        for _ in 0..n_items {
-            items.push(buf.get_f64_le());
-        }
-        let reservoir = ReservoirSnapshot {
-            cap,
-            seed,
-            seen,
-            items,
-        };
-        let n_thresholds = get_len(&mut buf, 16)?;
-        let mut thresholds = Vec::with_capacity(n_thresholds);
-        for _ in 0..n_thresholds {
-            thresholds.push(buf.get_f64_le());
-        }
-        if !thresholds.windows(2).all(|w| w[0] < w[1]) {
-            return Err(SnapshotCodecError::Corrupt("tail ladder order"));
-        }
-        let mut counts = Vec::with_capacity(n_thresholds);
-        for _ in 0..n_thresholds {
-            counts.push(buf.get_u64_le());
-        }
-        if buf.remaining() < 8 {
-            return Err(SnapshotCodecError::Truncated);
-        }
-        let total = buf.get_u64_le();
-        if counts.iter().any(|&c| c > total) {
-            return Err(SnapshotCodecError::Corrupt("tail counts exceed total"));
-        }
-        let tail = TailCounter::from_raw_parts(thresholds, counts, total);
+        let sampler = get_sampler(&mut buf)?;
+        let summary = get_summary(&mut buf)?;
         streams.push(StreamEntry {
             key,
-            sampler: SamplerSnapshot {
-                offered,
-                kept,
-                inspected,
-            },
-            summary: SummarySnapshot {
-                moments,
-                hurst,
-                reservoir,
-                tail,
-            },
+            sampler,
+            summary,
         });
     }
-    Ok(EngineSnapshot::from_streams(streams))
+    let sketch = if buf.is_empty() {
+        None
+    } else {
+        Some(get_sketch(&mut buf)?)
+    };
+    if !buf.is_empty() {
+        return Err(SnapshotCodecError::Corrupt("trailing bytes after sketch"));
+    }
+    Ok(EngineSnapshot::from_streams(streams).with_sketch(sketch))
 }
 
 #[cfg(test)]
@@ -330,6 +504,70 @@ mod tests {
             decode_snapshot(&raw),
             Err(SnapshotCodecError::Corrupt(_)) | Err(SnapshotCodecError::Truncated)
         ));
+    }
+
+    fn tiered_snapshot() -> EngineSnapshot {
+        let mut engine = MonitorEngine::new(
+            MonitorConfig::default()
+                .sampler(SamplerSpec::Systematic { interval: 3 })
+                .shards(2)
+                .seed(11)
+                .max_exact_keys(8)
+                .sketch_bytes(1 << 14)
+                .promote_after(64),
+        );
+        for i in 0..60_000u64 {
+            let key = i % 500; // far past the exact cap
+            let v = if key < 4 { 400.0 } else { (i % 13) as f64 };
+            engine.offer(key, v);
+        }
+        engine.full_snapshot()
+    }
+
+    #[test]
+    fn sketch_section_round_trips_bit_exact() {
+        let snap = tiered_snapshot();
+        let sk = snap.sketch().expect("tiered engine carries a sketch");
+        assert!(sk.sampler.offered > 0, "tail was actually sketched");
+        let back = decode_snapshot(&encode_snapshot(&snap)).expect("decode");
+        assert_eq!(snap, back);
+        assert_eq!(
+            snap.sketch().unwrap().cm.total(),
+            back.sketch().unwrap().cm.total()
+        );
+    }
+
+    #[test]
+    fn sketch_truncation_yields_truncated() {
+        let snap = tiered_snapshot();
+        let sketchless = encode_snapshot(&snap.clone().with_sketch(None)).len();
+        let encoded = encode_snapshot(&snap);
+        assert!(encoded.len() > sketchless + 4);
+        // Cut everywhere inside the SKT1 section (past its magic): an
+        // incremental reader must see Truncated, never Corrupt, so the
+        // legacy FrameDecoder keeps waiting for the rest.
+        for cut in (sketchless + 1..encoded.len()).step_by(7) {
+            assert_eq!(
+                decode_snapshot(&encoded[..cut]),
+                Err(SnapshotCodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_after_streams_rejected() {
+        let snap = sample_snapshot();
+        let mut raw = encode_snapshot(&snap).to_vec();
+        raw.extend_from_slice(b"JUNKJUNK");
+        assert!(matches!(
+            decode_snapshot(&raw),
+            Err(SnapshotCodecError::Corrupt(_))
+        ));
+        // Garbage *after a valid sketch* is rejected too.
+        let mut raw = encode_snapshot(&tiered_snapshot()).to_vec();
+        raw.extend_from_slice(b"JUNKJUNK");
+        assert!(decode_snapshot(&raw).is_err());
     }
 
     #[test]

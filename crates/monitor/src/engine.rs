@@ -27,6 +27,7 @@
 
 use crate::ingest::ShardSet;
 use crate::lifecycle::{LifecycleConfig, LifecycleState, LifecycleStats};
+use crate::sketch::{SketchSnapshot, SketchTier, TierConfig, TierStats};
 use crate::summary::{SummaryConfig, SummarySnapshot};
 use sst_core::stream::{SamplerSnapshot, StreamDecision};
 use sst_core::summary::{Compactable, MergeableSummary};
@@ -46,6 +47,8 @@ pub struct MonitorConfig {
     pub summary: SummaryConfig,
     /// Eviction / compaction policy (default: disabled).
     pub lifecycle: LifecycleConfig,
+    /// Two-tier (exact + sketch) policy (default: all-exact).
+    pub tier: TierConfig,
 }
 
 impl Default for MonitorConfig {
@@ -56,6 +59,7 @@ impl Default for MonitorConfig {
             base_seed: 0,
             summary: SummaryConfig::default(),
             lifecycle: LifecycleConfig::default(),
+            tier: TierConfig::default(),
         }
     }
 }
@@ -132,6 +136,33 @@ impl MonitorConfig {
         self.lifecycle.retain_evicted = keep;
         self
     }
+
+    /// Enables the sketch tier: at most `n` exact live streams, every
+    /// further key absorbed by the fixed-memory sketch tier (see
+    /// [`crate::sketch`]).
+    pub fn max_exact_keys(mut self, n: usize) -> Self {
+        self.tier.max_exact_keys = Some(n);
+        self
+    }
+
+    /// Byte budget for the sketch tier's fixed structures.
+    pub fn sketch_bytes(mut self, bytes: usize) -> Self {
+        self.tier.sketch_bytes = bytes;
+        self
+    }
+
+    /// Count-min estimate at which a sketched key is promoted to the
+    /// exact tier.
+    pub fn promote_after(mut self, count: u64) -> Self {
+        self.tier.promote_after = count;
+        self
+    }
+
+    /// Replaces the whole tier policy.
+    pub fn tier(mut self, t: TierConfig) -> Self {
+        self.tier = t;
+        self
+    }
 }
 
 /// The sharded online monitoring engine.
@@ -157,6 +188,17 @@ pub struct MonitorEngine {
     config: MonitorConfig,
     shards: ShardSet,
     lifecycle: LifecycleState,
+    /// Present iff `config.tier` is enabled — the long-tail sketch
+    /// store below the exact shard table.
+    tier: Option<SketchTier>,
+}
+
+/// Where a point goes in a tiered engine.
+enum Route {
+    /// The key has (or just earned) an exact live stream.
+    Exact,
+    /// Absorbed by the sketch tier.
+    Sketched,
 }
 
 impl MonitorEngine {
@@ -173,10 +215,12 @@ impl MonitorEngine {
             .build(0)
             .expect("invalid sampler specification");
         let shards = ShardSet::new(config.n_shards);
+        let tier = config.tier.enabled().then(|| SketchTier::new(&config));
         MonitorEngine {
             config,
             shards,
             lifecycle: LifecycleState::default(),
+            tier,
         }
     }
 
@@ -188,10 +232,9 @@ impl MonitorEngine {
     /// Offers one point of stream `key`.
     pub fn offer(&mut self, key: u64, value: f64) -> StreamDecision {
         let tick = self.lifecycle.next_tick();
-        let decision = self.shards.offer(&self.config, key, value, tick);
+        let decision = self.offer_at_tick(key, value, tick);
         if self.lifecycle.sweep_due(&self.config.lifecycle) {
-            self.lifecycle
-                .sweep(&self.config.lifecycle, &mut self.shards);
+            self.sweep_now();
         }
         decision
     }
@@ -200,12 +243,90 @@ impl MonitorEngine {
     /// persistent worker pool. Exactly equivalent to offering the
     /// points one by one in order (lifecycle sweeps excepted: a batch
     /// runs at most one sweep, at its end — see [`crate::lifecycle`]).
+    ///
+    /// With the sketch tier enabled the batch is ingested serially:
+    /// the tier's aggregate state is a single arrival-order fold, and
+    /// keeping that order is what makes tiered snapshots bit-for-bit
+    /// reproducible across shard counts.
     pub fn offer_batch(&mut self, points: &[(u64, f64)]) {
         let first_tick = self.lifecycle.advance(points.len() as u64);
-        self.shards.offer_batch(&self.config, points, first_tick);
+        if self.tier.is_some() {
+            for (i, &(k, v)) in points.iter().enumerate() {
+                self.offer_at_tick(k, v, first_tick + i as u64);
+            }
+        } else {
+            self.shards.offer_batch(&self.config, points, first_tick);
+        }
         if self.lifecycle.sweep_due(&self.config.lifecycle) {
-            self.lifecycle
-                .sweep(&self.config.lifecycle, &mut self.shards);
+            self.sweep_now();
+        }
+    }
+
+    /// Routes one ticked point through the tier (when enabled) and the
+    /// shard table.
+    fn offer_at_tick(&mut self, key: u64, value: f64, tick: u64) -> StreamDecision {
+        let route = match &mut self.tier {
+            None => Route::Exact,
+            Some(tier) => {
+                if self.shards.get(key).is_some() {
+                    // Live exact stream: stays exact.
+                    Route::Exact
+                } else if self.shards.stream_count() < tier.max_exact() {
+                    // First-sight admission below the cap.
+                    Route::Exact
+                } else if tier.would_promote(key) {
+                    tier.note_promoted();
+                    Route::Exact
+                } else {
+                    tier.absorb(key, value);
+                    Route::Sketched
+                }
+            }
+        };
+        match route {
+            Route::Exact => {
+                // Promotion may have left the table at the cap: demote
+                // the coldest stream to free the slot first.
+                if let Some(tier) = &self.tier {
+                    let cap = tier.max_exact();
+                    if self.shards.get(key).is_none() && self.shards.stream_count() >= cap {
+                        self.demote_coldest();
+                    }
+                }
+                self.shards.offer(&self.config, key, value, tick)
+            }
+            Route::Sketched => StreamDecision::KeepNormal,
+        }
+    }
+
+    /// Demotes the coldest exact stream — minimum `(kept count, last
+    /// touch, key)`, a deterministic total order — retiring its final
+    /// snapshot through the lifecycle store, exactly like an eviction.
+    ///
+    /// Demotion finals take the eviction path (retired store, or the
+    /// `Evicted` outbox in transport mode) rather than folding into the
+    /// sketch, so an aggregator that already holds the stream's last
+    /// cumulative `Delta` entry replaces it instead of double-counting;
+    /// the key's *future* points are what the sketch absorbs.
+    fn demote_coldest(&mut self) {
+        let victim = self
+            .shards
+            .iter()
+            .map(|(k, st)| (st.summary.count(), st.last_touch, k))
+            .min();
+        if let Some((_, _, key)) = victim {
+            if let Some(state) = self.shards.remove(key) {
+                let entry = StreamEntry {
+                    key,
+                    sampler: state.sampler.snapshot(),
+                    summary: state.summary.snapshot(),
+                };
+                self.lifecycle.retire(entry, &self.config.lifecycle);
+                self.tier
+                    .as_mut()
+                    .expect("demotion implies tiering")
+                    .note_demoted();
+            }
         }
     }
 
@@ -213,8 +334,18 @@ impl MonitorEngine {
     /// (eviction deadlines still apply — only streams actually idle or
     /// over the LRU cap are evicted).
     pub fn maintain(&mut self) {
+        self.sweep_now();
+    }
+
+    /// One sweep: lifecycle eviction/compaction over the exact tier,
+    /// then sketch-tier compaction under the same budget — the sweep
+    /// sees both tiers' memory.
+    fn sweep_now(&mut self) {
         self.lifecycle
             .sweep(&self.config.lifecycle, &mut self.shards);
+        if let (Some(tier), Some(budget)) = (&mut self.tier, self.config.lifecycle.compact_budget) {
+            tier.compact(budget);
+        }
     }
 
     /// Streams currently tracked (live only; retired streams are not
@@ -247,7 +378,24 @@ impl MonitorEngine {
             // Box + sampler struct (ChaCha RNG dominates) + table slot.
             .map(|(_, st)| st.summary.estimated_bytes() + 384 + 48)
             .sum();
-        live + self.lifecycle.retired_bytes()
+        let sketch = self.tier.as_ref().map_or(0, |t| t.estimated_bytes());
+        live + self.lifecycle.retired_bytes() + sketch
+    }
+
+    /// The sketch tier's current image (`None` when the engine runs
+    /// all-exact). Collectors attach this to their `Delta` flushes so
+    /// the tier state rides the wire without a new frame kind.
+    pub fn sketch_snapshot(&self) -> Option<SketchSnapshot> {
+        self.tier.as_ref().map(|t| t.snapshot())
+    }
+
+    /// Tier counters (exact/sketched key counts, promotions,
+    /// demotions, sketch bytes), when the sketch tier is enabled.
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        self.tier.as_ref().map(|t| TierStats {
+            exact_keys: self.shards.stream_count(),
+            ..t.stats()
+        })
     }
 
     /// Cumulative entries for the given keys, ascending by key —
@@ -284,7 +432,10 @@ impl MonitorEngine {
             })
             .collect();
         streams.sort_by_key(|e| e.key);
-        EngineSnapshot { streams }
+        EngineSnapshot {
+            streams,
+            sketch: self.tier.as_ref().map(|t| t.snapshot()),
+        }
     }
 
     /// The live snapshot plus every retained evicted final, merged
@@ -293,9 +444,11 @@ impl MonitorEngine {
     /// totals, moment counts — are exactly what a never-evicting engine
     /// would report.
     pub fn full_snapshot(&self) -> EngineSnapshot {
+        let live = self.snapshot();
         let mut entries: Vec<StreamEntry> = self.lifecycle.retired().cloned().collect();
-        entries.extend(self.snapshot().streams);
-        EngineSnapshot::from_streams(entries)
+        let sketch = live.sketch.clone();
+        entries.extend(live.streams);
+        EngineSnapshot::from_streams(entries).with_sketch(sketch)
     }
 }
 
@@ -315,11 +468,15 @@ pub struct StreamEntry {
 pub struct EngineSnapshot {
     /// Per-stream entries, strictly ascending by key.
     streams: Vec<StreamEntry>,
+    /// The sketch-tier image, when the engine ran tiered.
+    sketch: Option<SketchSnapshot>,
 }
 
 impl EngineSnapshot {
     /// Builds a snapshot from per-stream entries (sorted internally;
     /// duplicate keys are merged in input order — the sort is stable).
+    /// The sketch section starts empty; see
+    /// [`EngineSnapshot::with_sketch`].
     pub fn from_streams(mut streams: Vec<StreamEntry>) -> Self {
         streams.sort_by_key(|e| e.key);
         let mut out: Vec<StreamEntry> = Vec::with_capacity(streams.len());
@@ -332,7 +489,21 @@ impl EngineSnapshot {
                 _ => out.push(e),
             }
         }
-        EngineSnapshot { streams: out }
+        EngineSnapshot {
+            streams: out,
+            sketch: None,
+        }
+    }
+
+    /// Attaches (or clears) the sketch-tier section.
+    pub fn with_sketch(mut self, sketch: Option<SketchSnapshot>) -> Self {
+        self.sketch = sketch;
+        self
+    }
+
+    /// The sketch-tier image, when present.
+    pub fn sketch(&self) -> Option<&SketchSnapshot> {
+        self.sketch.as_ref()
     }
 
     /// The per-stream entries, ascending by key.
@@ -342,7 +513,8 @@ impl EngineSnapshot {
 
     /// Consumes the snapshot into its entries (ascending by key) —
     /// lets frame consumers move reservoirs/ladders instead of cloning
-    /// them.
+    /// them. Any sketch section is discarded (`Evicted` frames carry
+    /// per-stream finals only).
     pub fn into_streams(self) -> Vec<StreamEntry> {
         self.streams
     }
@@ -359,23 +531,33 @@ impl EngineSnapshot {
         for e in &mut self.streams {
             e.summary.compact(budget_bytes);
         }
+        if let Some(sk) = &mut self.sketch {
+            sk.compact(budget_bytes);
+        }
     }
 
-    /// Link-level summary: every stream's summary folded in key order —
-    /// deterministic for a given stream set, however it was sharded.
+    /// Link-level summary: every stream's summary folded in key order,
+    /// then the sketch tier's aggregate — deterministic for a given
+    /// stream set, however it was sharded. Totals cover **both** tiers.
     pub fn aggregate(&self) -> SummarySnapshot {
         let mut acc = SummarySnapshot::default();
         for e in &self.streams {
             acc.merge_from(&e.summary);
         }
+        if let Some(sk) = &self.sketch {
+            acc.merge_from(&sk.summary);
+        }
         acc
     }
 
-    /// Total sampler counters across streams.
+    /// Total sampler counters across streams plus the sketch tier.
     pub fn sampler_totals(&self) -> SamplerSnapshot {
         let mut acc = SamplerSnapshot::default();
         for e in &self.streams {
             acc.merge_from(&e.sampler);
+        }
+        if let Some(sk) = &self.sketch {
+            acc.merge_from(&sk.sampler);
         }
         acc
     }
@@ -402,12 +584,20 @@ impl EngineSnapshot {
 
     /// Merges another snapshot (an engine over a further set of
     /// streams) into this one: key-wise union, summaries of shared keys
-    /// merged, order re-canonicalized. Associative, so shard → link →
-    /// network roll-ups compose.
+    /// merged, order re-canonicalized. Sketch sections merge via
+    /// [`MergeableSummary`] (an absent section is the identity).
+    /// Associative, so shard → link → network roll-ups compose.
     pub fn merge(self, other: EngineSnapshot) -> EngineSnapshot {
         let mut all = self.streams;
         all.extend(other.streams);
-        EngineSnapshot::from_streams(all)
+        let sketch = match (self.sketch, other.sketch) {
+            (None, s) | (s, None) => s,
+            (Some(mut a), Some(b)) => {
+                a.merge_from(&b);
+                Some(a)
+            }
+        };
+        EngineSnapshot::from_streams(all).with_sketch(sketch)
     }
 }
 

@@ -113,6 +113,7 @@ pub mod fault;
 pub mod ingest;
 pub mod lifecycle;
 pub mod retry;
+pub mod sketch;
 pub mod summary;
 pub mod topology;
 pub mod transport;
@@ -123,6 +124,7 @@ pub use engine::{EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec, Stre
 pub use fault::{FaultPlan, FaultyLink};
 pub use lifecycle::{LifecycleConfig, LifecycleStats};
 pub use retry::{Backoff, SequencedSender};
+pub use sketch::{SketchSnapshot, TierConfig, TierStats};
 pub use summary::{StreamSummary, SummaryConfig, SummarySnapshot};
 pub use topology::{
     AdmissionRegistry, Aggregator, AggregatorSet, Collector, SessionDriver, SessionError,

@@ -217,6 +217,23 @@ impl LifecycleState {
         }
     }
 
+    /// Retires one stream's final outside a sweep — the sketch tier
+    /// demotes an exact stream to free its slot for a promoted key.
+    /// Bookkeeping is identical to a sweep eviction (compaction budget,
+    /// retained store vs. outbox), so demotion finals flow through the
+    /// same `Evicted` wire path and never double-count downstream; only
+    /// the `evicted` counter is left to the tier's own `demotions`.
+    pub(crate) fn retire(&mut self, mut entry: StreamEntry, config: &LifecycleConfig) {
+        if let Some(budget) = config.compact_budget {
+            entry.summary.compact(budget);
+        }
+        if config.retain_evicted {
+            self.absorb_retired(entry, config.compact_budget);
+        } else {
+            self.outbox.push(entry);
+        }
+    }
+
     /// Takes the evicted finals accumulated since the last drain.
     pub(crate) fn drain_evicted(&mut self) -> Vec<StreamEntry> {
         std::mem::take(&mut self.outbox)

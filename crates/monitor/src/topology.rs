@@ -17,6 +17,14 @@
 //! the connections concurrently or one after another, the final
 //! snapshot is the same bits.
 //!
+//! A tiered collector ([`crate::TierConfig`]) additionally ships its
+//! cumulative sketch-tier image on the last `Delta` of every flush;
+//! the aggregator holds the latest image per collector (replace
+//! semantics, like the live view) and folds them into its assembled
+//! snapshot. The aggregator can also tier *itself*:
+//! [`Aggregator::max_exact_keys`] caps each collector's retired store,
+//! demoting the smallest finals into a per-collector sketch.
+//!
 //! ## The wire-boundary merge-equivalence guarantee
 //!
 //! For collectors watching disjoint key sets (the deployment shape: a
@@ -27,6 +35,7 @@
 //! in-memory pipes and Unix sockets.
 
 use crate::engine::{EngineSnapshot, MonitorConfig, MonitorEngine, StreamEntry};
+use crate::sketch::SketchSnapshot;
 use crate::wire::{
     encode_frame, encode_frame_seq, read_frames, write_frame, Frame, FrameDecoder, HelloResume,
     WireError, WIRE_VERSION, WIRE_VERSION_FRAMED,
@@ -240,11 +249,22 @@ impl Collector {
             self.pending_evicted.drain(..n);
         }
         let entries = self.engine.entries_for(self.dirty.iter().copied());
-        for chunk in frame_chunks(&entries) {
-            write_frame(
-                w,
-                &Frame::Delta(EngineSnapshot::from_streams(chunk.to_vec())),
-            )?;
+        // A tiered engine's cumulative sketch image rides the *last*
+        // Delta of each flush (replace semantics at the aggregator); a
+        // flush with no dirty entries ships it on an empty Delta.
+        let mut sketch = self.engine.sketch_snapshot();
+        let chunks: Vec<&[StreamEntry]> = frame_chunks(&entries).collect();
+        let last = chunks.len().saturating_sub(1);
+        for (i, chunk) in chunks.iter().enumerate() {
+            let mut snap = EngineSnapshot::from_streams(chunk.to_vec());
+            if i == last {
+                snap = snap.with_sketch(sketch.take());
+            }
+            write_frame(w, &Frame::Delta(snap))?;
+        }
+        if let Some(sk) = sketch {
+            let snap = EngineSnapshot::from_streams(Vec::new()).with_sketch(Some(sk));
+            write_frame(w, &Frame::Delta(snap))?;
         }
         self.dirty.clear();
         Ok(())
@@ -287,9 +307,21 @@ impl Collector {
                 .extend(chunk.iter().map(|e| (seq, e.clone())));
         }
         let entries = self.engine.entries_for(self.dirty.iter().copied());
-        for chunk in frame_chunks(&entries) {
-            let frame = Frame::Delta(EngineSnapshot::from_streams(chunk.to_vec()));
-            self.seq_mut().seal(&frame);
+        // As in `flush`: the cumulative sketch image rides the last
+        // sealed Delta (or an empty one when nothing is dirty).
+        let mut sketch = self.engine.sketch_snapshot();
+        let chunks: Vec<&[StreamEntry]> = frame_chunks(&entries).collect();
+        let last = chunks.len().saturating_sub(1);
+        for (i, chunk) in chunks.iter().enumerate() {
+            let mut snap = EngineSnapshot::from_streams(chunk.to_vec());
+            if i == last {
+                snap = snap.with_sketch(sketch.take());
+            }
+            self.seq_mut().seal(&Frame::Delta(snap));
+        }
+        if let Some(sk) = sketch {
+            let snap = EngineSnapshot::from_streams(Vec::new()).with_sketch(Some(sk));
+            self.seq_mut().seal(&Frame::Delta(snap));
         }
         self.dirty.clear();
     }
@@ -433,6 +465,15 @@ struct CollectorState {
     live: BTreeMap<u64, StreamEntry>,
     /// Folded evicted finals per key.
     retired: BTreeMap<u64, StreamEntry>,
+    /// Latest cumulative sketch-tier image this collector reported
+    /// (sketch-bearing `Delta`s and `FullSnapshot`s replace it, like
+    /// the live view).
+    sketch: Option<SketchSnapshot>,
+    /// Retired finals *this aggregator* demoted into sketch form to
+    /// honor [`Aggregator::max_exact_keys`] — additive, never replaced
+    /// by collector frames (those contributions left the retired map
+    /// for good).
+    absorbed: Option<SketchSnapshot>,
     done: bool,
     /// Sequenced (v3) session: highest applied data-frame seq. The
     /// watermark is what makes redelivery idempotent — duplicate seqs
@@ -476,6 +517,11 @@ pub struct Aggregator {
     collectors: BTreeMap<u64, CollectorState>,
     /// Optional byte budget applied to incoming summaries.
     compact_budget: Option<usize>,
+    /// Per-collector retired-store cap; overflow entries demote into
+    /// the collector's absorbed sketch.
+    max_exact_keys: Option<usize>,
+    /// Byte budget applied to incoming and absorbed sketch images.
+    sketch_budget: Option<usize>,
 }
 
 impl Aggregator {
@@ -488,6 +534,26 @@ impl Aggregator {
     /// aggregator memory under huge fan-in; totals stay exact).
     pub fn compact_budget(mut self, bytes: usize) -> Self {
         self.compact_budget = Some(bytes);
+        self
+    }
+
+    /// Caps each collector's **retired** store at `n` keys: beyond it,
+    /// the smallest finals (minimum `(kept count, key)`) demote into a
+    /// per-collector sketch — totals stay exact, per-key attribution of
+    /// the demoted tail becomes approximate. The *live* view is not
+    /// capped here: live entries are cumulative views the collector
+    /// replaces wholesale, so dropping one server-side would lose its
+    /// totals; a collector bounds its own live table with
+    /// [`crate::TierConfig`] / lifecycle eviction.
+    pub fn max_exact_keys(mut self, n: usize) -> Self {
+        self.max_exact_keys = Some(n);
+        self
+    }
+
+    /// Compacts every incoming (and server-side absorbed) sketch image
+    /// toward `bytes`. Totals stay exact.
+    pub fn sketch_bytes(mut self, bytes: usize) -> Self {
+        self.sketch_budget = Some(bytes);
         self
     }
 
@@ -540,8 +606,12 @@ impl Aggregator {
                 None => {
                     // A fresh Hello restarts the session's live view (a
                     // reconnecting collector re-sends cumulative state);
-                    // retired finals were real evictions and stay.
+                    // retired finals (and server-side absorbed sketches)
+                    // were real evictions and stay. The reported sketch
+                    // is cumulative like the live view: cleared here,
+                    // replaced by the next sketch-bearing frame.
                     state.live.clear();
+                    state.sketch = None;
                     state.done = false;
                     state.sequenced = false;
                     state.last_seq = None;
@@ -549,6 +619,7 @@ impl Aggregator {
                 }
                 Some(HelloResume::Fresh { first_seq }) => {
                     state.live.clear();
+                    state.sketch = None;
                     state.done = false;
                     state.sequenced = true;
                     state.last_seq = first_seq.checked_sub(1);
@@ -567,11 +638,13 @@ impl Aggregator {
                     state.awaiting_resync = false;
                 }
                 Some(HelloResume::Resync { first_seq }) => {
-                    // Re-baseline: the live view is rebuilt by the
-                    // coming FullSnapshot; retired finals already
-                    // applied stay (the collector re-sends only the
-                    // tail past the seq watermark we reported).
+                    // Re-baseline: the live view (and reported sketch)
+                    // is rebuilt by the coming FullSnapshot; retired
+                    // finals already applied stay (the collector
+                    // re-sends only the tail past the seq watermark we
+                    // reported).
                     state.live.clear();
+                    state.sketch = None;
                     state.done = false;
                     state.sequenced = true;
                     state.last_seq = first_seq.checked_sub(1);
@@ -607,14 +680,28 @@ impl Aggregator {
                 unreachable!("handled above")
             }
             Frame::Delta(snap) => {
+                // A sketch-bearing Delta replaces the cumulative sketch
+                // view; sketchless Deltas (the non-final chunks of a
+                // flush, or any untiered collector's) leave it alone.
+                let sketch = snap.sketch().cloned();
                 for mut e in snap.into_streams() {
                     if let Some(b) = self.compact_budget {
                         e.summary.compact(b);
                     }
                     state.live.insert(e.key, e);
                 }
+                if let Some(mut sk) = sketch {
+                    if let Some(b) = self.sketch_budget {
+                        sk.compact(b);
+                    }
+                    state.sketch = Some(sk);
+                }
             }
             Frame::FullSnapshot(snap) => {
+                // A full snapshot is the entire engine image: the
+                // sketch view is replaced unconditionally (cleared for
+                // an untiered engine).
+                let sketch = snap.sketch().cloned();
                 state.live.clear();
                 for mut e in snap.into_streams() {
                     if let Some(b) = self.compact_budget {
@@ -622,6 +709,12 @@ impl Aggregator {
                     }
                     state.live.insert(e.key, e);
                 }
+                state.sketch = sketch.map(|mut sk| {
+                    if let Some(b) = self.sketch_budget {
+                        sk.compact(b);
+                    }
+                    sk
+                });
             }
             Frame::Evicted(entries) => {
                 for mut e in entries {
@@ -641,6 +734,27 @@ impl Aggregator {
                             if let Some(b) = self.compact_budget {
                                 held.summary.compact(b);
                             }
+                        }
+                    }
+                }
+                // Retired-store tiering: beyond the cap, demote the
+                // smallest finals — minimum `(kept count, key)`, a
+                // deterministic total order — into the per-collector
+                // absorbed sketch. Totals stay exact.
+                if let Some(cap) = self.max_exact_keys {
+                    while state.retired.len() > cap {
+                        let victim = state
+                            .retired
+                            .iter()
+                            .map(|(&k, e)| (e.summary.moments.count(), k))
+                            .min()
+                            .map(|(_, k)| k)
+                            .expect("retired store over a non-negative cap is non-empty");
+                        let e = state.retired.remove(&victim).expect("victim present");
+                        let sk = state.absorbed.get_or_insert_with(SketchSnapshot::default);
+                        sk.absorb_entry(&e);
+                        if let Some(b) = self.sketch_budget {
+                            sk.compact(b);
                         }
                     }
                 }
@@ -742,24 +856,48 @@ impl Aggregator {
     }
 
     /// The assembled snapshot: for every collector (ascending id),
-    /// retired finals then live entries, canonically merged. For
-    /// disjoint collectors this is bit-for-bit the single-engine
-    /// snapshot ([`MonitorEngine::full_snapshot`] semantics).
+    /// retired finals then live entries, canonically merged, plus the
+    /// sketch images (each collector's reported sketch, then its
+    /// server-side absorbed one) folded in the same ascending-id order.
+    /// For disjoint collectors this is bit-for-bit the single-engine
+    /// snapshot ([`MonitorEngine::full_snapshot`] semantics) — sketch
+    /// section included for a lone tiered collector.
     pub fn snapshot(&self) -> EngineSnapshot {
         let mut entries: Vec<StreamEntry> = Vec::new();
+        let mut sketch: Option<SketchSnapshot> = None;
         for state in self.collectors.values() {
             entries.extend(state.retired.values().cloned());
             entries.extend(state.live.values().cloned());
+            for sk in state.sketch.iter().chain(state.absorbed.iter()) {
+                match &mut sketch {
+                    None => sketch = Some(sk.clone()),
+                    Some(acc) => acc.merge_from(sk),
+                }
+            }
         }
-        EngineSnapshot::from_streams(entries)
+        EngineSnapshot::from_streams(entries).with_sketch(sketch)
     }
 
-    /// Approximate bytes held across all per-collector state.
+    /// Approximate bytes held across all per-collector state, sketch
+    /// images included.
     pub fn estimated_state_bytes(&self) -> usize {
         self.collectors
             .values()
-            .flat_map(|c| c.live.values().chain(c.retired.values()))
-            .map(|e| 64 + e.summary.estimated_bytes())
+            .map(|c| {
+                let entries: usize = c
+                    .live
+                    .values()
+                    .chain(c.retired.values())
+                    .map(|e| 64 + e.summary.estimated_bytes())
+                    .sum();
+                let sketches: usize = c
+                    .sketch
+                    .iter()
+                    .chain(c.absorbed.iter())
+                    .map(Compactable::estimated_bytes)
+                    .sum();
+                entries + sketches
+            })
             .sum()
     }
 }

@@ -64,6 +64,43 @@ fn valid_stream() -> Vec<u8> {
     bytes
 }
 
+/// A representative *tiered* frame stream: the Delta and FullSnapshot
+/// payloads carry a populated `SKT1` sketch section (count-min rows,
+/// heavy-hitter list, projection cascades, promotion counters).
+fn valid_sketch_stream() -> Vec<u8> {
+    let mut engine = MonitorEngine::new(
+        MonitorConfig::default()
+            .sampler(SamplerSpec::Systematic { interval: 3 })
+            .shards(2)
+            .seed(11)
+            .max_exact_keys(8)
+            .sketch_bytes(1 << 14)
+            .promote_after(32),
+    );
+    for i in 0..30_000u64 {
+        let key = if i % 5 == 0 { i % 400 + 100 } else { i % 6 };
+        engine.offer(key, (i % 13) as f64 + 1.0);
+    }
+    let snap = engine.full_snapshot();
+    assert!(snap.sketch().is_some(), "sketch section present");
+    let evicted = snap.streams()[..3.min(snap.stream_count())].to_vec();
+    let mut bytes = Vec::new();
+    for frame in [
+        Frame::Hello {
+            protocol: WIRE_VERSION,
+            collector_id: 31,
+            resume: None,
+        },
+        Frame::Delta(snap.clone()),
+        Frame::Evicted(evicted),
+        Frame::FullSnapshot(snap),
+        Frame::Bye,
+    ] {
+        bytes.extend_from_slice(&encode_frame(&frame));
+    }
+    bytes
+}
+
 /// A representative *sequenced* (v3) bidirectional byte soup: a
 /// resume Hello, sequenced data frames, and the three
 /// aggregator-originated control frames — everything the v3 decoder
@@ -173,6 +210,50 @@ proptest! {
             engine.offer(i % 7, (i % 31) as f64);
         }
         let mut bytes = encode_snapshot(&engine.snapshot()).to_vec();
+        for &(pos, val) in &muts {
+            let i = pos % bytes.len();
+            bytes[i] = val;
+        }
+        let _ = decode_snapshot(&bytes);
+        let _ = decode_frames(&bytes);
+    }
+
+    #[test]
+    fn mutated_sketch_streams_never_panic(
+        muts in proptest::collection::vec((0usize..1_000_000, 0u8..=255u8), 1..12),
+    ) {
+        let mut bytes = valid_sketch_stream();
+        for &(pos, val) in &muts {
+            let i = pos % bytes.len();
+            bytes[i] = val;
+        }
+        decode_every_way(&bytes);
+    }
+
+    #[test]
+    fn truncated_sketch_streams_never_panic(cut in 0usize..1_000_000) {
+        let bytes = valid_sketch_stream();
+        let cut = cut % (bytes.len() + 1);
+        decode_every_way(&bytes[..cut]);
+    }
+
+    #[test]
+    fn mutated_v1_sketch_snapshots_never_panic(
+        muts in proptest::collection::vec((0usize..1_000_000, 0u8..=255u8), 1..12),
+    ) {
+        // Mutations inside the trailing SKT1 section (or anywhere
+        // before it) must come back as errors or valid decodes, never
+        // panics or runaway allocations.
+        let mut engine = MonitorEngine::new(
+            MonitorConfig::default()
+                .seed(2)
+                .max_exact_keys(4)
+                .sketch_bytes(1 << 12),
+        );
+        for i in 0..5_000u64 {
+            engine.offer(i % 64, (i % 31) as f64);
+        }
+        let mut bytes = encode_snapshot(&engine.full_snapshot()).to_vec();
         for &(pos, val) in &muts {
             let i = pos % bytes.len();
             bytes[i] = val;

@@ -9,7 +9,8 @@
 # enumeration costs seconds, not the full measurement budget.
 #
 # The monitor bench covers the lifecycle/wire/transport layers too:
-# monitor/{compact_4096_streams,wire_roundtrip,evict_churn} and the
+# monitor/{compact_4096_streams,wire_roundtrip,evict_churn} plus the
+# sketch-tier rows monitor/{sketch_churn,promote_demote} and the
 # event-loop transport rows
 # monitor/{serve_event_loop_64_sessions,serve_epoll_64_sessions,
 # serve_multi_loop_2x,serve_multi_loop_4x,tcp_roundtrip} ride in the

@@ -489,6 +489,63 @@ fn bench_resync_after_kill(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_diff_flush(c: &mut Criterion) {
+    // The ISSUE 9 steady state: 4096 slowly-changing streams with ≤8
+    // new points each since the last acked flush. `diff_flush_steady`
+    // prices one differential flush — diffing every stream against its
+    // baseline and encoding the wire-v4 `DeltaDiff` frame — and
+    // `diff_vs_cumulative_bytes` encodes the same interval down both
+    // paths and pins the ≥5× payload saving the differential frames
+    // exist for (the measured ratio is ~10×).
+    use sst_monitor::wire::encode_frame_seq;
+    use sst_monitor::{diff_entry, StreamDiff};
+    const STREAMS: u64 = 4096;
+    let mut engine = MonitorEngine::new(
+        MonitorConfig::default()
+            .sampler(SamplerSpec::Systematic { interval: 2 })
+            .seed(3)
+            .reservoir_capacity(256),
+    );
+    // 600 warmup points per stream: reservoirs full, cascades deep —
+    // the regime where per-flush change is small relative to state.
+    for i in 0..STREAMS * 600 {
+        engine.offer(i % STREAMS, 2.0 + (i % 97) as f64);
+    }
+    let base = engine.snapshot();
+    for i in 0..STREAMS * 8 {
+        engine.offer(i % STREAMS, 3.0 + (i % 89) as f64);
+    }
+    let grown = engine.snapshot();
+    let diff_frame = |seq| {
+        let diffs: Vec<StreamDiff> = base
+            .streams()
+            .iter()
+            .zip(grown.streams())
+            .map(|(b, n)| diff_entry(b, n).expect("steady streams diff"))
+            .collect();
+        encode_frame_seq(seq, &Frame::DeltaDiff(diffs))
+    };
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(STREAMS));
+    g.bench_function("diff_flush_steady", |b| {
+        b.iter(|| diff_frame(1).len());
+    });
+    g.bench_function("diff_vs_cumulative_bytes", |b| {
+        b.iter(|| {
+            let diff_bytes = diff_frame(1).len();
+            let full_bytes = encode_frame_seq(1, &Frame::Delta(grown.clone())).len();
+            assert!(
+                full_bytes >= 5 * diff_bytes,
+                "differential flush must ship ≥5× fewer bytes \
+                 (diff {diff_bytes} B, cumulative {full_bytes} B)"
+            );
+            full_bytes - diff_bytes
+        });
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
@@ -496,6 +553,6 @@ criterion_group! {
         bench_compaction, bench_wire_roundtrip, bench_evict_churn,
         bench_sketch_churn, bench_promote_demote,
         bench_event_loop_serve, bench_multi_loop_serve, bench_tcp_roundtrip,
-        bench_resync_after_kill
+        bench_resync_after_kill, bench_diff_flush
 }
 criterion_main!(benches);

@@ -272,6 +272,15 @@ impl SpaceSaving {
         self.by_key.get(&key).map_or(0, |&(c, _)| c)
     }
 
+    /// The tracked `(count, err)` pair for `key`, or `None` when the
+    /// key is not in the candidate table. `count − err` is a **lower**
+    /// bound on the key's true observation count — the guaranteed-mass
+    /// signal promotion gates ride on (a count-min estimate alone can
+    /// only over-count).
+    pub fn candidate(&self, key: u64) -> Option<(u64, u64)> {
+        self.by_key.get(&key).copied()
+    }
+
     /// All candidates as `(key, count, err)`, sorted by key — the
     /// canonical (deterministic) snapshot order.
     pub fn entries(&self) -> Vec<(u64, u64, u64)> {

@@ -77,6 +77,41 @@ impl SamplerSnapshot {
         self.kept += other.kept;
         self.inspected += other.inspected;
     }
+
+    /// Counter deltas `(offered, kept, inspected)` taking `base` to
+    /// `self`, or `None` when any counter moved backwards (the pair is
+    /// not successive snapshots of one sampler). Counters are monotone
+    /// integers, so `base + delta` reproduces `self` exactly.
+    pub fn delta_from(&self, base: &SamplerSnapshot) -> Option<(u64, u64, u64)> {
+        Some((
+            self.offered.checked_sub(base.offered)? as u64,
+            self.kept.checked_sub(base.kept)? as u64,
+            self.inspected.checked_sub(base.inspected)? as u64,
+        ))
+    }
+
+    /// Advances the counters by a [`SamplerSnapshot::delta_from`]
+    /// delta. Returns `false` — leaving the snapshot untouched — on
+    /// overflow or when the result would violate the
+    /// `kept ≤ inspected ≤ offered` invariant.
+    pub fn apply_delta(&mut self, (d_off, d_kept, d_insp): (u64, u64, u64)) -> bool {
+        let (Some(offered), Some(kept), Some(inspected)) = (
+            self.offered.checked_add(d_off as usize),
+            self.kept.checked_add(d_kept as usize),
+            self.inspected.checked_add(d_insp as usize),
+        ) else {
+            return false;
+        };
+        if kept > inspected || inspected > offered {
+            return false;
+        }
+        *self = SamplerSnapshot {
+            offered,
+            kept,
+            inspected,
+        };
+        true
+    }
 }
 
 /// A push-based sampler: one decision per offered point.

@@ -35,6 +35,42 @@ const MAX_LEVELS: usize = 48;
 /// offline estimator's `max_m = n/16` bound, expressed online.
 const MIN_BLOCKS: u64 = 16;
 
+/// A differential update taking an older snapshot of a cascade to a
+/// newer one, produced by [`OnlineVarianceTime::diff_from`] and applied
+/// by [`OnlineVarianceTime::apply_patch`].
+///
+/// Changed levels ship their Welford state and carry slot **verbatim**
+/// (floats are never delta-encoded — reassembly must be bit-exact);
+/// only the monotone value counter travels as an integer delta. With
+/// ≤`p` new points the cascade touches only its ~`log₂ p` finest
+/// levels, so a steady-state patch is a small fraction of the full
+/// cascade.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CascadePatch {
+    /// `new.count − base.count` (monotone counter delta).
+    pub count_delta: u64,
+    /// Level count of the new state (never shrinks in a diffable pair).
+    pub new_levels: usize,
+    /// Changed levels as `(index, block-mean stats, carry slot)`,
+    /// strictly ascending by index.
+    pub changed: Vec<(usize, RunningStats, Option<f64>)>,
+}
+
+/// Bit-level image of one cascade level, for exact change detection
+/// (`PartialEq` on floats would conflate `0.0`/`-0.0` and NaN payloads,
+/// silently breaking byte-identical reassembly).
+fn level_bits(stats: &RunningStats, carry: Option<f64>) -> (u64, u64, u64, u64, u64, Option<u64>) {
+    let (n, mean, m2, min, max) = stats.raw_parts();
+    (
+        n,
+        mean.to_bits(),
+        m2.to_bits(),
+        min.to_bits(),
+        max.to_bits(),
+        carry.map(f64::to_bits),
+    )
+}
+
 /// Streaming aggregated-variance (variance-time) estimator state.
 ///
 /// # Examples
@@ -169,6 +205,61 @@ impl OnlineVarianceTime {
             self.levels.truncate(keep);
             self.partial.truncate(keep);
         }
+    }
+
+    /// The patch taking `base` to `self`, or `None` when the pair is
+    /// not diffable: the count went backwards or levels shrank (e.g.
+    /// `base` was pruned after `self`'s snapshot — ship the full state
+    /// instead). Applying the result to `base` reproduces `self`
+    /// bit-for-bit: changed levels travel verbatim, compared at the
+    /// bit level so signed zeros and NaN payloads survive.
+    pub fn diff_from(&self, base: &OnlineVarianceTime) -> Option<CascadePatch> {
+        if self.count < base.count || self.levels.len() < base.levels.len() {
+            return None;
+        }
+        let mut changed = Vec::new();
+        for k in 0..self.levels.len() {
+            let same = base.levels.get(k).is_some_and(|b| {
+                level_bits(b, base.partial[k]) == level_bits(&self.levels[k], self.partial[k])
+            });
+            if !same {
+                changed.push((k, self.levels[k], self.partial[k]));
+            }
+        }
+        Some(CascadePatch {
+            count_delta: self.count - base.count,
+            new_levels: self.levels.len(),
+            changed,
+        })
+    }
+
+    /// Applies a [`OnlineVarianceTime::diff_from`] patch. Returns
+    /// `false` — leaving the state untouched — when the patch is
+    /// structurally inconsistent with this state (levels would shrink,
+    /// indices out of range or unsorted, counter overflow); a receiver
+    /// should treat that as a lost baseline and resync.
+    pub fn apply_patch(&mut self, p: &CascadePatch) -> bool {
+        if p.new_levels < self.levels.len() || p.new_levels > MAX_LEVELS {
+            return false;
+        }
+        let Some(count) = self.count.checked_add(p.count_delta) else {
+            return false;
+        };
+        let mut prev: Option<usize> = None;
+        for &(idx, _, _) in &p.changed {
+            if idx >= p.new_levels || prev.is_some_and(|q| idx <= q) {
+                return false;
+            }
+            prev = Some(idx);
+        }
+        self.levels.resize(p.new_levels, RunningStats::new());
+        self.partial.resize(p.new_levels, None);
+        for &(idx, stats, carry) in &p.changed {
+            self.levels[idx] = stats;
+            self.partial[idx] = carry;
+        }
+        self.count = count;
+        true
     }
 
     /// Pools another estimator's completed-block statistics into this
@@ -641,5 +732,50 @@ mod tests {
         let back = ProjectionBank::from_raw_parts(bank.seed(), bank.cascades().to_vec()).unwrap();
         assert_eq!(back, bank);
         assert!(ProjectionBank::from_raw_parts(13, Vec::new()).is_none());
+    }
+
+    #[test]
+    fn cascade_patch_reassembles_bit_exact() {
+        let mut base = OnlineVarianceTime::new();
+        for i in 0..20_000 {
+            base.push((i as f64).sin() * 3.0 + (i % 17) as f64);
+        }
+        let mut grown = base.clone();
+        for i in 20_000..20_037 {
+            grown.push((i as f64).sin() * 3.0 + (i % 17) as f64);
+        }
+        let patch = grown.diff_from(&base).expect("grown cascade diffs");
+        // A tiny tail touches only the fine levels; the coarse ones
+        // must not travel.
+        assert!(patch.changed.len() < grown.level_count());
+        let mut rebuilt = base.clone();
+        assert!(rebuilt.apply_patch(&patch));
+        assert_eq!(rebuilt, grown);
+        // Identity patch.
+        let empty = base.diff_from(&base).unwrap();
+        assert!(empty.changed.is_empty());
+        let mut same = base.clone();
+        assert!(same.apply_patch(&empty));
+        assert_eq!(same, base);
+    }
+
+    #[test]
+    fn cascade_patch_rejects_structural_shrink() {
+        let mut big = OnlineVarianceTime::new();
+        for i in 0..10_000 {
+            big.push(i as f64);
+        }
+        let mut small = OnlineVarianceTime::new();
+        for i in 0..100 {
+            small.push(i as f64);
+        }
+        // A shrinking pair is not diffable...
+        assert!(small.diff_from(&big).is_none());
+        // ...and a patch naming fewer levels than the target holds is
+        // rejected without mutating it.
+        let patch = small.diff_from(&small).unwrap();
+        let before = big.clone();
+        assert!(!big.apply_patch(&patch));
+        assert_eq!(big, before);
     }
 }

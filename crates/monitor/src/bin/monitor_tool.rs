@@ -395,12 +395,16 @@ fn serve(rest: Vec<String>) {
     if report_sessions {
         for s in &rep.sessions {
             eprintln!(
-                "session delivered: id={} peer={} loop={} frames={} bytes={}",
+                "session delivered: id={} peer={} loop={} frames={} bytes={} \
+                 diff_bytes={} full_bytes={} resyncs={}",
                 s.session.map_or("-".into(), |id| id.to_string()),
                 s.peer,
                 s.worker,
                 s.frames,
-                s.bytes
+                s.bytes,
+                s.diff_bytes,
+                s.full_bytes,
+                s.resyncs
             );
         }
     }

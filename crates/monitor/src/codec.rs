@@ -15,19 +15,25 @@
 //! (the legacy `.ssm` file form) still decodes as one implicit
 //! `FullSnapshot` frame.
 
+use crate::diff::{BaseFingerprint, StreamDiff};
 use crate::engine::{EngineSnapshot, StreamEntry};
 use crate::sketch::SketchSnapshot;
-use crate::summary::{ReservoirSnapshot, SummarySnapshot, TailCounter};
+use crate::summary::{
+    ReservoirPatch, ReservoirSnapshot, SummaryPatch, SummarySnapshot, TailCounter,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sst_core::sketch::CountMinSketch;
 use sst_core::stream::SamplerSnapshot;
-use sst_hurst::online::OnlineVarianceTime;
+use sst_hurst::online::{CascadePatch, OnlineVarianceTime};
 use sst_hurst::ProjectionBank;
 use sst_stats::RunningStats;
 use std::fmt;
 
 /// Magic bytes + version prefix of the format.
 const MAGIC: &[u8; 6] = b"SSMON1";
+
+/// Magic opening a wire-v4 `DeltaDiff` frame payload.
+const DIFF_MAGIC: &[u8; 4] = b"SSDF";
 
 /// Magic of the optional trailing sketch-tier section. A v1 snapshot
 /// remains exactly the stream records when no sketch is present, so
@@ -421,6 +427,365 @@ pub fn decode_snapshot(mut buf: &[u8]) -> Result<EngineSnapshot, SnapshotCodecEr
     Ok(EngineSnapshot::from_streams(streams).with_sketch(sketch))
 }
 
+// ---- differential (wire v4 `DeltaDiff`) payloads ------------------
+//
+// Layout: `"SSDF"` magic, varint entry count, then per entry (keys
+// strictly ascending):
+//
+// ```text
+// key u64le
+// sampler deltas        3 × varint (offered, kept, inspected)
+// baseline fingerprint  6 × varint
+// flags u8              bit0 moments, bit1 cascade, bit2 reservoir,
+//                       bit3 tail
+// [moments]             40 B RunningStats verbatim
+// [cascade]             varint count_delta, varint new_levels (≤ 64),
+//                       varint n_changed, then per changed level:
+//                       varint index, 40 B stats, carry u8 (+ f64le)
+// [reservoir]           varint seen_delta, varint new_len,
+//                       varint n_slots, then per slot:
+//                       varint index, f64le value
+// [tail]                varint n_rungs, n_rungs × varint count delta,
+//                       varint total_delta
+// ```
+//
+// Monotone counters travel as unsigned LEB128 varints (a steady-state
+// delta is small); floats travel verbatim — never delta-encoded — so
+// reassembly is bit-exact. Decoding validates structure only (bounded
+// allocations, ascending indices, known flags); whether a patch fits
+// the receiver's baseline is the apply-time check that turns into a
+// resync.
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, SnapshotCodecError> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        if buf.remaining() < 1 {
+            return Err(SnapshotCodecError::Truncated);
+        }
+        let byte = buf.get_u8();
+        let bits = (byte & 0x7F) as u64;
+        if shift == 63 && bits > 1 {
+            return Err(SnapshotCodecError::Corrupt("varint overflow"));
+        }
+        v |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(SnapshotCodecError::Corrupt("varint too long"))
+}
+
+/// Encoded length of a varint, for exact size arithmetic.
+fn varint_len(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7).max(1)
+}
+
+const FLAG_MOMENTS: u8 = 1;
+const FLAG_CASCADE: u8 = 1 << 1;
+const FLAG_RESERVOIR: u8 = 1 << 2;
+const FLAG_TAIL: u8 = 1 << 3;
+
+fn put_diff_entry(buf: &mut BytesMut, d: &StreamDiff) {
+    buf.put_u64_le(d.key);
+    let (off, kept, insp) = d.sampler_delta;
+    put_varint(buf, off);
+    put_varint(buf, kept);
+    put_varint(buf, insp);
+    let fp = &d.base;
+    put_varint(buf, fp.moments_count);
+    put_varint(buf, fp.reservoir_seen);
+    put_varint(buf, fp.reservoir_len);
+    put_varint(buf, fp.cascade_count);
+    put_varint(buf, fp.cascade_levels);
+    put_varint(buf, fp.tail_total);
+    let p = &d.patch;
+    let mut flags = 0u8;
+    flags |= p.moments.map_or(0, |_| FLAG_MOMENTS);
+    flags |= p.hurst.as_ref().map_or(0, |_| FLAG_CASCADE);
+    flags |= p.reservoir.as_ref().map_or(0, |_| FLAG_RESERVOIR);
+    flags |= p.tail.as_ref().map_or(0, |_| FLAG_TAIL);
+    buf.put_u8(flags);
+    if let Some(m) = &p.moments {
+        put_running_stats(buf, m);
+    }
+    if let Some(c) = &p.hurst {
+        put_varint(buf, c.count_delta);
+        put_varint(buf, c.new_levels as u64);
+        put_varint(buf, c.changed.len() as u64);
+        for (idx, stats, carry) in &c.changed {
+            put_varint(buf, *idx as u64);
+            put_running_stats(buf, stats);
+            match carry {
+                Some(sum) => {
+                    buf.put_u8(1);
+                    buf.put_f64_le(*sum);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+    }
+    if let Some(r) = &p.reservoir {
+        put_varint(buf, r.seen_delta);
+        put_varint(buf, r.new_len as u64);
+        put_varint(buf, r.slots.len() as u64);
+        for &(idx, v) in &r.slots {
+            put_varint(buf, idx as u64);
+            buf.put_f64_le(v);
+        }
+    }
+    if let Some((deltas, total)) = &p.tail {
+        put_varint(buf, deltas.len() as u64);
+        for &c in deltas {
+            put_varint(buf, c);
+        }
+        put_varint(buf, *total);
+    }
+}
+
+fn get_diff_entry(buf: &mut &[u8]) -> Result<StreamDiff, SnapshotCodecError> {
+    if buf.remaining() < 8 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let key = buf.get_u64_le();
+    let sampler_delta = (get_varint(buf)?, get_varint(buf)?, get_varint(buf)?);
+    let base = BaseFingerprint {
+        moments_count: get_varint(buf)?,
+        reservoir_seen: get_varint(buf)?,
+        reservoir_len: get_varint(buf)?,
+        cascade_count: get_varint(buf)?,
+        cascade_levels: get_varint(buf)?,
+        tail_total: get_varint(buf)?,
+    };
+    if buf.remaining() < 1 {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let flags = buf.get_u8();
+    if flags & !(FLAG_MOMENTS | FLAG_CASCADE | FLAG_RESERVOIR | FLAG_TAIL) != 0 {
+        return Err(SnapshotCodecError::Corrupt("diff flags"));
+    }
+    let moments = if flags & FLAG_MOMENTS != 0 {
+        Some(get_running_stats(buf)?)
+    } else {
+        None
+    };
+    let hurst = if flags & FLAG_CASCADE != 0 {
+        let count_delta = get_varint(buf)?;
+        let new_levels = get_varint(buf)? as usize;
+        if new_levels > 64 {
+            return Err(SnapshotCodecError::Corrupt("diff level count"));
+        }
+        let n_changed = get_varint(buf)? as usize;
+        if n_changed > new_levels {
+            return Err(SnapshotCodecError::Corrupt("diff changed levels"));
+        }
+        let mut changed = Vec::with_capacity(n_changed);
+        let mut prev: Option<usize> = None;
+        for _ in 0..n_changed {
+            let idx = get_varint(buf)? as usize;
+            if idx >= new_levels || prev.is_some_and(|q| idx <= q) {
+                return Err(SnapshotCodecError::Corrupt("diff level index"));
+            }
+            prev = Some(idx);
+            let stats = get_running_stats(buf)?;
+            if buf.remaining() < 1 {
+                return Err(SnapshotCodecError::Truncated);
+            }
+            let carry = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    if buf.remaining() < 8 {
+                        return Err(SnapshotCodecError::Truncated);
+                    }
+                    Some(buf.get_f64_le())
+                }
+                _ => return Err(SnapshotCodecError::Corrupt("diff carry flag")),
+            };
+            changed.push((idx, stats, carry));
+        }
+        Some(CascadePatch {
+            count_delta,
+            new_levels,
+            changed,
+        })
+    } else {
+        None
+    };
+    let reservoir = if flags & FLAG_RESERVOIR != 0 {
+        let seen_delta = get_varint(buf)?;
+        let new_len = get_varint(buf)? as usize;
+        let n_slots = get_varint(buf)? as usize;
+        // Each slot is ≥ 9 encoded bytes: bounds the allocation by
+        // what the buffer can actually hold.
+        if n_slots > new_len || buf.remaining() < n_slots.saturating_mul(9) {
+            return Err(if buf.remaining() < n_slots.saturating_mul(9) {
+                SnapshotCodecError::Truncated
+            } else {
+                SnapshotCodecError::Corrupt("diff slot count")
+            });
+        }
+        let mut slots = Vec::with_capacity(n_slots);
+        let mut prev: Option<usize> = None;
+        for _ in 0..n_slots {
+            let idx = get_varint(buf)? as usize;
+            if idx >= new_len || prev.is_some_and(|q| idx <= q) {
+                return Err(SnapshotCodecError::Corrupt("diff slot index"));
+            }
+            prev = Some(idx);
+            if buf.remaining() < 8 {
+                return Err(SnapshotCodecError::Truncated);
+            }
+            slots.push((idx, buf.get_f64_le()));
+        }
+        Some(ReservoirPatch {
+            seen_delta,
+            new_len,
+            slots,
+        })
+    } else {
+        None
+    };
+    let tail = if flags & FLAG_TAIL != 0 {
+        let n_rungs = get_varint(buf)? as usize;
+        // Each delta is ≥ 1 encoded byte.
+        if buf.remaining() < n_rungs {
+            return Err(SnapshotCodecError::Truncated);
+        }
+        let mut deltas = Vec::with_capacity(n_rungs);
+        for _ in 0..n_rungs {
+            deltas.push(get_varint(buf)?);
+        }
+        Some((deltas, get_varint(buf)?))
+    } else {
+        None
+    };
+    Ok(StreamDiff {
+        key,
+        sampler_delta,
+        base,
+        patch: SummaryPatch {
+            moments,
+            hurst,
+            reservoir,
+            tail,
+        },
+    })
+}
+
+/// Serializes a `DeltaDiff` frame payload.
+pub(crate) fn encode_diff_payload(diffs: &[StreamDiff]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        DIFF_MAGIC.len() + 10 + diffs.iter().map(encoded_diff_len).sum::<usize>(),
+    );
+    buf.put_slice(DIFF_MAGIC);
+    put_varint(&mut buf, diffs.len() as u64);
+    for d in diffs {
+        put_diff_entry(&mut buf, d);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a `DeltaDiff` frame payload. Structural validation
+/// only — never panics on untrusted input; baseline fit is checked at
+/// apply time.
+///
+/// # Errors
+///
+/// Any structural problem yields a [`SnapshotCodecError`].
+pub(crate) fn decode_diff_payload(mut buf: &[u8]) -> Result<Vec<StreamDiff>, SnapshotCodecError> {
+    if buf.len() < DIFF_MAGIC.len() || &buf[..DIFF_MAGIC.len()] != DIFF_MAGIC {
+        return Err(SnapshotCodecError::BadMagic);
+    }
+    buf.advance(DIFF_MAGIC.len());
+    let n = get_varint(&mut buf)? as usize;
+    // Each entry is ≥ 18 encoded bytes (key + 10 varints + flags).
+    if buf.remaining() < n.saturating_mul(18) {
+        return Err(SnapshotCodecError::Truncated);
+    }
+    let mut diffs = Vec::with_capacity(n);
+    let mut prev: Option<u64> = None;
+    for _ in 0..n {
+        let d = get_diff_entry(&mut buf)?;
+        if prev.is_some_and(|p| d.key <= p) {
+            return Err(SnapshotCodecError::Corrupt("diff keys not ascending"));
+        }
+        prev = Some(d.key);
+        diffs.push(d);
+    }
+    if !buf.is_empty() {
+        return Err(SnapshotCodecError::Corrupt("trailing bytes after diffs"));
+    }
+    Ok(diffs)
+}
+
+/// Exact encoded size of one diff entry — what the collector weighs
+/// against [`encoded_entry_len`] when choosing diff-vs-full per key.
+pub(crate) fn encoded_diff_len(d: &StreamDiff) -> usize {
+    let (off, kept, insp) = d.sampler_delta;
+    let fp = &d.base;
+    let mut n = 8
+        + varint_len(off)
+        + varint_len(kept)
+        + varint_len(insp)
+        + varint_len(fp.moments_count)
+        + varint_len(fp.reservoir_seen)
+        + varint_len(fp.reservoir_len)
+        + varint_len(fp.cascade_count)
+        + varint_len(fp.cascade_levels)
+        + varint_len(fp.tail_total)
+        + 1;
+    let p = &d.patch;
+    if p.moments.is_some() {
+        n += 40;
+    }
+    if let Some(c) = &p.hurst {
+        n += varint_len(c.count_delta)
+            + varint_len(c.new_levels as u64)
+            + varint_len(c.changed.len() as u64);
+        for (idx, _, carry) in &c.changed {
+            n += varint_len(*idx as u64) + 40 + 1 + carry.map_or(0, |_| 8);
+        }
+    }
+    if let Some(r) = &p.reservoir {
+        n += varint_len(r.seen_delta)
+            + varint_len(r.new_len as u64)
+            + varint_len(r.slots.len() as u64);
+        for &(idx, _) in &r.slots {
+            n += varint_len(idx as u64) + 8;
+        }
+    }
+    if let Some((deltas, total)) = &p.tail {
+        n += varint_len(deltas.len() as u64) + varint_len(*total);
+        for &c in deltas {
+            n += varint_len(c);
+        }
+    }
+    n
+}
+
+/// Exact encoded size of one cumulative stream entry inside a v1
+/// snapshot payload (key + sampler + summary).
+pub(crate) fn encoded_entry_len(e: &StreamEntry) -> usize {
+    let s = &e.summary;
+    let (_, _, partial) = s.hurst.raw_parts();
+    let cascade = 16 + s.hurst.level_count() * 41 + partial.iter().flatten().count() * 8;
+    let reservoir = 32 + 8 * s.reservoir.items.len();
+    let (thresholds, _, _) = s.tail.raw_parts();
+    let tail = 16 + 16 * thresholds.len();
+    8 + 24 + 40 + cascade + reservoir + tail
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,5 +945,79 @@ mod tests {
         let merged = a.merge(engine.snapshot());
         let back = decode_snapshot(&encode_snapshot(&merged)).expect("decode");
         assert_eq!(merged, back);
+    }
+
+    /// The diffs between two growth stages of `sample_snapshot`'s
+    /// engine — one per stream, all sections exercised.
+    fn sample_diffs() -> Vec<StreamDiff> {
+        let mk = |n: u64| {
+            let mut engine = MonitorEngine::new(
+                MonitorConfig::default()
+                    .sampler(SamplerSpec::Systematic { interval: 2 })
+                    .seed(5),
+            );
+            for i in 0..n {
+                let key = i % 23;
+                let v = if (i / 41) % 9 == 0 { 150.0 } else { 2.0 };
+                engine.offer(key, v);
+            }
+            engine.snapshot().into_streams()
+        };
+        let base = mk(25_000);
+        let new = mk(30_000);
+        base.iter()
+            .zip(&new)
+            .map(|(b, n)| crate::diff::diff_entry(b, n).expect("grown entries diff"))
+            .collect()
+    }
+
+    #[test]
+    fn diff_payload_round_trips_bit_exact() {
+        let diffs = sample_diffs();
+        assert!(!diffs.is_empty());
+        let encoded = encode_diff_payload(&diffs);
+        assert_eq!(decode_diff_payload(&encoded).expect("decode"), diffs);
+        // The empty payload round-trips too.
+        let empty = encode_diff_payload(&[]);
+        assert_eq!(decode_diff_payload(&empty).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn encoded_diff_len_is_exact() {
+        let diffs = sample_diffs();
+        let encoded = encode_diff_payload(&diffs);
+        let predicted: usize = DIFF_MAGIC.len()
+            + varint_len(diffs.len() as u64)
+            + diffs.iter().map(encoded_diff_len).sum::<usize>();
+        assert_eq!(encoded.len(), predicted);
+    }
+
+    #[test]
+    fn diff_payload_truncation_rejected_at_every_cut() {
+        let encoded = encode_diff_payload(&sample_diffs());
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_diff_payload(&encoded[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn diff_payload_trailing_garbage_rejected() {
+        let mut raw = encode_diff_payload(&sample_diffs()).to_vec();
+        raw.push(0);
+        assert!(decode_diff_payload(&raw).is_err());
+    }
+
+    #[test]
+    fn diff_payload_keys_must_ascend() {
+        let mut diffs = sample_diffs();
+        diffs.swap(0, 1);
+        let encoded = encode_diff_payload(&diffs);
+        assert!(matches!(
+            decode_diff_payload(&encoded),
+            Err(SnapshotCodecError::Corrupt(_))
+        ));
     }
 }

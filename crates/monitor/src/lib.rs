@@ -108,6 +108,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod diff;
 pub mod engine;
 pub mod fault;
 pub mod ingest;
@@ -120,6 +121,7 @@ pub mod transport;
 pub mod wire;
 
 pub use codec::{decode_snapshot, encode_snapshot, SnapshotCodecError};
+pub use diff::{apply_diff, diff_entry, BaseFingerprint, StreamDiff};
 pub use engine::{EngineSnapshot, MonitorConfig, MonitorEngine, SamplerSpec, StreamEntry};
 pub use fault::{FaultPlan, FaultyLink};
 pub use lifecycle::{LifecycleConfig, LifecycleStats};
@@ -133,4 +135,7 @@ pub use transport::{
     BackendKind, EventLoopServer, MultiLoopServer, ServeOptions, ServeReport, SessionStats,
     SessionStream,
 };
-pub use wire::{decode_frames, encode_frame, Frame, FrameDecoder, WireError, WIRE_VERSION};
+pub use wire::{
+    decode_frames, encode_frame, Frame, FrameDecoder, WireError, WIRE_VERSION,
+    WIRE_VERSION_SEQUENCED,
+};

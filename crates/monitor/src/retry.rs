@@ -212,6 +212,13 @@ impl<F: FnMut() -> io::Result<SessionStream>> SequencedSender<F> {
         self.reconnects
     }
 
+    /// `Resync` re-baselines served so far (each one re-sent the
+    /// unacked evicted tail plus a full snapshot — and, past a couple,
+    /// disabled differential frames for the session).
+    pub fn resyncs(&self) -> u32 {
+        self.collector.resyncs()
+    }
+
     /// Records a connection failure: drops the connection, consumes a
     /// retry (or propagates `e` when the budget is spent), sleeps the
     /// backoff delay.

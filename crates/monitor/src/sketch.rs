@@ -160,10 +160,26 @@ impl SketchTier {
     }
 
     /// Whether the arriving point for an *unadmitted* `key` should
-    /// trigger promotion (its count-min estimate plus this point
-    /// reaches the threshold).
+    /// trigger promotion. Two independent signals must agree:
+    ///
+    /// * the count-min estimate (plus this point) reaches the
+    ///   threshold — never under-counts, but hash collisions
+    ///   over-count, and
+    /// * the SpaceSaving candidate list's *guaranteed* count for the
+    ///   key (count minus overestimation error, plus this point) also
+    ///   reaches it — a key that truly recurs occupies a slot with low
+    ///   error, while a one-shot key riding a count-min collision
+    ///   either holds no slot or carries error ≈ count.
+    ///
+    /// The conjunction keeps count-min's no-false-negative promotion
+    /// latency for genuinely hot keys while filtering the collision
+    /// promotions that waste exact-tier slots (and force demotions).
     pub(crate) fn would_promote(&self, key: u64) -> bool {
-        self.max_exact > 0 && self.cm.estimate(key).saturating_add(1) >= self.promote_after
+        if self.max_exact == 0 || self.cm.estimate(key).saturating_add(1) < self.promote_after {
+            return false;
+        }
+        let (count, err) = self.heavy.candidate(key).unwrap_or((0, 0));
+        count.saturating_sub(err).saturating_add(1) >= self.promote_after
     }
 
     /// Absorbs one sketched point: exact counters, aggregate summary,

@@ -16,7 +16,7 @@
 
 use rand::Rng;
 use sst_core::summary::{Compactable, MergeableSummary};
-use sst_hurst::online::OnlineVarianceTime;
+use sst_hurst::online::{CascadePatch, OnlineVarianceTime};
 use sst_stats::rng::{derive_seed, rng_from_seed};
 use sst_stats::RunningStats;
 
@@ -187,6 +187,78 @@ impl ReservoirSnapshot {
         24 + 24 + 8 * self.items.capacity()
     }
 
+    /// The slot-level patch taking `base` to `self`, or `None` when
+    /// the pair is not successive snapshots of one reservoir (identity
+    /// — cap or seed — changed, or the sample shrank under
+    /// compaction): ship the full reservoir instead. Slot values
+    /// travel verbatim, compared at the bit level, so applying the
+    /// patch to `base` reproduces `self` exactly. In steady state
+    /// (reservoir full, few new points) at most one slot per
+    /// replacement draw changes, so the patch is tiny next to `cap`
+    /// retained items.
+    pub fn diff_from(&self, base: &ReservoirSnapshot) -> Option<ReservoirPatch> {
+        if self.cap != base.cap
+            || self.seed != base.seed
+            || self.seen < base.seen
+            || self.items.len() < base.items.len()
+        {
+            return None;
+        }
+        let mut slots = Vec::new();
+        for (i, v) in self.items.iter().enumerate() {
+            let same = base
+                .items
+                .get(i)
+                .is_some_and(|b| b.to_bits() == v.to_bits());
+            if !same {
+                slots.push((i, *v));
+            }
+        }
+        Some(ReservoirPatch {
+            seen_delta: self.seen - base.seen,
+            new_len: self.items.len(),
+            slots,
+        })
+    }
+
+    /// Applies a [`ReservoirSnapshot::diff_from`] patch. Returns
+    /// `false` — leaving the snapshot untouched — when the patch is
+    /// inconsistent with this state (sample would shrink or exceed
+    /// `cap`, appended slots not covered, indices unsorted, counter
+    /// overflow, or `len > seen` afterwards); the receiver's baseline
+    /// is then lost and it should resync.
+    pub fn apply_patch(&mut self, p: &ReservoirPatch) -> bool {
+        if p.new_len < self.items.len() || p.new_len > self.cap {
+            return false;
+        }
+        let Some(seen) = self.seen.checked_add(p.seen_delta) else {
+            return false;
+        };
+        if p.new_len as u64 > seen {
+            return false;
+        }
+        let mut prev: Option<usize> = None;
+        for &(i, _) in &p.slots {
+            if i >= p.new_len || prev.is_some_and(|q| i <= q) {
+                return false;
+            }
+            prev = Some(i);
+        }
+        // Every appended slot must carry a value — a gap would
+        // fabricate filler the sender never had.
+        for i in self.items.len()..p.new_len {
+            if p.slots.binary_search_by_key(&i, |&(j, _)| j).is_err() {
+                return false;
+            }
+        }
+        self.items.resize(p.new_len, 0.0);
+        for &(i, v) in &p.slots {
+            self.items[i] = v;
+        }
+        self.seen = seen;
+        true
+    }
+
     /// Merges `other` (a reservoir over a disjoint stream) into `self`:
     /// a weighted sample of the union, each retained item standing for
     /// `seen/len` originals (Efraimidis-Spirakis keys, largest-key
@@ -232,6 +304,21 @@ impl ReservoirSnapshot {
         self.seed = derive_seed(self.seed, other.seed);
         self.seen += other.seen;
     }
+}
+
+/// A differential update taking an older [`ReservoirSnapshot`] to a
+/// newer one: only the inserted/replaced slots since the baseline,
+/// keyed by slot index, plus the monotone `seen` delta.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReservoirPatch {
+    /// `new.seen − base.seen`.
+    pub seen_delta: u64,
+    /// Retained-sample length of the new state (never shrinks in a
+    /// diffable pair).
+    pub new_len: usize,
+    /// Changed slots as `(index, value)`, strictly ascending by index;
+    /// values verbatim.
+    pub slots: Vec<(usize, f64)>,
 }
 
 /// Exceedance counters over a fixed ascending threshold ladder — the
@@ -327,6 +414,51 @@ impl TailCounter {
             counts,
             total,
         }
+    }
+
+    /// The `(per-rung count deltas, total delta)` taking `base` to
+    /// `self`, or `None` when the ladders differ (bit-compared — these
+    /// are successive snapshots of one counter or nothing) or any
+    /// counter moved backwards. Counters are monotone integers, so
+    /// `base + delta` reproduces `self` exactly.
+    pub fn diff_from(&self, base: &TailCounter) -> Option<(Vec<u64>, u64)> {
+        if self.thresholds.len() != base.thresholds.len()
+            || !self
+                .thresholds
+                .iter()
+                .zip(&base.thresholds)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        {
+            return None;
+        }
+        let total = self.total.checked_sub(base.total)?;
+        let mut deltas = Vec::with_capacity(self.counts.len());
+        for (c, b) in self.counts.iter().zip(&base.counts) {
+            deltas.push(c.checked_sub(*b)?);
+        }
+        Some((deltas, total))
+    }
+
+    /// Advances the counters by a [`TailCounter::diff_from`] delta.
+    /// Returns `false` — leaving the counter untouched — on rung-count
+    /// mismatch, overflow, or a rung count exceeding the new total.
+    pub fn apply_deltas(&mut self, deltas: &[u64], total_delta: u64) -> bool {
+        if deltas.len() != self.counts.len() {
+            return false;
+        }
+        let Some(total) = self.total.checked_add(total_delta) else {
+            return false;
+        };
+        let mut counts = Vec::with_capacity(self.counts.len());
+        for (c, d) in self.counts.iter().zip(deltas) {
+            match c.checked_add(*d) {
+                Some(n) if n <= total => counts.push(n),
+                _ => return false,
+            }
+        }
+        self.counts = counts;
+        self.total = total;
+        true
     }
 
     fn merge_from(&mut self, other: &TailCounter) {
@@ -461,6 +593,49 @@ pub struct SummarySnapshot {
     pub tail: TailCounter,
 }
 
+/// A differential update taking an older [`SummarySnapshot`] of a
+/// stream to a newer one — the per-section payload of a wire-v4
+/// `DeltaDiff` entry. Each section is `None` when unchanged; changed
+/// floats ship verbatim (bit-compared, never delta-encoded), monotone
+/// integer counters ship as deltas, so applying the patch to the
+/// baseline reproduces the new snapshot **bit-for-bit**.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SummaryPatch {
+    /// Replacement Welford moments, when they changed (40 B verbatim —
+    /// a single kept point rewrites most of the raw parts anyway).
+    pub moments: Option<RunningStats>,
+    /// Cascade level increments.
+    pub hurst: Option<CascadePatch>,
+    /// Inserted/replaced reservoir slots.
+    pub reservoir: Option<ReservoirPatch>,
+    /// Tail-ladder `(per-rung count deltas, total delta)`.
+    pub tail: Option<(Vec<u64>, u64)>,
+}
+
+impl SummaryPatch {
+    /// `true` when every section is unchanged (the stream saw no kept
+    /// points since the baseline — possible for a dirty key whose
+    /// sampler skipped everything).
+    pub fn is_empty(&self) -> bool {
+        self.moments.is_none()
+            && self.hurst.is_none()
+            && self.reservoir.is_none()
+            && self.tail.is_none()
+    }
+}
+
+/// Bit-level image of Welford moments, for exact change detection.
+fn moments_bits(rs: &RunningStats) -> (u64, u64, u64, u64, u64) {
+    let (n, mean, m2, min, max) = rs.raw_parts();
+    (
+        n,
+        mean.to_bits(),
+        m2.to_bits(),
+        min.to_bits(),
+        max.to_bits(),
+    )
+}
+
 impl SummarySnapshot {
     /// The online Hurst estimate from the (possibly merged) dyadic
     /// block statistics.
@@ -471,6 +646,64 @@ impl SummarySnapshot {
     /// Sum of kept values (`count · mean`) — the heavy-hitter volume.
     pub fn kept_volume(&self) -> f64 {
         self.moments.count() as f64 * self.moments.mean()
+    }
+
+    /// The patch taking `base` to `self`, or `None` when any section
+    /// is not diffable (reservoir identity changed, cascade or sample
+    /// shrank, ladder changed — ship the full entry instead).
+    pub fn diff_from(&self, base: &SummarySnapshot) -> Option<SummaryPatch> {
+        let moments =
+            (moments_bits(&self.moments) != moments_bits(&base.moments)).then_some(self.moments);
+        let hurst = {
+            let p = self.hurst.diff_from(&base.hurst)?;
+            let unchanged = p.count_delta == 0
+                && p.changed.is_empty()
+                && p.new_levels == base.hurst.level_count();
+            (!unchanged).then_some(p)
+        };
+        let reservoir = {
+            let p = self.reservoir.diff_from(&base.reservoir)?;
+            let unchanged =
+                p.seen_delta == 0 && p.slots.is_empty() && p.new_len == base.reservoir.items.len();
+            (!unchanged).then_some(p)
+        };
+        let tail = {
+            let (deltas, total) = self.tail.diff_from(&base.tail)?;
+            (total != 0 || deltas.iter().any(|&d| d != 0)).then_some((deltas, total))
+        };
+        Some(SummaryPatch {
+            moments,
+            hurst,
+            reservoir,
+            tail,
+        })
+    }
+
+    /// Applies a [`SummarySnapshot::diff_from`] patch. Returns `false`
+    /// when any section fails validation against this state — the
+    /// snapshot may then be **partially updated** and must be treated
+    /// as lost (the wire layer answers with a resync that re-baselines
+    /// it wholesale).
+    pub fn apply_patch(&mut self, p: &SummaryPatch) -> bool {
+        if let Some(m) = p.moments {
+            self.moments = m;
+        }
+        if let Some(h) = &p.hurst {
+            if !self.hurst.apply_patch(h) {
+                return false;
+            }
+        }
+        if let Some(r) = &p.reservoir {
+            if !self.reservoir.apply_patch(r) {
+                return false;
+            }
+        }
+        if let Some((deltas, total)) = &p.tail {
+            if !self.tail.apply_deltas(deltas, *total) {
+                return false;
+            }
+        }
+        true
     }
 }
 

@@ -34,6 +34,8 @@
 //! The `topology_wire` integration tests pin this bit-for-bit over both
 //! in-memory pipes and Unix sockets.
 
+use crate::codec::{encoded_diff_len, encoded_entry_len};
+use crate::diff::{apply_diff, diff_entry, StreamDiff};
 use crate::engine::{EngineSnapshot, MonitorConfig, MonitorEngine, StreamEntry};
 use crate::sketch::SketchSnapshot;
 use crate::wire::{
@@ -68,6 +70,21 @@ struct SeqState {
     /// A `Bye` has been sealed; a resync must re-seal it after the
     /// re-baseline frames.
     bye_sealed: bool,
+    /// Last cumulative entry shipped per live key — what the
+    /// aggregator's live view holds under the seq watermark, and the
+    /// base every wire-v4 `DeltaDiff` is computed against. Rebuilt
+    /// from the `FullSnapshot` on resync; evicted keys drop out.
+    baseline: BTreeMap<u64, StreamEntry>,
+    /// `Resync` round-trips served this session. Each one says the
+    /// aggregator's live view diverged from `baseline` (lost frames, a
+    /// restart, or server-side compaction rewriting entries under us).
+    resyncs: u32,
+    /// Ship differential frames where they are smaller. Auto-cleared
+    /// past [`RESYNC_DIFF_LIMIT`]: against a peer that keeps diverging
+    /// (e.g. an aggregator compacting its live entries), diffs only
+    /// buy resync storms — cumulative `Delta`s are then strictly
+    /// better.
+    diff_enabled: bool,
 }
 
 impl SeqState {
@@ -78,6 +95,9 @@ impl SeqState {
             window: VecDeque::new(),
             evicted_log: Vec::new(),
             bye_sealed: false,
+            baseline: BTreeMap::new(),
+            resyncs: 0,
+            diff_enabled: true,
         }
     }
 
@@ -111,6 +131,15 @@ pub struct Collector {
 /// (`Evicted`).
 const TARGET_FRAME_BYTES: usize = 16 << 20;
 
+/// Resyncs a sequenced session tolerates before concluding the peer
+/// can't hold its baseline (most likely a server-side `compact_budget`
+/// rewriting live entries between flushes) and dropping back to
+/// cumulative `Delta` frames for the rest of the session. One resync
+/// is normal after a fault or aggregator restart; repeated ones mean
+/// every differential flush costs a full re-baseline — strictly worse
+/// than never diffing.
+const RESYNC_DIFF_LIMIT: u32 = 2;
+
 /// Splits `entries` at [`TARGET_FRAME_BYTES`] boundaries (estimated
 /// entry footprint; always at least one entry per chunk).
 fn frame_chunks(entries: &[StreamEntry]) -> impl Iterator<Item = &[StreamEntry]> {
@@ -123,6 +152,29 @@ fn frame_chunks(entries: &[StreamEntry]) -> impl Iterator<Item = &[StreamEntry]>
         let mut n = 0usize;
         for e in rest {
             bytes += 64 + e.summary.estimated_bytes();
+            if n > 0 && bytes > TARGET_FRAME_BYTES {
+                break;
+            }
+            n += 1;
+        }
+        let (chunk, tail) = rest.split_at(n);
+        rest = tail;
+        Some(chunk)
+    })
+}
+
+/// Splits `diffs` at [`TARGET_FRAME_BYTES`] boundaries of exact
+/// encoded size (always at least one diff per chunk).
+fn diff_chunks(diffs: &[StreamDiff]) -> impl Iterator<Item = &[StreamDiff]> {
+    let mut rest = diffs;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        let mut bytes = 0usize;
+        let mut n = 0usize;
+        for d in rest {
+            bytes += encoded_diff_len(d);
             if n > 0 && bytes > TARGET_FRAME_BYTES {
                 break;
             }
@@ -178,6 +230,36 @@ impl Collector {
     /// `true` when this collector speaks the sequenced (v3) protocol.
     pub fn is_sequenced(&self) -> bool {
         self.seq.is_some()
+    }
+
+    /// Enables or disables differential (`DeltaDiff`, wire v4) frames
+    /// on a sequenced collector; on by default. Diffing trades memory
+    /// for bytes: the collector keeps a baseline copy of every live
+    /// entry it shipped (roughly doubling its summary memory) to ship
+    /// only the parts that moved — ~10× fewer steady-state bytes for
+    /// slowly-changing streams. Disable it for memory-bound collectors
+    /// or peers known to compact live entries server-side.
+    ///
+    /// # Panics
+    ///
+    /// On an unsequenced collector — differential frames need the seq
+    /// watermark and resync path.
+    pub fn diff_frames(mut self, enabled: bool) -> Self {
+        let st = self.seq.as_mut().expect("sequenced collector");
+        st.diff_enabled = enabled;
+        if !enabled {
+            st.baseline.clear();
+        }
+        self
+    }
+
+    /// `Resync` round-trips this sequenced collector has served.
+    ///
+    /// # Panics
+    ///
+    /// On an unsequenced collector.
+    pub fn resyncs(&self) -> u32 {
+        self.seq.as_ref().expect("sequenced collector").resyncs
     }
 
     /// The collector id (sent in `Hello`).
@@ -289,9 +371,19 @@ impl Collector {
     /// Seals everything pending into the replay window as sequenced
     /// frames: `Evicted` frames for streams retired since the last
     /// seal (each final also tagged into the eviction log), then
-    /// `Delta` frames for the dirty keys. Nothing is written — a
-    /// transport writer ships [`Collector::unsent_window`] and trims
-    /// it via [`Collector::ack`].
+    /// `DeltaDiff` frames for dirty keys whose differential encoding
+    /// beats the cumulative one, then `Delta` frames for the rest.
+    /// Nothing is written — a transport writer ships
+    /// [`Collector::unsent_window`] and trims it via
+    /// [`Collector::ack`].
+    ///
+    /// A dirty entry ships as a diff only when all of: diffing is
+    /// enabled ([`Collector::diff_frames`]), a baseline for the key
+    /// exists (it was shipped before and not evicted since), the pair
+    /// is structurally diffable (counters only grew, reservoir/cascade
+    /// never shrank), and the encoded diff is strictly smaller than
+    /// the encoded cumulative entry. Anything else falls back to the
+    /// cumulative `Delta` path — correctness never depends on diffing.
     ///
     /// # Panics
     ///
@@ -299,6 +391,15 @@ impl Collector {
     pub fn seal_flush(&mut self) {
         self.pending_evicted.extend(self.engine.drain_evicted());
         let evicted = std::mem::take(&mut self.pending_evicted);
+        // An evicted key's baseline is gone on both sides: the
+        // aggregator drops it from the live view, so a reappearing key
+        // must re-ship cumulatively.
+        {
+            let st = self.seq.as_mut().expect("sequenced collector");
+            for e in &evicted {
+                st.baseline.remove(&e.key);
+            }
+        }
         for chunk in frame_chunks(&evicted) {
             let frame = Frame::Evicted(chunk.to_vec());
             let st = self.seq.as_mut().expect("sequenced collector");
@@ -307,10 +408,39 @@ impl Collector {
                 .extend(chunk.iter().map(|e| (seq, e.clone())));
         }
         let entries = self.engine.entries_for(self.dirty.iter().copied());
+        // Partition dirty entries: diff where the differential encoding
+        // wins, cumulative otherwise. Either way the new entry becomes
+        // the key's baseline for the next flush.
+        let mut diffs: Vec<StreamDiff> = Vec::new();
+        let mut full: Vec<StreamEntry> = Vec::new();
+        {
+            let st = self.seq.as_mut().expect("sequenced collector");
+            for e in &entries {
+                let diff = if st.diff_enabled {
+                    st.baseline
+                        .get(&e.key)
+                        .and_then(|base| diff_entry(base, e))
+                        .filter(|d| encoded_diff_len(d) < encoded_entry_len(e))
+                } else {
+                    None
+                };
+                match diff {
+                    Some(d) => diffs.push(d),
+                    None => full.push(e.clone()),
+                }
+                if st.diff_enabled {
+                    st.baseline.insert(e.key, e.clone());
+                }
+            }
+        }
+        for chunk in diff_chunks(&diffs) {
+            self.seq_mut().seal(&Frame::DeltaDiff(chunk.to_vec()));
+        }
         // As in `flush`: the cumulative sketch image rides the last
-        // sealed Delta (or an empty one when nothing is dirty).
+        // sealed Delta (or an empty one when nothing ships cumulative)
+        // — never a DeltaDiff, whose payload is per-stream only.
         let mut sketch = self.engine.sketch_snapshot();
-        let chunks: Vec<&[StreamEntry]> = frame_chunks(&entries).collect();
+        let chunks: Vec<&[StreamEntry]> = frame_chunks(&full).collect();
         let last = chunks.len().saturating_sub(1);
         for (i, chunk) in chunks.iter().enumerate() {
             let mut snap = EngineSnapshot::from_streams(chunk.to_vec());
@@ -418,10 +548,24 @@ impl Collector {
             st.evicted_log
                 .extend(chunk.iter().map(|e| (seq, e.clone())));
         }
-        let baseline = Frame::FullSnapshot(self.engine.snapshot());
+        let snap = self.engine.snapshot();
         self.dirty.clear();
         let st = self.seq_mut();
-        st.seal(&baseline);
+        // The FullSnapshot re-baselines both sides at once: the
+        // aggregator's live view becomes exactly these entries, so
+        // they are what future diffs must be computed against. Repeated
+        // resyncs mean the peer can't hold a baseline (most likely
+        // server-side compaction) — give up on diffing for the session.
+        st.resyncs += 1;
+        if st.resyncs > RESYNC_DIFF_LIMIT {
+            st.diff_enabled = false;
+        }
+        st.baseline.clear();
+        if st.diff_enabled {
+            st.baseline
+                .extend(snap.streams().iter().map(|e| (e.key, e.clone())));
+        }
+        st.seal(&Frame::FullSnapshot(snap));
         if st.bye_sealed {
             st.seal(&Frame::Bye);
         }
@@ -654,7 +798,10 @@ impl Aggregator {
             return Ok(SeqOutcome::Applied);
         }
         // Data frame: sequence bookkeeping before any state change.
-        if state.sequenced {
+        // The watermark advances only *after* the frame applies — a
+        // differential frame that fails validation must not count as
+        // applied, or the resync would skip it.
+        let advance = if state.sequenced {
             let seq = seq.ok_or(WireError::Corrupt(
                 "unsequenced data frame in a sequenced session",
             ))?;
@@ -669,12 +816,15 @@ impl Aggregator {
                 state.awaiting_resync = true;
                 return Ok(SeqOutcome::NeedResync { from_seq: expected });
             }
-            state.last_seq = Some(seq);
-        } else if seq.is_some() {
-            return Err(WireError::Corrupt(
-                "sequenced data frame without a sequenced hello",
-            ));
-        }
+            Some(seq)
+        } else {
+            if seq.is_some() {
+                return Err(WireError::Corrupt(
+                    "sequenced data frame without a sequenced hello",
+                ));
+            }
+            None
+        };
         match frame {
             Frame::Hello { .. } | Frame::Ack { .. } | Frame::Resync { .. } | Frame::Shutdown => {
                 unreachable!("handled above")
@@ -759,7 +909,40 @@ impl Aggregator {
                     }
                 }
             }
+            Frame::DeltaDiff(diffs) => {
+                let Some(seq) = advance else {
+                    return Err(WireError::Corrupt(
+                        "differential frame in an unsequenced session",
+                    ));
+                };
+                // Diffs apply in-place against the live view. Any
+                // failure — unknown key, baseline fingerprint mismatch
+                // (e.g. our compact_budget rewrote the entry), or a
+                // structurally invalid patch — turns into a resync at
+                // this frame's seq: the watermark has not advanced, so
+                // the collector re-baselines from here. A frame that
+                // fails partway may leave earlier entries updated;
+                // that's fine, the resync's FullSnapshot replaces the
+                // live view wholesale.
+                for d in &diffs {
+                    let applied = state
+                        .live
+                        .get_mut(&d.key)
+                        .is_some_and(|e| apply_diff(e, d).is_ok());
+                    if !applied {
+                        state.awaiting_resync = true;
+                        return Ok(SeqOutcome::NeedResync { from_seq: seq });
+                    }
+                    if let Some(b) = self.compact_budget {
+                        let e = state.live.get_mut(&d.key).expect("applied above");
+                        e.summary.compact(b);
+                    }
+                }
+            }
             Frame::Bye => state.done = true,
+        }
+        if let Some(seq) = advance {
+            state.last_seq = Some(seq);
         }
         Ok(SeqOutcome::Applied)
     }
@@ -1149,6 +1332,14 @@ pub struct SessionDriver {
     /// Highest seq already queued in an `Ack`, so acks fire once per
     /// advance, not once per pushed chunk.
     acked_through: Option<u64>,
+    /// Wire bytes (header + payload) received in differential
+    /// (`DeltaDiff`) frames.
+    diff_bytes: u64,
+    /// Wire bytes received in cumulative data frames (`Delta`,
+    /// `FullSnapshot`, `Evicted`).
+    full_bytes: u64,
+    /// `Resync` requests this session has issued.
+    resyncs: u64,
 }
 
 impl SessionDriver {
@@ -1164,6 +1355,9 @@ impl SessionDriver {
             sequenced: false,
             outbound: Vec::new(),
             acked_through: None,
+            diff_bytes: 0,
+            full_bytes: 0,
+            resyncs: 0,
         }
     }
 
@@ -1263,6 +1457,22 @@ impl SessionDriver {
         self.frames
     }
 
+    /// Wire bytes received in differential (`DeltaDiff`) frames.
+    pub fn diff_bytes(&self) -> u64 {
+        self.diff_bytes
+    }
+
+    /// Wire bytes received in cumulative data frames (`Delta`,
+    /// `FullSnapshot`, `Evicted`).
+    pub fn full_bytes(&self) -> u64 {
+        self.full_bytes
+    }
+
+    /// `Resync` requests this session has issued back to its peer.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
     /// The session's established id (`Hello`'s collector id, or the
     /// fallback once a Hello-less data frame arrived).
     pub fn session_id(&self) -> Option<u64> {
@@ -1302,6 +1512,14 @@ impl SessionDriver {
     ) -> Result<(), SessionError> {
         while let Some(sf) = self.dec.next_seq_frame().map_err(SessionError::Wire)? {
             let frame = sf.frame;
+            let wire_bytes = self.dec.last_frame_bytes() as u64;
+            match &frame {
+                Frame::DeltaDiff(_) => self.diff_bytes += wire_bytes,
+                Frame::Delta(_) | Frame::FullSnapshot(_) | Frame::Evicted(_) => {
+                    self.full_bytes += wire_bytes;
+                }
+                _ => {}
+            }
             let id = match (&frame, self.session) {
                 (Frame::Hello { collector_id, .. }, _) => {
                     self.session = Some(*collector_id);
@@ -1331,6 +1549,7 @@ impl SessionDriver {
                 .map_err(SessionError::Wire)?
             {
                 SeqOutcome::NeedResync { from_seq } => {
+                    self.resyncs += 1;
                     self.outbound
                         .extend_from_slice(&encode_frame(&Frame::Resync { from_seq }));
                 }

@@ -714,6 +714,13 @@ pub struct SessionStats {
     pub bytes: u64,
     /// Frames the session delivered.
     pub frames: usize,
+    /// Wire bytes delivered in differential (`DeltaDiff`) frames.
+    pub diff_bytes: u64,
+    /// Wire bytes delivered in cumulative data frames (`Delta`,
+    /// `FullSnapshot`, `Evicted`).
+    pub full_bytes: u64,
+    /// `Resync` requests the serve side issued to this session.
+    pub resyncs: u64,
     /// Which serve loop pumped it (always `0` single-loop).
     pub worker: usize,
 }
@@ -1288,6 +1295,9 @@ impl EventLoopServer {
                         session: session.driver.session_id(),
                         bytes: session.bytes,
                         frames: session.driver.frames_delivered(),
+                        diff_bytes: session.driver.diff_bytes(),
+                        full_bytes: session.driver.full_bytes(),
+                        resyncs: session.driver.resyncs(),
                         worker: self.worker,
                     });
                     if let Some(sh) = &self.shared {

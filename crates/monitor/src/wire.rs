@@ -1,22 +1,23 @@
 //! Transport layer: a versioned, length-prefixed frame protocol for
 //! collector ⇄ aggregator streams, generalizing the v1 snapshot codec.
 //!
-//! ## Frame format (protocol v2 and v3)
+//! ## Frame format (protocols v2–v4)
 //!
 //! ```text
 //! frame   := magic "SSWF" | version u8 | kind u8 | len u32le | payload[len]
 //! ```
 //!
-//! | kind | frame          | v2 payload                                  | v3 payload |
+//! | kind | frame          | v2 payload                                  | v3+ payload |
 //! |-----:|----------------|---------------------------------------------|------------|
 //! | 0    | `Hello`        | protocol u8, collector id u64le              | + mode u8, first_seq u64le |
 //! | 1    | `FullSnapshot` | v1 snapshot bytes (`SSMON1…`) — all live     | seq u64le, then as v2 |
 //! | 2    | `Delta`        | v1 snapshot bytes — changed streams, cumulative | seq u64le, then as v2 |
 //! | 3    | `Evicted`      | v1 snapshot bytes — final entries of retired streams | seq u64le, then as v2 |
 //! | 4    | `Bye`          | empty                                        | seq u64le |
-//! | 5    | `Ack`          | — (v3 only)                                  | through_seq u64le |
-//! | 6    | `Resync`       | — (v3 only)                                  | from_seq u64le |
-//! | 7    | `Shutdown`     | — (v3 only)                                  | empty |
+//! | 5    | `Ack`          | — (v3+ only)                                 | through_seq u64le |
+//! | 6    | `Resync`       | — (v3+ only)                                 | from_seq u64le |
+//! | 7    | `Shutdown`     | — (v3+ only)                                 | empty |
+//! | 8    | `DeltaDiff`    | — (v4 only)                                  | seq u64le, `SSDF…` diff payload |
 //!
 //! Version 2 is the original **one-way** framed protocol. Version 3
 //! makes sessions **sequenced and acknowledged**: every
@@ -28,9 +29,14 @@
 //! drop them from its replay window), `Resync` (the aggregator is
 //! missing frames from `from_seq` on and wants a full-snapshot
 //! re-baseline), and `Shutdown` (graceful drain on serve teardown).
-//! Both versions decode through the same [`FrameDecoder`]; `Hello`
-//! negotiation picks the highest common version, so a v2 peer is
-//! accepted verbatim by a v3 aggregator.
+//! Version 4 adds the `DeltaDiff` frame: per-stream **differential**
+//! payloads ([`crate::diff::StreamDiff`]) applied against the
+//! receiver's live view under the seq watermark, with `Resync` as the
+//! recovery path whenever a patch fails validation — the steady-state
+//! bytes win the ROADMAP's delta-diff item calls for. Every version
+//! decodes through the same [`FrameDecoder`]; `Hello` negotiation
+//! picks the highest common version, so v2 and v3 peers are accepted
+//! verbatim by a v4 aggregator.
 //!
 //! Snapshot-bearing payloads reuse [`crate::codec`] verbatim, so a
 //! frame round-trip is exactly as lossless as the snapshot codec
@@ -58,7 +64,10 @@
 //! proptest drives random byte mutations through both decoders and
 //! both protocol versions.
 
-use crate::codec::{decode_snapshot, encode_snapshot, SnapshotCodecError};
+use crate::codec::{
+    decode_diff_payload, decode_snapshot, encode_diff_payload, encode_snapshot, SnapshotCodecError,
+};
+use crate::diff::StreamDiff;
 use crate::engine::{EngineSnapshot, StreamEntry};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -67,9 +76,17 @@ use std::io::{Read, Write};
 /// Magic bytes opening every framed (v2/v3) frame.
 pub const FRAME_MAGIC: &[u8; 4] = b"SSWF";
 
-/// Current wire protocol version: sequenced, acknowledged sessions.
-/// (v1 is the bare snapshot codec, v2 the one-way framed protocol.)
-pub const WIRE_VERSION: u8 = 3;
+/// Current wire protocol version: sequenced, acknowledged sessions
+/// with differential (`DeltaDiff`) data frames. (v1 is the bare
+/// snapshot codec, v2 the one-way framed protocol, v3 sequenced
+/// sessions without diffs.)
+pub const WIRE_VERSION: u8 = 4;
+
+/// The first sequenced protocol version: any frame tagged at or above
+/// this carries the v3 session machinery (data seqs, resume-mode
+/// `Hello`s, control frames). v3 streams — what every pre-diff sender
+/// emits — decode unchanged.
+pub const WIRE_VERSION_SEQUENCED: u8 = 3;
 
 /// The one-way framed protocol version — still fully accepted; what
 /// unsequenced senders (pipes, `.ssm` frame files) emit.
@@ -91,6 +108,7 @@ const KIND_BYE: u8 = 4;
 const KIND_ACK: u8 = 5;
 const KIND_RESYNC: u8 = 6;
 const KIND_SHUTDOWN: u8 = 7;
+const KIND_DELTA_DIFF: u8 = 8;
 
 /// Wire decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -202,6 +220,13 @@ pub enum Frame {
     /// Final snapshots of evicted streams (receiver retires those
     /// keys; successive finals for a reappearing key merge).
     Evicted(Vec<StreamEntry>),
+    /// Per-stream differential payloads (v4, sequenced only): each
+    /// diff advances the receiver's live entry for its key from the
+    /// acked baseline — bit-exactly — or fails validation, turning
+    /// into a `Resync` re-baseline. Never merged, never applied out of
+    /// order: the seq watermark makes redelivery idempotent
+    /// (duplicates skip) and gaps explicit.
+    DeltaDiff(Vec<StreamDiff>),
     /// Clean end of a collector session.
     Bye,
     /// Aggregator → collector: every frame through `through_seq` is
@@ -229,6 +254,7 @@ impl Frame {
             Frame::FullSnapshot(_) => "FullSnapshot",
             Frame::Delta(_) => "Delta",
             Frame::Evicted(_) => "Evicted",
+            Frame::DeltaDiff(_) => "DeltaDiff",
             Frame::Bye => "Bye",
             Frame::Ack { .. } => "Ack",
             Frame::Resync { .. } => "Resync",
@@ -300,6 +326,9 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             KIND_EVICTED,
             encode_snapshot(&EngineSnapshot::from_streams(entries.clone())),
         ),
+        Frame::DeltaDiff(_) => {
+            panic!("DeltaDiff frames are sequenced; use encode_frame_seq")
+        }
         Frame::Bye => (WIRE_VERSION_FRAMED, KIND_BYE, Bytes::new()),
         Frame::Ack { through_seq } => (
             WIRE_VERSION,
@@ -317,7 +346,8 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
 }
 
 /// Serializes one **data** frame (`FullSnapshot`, `Delta`, `Evicted`,
-/// `Bye`) at protocol v3 with the given sequence number.
+/// `DeltaDiff`, `Bye`) at the current protocol version with the given
+/// sequence number.
 ///
 /// # Panics
 ///
@@ -332,6 +362,7 @@ pub fn encode_frame_seq(seq: u64, frame: &Frame) -> Bytes {
             KIND_EVICTED,
             encode_snapshot(&EngineSnapshot::from_streams(entries.clone())),
         ),
+        Frame::DeltaDiff(diffs) => (KIND_DELTA_DIFF, encode_diff_payload(diffs)),
         Frame::Bye => (KIND_BYE, Bytes::new()),
         other => panic!("{} frames do not carry a data seq", other.kind_name()),
     };
@@ -368,21 +399,25 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
 }
 
 fn decode_payload(version: u8, kind: u8, payload: &[u8]) -> Result<SeqFrame, WireError> {
-    let sequenced = version >= WIRE_VERSION;
-    // v3 data frames open with their seq; everything else carries none.
-    let (seq, payload) =
-        if sequenced && matches!(kind, KIND_FULL | KIND_DELTA | KIND_EVICTED | KIND_BYE) {
-            if payload.len() < 8 {
-                return Err(WireError::Corrupt("missing data seq"));
-            }
-            let (s, rest) = payload.split_at(8);
-            (
-                Some(u64::from_le_bytes(s.try_into().expect("8 bytes"))),
-                rest,
-            )
-        } else {
-            (None, payload)
-        };
+    let sequenced = version >= WIRE_VERSION_SEQUENCED;
+    // Sequenced data frames open with their seq; everything else
+    // carries none.
+    let (seq, payload) = if sequenced
+        && matches!(
+            kind,
+            KIND_FULL | KIND_DELTA | KIND_EVICTED | KIND_BYE | KIND_DELTA_DIFF
+        ) {
+        if payload.len() < 8 {
+            return Err(WireError::Corrupt("missing data seq"));
+        }
+        let (s, rest) = payload.split_at(8);
+        (
+            Some(u64::from_le_bytes(s.try_into().expect("8 bytes"))),
+            rest,
+        )
+    } else {
+        (None, payload)
+    };
     let frame = match kind {
         KIND_HELLO => {
             let want = if sequenced { 18 } else { 9 };
@@ -413,6 +448,12 @@ fn decode_payload(version: u8, kind: u8, payload: &[u8]) -> Result<SeqFrame, Wir
         KIND_FULL => Frame::FullSnapshot(decode_snapshot(payload)?),
         KIND_DELTA => Frame::Delta(decode_snapshot(payload)?),
         KIND_EVICTED => Frame::Evicted(decode_snapshot(payload)?.into_streams()),
+        KIND_DELTA_DIFF => {
+            if version < WIRE_VERSION {
+                return Err(WireError::Corrupt("differential frame below protocol v4"));
+            }
+            Frame::DeltaDiff(decode_diff_payload(payload)?)
+        }
         KIND_BYE => {
             if !payload.is_empty() {
                 return Err(WireError::Corrupt("bye payload not empty"));
@@ -470,6 +511,9 @@ pub struct FrameDecoder {
     /// The transport reported end-of-input ([`FrameDecoder::finish`]):
     /// attempt the legacy decode regardless of the retry threshold.
     eof: bool,
+    /// On-the-wire size (header + payload) of the last frame returned
+    /// by [`FrameDecoder::next_seq_frame`], for byte accounting.
+    last_frame_bytes: usize,
 }
 
 impl FrameDecoder {
@@ -495,6 +539,14 @@ impl FrameDecoder {
     /// Bytes buffered but not yet consumed by a completed frame.
     pub fn pending_bytes(&self) -> usize {
         self.buf.len()
+    }
+
+    /// On-the-wire size (header + payload) of the most recent frame
+    /// returned by [`FrameDecoder::next_frame`] /
+    /// [`FrameDecoder::next_seq_frame`]; 0 before the first frame.
+    /// Lets receivers attribute transport bytes to frame kinds.
+    pub fn last_frame_bytes(&self) -> usize {
+        self.last_frame_bytes
     }
 
     /// Pops the next completed frame, `Ok(None)` when more bytes are
@@ -559,6 +611,7 @@ impl FrameDecoder {
         }
         match decode_snapshot(&self.buf) {
             Ok(snap) => {
+                self.last_frame_bytes = self.buf.len();
                 self.buf.clear();
                 self.legacy_done = true;
                 Ok(Some(SeqFrame {
@@ -595,6 +648,7 @@ impl FrameDecoder {
         }
         let frame = decode_payload(version, kind, &self.buf[HEADER..HEADER + len])?;
         self.buf.drain(..HEADER + len);
+        self.last_frame_bytes = HEADER + len;
         Ok(Some(frame))
     }
 }

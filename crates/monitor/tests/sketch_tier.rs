@@ -328,9 +328,21 @@ fn tiered_collector_churn_carries_sketch_and_totals() {
     // image is bit-identical through the topology, totals stay exact,
     // and the whole assembled snapshot is byte-identical across the
     // collector's shard counts.
+    // Two alternating hot sets of 24 keys (> 16 exact slots) switching
+    // every 4 000 points, plus a one-shot long tail: the off-duty set
+    // gets demoted while the on-duty set promotes, and both keep
+    // accumulating *guaranteed* SpaceSaving counts while sketched — so
+    // churn stays heavy under the two-signal promotion gate, which a
+    // static hot set no longer triggers (a demoted key's frozen
+    // candidate entry can't instantly re-promote on a bare count-min
+    // estimate).
     let pts: Vec<(u64, f64)> = (0..120_000u64)
         .map(|i| {
-            let key = if i % 3 == 0 { i } else { i % 24 };
+            let key = if i % 3 == 0 {
+                1_000_000 + i
+            } else {
+                24 * ((i / 4_000) % 2) + i % 24
+            };
             (key, (i % 19) as f64 + 1.0)
         })
         .collect();

@@ -624,6 +624,14 @@ fn faulted_scenario(tag: &str, n: u64, points: &[(u64, f64)], mut server: Serve,
         encode_snapshot(&reference.snapshot()),
         "{tag}: byte-identical to the unsharded run despite injected faults"
     );
+    // ISSUE 9: second-and-later flushes ride differential frames, and
+    // the injected faults (which force resyncs and re-baselines) must
+    // not cost that — nor, per the asserts above, bit-exactness.
+    let diff_bytes: u64 = rep.sessions.iter().map(|s| s.diff_bytes).sum();
+    assert!(
+        diff_bytes > 0,
+        "{tag}: faulted sessions must still deliver differential frames"
+    );
 }
 
 #[test]

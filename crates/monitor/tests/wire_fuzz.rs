@@ -5,10 +5,13 @@
 //! incremental decoders.
 
 use proptest::prelude::*;
+use sst_monitor::topology::SeqOutcome;
 use sst_monitor::{
-    decode_frames, decode_snapshot, encode_frame, encode_snapshot, Frame, FrameDecoder,
-    MonitorConfig, MonitorEngine, SamplerSpec, WIRE_VERSION,
+    decode_frames, decode_snapshot, diff_entry, encode_frame, encode_snapshot, Aggregator,
+    EngineSnapshot, Frame, FrameDecoder, MonitorConfig, MonitorEngine, SamplerSpec, StreamDiff,
+    WIRE_VERSION,
 };
+use std::sync::OnceLock;
 
 /// [`valid_stream`] plus the byte offsets at which a truncation still
 /// leaves a whole (shorter) frame stream: 0 and every frame end.
@@ -145,6 +148,58 @@ fn valid_sequenced_stream(first_seq: u64) -> Vec<u8> {
     bytes
 }
 
+/// Two growth stages of one engine plus the per-stream diffs between
+/// them — the ingredients of a differential (v4) session. Cached:
+/// proptest runs hundreds of cases.
+fn diff_fixture() -> &'static (EngineSnapshot, EngineSnapshot, Vec<StreamDiff>) {
+    static FIXTURE: OnceLock<(EngineSnapshot, EngineSnapshot, Vec<StreamDiff>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mk = |n: u64| {
+            let mut engine = MonitorEngine::new(
+                MonitorConfig::default()
+                    .sampler(SamplerSpec::Systematic { interval: 3 })
+                    .seed(19),
+            );
+            for i in 0..n {
+                engine.offer(i % 17, ((i % 41) as f64) - 20.0);
+            }
+            engine.snapshot()
+        };
+        let base = mk(8_000);
+        let grown = mk(10_000);
+        let diffs = base
+            .streams()
+            .iter()
+            .zip(grown.streams())
+            .map(|(b, n)| diff_entry(b, n).expect("grown entries diff"))
+            .collect();
+        (base, grown, diffs)
+    })
+}
+
+/// A representative *differential* (v4) stream: resume Hello, a
+/// sequenced FullSnapshot baseline, a `DeltaDiff`, `Bye`.
+fn valid_diff_stream(first_seq: u64) -> Vec<u8> {
+    use sst_monitor::wire::{encode_frame_seq, HelloResume};
+    let (base, _, diffs) = diff_fixture();
+    let mut bytes = encode_frame(&Frame::Hello {
+        protocol: WIRE_VERSION,
+        collector_id: 29,
+        resume: Some(HelloResume::Fresh { first_seq }),
+    })
+    .to_vec();
+    bytes.extend_from_slice(&encode_frame_seq(
+        first_seq,
+        &Frame::FullSnapshot(base.clone()),
+    ));
+    bytes.extend_from_slice(&encode_frame_seq(
+        first_seq + 1,
+        &Frame::DeltaDiff(diffs.clone()),
+    ));
+    bytes.extend_from_slice(&encode_frame_seq(first_seq + 2, &Frame::Bye));
+    bytes
+}
+
 /// Decoding must return — Ok or Err, never panic, never hang.
 fn decode_every_way(bytes: &[u8]) {
     let _ = decode_frames(bytes);
@@ -264,7 +319,7 @@ proptest! {
 
     #[test]
     fn declared_length_overflows_are_rejected_not_allocated(
-        kind in 0u8..=7u8,
+        kind in 0u8..=8u8,
         len in (1u32 << 28)..=u32::MAX,
     ) {
         // A hostile header declaring a huge payload must fail fast
@@ -319,5 +374,87 @@ proptest! {
             .chain([None, None, None])
             .collect();
         prop_assert_eq!(seqs, expected);
+    }
+
+    #[test]
+    fn mutated_diff_streams_never_panic(
+        first_seq in 0u64..1_000,
+        muts in proptest::collection::vec((0usize..1_000_000, 0u8..=255u8), 1..12),
+    ) {
+        let mut bytes = valid_diff_stream(first_seq);
+        for &(pos, val) in &muts {
+            let i = pos % bytes.len();
+            bytes[i] = val;
+        }
+        decode_every_way(&bytes);
+    }
+
+    #[test]
+    fn truncated_diff_streams_never_panic(
+        first_seq in 0u64..1_000,
+        cut in 0usize..1_000_000,
+    ) {
+        let bytes = valid_diff_stream(first_seq);
+        let cut = cut % (bytes.len() + 1);
+        decode_every_way(&bytes[..cut]);
+    }
+
+    #[test]
+    fn structurally_corrupt_patches_demand_resync_not_wrong_bytes(
+        entry in 0usize..1_000,
+        field in 0u8..8u8,
+        bump in 1u64..1_000_000,
+    ) {
+        // Whichever guarded integer a corruption lands on — a baseline
+        // fingerprint field, a sampler counter delta, a structural
+        // length — the aggregator must answer `NeedResync` and latch
+        // the session as awaiting resync, never apply the patch. The
+        // part-written live view must not advance either: even a valid
+        // redelivery of the same seq is ignored until the resync hello.
+        let (base, _, diffs) = diff_fixture();
+        let entry = entry % diffs.len();
+        let mut bad = diffs.clone();
+        let d = &mut bad[entry];
+        match field {
+            0 => d.base.moments_count = d.base.moments_count.wrapping_add(bump),
+            1 => d.base.reservoir_seen = d.base.reservoir_seen.wrapping_add(bump),
+            2 => d.base.reservoir_len = d.base.reservoir_len.wrapping_add(bump),
+            3 => d.base.cascade_count = d.base.cascade_count.wrapping_add(bump),
+            4 => d.base.cascade_levels = d.base.cascade_levels.wrapping_add(bump),
+            5 => d.base.tail_total = d.base.tail_total.wrapping_add(bump),
+            // A kept-count delta outrunning offered breaks the sampler
+            // invariant kept ≤ inspected ≤ offered.
+            6 => d.sampler_delta.1 = d.sampler_delta.1.saturating_add(1_000_000 + bump),
+            _ => {
+                if let Some(p) = d.patch.reservoir.as_mut() {
+                    p.new_len = p.new_len.saturating_add(100_000 + bump as usize);
+                } else {
+                    d.base.reservoir_seen = d.base.reservoir_seen.wrapping_add(bump);
+                }
+            }
+        }
+        let mut agg = Aggregator::new();
+        agg.feed_seq(
+            7,
+            None,
+            Frame::Hello {
+                protocol: WIRE_VERSION,
+                collector_id: 7,
+                resume: Some(sst_monitor::wire::HelloResume::Fresh { first_seq: 0 }),
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            agg.feed_seq(7, Some(0), Frame::FullSnapshot(base.clone())).unwrap(),
+            SeqOutcome::Applied
+        );
+        prop_assert_eq!(
+            agg.feed_seq(7, Some(1), Frame::DeltaDiff(bad)).unwrap(),
+            SeqOutcome::NeedResync { from_seq: 1 }
+        );
+        prop_assert_eq!(
+            agg.feed_seq(7, Some(1), Frame::DeltaDiff(diffs.clone())).unwrap(),
+            SeqOutcome::Ignored
+        );
     }
 }

@@ -1,0 +1,45 @@
+// Seeded violations for the sst-analyze golden test — one per rule.
+// This file lives under `fixtures/`, so the workspace walk skips it;
+// the golden test lints it explicitly under the path
+// `crates/monitor/src/codec.rs`, where the whole file is declared
+// untrusted-decode surface and wire length math.
+//
+// The next comment is a deliberately malformed pragma (unknown rule):
+// sst-analyze: allow(no-such-rule) reason="golden pragma-syntax seed"
+
+fn decode_entry(buf: &[u8]) -> u32 {
+    let first = buf.first().unwrap();
+    let second = buf.get(1).expect("second byte");
+    if buf.len() < 8 {
+        panic!("short entry");
+    }
+    let third = buf[2];
+    let n = get_u64_le(buf) as usize;
+    let len = buf.len() as u32;
+    u32::from(*first) + u32::from(*second) + u32::from(third) + len + u32::try_from(n).unwrap_or(0)
+}
+
+fn lock_things(m: &std::sync::Mutex<u32>, c: &std::sync::atomic::AtomicU64) -> u32 {
+    let g = m.lock().unwrap();
+    c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    *g
+}
+
+fn not_in_sys(p: *const u8) -> u8 {
+    unsafe { p.read() }
+}
+
+fn get_u64_le(_buf: &[u8]) -> u64 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics in test context are never findings.
+    #[test]
+    fn hidden() {
+        let v: Option<u8> = None;
+        let _ = v.unwrap();
+        panic!("fine here");
+    }
+}

@@ -1,0 +1,131 @@
+//! The committed findings baseline: grandfathered violations the
+//! `--deny` gate tolerates, one fingerprint per line.
+//!
+//! Contract (enforced by `scripts/analyze.sh` in CI): the baseline
+//! **only ever shrinks**. A finding not in the baseline is *new* and
+//! fails `--deny`; a baseline line no longer matched by any finding is
+//! *stale* and fails `--fail-stale` — fix-and-forget entries must be
+//! pruned, so the file monotonically approaches empty.
+//!
+//! Format: `#`-comments and blank lines are ignored; every other line
+//! is a verbatim finding fingerprint (`rule:path:what#occurrence`,
+//! content-addressed — see `rules::number_fingerprints` — so entries
+//! survive unrelated edits that shift line numbers).
+
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// A parsed baseline file.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: BTreeSet<String>,
+}
+
+/// Result of diffing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff<'a> {
+    /// Findings whose fingerprint the baseline does not carry.
+    pub new: Vec<&'a Finding>,
+    /// Findings grandfathered by the baseline.
+    pub known: Vec<&'a Finding>,
+    /// Baseline fingerprints no current finding matches.
+    pub stale: Vec<String>,
+}
+
+impl Baseline {
+    /// Parses baseline text (comments/blank lines skipped).
+    pub fn parse(text: &str) -> Baseline {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Baseline { entries }
+    }
+
+    /// Number of grandfathered fingerprints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Splits `findings` into new/known and reports stale entries.
+    pub fn diff<'a>(&self, findings: &'a [Finding]) -> BaselineDiff<'a> {
+        let mut diff = BaselineDiff::default();
+        let mut matched: BTreeSet<&str> = BTreeSet::new();
+        for f in findings {
+            if self.entries.contains(&f.fingerprint) {
+                matched.insert(f.fingerprint.as_str());
+                diff.known.push(f);
+            } else {
+                diff.new.push(f);
+            }
+        }
+        diff.stale = self
+            .entries
+            .iter()
+            .filter(|e| !matched.contains(e.as_str()))
+            .cloned()
+            .collect();
+        diff
+    }
+
+    /// Renders the baseline a `--write-baseline` run would commit for
+    /// `findings`: every current fingerprint, sorted, with a header.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# sst-analyze findings baseline — grandfathered violations.\n\
+             # This file may only shrink: new findings must be fixed or\n\
+             # pragma-allowed, and fixed entries must be pruned\n\
+             # (enforced by scripts/analyze.sh --deny --fail-stale).\n",
+        );
+        let mut prints: Vec<&str> = findings.iter().map(|f| f.fingerprint.as_str()).collect();
+        prints.sort_unstable();
+        for p in prints {
+            out.push_str(p);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(fp: &str) -> Finding {
+        Finding {
+            rule: "lock-discipline",
+            path: "p.rs".into(),
+            line: 1,
+            what: "w".into(),
+            fingerprint: fp.into(),
+        }
+    }
+
+    #[test]
+    fn diff_partitions_new_known_stale() {
+        let b = Baseline::parse("# header\n\na:p.rs:w#0\na:p.rs:w#1\n");
+        let findings = vec![finding("a:p.rs:w#0"), finding("b:p.rs:w#0")];
+        let d = b.diff(&findings);
+        assert_eq!(d.known.len(), 1);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].fingerprint, "b:p.rs:w#0");
+        assert_eq!(d.stale, vec!["a:p.rs:w#1".to_string()]);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let findings = vec![finding("z:1"), finding("a:2")];
+        let text = Baseline::render(&findings);
+        let b = Baseline::parse(&text);
+        assert_eq!(b.len(), 2);
+        assert!(b.diff(&findings).new.is_empty());
+        assert!(b.diff(&findings).stale.is_empty());
+    }
+}

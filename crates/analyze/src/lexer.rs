@@ -1,0 +1,663 @@
+//! A small, panic-free Rust lexer — just enough structure for the
+//! lint rules.
+//!
+//! The lexer's one job is to separate **code tokens** from everything
+//! that merely *looks* like code: string/char/byte literals (including
+//! raw strings with arbitrary `#` fences), line comments, and (nested)
+//! block comments. A `panic!` inside a doc comment or a `"unwrap()"`
+//! inside a test-vector string must never reach the rule engine.
+//!
+//! On top of the flat token stream, [`lex`] runs a light structural
+//! pass that annotates every token with its enclosing context:
+//!
+//! * the `mod` path (so `unsafe-audit` can allowlist `sys` modules),
+//! * the named-`fn` stack (so surface rules can scope to decode fns),
+//! * whether the token is **test code** — under a `#[cfg(test)]`
+//!   attribute's item or inside a `mod tests { .. }` block,
+//! * whether the token sits inside an attribute (`#[...]`), so the
+//!   slice-index heuristic does not fire on `#[derive(..)]` brackets.
+//!
+//! The lexer is intentionally forgiving: malformed input (unterminated
+//! literals, stray quotes, byte soup) lexes to *something* without
+//! panicking — the proptest suite pins that property.
+
+use std::rc::Rc;
+
+/// What a code token is. Literal contents are deliberately dropped:
+/// the rules only ever look at identifiers and punctuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `unsafe`, …).
+    Ident(String),
+    /// One punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+    /// A lifetime (`'a`, `'static`); rules ignore these.
+    Lifetime,
+    /// A numeric literal (`42`, `0x10`, `1.0e-9`).
+    Num,
+    /// A string / raw string / byte-string literal.
+    Str,
+    /// A char or byte literal.
+    Char,
+}
+
+/// Context shared by a run of tokens: the enclosing modules and named
+/// functions, plus whether this is test code.
+#[derive(Debug, Default)]
+pub struct Ctx {
+    /// Names of enclosing `mod` blocks, outermost first.
+    pub mods: Vec<String>,
+    /// Names of enclosing `fn` items, outermost first.
+    pub fns: Vec<String>,
+    /// Inside `#[cfg(test)]` items, `mod tests`, or an all-test file.
+    pub test: bool,
+}
+
+impl Ctx {
+    /// Whether any enclosing module has the given name.
+    pub fn in_mod(&self, name: &str) -> bool {
+        self.mods.iter().any(|m| m == name)
+    }
+
+    /// Innermost enclosing function name, if any.
+    pub fn fn_name(&self) -> Option<&str> {
+        self.fns.last().map(String::as_str)
+    }
+}
+
+/// One code token with its line and structural context.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// Enclosing mods/fns/test-ness (shared between adjacent tokens).
+    pub ctx: Rc<Ctx>,
+    /// Inside an outer attribute `#[...]` (or inner `#![...]`).
+    pub attr: bool,
+}
+
+/// One comment (line or block), kept for `// SAFETY:` association and
+/// `// sst-analyze: allow(...)` pragma parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: code tokens (with context) plus comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Flat scan: raw tokens + comments, no structure yet.
+struct RawLexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    toks: Vec<(TokKind, u32)>,
+    comments: Vec<Comment>,
+}
+
+impl RawLexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                'r' if self.raw_string_ahead(1) => self.raw_string(1),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal();
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime();
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => self.raw_string(2),
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier `r#fn`: skip the fence, lex the ident.
+                    self.bump();
+                    self.bump();
+                    self.ident();
+                }
+                '\'' => self.char_or_lifetime(),
+                c if is_ident_start(c) => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                c => {
+                    let line = self.line;
+                    self.bump();
+                    self.toks.push((TokKind::Punct(c), line));
+                }
+            }
+        }
+    }
+
+    /// Is `r`(+`#`*)`"` starting at offset `at` (relative to `self.i`)?
+    fn raw_string_ahead(&self, at: usize) -> bool {
+        let mut k = at;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.i;
+        let mut depth = 1usize;
+        let mut end = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                end = self.i;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        if depth != 0 {
+            end = self.i; // unterminated: comment runs to EOF
+        }
+        let text: String = self.chars[start..end].iter().collect();
+        self.comments.push(Comment { text, line });
+    }
+
+    /// A `"`-delimited (possibly byte-) string, with `\` escapes.
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.toks.push((TokKind::Str, line));
+    }
+
+    /// `r"…"` / `r##"…"##` (and `br` variants): `fence_at` is the
+    /// offset of the first `#`-or-quote after the prefix letters.
+    fn raw_string(&mut self, fence_at: usize) {
+        let line = self.line;
+        for _ in 0..fence_at {
+            self.bump(); // `r` or `br`
+        }
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A quote closes only when followed by `fence` hashes.
+                for k in 0..fence {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..fence {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.toks.push((TokKind::Str, line));
+    }
+
+    /// `'x'` / `'\n'` char literal, or a lifetime `'a` (no closing
+    /// quote). Distinguished by lookahead: an identifier char directly
+    /// after the quote that is *not* itself followed by `'` is a
+    /// lifetime.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        let lifetime = match next {
+            Some('\\') => false,
+            Some(c) if is_ident_start(c) => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        self.bump(); // the quote
+        if lifetime {
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            self.toks.push((TokKind::Lifetime, line));
+            return;
+        }
+        // Char literal: consume up to the closing quote, honoring
+        // escapes; bound the scan so broken input cannot run away.
+        let mut consumed = 0;
+        while let Some(c) = self.bump() {
+            consumed += 1;
+            match c {
+                '\\' => {
+                    self.bump();
+                    consumed += 1;
+                }
+                '\'' => break,
+                _ if consumed > 12 => break, // not a real char literal
+                _ => {}
+            }
+        }
+        self.toks.push((TokKind::Char, line));
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.toks.push((TokKind::Ident(text), line));
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` does not.
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && self
+                    .chars
+                    .get(self.i.wrapping_sub(1))
+                    .is_some_and(|&p| p == 'e' || p == 'E')
+            {
+                // Exponent sign: `1e-9`.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.toks.push((TokKind::Num, line));
+    }
+}
+
+/// One entry of the structural block stack.
+enum Block {
+    Mod,
+    Fn,
+    Other,
+}
+
+/// Lexes `src` and annotates tokens with structural context.
+///
+/// `all_test` marks every token as test code regardless of structure —
+/// used for files under `tests/`, `benches/`, and `examples/`
+/// directories, which are test code without any `#[cfg(test)]`.
+pub fn lex(src: &str, all_test: bool) -> Lexed {
+    let mut raw = RawLexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        toks: Vec::new(),
+        comments: Vec::new(),
+    };
+    raw.run();
+    let raw_toks = raw.toks;
+    let comments = raw.comments;
+
+    let mut tokens = Vec::with_capacity(raw_toks.len());
+    let mut ctx = Rc::new(Ctx {
+        mods: Vec::new(),
+        fns: Vec::new(),
+        test: all_test,
+    });
+    // Block stack mirroring `{` depth, remembering what each `{` opened.
+    let mut blocks: Vec<Block> = Vec::new();
+    // Depth (in `blocks`) below which everything is test code: the
+    // shallowest open test block, if any.
+    let mut test_depth: Option<usize> = None;
+    // A `#[cfg(test)]` attribute was seen and its item has not started
+    // its block yet (`None` = no pending marker).
+    let mut pending_cfg_test = false;
+    // Pending named item openers, waiting for their `{`.
+    let mut pending_open: Option<(Block, Option<String>, bool)> = None;
+
+    let mut i = 0usize;
+    while i < raw_toks.len() {
+        let (kind, line) = &raw_toks[i];
+
+        // Attributes: `#[...]` and `#![...]` — emit their tokens marked
+        // `attr`, note whether this is `cfg(test)`-ish.
+        if matches!(kind, TokKind::Punct('#')) {
+            let mut j = i + 1;
+            if matches!(raw_toks.get(j).map(|t| &t.0), Some(TokKind::Punct('!'))) {
+                j += 1;
+            }
+            if matches!(raw_toks.get(j).map(|t| &t.0), Some(TokKind::Punct('['))) {
+                // Balanced attribute span.
+                let mut depth = 0usize;
+                let mut end = j;
+                let mut saw_cfg = false;
+                let mut saw_test = false;
+                while end < raw_toks.len() {
+                    match &raw_toks[end].0 {
+                        TokKind::Punct('[') => depth += 1,
+                        TokKind::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokKind::Ident(s) if s == "cfg" => saw_cfg = true,
+                        TokKind::Ident(s) if s == "test" => saw_test = true,
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                if saw_cfg && saw_test {
+                    pending_cfg_test = true;
+                }
+                for t in &raw_toks[i..=end.min(raw_toks.len() - 1)] {
+                    tokens.push(Token {
+                        kind: t.0.clone(),
+                        line: t.1,
+                        ctx: Rc::clone(&ctx),
+                        attr: true,
+                    });
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+
+        match kind {
+            TokKind::Ident(s) if s == "mod" => {
+                if let Some(TokKind::Ident(name)) = raw_toks.get(i + 1).map(|t| t.0.clone()) {
+                    let test_mod = name == "tests" || pending_cfg_test;
+                    pending_open = Some((Block::Mod, Some(name), test_mod));
+                }
+            }
+            TokKind::Ident(s) if s == "fn" => {
+                if let Some(TokKind::Ident(name)) = raw_toks.get(i + 1).map(|t| t.0.clone()) {
+                    pending_open = Some((Block::Fn, Some(name), pending_cfg_test));
+                }
+            }
+            TokKind::Punct('{') => {
+                let (block, name, test_open) =
+                    pending_open
+                        .take()
+                        .unwrap_or((Block::Other, None, pending_cfg_test));
+                pending_cfg_test = false;
+                let mut next = Ctx {
+                    mods: ctx.mods.clone(),
+                    fns: ctx.fns.clone(),
+                    test: ctx.test,
+                };
+                match (&block, name) {
+                    (Block::Mod, Some(n)) => next.mods.push(n),
+                    (Block::Fn, Some(n)) => next.fns.push(n),
+                    _ => {}
+                }
+                if test_open && test_depth.is_none() {
+                    test_depth = Some(blocks.len());
+                }
+                next.test = all_test || test_depth.is_some();
+                blocks.push(block);
+                ctx = Rc::new(next);
+                // The `{` itself belongs to the block it opens.
+            }
+            TokKind::Punct('}') => {
+                if let Some(block) = blocks.pop() {
+                    if test_depth == Some(blocks.len()) {
+                        test_depth = None;
+                    }
+                    let mut next = Ctx {
+                        mods: ctx.mods.clone(),
+                        fns: ctx.fns.clone(),
+                        test: all_test || test_depth.is_some(),
+                    };
+                    match block {
+                        Block::Mod => {
+                            next.mods.pop();
+                        }
+                        Block::Fn => {
+                            next.fns.pop();
+                        }
+                        Block::Other => {}
+                    }
+                    // Emit the `}` still inside the closing block, then
+                    // switch context.
+                    tokens.push(Token {
+                        kind: kind.clone(),
+                        line: *line,
+                        ctx: Rc::clone(&ctx),
+                        attr: false,
+                    });
+                    ctx = Rc::new(next);
+                    i += 1;
+                    continue;
+                }
+            }
+            TokKind::Punct(';') => {
+                // `#[cfg(test)] use foo;` — a block-less test item ends
+                // at its semicolon, as does a pending `mod foo;`.
+                pending_cfg_test = false;
+                pending_open = None;
+            }
+            _ => {}
+        }
+
+        // A pending `#[cfg(test)]` marks the tokens between the
+        // attribute and the item's block (`fn name`, signature, …).
+        let tok_test = ctx.test || pending_cfg_test;
+        let tok_ctx = if tok_test && !ctx.test {
+            Rc::new(Ctx {
+                mods: ctx.mods.clone(),
+                fns: ctx.fns.clone(),
+                test: true,
+            })
+        } else {
+            Rc::clone(&ctx)
+        };
+        tokens.push(Token {
+            kind: kind.clone(),
+            line: *line,
+            ctx: tok_ctx,
+            attr: false,
+        });
+        i += 1;
+    }
+
+    Lexed { tokens, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<String> {
+        l.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+fn main() {
+    let s = "unwrap() panic! inside a string";
+    let r = r#"expect("x") in a raw string"#;
+    // unwrap() in a line comment
+    /* panic! in a /* nested */ block comment */
+    let c = '\'';
+    real_call();
+}
+"##;
+        let l = lex(src, false);
+        let ids = idents(&l);
+        assert!(ids.contains(&"real_call".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert_eq!(l.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let l = lex(src, false);
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn cfg_test_items_are_test_context() {
+        let src = r#"
+fn prod() { a.unwrap(); }
+#[cfg(test)]
+mod checks {
+    fn t() { b.unwrap(); }
+}
+#[cfg(test)]
+fn lone_test_fn() { c.unwrap(); }
+fn prod2() { d.unwrap(); }
+"#;
+        let l = lex(src, false);
+        let unwraps: Vec<bool> = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.kind, TokKind::Ident(s) if s == "unwrap"))
+            .map(|t| t.ctx.test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn mod_tests_is_test_context_even_without_cfg() {
+        let src = "mod tests { fn t() { x.unwrap(); } } fn p() { y.unwrap(); }";
+        let l = lex(src, false);
+        let unwraps: Vec<bool> = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.kind, TokKind::Ident(s) if s == "unwrap"))
+            .map(|t| t.ctx.test)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn fn_and_mod_context_tracks_nesting() {
+        let src = "mod sys { fn poll_fds() { inner_marker; } } fn outside() { other_marker; }";
+        let l = lex(src, false);
+        let marker = l
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokKind::Ident(s) if s == "inner_marker"))
+            .unwrap();
+        assert!(marker.ctx.in_mod("sys"));
+        assert_eq!(marker.ctx.fn_name(), Some("poll_fds"));
+        let other = l
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokKind::Ident(s) if s == "other_marker"))
+            .unwrap();
+        assert!(!other.ctx.in_mod("sys"));
+        assert_eq!(other.ctx.fn_name(), Some("outside"));
+    }
+
+    #[test]
+    fn attributes_are_marked() {
+        let src = "#[derive(Clone)] struct S { f: [u8; 4] }";
+        let l = lex(src, false);
+        let brackets: Vec<bool> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('['))
+            .map(|t| t.attr)
+            .collect();
+        assert_eq!(brackets, vec![true, false]);
+    }
+
+    #[test]
+    fn byte_soup_is_survivable() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated raw",
+            "'",
+            "b'",
+            "/* unterminated block",
+            "}}}}{{{{",
+            "''''''\"\"\"r####\"x",
+            "1.0e- 'a' r#fn b\"\\\"",
+        ] {
+            let _ = lex(src, false);
+        }
+    }
+}

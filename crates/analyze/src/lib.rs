@@ -1,0 +1,31 @@
+//! `sst-analyze`: the workspace's own static analyzer and bounded
+//! model checker, run in CI as a deny gate.
+//!
+//! Two passes:
+//!
+//! 1. **Lint** ([`rules`]): a hand-rolled Rust lexer ([`lexer`]) feeds
+//!    four invariant rules over the untrusted-decode surface, unsafe
+//!    hygiene, wire length math, and lock discipline. Findings are
+//!    content-addressed and diffed against a committed, only-shrinking
+//!    [`baseline`].
+//! 2. **check-sync** ([`check_sync`]): a preemption-bounded exhaustive
+//!    interleaving explorer run over instrumented [`models`] of the
+//!    workspace's two hand-rolled synchronization protocols (the
+//!    rayon-shim pool's count-then-push/sleep-notify and the
+//!    cross-loop admission registry's claim/park/resume).
+//!
+//! The binary (`cargo run -p sst-analyze`) wires both passes to the
+//! CLI used by `scripts/analyze.sh` and the CI `analyze` job.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod check_sync;
+pub mod lexer;
+pub mod models;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{Baseline, BaselineDiff};
+pub use check_sync::{explore, ExploreOpts, ExploreReport, Model, Violation};
+pub use rules::{lint_source, Finding, RuleConfig};

@@ -1,0 +1,609 @@
+//! Instrumented models of the workspace's two hand-rolled
+//! synchronization protocols, for [`crate::check_sync`].
+//!
+//! These are *models*, not the production code: each mirrors the
+//! protocol's atomic actions step for step (the comments cite the real
+//! source), collapses everything irrelevant to the invariant (task
+//! payloads, deque topology, byte streams), and **omits the timeout
+//! backstops** — the production pool re-checks every 50 ms, so a lost
+//! wakeup there is a stall; here it is a hard deadlock the explorer
+//! reports. A clean exhaustive run therefore proves the protocol never
+//! *needs* its backstop within the explored bounds.
+//!
+//! Both models also ship a deliberately-broken variant (the historical
+//! bug shape) so the test suite can prove the checker actually detects
+//! what it claims to.
+
+use crate::check_sync::{Model, Violation};
+
+// ---------------------------------------------------------------------
+// Model 1: the rayon-shim pool's count-then-push / sleep-notify
+// protocol (crates/shims/rayon/src/lib.rs).
+//
+// Real protocol, per thread:
+//
+//   submitter (run_batch_with_inline):
+//     pending.fetch_add(n)        // count FIRST
+//     for each task: deque.push() // push SECOND
+//     lock(sleep); notify_all(); unlock(sleep)
+//
+//   worker (worker_main / pop_local):
+//     loop {
+//       if deque.pop() succeeded { pending.fetch_sub(1); run task }
+//       else { lock(sleep);
+//              if pending == 0 { cond_wait(work, sleep) }  // atomic release+park
+//              else unlock(sleep); }
+//     }
+//
+// Invariants checked:
+//   * `pending` never underflows (the count-then-push order is load-
+//     bearing: a task must never be popped before it was counted);
+//   * no lost wakeup: with tasks still queued or unexecuted, the
+//     workers cannot all be parked with the submitter finished;
+//   * every task executes exactly once.
+// ---------------------------------------------------------------------
+
+/// The pool protocol model. Thread ids `0..workers` are workers; the
+/// last id is the submitter.
+pub struct PoolModel {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Tasks in the submitted batch.
+    pub tasks: u32,
+    /// Reproduce the pre-PR4 bug: push tasks *before* counting them.
+    pub push_before_count: bool,
+}
+
+impl PoolModel {
+    /// The protocol as shipped.
+    pub fn correct(workers: usize, tasks: u32) -> Self {
+        PoolModel {
+            workers,
+            tasks,
+            push_before_count: false,
+        }
+    }
+
+    /// The broken ordering (push first, count second) the shipped
+    /// comment warns about — the checker must flag it.
+    pub fn broken(workers: usize, tasks: u32) -> Self {
+        PoolModel {
+            workers,
+            tasks,
+            push_before_count: true,
+        }
+    }
+}
+
+/// Worker program counters.
+const W_POP: u8 = 0; // try to pop the queue
+const W_DEC: u8 = 1; // holding a task: decrement `pending`, run it
+const W_LOCK: u8 = 2; // acquire the sleep lock
+const W_CHECK: u8 = 3; // under the lock: re-check `pending`
+const W_WAIT: u8 = 4; // parked in the condvar
+const W_WAKE: u8 = 5; // notified: re-acquire the lock, resume looping
+
+/// Submitter program counters (meaning depends on ordering variant).
+const S_FIRST: u8 = 0;
+
+/// Shared + per-thread state of [`PoolModel`].
+#[derive(Clone)]
+pub struct PoolState {
+    /// The `pending` atomic (i64 so the broken variant can underflow
+    /// observably instead of wrapping).
+    pending: i64,
+    /// Queued tasks across all deques (stealing collapses to one queue
+    /// — placement is irrelevant to the counter/wakeup protocol).
+    queue: u32,
+    /// Tasks executed so far.
+    executed: u32,
+    /// Who holds the sleep mutex.
+    sleep_owner: Option<usize>,
+    /// Workers parked in the condvar (not yet notified).
+    parked: Vec<bool>,
+    /// Per-worker program counters.
+    wpc: Vec<u8>,
+    /// Submitter program counter.
+    spc: u8,
+    /// Tasks the submitter has pushed so far.
+    pushed: u32,
+    /// Whether the submitter has counted the batch yet.
+    counted: bool,
+}
+
+impl Model for PoolModel {
+    type State = PoolState;
+
+    fn name(&self) -> &'static str {
+        if self.push_before_count {
+            "pool-sleep-notify (broken push-before-count)"
+        } else {
+            "pool-sleep-notify"
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.workers + 1
+    }
+
+    fn initial(&self) -> PoolState {
+        PoolState {
+            pending: 0,
+            queue: 0,
+            executed: 0,
+            sleep_owner: None,
+            parked: vec![false; self.workers],
+            wpc: vec![W_POP; self.workers],
+            spc: S_FIRST,
+            pushed: 0,
+            counted: false,
+        }
+    }
+
+    fn finished(&self, s: &PoolState, t: usize) -> bool {
+        if t == self.workers {
+            // Submitter: counted, pushed all, notified (spc 3 = done).
+            return s.spc >= 3;
+        }
+        // Workers loop forever; they never finish, only park.
+        false
+    }
+
+    fn enabled(&self, s: &PoolState, t: usize) -> bool {
+        if t == self.workers {
+            if s.spc >= 3 {
+                return false;
+            }
+            // The notify step needs the sleep lock.
+            if s.spc == 2 {
+                return s.sleep_owner.is_none() || s.sleep_owner == Some(t);
+            }
+            return true;
+        }
+        match s.wpc[t] {
+            W_LOCK | W_WAKE => s.sleep_owner.is_none(),
+            W_WAIT => !s.parked[t], // enabled once notified
+            _ => true,
+        }
+    }
+
+    fn step(&self, s: &mut PoolState, t: usize) -> Result<(), Violation> {
+        if t == self.workers {
+            return self.submitter_step(s, t);
+        }
+        match s.wpc[t] {
+            W_POP => {
+                // pop_local/steal_any: deque lock held for the pop
+                // itself — one atomic step.
+                if s.queue > 0 {
+                    s.queue -= 1;
+                    s.wpc[t] = W_DEC;
+                } else {
+                    s.wpc[t] = W_LOCK;
+                }
+            }
+            W_DEC => {
+                // pending.fetch_sub(1) *after* a successful pop.
+                s.pending -= 1;
+                if s.pending < 0 {
+                    return Err(Violation::new(format!(
+                        "pending underflow: worker {t} decremented to {} — a task \
+                         was popped before it was counted",
+                        s.pending
+                    )));
+                }
+                s.executed += 1;
+                s.wpc[t] = W_POP;
+            }
+            W_LOCK => {
+                // let guard = p.sleep.lock()
+                debug_assert!(s.sleep_owner.is_none());
+                s.sleep_owner = Some(t);
+                s.wpc[t] = W_CHECK;
+            }
+            W_CHECK => {
+                // if pending == 0 { wait } else { drop(guard); rescan }
+                if s.pending == 0 {
+                    // cond wait: atomically release the lock and park.
+                    s.parked[t] = true;
+                    s.sleep_owner = None;
+                    s.wpc[t] = W_WAIT;
+                } else {
+                    s.sleep_owner = None;
+                    s.wpc[t] = W_POP;
+                }
+            }
+            W_WAIT => {
+                // Notified (enabled() gates on !parked): wake needs the
+                // lock back before the wait returns.
+                s.wpc[t] = W_WAKE;
+            }
+            W_WAKE => {
+                debug_assert!(s.sleep_owner.is_none());
+                // Condvar re-acquires the mutex, the worker drops it
+                // and rescans — collapsed to one step (nothing is
+                // checked under the lock on this path).
+                s.wpc[t] = W_POP;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn at_end(&self, _: &PoolState) -> Result<(), Violation> {
+        // Workers never finish, so terminal states don't occur; runs
+        // end in the legal-park deadlock below.
+        Ok(())
+    }
+
+    fn on_deadlock(&self, s: &PoolState) -> Result<(), Violation> {
+        // Every worker parked, submitter done. Legal only when the
+        // batch is fully drained — otherwise a wakeup was lost.
+        if s.executed == self.tasks && s.queue == 0 {
+            Ok(())
+        } else {
+            Err(Violation::new(format!(
+                "lost wakeup: all workers parked with queue={} executed={}/{}",
+                s.queue, s.executed, self.tasks
+            )))
+        }
+    }
+}
+
+impl PoolModel {
+    fn submitter_step(&self, s: &mut PoolState, t: usize) -> Result<(), Violation> {
+        // Correct order: count (spc 0), push… (spc 1), lock+notify
+        // (spc 2). Broken order: push… (spc 0 stays), count, notify.
+        match s.spc {
+            0 => {
+                if self.push_before_count {
+                    // BROKEN: push the whole batch before counting.
+                    if s.pushed < self.tasks {
+                        s.queue += 1;
+                        s.pushed += 1;
+                    } else {
+                        s.pending += i64::from(self.tasks);
+                        s.counted = true;
+                        s.spc = 2;
+                    }
+                } else {
+                    // p.pending.fetch_add(n_tasks) — count FIRST.
+                    s.pending += i64::from(self.tasks);
+                    s.counted = true;
+                    s.spc = 1;
+                }
+            }
+            1 => {
+                // deques[target].push_back(task), one per step.
+                s.queue += 1;
+                s.pushed += 1;
+                if s.pushed == self.tasks {
+                    s.spc = 2;
+                }
+            }
+            2 => {
+                // let _guard = p.sleep.lock(); p.work.notify_all();
+                debug_assert!(s.sleep_owner.is_none() || s.sleep_owner == Some(t));
+                for p in &mut s.parked {
+                    *p = false;
+                }
+                s.spc = 3;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model 2: the cross-loop AdmissionRegistry claim/park/resume protocol
+// (crates/monitor/src/topology.rs).
+//
+// Real protocol: a shared Mutex<BTreeMap<id, IdOwner>> with
+// IdOwner::{Open(token), Suspended(parked), Completed}. Sessions (on
+// any loop) claim ids under the lock: free -> Open, Suspended ->
+// Resumed (parked state handed over), Open(other)/Completed ->
+// Rejected. A failed sequenced session parks its state back
+// (suspend()); a completed session marks Completed.
+//
+// Invariants checked:
+//   * exactly-one-claim: never two sessions holding the same id open;
+//   * parked state is handed to exactly one resumer;
+//   * nothing is granted after the id completed (spoof window);
+//   * at most one session ever completes the id.
+// ---------------------------------------------------------------------
+
+/// Registry entry, mirroring `IdOwner`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Entry {
+    Free,
+    Open(usize),
+    Suspended,
+    Completed,
+}
+
+/// The admission protocol model: `sessions` session threads race to
+/// claim one collector id. Session 0 (when `fail_first`) parks after
+/// claiming — modelling a mid-stream failure — and the remaining
+/// sessions race to resume.
+pub struct AdmissionModel {
+    /// Racing session threads.
+    pub sessions: usize,
+    /// Whether session 0 fails after claiming (parks its state).
+    pub fail_first: bool,
+    /// Reproduce a TOCTOU bug: claim with an unlocked read-then-insert
+    /// instead of one locked step.
+    pub unlocked_claim: bool,
+}
+
+impl AdmissionModel {
+    /// The protocol as shipped.
+    pub fn correct(sessions: usize, fail_first: bool) -> Self {
+        AdmissionModel {
+            sessions,
+            fail_first,
+            unlocked_claim: false,
+        }
+    }
+
+    /// Claim outside the registry lock — the checker must catch the
+    /// double grant.
+    pub fn broken(sessions: usize) -> Self {
+        AdmissionModel {
+            sessions,
+            fail_first: false,
+            unlocked_claim: true,
+        }
+    }
+}
+
+/// Session program counters.
+const A_LOCK: u8 = 0; // acquire the registry lock (or unlocked read)
+const A_CLAIM: u8 = 1; // claim under the lock / unlocked insert
+const A_DELIVER: u8 = 2; // deliver frames
+const A_SETTLE: u8 = 3; // complete (or, for the failing session, park)
+const A_DONE: u8 = 4;
+
+/// Shared + per-thread state of [`AdmissionModel`].
+#[derive(Clone)]
+pub struct AdmissionState {
+    lock_owner: Option<usize>,
+    entry: Entry,
+    /// Sessions currently holding the id open.
+    live: Vec<bool>,
+    /// How many sessions were handed the parked state.
+    resumes_granted: u32,
+    /// Whether the parked state currently exists to hand over.
+    parked_state: bool,
+    /// Sessions that completed delivery of the id.
+    completions: u32,
+    pc: Vec<u8>,
+    /// The entry value an unlocked claimant read (broken variant).
+    seen_free: Vec<bool>,
+}
+
+impl Model for AdmissionModel {
+    type State = AdmissionState;
+
+    fn name(&self) -> &'static str {
+        if self.unlocked_claim {
+            "admission-claim-park-resume (broken unlocked claim)"
+        } else {
+            "admission-claim-park-resume"
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.sessions
+    }
+
+    fn initial(&self) -> AdmissionState {
+        AdmissionState {
+            lock_owner: None,
+            entry: Entry::Free,
+            live: vec![false; self.sessions],
+            resumes_granted: 0,
+            parked_state: false,
+            completions: 0,
+            pc: vec![A_LOCK; self.sessions],
+            seen_free: vec![false; self.sessions],
+        }
+    }
+
+    fn finished(&self, s: &AdmissionState, t: usize) -> bool {
+        s.pc[t] >= A_DONE
+    }
+
+    fn enabled(&self, s: &AdmissionState, t: usize) -> bool {
+        match s.pc[t] {
+            A_DONE => false,
+            // Lock acquisition blocks while held (correct variant).
+            // The broken variant's "lock" step is an unlocked read —
+            // always enabled.
+            A_LOCK => self.unlocked_claim || s.lock_owner.is_none(),
+            // Settle re-takes the lock.
+            A_SETTLE => s.lock_owner.is_none() || s.lock_owner == Some(t),
+            _ => true,
+        }
+    }
+
+    fn step(&self, s: &mut AdmissionState, t: usize) -> Result<(), Violation> {
+        match s.pc[t] {
+            A_LOCK => {
+                if self.unlocked_claim {
+                    // BROKEN: read the map without the lock.
+                    s.seen_free[t] = s.entry == Entry::Free;
+                } else {
+                    debug_assert!(s.lock_owner.is_none());
+                    s.lock_owner = Some(t);
+                }
+                s.pc[t] = A_CLAIM;
+            }
+            A_CLAIM => {
+                let granted = if self.unlocked_claim {
+                    // BROKEN: insert based on the stale read.
+                    if s.seen_free[t] {
+                        s.entry = Entry::Open(t);
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    // AdmissionRegistry::claim, one step under the lock.
+                    let g = match s.entry {
+                        Entry::Free => {
+                            s.entry = Entry::Open(t);
+                            true
+                        }
+                        Entry::Open(owner) => owner == t,
+                        Entry::Completed => false,
+                        Entry::Suspended => {
+                            s.entry = Entry::Open(t);
+                            s.resumes_granted += 1;
+                            if !s.parked_state {
+                                return Err(Violation::new(format!(
+                                    "session {t} resumed an id whose parked state \
+                                     was already handed out"
+                                )));
+                            }
+                            s.parked_state = false;
+                            true
+                        }
+                    };
+                    s.lock_owner = None;
+                    g
+                };
+                if granted {
+                    if s.completions > 0 {
+                        return Err(Violation::new(format!(
+                            "session {t} was granted a claim after the id completed \
+                             — spoof window"
+                        )));
+                    }
+                    s.live[t] = true;
+                    if s.live.iter().filter(|&&l| l).count() > 1 {
+                        return Err(Violation::new(format!(
+                            "exactly-one-claim violated: sessions {:?} all hold the id",
+                            s.live
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &l)| l)
+                                .map(|(i, _)| i)
+                                .collect::<Vec<_>>()
+                        )));
+                    }
+                    s.pc[t] = A_DELIVER;
+                } else {
+                    s.pc[t] = A_DONE;
+                }
+            }
+            A_DELIVER => {
+                // Frames flow (no shared mutation relevant here).
+                s.pc[t] = A_SETTLE;
+            }
+            A_SETTLE => {
+                // Under the lock: park (failing session) or complete.
+                debug_assert!(s.lock_owner.is_none() || s.lock_owner == Some(t));
+                if self.fail_first && t == 0 {
+                    // Aggregator::park_collector + admission.suspend(id)
+                    s.entry = Entry::Suspended;
+                    s.parked_state = true;
+                } else {
+                    // admission.complete([id])
+                    s.entry = Entry::Completed;
+                    s.completions += 1;
+                    if s.completions > 1 {
+                        return Err(Violation::new(
+                            "the id completed twice — two sessions delivered it",
+                        ));
+                    }
+                }
+                s.live[t] = false;
+                s.pc[t] = A_DONE;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn at_end(&self, s: &AdmissionState) -> Result<(), Violation> {
+        if s.live.iter().any(|&l| l) {
+            return Err(Violation::new("a finished session still holds the id"));
+        }
+        if s.resumes_granted > 1 {
+            return Err(Violation::new(format!(
+                "parked state handed out {} times",
+                s.resumes_granted
+            )));
+        }
+        // Every schedule must settle the id one way: completed, or
+        // parked awaiting a resume that no session remains to perform.
+        match s.entry {
+            Entry::Completed | Entry::Suspended => Ok(()),
+            Entry::Free => {
+                if self.sessions == 0 {
+                    Ok(())
+                } else {
+                    Err(Violation::new("no session ever claimed the free id"))
+                }
+            }
+            Entry::Open(o) => Err(Violation::new(format!(
+                "id left open by session {o} after it finished"
+            ))),
+        }
+    }
+
+    fn on_deadlock(&self, _: &AdmissionState) -> Result<(), Violation> {
+        Err(Violation::new(
+            "admission deadlock: a session is blocked forever on the registry lock",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::check_sync::{explore, ExploreOpts};
+
+    use super::*;
+
+    #[test]
+    fn correct_pool_protocol_is_clean() {
+        let r = explore(&PoolModel::correct(2, 2), &ExploreOpts::default());
+        assert!(r.clean(), "{:?}", r.violation);
+        assert!(r.schedules > 100, "explored only {}", r.schedules);
+    }
+
+    #[test]
+    fn push_before_count_underflows_pending() {
+        let r = explore(&PoolModel::broken(2, 2), &ExploreOpts::default());
+        let (v, sched) = r.violation.expect("underflow must be detected");
+        assert!(v.msg.contains("underflow"), "{}", v.msg);
+        assert!(!sched.is_empty());
+    }
+
+    #[test]
+    fn correct_admission_protocol_is_clean() {
+        for fail_first in [false, true] {
+            let r = explore(
+                &AdmissionModel::correct(3, fail_first),
+                &ExploreOpts::default(),
+            );
+            assert!(r.clean(), "fail_first={fail_first}: {:?}", r.violation);
+            assert!(r.schedules > 50, "explored only {}", r.schedules);
+        }
+    }
+
+    #[test]
+    fn unlocked_claim_is_caught() {
+        // The TOCTOU claim breaks more than one invariant depending on
+        // the interleaving; whichever the DFS reaches first, it must
+        // be an illegitimate grant (double grant or grant-after-done).
+        let r = explore(&AdmissionModel::broken(2), &ExploreOpts::default());
+        let (v, _) = r.violation.expect("the race must be detected");
+        assert!(
+            v.msg.contains("exactly-one-claim") || v.msg.contains("granted a claim after"),
+            "{}",
+            v.msg
+        );
+    }
+}

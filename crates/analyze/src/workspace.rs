@@ -1,0 +1,72 @@
+//! Workspace file walk: every `.rs` file under the repo root, except
+//! build output, VCS internals, and the linter's own seeded-violation
+//! fixtures.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// Path segments that mark a file as deliberately violating the rules
+/// (the golden-findings test feeds them to the linter explicitly).
+const SKIP_SEGMENTS: &[&str] = &["fixtures"];
+
+/// One walked source file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// File contents (lossily decoded if not valid UTF-8 — the lexer
+    /// must survive anything anyway).
+    pub source: String,
+}
+
+/// Collects every lintable `.rs` file under `root`, sorted by path.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors (unreadable dirs/files).
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let bytes = fs::read(&path)?;
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push(SourceFile {
+            rel_path: rel,
+            source,
+        });
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs")
+            && !path
+                .components()
+                .any(|c| SKIP_SEGMENTS.contains(&c.as_os_str().to_string_lossy().as_ref()))
+        {
+            files.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Pins on the check-sync pass: the acceptance floor for exploration
+//! breadth, and proof that the checker detects a deliberately broken
+//! protocol (so a clean run means something).
+
+use sst_analyze::check_sync::{explore, ExploreOpts};
+use sst_analyze::models::{AdmissionModel, PoolModel};
+
+#[test]
+fn exploration_meets_the_ten_thousand_schedule_floor() {
+    // Same configuration CI runs: the 2-worker/2-task pool alone must
+    // clear the 10k-distinct-schedules acceptance floor, violation-free.
+    let r = explore(&PoolModel::correct(2, 2), &ExploreOpts::default());
+    assert!(r.clean(), "{:?}", r.violation);
+    assert!(
+        r.schedules >= 10_000,
+        "only {} schedules explored",
+        r.schedules
+    );
+}
+
+#[test]
+fn broken_count_then_push_ordering_is_detected() {
+    // The model with the push-before-count bug (the exact ordering the
+    // shipped pool's comment warns against) must be caught, and caught
+    // as a pending-counter underflow.
+    let r = explore(&PoolModel::broken(2, 2), &ExploreOpts::default());
+    let (v, schedule) = r.violation.expect("the checker must find the bug");
+    assert!(v.msg.contains("underflow"), "{}", v.msg);
+    // The witness schedule is replayable: it must be non-trivial.
+    assert!(schedule.len() >= 2, "{schedule:?}");
+}
+
+#[test]
+fn broken_unlocked_admission_claim_is_detected() {
+    let r = explore(&AdmissionModel::broken(3), &ExploreOpts::default());
+    let (v, _) = r.violation.expect("the checker must find the race");
+    assert!(
+        v.msg.contains("exactly-one-claim") || v.msg.contains("granted a claim after"),
+        "{}",
+        v.msg
+    );
+}
+
+#[test]
+fn park_resume_handoff_is_single_grant() {
+    // With a failing first session, the parked state must reach exactly
+    // one resumer in every interleaving.
+    let r = explore(&AdmissionModel::correct(3, true), &ExploreOpts::default());
+    assert!(r.clean(), "{:?}", r.violation);
+    assert!(r.schedules > 0);
+}
+
+#[test]
+fn preemption_bound_trades_coverage_for_time() {
+    let tight = explore(
+        &PoolModel::correct(2, 2),
+        &ExploreOpts {
+            preemption_bound: 1,
+            ..ExploreOpts::default()
+        },
+    );
+    let wide = explore(&PoolModel::correct(2, 2), &ExploreOpts::default());
+    assert!(tight.clean() && wide.clean());
+    assert!(
+        tight.schedules < wide.schedules,
+        "bound 1: {}, bound 3: {}",
+        tight.schedules,
+        wide.schedules
+    );
+    assert!(tight.preemption_pruned > 0);
+}

@@ -1,0 +1,100 @@
+//! Golden-findings test: the seeded-violation fixture must produce
+//! exactly the expected finding set — every rule catches its seed, no
+//! rule over-fires — when linted under a path where every rule applies.
+
+use sst_analyze::rules::{lint_source, RuleConfig};
+
+const FIXTURE: &str = include_str!("../fixtures/seeded.rs");
+
+/// The path the fixture is linted *as*: whole-file untrusted surface,
+/// wire length math, and monitor lock scope all apply there.
+const AS_PATH: &str = "crates/monitor/src/codec.rs";
+
+#[test]
+fn every_rule_catches_its_seeded_violation() {
+    let findings = lint_source(AS_PATH, FIXTURE, &RuleConfig::workspace());
+    let got: Vec<(&str, &str)> = findings.iter().map(|f| (f.rule, f.what.as_str())).collect();
+    let want: Vec<(&str, &str)> = vec![
+        ("pragma-syntax", "malformed pragma (want `sst-analyze: allow(<rule>) reason=\"...\"`): allow(no-such-rule) reason=\"golden pragma-syntax seed\""),
+        ("no-panic-on-untrusted-input", "unwrap"),
+        ("no-panic-on-untrusted-input", "expect"),
+        ("no-panic-on-untrusted-input", "panic!"),
+        ("no-panic-on-untrusted-input", "slice-index"),
+        ("no-lossy-casts-in-length-math", "as usize (from u64 wire integer)"),
+        ("no-lossy-casts-in-length-math", "as u32"),
+        ("lock-discipline", ".lock().unwrap() — recover poison via PoisonError::into_inner"),
+        ("no-panic-on-untrusted-input", "unwrap"),
+        ("lock-discipline", "Ordering::Relaxed outside the counter allowlist"),
+        ("unsafe-audit", "unsafe block without a `// SAFETY:` comment"),
+        ("unsafe-audit", "unsafe outside a `sys` module"),
+    ];
+    assert_eq!(got, want, "full findings: {findings:#?}");
+}
+
+#[test]
+fn fixture_fingerprints_are_stable_and_line_free() {
+    let cfg = RuleConfig::workspace();
+    let original = lint_source(AS_PATH, FIXTURE, &cfg);
+    // Prepend unrelated lines: every fingerprint must survive even
+    // though every line number changed.
+    let shifted_src = format!("// shift\n// the\n// lines\n{FIXTURE}");
+    let shifted = lint_source(AS_PATH, &shifted_src, &cfg);
+    let fp = |fs: &[sst_analyze::Finding]| -> Vec<String> {
+        fs.iter().map(|f| f.fingerprint.clone()).collect()
+    };
+    assert_eq!(fp(&original), fp(&shifted));
+    assert!(original
+        .iter()
+        .zip(&shifted)
+        .all(|(a, b)| a.line + 3 == b.line));
+}
+
+#[test]
+fn workspace_walk_skips_the_fixture() {
+    // The repo root is two levels up from this crate.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let sources = sst_analyze::workspace::collect_sources(&root).expect("walk");
+    assert!(
+        sources.iter().all(|s| !s.rel_path.contains("fixtures/")),
+        "fixtures must not reach the real lint run"
+    );
+    assert!(
+        sources
+            .iter()
+            .any(|s| s.rel_path.ends_with("monitor/src/wire.rs")),
+        "the walk must find the monitor sources"
+    );
+}
+
+#[test]
+fn workspace_lint_is_clean_against_the_committed_baseline() {
+    // The same invariant CI enforces: no findings beyond the committed
+    // baseline, and no stale baseline entries. Failing here means a
+    // new violation slipped into the tree (fix it or justify it) or a
+    // grandfathered one was fixed without pruning the baseline.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let cfg = RuleConfig::workspace();
+    let sources = sst_analyze::workspace::collect_sources(&root).expect("walk");
+    let mut findings = Vec::new();
+    for f in &sources {
+        findings.extend(lint_source(&f.rel_path, &f.source, &cfg));
+    }
+    let text = std::fs::read_to_string(root.join("analyze-baseline.txt")).expect("baseline");
+    let diff = sst_analyze::Baseline::parse(&text).diff(&findings);
+    assert!(
+        diff.new.is_empty(),
+        "new findings not in analyze-baseline.txt: {:#?}",
+        diff.new
+    );
+    assert!(
+        diff.stale.is_empty(),
+        "stale baseline entries (prune them): {:?}",
+        diff.stale
+    );
+}

@@ -1,0 +1,60 @@
+//! Property tests: the lexer and the full lint pipeline must be total
+//! over arbitrary byte soup — never panic, never loop — because the
+//! linter runs on whatever is in the tree, including half-saved files.
+
+use proptest::prelude::*;
+use sst_analyze::lexer::lex;
+use sst_analyze::rules::{lint_source, RuleConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic_the_lexer(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..2048),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let lexed = lex(&src, false);
+        // Line numbers must stay within the text.
+        let max_line = src.lines().count() as u32 + 1;
+        prop_assert!(lexed.tokens.iter().all(|t| t.line <= max_line));
+    }
+
+    #[test]
+    fn random_rust_ish_text_never_panics_the_pipeline(
+        picks in proptest::collection::vec(0usize..24, 0..256),
+    ) {
+        // Tokens the rules react to, recombined at random: worst-case
+        // input for the structural pass and the pragma parser.
+        const WORDS: [&str; 24] = [
+            "unsafe", "fn", "mod", "{", "}",
+            "unwrap", "(", ")", ".", "as",
+            "usize", "[", "]", "\"", "'",
+            "r#\"", "//", "/*", "*/", "#",
+            "sst-analyze:", "allow", "x", "\n",
+        ];
+        let src: String = picks
+            .iter()
+            .map(|&i| WORDS[i % WORDS.len()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let cfg = RuleConfig::workspace();
+        // Lint under a surface path so every rule runs.
+        let _ = lint_source("crates/monitor/src/codec.rs", &src, &cfg);
+    }
+
+    #[test]
+    fn truncation_never_panics_the_lexer(cut in 0usize..10_000) {
+        // Truncating mid-literal / mid-comment must be survivable: the
+        // lexer sees unterminated strings and comments at EOF.
+        let src = r##"
+mod sys { fn f() { /* SAFETY: x */ unsafe { g() } } }
+fn decode(b: &[u8]) -> u8 { let s = "str \" esc"; let r = r#"raw"#; b[0] }
+// sst-analyze: allow(unsafe-audit) reason="fuzz"
+"##;
+        let cut = cut % (src.len() + 1);
+        if src.is_char_boundary(cut) {
+            let _ = lex(&src[..cut], false);
+        }
+    }
+}

@@ -95,9 +95,9 @@ fn get_sampler(buf: &mut &[u8]) -> Result<SamplerSnapshot, SnapshotCodecError> {
     if buf.remaining() < 24 {
         return Err(SnapshotCodecError::Truncated);
     }
-    let offered = buf.get_u64_le() as usize;
-    let kept = buf.get_u64_le() as usize;
-    let inspected = buf.get_u64_le() as usize;
+    let offered = usize_len(buf.get_u64_le(), "sampler offered")?;
+    let kept = usize_len(buf.get_u64_le(), "sampler kept")?;
+    let inspected = usize_len(buf.get_u64_le(), "sampler inspected")?;
     if kept > inspected || inspected > offered {
         return Err(SnapshotCodecError::Corrupt("sampler counters"));
     }
@@ -185,7 +185,7 @@ fn get_summary(buf: &mut &[u8]) -> Result<SummarySnapshot, SnapshotCodecError> {
     if buf.remaining() < 24 {
         return Err(SnapshotCodecError::Truncated);
     }
-    let cap = buf.get_u64_le() as usize;
+    let cap = usize_len(buf.get_u64_le(), "reservoir cap")?;
     let seed = buf.get_u64_le();
     let seen = buf.get_u64_le();
     let n_items = get_len(buf, 8)?;
@@ -207,7 +207,7 @@ fn get_summary(buf: &mut &[u8]) -> Result<SummarySnapshot, SnapshotCodecError> {
     for _ in 0..n_thresholds {
         thresholds.push(buf.get_f64_le());
     }
-    if !thresholds.windows(2).all(|w| w[0] < w[1]) {
+    if !thresholds.windows(2).all(|w| matches!(w, [a, b] if a < b)) {
         return Err(SnapshotCodecError::Corrupt("tail ladder order"));
     }
     let mut counts = Vec::with_capacity(n_thresholds);
@@ -264,7 +264,7 @@ fn get_sketch(buf: &mut &[u8]) -> Result<SketchSnapshot, SnapshotCodecError> {
     if buf.remaining() < SKETCH_MAGIC.len() {
         return Err(SnapshotCodecError::Truncated);
     }
-    if &buf[..SKETCH_MAGIC.len()] != SKETCH_MAGIC {
+    if buf.get(..SKETCH_MAGIC.len()) != Some(SKETCH_MAGIC.as_slice()) {
         return Err(SnapshotCodecError::Corrupt("trailing bytes after streams"));
     }
     buf.advance(SKETCH_MAGIC.len());
@@ -273,8 +273,8 @@ fn get_sketch(buf: &mut &[u8]) -> Result<SketchSnapshot, SnapshotCodecError> {
     if buf.remaining() < 32 {
         return Err(SnapshotCodecError::Truncated);
     }
-    let depth = buf.get_u64_le() as usize;
-    let width = buf.get_u64_le() as usize;
+    let depth = usize_len(buf.get_u64_le(), "sketch depth")?;
+    let width = usize_len(buf.get_u64_le(), "sketch width")?;
     let cm_seed = buf.get_u64_le();
     let cm_total = buf.get_u64_le();
     if depth == 0 || depth > 16 || !width.is_power_of_two() || width > (1 << 26) {
@@ -317,7 +317,7 @@ fn get_sketch(buf: &mut &[u8]) -> Result<SketchSnapshot, SnapshotCodecError> {
         return Err(SnapshotCodecError::Truncated);
     }
     let proj_seed = buf.get_u64_le();
-    let n_proj = buf.get_u64_le() as usize;
+    let n_proj = usize_len(buf.get_u64_le(), "projection count")?;
     if n_proj == 0 || n_proj > 16 {
         return Err(SnapshotCodecError::Corrupt("projection count"));
     }
@@ -362,11 +362,19 @@ pub fn encode_snapshot(snap: &EngineSnapshot) -> Bytes {
     buf.freeze()
 }
 
+/// Converts a decoded 64-bit count to an in-memory `usize` without a
+/// silently-truncating `as` cast: a value that does not fit (a 32-bit
+/// host fed a fabricated 64-bit length) is wire corruption, not a
+/// length.
+fn usize_len(v: u64, what: &'static str) -> Result<usize, SnapshotCodecError> {
+    usize::try_from(v).map_err(|_| SnapshotCodecError::Corrupt(what))
+}
+
 fn get_len(buf: &mut &[u8], elem_bytes: usize) -> Result<usize, SnapshotCodecError> {
     if buf.remaining() < 8 {
         return Err(SnapshotCodecError::Truncated);
     }
-    let n = buf.get_u64_le() as usize;
+    let n = usize_len(buf.get_u64_le(), "length field")?;
     if buf.remaining() < n.saturating_mul(elem_bytes) {
         return Err(SnapshotCodecError::Truncated);
     }
@@ -390,7 +398,7 @@ fn get_len(buf: &mut &[u8], elem_bytes: usize) -> Result<usize, SnapshotCodecErr
 /// Any structural problem yields a [`SnapshotCodecError`]; the function
 /// never panics on untrusted input.
 pub fn decode_snapshot(mut buf: &[u8]) -> Result<EngineSnapshot, SnapshotCodecError> {
-    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+    if buf.get(..MAGIC.len()) != Some(MAGIC.as_slice()) {
         return Err(SnapshotCodecError::BadMagic);
     }
     buf.advance(MAGIC.len());
@@ -582,18 +590,18 @@ fn get_diff_entry(buf: &mut &[u8]) -> Result<StreamDiff, SnapshotCodecError> {
     };
     let hurst = if flags & FLAG_CASCADE != 0 {
         let count_delta = get_varint(buf)?;
-        let new_levels = get_varint(buf)? as usize;
+        let new_levels = usize_len(get_varint(buf)?, "cascade levels")?;
         if new_levels > 64 {
             return Err(SnapshotCodecError::Corrupt("diff level count"));
         }
-        let n_changed = get_varint(buf)? as usize;
+        let n_changed = usize_len(get_varint(buf)?, "changed levels")?;
         if n_changed > new_levels {
             return Err(SnapshotCodecError::Corrupt("diff changed levels"));
         }
         let mut changed = Vec::with_capacity(n_changed);
         let mut prev: Option<usize> = None;
         for _ in 0..n_changed {
-            let idx = get_varint(buf)? as usize;
+            let idx = usize_len(get_varint(buf)?, "patch index")?;
             if idx >= new_levels || prev.is_some_and(|q| idx <= q) {
                 return Err(SnapshotCodecError::Corrupt("diff level index"));
             }
@@ -624,8 +632,8 @@ fn get_diff_entry(buf: &mut &[u8]) -> Result<StreamDiff, SnapshotCodecError> {
     };
     let reservoir = if flags & FLAG_RESERVOIR != 0 {
         let seen_delta = get_varint(buf)?;
-        let new_len = get_varint(buf)? as usize;
-        let n_slots = get_varint(buf)? as usize;
+        let new_len = usize_len(get_varint(buf)?, "reservoir len")?;
+        let n_slots = usize_len(get_varint(buf)?, "patched slots")?;
         // Each slot is ≥ 9 encoded bytes: bounds the allocation by
         // what the buffer can actually hold.
         if n_slots > new_len || buf.remaining() < n_slots.saturating_mul(9) {
@@ -638,7 +646,7 @@ fn get_diff_entry(buf: &mut &[u8]) -> Result<StreamDiff, SnapshotCodecError> {
         let mut slots = Vec::with_capacity(n_slots);
         let mut prev: Option<usize> = None;
         for _ in 0..n_slots {
-            let idx = get_varint(buf)? as usize;
+            let idx = usize_len(get_varint(buf)?, "patch index")?;
             if idx >= new_len || prev.is_some_and(|q| idx <= q) {
                 return Err(SnapshotCodecError::Corrupt("diff slot index"));
             }
@@ -657,7 +665,7 @@ fn get_diff_entry(buf: &mut &[u8]) -> Result<StreamDiff, SnapshotCodecError> {
         None
     };
     let tail = if flags & FLAG_TAIL != 0 {
-        let n_rungs = get_varint(buf)? as usize;
+        let n_rungs = usize_len(get_varint(buf)?, "tail rungs")?;
         // Each delta is ≥ 1 encoded byte.
         if buf.remaining() < n_rungs {
             return Err(SnapshotCodecError::Truncated);
@@ -704,11 +712,11 @@ pub(crate) fn encode_diff_payload(diffs: &[StreamDiff]) -> Bytes {
 ///
 /// Any structural problem yields a [`SnapshotCodecError`].
 pub(crate) fn decode_diff_payload(mut buf: &[u8]) -> Result<Vec<StreamDiff>, SnapshotCodecError> {
-    if buf.len() < DIFF_MAGIC.len() || &buf[..DIFF_MAGIC.len()] != DIFF_MAGIC {
+    if buf.get(..DIFF_MAGIC.len()) != Some(DIFF_MAGIC.as_slice()) {
         return Err(SnapshotCodecError::BadMagic);
     }
     buf.advance(DIFF_MAGIC.len());
-    let n = get_varint(&mut buf)? as usize;
+    let n = usize_len(get_varint(&mut buf)?, "diff entries")?;
     // Each entry is ≥ 18 encoded bytes (key + 10 varints + flags).
     if buf.remaining() < n.saturating_mul(18) {
         return Err(SnapshotCodecError::Truncated);

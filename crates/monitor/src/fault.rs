@@ -263,7 +263,10 @@ fn shuttle(mut client: SessionStream, target: &Target, plan: FaultPlan) -> io::R
             if plan.delay_ms > 0 {
                 std::thread::sleep(Duration::from_millis(plan.delay_ms));
             }
-            if upstream.write_all(&buf[off..off + take]).is_err() {
+            let Some(chunk) = buf.get(off..off + take) else {
+                break; // take is clamped to n - off; nothing to forward
+            };
+            if upstream.write_all(chunk).is_err() {
                 let _ = client.shutdown(Shutdown::Both);
                 return Ok(());
             }

@@ -1161,7 +1161,15 @@ impl EventLoopServer {
                     // prober (health check, port scan) must not defer
                     // the idle deadline forever — only delivered
                     // bytes do, below.
-                    while let Some(stream) = self.listeners[token as usize].accept()? {
+                    loop {
+                        let accepted = self
+                            .listeners
+                            .get(token as usize)
+                            .ok_or_else(|| io::Error::other("ready token out of listener range"))?
+                            .accept()?;
+                        let Some(stream) = accepted else {
+                            break;
+                        };
                         let fd = stream.as_raw_fd();
                         let t = self.install_session(stream)?;
                         backend.register(fd, t)?;
@@ -1283,7 +1291,11 @@ impl EventLoopServer {
                 }
             }
             SessionEnd::Done => {
-                let session = self.sessions.remove(&token).expect("session present");
+                let Some(session) = self.sessions.remove(&token) else {
+                    // Already settled — a failure path raced this ready
+                    // event; there is nothing left to tear down.
+                    return Ok(());
+                };
                 backend.deregister(session.stream.as_raw_fd())?;
                 if session.driver.frames_delivered() > 0 {
                     self.report.completed += 1;
@@ -1330,7 +1342,10 @@ impl EventLoopServer {
         backend: &mut dyn Backend,
         error: String,
     ) -> io::Result<()> {
-        let session = self.sessions.remove(&token).expect("session present");
+        let Some(session) = self.sessions.remove(&token) else {
+            // Already settled by an earlier error on the same tick.
+            return Ok(());
+        };
         backend.deregister(session.stream.as_raw_fd())?;
         if session.driver.is_sequenced() {
             for id in session.driver.fed_ids() {
@@ -1563,7 +1578,9 @@ impl MultiLoopServer {
         // Deterministic placement for injected sessions: worker i
         // gets pre[i], pre[i+n], …
         for (j, stream) in pre.into_iter().enumerate() {
-            workers[j % n].add_session(stream)?;
+            if let Some(w) = workers.get_mut(j % n) {
+                w.add_session(stream)?;
+            }
         }
 
         let (dispatch_res, joined) = std::thread::scope(|scope| {
@@ -1670,14 +1687,23 @@ impl MultiLoopServer {
                 continue;
             }
             for &token in &ready {
-                while let Some(stream) = listeners[token as usize].accept()? {
+                let Some(listener) = listeners.get(token as usize) else {
+                    continue;
+                };
+                while let Some(stream) = listener.accept()? {
                     let mut stream = Some(stream);
                     // Round-robin, skipping workers that already
                     // exited (their receiver is gone).
                     for _ in 0..n {
                         let w = rr % n;
                         rr += 1;
-                        match senders[w].send(stream.take().expect("unplaced stream")) {
+                        let Some(s) = stream.take() else {
+                            break; // placed on an earlier worker
+                        };
+                        let Some(sender) = senders.get(w) else {
+                            break;
+                        };
+                        match sender.send(s) {
                             Ok(()) => {
                                 shared.wake(w);
                                 break;

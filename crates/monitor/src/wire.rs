@@ -381,7 +381,9 @@ fn assemble(version: u8, kind: u8, payload: &[u8], seq: Option<u64>) -> Bytes {
     buf.put_slice(FRAME_MAGIC);
     buf.put_u8(version);
     buf.put_u8(kind);
-    buf.put_u32_le((payload.len() + seq_len) as u32);
+    let len = u32::try_from(payload.len() + seq_len)
+        .expect("frame length fits u32: capped at MAX_FRAME_BYTES by the assert above");
+    buf.put_u32_le(len);
     if let Some(s) = seq {
         buf.put_u64_le(s);
     }
@@ -398,6 +400,15 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
     w.write_all(&encode_frame(frame))
 }
 
+/// Reads an exactly-8-byte little-endian `u64` field without a panic
+/// path: short or long slices are wire corruption, not programmer bugs.
+fn le_u64(bytes: &[u8]) -> Result<u64, WireError> {
+    let arr: [u8; 8] = bytes
+        .try_into()
+        .map_err(|_| WireError::Corrupt("u64 field length"))?;
+    Ok(u64::from_le_bytes(arr))
+}
+
 fn decode_payload(version: u8, kind: u8, payload: &[u8]) -> Result<SeqFrame, WireError> {
     let sequenced = version >= WIRE_VERSION_SEQUENCED;
     // Sequenced data frames open with their seq; everything else
@@ -411,10 +422,7 @@ fn decode_payload(version: u8, kind: u8, payload: &[u8]) -> Result<SeqFrame, Wir
             return Err(WireError::Corrupt("missing data seq"));
         }
         let (s, rest) = payload.split_at(8);
-        (
-            Some(u64::from_le_bytes(s.try_into().expect("8 bytes"))),
-            rest,
-        )
+        (Some(le_u64(s)?), rest)
     } else {
         (None, payload)
     };
@@ -468,7 +476,7 @@ fn decode_payload(version: u8, kind: u8, payload: &[u8]) -> Result<SeqFrame, Wir
                 return Err(WireError::Corrupt("ack payload length"));
             }
             Frame::Ack {
-                through_seq: u64::from_le_bytes(payload.try_into().expect("8 bytes")),
+                through_seq: le_u64(payload)?,
             }
         }
         KIND_RESYNC => {
@@ -476,7 +484,7 @@ fn decode_payload(version: u8, kind: u8, payload: &[u8]) -> Result<SeqFrame, Wir
                 return Err(WireError::Corrupt("resync payload length"));
             }
             Frame::Resync {
-                from_seq: u64::from_le_bytes(payload.try_into().expect("8 bytes")),
+                from_seq: le_u64(payload)?,
             }
         }
         KIND_SHUTDOWN => {

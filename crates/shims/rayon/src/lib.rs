@@ -24,6 +24,8 @@
 //! nested parallel operations cannot deadlock even on a single-worker
 //! pool.
 
+// sst-analyze: allow(unsafe-audit) reason="the one lifetime-erasure unsafe block below is the pool's core mechanism, gated by #[allow(unsafe_code)] + a SAFETY comment; this shim has no `sys` FFI module to home it in"
+
 #![deny(unsafe_code)]
 
 use std::num::NonZeroUsize;

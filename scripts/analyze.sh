@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs both sst-analyze passes the way CI does and enforces the
+# baseline shrink-only contract.
+#
+#   scripts/analyze.sh            # full gate: lint --deny --fail-stale,
+#                                 # baseline-shrink check, check-sync
+#   scripts/analyze.sh lint       # just the linter gate
+#   scripts/analyze.sh check-sync # just the interleaving checker
+#
+# The baseline (analyze-baseline.txt) may only ever SHRINK: a new
+# finding must be fixed or pragma-allowed, never appended to the
+# baseline; a fixed finding must be pruned from it (--fail-stale
+# catches forgetting). The git check below rejects any commit that
+# grows the file relative to its parent.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+
+run_lint() {
+    cargo run -q -p sst-analyze -- lint --deny --fail-stale
+
+    # Shrink-only: the working baseline must not have more entries than
+    # the last committed one. With a clean tree (CI), compare against
+    # the parent commit instead, so the gate still bites on the commit
+    # that grew the file. Skipped when no prior baseline exists (the
+    # introducing commit).
+    count_lines() { grep -cv -e '^#' -e '^$' - || true; }
+    new="$(count_lines < analyze-baseline.txt)"
+    ref=""
+    if ! git diff --quiet HEAD -- analyze-baseline.txt 2>/dev/null; then
+        ref="HEAD" # working tree edited the baseline: diff against HEAD
+    elif git cat-file -e 'HEAD^:analyze-baseline.txt' 2>/dev/null; then
+        ref="HEAD^"
+    fi
+    if [[ -n "$ref" ]] && git cat-file -e "$ref:analyze-baseline.txt" 2>/dev/null; then
+        old="$(git show "$ref:analyze-baseline.txt" | count_lines)"
+        if (( new > old )); then
+            echo "error: analyze-baseline.txt grew ($old -> $new entries vs $ref)." >&2
+            echo "The baseline only shrinks: fix the new finding or add a" >&2
+            echo 'file pragma `// sst-analyze: allow(<rule>) reason="..."`.' >&2
+            exit 1
+        fi
+        echo "baseline: $new entries ($ref had $old) — shrink-only contract holds"
+    else
+        echo "baseline: $new entries (no prior baseline to compare)"
+    fi
+}
+
+run_check_sync() {
+    cargo run -q -p sst-analyze -- check-sync --min-schedules 10000
+}
+
+case "$mode" in
+    lint) run_lint ;;
+    check-sync) run_check_sync ;;
+    all)
+        run_lint
+        run_check_sync
+        ;;
+    *)
+        echo "usage: scripts/analyze.sh [lint|check-sync]" >&2
+        exit 2
+        ;;
+esac
